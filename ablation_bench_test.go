@@ -1,0 +1,180 @@
+// Ablation benchmarks for Sift's design choices, complementing the
+// paper-figure benchmarks in bench_test.go:
+//
+//   - coordinator cache size (the §4.1 cache is what keeps Sift's read
+//     throughput near Raft-R's despite stateless CPU nodes),
+//   - erasure coding on the write path (the §5.1 trade: less memory,
+//     more CPU + RDMA operations per write),
+//   - KV log size (the §6.5 trade: smaller logs recover faster but bound
+//     in-flight writes),
+//   - heartbeat interval (failure detection time vs heartbeat traffic).
+package sift_test
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	sift "github.com/repro/sift"
+	"github.com/repro/sift/internal/workload"
+)
+
+// ablationCluster builds a populated cluster for ablation runs.
+func ablationCluster(b *testing.B, cfg sift.Config) (*sift.Cluster, *sift.Client) {
+	b.Helper()
+	if cfg.Keys == 0 {
+		cfg.Keys = 2048
+	}
+	cfg.MaxValueSize = 256
+	cl, err := sift.NewCluster(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(cl.Close)
+	client := cl.Client()
+	value := make([]byte, 256)
+	for i := 0; i < cfg.Keys; i++ {
+		if err := client.Put(workload.DefaultKey(i), value); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return cl, client
+}
+
+// BenchmarkAblationCacheSize sweeps the coordinator cache fraction under
+// the read-heavy Zipfian workload. The paper's 50% cache is what lets Sift
+// match Raft-R's read throughput (§6.3.2); 0% shows the raw cost of
+// stateless CPU nodes (every get is a remote chain walk).
+func BenchmarkAblationCacheSize(b *testing.B) {
+	for _, frac := range []float64{0.001, 0.1, 0.25, 0.5, 1.0} {
+		b.Run(fmt.Sprintf("cache=%.0f%%", frac*100), func(b *testing.B) {
+			cl, client := ablationCluster(b, sift.Config{F: 1, CacheFraction: frac})
+			var seq atomic.Int64
+			b.SetParallelism(16)
+			b.ResetTimer()
+			start := time.Now()
+			b.RunParallel(func(pb *testing.PB) {
+				gen := workload.NewGenerator(workload.Config{
+					Mix: workload.ReadHeavy, Keys: 2048, ValueSize: 256,
+					ZipfTheta: 0.99, Seed: seq.Add(1),
+				})
+				for pb.Next() {
+					op := gen.Next()
+					if op.Read {
+						client.Get(op.Key) //nolint:errcheck
+					} else {
+						client.Put(op.Key, op.Value) //nolint:errcheck
+					}
+				}
+			})
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "ops/sec")
+			st := cl.Stats()
+			if total := st.KV.CacheHits + st.KV.CacheMisses; total > 0 {
+				b.ReportMetric(100*float64(st.KV.CacheHits)/float64(total), "cache-hit-pct")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationErasureWritePath compares the write path with and
+// without erasure coding: EC halves per-node memory (F=1) but each apply
+// must encode and fan out chunks, and sub-block updates read-modify-write.
+func BenchmarkAblationErasureWritePath(b *testing.B) {
+	for _, ec := range []bool{false, true} {
+		name := "replicated"
+		if ec {
+			name = "erasure-coded"
+		}
+		b.Run(name, func(b *testing.B) {
+			_, client := ablationCluster(b, sift.Config{F: 1, ErasureCoding: ec})
+			var seq atomic.Int64
+			b.SetParallelism(16)
+			b.ResetTimer()
+			start := time.Now()
+			b.RunParallel(func(pb *testing.PB) {
+				gen := workload.NewGenerator(workload.Config{
+					Mix: workload.WriteOnly, Keys: 2048, ValueSize: 256,
+					ZipfTheta: 0.99, Seed: seq.Add(1),
+				})
+				for pb.Next() {
+					op := gen.Next()
+					if err := client.Put(op.Key, op.Value); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "ops/sec")
+		})
+	}
+}
+
+// BenchmarkAblationLogSize sweeps the KV log size and measures coordinator
+// failover outage: larger logs permit more in-flight writes but lengthen
+// log recovery (§6.5: "recovery time is largely determined by the size of
+// the write-ahead log in both ... layers").
+func BenchmarkAblationLogSize(b *testing.B) {
+	for _, slots := range []int{256, 1024, 4096} {
+		b.Run(fmt.Sprintf("kvlog=%d", slots), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := sift.Config{
+					F: 1, Keys: 1024, MaxValueSize: 256, KVWALSlots: slots,
+					HeartbeatInterval: 2 * time.Millisecond,
+					ReadInterval:      2 * time.Millisecond,
+					Seed:              int64(i + 1),
+				}
+				cl, err := sift.NewCluster(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				client := cl.Client()
+				value := make([]byte, 256)
+				// Fill a good part of the log with committed writes so the
+				// takeover has something to replay.
+				for k := 0; k < slots/2; k++ {
+					if err := client.Put(workload.DefaultKey(k%1024), value); err != nil {
+						b.Fatal(err)
+					}
+				}
+				start := time.Now()
+				cl.KillCoordinator()
+				if err := cl.WaitForCoordinator(20 * time.Second); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(time.Since(start).Milliseconds()), "failover-ms")
+				cl.Close()
+			}
+		})
+	}
+}
+
+// BenchmarkAblationHeartbeatInterval measures failure detection time as a
+// function of the heartbeat interval (detection ≈ interval × missed beats,
+// §3.2) — the lease-length/recovery-time trade-off.
+func BenchmarkAblationHeartbeatInterval(b *testing.B) {
+	for _, hb := range []time.Duration{2 * time.Millisecond, 7 * time.Millisecond, 20 * time.Millisecond} {
+		b.Run(hb.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cl, err := sift.NewCluster(sift.Config{
+					F: 1, Keys: 256, MaxValueSize: 64,
+					HeartbeatInterval: hb, ReadInterval: hb,
+					Seed: int64(i + 1),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				cl.Client().Put([]byte("k"), []byte("v")) //nolint:errcheck
+				start := time.Now()
+				cl.KillCoordinator()
+				if err := cl.WaitForCoordinator(30 * time.Second); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(time.Since(start).Milliseconds()), "failover-ms")
+				cl.Close()
+			}
+		})
+	}
+}

@@ -1,0 +1,173 @@
+package sift
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestChaosCommittedWritesSurvive runs a write/read workload while
+// repeatedly crashing coordinators and memory nodes (within the F budget),
+// and verifies at the end that every acknowledged write is readable with
+// its latest acknowledged value — the core safety property: a committed
+// write is never lost, whatever the failure schedule.
+func TestChaosCommittedWritesSurvive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos run in -short mode")
+	}
+	cfg := smallConfig()
+	cfg.Keys = 256
+	cfg.NodeRecoveryInterval = 10 * time.Millisecond
+	cl := newTestCluster(t, cfg)
+
+	const (
+		workers = 4
+		rounds  = 6
+	)
+	var (
+		mu        sync.Mutex
+		acked     = map[string]string{} // latest acknowledged value per key
+		stop      = make(chan struct{})
+		wg        sync.WaitGroup
+		nextCPUID uint16 = 100
+	)
+
+	// Writers: every acknowledged Put is recorded under the lock *around*
+	// the call so "latest acknowledged" is well defined.
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := cl.Client()
+			c.RetryBudget = 20 * time.Second
+			rng := rand.New(rand.NewSource(int64(w)))
+			i := 0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				key := fmt.Sprintf("w%d-k%d", w, rng.Intn(8))
+				val := fmt.Sprintf("w%d-v%d", w, i)
+				i++
+				mu.Lock()
+				err := c.Put([]byte(key), []byte(val))
+				if err == nil {
+					acked[key] = val
+				}
+				mu.Unlock()
+				if err != nil && !errors.Is(err, ErrNoCoordinator) {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+
+	// Chaos schedule: alternate coordinator kills and memory node
+	// kill/restart cycles, always within the F=1 budget.
+	rng := rand.New(rand.NewSource(99))
+	for round := 0; round < rounds; round++ {
+		time.Sleep(60 * time.Millisecond)
+		switch round % 3 {
+		case 0:
+			if id := cl.KillCoordinator(); id != 0 {
+				// Keep the CPU-node population at 2 for the next rounds.
+				nextCPUID++
+				cl.StartCPUNode(nextCPUID)
+			}
+		case 1:
+			victim := cl.MemoryNodes()[rng.Intn(3)]
+			cl.KillMemoryNode(victim)
+			time.Sleep(40 * time.Millisecond)
+			cl.RestartMemoryNode(victim)
+		case 2:
+			if err := cl.AwaitMemoryNodeRecovery(1, 10*time.Second); err != nil {
+				t.Logf("recovery pending: %v", err)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// Let the dust settle: all memory nodes recovered, coordinator stable.
+	if err := cl.WaitForCoordinator(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every acknowledged write must be readable with its latest value.
+	c := cl.Client()
+	c.RetryBudget = 20 * time.Second
+	mu.Lock()
+	defer mu.Unlock()
+	for key, want := range acked {
+		got, err := c.Get([]byte(key))
+		if err != nil {
+			t.Fatalf("get %s: %v", key, err)
+		}
+		if string(got) != want {
+			t.Fatalf("key %s: read %q, last acknowledged %q", key, got, want)
+		}
+	}
+	t.Logf("chaos survived: %d keys verified after %d failure rounds", len(acked), rounds)
+}
+
+// TestChaosErasureCoded repeats a shorter chaos schedule against an
+// erasure-coded group: chunk loss, reconstruction, and coordinator
+// failover interacting.
+func TestChaosErasureCoded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos run in -short mode")
+	}
+	cfg := smallConfig()
+	cfg.Keys = 256
+	cfg.ErasureCoding = true
+	cfg.NodeRecoveryInterval = 10 * time.Millisecond
+	cl := newTestCluster(t, cfg)
+	c := cl.Client()
+	c.RetryBudget = 20 * time.Second
+
+	acked := map[string]string{}
+	put := func(k, v string) {
+		if err := c.Put([]byte(k), []byte(v)); err != nil {
+			t.Fatalf("put %s: %v", k, err)
+		}
+		acked[k] = v
+	}
+
+	for i := 0; i < 40; i++ {
+		put(fmt.Sprintf("k%d", i%16), fmt.Sprintf("v%d", i))
+	}
+	victim := cl.MemoryNodes()[0]
+	cl.KillMemoryNode(victim)
+	for i := 40; i < 80; i++ {
+		put(fmt.Sprintf("k%d", i%16), fmt.Sprintf("v%d", i))
+	}
+	cl.KillCoordinator()
+	for i := 80; i < 120; i++ {
+		put(fmt.Sprintf("k%d", i%16), fmt.Sprintf("v%d", i))
+	}
+	cl.RestartMemoryNode(victim)
+	if err := cl.AwaitMemoryNodeRecovery(1, 15*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Another chunk owner dies; reads now lean on the rebuilt node.
+	cl.KillMemoryNode(cl.MemoryNodes()[1])
+
+	for k, want := range acked {
+		got, err := c.Get([]byte(k))
+		if err != nil {
+			t.Fatalf("get %s: %v", k, err)
+		}
+		if string(got) != want {
+			t.Fatalf("key %s: read %q, want %q", k, got, want)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package sift
+
+import (
+	"errors"
+	"time"
+
+	"github.com/repro/sift/internal/kv"
+	"github.com/repro/sift/internal/repmem"
+)
+
+// Client is a handle for issuing key-value operations against the cluster.
+// It routes every request to the current coordinator and transparently
+// retries across coordinator failovers (a request that raced a failover is
+// retried against the new coordinator; committed effects are never lost).
+// Clients are safe for concurrent use.
+type Client struct {
+	cluster *Cluster
+	// RetryBudget bounds how long an operation may wait across failovers
+	// (default 10s).
+	RetryBudget time.Duration
+}
+
+func (c *Client) budget() time.Duration {
+	if c.RetryBudget > 0 {
+		return c.RetryBudget
+	}
+	return 10 * time.Second
+}
+
+// retriable reports whether an error indicates a coordinator transition
+// (as opposed to a caller mistake), so the operation should be retried
+// against the next coordinator.
+func retriable(err error) bool {
+	return errors.Is(err, kv.ErrClosed) ||
+		errors.Is(err, repmem.ErrFenced) ||
+		errors.Is(err, repmem.ErrClosed) ||
+		errors.Is(err, repmem.ErrNoQuorum)
+}
+
+// do runs op against the current coordinator, retrying across failovers
+// with exponential backoff (bounded), so a herd of waiting clients does not
+// starve the very takeover it is waiting for.
+func (c *Client) do(op func(*kv.Store) error) error {
+	deadline := time.Now().Add(c.budget())
+	backoff := time.Millisecond
+	for {
+		st := c.cluster.coordinatorStore()
+		if st != nil {
+			err := op(st)
+			if err == nil || !retriable(err) {
+				return err
+			}
+		}
+		if time.Now().After(deadline) {
+			return ErrNoCoordinator
+		}
+		time.Sleep(backoff)
+		if backoff < 16*time.Millisecond {
+			backoff *= 2
+		}
+	}
+}
+
+// Put stores value under key. It returns once the update is committed on a
+// majority of memory nodes.
+func (c *Client) Put(key, value []byte) error {
+	return c.do(func(st *kv.Store) error { return st.Put(key, value) })
+}
+
+// Get returns the value stored under key, or ErrNotFound.
+func (c *Client) Get(key []byte) ([]byte, error) {
+	var out []byte
+	err := c.do(func(st *kv.Store) error {
+		v, err := st.Get(key)
+		if err != nil {
+			return err
+		}
+		out = v
+		return nil
+	})
+	if errors.Is(err, kv.ErrNotFound) {
+		return nil, ErrNotFound
+	}
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Delete removes key. Deleting a missing key is not an error.
+func (c *Client) Delete(key []byte) error {
+	return c.do(func(st *kv.Store) error { return st.Delete(key) })
+}
+
+// Pair is one update in a PutBatch; a nil Value deletes the key.
+type Pair = kv.Pair
+
+// PutBatch commits several updates atomically: they occupy one log entry,
+// so a coordinator failure replays all of them or none, and no conflicting
+// write interleaves between them (paper §3.3.2's multi-write commit). The
+// whole batch must fit in one log slot — use it for a handful of related
+// small updates, not bulk loading.
+func (c *Client) PutBatch(pairs []Pair) error {
+	return c.do(func(st *kv.Store) error { return st.PutBatch(pairs) })
+}

@@ -1,0 +1,326 @@
+package sift
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/repro/sift/internal/core"
+	"github.com/repro/sift/internal/deploy"
+	"github.com/repro/sift/internal/election"
+	"github.com/repro/sift/internal/kv"
+	"github.com/repro/sift/internal/memnode"
+	"github.com/repro/sift/internal/netsim"
+	"github.com/repro/sift/internal/persist"
+	"github.com/repro/sift/internal/rdma"
+	"github.com/repro/sift/internal/repmem"
+)
+
+// Cluster is an in-process Sift deployment: 2F+1 passive memory nodes and a
+// set of CPU nodes joined by a simulated RDMA fabric. It exposes a client
+// API, failure injection for experiments, and operational introspection.
+type Cluster struct {
+	cfg  Config
+	kcfg kv.Config
+	mcfg repmem.Config
+
+	fabric  *netsim.Fabric
+	network *rdma.Network
+
+	memNames []string
+
+	persistDB *persist.DB
+
+	mu      sync.Mutex
+	runners map[uint16]*cpuRunner
+	closed  bool
+}
+
+// cpuRunner tracks one CPU node's lifetime.
+type cpuRunner struct {
+	id     uint16
+	node   *core.CPUNode
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+// NewCluster builds and starts a deployment. It blocks until a coordinator
+// has been elected (bounded by a few seconds) so the returned cluster is
+// immediately usable.
+func NewCluster(cfg Config) (*Cluster, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := cfg.withDefaults()
+
+	var lat netsim.LatencyModel
+	switch c.Latency {
+	case RDMALatency:
+		lat = netsim.RDMADefault()
+	case TCPLatency:
+		lat = netsim.TCPDefault()
+	default:
+		lat = netsim.NoLatency{}
+	}
+	fabric := netsim.NewFabric(lat)
+	network := rdma.NewNetwork(fabric)
+
+	kcfg, mcfg, err := deploy.Params{
+		F:              c.F,
+		EC:             c.ErasureCoding,
+		Keys:           c.Keys,
+		MaxKey:         c.MaxKeySize,
+		MaxValue:       c.MaxValueSize,
+		CacheFraction:  c.CacheFraction,
+		LoadFactor:     c.IndexLoadFactor,
+		KVWALSlots:     c.KVWALSlots,
+		MemWALSlots:    c.MemWALSlots,
+		MemWALSlotSize: c.MemWALSlotSize,
+	}.Derive()
+	if err != nil {
+		return nil, err
+	}
+
+	cl := &Cluster{
+		cfg:     c,
+		kcfg:    kcfg,
+		mcfg:    mcfg,
+		fabric:  fabric,
+		network: network,
+		runners: make(map[uint16]*cpuRunner),
+	}
+	if c.PersistDir != "" {
+		db, err := persist.Open(c.PersistDir, persist.Options{Sync: true, CompactThreshold: 4 * kcfg.WALSlots})
+		if err != nil {
+			return nil, fmt.Errorf("sift: persistence: %w", err)
+		}
+		cl.persistDB = db
+		cl.kcfg.Persist = db
+	}
+
+	for i := 0; i < 2*c.F+1; i++ {
+		name := fmt.Sprintf("mem%d", i)
+		node, err := memnode.New(name, mcfg.Layout())
+		if err != nil {
+			return nil, err
+		}
+		network.AddNode(node)
+		cl.memNames = append(cl.memNames, name)
+	}
+	mcfg.MemoryNodes = cl.memNames
+	cl.mcfg = mcfg
+
+	for i := 0; i < c.CPUNodes; i++ {
+		cl.startCPUNodeLocked(uint16(i + 1))
+	}
+
+	if err := cl.WaitForCoordinator(5 * time.Second); err != nil {
+		cl.Close()
+		return nil, err
+	}
+	return cl, nil
+}
+
+// nodeConfig builds one CPU node's configuration.
+func (cl *Cluster) nodeConfig(id uint16) core.Config {
+	cpuName := fmt.Sprintf("cpu%d", id)
+	mcfg := cl.mcfg
+	mcfg.Dial = func(node string) (rdma.Verbs, error) {
+		return cl.network.Dial(cpuName, node, rdma.DialOpts{Exclusive: []rdma.RegionID{memnode.ReplRegionID}})
+	}
+	return core.Config{
+		NodeID: id,
+		Election: election.Config{
+			MemoryNodes: cl.memNames,
+			AdminRegion: memnode.AdminRegionID,
+			AdminOffset: memnode.AdminWordOffset,
+			Dial: func(node string) (rdma.Verbs, error) {
+				return cl.network.Dial(cpuName, node, rdma.DialOpts{})
+			},
+			HeartbeatInterval: cl.cfg.HeartbeatInterval,
+			ReadInterval:      cl.cfg.ReadInterval,
+			MissedBeats:       cl.cfg.MissedBeats,
+			Seed:              cl.cfg.Seed + int64(id)*7919,
+		},
+		Memory:               mcfg,
+		KV:                   cl.kcfg,
+		NodeRecoveryInterval: cl.cfg.NodeRecoveryInterval,
+	}
+}
+
+// startCPUNodeLocked launches CPU node id; caller holds cl.mu or is in
+// NewCluster before publication.
+func (cl *Cluster) startCPUNodeLocked(id uint16) {
+	ctx, cancel := context.WithCancel(context.Background())
+	node := core.NewCPUNode(cl.nodeConfig(id))
+	r := &cpuRunner{id: id, node: node, cancel: cancel, done: make(chan struct{})}
+	go func() {
+		defer close(r.done)
+		node.Run(ctx)
+	}()
+	cl.runners[id] = r
+}
+
+// Client returns a client handle. Clients are cheap and share the cluster.
+func (cl *Cluster) Client() *Client { return &Client{cluster: cl} }
+
+// coordinator returns the current coordinator's store, if any.
+func (cl *Cluster) coordinatorStore() *kv.Store {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	for _, r := range cl.runners {
+		if r.node.Role() == core.Coordinator {
+			if st := r.node.Store(); st != nil {
+				return st
+			}
+		}
+	}
+	return nil
+}
+
+// Coordinator returns the coordinating CPU node's id, or 0 when no
+// coordinator is currently elected.
+func (cl *Cluster) Coordinator() uint16 {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	for id, r := range cl.runners {
+		if r.node.Role() == core.Coordinator && r.node.Store() != nil {
+			return id
+		}
+	}
+	return 0
+}
+
+// WaitForCoordinator blocks until a coordinator is serving.
+func (cl *Cluster) WaitForCoordinator(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cl.coordinatorStore() != nil {
+			return nil
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return ErrNoCoordinator
+}
+
+// MemoryNodes returns the memory node names (for failure injection).
+func (cl *Cluster) MemoryNodes() []string {
+	return append([]string(nil), cl.memNames...)
+}
+
+// KillMemoryNode fails a memory node and wipes its (volatile) memory, as a
+// machine crash would.
+func (cl *Cluster) KillMemoryNode(name string) {
+	cl.fabric.Kill(name)
+	if node := cl.network.Node(name); node != nil {
+		memnode.Reset(node, cl.mcfg.Layout())
+	}
+}
+
+// RestartMemoryNode brings a failed memory node's machine back (empty). The
+// coordinator's recovery manager reintegrates it in the background; use
+// AwaitMemoryNodeRecovery to block on that.
+func (cl *Cluster) RestartMemoryNode(name string) {
+	cl.fabric.Restart(name)
+}
+
+// AwaitMemoryNodeRecovery waits until the coordinator reports at least n
+// completed memory-node recoveries.
+func (cl *Cluster) AwaitMemoryNodeRecovery(n uint64, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if st := cl.coordinatorStore(); st != nil {
+			if st.MemoryStats().NodeRecovered >= n {
+				return nil
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return fmt.Errorf("sift: memory node recovery %d not reached in %v", n, timeout)
+}
+
+// KillCoordinator crashes the current coordinator CPU node (process-level:
+// it stops heartbeating and serving). Returns the killed node's id, or 0
+// if there was no coordinator.
+func (cl *Cluster) KillCoordinator() uint16 {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	for id, r := range cl.runners {
+		if r.node.Role() == core.Coordinator {
+			r.cancel()
+			delete(cl.runners, id)
+			return id
+		}
+	}
+	return 0
+}
+
+// KillCPUNode crashes a specific CPU node.
+func (cl *Cluster) KillCPUNode(id uint16) {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	if r, ok := cl.runners[id]; ok {
+		r.cancel()
+		delete(cl.runners, id)
+	}
+}
+
+// StartCPUNode launches a (new or replacement) CPU node with the given id.
+func (cl *Cluster) StartCPUNode(id uint16) {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	if cl.closed {
+		return
+	}
+	if _, exists := cl.runners[id]; exists {
+		return
+	}
+	cl.startCPUNodeLocked(id)
+}
+
+// Stats reports cluster-level counters from the current coordinator.
+type Stats struct {
+	CoordinatorID uint16
+	KV            kv.Stats
+	Memory        repmem.Stats
+}
+
+// Stats returns the current coordinator's counters (zero when none).
+func (cl *Cluster) Stats() Stats {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	for id, r := range cl.runners {
+		if r.node.Role() == core.Coordinator {
+			if st := r.node.Store(); st != nil {
+				return Stats{CoordinatorID: id, KV: st.Stats(), Memory: st.MemoryStats()}
+			}
+		}
+	}
+	return Stats{}
+}
+
+// Close tears the cluster down.
+func (cl *Cluster) Close() {
+	cl.mu.Lock()
+	if cl.closed {
+		cl.mu.Unlock()
+		return
+	}
+	cl.closed = true
+	runners := make([]*cpuRunner, 0, len(cl.runners))
+	for _, r := range cl.runners {
+		runners = append(runners, r)
+	}
+	cl.runners = make(map[uint16]*cpuRunner)
+	cl.mu.Unlock()
+	for _, r := range runners {
+		r.cancel()
+	}
+	for _, r := range runners {
+		<-r.done
+	}
+	if cl.persistDB != nil {
+		cl.persistDB.Close()
+	}
+}

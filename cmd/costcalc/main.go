@@ -1,0 +1,91 @@
+// Command costcalc regenerates the paper's cost analysis: Table 2's
+// performance-normalized machine configurations and Figures 9/10's
+// deployment costs relative to Raft-R.
+//
+// Usage:
+//
+//	costcalc -table2          # print Table 2 with per-machine $/hr
+//	costcalc -f 1             # Figure 9 (relative costs at F=1)
+//	costcalc -f 2             # Figure 10 (relative costs at F=2)
+//	costcalc -groups 500 -pool 4 -f 2   # custom amortization
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"github.com/repro/sift/internal/cloudcost"
+)
+
+func main() {
+	var (
+		table2 = flag.Bool("table2", false, "print Table 2 machine configurations")
+		f      = flag.Int("f", 1, "fault tolerance level (1 → Figure 9, 2 → Figure 10)")
+		groups = flag.Int("groups", 100, "group count for shared-backup amortization")
+		pool   = flag.Int("pool", 2, "shared backup pool size")
+	)
+	flag.Parse()
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	defer w.Flush()
+
+	if *table2 {
+		fmt.Fprintln(w, "Table 2: machine configurations normalized for performance")
+		fmt.Fprintln(w, "system\tF\tCPU-node\tAWS $/hr\tGCP $/hr\tmem-node\tAWS $/hr\tGCP $/hr")
+		for _, row := range cloudcost.Table2() {
+			memDesc, memAWS, memGCP := "-", "-", "-"
+			if row.MemNode.Cores > 0 {
+				memDesc = fmt.Sprintf("%dc/%dGB", row.MemNode.Cores, row.MemNode.MemGB)
+				memAWS = fmt.Sprintf("%.4f", row.MemNode.Cost(cloudcost.AWS))
+				memGCP = fmt.Sprintf("%.4f", row.MemNode.Cost(cloudcost.GCP))
+			}
+			fmt.Fprintf(w, "%s\t%d\t%dc/%dGB\t%.4f\t%.4f\t%s\t%s\t%s\n",
+				row.System, row.F,
+				row.CPU.Cores, row.CPU.MemGB,
+				row.CPU.Cost(cloudcost.AWS), row.CPU.Cost(cloudcost.GCP),
+				memDesc, memAWS, memGCP)
+		}
+		return
+	}
+
+	figure := 9
+	if *f == 2 {
+		figure = 10
+	}
+	fmt.Fprintf(w, "Figure %d: deployment cost relative to Raft-R (F=%d, %d groups, pool of %d)\n",
+		figure, *f, *groups, *pool)
+	fmt.Fprintln(w, "provider\tconfiguration\trelative cost\tgroup $/hr")
+	type variant struct {
+		label  string
+		system cloudcost.System
+		shared bool
+	}
+	variants := []variant{
+		{"Sift", cloudcost.Sift, false},
+		{"Sift + Shared Backups", cloudcost.Sift, true},
+		{"Sift EC", cloudcost.SiftEC, false},
+		{"Sift EC + Shared Backups", cloudcost.SiftEC, true},
+	}
+	for _, p := range []cloudcost.Provider{cloudcost.AWS, cloudcost.GCP} {
+		raft, err := cloudcost.GroupCost(cloudcost.Deployment{System: cloudcost.RaftR, F: *f}, p)
+		if err != nil {
+			log.Fatalf("costcalc: %v", err)
+		}
+		fmt.Fprintf(w, "%s\tRaft-R (baseline)\t%+.1f%%\t$%.4f\n", p, 0.0, raft)
+		for _, v := range variants {
+			d := cloudcost.Deployment{
+				System: v.system, F: *f,
+				SharedBackups: v.shared, Groups: *groups, BackupPool: *pool,
+			}
+			rel, err := cloudcost.RelativeCost(d, p)
+			if err != nil {
+				log.Fatalf("costcalc: %v", err)
+			}
+			abs, _ := cloudcost.GroupCost(d, p)
+			fmt.Fprintf(w, "%s\t%s\t%+.1f%%\t$%.4f\n", p, v.label, rel, abs)
+		}
+	}
+}

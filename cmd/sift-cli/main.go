@@ -1,0 +1,87 @@
+// Command sift-cli is a small client for a siftd deployment: it issues
+// get/put/del/status operations against one or more siftd addresses,
+// retrying against the next address when a node is not the coordinator.
+//
+// Usage:
+//
+//	sift-cli -servers host1:8000,host2:8000 put mykey myvalue
+//	sift-cli -servers host1:8000,host2:8000 get mykey
+//	sift-cli -servers host1:8000 status
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"github.com/repro/sift/internal/rpc"
+)
+
+func main() {
+	servers := flag.String("servers", "127.0.0.1:8000", "comma-separated siftd addresses")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) < 1 {
+		log.Fatalf("usage: sift-cli [-servers ...] get|put|del|status [key] [value]")
+	}
+	addrs := strings.Split(*servers, ",")
+
+	var lastErr error
+	for _, addr := range addrs {
+		client, err := rpc.Dial(addr)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		out, err := run(client, args)
+		client.Close()
+		if err == nil {
+			if out != "" {
+				fmt.Println(out)
+			}
+			return
+		}
+		lastErr = err
+		if !strings.Contains(err.Error(), "not coordinator") {
+			break
+		}
+	}
+	log.Fatalf("sift-cli: %v", lastErr)
+}
+
+func run(client *rpc.Client, args []string) (string, error) {
+	switch args[0] {
+	case "get":
+		if len(args) != 2 {
+			return "", fmt.Errorf("usage: get <key>")
+		}
+		v, err := client.Call(rpc.MethodGet, rpc.EncodeKV([]byte(args[1]), nil))
+		if err != nil {
+			return "", err
+		}
+		return string(v), nil
+	case "put":
+		if len(args) != 3 {
+			return "", fmt.Errorf("usage: put <key> <value>")
+		}
+		_, err := client.Call(rpc.MethodPut, rpc.EncodeKV([]byte(args[1]), []byte(args[2])))
+		return "OK", err
+	case "del":
+		if len(args) != 2 {
+			return "", fmt.Errorf("usage: del <key>")
+		}
+		_, err := client.Call(rpc.MethodDelete, rpc.EncodeKV([]byte(args[1]), nil))
+		return "OK", err
+	case "status":
+		v, err := client.Call(rpc.MethodStatus, nil)
+		if err != nil {
+			return "", err
+		}
+		return string(v), nil
+	default:
+		fmt.Fprintf(os.Stderr, "unknown command %q\n", args[0])
+		return "", fmt.Errorf("unknown command")
+	}
+}

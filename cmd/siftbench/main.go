@@ -1,0 +1,320 @@
+// Command siftbench is the full benchmark harness: it regenerates every
+// table and figure of the paper's evaluation (§6) as text tables.
+//
+// Usage:
+//
+//	siftbench -experiment fig5                 # one experiment
+//	siftbench -experiment all                  # everything
+//	siftbench -experiment fig5 -keys 1000000 -duration 50s -reps 5
+//
+// Experiments: table1, fig5, fig6, fig7, fig8, table2, fig9, fig10,
+// fig11, fig12. Defaults are sized for a laptop; the flags scale any
+// experiment up to the paper's full parameters.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"github.com/repro/sift/internal/backuppool"
+	"github.com/repro/sift/internal/bench"
+	"github.com/repro/sift/internal/cloudcost"
+	"github.com/repro/sift/internal/metrics"
+	"github.com/repro/sift/internal/workload"
+)
+
+type options struct {
+	keys      int
+	valueSize int
+	clients   int
+	duration  time.Duration
+	warmup    time.Duration
+	reps      int
+	seed      int64
+}
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "comma-separated experiments (table1, fig5, fig6, fig7, fig8, table2, fig9, fig10, fig11, fig12, all)")
+		keys       = flag.Int("keys", 4096, "key population (paper: 1000000)")
+		valueSize  = flag.Int("value-size", 992, "value payload bytes")
+		clients    = flag.Int("clients", 32, "concurrent closed-loop clients")
+		duration   = flag.Duration("duration", 2*time.Second, "measured duration per run (paper: 50s)")
+		warmup     = flag.Duration("warmup", 500*time.Millisecond, "warm-up before measuring (paper: 10s)")
+		reps       = flag.Int("reps", 1, "repetitions per data point (paper: 5-8)")
+		seed       = flag.Int64("seed", 42, "base seed")
+	)
+	flag.Parse()
+	opts := options{
+		keys: *keys, valueSize: *valueSize, clients: *clients,
+		duration: *duration, warmup: *warmup, reps: *reps, seed: *seed,
+	}
+
+	all := map[string]func(options){
+		"table1": table1, "fig5": fig5, "fig6": fig6, "fig7": fig7,
+		"fig8": fig8, "table2": table2, "fig9": costFigure(1), "fig10": costFigure(2),
+		"fig11": fig11, "fig12": fig12,
+	}
+	order := []string{"table1", "fig5", "fig6", "fig7", "fig8", "table2", "fig9", "fig10", "fig11", "fig12"}
+
+	want := strings.Split(*experiment, ",")
+	if *experiment == "all" {
+		want = order
+	}
+	for _, name := range want {
+		name = strings.TrimSpace(name)
+		fn, ok := all[name]
+		if !ok {
+			log.Fatalf("siftbench: unknown experiment %q", name)
+		}
+		fmt.Printf("==== %s ====\n", name)
+		fn(opts)
+		fmt.Println()
+	}
+}
+
+func newTab() *tabwriter.Writer {
+	return tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+}
+
+// table1 prints the protocol characteristics comparison (paper Table 1).
+func table1(options) {
+	w := newTab()
+	defer w.Flush()
+	fmt.Fprintln(w, "Table 1: comparison of key consensus protocol characteristics")
+	fmt.Fprintln(w, "type\tresource location\tprotocol\terasure coding\treplication factor")
+	fmt.Fprintln(w, "Sift\tDisaggregated\t1-sided RDMA\tYes\t2Fm+1 memory, Fc+1 CPU")
+	fmt.Fprintln(w, "Raft\tCoupled\tTCP\tNo\t2F+1")
+	fmt.Fprintln(w, "DARE\tCoupled\t1-sided RDMA\tNo\t2F+1")
+	fmt.Fprintln(w, "RS-Paxos\tCoupled\tTCP\tYes\tQR+QW-X")
+	fmt.Fprintln(w, "Disk Paxos\tDisaggregated*\tUnspecified\tNo\t2F+1 disks + P + L")
+}
+
+// buildPopulated constructs and pre-populates one system.
+func buildPopulated(kind bench.SystemKind, f int, o options) bench.System {
+	sys, err := bench.NewSystem(bench.SystemConfig{
+		Kind: kind, F: f, Keys: o.keys, ValueSize: o.valueSize, Seed: o.seed,
+	})
+	if err != nil {
+		log.Fatalf("siftbench: %s: %v", kind, err)
+	}
+	if err := bench.Populate(sys, o.keys, o.valueSize); err != nil {
+		log.Fatalf("siftbench: populate %s: %v", kind, err)
+	}
+	return sys
+}
+
+// repeated runs a config o.reps times and returns mean throughput and CI.
+func repeated(o options, mk func(rep int) bench.RunResult) (mean, ci float64, last bench.RunResult) {
+	samples := make([]float64, 0, o.reps)
+	for rep := 0; rep < o.reps; rep++ {
+		last = mk(rep)
+		samples = append(samples, last.Throughput)
+	}
+	mean, ci = metrics.Summarize(samples)
+	return mean, ci, last
+}
+
+// fig5 reproduces Figure 5: throughput per workload type per system.
+func fig5(o options) {
+	fmt.Println("Figure 5: throughput (ops/sec) by workload type, F=1")
+	w := newTab()
+	defer w.Flush()
+	fmt.Fprintln(w, "system\twrite-only\tmixed\tread-heavy\tread-only")
+	for _, kind := range []bench.SystemKind{bench.SystemEPaxos, bench.SystemSiftEC, bench.SystemSift, bench.SystemRaftR} {
+		sys := buildPopulated(kind, 1, o)
+		fmt.Fprintf(w, "%s", kind)
+		for _, mix := range workload.Mixes {
+			mean, ci, _ := repeated(o, func(rep int) bench.RunResult {
+				return bench.Run(bench.RunConfig{
+					System: sys, Mix: mix, Clients: o.clients,
+					Duration: o.duration, Warmup: o.warmup,
+					Keys: o.keys, ValueSize: o.valueSize, ZipfTheta: 0.99,
+					Seed: o.seed + int64(rep),
+				})
+			})
+			if ci > 0.05*mean {
+				fmt.Fprintf(w, "\t%.0f ±%.0f", mean, ci)
+			} else {
+				fmt.Fprintf(w, "\t%.0f", mean)
+			}
+		}
+		fmt.Fprintln(w)
+		sys.Close()
+	}
+}
+
+// fig6 reproduces Figure 6: latencies at low load and at high load.
+func fig6(o options) {
+	fmt.Println("Figure 6: latency (µs) at low load (1 client) and high load")
+	w := newTab()
+	defer w.Flush()
+	fmt.Fprintln(w, "system\tread p50/p95 (1 client)\twrite p50/p95 (1 client)\tread p50/p95 (high load)\twrite p50/p95 (high load)")
+	for _, kind := range []bench.SystemKind{bench.SystemRaftR, bench.SystemSift, bench.SystemSiftEC} {
+		sys := buildPopulated(kind, 1, o)
+		cells := make([]string, 0, 4)
+		for _, load := range []int{1, o.clients} {
+			for _, mixName := range []string{"read-only", "write-only"} {
+				mix, _ := workload.MixByName(mixName)
+				res := bench.Run(bench.RunConfig{
+					System: sys, Mix: mix, Clients: load,
+					Duration: o.duration, Warmup: o.warmup,
+					Keys: o.keys, ValueSize: o.valueSize, ZipfTheta: 0.99,
+					Seed: o.seed,
+				})
+				lat := res.ReadLat
+				if mixName == "write-only" {
+					lat = res.WriteLat
+				}
+				cells = append(cells, fmt.Sprintf("%d/%d",
+					lat.Median.Microseconds(), lat.P95.Microseconds()))
+			}
+		}
+		fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%s\n", kind, cells[0], cells[1], cells[2], cells[3])
+		sys.Close()
+	}
+}
+
+// fig7 reproduces Figure 7: read-heavy throughput vs provisioned cores.
+func fig7(o options) {
+	fmt.Println("Figure 7: read-heavy throughput (ops/sec) vs provisioned cores")
+	perOp := map[bench.SystemKind]time.Duration{
+		bench.SystemRaftR:  20 * time.Microsecond,
+		bench.SystemSift:   26 * time.Microsecond,
+		bench.SystemSiftEC: 31 * time.Microsecond,
+	}
+	cores := []int{6, 7, 8, 9, 10, 11, 12}
+	w := newTab()
+	defer w.Flush()
+	fmt.Fprint(w, "system\t")
+	for _, c := range cores {
+		fmt.Fprintf(w, "%d cores\t", c)
+	}
+	fmt.Fprintln(w)
+	for _, f := range []int{1, 2} {
+		for _, kind := range []bench.SystemKind{bench.SystemRaftR, bench.SystemSift, bench.SystemSiftEC} {
+			sys := buildPopulated(kind, f, o)
+			fmt.Fprintf(w, "%s (F=%d)\t", kind, f)
+			for _, c := range cores {
+				res := bench.Run(bench.RunConfig{
+					System: sys, Mix: workload.ReadHeavy, Clients: o.clients,
+					Duration: o.duration, Warmup: o.warmup,
+					Keys: o.keys, ValueSize: o.valueSize, ZipfTheta: 0.99,
+					Cores: c, PerOpCPU: perOp[kind], Seed: o.seed,
+				})
+				fmt.Fprintf(w, "%.0f\t", res.Throughput)
+			}
+			fmt.Fprintln(w)
+			sys.Close()
+		}
+	}
+}
+
+// fig8 reproduces Figure 8 via the backup pool simulation.
+func fig8(o options) {
+	fmt.Println("Figure 8: added recovery time per fault (s) vs backup pool size")
+	groups := []int{10, 100, 500, 1000, 2000, 3000}
+	backups := []int{0, 1, 2, 4, 6, 8, 12, 16, 20}
+	reps := o.reps
+	if reps < 3 {
+		reps = 3
+	}
+	sweep := backuppool.Sweep(groups, backups, reps, o.seed)
+	w := tabwriter.NewWriter(os.Stdout, 4, 4, 2, ' ', tabwriter.AlignRight)
+	defer w.Flush()
+	fmt.Fprint(w, "backups\t")
+	for _, g := range groups {
+		fmt.Fprintf(w, "%d groups\t", g)
+	}
+	fmt.Fprintln(w)
+	for bi, b := range backups {
+		fmt.Fprintf(w, "%d\t", b)
+		for _, g := range groups {
+			fmt.Fprintf(w, "%.3f\t", sweep[g][bi].Seconds())
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// table2 prints the Table 2 machine configurations.
+func table2(options) {
+	w := newTab()
+	defer w.Flush()
+	fmt.Fprintln(w, "Table 2: machine configurations normalized for performance")
+	fmt.Fprintln(w, "system\tF\tCPU node\tmemory node")
+	for _, row := range cloudcost.Table2() {
+		mem := "-"
+		if row.MemNode.Cores > 0 {
+			mem = fmt.Sprintf("%d cores / %d GB", row.MemNode.Cores, row.MemNode.MemGB)
+		}
+		fmt.Fprintf(w, "%s\t%d\t%d cores / %d GB\t%s\n",
+			row.System, row.F, row.CPU.Cores, row.CPU.MemGB, mem)
+	}
+}
+
+// costFigure renders Figure 9 (f=1) or Figure 10 (f=2).
+func costFigure(f int) func(options) {
+	return func(options) {
+		figure := 9
+		if f == 2 {
+			figure = 10
+		}
+		fmt.Printf("Figure %d: deployment cost relative to Raft-R, F=%d (100 groups, pool of 2)\n", figure, f)
+		rows, err := cloudcost.FigureSeries(f)
+		if err != nil {
+			log.Fatalf("siftbench: %v", err)
+		}
+		w := newTab()
+		defer w.Flush()
+		fmt.Fprintln(w, "provider\tconfiguration\trelative cost")
+		for _, r := range rows {
+			fmt.Fprintf(w, "%s\t%s\t%+.1f%%\n", r.Provider, r.Label, r.Relative)
+		}
+	}
+}
+
+// fig11 reproduces Figure 11: throughput across a memory node failure.
+func fig11(o options) {
+	fmt.Println("Figure 11: read-heavy throughput during a memory node failure (100ms intervals)")
+	tl, err := bench.MemoryNodeFailureTimeline(bench.FailureConfig{
+		Keys: o.keys, ValueSize: o.valueSize, Clients: o.clients,
+		Steady: o.duration / 2, Outage: o.duration / 2, Observe: o.duration,
+		Seed: o.seed,
+	})
+	if err != nil {
+		log.Fatalf("siftbench: fig11: %v", err)
+	}
+	printTimeline(tl)
+}
+
+// fig12 reproduces Figure 12: throughput across a coordinator failure.
+func fig12(o options) {
+	fmt.Println("Figure 12: read-heavy throughput during a coordinator failure (100ms intervals)")
+	tl, err := bench.CoordinatorFailureTimeline(bench.FailureConfig{
+		Keys: o.keys, ValueSize: o.valueSize, Clients: o.clients,
+		Steady: o.duration / 2, Outage: o.duration / 2, Observe: o.duration,
+		Seed: o.seed,
+	})
+	if err != nil {
+		log.Fatalf("siftbench: fig12: %v", err)
+	}
+	printTimeline(tl)
+}
+
+func printTimeline(tl bench.FailureTimeline) {
+	w := newTab()
+	fmt.Fprintln(w, "t (s)\tops/sec")
+	for _, p := range tl.Series {
+		fmt.Fprintf(w, "%.1f\t%.0f\n", p.T.Seconds(), p.Ops)
+	}
+	w.Flush()
+	fmt.Println("events:")
+	for name, at := range tl.Events {
+		fmt.Printf("  %6.2fs  %s\n", at.Seconds(), name)
+	}
+}

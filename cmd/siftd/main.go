@@ -1,0 +1,162 @@
+// Command siftd runs a Sift CPU node: it participates in coordinator
+// election against a set of memnoded memory nodes and, while coordinator,
+// serves the key-value API over the client RPC protocol. Multiple siftd
+// processes with the same -mem list form the group's F+1 CPU nodes.
+//
+// Usage:
+//
+//	siftd -id 1 -listen :8000 -mem host1:7000,host2:7000,host3:7000
+//
+// Clients (cmd/sift-cli, or anything speaking internal/rpc's KV protocol)
+// may connect to any siftd; non-coordinators reject operations with an
+// error naming their role, and clients retry elsewhere.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/repro/sift/internal/core"
+	"github.com/repro/sift/internal/deploy"
+	"github.com/repro/sift/internal/election"
+	"github.com/repro/sift/internal/kv"
+	"github.com/repro/sift/internal/memnode"
+	"github.com/repro/sift/internal/rdma"
+	"github.com/repro/sift/internal/rpc"
+)
+
+func main() {
+	var (
+		id          = flag.Uint("id", 1, "CPU node id (unique per group)")
+		listen      = flag.String("listen", ":8000", "client RPC listen address")
+		mem         = flag.String("mem", "", "comma-separated memory node addresses (2F+1)")
+		f           = flag.Int("f", 1, "fault tolerance level F")
+		ec          = flag.Bool("ec", false, "erasure-coded deployment")
+		keys        = flag.Int("keys", 16384, "key-value store capacity")
+		maxKey      = flag.Int("max-key", 32, "maximum key size in bytes")
+		maxValue    = flag.Int("max-value", 992, "maximum value size in bytes")
+		kvWALSlots  = flag.Int("kv-wal-slots", 4096, "key-value log entries")
+		memWALSlots = flag.Int("mem-wal-slots", 1024, "replicated-memory log entries")
+		memWALSlot  = flag.Int("mem-wal-slot-size", 4096, "replicated-memory log slot bytes")
+		heartbeat   = flag.Duration("heartbeat", 7*time.Millisecond, "heartbeat write/read interval")
+		missed      = flag.Int("missed-beats", 3, "missed heartbeats before election")
+	)
+	flag.Parse()
+
+	memNodes := strings.Split(*mem, ",")
+	if *mem == "" || len(memNodes)%2 == 0 {
+		log.Fatalf("siftd: -mem must list an odd number (2F+1) of memory node addresses")
+	}
+
+	params := deploy.Params{
+		F: *f, EC: *ec,
+		Keys: *keys, MaxKey: *maxKey, MaxValue: *maxValue,
+		KVWALSlots:     *kvWALSlots,
+		MemWALSlots:    *memWALSlots,
+		MemWALSlotSize: *memWALSlot,
+	}
+	kcfg, mcfg, err := params.Derive()
+	if err != nil {
+		log.Fatalf("siftd: %v", err)
+	}
+	mcfg.MemoryNodes = memNodes
+	mcfg.Dial = func(node string) (rdma.Verbs, error) {
+		return rdma.DialTCP(node, rdma.DialOpts{Exclusive: []rdma.RegionID{memnode.ReplRegionID}})
+	}
+
+	node := core.NewCPUNode(core.Config{
+		NodeID: uint16(*id),
+		Election: election.Config{
+			MemoryNodes: memNodes,
+			AdminRegion: memnode.AdminRegionID,
+			AdminOffset: memnode.AdminWordOffset,
+			Dial: func(node string) (rdma.Verbs, error) {
+				return rdma.DialTCP(node, rdma.DialOpts{})
+			},
+			HeartbeatInterval: *heartbeat,
+			ReadInterval:      *heartbeat,
+			MissedBeats:       *missed,
+			Seed:              int64(*id) * 104729,
+		},
+		Memory: mcfg,
+		KV:     kcfg,
+		OnRoleChange: func(r core.Role) {
+			log.Printf("siftd: role -> %s", r)
+		},
+	})
+
+	srv := rpc.NewServer()
+	srv.Handle(rpc.MethodGet, func(payload []byte) ([]byte, error) {
+		st := node.Store()
+		if st == nil {
+			return nil, fmt.Errorf("not coordinator (role %s)", node.Role())
+		}
+		key, _, err := rpc.DecodeKV(payload)
+		if err != nil {
+			return nil, err
+		}
+		v, err := st.Get(key)
+		if errors.Is(err, kv.ErrNotFound) {
+			return nil, fmt.Errorf("not found")
+		}
+		return v, err
+	})
+	srv.Handle(rpc.MethodPut, func(payload []byte) ([]byte, error) {
+		st := node.Store()
+		if st == nil {
+			return nil, fmt.Errorf("not coordinator (role %s)", node.Role())
+		}
+		key, value, err := rpc.DecodeKV(payload)
+		if err != nil {
+			return nil, err
+		}
+		return nil, st.Put(key, value)
+	})
+	srv.Handle(rpc.MethodDelete, func(payload []byte) ([]byte, error) {
+		st := node.Store()
+		if st == nil {
+			return nil, fmt.Errorf("not coordinator (role %s)", node.Role())
+		}
+		key, _, err := rpc.DecodeKV(payload)
+		if err != nil {
+			return nil, err
+		}
+		return nil, st.Delete(key)
+	})
+	srv.Handle(rpc.MethodStatus, func([]byte) ([]byte, error) {
+		return []byte(node.Role().String()), nil
+	})
+
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("siftd: %v", err)
+	}
+	go func() {
+		if err := srv.Serve(l); err != nil {
+			log.Printf("siftd: rpc server: %v", err)
+		}
+	}()
+	log.Printf("siftd: CPU node %d serving clients on %s, memory nodes %v", *id, l.Addr(), memNodes)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		log.Printf("siftd: shutting down")
+		cancel()
+		l.Close()
+	}()
+	if err := node.Run(ctx); err != nil && !errors.Is(err, context.Canceled) {
+		log.Fatalf("siftd: %v", err)
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/repro/sift
+
+go 1.22

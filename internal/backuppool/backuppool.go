@@ -1,0 +1,173 @@
+// Package backuppool implements the paper's Figure 8 simulation (§6.4.2):
+// replaying a cluster failure trace against G Sift groups whose nodes are
+// randomly assigned to cluster machines, and measuring how much extra
+// recovery time faults incur when the shared backup pool has B nodes and a
+// replacement VM takes 100 seconds to provision.
+//
+// Pool semantics: a fault immediately draws a free backup if one exists
+// (zero added recovery time) and a replacement VM starts provisioning;
+// otherwise the fault queues FIFO for the next available node. The metric
+// is the average added recovery time per fault — Sift's own coordinator
+// recovery time is excluded, exactly as in the paper ("leading to a
+// best-case recovery time of 0").
+package backuppool
+
+import (
+	"container/heap"
+	"math/rand"
+	"time"
+
+	"github.com/repro/sift/internal/trace"
+)
+
+// Config parameterises one simulation run.
+type Config struct {
+	// Groups is the number of Sift groups.
+	Groups int
+	// NodesPerGroup is how many machines each group occupies (paper: F=1 →
+	// 3 memory nodes + 1 CPU node = 4).
+	NodesPerGroup int
+	// Backups is the pool size B.
+	Backups int
+	// ProvisionDelay is the VM start-up time (paper: 100 s).
+	ProvisionDelay time.Duration
+	// Machines is the cluster size the groups are scattered over.
+	Machines int
+	// Seed drives the random group→machine assignment.
+	Seed int64
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.NodesPerGroup <= 0 {
+		out.NodesPerGroup = 4
+	}
+	if out.ProvisionDelay <= 0 {
+		out.ProvisionDelay = 100 * time.Second
+	}
+	if out.Machines <= 0 {
+		out.Machines = 12500
+	}
+	return out
+}
+
+// Result summarises one run.
+type Result struct {
+	Faults           int           // faults that hit group machines
+	TotalAddedWait   time.Duration // summed provisioning waits
+	MaxWait          time.Duration
+	FaultsThatWaited int
+}
+
+// AvgAddedRecovery returns the Figure 8 metric: added recovery time per
+// fault.
+func (r Result) AvgAddedRecovery() time.Duration {
+	if r.Faults == 0 {
+		return 0
+	}
+	return r.TotalAddedWait / time.Duration(r.Faults)
+}
+
+// durationHeap is a min-heap of provisioning-completion times.
+type durationHeap []time.Duration
+
+func (h durationHeap) Len() int            { return len(h) }
+func (h durationHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h durationHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *durationHeap) Push(x interface{}) { *h = append(*h, x.(time.Duration)) }
+func (h *durationHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Run replays events against one random group assignment.
+func Run(cfg Config, events []trace.Event) Result {
+	c := cfg.withDefaults()
+	rng := rand.New(rand.NewSource(c.Seed))
+
+	// Randomly assign group nodes to distinct machines (§6.4.2: "randomly
+	// assigning machines to Sift groups").
+	needed := c.Groups * c.NodesPerGroup
+	if needed > c.Machines {
+		needed = c.Machines
+	}
+	perm := rng.Perm(c.Machines)
+	groupMachine := make(map[int]bool, needed)
+	for _, m := range perm[:needed] {
+		groupMachine[m] = true
+	}
+
+	free := c.Backups
+	var provisioning durationHeap // completion times of in-flight VMs
+	var res Result
+
+	for _, ev := range events {
+		if !groupMachine[ev.Machine] {
+			continue
+		}
+		// Retire completed provisionings.
+		for len(provisioning) > 0 && provisioning[0] <= ev.At {
+			heap.Pop(&provisioning)
+			free++
+		}
+		res.Faults++
+		if free > 0 {
+			// A pooled backup takes over instantly; start a replacement VM.
+			free--
+			heap.Push(&provisioning, ev.At+c.ProvisionDelay)
+			continue
+		}
+		// No backup available: wait for the earliest in-flight VM (a pool
+		// replacement we intercept — so re-order it), or, if nothing is in
+		// flight, provision purely on demand (nothing owed to the pool).
+		var ready time.Duration
+		if len(provisioning) > 0 {
+			ready = heap.Pop(&provisioning).(time.Duration)
+			heap.Push(&provisioning, ready+c.ProvisionDelay)
+		} else {
+			ready = ev.At + c.ProvisionDelay
+		}
+		if ready < ev.At {
+			ready = ev.At
+		}
+		wait := ready - ev.At
+		res.TotalAddedWait += wait
+		if wait > 0 {
+			res.FaultsThatWaited++
+		}
+		if wait > res.MaxWait {
+			res.MaxWait = wait
+		}
+	}
+	return res
+}
+
+// Sweep reproduces Figure 8: for each group count and backup pool size,
+// run `repetitions` simulations over freshly generated traces and average
+// the per-fault added recovery time (the paper uses 50 repetitions per
+// point).
+func Sweep(groupCounts []int, backups []int, repetitions int, seed int64) map[int][]time.Duration {
+	out := make(map[int][]time.Duration, len(groupCounts))
+	for _, g := range groupCounts {
+		series := make([]time.Duration, len(backups))
+		for bi, b := range backups {
+			var sum time.Duration
+			for rep := 0; rep < repetitions; rep++ {
+				repSeed := seed + int64(g)*1_000_003 + int64(b)*10_007 + int64(rep)
+				events := trace.Generate(trace.Default(repSeed))
+				res := Run(Config{
+					Groups:  g,
+					Backups: b,
+					Seed:    repSeed * 31,
+				}, events)
+				sum += res.AvgAddedRecovery()
+			}
+			series[bi] = sum / time.Duration(repetitions)
+		}
+		out[g] = series
+	}
+	return out
+}

@@ -1,0 +1,149 @@
+package backuppool
+
+import (
+	"testing"
+	"time"
+
+	"github.com/repro/sift/internal/trace"
+)
+
+// syntheticEvents builds a hand-crafted event sequence over group machines
+// 0..n-1 (the Run config below maps groups onto machines deterministically
+// via seed, so tests use generous group counts to cover the hit machines).
+func runWithEvents(t *testing.T, backups int, events []trace.Event) Result {
+	t.Helper()
+	return Run(Config{
+		Groups:         3125, // × 4 nodes = all 12500 machines are group machines
+		NodesPerGroup:  4,
+		Backups:        backups,
+		ProvisionDelay: 100 * time.Second,
+		Seed:           1,
+	}, events)
+}
+
+func TestIsolatedFaultsNoWaitWithOneBackup(t *testing.T) {
+	// Faults spaced far beyond the provisioning delay never wait when the
+	// pool has at least one node.
+	var events []trace.Event
+	for i := 0; i < 10; i++ {
+		events = append(events, trace.Event{At: time.Duration(i) * 10 * time.Minute, Machine: i})
+	}
+	res := runWithEvents(t, 1, events)
+	if res.Faults != 10 {
+		t.Fatalf("faults = %d", res.Faults)
+	}
+	if res.TotalAddedWait != 0 {
+		t.Fatalf("added wait = %v, want 0", res.TotalAddedWait)
+	}
+}
+
+func TestZeroBackupsAlwaysWait(t *testing.T) {
+	events := []trace.Event{
+		{At: 0, Machine: 1},
+		{At: 30 * time.Minute, Machine: 2},
+	}
+	res := runWithEvents(t, 0, events)
+	if res.FaultsThatWaited != 2 {
+		t.Fatalf("faults that waited = %d", res.FaultsThatWaited)
+	}
+	if res.AvgAddedRecovery() != 100*time.Second {
+		t.Fatalf("avg = %v, want 100s", res.AvgAddedRecovery())
+	}
+}
+
+func TestBurstExhaustsPool(t *testing.T) {
+	// 5 simultaneous faults against a pool of 2: two are free, three wait
+	// for provisioning.
+	var events []trace.Event
+	for i := 0; i < 5; i++ {
+		events = append(events, trace.Event{At: time.Duration(i) * time.Second, Machine: i})
+	}
+	res := runWithEvents(t, 2, events)
+	if res.FaultsThatWaited != 3 {
+		t.Fatalf("faults that waited = %d, want 3", res.FaultsThatWaited)
+	}
+	if res.MaxWait <= 0 || res.MaxWait > 200*time.Second {
+		t.Fatalf("max wait = %v", res.MaxWait)
+	}
+	// A big enough pool absorbs the whole burst.
+	res = runWithEvents(t, 5, events)
+	if res.TotalAddedWait != 0 {
+		t.Fatalf("pool of 5: wait = %v", res.TotalAddedWait)
+	}
+}
+
+func TestNonGroupMachinesIgnored(t *testing.T) {
+	res := Run(Config{
+		Groups:         1, // 4 machines of 12500 belong to the group
+		NodesPerGroup:  4,
+		Backups:        0,
+		ProvisionDelay: 100 * time.Second,
+		Seed:           1,
+	}, []trace.Event{{At: 0, Machine: 0}, {At: time.Second, Machine: 1}, {At: 2 * time.Second, Machine: 2}})
+	// With a random 4/12500 assignment, almost surely none of machines
+	// 0..2 belong to the group; at most 3 faults.
+	if res.Faults > 3 {
+		t.Fatalf("faults = %d", res.Faults)
+	}
+}
+
+func TestMoreBackupsNeverWorse(t *testing.T) {
+	events := trace.Generate(trace.Config{
+		Machines: 2000, Duration: 48 * time.Hour,
+		MachineMTBF: 10 * 24 * time.Hour,
+		BurstEvery:  12 * time.Hour, BurstMin: 10, BurstMax: 20,
+		Seed: 9,
+	})
+	var prev time.Duration = -1
+	for _, b := range []int{0, 1, 2, 4, 8, 24} {
+		res := Run(Config{
+			Groups: 400, NodesPerGroup: 4, Backups: b,
+			ProvisionDelay: 100 * time.Second, Machines: 2000, Seed: 5,
+		}, events)
+		avg := res.AvgAddedRecovery()
+		if prev >= 0 && avg > prev {
+			t.Fatalf("backups=%d: avg %v worse than smaller pool %v", b, avg, prev)
+		}
+		prev = avg
+	}
+	if prev != 0 {
+		t.Fatalf("24 backups still leaves %v added recovery", prev)
+	}
+}
+
+func TestFigure8KneesReproduce(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full Figure 8 sweep in -short mode")
+	}
+	// Paper §6.4.2: ~6 backups suffice for 1000 groups; ~20 for 3000; a
+	// pool of 2 suffices for 100 groups. Use a few repetitions (the paper
+	// uses 50; 3 keeps the test fast while averaging burst luck).
+	sweep := Sweep([]int{100, 1000, 3000}, []int{0, 2, 6, 8, 20}, 3, 77)
+	g100, g1000, g3000 := sweep[100], sweep[1000], sweep[3000]
+
+	if g100[1] > 500*time.Millisecond {
+		t.Fatalf("100 groups with 2 backups: %v added recovery, want ~0", g100[1])
+	}
+	if g1000[2] > time.Second {
+		t.Fatalf("1000 groups with 6 backups: %v added recovery, want ~0", g1000[2])
+	}
+	if g3000[4] > time.Second {
+		t.Fatalf("3000 groups with 20 backups: %v added recovery, want ~0", g3000[4])
+	}
+	// And the knees are real: too-small pools do incur waits at 3000 groups.
+	if g3000[1] == 0 {
+		t.Fatalf("3000 groups with 2 backups should incur waits")
+	}
+	// More groups need more backups: at pool=2, bigger deployments wait more.
+	if g3000[1] < g1000[1] {
+		t.Fatalf("3000 groups (%v) should wait at least as much as 1000 groups (%v) at pool=2",
+			g3000[1], g1000[1])
+	}
+}
+
+func TestResultAvgEmptyTrace(t *testing.T) {
+	res := Run(Config{Groups: 10, Backups: 1, Seed: 1}, nil)
+	if res.AvgAddedRecovery() != 0 || res.Faults != 0 {
+		t.Fatalf("empty trace: %+v", res)
+	}
+}

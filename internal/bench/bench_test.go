@@ -1,0 +1,197 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"github.com/repro/sift/internal/workload"
+)
+
+func TestSystemsRoundTrip(t *testing.T) {
+	for _, kind := range []SystemKind{SystemSift, SystemSiftEC, SystemRaftR, SystemEPaxos} {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			sys, err := NewSystem(SystemConfig{Kind: kind, Keys: 64, ValueSize: 32})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer sys.Close()
+			if err := sys.Put([]byte("user000000000001"), []byte("v")); err != nil {
+				t.Fatal(err)
+			}
+			v, err := sys.Get([]byte("user000000000001"))
+			if err != nil || string(v) != "v" {
+				t.Fatalf("got %q err=%v", v, err)
+			}
+		})
+	}
+}
+
+func TestPopulateAndRun(t *testing.T) {
+	sys, err := NewSystem(SystemConfig{Kind: SystemSift, Keys: 128, ValueSize: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	if err := Populate(sys, 128, 32); err != nil {
+		t.Fatal(err)
+	}
+	res := Run(RunConfig{
+		System: sys, Mix: workload.ReadHeavy,
+		Clients: 4, Duration: 200 * time.Millisecond,
+		Keys: 128, ValueSize: 32, ZipfTheta: 0.99,
+	})
+	if res.Ops == 0 {
+		t.Fatal("no operations completed")
+	}
+	if res.Throughput <= 0 {
+		t.Fatalf("throughput = %v", res.Throughput)
+	}
+	if res.ReadLat.Count == 0 {
+		t.Fatal("no read latencies recorded")
+	}
+	if res.String() == "" {
+		t.Fatal("empty summary")
+	}
+}
+
+func TestRunAllMixesAllSystems(t *testing.T) {
+	if testing.Short() {
+		t.Skip("matrix run in -short mode")
+	}
+	for _, kind := range []SystemKind{SystemSift, SystemRaftR, SystemEPaxos} {
+		sys, err := NewSystem(SystemConfig{Kind: kind, Keys: 128, ValueSize: 32})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Populate(sys, 128, 32); err != nil {
+			t.Fatal(err)
+		}
+		for _, mix := range workload.Mixes {
+			res := Run(RunConfig{
+				System: sys, Mix: mix, Clients: 2,
+				Duration: 100 * time.Millisecond, Keys: 128, ValueSize: 32,
+			})
+			if res.Ops == 0 {
+				t.Fatalf("%s/%s: no ops", kind, mix.Name)
+			}
+		}
+		sys.Close()
+	}
+}
+
+func TestCPULimiterCapsThroughput(t *testing.T) {
+	// 1 core × 1ms/op caps at ~1000 ops/s; allow the burst slack.
+	l := NewCPULimiter(1, time.Millisecond)
+	start := time.Now()
+	n := 0
+	for time.Since(start) < 300*time.Millisecond {
+		release := l.Acquire()
+		release()
+		n++
+	}
+	if n > 340 {
+		t.Fatalf("1 core × 1ms/op completed %d ops in 300ms (cap ~300)", n)
+	}
+	// And the cap scales with cores.
+	l4 := NewCPULimiter(4, time.Millisecond)
+	start = time.Now()
+	n4 := 0
+	for time.Since(start) < 300*time.Millisecond {
+		release := l4.Acquire()
+		release()
+		n4++
+	}
+	if n4 < 2*n {
+		t.Fatalf("4 cores (%d ops) should far outpace 1 core (%d ops)", n4, n)
+	}
+	// Unlimited limiter doesn't throttle.
+	free := NewCPULimiter(0, time.Millisecond)
+	start = time.Now()
+	nf := 0
+	for time.Since(start) < 50*time.Millisecond {
+		release := free.Acquire()
+		release()
+		nf++
+	}
+	if nf < 10000 {
+		t.Fatalf("unlimited limiter too slow: %d ops", nf)
+	}
+}
+
+func TestCoresScaleThroughput(t *testing.T) {
+	sys, err := NewSystem(SystemConfig{Kind: SystemSift, Keys: 128, ValueSize: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	Populate(sys, 128, 32)
+	run := func(cores int) float64 {
+		return Run(RunConfig{
+			System: sys, Mix: workload.ReadHeavy, Clients: 8,
+			Duration: 250 * time.Millisecond, Keys: 128, ValueSize: 32,
+			Cores: cores, PerOpCPU: 100 * time.Microsecond,
+		}).Throughput
+	}
+	t1 := run(1)
+	t4 := run(4)
+	if t4 < t1*1.5 {
+		t.Fatalf("4 cores (%.0f) should outpace 1 core (%.0f)", t4, t1)
+	}
+}
+
+func TestMemoryNodeFailureTimeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("failure timeline in -short mode")
+	}
+	tl, err := MemoryNodeFailureTimeline(FailureConfig{
+		Keys: 256, ValueSize: 32, Clients: 4,
+		Steady: 300 * time.Millisecond, Outage: 300 * time.Millisecond, Observe: 700 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tl.Series) < 5 {
+		t.Fatalf("timeline too short: %d points", len(tl.Series))
+	}
+	if _, ok := tl.Events["memory node killed"]; !ok {
+		t.Fatal("kill event missing")
+	}
+	if _, ok := tl.Events["memory node joins the system"]; !ok {
+		t.Fatal("rejoin event missing")
+	}
+}
+
+func TestCoordinatorFailureTimeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("failure timeline in -short mode")
+	}
+	tl, err := CoordinatorFailureTimeline(FailureConfig{
+		Keys: 256, ValueSize: 32, Clients: 4,
+		Steady: 300 * time.Millisecond, Outage: 200 * time.Millisecond, Observe: 700 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tl.Series) < 5 {
+		t.Fatal("timeline too short")
+	}
+	killAt, ok := tl.Events["coordinator killed"]
+	if !ok {
+		t.Fatal("kill event missing")
+	}
+	recoverAt, ok := tl.Events["new coordinator completes log recovery"]
+	if !ok || recoverAt <= killAt {
+		t.Fatalf("recovery event wrong: %v after kill %v", recoverAt, killAt)
+	}
+	// Post-recovery intervals should show throughput again.
+	var post float64
+	for _, p := range tl.Series {
+		if p.T > recoverAt {
+			post += p.Ops
+		}
+	}
+	if post == 0 {
+		t.Fatal("no throughput after coordinator recovery")
+	}
+}

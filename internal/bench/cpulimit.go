@@ -1,0 +1,62 @@
+package bench
+
+import (
+	"sync"
+	"time"
+)
+
+// CPULimiter models core provisioning for the Figure 7 experiment: a
+// server provisioned with K cores supplies K core-seconds of CPU per
+// second, and each operation consumes a fixed PerOpCPU of it. Aggregate
+// throughput therefore caps at K/PerOpCPU once the protocol itself is no
+// longer the bottleneck — the provisioning-vs-throughput trade-off Figure 7
+// charts.
+//
+// The model is virtual-time based rather than spin based, so it works on
+// hosts with fewer physical cores than the modelled K: ops advance a shared
+// virtual CPU clock by PerOpCPU/K and block only when that clock runs ahead
+// of real time (a token bucket with a small burst allowance).
+//
+// A zero limiter (Cores <= 0) imposes nothing.
+type CPULimiter struct {
+	mu         sync.Mutex
+	enabled    bool
+	opInterval time.Duration // PerOpCPU / Cores: virtual time per op
+	next       time.Time     // virtual CPU clock
+}
+
+// burstSlack is how far the virtual clock may run ahead before callers
+// sleep. It trades rate-cap precision for sleep granularity.
+const burstSlack = 2 * time.Millisecond
+
+// NewCPULimiter creates a limiter with the given core count and per-op CPU
+// cost. cores <= 0 or perOp <= 0 disables limiting.
+func NewCPULimiter(cores int, perOp time.Duration) *CPULimiter {
+	if cores <= 0 || perOp <= 0 {
+		return &CPULimiter{}
+	}
+	return &CPULimiter{
+		enabled:    true,
+		opInterval: perOp / time.Duration(cores),
+	}
+}
+
+// Acquire charges one operation's CPU cost and returns a release function
+// (a no-op in this model; the charge is up front).
+func (l *CPULimiter) Acquire() (release func()) {
+	if l == nil || !l.enabled {
+		return func() {}
+	}
+	now := time.Now()
+	l.mu.Lock()
+	if l.next.Before(now) {
+		l.next = now
+	}
+	l.next = l.next.Add(l.opInterval)
+	ahead := l.next.Sub(now)
+	l.mu.Unlock()
+	if ahead > burstSlack {
+		time.Sleep(ahead - burstSlack)
+	}
+	return func() {}
+}

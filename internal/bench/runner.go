@@ -1,0 +1,225 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	sift "github.com/repro/sift"
+	"github.com/repro/sift/internal/epaxos"
+	"github.com/repro/sift/internal/metrics"
+	"github.com/repro/sift/internal/raftr"
+	"github.com/repro/sift/internal/workload"
+)
+
+// RunConfig drives one measured workload run (§6.2 methodology: pre-
+// populate, warm up, then measure for a fixed duration with concurrent
+// closed-loop clients).
+type RunConfig struct {
+	System    System
+	Mix       workload.Mix
+	Clients   int
+	Duration  time.Duration
+	Warmup    time.Duration
+	Keys      int
+	ValueSize int
+	// ZipfTheta > 0 selects the skewed distribution (paper default 0.99).
+	ZipfTheta float64
+	// Cores, when > 0, bounds server-side CPU concurrency (Figure 7's
+	// provisioning model); see CPULimiter.
+	Cores int
+	// PerOpCPU is the modelled CPU time one operation burns when Cores > 0.
+	PerOpCPU time.Duration
+	// Timeline enables 100 ms-interval throughput recording (Figures 11/12).
+	Timeline bool
+	// Seed for deterministic workloads.
+	Seed int64
+}
+
+func (c *RunConfig) withDefaults() RunConfig {
+	out := *c
+	if out.Clients <= 0 {
+		out.Clients = 8
+	}
+	if out.Duration <= 0 {
+		out.Duration = 2 * time.Second
+	}
+	if out.Keys <= 0 {
+		out.Keys = 4096
+	}
+	if out.ValueSize <= 0 {
+		out.ValueSize = 128
+	}
+	if out.Seed == 0 {
+		out.Seed = 7
+	}
+	return out
+}
+
+// RunResult summarises one run.
+type RunResult struct {
+	System     string
+	Mix        string
+	Throughput float64 // ops/sec
+	Ops        uint64
+	Errors     uint64
+	ReadLat    metrics.Snapshot
+	WriteLat   metrics.Snapshot
+	Timeline   []metrics.Point
+	Elapsed    time.Duration
+}
+
+// String renders the result as one table row.
+func (r RunResult) String() string {
+	return fmt.Sprintf("%-8s %-11s %10.0f ops/s  read[p50=%v p95=%v]  write[p50=%v p95=%v]",
+		r.System, r.Mix, r.Throughput,
+		r.ReadLat.Median, r.ReadLat.P95, r.WriteLat.Median, r.WriteLat.P95)
+}
+
+// Populate inserts every key once (§6.2: "Each system is pre-populated
+// with all of the keys at the start of each experiment").
+func Populate(sys System, keys, valueSize int) error {
+	value := make([]byte, valueSize)
+	for i := range value {
+		value[i] = byte('a' + i%26)
+	}
+	var firstErr error
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	const loaders = 8
+	for l := 0; l < loaders; l++ {
+		wg.Add(1)
+		go func(l int) {
+			defer wg.Done()
+			for i := l; i < keys; i += loaders {
+				if err := sys.Put(workload.DefaultKey(i), value); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}(l)
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// transient reports errors that a closed-loop client should ride through
+// (leader churn) rather than abort on.
+func transient(err error) bool {
+	return errors.Is(err, raftr.ErrNotLeader) ||
+		errors.Is(err, raftr.ErrTimeout) ||
+		errors.Is(err, epaxos.ErrTimeout) ||
+		errors.Is(err, sift.ErrNoCoordinator)
+}
+
+// Run executes one measured workload run against an already-populated
+// system.
+func Run(cfg RunConfig) RunResult {
+	c := cfg.withDefaults()
+	limiter := NewCPULimiter(c.Cores, c.PerOpCPU)
+
+	var (
+		stop     atomic.Bool
+		warm     atomic.Bool
+		ops      atomic.Uint64
+		errsN    atomic.Uint64
+		readLat  metrics.Histogram
+		writeLat metrics.Histogram
+		timeline *metrics.Timeline
+	)
+
+	var wg sync.WaitGroup
+	startMeasure := func() {
+		if c.Timeline {
+			timeline = metrics.NewTimeline(100 * time.Millisecond)
+		}
+		warm.Store(true)
+	}
+
+	for w := 0; w < c.Clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			gen := workload.NewGenerator(workload.Config{
+				Mix:       c.Mix,
+				Keys:      c.Keys,
+				ValueSize: c.ValueSize,
+				ZipfTheta: c.ZipfTheta,
+				Seed:      c.Seed + int64(w)*131,
+			})
+			for !stop.Load() {
+				op := gen.Next()
+				start := time.Now()
+				var err error
+				if op.Read {
+					_, err = getThrough(limiter, c.System, op.Key)
+					if errors.Is(err, sift.ErrNotFound) || errors.Is(err, raftr.ErrNotFound) || errors.Is(err, epaxos.ErrNotFound) {
+						err = nil // pre-populated stores may still miss under churn
+					}
+				} else {
+					err = putThrough(limiter, c.System, op.Key, op.Value)
+				}
+				if err != nil {
+					errsN.Add(1)
+					if !transient(err) {
+						return
+					}
+					continue
+				}
+				if warm.Load() {
+					d := time.Since(start)
+					if op.Read {
+						readLat.Record(d)
+					} else {
+						writeLat.Record(d)
+					}
+					ops.Add(1)
+					if tl := timeline; tl != nil {
+						tl.Tick()
+					}
+				}
+			}
+		}(w)
+	}
+
+	time.Sleep(c.Warmup)
+	startMeasure()
+	measureStart := time.Now()
+	time.Sleep(c.Duration)
+	elapsed := time.Since(measureStart)
+	stop.Store(true)
+	wg.Wait()
+
+	res := RunResult{
+		System:     c.System.Name(),
+		Mix:        c.Mix.Name,
+		Ops:        ops.Load(),
+		Errors:     errsN.Load(),
+		Throughput: metrics.Throughput(ops.Load(), elapsed),
+		ReadLat:    readLat.Snapshot(),
+		WriteLat:   writeLat.Snapshot(),
+		Elapsed:    elapsed,
+	}
+	if timeline != nil {
+		res.Timeline = timeline.Series()
+	}
+	return res
+}
+
+func getThrough(l *CPULimiter, sys System, key []byte) ([]byte, error) {
+	release := l.Acquire()
+	defer release()
+	return sys.Get(key)
+}
+
+func putThrough(l *CPULimiter, sys System, key, value []byte) error {
+	release := l.Acquire()
+	defer release()
+	return sys.Put(key, value)
+}

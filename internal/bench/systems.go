@@ -1,0 +1,266 @@
+// Package bench is the benchmark harness that regenerates the paper's
+// evaluation (§6): it wraps Sift, Sift EC, Raft-R, and EPaxos behind one
+// key-value System interface, drives them with the §6.2 workloads, and
+// measures throughput, latency percentiles, and throughput timelines.
+package bench
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	sift "github.com/repro/sift"
+	"github.com/repro/sift/internal/epaxos"
+	"github.com/repro/sift/internal/msg"
+	"github.com/repro/sift/internal/raftr"
+)
+
+// System is a benchmarkable replicated key-value store.
+type System interface {
+	Name() string
+	Put(key, value []byte) error
+	Get(key []byte) ([]byte, error)
+	Close()
+}
+
+// SystemKind selects a system under test.
+type SystemKind int
+
+// Systems under test (Figure 5's legend).
+const (
+	SystemSift SystemKind = iota
+	SystemSiftEC
+	SystemRaftR
+	SystemEPaxos
+)
+
+// String returns the system's display name.
+func (k SystemKind) String() string {
+	switch k {
+	case SystemSift:
+		return "Sift"
+	case SystemSiftEC:
+		return "Sift EC"
+	case SystemRaftR:
+		return "Raft-R"
+	default:
+		return "EPaxos"
+	}
+}
+
+// SystemConfig sizes a system under test.
+type SystemConfig struct {
+	Kind SystemKind
+	// F is the fault tolerance level (F=1 → 3 replicas / 3 mem + 2 CPU).
+	F int
+	// Keys is the pre-populated key count (the paper uses 1M; benches
+	// default smaller so `go test -bench` stays laptop-friendly).
+	Keys int
+	// ValueSize is the value payload (paper: up to 992).
+	ValueSize int
+	// Seed for deterministic elections.
+	Seed int64
+}
+
+func (c *SystemConfig) withDefaults() SystemConfig {
+	out := *c
+	if out.F <= 0 {
+		out.F = 1
+	}
+	if out.Keys <= 0 {
+		out.Keys = 4096
+	}
+	if out.ValueSize <= 0 {
+		out.ValueSize = 128
+	}
+	if out.Seed == 0 {
+		out.Seed = 42
+	}
+	return out
+}
+
+// NewSystem builds and pre-populates a system under test.
+func NewSystem(cfg SystemConfig) (System, error) {
+	c := cfg.withDefaults()
+	switch c.Kind {
+	case SystemSift, SystemSiftEC:
+		return newSiftSystem(c)
+	case SystemRaftR:
+		return newRaftSystem(c)
+	case SystemEPaxos:
+		return newEPaxosSystem(c)
+	}
+	return nil, fmt.Errorf("bench: unknown system %v", c.Kind)
+}
+
+// --- Sift / Sift EC ---
+
+type siftSystem struct {
+	name    string
+	cluster *sift.Cluster
+	client  *sift.Client
+}
+
+func newSiftSystem(c SystemConfig) (System, error) {
+	cfg := sift.Config{
+		F:             c.F,
+		ErasureCoding: c.Kind == SystemSiftEC,
+		Keys:          c.Keys,
+		MaxValueSize:  maxInt(c.ValueSize, 64),
+		KVWALSlots:    4096,
+		Seed:          c.Seed,
+	}
+	cl, err := sift.NewCluster(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &siftSystem{name: c.Kind.String(), cluster: cl, client: cl.Client()}, nil
+}
+
+func (s *siftSystem) Name() string { return s.name }
+func (s *siftSystem) Put(key, value []byte) error {
+	return s.client.Put(key, value)
+}
+func (s *siftSystem) Get(key []byte) ([]byte, error) {
+	return s.client.Get(key)
+}
+func (s *siftSystem) Close() { s.cluster.Close() }
+
+// Cluster exposes the underlying cluster for failure-injection experiments
+// (Figures 11 and 12).
+func (s *siftSystem) Cluster() *sift.Cluster { return s.cluster }
+
+// SiftCluster unwraps a Sift system's cluster, or nil for other systems.
+func SiftCluster(s System) *sift.Cluster {
+	if ss, ok := s.(*siftSystem); ok {
+		return ss.cluster
+	}
+	return nil
+}
+
+// --- Raft-R ---
+
+type raftSystem struct {
+	nodes []*raftr.Node
+}
+
+func newRaftSystem(c SystemConfig) (System, error) {
+	n := 2*c.F + 1
+	net := msg.NewNetwork(nil)
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("raft%d", i)
+	}
+	sys := &raftSystem{}
+	for i := 0; i < n; i++ {
+		node := raftr.NewNode(raftr.Config{
+			ID:                names[i],
+			Peers:             names,
+			Endpoint:          net.Join(names[i], 1<<16),
+			ElectionTimeout:   20 * time.Millisecond,
+			HeartbeatInterval: 2 * time.Millisecond,
+			Partitions:        1000,
+			Seed:              c.Seed + int64(i),
+		})
+		sys.nodes = append(sys.nodes, node)
+		node.Start()
+	}
+	// Wait for a leader.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if sys.leader() != nil {
+			return sys, nil
+		}
+		time.Sleep(time.Millisecond)
+	}
+	sys.Close()
+	return nil, fmt.Errorf("bench: raft-r leader election timed out")
+}
+
+func (s *raftSystem) leader() *raftr.Node {
+	for _, n := range s.nodes {
+		if n.Role() == raftr.Leader {
+			return n
+		}
+	}
+	return nil
+}
+
+func (s *raftSystem) Name() string { return "Raft-R" }
+
+func (s *raftSystem) Put(key, value []byte) error {
+	ld := s.leader()
+	if ld == nil {
+		return raftr.ErrNotLeader
+	}
+	return ld.Put(key, value)
+}
+
+func (s *raftSystem) Get(key []byte) ([]byte, error) {
+	ld := s.leader()
+	if ld == nil {
+		return nil, raftr.ErrNotLeader
+	}
+	return ld.Get(key)
+}
+
+func (s *raftSystem) Close() {
+	for _, n := range s.nodes {
+		n.Stop()
+	}
+}
+
+// --- EPaxos ---
+
+type epaxosSystem struct {
+	replicas []*epaxos.Replica
+	rr       atomic.Uint64
+}
+
+func newEPaxosSystem(c SystemConfig) (System, error) {
+	n := 2*c.F + 1
+	net := msg.NewNetwork(nil)
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("ep%d", i+1)
+	}
+	sys := &epaxosSystem{}
+	for i := 0; i < n; i++ {
+		r := epaxos.NewReplica(epaxos.Config{
+			ID:          uint8(i + 1),
+			Peers:       names,
+			Endpoint:    net.Join(names[i], 1<<16),
+			BatchWindow: 100 * time.Microsecond, // §6.3.1's adjusted batching
+			BatchSize:   100,
+		})
+		sys.replicas = append(sys.replicas, r)
+		r.Start()
+	}
+	return sys, nil
+}
+
+// pick distributes clients evenly across replicas (§6.3.2: "clients were
+// configured to be evenly distributed across the EPaxos nodes").
+func (s *epaxosSystem) pick() *epaxos.Replica {
+	return s.replicas[int(s.rr.Add(1))%len(s.replicas)]
+}
+
+func (s *epaxosSystem) Name() string { return "EPaxos" }
+func (s *epaxosSystem) Put(key, value []byte) error {
+	return s.pick().Put(key, value)
+}
+func (s *epaxosSystem) Get(key []byte) ([]byte, error) {
+	return s.pick().Get(key)
+}
+func (s *epaxosSystem) Close() {
+	for _, r := range s.replicas {
+		r.Stop()
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

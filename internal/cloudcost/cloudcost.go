@@ -1,0 +1,206 @@
+// Package cloudcost reproduces the paper's deployment-cost analysis (§6.4,
+// Table 2, Figures 9 and 10): given the published marginal prices for CPU
+// cores and memory on AWS and GCP (October 2019) and the
+// performance-normalized machine configurations of Table 2, it computes
+// the hourly cost of Raft-R and Sift deployments and Sift's cost relative
+// to Raft-R, with and without erasure coding and shared backup CPU nodes.
+package cloudcost
+
+import "fmt"
+
+// Provider identifies a cloud pricing model.
+type Provider int
+
+// Supported providers.
+const (
+	AWS Provider = iota
+	GCP
+)
+
+// String returns the provider name.
+func (p Provider) String() string {
+	if p == GCP {
+		return "GCP"
+	}
+	return "AWS"
+}
+
+// Pricing is a provider's marginal resource pricing in $/hour.
+type Pricing struct {
+	PerCore float64
+	PerGB   float64
+}
+
+// The paper's derived marginal prices (§6.4.3): "$0.033/core/hr and
+// $0.00275/GB/hr for memory for AWS, and $0.033/core/hr and $0.00445/GB/hr
+// for memory for GCP."
+var prices = map[Provider]Pricing{
+	AWS: {PerCore: 0.033, PerGB: 0.00275},
+	GCP: {PerCore: 0.033, PerGB: 0.00445},
+}
+
+// Prices returns the pricing model for a provider.
+func Prices(p Provider) Pricing { return prices[p] }
+
+// Machine is a provisioned instance shape.
+type Machine struct {
+	Cores int
+	MemGB int
+}
+
+// Cost returns the machine's hourly cost under a provider's pricing.
+func (m Machine) Cost(p Provider) float64 {
+	pr := prices[p]
+	return float64(m.Cores)*pr.PerCore + float64(m.MemGB)*pr.PerGB
+}
+
+// System identifies a deployed system in the cost analysis.
+type System int
+
+// Analysed systems.
+const (
+	RaftR System = iota
+	Sift
+	SiftEC
+)
+
+// String returns the system name.
+func (s System) String() string {
+	switch s {
+	case Sift:
+		return "Sift"
+	case SiftEC:
+		return "Sift EC"
+	default:
+		return "Raft-R"
+	}
+}
+
+// MachineConfig is one row of Table 2: the shapes each system needs to hit
+// the normalized performance target (380k ops/s read-heavy at F=1, 350k at
+// F=2, from Figure 7).
+type MachineConfig struct {
+	System  System
+	F       int
+	CPU     Machine // Raft-R node or Sift CPU node
+	MemNode Machine // Sift memory node (unused for Raft-R)
+}
+
+// Table2 returns the paper's Table 2 machine configurations.
+func Table2() []MachineConfig {
+	return []MachineConfig{
+		{System: RaftR, F: 1, CPU: Machine{8, 64}},
+		{System: RaftR, F: 2, CPU: Machine{8, 64}},
+		{System: Sift, F: 1, CPU: Machine{10, 32}, MemNode: Machine{1, 64}},
+		{System: Sift, F: 2, CPU: Machine{10, 32}, MemNode: Machine{1, 64}},
+		{System: SiftEC, F: 1, CPU: Machine{12, 32}, MemNode: Machine{1, 32}},
+		{System: SiftEC, F: 2, CPU: Machine{12, 32}, MemNode: Machine{1, 22}},
+	}
+}
+
+// configFor looks up the Table 2 row for (system, F).
+func configFor(s System, f int) (MachineConfig, error) {
+	for _, c := range Table2() {
+		if c.System == s && c.F == f {
+			return c, nil
+		}
+	}
+	return MachineConfig{}, fmt.Errorf("cloudcost: no Table 2 config for %v F=%d", s, f)
+}
+
+// Deployment describes a deployment whose cost is being computed.
+type Deployment struct {
+	System System
+	F      int
+	// SharedBackups enables the §5.2 backup pool: each group provisions a
+	// single CPU node, plus BackupPool nodes amortized over Groups.
+	SharedBackups bool
+	// Groups and BackupPool size the shared-backup amortization (the
+	// paper's Figures 9/10 use 100 groups with a pool of 2, taken from the
+	// Figure 8 simulation).
+	Groups     int
+	BackupPool int
+}
+
+// GroupCost returns the per-group hourly cost of the deployment.
+func GroupCost(d Deployment, p Provider) (float64, error) {
+	cfg, err := configFor(d.System, d.F)
+	if err != nil {
+		return 0, err
+	}
+	switch d.System {
+	case RaftR:
+		// 2F+1 coupled nodes.
+		return float64(2*d.F+1) * cfg.CPU.Cost(p), nil
+	default:
+		memNodes := float64(2*d.F+1) * cfg.MemNode.Cost(p)
+		cpuNodes := float64(d.F+1) * cfg.CPU.Cost(p)
+		if d.SharedBackups {
+			groups := d.Groups
+			if groups <= 0 {
+				groups = 100
+			}
+			pool := d.BackupPool
+			if pool < 0 {
+				pool = 0
+			}
+			// One dedicated coordinator per group plus the amortized pool:
+			// (G + B) CPU nodes over G groups (§5.2).
+			cpuNodes = (1 + float64(pool)/float64(groups)) * cfg.CPU.Cost(p)
+		}
+		return cpuNodes + memNodes, nil
+	}
+}
+
+// RelativeCost returns the deployment's cost relative to a Raft-R group at
+// the same F, in percent (negative = cheaper than Raft-R), matching the
+// y-axis of Figures 9 and 10.
+func RelativeCost(d Deployment, p Provider) (float64, error) {
+	own, err := GroupCost(d, p)
+	if err != nil {
+		return 0, err
+	}
+	raft, err := GroupCost(Deployment{System: RaftR, F: d.F}, p)
+	if err != nil {
+		return 0, err
+	}
+	return (own/raft - 1) * 100, nil
+}
+
+// FigureRow is one bar of Figure 9/10.
+type FigureRow struct {
+	Label    string
+	Provider Provider
+	Relative float64 // percent vs Raft-R
+}
+
+// FigureSeries computes all bars of Figure 9 (F=1) or Figure 10 (F=2):
+// Sift, Sift+shared backups, Sift EC, Sift EC+shared backups on both
+// providers, using 100 groups and a pool of 2 as in §6.4.3.
+func FigureSeries(f int) ([]FigureRow, error) {
+	type variant struct {
+		label  string
+		system System
+		shared bool
+	}
+	variants := []variant{
+		{"Sift", Sift, false},
+		{"Sift + Shared Backups", Sift, true},
+		{"Sift EC", SiftEC, false},
+		{"Sift EC + Shared Backups", SiftEC, true},
+	}
+	var rows []FigureRow
+	for _, p := range []Provider{AWS, GCP} {
+		for _, v := range variants {
+			rel, err := RelativeCost(Deployment{
+				System: v.system, F: f,
+				SharedBackups: v.shared, Groups: 100, BackupPool: 2,
+			}, p)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, FigureRow{Label: v.label, Provider: p, Relative: rel})
+		}
+	}
+	return rows, nil
+}

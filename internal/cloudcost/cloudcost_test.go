@@ -1,0 +1,177 @@
+package cloudcost
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMachineCost(t *testing.T) {
+	m := Machine{Cores: 8, MemGB: 64}
+	aws := m.Cost(AWS)
+	want := 8*0.033 + 64*0.00275
+	if math.Abs(aws-want) > 1e-9 {
+		t.Fatalf("AWS cost = %v, want %v", aws, want)
+	}
+	gcp := m.Cost(GCP)
+	if gcp <= aws {
+		t.Fatal("GCP memory is pricier; machine cost should exceed AWS")
+	}
+}
+
+func TestTable2Complete(t *testing.T) {
+	rows := Table2()
+	if len(rows) != 6 {
+		t.Fatalf("Table 2 rows = %d", len(rows))
+	}
+	for _, s := range []System{RaftR, Sift, SiftEC} {
+		for _, f := range []int{1, 2} {
+			if _, err := configFor(s, f); err != nil {
+				t.Fatalf("missing config %v F=%d", s, f)
+			}
+		}
+	}
+	if _, err := configFor(Sift, 3); err == nil {
+		t.Fatal("F=3 config should not exist")
+	}
+}
+
+func TestRaftGroupCost(t *testing.T) {
+	// 3 × (8 cores, 64 GB) on AWS = 3 × $0.44 = $1.32/hr.
+	got, err := GroupCost(Deployment{System: RaftR, F: 1}, AWS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1.32) > 1e-9 {
+		t.Fatalf("Raft-R F=1 AWS = %v, want 1.32", got)
+	}
+}
+
+func TestSiftSlightlyPricierAloneAtF1(t *testing.T) {
+	// §6.4.3: "a single Sift and Sift EC group requires marginally higher
+	// costs than a Raft-R group" at F=1.
+	for _, p := range []Provider{AWS, GCP} {
+		for _, s := range []System{Sift, SiftEC} {
+			rel, err := RelativeCost(Deployment{System: s, F: 1}, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// "Marginally higher" in the paper; computing from Table 2 and
+			// the published prices, Sift EC on GCP actually lands slightly
+			// below Raft-R (-2.6%), so assert "within a few percent or
+			// above" rather than strictly positive.
+			if rel < -5 {
+				t.Fatalf("%v on %v at F=1 alone should be near or above Raft-R, got %+.1f%%", s, p, rel)
+			}
+			if rel > 40 {
+				t.Fatalf("%v on %v at F=1 is implausibly expensive: %+.1f%%", s, p, rel)
+			}
+		}
+	}
+}
+
+func TestHeadlineNumbers(t *testing.T) {
+	// The paper's headline claims: EC + shared backups saves ~35% at F=1
+	// and ~56% at F=2 (abstract, §6.4.3, §7).
+	d := Deployment{System: SiftEC, F: 1, SharedBackups: true, Groups: 100, BackupPool: 2}
+	rel, err := RelativeCost(d, AWS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel > -30 || rel < -40 {
+		t.Fatalf("Sift EC + shared, F=1, AWS: %+.1f%%, want ≈ -35%%", rel)
+	}
+	d.F = 2
+	rel, err = RelativeCost(d, AWS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel > -52 || rel < -60 {
+		t.Fatalf("Sift EC + shared, F=2, AWS: %+.1f%%, want ≈ -56%%", rel)
+	}
+}
+
+func TestSavingsImproveWithF(t *testing.T) {
+	// §6.4.3: "Sift costs decrease relatively across all configurations
+	// when F is increased to 2."
+	for _, p := range []Provider{AWS, GCP} {
+		for _, s := range []System{Sift, SiftEC} {
+			for _, shared := range []bool{false, true} {
+				d := Deployment{System: s, SharedBackups: shared, Groups: 100, BackupPool: 2}
+				d.F = 1
+				r1, err := RelativeCost(d, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				d.F = 2
+				r2, err := RelativeCost(d, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if r2 >= r1 {
+					t.Fatalf("%v shared=%v on %v: F=2 (%+.1f%%) not cheaper than F=1 (%+.1f%%)",
+						s, shared, p, r2, r1)
+				}
+			}
+		}
+	}
+}
+
+func TestSharedBackupsAlwaysHelp(t *testing.T) {
+	for _, s := range []System{Sift, SiftEC} {
+		for _, f := range []int{1, 2} {
+			alone, _ := RelativeCost(Deployment{System: s, F: f}, AWS)
+			shared, _ := RelativeCost(Deployment{System: s, F: f, SharedBackups: true, Groups: 100, BackupPool: 2}, AWS)
+			if shared >= alone {
+				t.Fatalf("%v F=%d: shared (%+.1f%%) not cheaper than alone (%+.1f%%)", s, f, shared, alone)
+			}
+		}
+	}
+}
+
+func TestFigureSeries(t *testing.T) {
+	rows, err := FigureSeries(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 { // 4 variants × 2 providers
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Figure 10 (F=2) best case beats Figure 9's (F=1).
+	rows2, err := FigureSeries(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best1, best2 := 0.0, 0.0
+	for _, r := range rows {
+		if r.Relative < best1 {
+			best1 = r.Relative
+		}
+	}
+	for _, r := range rows2 {
+		if r.Relative < best2 {
+			best2 = r.Relative
+		}
+	}
+	if best2 >= best1 {
+		t.Fatalf("best F=2 saving (%.1f%%) should exceed F=1 (%.1f%%)", best2, best1)
+	}
+	if best2 > -50 {
+		t.Fatalf("best F=2 saving only %.1f%%, paper reports ~56%%", best2)
+	}
+}
+
+func TestStrings(t *testing.T) {
+	if AWS.String() != "AWS" || GCP.String() != "GCP" {
+		t.Fatal("provider strings")
+	}
+	if RaftR.String() != "Raft-R" || Sift.String() != "Sift" || SiftEC.String() != "Sift EC" {
+		t.Fatal("system strings")
+	}
+}
+
+func TestDefaultGroupsInSharedCost(t *testing.T) {
+	// Groups defaulting to 100 must not divide by zero.
+	if _, err := GroupCost(Deployment{System: Sift, F: 1, SharedBackups: true, BackupPool: 2}, AWS); err != nil {
+		t.Fatal(err)
+	}
+}

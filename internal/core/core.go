@@ -1,0 +1,263 @@
+// Package core orchestrates a Sift consensus group: it runs the CPU-node
+// state machine (follower → candidate → coordinator), wires the election,
+// replicated memory, and key-value layers together, and implements shared
+// backup CPU pools across groups (paper §3.1, §3.2, §5.2).
+//
+// A CPUNode is stateless between roles: everything a coordinator needs is
+// (re)built from the memory nodes when it wins a term — log recovery brings
+// the replicated memory to a consistent state and the key-value layer
+// reloads its structures and replays its own log. That statelessness is
+// what lets one pool of backup CPU nodes stand behind many groups.
+package core
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/repro/sift/internal/election"
+	"github.com/repro/sift/internal/kv"
+	"github.com/repro/sift/internal/repmem"
+)
+
+// Role is a CPU node's current protocol role.
+type Role int32
+
+// CPU node roles.
+const (
+	Follower Role = iota
+	Candidate
+	Coordinator
+)
+
+// String returns the role name.
+func (r Role) String() string {
+	switch r {
+	case Follower:
+		return "follower"
+	case Candidate:
+		return "candidate"
+	case Coordinator:
+		return "coordinator"
+	default:
+		return "unknown"
+	}
+}
+
+// Config parameterises a CPU node for one group.
+type Config struct {
+	// NodeID is this CPU node's identity in heartbeat words.
+	NodeID uint16
+	// Election carries the memory node list, dial function, and timing. Its
+	// NodeID field is overwritten with the one above.
+	Election election.Config
+	// Memory is the replicated memory configuration. Its Dial must open
+	// exclusive replicated-region connections; MemoryNodes is overwritten
+	// with Election.MemoryNodes. OnFenced is managed by the CPU node.
+	Memory repmem.Config
+	// KV is the key-value store configuration.
+	KV kv.Config
+	// NodeRecoveryInterval is how often the coordinator polls failed memory
+	// nodes for reintegration (default 500ms).
+	NodeRecoveryInterval time.Duration
+	// OnRoleChange, if set, is invoked (synchronously) on role transitions.
+	OnRoleChange func(Role)
+}
+
+// CPUNode runs the Sift CPU-node state machine for one group.
+type CPUNode struct {
+	cfg     Config
+	elector *election.Elector
+
+	role  atomic.Int32
+	term  atomic.Uint32 // current term when coordinator
+	store atomic.Pointer[kv.Store]
+
+	mu       sync.Mutex
+	stepDown chan struct{} // closed to force the coordinator loop to exit
+
+	// Stats.
+	elections  atomic.Uint64
+	promotions atomic.Uint64
+	demotions  atomic.Uint64
+}
+
+// NewCPUNode constructs the node; call Run to start it.
+func NewCPUNode(cfg Config) *CPUNode {
+	if cfg.NodeRecoveryInterval <= 0 {
+		cfg.NodeRecoveryInterval = 500 * time.Millisecond
+	}
+	cfg.Election.NodeID = cfg.NodeID
+	cfg.Memory.MemoryNodes = cfg.Election.MemoryNodes
+	n := &CPUNode{cfg: cfg}
+	n.elector = election.New(cfg.Election)
+	return n
+}
+
+// Role returns the node's current role.
+func (n *CPUNode) Role() Role { return Role(n.role.Load()) }
+
+// Term returns the term this node coordinates (0 if not coordinator).
+func (n *CPUNode) Term() uint16 { return uint16(n.term.Load()) }
+
+// Store returns the key-value store when this node is the coordinator, or
+// nil. The store may be concurrently closed by a demotion; callers must
+// treat kv.ErrClosed as "retry against the new coordinator".
+func (n *CPUNode) Store() *kv.Store { return n.store.Load() }
+
+// Elections, Promotions, Demotions return lifecycle counters.
+func (n *CPUNode) Elections() uint64  { return n.elections.Load() }
+func (n *CPUNode) Promotions() uint64 { return n.promotions.Load() }
+func (n *CPUNode) Demotions() uint64  { return n.demotions.Load() }
+
+func (n *CPUNode) setRole(r Role) {
+	if Role(n.role.Swap(int32(r))) != r && n.cfg.OnRoleChange != nil {
+		n.cfg.OnRoleChange(r)
+	}
+}
+
+// Run drives the node until ctx is cancelled. It blocks.
+func (n *CPUNode) Run(ctx context.Context) error {
+	defer n.elector.Close()
+	var observed map[string]election.Word
+	for {
+		n.setRole(Follower)
+		var err error
+		observed, err = n.elector.AwaitSuspicion(ctx)
+		if err != nil {
+			return err
+		}
+		n.setRole(Candidate)
+		n.elections.Add(1)
+		term, outcome, err := n.elector.Campaign(ctx, observed)
+		if err != nil {
+			return err
+		}
+		if outcome != election.Won {
+			continue // another node is (probably) coordinating; watch again
+		}
+		n.coordinate(ctx, term)
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+	}
+}
+
+// TakeOver campaigns immediately (seeded with the observed admin words) and,
+// on winning, coordinates until demoted or ctx is cancelled. It returns
+// whether this node actually coordinated. Shared backup pool workers use
+// this entry point: the pool's watchers detect the failure, and the worker
+// only campaigns once, returning to the pool if another candidate won.
+func (n *CPUNode) TakeOver(ctx context.Context, observed map[string]election.Word) (bool, error) {
+	n.setRole(Candidate)
+	n.elections.Add(1)
+	term, outcome, err := n.elector.Campaign(ctx, observed)
+	if err != nil {
+		n.setRole(Follower)
+		return false, err
+	}
+	if outcome != election.Won {
+		n.setRole(Follower)
+		return false, nil
+	}
+	n.coordinate(ctx, term)
+	n.setRole(Follower)
+	return true, nil
+}
+
+// Close releases the node's election connections. Only call after Run or
+// TakeOver has returned.
+func (n *CPUNode) Close() { n.elector.Close() }
+
+// coordinate runs one coordinatorship: build the replicated memory and KV
+// layers, recover, then heartbeat until dethroned or cancelled.
+func (n *CPUNode) coordinate(ctx context.Context, term uint16) {
+	n.mu.Lock()
+	n.stepDown = make(chan struct{})
+	stepDown := n.stepDown
+	var once sync.Once
+	fence := func() { once.Do(func() { close(stepDown) }) }
+	n.mu.Unlock()
+
+	// Start heartbeating immediately: log recovery can take longer than the
+	// election timeout, and the lease must be renewed throughout it or the
+	// backups would dethrone every new coordinator before it finishes
+	// taking over.
+	hbDone := make(chan struct{})
+	go func() {
+		defer close(hbDone)
+		ts := uint32(2) // the election round wrote timestamp 1
+		ticker := time.NewTicker(n.elector.HeartbeatInterval())
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				fence()
+				return
+			case <-stepDown:
+				return
+			case <-ticker.C:
+				ts++
+				if err := n.elector.Heartbeat(term, ts); err != nil {
+					if errors.Is(err, election.ErrDethroned) {
+						fence()
+						return
+					}
+					fence()
+					return
+				}
+			}
+		}
+	}()
+	defer func() {
+		fence()
+		<-hbDone
+	}()
+
+	mcfg := n.cfg.Memory
+	mcfg.OnFenced = fence
+	mcfg.Term = term // tags membership publications; successors take the max
+	mem, err := repmem.New(mcfg)
+	if err != nil {
+		return // lost quorum between election and takeover; retry via loop
+	}
+	defer mem.Close()
+	if err := mem.Recover(); err != nil {
+		return
+	}
+	store, err := kv.New(mem, n.cfg.KV)
+	if err != nil {
+		return
+	}
+	stopRecovery := mem.StartRecovery(n.cfg.NodeRecoveryInterval)
+	defer stopRecovery()
+
+	n.term.Store(uint32(term))
+	n.store.Store(store)
+	n.setRole(Coordinator)
+	n.promotions.Add(1)
+
+	defer func() {
+		n.store.Store(nil)
+		n.term.Store(0)
+		store.Close()
+		n.demotions.Add(1)
+	}()
+
+	select {
+	case <-ctx.Done():
+	case <-stepDown:
+	}
+}
+
+// Memory returns the coordinator's replicated memory handle, or nil. It is
+// exposed for instrumentation (benchmarks read repmem.Stats through it).
+func (n *CPUNode) MemoryStats() (repmem.Stats, bool) {
+	s := n.store.Load()
+	if s == nil {
+		return repmem.Stats{}, false
+	}
+	return s.MemoryStats(), true
+}

@@ -1,0 +1,235 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/repro/sift/internal/election"
+)
+
+// PoolConfig parameterises a shared backup CPU pool (paper §5.2).
+type PoolConfig struct {
+	// Workers is the pool size B: how many idle CPU nodes stand behind the
+	// groups. With G groups the deployment needs G+B CPU nodes instead of
+	// (F+1)·G.
+	Workers int
+	// ProvisionDelay models how long it takes to bring up a replacement
+	// worker after one is consumed by a failover (the paper uses 100 s, the
+	// average EC2 Linux VM start-up time). Zero disables replenishment.
+	ProvisionDelay time.Duration
+	// WatcherID is the node id pool watchers use for heartbeat reads. It
+	// never appears in CAS operations (watchers only read).
+	WatcherID uint16
+	// BaseWorkerID seeds unique CPU node ids for workers that take over
+	// groups. Must not collide with the groups' primary coordinators.
+	BaseWorkerID uint16
+}
+
+// PoolGroup names one consensus group the pool protects and carries the
+// CPU-node configuration a worker uses to take it over. The Config's NodeID
+// is assigned by the pool.
+type PoolGroup struct {
+	Name   string
+	Config Config
+}
+
+// PoolStats are cumulative pool counters.
+type PoolStats struct {
+	Failovers   uint64        // coordinator failures handled
+	Takeovers   uint64        // failovers this pool actually won
+	WaitedFor   time.Duration // total time failovers waited for a free worker
+	MaxWait     time.Duration // worst single wait
+	Provisioned uint64        // replacement workers brought up
+}
+
+// Pool is a shared pool of backup CPU nodes standing behind many Sift
+// groups. One watcher goroutine per group performs heartbeat reads; when a
+// group's coordinator is suspected dead, the watcher draws a worker from
+// the pool and the worker campaigns for the group. Because CPU nodes are
+// stateless, any worker can coordinate any group.
+type Pool struct {
+	cfg PoolConfig
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	free    int
+	nextID  uint16
+	stopped bool
+
+	failovers   atomic.Uint64
+	takeovers   atomic.Uint64
+	provisioned atomic.Uint64
+	waitMu      sync.Mutex
+	waited      time.Duration
+	maxWait     time.Duration
+}
+
+// NewPool creates a pool with cfg.Workers free workers.
+func NewPool(cfg PoolConfig) *Pool {
+	if cfg.WatcherID == 0 {
+		cfg.WatcherID = 0xFFFF
+	}
+	if cfg.BaseWorkerID == 0 {
+		cfg.BaseWorkerID = 1000
+	}
+	p := &Pool{cfg: cfg, free: cfg.Workers, nextID: cfg.BaseWorkerID}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// Stats returns a snapshot of the pool counters.
+func (p *Pool) Stats() PoolStats {
+	p.waitMu.Lock()
+	waited, maxWait := p.waited, p.maxWait
+	p.waitMu.Unlock()
+	return PoolStats{
+		Failovers:   p.failovers.Load(),
+		Takeovers:   p.takeovers.Load(),
+		WaitedFor:   waited,
+		MaxWait:     maxWait,
+		Provisioned: p.provisioned.Load(),
+	}
+}
+
+// Free returns the number of idle workers.
+func (p *Pool) Free() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.free
+}
+
+// Run watches all groups until ctx is cancelled. It blocks.
+func (p *Pool) Run(ctx context.Context, groups []PoolGroup) {
+	stop := context.AfterFunc(ctx, func() {
+		p.mu.Lock()
+		p.stopped = true
+		p.cond.Broadcast()
+		p.mu.Unlock()
+	})
+	defer stop()
+	var wg sync.WaitGroup
+	for _, g := range groups {
+		wg.Add(1)
+		go func(g PoolGroup) {
+			defer wg.Done()
+			p.watchGroup(ctx, g)
+		}(g)
+	}
+	wg.Wait()
+}
+
+// watchGroup monitors one group and handles its coordinator failures.
+func (p *Pool) watchGroup(ctx context.Context, g PoolGroup) {
+	ecfg := g.Config.Election
+	ecfg.NodeID = p.cfg.WatcherID
+	watcher := election.New(ecfg)
+	defer watcher.Close()
+
+	for ctx.Err() == nil {
+		words, err := watcher.AwaitSuspicion(ctx)
+		if err != nil {
+			return
+		}
+		p.failovers.Add(1)
+
+		start := time.Now()
+		id, ok := p.acquire(ctx)
+		if !ok {
+			return
+		}
+		wait := time.Since(start)
+		p.recordWait(wait)
+
+		cfg := g.Config
+		cfg.NodeID = id
+		promoted := make(chan struct{}, 1)
+		cfg.OnRoleChange = func(r Role) {
+			if r == Coordinator {
+				select {
+				case promoted <- struct{}{}:
+				default:
+				}
+			}
+		}
+		node := NewCPUNode(cfg)
+		// A worker that wins becomes the group's coordinator and leaves the
+		// pool (a replacement VM is provisioned behind it); a worker that
+		// loses the race returns to the pool immediately.
+		done := make(chan bool, 1)
+		go func() {
+			won, _ := node.TakeOver(ctx, words)
+			node.Close()
+			done <- won
+		}()
+		select {
+		case <-promoted:
+			p.takeovers.Add(1)
+			p.provisionReplacement()
+			go func() {
+				<-done
+				// The demoted coordinator is a stateless CPU node again; it
+				// rejoins the pool.
+				p.release()
+			}()
+		case won := <-done:
+			if won {
+				// Promoted and demoted before we saw the signal.
+				p.takeovers.Add(1)
+				p.provisionReplacement()
+			}
+			p.release()
+		}
+	}
+}
+
+// acquire draws a worker from the pool, blocking until one is free.
+func (p *Pool) acquire(ctx context.Context) (uint16, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for p.free == 0 && !p.stopped {
+		p.cond.Wait()
+	}
+	if p.stopped {
+		return 0, false
+	}
+	p.free--
+	p.nextID++
+	_ = ctx
+	return p.nextID, true
+}
+
+// provisionReplacement models bringing up a fresh backup VM.
+func (p *Pool) provisionReplacement() {
+	if p.cfg.ProvisionDelay <= 0 {
+		return
+	}
+	time.AfterFunc(p.cfg.ProvisionDelay, func() {
+		p.mu.Lock()
+		if !p.stopped {
+			p.free++
+			p.provisioned.Add(1)
+			p.cond.Broadcast()
+		}
+		p.mu.Unlock()
+	})
+}
+
+// release returns a worker to the pool (a demoted coordinator is a free,
+// stateless CPU node again).
+func (p *Pool) release() {
+	p.mu.Lock()
+	p.free++
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+func (p *Pool) recordWait(d time.Duration) {
+	p.waitMu.Lock()
+	p.waited += d
+	if d > p.maxWait {
+		p.maxWait = d
+	}
+	p.waitMu.Unlock()
+}

@@ -1,0 +1,109 @@
+package deploy
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDeriveDefaults(t *testing.T) {
+	kcfg, mcfg, err := Params{}.Derive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kcfg.Capacity != 16384 || kcfg.MaxKey != 32 || kcfg.MaxValue != 992 {
+		t.Fatalf("kv config %+v", kcfg)
+	}
+	if mcfg.MemSize < kcfg.RequiredMemSize(1) {
+		t.Fatal("main memory too small for the store")
+	}
+	if mcfg.DirectSize != kcfg.RequiredDirectSize() {
+		t.Fatal("direct zone size mismatch")
+	}
+	if mcfg.ECData != 0 {
+		t.Fatal("EC enabled by default")
+	}
+}
+
+func TestDeriveECGeometry(t *testing.T) {
+	for f := 1; f <= 3; f++ {
+		p := Params{F: f, EC: true, Keys: 1024}
+		kcfg, mcfg, err := p.Derive()
+		if err != nil {
+			t.Fatalf("F=%d: %v", f, err)
+		}
+		if mcfg.ECData != f+1 || mcfg.ECParity != f {
+			t.Fatalf("F=%d: EC geometry %d+%d", f, mcfg.ECData, mcfg.ECParity)
+		}
+		if mcfg.ECBlockSize%mcfg.ECData != 0 {
+			t.Fatalf("F=%d: block %d not divisible by k", f, mcfg.ECBlockSize)
+		}
+		if mcfg.MemSize%mcfg.ECBlockSize != 0 {
+			t.Fatalf("F=%d: MemSize %d not a multiple of block %d", f, mcfg.MemSize, mcfg.ECBlockSize)
+		}
+		if mcfg.ECBlockSize < kcfg.BlockSize() {
+			t.Fatalf("F=%d: EC block smaller than a KV block", f)
+		}
+		// The derived repmem config must validate once nodes are attached.
+		mcfg.MemoryNodes = make([]string, 2*f+1)
+		for i := range mcfg.MemoryNodes {
+			mcfg.MemoryNodes[i] = string(rune('a' + i))
+		}
+		mcfg.Dial = nil
+	}
+}
+
+func TestLayoutMatchesDerive(t *testing.T) {
+	p := Params{F: 1, Keys: 512, MaxValue: 128}
+	_, mcfg, err := p.Derive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := p.Layout()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l != mcfg.Layout() {
+		t.Fatalf("Layout() %+v != Derive layout %+v", l, mcfg.Layout())
+	}
+}
+
+func TestMemoryNodeCount(t *testing.T) {
+	if (Params{}).MemoryNodeCount() != 3 {
+		t.Fatal("default F=1 should need 3 memory nodes")
+	}
+	if (Params{F: 2}).MemoryNodeCount() != 5 {
+		t.Fatal("F=2 should need 5 memory nodes")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Params{}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Non-positive values are defaulted rather than rejected, so every
+	// parameter combination derives a usable configuration.
+	kcfg, _, err := Params{Keys: 100, MaxKey: -1, MaxValue: -5}.Derive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kcfg.MaxKey != 32 || kcfg.MaxValue != 992 {
+		t.Fatalf("negative sizes not defaulted: %+v", kcfg)
+	}
+}
+
+func TestQuickECBlockAlwaysFitsKVBlock(t *testing.T) {
+	f := func(fRaw, keysRaw uint8) bool {
+		f := int(fRaw)%3 + 1
+		keys := int(keysRaw)%512 + 16
+		p := Params{F: f, EC: true, Keys: keys, MaxValue: 100}
+		kcfg, mcfg, err := p.Derive()
+		if err != nil {
+			return false
+		}
+		return mcfg.ECBlockSize >= kcfg.BlockSize() &&
+			mcfg.MemSize >= kcfg.RequiredMemSize(mcfg.ECBlockSize)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

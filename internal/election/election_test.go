@@ -1,0 +1,369 @@
+package election
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/repro/sift/internal/rdma"
+)
+
+func TestWordPackUnpack(t *testing.T) {
+	f := func(term, node uint16, ts uint32) bool {
+		w := Word{Term: term, Node: node, Timestamp: ts}
+		return Unpack(w.Pack()) == w
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWordNewer(t *testing.T) {
+	base := Word{Term: 5, Node: 1, Timestamp: 100}
+	cases := []struct {
+		w    Word
+		want bool
+	}{
+		{Word{Term: 6, Node: 2, Timestamp: 0}, true},    // higher term wins
+		{Word{Term: 4, Node: 2, Timestamp: 999}, false}, // lower term loses
+		{Word{Term: 5, Node: 2, Timestamp: 101}, true},  // same term, fresher ts
+		{Word{Term: 5, Node: 2, Timestamp: 100}, false}, // identical ts is not newer
+		{Word{Term: 5, Node: 2, Timestamp: 99}, false},
+	}
+	for i, c := range cases {
+		if got := c.w.Newer(base); got != c.want {
+			t.Errorf("case %d: Newer = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+// testGroup wires an in-process network with n memory nodes exposing admin
+// region 1, and returns a config factory for CPU nodes.
+func testGroup(t *testing.T, n int) (*rdma.Network, []string, func(id uint16) Config) {
+	t.Helper()
+	nw := rdma.NewNetwork(nil)
+	names := make([]string, n)
+	for i := 0; i < n; i++ {
+		names[i] = string(rune('a' + i))
+		node := rdma.NewNode(names[i])
+		node.Alloc(1, 64, false)
+		nw.AddNode(node)
+	}
+	mk := func(id uint16) Config {
+		return Config{
+			NodeID:      id,
+			MemoryNodes: names,
+			Dial: func(node string) (rdma.Verbs, error) {
+				return nw.Dial("cpu", node, rdma.DialOpts{})
+			},
+			AdminRegion:       1,
+			HeartbeatInterval: time.Millisecond,
+			ReadInterval:      time.Millisecond,
+			MissedBeats:       3,
+			Seed:              int64(id) + 100,
+		}
+	}
+	return nw, names, mk
+}
+
+func TestSingleCandidateWins(t *testing.T) {
+	_, _, mk := testGroup(t, 3)
+	e := New(mk(1))
+	defer e.Close()
+	term, outcome, err := e.Campaign(context.Background(), nil)
+	if err != nil || outcome != Won {
+		t.Fatalf("campaign: term=%d outcome=%v err=%v", term, outcome, err)
+	}
+	if term != 1 {
+		t.Fatalf("first term = %d, want 1", term)
+	}
+	// Winner's word must be on all reachable nodes' admin regions.
+	words, best, err := e.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Term != 1 || best.Node != 1 {
+		t.Fatalf("best word = %+v", best)
+	}
+	if len(words) != 3 {
+		t.Fatalf("read %d words", len(words))
+	}
+}
+
+func TestHeartbeatRenewsAndAdvances(t *testing.T) {
+	_, _, mk := testGroup(t, 3)
+	e := New(mk(1))
+	defer e.Close()
+	term, _, _ := e.Campaign(context.Background(), nil)
+	for ts := uint32(2); ts < 10; ts++ {
+		if err := e.Heartbeat(term, ts); err != nil {
+			t.Fatalf("heartbeat ts=%d: %v", ts, err)
+		}
+	}
+	_, best, _ := e.ReadAll()
+	if best.Timestamp != 9 || best.Term != term {
+		t.Fatalf("best after heartbeats = %+v", best)
+	}
+}
+
+func TestAtMostOneWinnerPerTerm(t *testing.T) {
+	// All candidates run the full follower/candidate loop concurrently. The
+	// safety property is that no term ever has two winners; liveness is that
+	// some candidate eventually wins. Repeat to shake out races.
+	for round := 0; round < 10; round++ {
+		_, _, mk := testGroup(t, 5)
+		const candidates = 4
+		type res struct {
+			id   uint16
+			term uint16
+		}
+		ch := make(chan res, candidates*4)
+		ctx, cancel := context.WithCancel(context.Background())
+		var wg sync.WaitGroup
+		for id := uint16(1); id <= candidates; id++ {
+			wg.Add(1)
+			go func(id uint16) {
+				defer wg.Done()
+				e := New(mk(id))
+				defer e.Close()
+				// Follower/candidate loop, as run by the core package: a
+				// candidate that loses returns to follower and re-campaigns
+				// if no coordinator heartbeat shows up.
+				var words map[string]Word
+				for {
+					term, outcome, err := e.Campaign(ctx, words)
+					if err != nil {
+						return // ctx cancelled
+					}
+					if outcome == Won {
+						ch <- res{id, term}
+						cancel() // stop the others; winner found
+						return
+					}
+					var werr error
+					words, werr = e.AwaitSuspicion(ctx)
+					if werr != nil {
+						return
+					}
+				}
+			}(id)
+		}
+		wg.Wait()
+		cancel()
+		close(ch)
+		winners := map[uint16][]uint16{} // term -> winner ids
+		for r := range ch {
+			winners[r.term] = append(winners[r.term], r.id)
+		}
+		if len(winners) == 0 {
+			t.Fatalf("round %d: no winner at all", round)
+		}
+		for term, ids := range winners {
+			if len(ids) > 1 {
+				t.Fatalf("round %d: term %d has %d winners: %v", round, term, len(ids), ids)
+			}
+		}
+	}
+}
+
+func TestDethroneOldCoordinator(t *testing.T) {
+	_, _, mk := testGroup(t, 3)
+	e1 := New(mk(1))
+	defer e1.Close()
+	term1, outcome, _ := e1.Campaign(context.Background(), nil)
+	if outcome != Won {
+		t.Fatal("e1 should win")
+	}
+	if err := e1.Heartbeat(term1, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	// A second CPU node campaigns (as if it suspected e1 dead).
+	e2 := New(mk(2))
+	defer e2.Close()
+	words, _, _ := e2.ReadAll()
+	term2, outcome, _ := e2.Campaign(context.Background(), words)
+	if outcome != Won {
+		t.Fatalf("e2 outcome = %v", outcome)
+	}
+	if term2 <= term1 {
+		t.Fatalf("term2 = %d, not above term1 = %d", term2, term1)
+	}
+
+	// e1's next heartbeat must fail with ErrDethroned.
+	if err := e1.Heartbeat(term1, 3); !errors.Is(err, ErrDethroned) {
+		t.Fatalf("old coordinator heartbeat: err = %v, want ErrDethroned", err)
+	}
+	// And e2's heartbeats keep working.
+	if err := e2.Heartbeat(term2, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAwaitSuspicionFiresOnSilence(t *testing.T) {
+	_, _, mk := testGroup(t, 3)
+	e1 := New(mk(1))
+	defer e1.Close()
+	term, _, _ := e1.Campaign(context.Background(), nil)
+	e1.Heartbeat(term, 2)
+
+	follower := New(mk(2))
+	defer follower.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	start := time.Now()
+	words, err := follower.AwaitSuspicion(ctx)
+	if err != nil {
+		t.Fatalf("AwaitSuspicion: %v", err)
+	}
+	if len(words) == 0 {
+		t.Fatal("no observed words returned")
+	}
+	// With 1ms reads and 3 missed beats, suspicion should fire in a few ms
+	// of coordinator silence (we never heartbeat again after ts=2).
+	if time.Since(start) > time.Second {
+		t.Fatalf("suspicion took %v", time.Since(start))
+	}
+}
+
+func TestAwaitSuspicionHoldsWhileHeartbeating(t *testing.T) {
+	_, _, mk := testGroup(t, 3)
+	e1 := New(mk(1))
+	defer e1.Close()
+	term, _, _ := e1.Campaign(context.Background(), nil)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ts := uint32(2)
+		ticker := time.NewTicker(time.Millisecond)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+				ts++
+				e1.Heartbeat(term, ts)
+			}
+		}
+	}()
+
+	follower := New(mk(2))
+	defer follower.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	if _, err := follower.AwaitSuspicion(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("suspicion fired despite live heartbeats: %v", err)
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestFailoverElectsNewCoordinator(t *testing.T) {
+	nw, _, mk := testGroup(t, 3)
+	e1 := New(mk(1))
+	term1, _, _ := e1.Campaign(context.Background(), nil)
+	e1.Heartbeat(term1, 2)
+	e1.Close()
+	_ = nw // e1 simply stops heartbeating (process death)
+
+	follower := New(mk(2))
+	defer follower.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	words, err := follower.AwaitSuspicion(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	term2, outcome, err := follower.Campaign(ctx, words)
+	if err != nil || outcome != Won {
+		t.Fatalf("failover campaign: outcome=%v err=%v", outcome, err)
+	}
+	if term2 <= term1 {
+		t.Fatalf("new term %d not above old %d", term2, term1)
+	}
+}
+
+func TestElectionToleratesMinorityMemoryFailure(t *testing.T) {
+	nw, names, mk := testGroup(t, 3)
+	nw.Fabric().Kill(names[2]) // Fm = 1 failure
+	e := New(mk(1))
+	defer e.Close()
+	term, outcome, err := e.Campaign(context.Background(), nil)
+	if err != nil || outcome != Won {
+		t.Fatalf("campaign with 1 dead memnode: outcome=%v err=%v", outcome, err)
+	}
+	if err := e.Heartbeat(term, 2); err != nil {
+		t.Fatalf("heartbeat with 1 dead memnode: %v", err)
+	}
+}
+
+func TestHeartbeatFailsWithoutQuorum(t *testing.T) {
+	nw, names, mk := testGroup(t, 3)
+	e := New(mk(1))
+	defer e.Close()
+	term, _, _ := e.Campaign(context.Background(), nil)
+	nw.Fabric().Kill(names[0])
+	nw.Fabric().Kill(names[1])
+	if err := e.Heartbeat(term, 2); !errors.Is(err, ErrDethroned) {
+		t.Fatalf("heartbeat without quorum: err = %v, want ErrDethroned", err)
+	}
+}
+
+func TestReadAllNoQuorum(t *testing.T) {
+	nw, names, mk := testGroup(t, 3)
+	for _, n := range names[:2] {
+		nw.Fabric().Kill(n)
+	}
+	e := New(mk(1))
+	defer e.Close()
+	if _, _, err := e.ReadAll(); !errors.Is(err, ErrNoQuorum) {
+		t.Fatalf("err = %v, want ErrNoQuorum", err)
+	}
+}
+
+func TestHeartbeatRepairsStragglerNode(t *testing.T) {
+	// Node c misses the election (down), comes back, and must be brought to
+	// the current term by heartbeats.
+	nw, names, mk := testGroup(t, 3)
+	nw.Fabric().Kill(names[2])
+	e := New(mk(1))
+	defer e.Close()
+	term, _, _ := e.Campaign(context.Background(), nil)
+	nw.Fabric().Restart(names[2])
+	if err := e.Heartbeat(term, 2); err != nil {
+		t.Fatal(err)
+	}
+	// After enough rounds the straggler must carry the current word.
+	if err := e.Heartbeat(term, 3); err != nil {
+		t.Fatal(err)
+	}
+	words, _, _ := e.ReadAll()
+	w, ok := words[names[2]]
+	if !ok {
+		t.Fatal("straggler unreadable")
+	}
+	if w.Term != term {
+		t.Fatalf("straggler word = %+v, want term %d", w, term)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{NodeID: 3}
+	c := cfg.withDefaults()
+	if c.HeartbeatInterval <= 0 || c.ReadInterval <= 0 || c.MissedBeats <= 0 {
+		t.Fatalf("defaults not applied: %+v", c)
+	}
+	if c.BackoffMax <= c.BackoffMin {
+		t.Fatal("backoff bounds inverted")
+	}
+	if c.Seed == 0 {
+		t.Fatal("seed not derived")
+	}
+}

@@ -1,0 +1,53 @@
+package epaxos
+
+import "time"
+
+// Put commits a write through this replica as command leader. It returns
+// once the command is committed (EPaxos acknowledges writes at commit, not
+// execution).
+func (r *Replica) Put(key, value []byte) error {
+	_, _, err := r.submit(command{Op: opPut, Key: key, Value: value}, false)
+	return err
+}
+
+// Delete removes a key.
+func (r *Replica) Delete(key []byte) error {
+	_, _, err := r.submit(command{Op: opDelete, Key: key}, false)
+	return err
+}
+
+// Get reads a key. Reads order through the protocol like writes and return
+// after execution, which is why every EPaxos read costs network round
+// trips (paper §6.3.2: "both reads and writes require network operations").
+func (r *Replica) Get(key []byte) ([]byte, error) {
+	v, found, err := r.submit(command{Op: opGet, Key: key}, true)
+	if err != nil {
+		return nil, err
+	}
+	if !found {
+		return nil, ErrNotFound
+	}
+	return v, nil
+}
+
+// submit runs one command through consensus.
+func (r *Replica) submit(cmd command, needsExec bool) ([]byte, bool, error) {
+	// Copy caller buffers: the command outlives this call (batching, wire
+	// encoding, execution) and callers may reuse their slices.
+	cmd.Key = append([]byte(nil), cmd.Key...)
+	cmd.Value = append([]byte(nil), cmd.Value...)
+	pend := &pendingCmd{needsExec: needsExec, done: make(chan cmdResult, 1)}
+	select {
+	case r.proposeCh <- &proposeReq{cmd: cmd, pend: pend}:
+	case <-r.stopCh:
+		return nil, false, ErrStopped
+	}
+	select {
+	case res := <-pend.done:
+		return res.value, res.found, res.err
+	case <-time.After(r.cfg.CommandTimeout):
+		return nil, false, ErrTimeout
+	case <-r.stopCh:
+		return nil, false, ErrStopped
+	}
+}

@@ -1,0 +1,91 @@
+package epaxos
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestInstanceMsgRoundTrip(t *testing.T) {
+	f := func(replica uint8, slot, seq uint64, key, value []byte, depSlot uint64) bool {
+		m := preAccept{
+			ID: instID{Replica: replica, Slot: slot},
+			Cmds: []command{
+				{Op: opPut, Key: key, Value: value},
+				{Op: opGet, Key: key},
+			},
+			Deps: []instID{{Replica: replica ^ 1, Slot: depSlot}},
+			Seq:  seq,
+		}
+		got, err := decodeInstanceMsg(encodeInstanceMsg(m))
+		if err != nil {
+			return false
+		}
+		return got.ID == m.ID && got.Seq == m.Seq &&
+			len(got.Cmds) == 2 && len(got.Deps) == 1 &&
+			got.Deps[0] == m.Deps[0] &&
+			bytes.Equal(got.Cmds[0].Key, key) && bytes.Equal(got.Cmds[0].Value, value) &&
+			got.Cmds[1].Op == opGet
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInstanceMsgEmptyDepsAndCmds(t *testing.T) {
+	m := preAccept{ID: instID{Replica: 2, Slot: 5}, Seq: 1}
+	got, err := decodeInstanceMsg(encodeInstanceMsg(m))
+	if err != nil || got.ID != m.ID || len(got.Cmds) != 0 || len(got.Deps) != 0 {
+		t.Fatalf("got %+v err=%v", got, err)
+	}
+}
+
+func TestPreAcceptReplyRoundTrip(t *testing.T) {
+	f := func(replica uint8, slot, seq uint64, changed bool) bool {
+		m := preAcceptReply{
+			ID:      instID{Replica: replica, Slot: slot},
+			Deps:    []instID{{Replica: 1, Slot: 2}, {Replica: 3, Slot: 4}},
+			Seq:     seq,
+			Changed: changed,
+		}
+		got, err := decodePreAcceptReply(encodePreAcceptReply(m))
+		if err != nil {
+			return false
+		}
+		return got.ID == m.ID && got.Seq == m.Seq && got.Changed == m.Changed &&
+			len(got.Deps) == 2 && got.Deps[0] == m.Deps[0] && got.Deps[1] == m.Deps[1]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAcceptReplyRoundTrip(t *testing.T) {
+	m := acceptReply{ID: instID{Replica: 4, Slot: 77}}
+	got, err := decodeAcceptReply(encodeAcceptReply(m))
+	if err != nil || got != m {
+		t.Fatalf("got %+v err=%v", got, err)
+	}
+}
+
+func TestCodecRejectsShortInput(t *testing.T) {
+	short := []byte{9}
+	if _, err := decodeInstanceMsg(short); err == nil {
+		t.Fatal("short instance msg accepted")
+	}
+	if _, err := decodePreAcceptReply(short); err == nil {
+		t.Fatal("short preAcceptReply accepted")
+	}
+	if _, err := decodeAcceptReply(short); err == nil {
+		t.Fatal("short acceptReply accepted")
+	}
+	if _, _, err := decodeInstID(short); err == nil {
+		t.Fatal("short instID accepted")
+	}
+	if _, _, err := decodeCmds(short); err == nil {
+		t.Fatal("short cmds accepted")
+	}
+	if _, _, err := decodeDeps(short); err == nil {
+		t.Fatal("short deps accepted")
+	}
+}

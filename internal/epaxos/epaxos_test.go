@@ -1,0 +1,250 @@
+package epaxos
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/repro/sift/internal/msg"
+)
+
+type cluster struct {
+	net      *msg.Network
+	replicas []*Replica
+}
+
+func newCluster(t *testing.T, n int) *cluster {
+	t.Helper()
+	net := msg.NewNetwork(nil)
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("e%d", i+1)
+	}
+	c := &cluster{net: net}
+	for i := 0; i < n; i++ {
+		ep := net.Join(names[i], 8192)
+		r := NewReplica(Config{
+			ID:          uint8(i + 1),
+			Peers:       names,
+			Endpoint:    ep,
+			BatchWindow: 100 * time.Microsecond,
+			BatchSize:   100,
+		})
+		c.replicas = append(c.replicas, r)
+		r.Start()
+	}
+	t.Cleanup(func() {
+		for _, r := range c.replicas {
+			r.Stop()
+		}
+	})
+	return c
+}
+
+func TestPutGetSingleReplicaLeader(t *testing.T) {
+	c := newCluster(t, 3)
+	r := c.replicas[0]
+	if err := r.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := r.Get([]byte("k"))
+	if err != nil || string(v) != "v" {
+		t.Fatalf("got %q err=%v", v, err)
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	c := newCluster(t, 3)
+	if _, err := c.replicas[1].Get([]byte("nope")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestAnyReplicaCanLead(t *testing.T) {
+	c := newCluster(t, 3)
+	// Write through each replica in turn; read through a different one.
+	for i, r := range c.replicas {
+		k := []byte(fmt.Sprintf("key-%d", i))
+		if err := r.Put(k, []byte(fmt.Sprintf("val-%d", i))); err != nil {
+			t.Fatalf("replica %d put: %v", i, err)
+		}
+	}
+	for i := range c.replicas {
+		reader := c.replicas[(i+1)%3]
+		k := []byte(fmt.Sprintf("key-%d", i))
+		v, err := reader.Get(k)
+		if err != nil || string(v) != fmt.Sprintf("val-%d", i) {
+			t.Fatalf("cross-replica read %d: %q err=%v", i, v, err)
+		}
+	}
+}
+
+func TestDelete(t *testing.T) {
+	c := newCluster(t, 3)
+	r := c.replicas[0]
+	r.Put([]byte("k"), []byte("v"))
+	if err := r.Delete([]byte("k")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.replicas[2].Get([]byte("k")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("deleted key visible: %v", err)
+	}
+}
+
+func TestInterferingWritesConverge(t *testing.T) {
+	// Two replicas hammer the same key concurrently; after the dust settles
+	// every replica must hold the same value (same execution order).
+	c := newCluster(t, 3)
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := c.replicas[w]
+			for i := 0; i < 40; i++ {
+				if err := r.Put([]byte("contested"), []byte(fmt.Sprintf("r%d-%d", w, i))); err != nil {
+					t.Errorf("replica %d: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Read through each replica until they agree (execution is async on
+	// non-leader replicas).
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		vals := make([]string, 3)
+		for i, r := range c.replicas {
+			v, err := r.Get([]byte("contested"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			vals[i] = string(v)
+		}
+		if vals[0] == vals[1] && vals[1] == vals[2] {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("replicas never converged on the contested key")
+}
+
+func TestDisjointKeysCommitFast(t *testing.T) {
+	// Non-interfering commands from different replicas should mostly take
+	// the fast path.
+	c := newCluster(t, 3)
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := c.replicas[w]
+			for i := 0; i < 30; i++ {
+				if err := r.Put([]byte(fmt.Sprintf("r%d-k%d", w, i)), []byte("v")); err != nil {
+					t.Errorf("put: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	var fast, slow uint64
+	for _, r := range c.replicas {
+		fast += r.FastPathCommits()
+		slow += r.SlowPathCommits()
+	}
+	if fast == 0 {
+		t.Fatalf("no fast-path commits at all (fast=%d slow=%d)", fast, slow)
+	}
+}
+
+func TestBatchingAggregatesCommands(t *testing.T) {
+	c := newCluster(t, 3)
+	r := c.replicas[0]
+	var wg sync.WaitGroup
+	const n = 60
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := r.Put([]byte(fmt.Sprintf("b%d", i)), []byte("v")); err != nil {
+				t.Errorf("put: %v", err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	// Batching is load-dependent (queued commands share an instance), so n
+	// commands use at most n instances — and all data must be present.
+	if got := r.Commits(); got > n {
+		t.Fatalf("commits = %d > %d commands", got, n)
+	}
+	for i := 0; i < n; i++ {
+		if _, err := r.Get([]byte(fmt.Sprintf("b%d", i))); err != nil {
+			t.Fatalf("b%d missing: %v", i, err)
+		}
+	}
+}
+
+func TestFiveReplicas(t *testing.T) {
+	c := newCluster(t, 5)
+	for i, r := range c.replicas {
+		if err := r.Put([]byte(fmt.Sprintf("k%d", i)), []byte("v")); err != nil {
+			t.Fatalf("replica %d: %v", i, err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		v, err := c.replicas[(i+2)%5].Get([]byte(fmt.Sprintf("k%d", i)))
+		if err != nil || string(v) != "v" {
+			t.Fatalf("k%d: %q err=%v", i, v, err)
+		}
+	}
+}
+
+func TestReadYourWrites(t *testing.T) {
+	c := newCluster(t, 3)
+	r := c.replicas[1]
+	for i := 0; i < 20; i++ {
+		v := []byte(fmt.Sprintf("v%d", i))
+		if err := r.Put([]byte("ryw"), v); err != nil {
+			t.Fatal(err)
+		}
+		got, err := r.Get([]byte("ryw"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, v) {
+			t.Fatalf("iteration %d: read %q after writing %q", i, got, v)
+		}
+	}
+}
+
+func TestStopFailsPending(t *testing.T) {
+	c := newCluster(t, 3)
+	r := c.replicas[0]
+	r.Stop()
+	if err := r.Put([]byte("k"), []byte("v")); !errors.Is(err, ErrStopped) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestQuorumArithmetic(t *testing.T) {
+	cases := []struct {
+		n, fastReplies, slowReplies int
+	}{
+		{3, 1, 1},
+		{5, 2, 2},
+	}
+	for _, c := range cases {
+		r := &Replica{n: c.n}
+		if got := r.fastQuorumReplies(); got != c.fastReplies {
+			t.Errorf("n=%d fast replies = %d, want %d", c.n, got, c.fastReplies)
+		}
+		if got := r.slowQuorumReplies(); got != c.slowReplies {
+			t.Errorf("n=%d slow replies = %d, want %d", c.n, got, c.slowReplies)
+		}
+	}
+}

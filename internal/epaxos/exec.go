@@ -1,0 +1,156 @@
+package epaxos
+
+import "sort"
+
+// Execution: committed instances apply to the state machine in dependency
+// order. The dependency graph can contain cycles (two interfering commands
+// proposed concurrently can each record the other), so execution finds
+// strongly connected components and runs each component's instances in
+// (seq, replica, slot) order — the EPaxos execution algorithm.
+
+// tryExecute queues inst for execution and drains whatever has become
+// executable.
+func (r *Replica) tryExecute(inst *instance) {
+	r.execQueue = append(r.execQueue, inst)
+	r.drainExecQueue()
+}
+
+// drainExecQueue repeatedly attempts execution of queued instances until no
+// further progress is possible (remaining ones are blocked on uncommitted
+// dependencies).
+func (r *Replica) drainExecQueue() {
+	for {
+		progress := false
+		remaining := r.execQueue[:0]
+		for _, inst := range r.execQueue {
+			if inst.status == statusExecuted {
+				progress = true
+				continue
+			}
+			if r.executeGraph(inst) {
+				progress = true
+			} else {
+				remaining = append(remaining, inst)
+			}
+		}
+		r.execQueue = remaining
+		if !progress || len(r.execQueue) == 0 {
+			return
+		}
+	}
+}
+
+// tarjanState carries the SCC traversal bookkeeping.
+type tarjanState struct {
+	index   map[instID]int
+	lowlink map[instID]int
+	onStack map[instID]bool
+	stack   []instID
+	next    int
+	blocked bool
+}
+
+// executeGraph runs Tarjan's algorithm from inst over unexecuted committed
+// instances and executes complete components. Returns false when blocked on
+// an uncommitted dependency (nothing is executed in that case... components
+// already completed before the block was discovered remain executed, which
+// is safe: a completed component never depends on the blocked region).
+func (r *Replica) executeGraph(inst *instance) bool {
+	st := &tarjanState{
+		index:   make(map[instID]int),
+		lowlink: make(map[instID]int),
+		onStack: make(map[instID]bool),
+	}
+	r.strongConnect(inst, st)
+	return !st.blocked && inst.status == statusExecuted
+}
+
+func (r *Replica) strongConnect(v *instance, st *tarjanState) {
+	st.index[v.id] = st.next
+	st.lowlink[v.id] = st.next
+	st.next++
+	st.stack = append(st.stack, v.id)
+	st.onStack[v.id] = true
+
+	for _, depID := range v.deps {
+		dep := r.instances[depID]
+		if dep == nil || dep.status == statusPreAccepted || dep.status == statusAccepted || dep.status == statusNone {
+			st.blocked = true
+			continue
+		}
+		if dep.status == statusExecuted {
+			continue
+		}
+		if _, seen := st.index[depID]; !seen {
+			r.strongConnect(dep, st)
+			if st.lowlink[depID] < st.lowlink[v.id] {
+				st.lowlink[v.id] = st.lowlink[depID]
+			}
+		} else if st.onStack[depID] {
+			if st.index[depID] < st.lowlink[v.id] {
+				st.lowlink[v.id] = st.index[depID]
+			}
+		}
+	}
+
+	if st.lowlink[v.id] == st.index[v.id] {
+		// v roots an SCC: pop it.
+		var comp []*instance
+		for {
+			n := len(st.stack) - 1
+			id := st.stack[n]
+			st.stack = st.stack[:n]
+			st.onStack[id] = false
+			comp = append(comp, r.instances[id])
+			if id == v.id {
+				break
+			}
+		}
+		if st.blocked {
+			return // a dependency below this component is uncommitted
+		}
+		sort.Slice(comp, func(i, j int) bool {
+			a, b := comp[i], comp[j]
+			if a.seq != b.seq {
+				return a.seq < b.seq
+			}
+			if a.id.Replica != b.id.Replica {
+				return a.id.Replica < b.id.Replica
+			}
+			return a.id.Slot < b.id.Slot
+		})
+		for _, in := range comp {
+			r.applyInstance(in)
+		}
+	}
+}
+
+// applyInstance runs an instance's commands against the state machine and
+// answers execution waiters (reads).
+func (r *Replica) applyInstance(in *instance) {
+	if in.status == statusExecuted {
+		return
+	}
+	results := make([]cmdResult, len(in.cmds))
+	for i, c := range in.cmds {
+		switch c.Op {
+		case opPut:
+			r.kv[string(c.Key)] = append([]byte(nil), c.Value...)
+		case opDelete:
+			delete(r.kv, string(c.Key))
+		case opGet:
+			v, ok := r.kv[string(c.Key)]
+			if ok {
+				results[i] = cmdResult{value: append([]byte(nil), v...), found: true}
+			}
+		}
+	}
+	in.status = statusExecuted
+	r.executed.Add(1)
+	for _, w := range in.waiters {
+		if w.needsExec {
+			w.done <- results[w.cmdIdx]
+		}
+	}
+	in.waiters = nil
+}

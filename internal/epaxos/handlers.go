@@ -1,0 +1,180 @@
+package epaxos
+
+import (
+	"github.com/repro/sift/internal/msg"
+)
+
+// handleMessage dispatches one protocol message on the loop thread.
+func (r *Replica) handleMessage(m msg.Message) {
+	switch m.Type {
+	case msgPreAccept:
+		pa, err := decodePreAccept(m.Payload)
+		if err != nil {
+			return
+		}
+		r.onPreAccept(m.From, pa)
+	case msgPreAcceptReply:
+		pr, err := decodePreAcceptReply(m.Payload)
+		if err != nil {
+			return
+		}
+		r.onPreAcceptReply(pr)
+	case msgAccept:
+		a, err := decodeAccept(m.Payload)
+		if err != nil {
+			return
+		}
+		r.onAccept(m.From, a)
+	case msgAcceptReply:
+		ar, err := decodeAcceptReply(m.Payload)
+		if err != nil {
+			return
+		}
+		r.onAcceptReply(ar)
+	case msgCommit:
+		c, err := decodeCommit(m.Payload)
+		if err != nil {
+			return
+		}
+		r.onCommit(c)
+	}
+}
+
+// onPreAccept merges local interference knowledge into the proposed
+// attributes and replies.
+func (r *Replica) onPreAccept(from string, pa preAccept) {
+	// Merge our own latest interfering instances.
+	deps := append([]instID(nil), pa.Deps...)
+	seq := pa.Seq
+	changed := false
+	depSet := map[instID]struct{}{}
+	for _, d := range deps {
+		depSet[d] = struct{}{}
+	}
+	for _, c := range pa.Cmds {
+		if d, ok := r.latestByKey[string(c.Key)]; ok && d != pa.ID {
+			if _, dup := depSet[d]; !dup {
+				depSet[d] = struct{}{}
+				deps = append(deps, d)
+				changed = true
+			}
+			if di := r.instances[d]; di != nil && di.seq >= seq {
+				seq = di.seq + 1
+				changed = true
+			}
+		}
+	}
+	inst := r.instances[pa.ID]
+	if inst == nil {
+		inst = &instance{id: pa.ID}
+		r.instances[pa.ID] = inst
+	}
+	if inst.status == statusCommitted || inst.status == statusExecuted {
+		return // already decided
+	}
+	inst.cmds = pa.Cmds
+	inst.deps = deps
+	inst.seq = seq
+	inst.status = statusPreAccepted
+	r.recordInterference(pa.ID, pa.Cmds)
+
+	r.ep.Send(from, msgPreAcceptReply, encodePreAcceptReply(preAcceptReply{
+		ID: pa.ID, Deps: deps, Seq: seq, Changed: changed,
+	}))
+}
+
+// onPreAcceptReply tallies replies at the command leader.
+func (r *Replica) onPreAcceptReply(pr preAcceptReply) {
+	inst := r.instances[pr.ID]
+	if inst == nil || inst.status != statusPreAccepted || pr.ID.Replica != r.cfg.ID {
+		return
+	}
+	inst.preAcceptOKs++
+	if pr.Changed {
+		inst.attrsChanged = true
+	}
+	// Merge attributes for the potential slow path.
+	depSet := map[instID]struct{}{}
+	for _, d := range inst.mergedDeps {
+		depSet[d] = struct{}{}
+	}
+	for _, d := range pr.Deps {
+		if _, dup := depSet[d]; !dup {
+			depSet[d] = struct{}{}
+			inst.mergedDeps = append(inst.mergedDeps, d)
+		}
+	}
+	if pr.Seq > inst.mergedSeq {
+		inst.mergedSeq = pr.Seq
+	}
+
+	if inst.preAcceptOKs < r.fastQuorumReplies() {
+		return
+	}
+	if !inst.attrsChanged {
+		// Fast path: every reply agreed with the original attributes.
+		r.commitInstance(inst, true)
+		return
+	}
+	// Slow path: fix the merged attributes via Accept.
+	inst.deps = inst.mergedDeps
+	inst.seq = inst.mergedSeq
+	inst.status = statusAccepted
+	inst.acceptOKs = 0
+	payload := encodeAccept(acceptMsg{ID: inst.id, Cmds: inst.cmds, Deps: inst.deps, Seq: inst.seq})
+	for i, p := range r.cfg.Peers {
+		if uint8(i+1) == r.cfg.ID {
+			continue
+		}
+		r.ep.Send(p, msgAccept, payload)
+	}
+}
+
+// onAccept records the fixed attributes and acks.
+func (r *Replica) onAccept(from string, a acceptMsg) {
+	inst := r.instances[a.ID]
+	if inst == nil {
+		inst = &instance{id: a.ID}
+		r.instances[a.ID] = inst
+	}
+	if inst.status == statusCommitted || inst.status == statusExecuted {
+		return
+	}
+	inst.cmds = a.Cmds
+	inst.deps = a.Deps
+	inst.seq = a.Seq
+	inst.status = statusAccepted
+	r.recordInterference(a.ID, a.Cmds)
+	r.ep.Send(from, msgAcceptReply, encodeAcceptReply(acceptReply{ID: a.ID}))
+}
+
+// onAcceptReply tallies Accept acks at the command leader.
+func (r *Replica) onAcceptReply(ar acceptReply) {
+	inst := r.instances[ar.ID]
+	if inst == nil || inst.status != statusAccepted || ar.ID.Replica != r.cfg.ID {
+		return
+	}
+	inst.acceptOKs++
+	if inst.acceptOKs >= r.slowQuorumReplies() {
+		r.commitInstance(inst, false)
+	}
+}
+
+// onCommit installs a decided instance from another leader.
+func (r *Replica) onCommit(c commitMsg) {
+	inst := r.instances[c.ID]
+	if inst == nil {
+		inst = &instance{id: c.ID}
+		r.instances[c.ID] = inst
+	}
+	if inst.status == statusExecuted || inst.status == statusCommitted {
+		return
+	}
+	inst.cmds = c.Cmds
+	inst.deps = c.Deps
+	inst.seq = c.Seq
+	inst.status = statusCommitted
+	r.recordInterference(c.ID, c.Cmds)
+	r.commits.Add(1)
+	r.tryExecute(inst)
+}

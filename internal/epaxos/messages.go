@@ -1,0 +1,230 @@
+package epaxos
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// Protocol message types.
+const (
+	msgPreAccept uint8 = iota + 1
+	msgPreAcceptReply
+	msgAccept
+	msgAcceptReply
+	msgCommit
+)
+
+var errShort = errors.New("epaxos: short message")
+
+// --- primitive helpers ---
+
+func encodeInstID(buf []byte, id instID) int {
+	buf[0] = id.Replica
+	binary.LittleEndian.PutUint64(buf[1:], id.Slot)
+	return 9
+}
+
+func decodeInstID(b []byte) (instID, int, error) {
+	if len(b) < 9 {
+		return instID{}, 0, errShort
+	}
+	return instID{Replica: b[0], Slot: binary.LittleEndian.Uint64(b[1:])}, 9, nil
+}
+
+func depsSize(deps []instID) int { return 2 + 9*len(deps) }
+
+func encodeDeps(buf []byte, deps []instID) int {
+	binary.LittleEndian.PutUint16(buf, uint16(len(deps)))
+	off := 2
+	for _, d := range deps {
+		off += encodeInstID(buf[off:], d)
+	}
+	return off
+}
+
+func decodeDeps(b []byte) ([]instID, int, error) {
+	if len(b) < 2 {
+		return nil, 0, errShort
+	}
+	n := int(binary.LittleEndian.Uint16(b))
+	off := 2
+	deps := make([]instID, 0, n)
+	for i := 0; i < n; i++ {
+		d, used, err := decodeInstID(b[off:])
+		if err != nil {
+			return nil, 0, err
+		}
+		deps = append(deps, d)
+		off += used
+	}
+	return deps, off, nil
+}
+
+func cmdsSize(cmds []command) int {
+	n := 2
+	for _, c := range cmds {
+		n += 1 + 4 + len(c.Key) + 4 + len(c.Value)
+	}
+	return n
+}
+
+func encodeCmds(buf []byte, cmds []command) int {
+	binary.LittleEndian.PutUint16(buf, uint16(len(cmds)))
+	off := 2
+	for _, c := range cmds {
+		buf[off] = c.Op
+		off++
+		binary.LittleEndian.PutUint32(buf[off:], uint32(len(c.Key)))
+		off += 4
+		off += copy(buf[off:], c.Key)
+		binary.LittleEndian.PutUint32(buf[off:], uint32(len(c.Value)))
+		off += 4
+		off += copy(buf[off:], c.Value)
+	}
+	return off
+}
+
+func decodeCmds(b []byte) ([]command, int, error) {
+	if len(b) < 2 {
+		return nil, 0, errShort
+	}
+	n := int(binary.LittleEndian.Uint16(b))
+	off := 2
+	cmds := make([]command, 0, n)
+	for i := 0; i < n; i++ {
+		if off+9 > len(b) {
+			return nil, 0, errShort
+		}
+		c := command{Op: b[off]}
+		off++
+		kl := int(binary.LittleEndian.Uint32(b[off:]))
+		off += 4
+		if off+kl+4 > len(b) {
+			return nil, 0, errShort
+		}
+		c.Key = append([]byte(nil), b[off:off+kl]...)
+		off += kl
+		vl := int(binary.LittleEndian.Uint32(b[off:]))
+		off += 4
+		if off+vl > len(b) {
+			return nil, 0, errShort
+		}
+		c.Value = append([]byte(nil), b[off:off+vl]...)
+		off += vl
+		cmds = append(cmds, c)
+	}
+	return cmds, off, nil
+}
+
+// --- messages ---
+
+// preAccept (and acceptMsg, commitMsg, which share the shape) carries an
+// instance's id, batch, and attributes.
+type preAccept struct {
+	ID   instID
+	Cmds []command
+	Deps []instID
+	Seq  uint64
+}
+
+type acceptMsg = preAccept
+type commitMsg = preAccept
+
+func encodeInstanceMsg(m preAccept) []byte {
+	buf := make([]byte, 9+cmdsSize(m.Cmds)+depsSize(m.Deps)+8)
+	off := encodeInstID(buf, m.ID)
+	off += encodeCmds(buf[off:], m.Cmds)
+	off += encodeDeps(buf[off:], m.Deps)
+	binary.LittleEndian.PutUint64(buf[off:], m.Seq)
+	return buf
+}
+
+func decodeInstanceMsg(b []byte) (preAccept, error) {
+	var m preAccept
+	id, off, err := decodeInstID(b)
+	if err != nil {
+		return m, err
+	}
+	m.ID = id
+	cmds, used, err := decodeCmds(b[off:])
+	if err != nil {
+		return m, err
+	}
+	m.Cmds = cmds
+	off += used
+	deps, used, err := decodeDeps(b[off:])
+	if err != nil {
+		return m, err
+	}
+	m.Deps = deps
+	off += used
+	if off+8 > len(b) {
+		return m, errShort
+	}
+	m.Seq = binary.LittleEndian.Uint64(b[off:])
+	return m, nil
+}
+
+func encodePreAccept(m preAccept) []byte          { return encodeInstanceMsg(m) }
+func decodePreAccept(b []byte) (preAccept, error) { return decodeInstanceMsg(b) }
+func encodeAccept(m acceptMsg) []byte             { return encodeInstanceMsg(m) }
+func decodeAccept(b []byte) (acceptMsg, error)    { return decodeInstanceMsg(b) }
+func encodeCommit(m commitMsg) []byte             { return encodeInstanceMsg(m) }
+func decodeCommit(b []byte) (commitMsg, error)    { return decodeInstanceMsg(b) }
+
+// preAcceptReply returns possibly-updated attributes.
+type preAcceptReply struct {
+	ID      instID
+	Deps    []instID
+	Seq     uint64
+	Changed bool
+}
+
+func encodePreAcceptReply(m preAcceptReply) []byte {
+	buf := make([]byte, 9+depsSize(m.Deps)+9)
+	off := encodeInstID(buf, m.ID)
+	off += encodeDeps(buf[off:], m.Deps)
+	binary.LittleEndian.PutUint64(buf[off:], m.Seq)
+	off += 8
+	if m.Changed {
+		buf[off] = 1
+	}
+	return buf
+}
+
+func decodePreAcceptReply(b []byte) (preAcceptReply, error) {
+	var m preAcceptReply
+	id, off, err := decodeInstID(b)
+	if err != nil {
+		return m, err
+	}
+	m.ID = id
+	deps, used, err := decodeDeps(b[off:])
+	if err != nil {
+		return m, err
+	}
+	m.Deps = deps
+	off += used
+	if off+9 > len(b) {
+		return m, errShort
+	}
+	m.Seq = binary.LittleEndian.Uint64(b[off:])
+	m.Changed = b[off+8] == 1
+	return m, nil
+}
+
+// acceptReply acknowledges an Accept.
+type acceptReply struct {
+	ID instID
+}
+
+func encodeAcceptReply(m acceptReply) []byte {
+	buf := make([]byte, 9)
+	encodeInstID(buf, m.ID)
+	return buf
+}
+
+func decodeAcceptReply(b []byte) (acceptReply, error) {
+	id, _, err := decodeInstID(b)
+	return acceptReply{ID: id}, err
+}

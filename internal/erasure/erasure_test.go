@@ -1,0 +1,340 @@
+package erasure
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGFFieldAxioms(t *testing.T) {
+	mulAssoc := func(a, b, c byte) bool {
+		return gfMul(gfMul(a, b), c) == gfMul(a, gfMul(b, c))
+	}
+	if err := quick.Check(mulAssoc, nil); err != nil {
+		t.Errorf("multiplication associativity: %v", err)
+	}
+	mulComm := func(a, b byte) bool { return gfMul(a, b) == gfMul(b, a) }
+	if err := quick.Check(mulComm, nil); err != nil {
+		t.Errorf("multiplication commutativity: %v", err)
+	}
+	distrib := func(a, b, c byte) bool {
+		return gfMul(a, b^c) == gfMul(a, b)^gfMul(a, c)
+	}
+	if err := quick.Check(distrib, nil); err != nil {
+		t.Errorf("distributivity: %v", err)
+	}
+	identity := func(a byte) bool { return gfMul(a, 1) == a }
+	if err := quick.Check(identity, nil); err != nil {
+		t.Errorf("multiplicative identity: %v", err)
+	}
+}
+
+func TestGFInverse(t *testing.T) {
+	for a := 1; a < 256; a++ {
+		if got := gfMul(byte(a), gfInv(byte(a))); got != 1 {
+			t.Fatalf("a * a^-1 = %d for a=%d, want 1", got, a)
+		}
+	}
+}
+
+func TestGFDiv(t *testing.T) {
+	f := func(a, b byte) bool {
+		if b == 0 {
+			return true
+		}
+		return gfMul(gfDiv(a, b), b) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGFDivByZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("gfDiv by zero should panic")
+		}
+	}()
+	gfDiv(5, 0)
+}
+
+func TestGFInvZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("gfInv(0) should panic")
+		}
+	}()
+	gfInv(0)
+}
+
+func TestMulSliceMatchesScalar(t *testing.T) {
+	src := make([]byte, 257)
+	for i := range src {
+		src[i] = byte(i)
+	}
+	for _, c := range []byte{0, 1, 2, 37, 255} {
+		dst := make([]byte, len(src))
+		mulSlice(dst, src, c)
+		for i := range src {
+			if dst[i] != gfMul(src[i], c) {
+				t.Fatalf("mulSlice c=%d i=%d: %d != %d", c, i, dst[i], gfMul(src[i], c))
+			}
+		}
+	}
+}
+
+func TestInvertMatrixIdentity(t *testing.T) {
+	m := [][]byte{{1, 0, 0}, {0, 1, 0}, {0, 0, 1}}
+	if !invertMatrix(m) {
+		t.Fatal("identity should invert")
+	}
+	want := [][]byte{{1, 0, 0}, {0, 1, 0}, {0, 0, 1}}
+	for i := range m {
+		if !bytes.Equal(m[i], want[i]) {
+			t.Fatalf("row %d = %v", i, m[i])
+		}
+	}
+}
+
+func TestInvertMatrixSingular(t *testing.T) {
+	m := [][]byte{{1, 2}, {1, 2}}
+	if invertMatrix(m) {
+		t.Fatal("singular matrix should not invert")
+	}
+}
+
+func TestNewParams(t *testing.T) {
+	if _, err := New(0, 1); !errors.Is(err, ErrInvalidParams) {
+		t.Fatalf("k=0: %v", err)
+	}
+	if _, err := New(1, -1); !errors.Is(err, ErrInvalidParams) {
+		t.Fatalf("m=-1: %v", err)
+	}
+	if _, err := New(200, 100); !errors.Is(err, ErrInvalidParams) {
+		t.Fatalf("k+m>256: %v", err)
+	}
+	if _, err := New(2, 1); err != nil {
+		t.Fatalf("valid params: %v", err)
+	}
+}
+
+func TestEncodeDecodeAllPatterns(t *testing.T) {
+	// Sift geometries: k = Fm+1, m = Fm for Fm in 1..3.
+	for fm := 1; fm <= 3; fm++ {
+		k, m := fm+1, fm
+		c, err := New(k, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(int64(fm)))
+		block := make([]byte, k*64)
+		rng.Read(block)
+		chunks, err := c.Encode(block)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(chunks) != k+m {
+			t.Fatalf("got %d chunks", len(chunks))
+		}
+		// Systematic: data chunks are the block.
+		recomposed := bytes.Join(chunks[:k], nil)
+		if !bytes.Equal(recomposed, block) {
+			t.Fatal("data chunks are not systematic")
+		}
+		// Every way of erasing exactly m chunks must decode.
+		n := k + m
+		patterns := choose(n, m)
+		for _, erased := range patterns {
+			avail := make([][]byte, n)
+			copy(avail, chunks)
+			for _, e := range erased {
+				avail[e] = nil
+			}
+			got, err := c.Decode(avail)
+			if err != nil {
+				t.Fatalf("Fm=%d erased=%v: %v", fm, erased, err)
+			}
+			if !bytes.Equal(got, block) {
+				t.Fatalf("Fm=%d erased=%v: decoded block differs", fm, erased)
+			}
+		}
+	}
+}
+
+// choose enumerates all size-m subsets of {0..n-1}.
+func choose(n, m int) [][]int {
+	var out [][]int
+	var rec func(start int, cur []int)
+	rec = func(start int, cur []int) {
+		if len(cur) == m {
+			out = append(out, append([]int(nil), cur...))
+			return
+		}
+		for i := start; i < n; i++ {
+			rec(i+1, append(cur, i))
+		}
+	}
+	rec(0, nil)
+	return out
+}
+
+func TestEncodeDecodeQuick(t *testing.T) {
+	c, err := New(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64, raw []byte) bool {
+		// Round block size up to a multiple of k.
+		if len(raw) == 0 {
+			raw = []byte{1}
+		}
+		pad := (3 - len(raw)%3) % 3
+		block := append(append([]byte(nil), raw...), make([]byte, pad)...)
+		chunks, err := c.Encode(block)
+		if err != nil {
+			return false
+		}
+		// Erase 2 random chunks.
+		rng := rand.New(rand.NewSource(seed))
+		i := rng.Intn(5)
+		j := rng.Intn(5)
+		avail := make([][]byte, 5)
+		copy(avail, chunks)
+		avail[i], avail[j] = nil, nil
+		got, err := c.Decode(avail)
+		return err == nil && bytes.Equal(got, block)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeNotEnoughChunks(t *testing.T) {
+	c, _ := New(2, 1)
+	block := []byte{1, 2, 3, 4}
+	chunks, _ := c.Encode(block)
+	chunks[0], chunks[1] = nil, nil // only parity left
+	if _, err := c.Decode(chunks); !errors.Is(err, ErrNotEnoughChunks) {
+		t.Fatalf("err = %v, want ErrNotEnoughChunks", err)
+	}
+}
+
+func TestDecodeChunkSizeMismatch(t *testing.T) {
+	c, _ := New(2, 1)
+	chunks := [][]byte{{1, 2}, {3}, nil}
+	if _, err := c.Decode(chunks); !errors.Is(err, ErrChunkSize) {
+		t.Fatalf("err = %v, want ErrChunkSize", err)
+	}
+	if _, err := c.Decode([][]byte{{1}, {2}}); !errors.Is(err, ErrChunkSize) {
+		t.Fatalf("wrong count: err = %v, want ErrChunkSize", err)
+	}
+}
+
+func TestEncodeBadBlockLen(t *testing.T) {
+	c, _ := New(3, 1)
+	if _, err := c.Encode(make([]byte, 10)); !errors.Is(err, ErrShortBlock) {
+		t.Fatalf("err = %v, want ErrShortBlock", err)
+	}
+}
+
+func TestEncodeInto(t *testing.T) {
+	c, _ := New(2, 2)
+	block := []byte{10, 20, 30, 40}
+	parity := [][]byte{make([]byte, 2), make([]byte, 2)}
+	chunks, err := c.EncodeInto(block, parity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := c.Encode(block)
+	for i := range want {
+		if !bytes.Equal(chunks[i], want[i]) {
+			t.Fatalf("chunk %d: %v != %v", i, chunks[i], want[i])
+		}
+	}
+	// Wrong parity buffer count / size.
+	if _, err := c.EncodeInto(block, parity[:1]); !errors.Is(err, ErrChunkSize) {
+		t.Fatalf("short parity list: %v", err)
+	}
+	if _, err := c.EncodeInto(block, [][]byte{make([]byte, 1), make([]byte, 2)}); !errors.Is(err, ErrChunkSize) {
+		t.Fatalf("bad parity size: %v", err)
+	}
+}
+
+func TestReconstruct(t *testing.T) {
+	c, _ := New(3, 2)
+	block := make([]byte, 3*16)
+	rand.New(rand.NewSource(7)).Read(block)
+	chunks, _ := c.Encode(block)
+	orig := make([][]byte, len(chunks))
+	for i, ch := range chunks {
+		orig[i] = append([]byte(nil), ch...)
+	}
+	chunks[1], chunks[4] = nil, nil
+	if err := c.Reconstruct(chunks); err != nil {
+		t.Fatal(err)
+	}
+	for i := range chunks {
+		if !bytes.Equal(chunks[i], orig[i]) {
+			t.Fatalf("chunk %d not reconstructed correctly", i)
+		}
+	}
+}
+
+func TestStorageReductionFactor(t *testing.T) {
+	// Sift's claim: per-node storage drops by Fm+1 versus full replication.
+	for fm := 1; fm <= 3; fm++ {
+		k := fm + 1
+		c, _ := New(k, fm)
+		block := make([]byte, k*128)
+		cs, err := c.ChunkSize(len(block))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cs*(k) != len(block) {
+			t.Fatalf("chunk size %d inconsistent", cs)
+		}
+		if got, want := len(block)/cs, fm+1; got != want {
+			t.Fatalf("reduction factor %d, want %d", got, want)
+		}
+	}
+}
+
+func BenchmarkEncodeF1(b *testing.B) { benchEncode(b, 2, 1) }
+func BenchmarkEncodeF2(b *testing.B) { benchEncode(b, 3, 2) }
+
+func benchEncode(b *testing.B, k, m int) {
+	c, _ := New(k, m)
+	block := make([]byte, 1024-1024%k)
+	rand.New(rand.NewSource(1)).Read(block)
+	parity := make([][]byte, m)
+	cs, _ := c.ChunkSize(len(block))
+	for i := range parity {
+		parity[i] = make([]byte, cs)
+	}
+	b.SetBytes(int64(len(block)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.EncodeInto(block, parity); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeWithParity(b *testing.B) {
+	c, _ := New(3, 2)
+	block := make([]byte, 999)
+	rand.New(rand.NewSource(1)).Read(block)
+	chunks, _ := c.Encode(block)
+	b.SetBytes(int64(len(block)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		avail := make([][]byte, len(chunks))
+		copy(avail, chunks)
+		avail[0], avail[2] = nil, nil
+		if _, err := c.Decode(avail); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,150 @@
+// Package erasure implements Cauchy Reed–Solomon erasure coding over
+// GF(2^8), the scheme Sift uses to shrink each memory node's share of the
+// replicated memory (paper §5.1, citing the cm256 library).
+//
+// A Code with k data chunks and m parity chunks encodes a block of k·c bytes
+// into k+m chunks of c bytes each; any k of the k+m chunks reconstruct the
+// original block. Sift instantiates k = Fm+1, m = Fm, so a group of 2Fm+1
+// memory nodes stores one chunk per node and tolerates Fm losses while using
+// a factor of Fm+1 less memory than full replication.
+package erasure
+
+// GF(2^8) arithmetic with the primitive polynomial x^8+x^4+x^3+x^2+1 (0x11d), under which 2 generates the multiplicative group.
+// Multiplication and inversion go through log/exp tables built at init.
+
+const fieldPoly = 0x11d
+
+var (
+	gfExp [512]byte // generator powers, doubled to avoid a mod in mul
+	gfLog [256]byte
+)
+
+func init() {
+	x := 1
+	for i := 0; i < 255; i++ {
+		gfExp[i] = byte(x)
+		gfLog[x] = byte(i)
+		x <<= 1
+		if x&0x100 != 0 {
+			x ^= fieldPoly
+		}
+	}
+	for i := 255; i < 512; i++ {
+		gfExp[i] = gfExp[i-255]
+	}
+}
+
+// gfMul multiplies two field elements.
+func gfMul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return gfExp[int(gfLog[a])+int(gfLog[b])]
+}
+
+// gfDiv divides a by b. b must be non-zero.
+func gfDiv(a, b byte) byte {
+	if b == 0 {
+		panic("erasure: division by zero in GF(256)")
+	}
+	if a == 0 {
+		return 0
+	}
+	return gfExp[int(gfLog[a])+255-int(gfLog[b])]
+}
+
+// gfInv returns the multiplicative inverse of a non-zero element.
+func gfInv(a byte) byte {
+	if a == 0 {
+		panic("erasure: zero has no inverse in GF(256)")
+	}
+	return gfExp[255-int(gfLog[a])]
+}
+
+// mulRowTable returns the 256-entry multiplication table for coefficient c,
+// letting the encode inner loop run as a table lookup per byte.
+func mulRowTable(c byte) *[256]byte {
+	var t [256]byte
+	if c == 0 {
+		return &t
+	}
+	lc := int(gfLog[c])
+	for x := 1; x < 256; x++ {
+		t[x] = gfExp[lc+int(gfLog[x])]
+	}
+	return &t
+}
+
+// mulAddSlice computes dst[i] ^= c * src[i] for all i using a lookup table.
+func mulAddSlice(dst, src []byte, c byte) {
+	if c == 0 {
+		return
+	}
+	t := mulTables[c]
+	for i, s := range src {
+		dst[i] ^= t[s]
+	}
+}
+
+// mulSlice computes dst[i] = c * src[i].
+func mulSlice(dst, src []byte, c byte) {
+	t := mulTables[c]
+	for i, s := range src {
+		dst[i] = t[s]
+	}
+}
+
+// mulTables caches per-coefficient lookup tables (64 KiB total).
+var mulTables [256]*[256]byte
+
+func init() {
+	for c := 0; c < 256; c++ {
+		mulTables[c] = mulRowTable(byte(c))
+	}
+}
+
+// invertMatrix inverts an n×n matrix over GF(256) in place using
+// Gauss–Jordan elimination. It returns false if the matrix is singular.
+func invertMatrix(m [][]byte) bool {
+	n := len(m)
+	// Augment with identity.
+	aug := make([][]byte, n)
+	for i := range aug {
+		aug[i] = make([]byte, 2*n)
+		copy(aug[i], m[i])
+		aug[i][n+i] = 1
+	}
+	for col := 0; col < n; col++ {
+		// Find pivot.
+		pivot := -1
+		for r := col; r < n; r++ {
+			if aug[r][col] != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			return false
+		}
+		aug[col], aug[pivot] = aug[pivot], aug[col]
+		// Scale pivot row.
+		inv := gfInv(aug[col][col])
+		for c := 0; c < 2*n; c++ {
+			aug[col][c] = gfMul(aug[col][c], inv)
+		}
+		// Eliminate other rows.
+		for r := 0; r < n; r++ {
+			if r == col || aug[r][col] == 0 {
+				continue
+			}
+			f := aug[r][col]
+			for c := 0; c < 2*n; c++ {
+				aug[r][c] ^= gfMul(f, aug[col][c])
+			}
+		}
+	}
+	for i := range m {
+		copy(m[i], aug[i][n:])
+	}
+	return true
+}

@@ -1,0 +1,204 @@
+package erasure
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Errors returned by the codec.
+var (
+	ErrInvalidParams   = errors.New("erasure: invalid code parameters")
+	ErrShortBlock      = errors.New("erasure: block length not divisible by data chunk count")
+	ErrNotEnoughChunks = errors.New("erasure: fewer than k chunks available")
+	ErrChunkSize       = errors.New("erasure: chunk size mismatch")
+)
+
+// Code is a systematic Cauchy Reed–Solomon code with k data chunks and m
+// parity chunks. Chunks 0..k-1 are verbatim slices of the input block
+// (systematic layout), so reads that reach only data chunks skip decoding —
+// the property Sift exploits by prioritising non-parity memory nodes.
+type Code struct {
+	k, m   int
+	parity [][]byte // m×k Cauchy coefficient matrix
+}
+
+// New constructs a code with k data and m parity chunks. k ≥ 1, m ≥ 0, and
+// k+m ≤ 256 (field size limit).
+func New(k, m int) (*Code, error) {
+	if k < 1 || m < 0 || k+m > 256 {
+		return nil, fmt.Errorf("%w: k=%d m=%d", ErrInvalidParams, k, m)
+	}
+	c := &Code{k: k, m: m}
+	// Cauchy matrix: rows indexed by x_i = k+i, columns by y_j = j, entry
+	// 1/(x_i ^ y_j). Distinctness of all x and y values in GF(256)
+	// guarantees every square submatrix is invertible, which is what makes
+	// any-k-of-n reconstruction possible.
+	c.parity = make([][]byte, m)
+	for i := 0; i < m; i++ {
+		row := make([]byte, k)
+		for j := 0; j < k; j++ {
+			row[j] = gfInv(byte(k+i) ^ byte(j))
+		}
+		c.parity[i] = row
+	}
+	return c, nil
+}
+
+// K returns the number of data chunks.
+func (c *Code) K() int { return c.k }
+
+// M returns the number of parity chunks.
+func (c *Code) M() int { return c.m }
+
+// ChunkSize returns the per-chunk size for a block of blockLen bytes.
+// blockLen must be divisible by K.
+func (c *Code) ChunkSize(blockLen int) (int, error) {
+	if blockLen%c.k != 0 {
+		return 0, fmt.Errorf("%w: block %d, k %d", ErrShortBlock, blockLen, c.k)
+	}
+	return blockLen / c.k, nil
+}
+
+// Encode splits block into k data chunks and computes m parity chunks,
+// returning all k+m chunks. The data chunks alias block; parity chunks are
+// freshly allocated.
+func (c *Code) Encode(block []byte) ([][]byte, error) {
+	cs, err := c.ChunkSize(len(block))
+	if err != nil {
+		return nil, err
+	}
+	chunks := make([][]byte, c.k+c.m)
+	for j := 0; j < c.k; j++ {
+		chunks[j] = block[j*cs : (j+1)*cs]
+	}
+	for i := 0; i < c.m; i++ {
+		p := make([]byte, cs)
+		for j := 0; j < c.k; j++ {
+			mulAddSlice(p, chunks[j], c.parity[i][j])
+		}
+		chunks[c.k+i] = p
+	}
+	return chunks, nil
+}
+
+// EncodeInto is like Encode but writes parity into the caller-provided
+// buffers parity[0..m-1], each of chunk size, avoiding allocation on the hot
+// write path. Returned data chunks alias block.
+func (c *Code) EncodeInto(block []byte, parity [][]byte) ([][]byte, error) {
+	cs, err := c.ChunkSize(len(block))
+	if err != nil {
+		return nil, err
+	}
+	if len(parity) != c.m {
+		return nil, fmt.Errorf("%w: %d parity buffers, want %d", ErrChunkSize, len(parity), c.m)
+	}
+	chunks := make([][]byte, c.k+c.m)
+	for j := 0; j < c.k; j++ {
+		chunks[j] = block[j*cs : (j+1)*cs]
+	}
+	for i := 0; i < c.m; i++ {
+		if len(parity[i]) != cs {
+			return nil, fmt.Errorf("%w: parity buffer %d has %d bytes, want %d", ErrChunkSize, i, len(parity[i]), cs)
+		}
+		for j := range parity[i] {
+			parity[i][j] = 0
+		}
+		for j := 0; j < c.k; j++ {
+			mulAddSlice(parity[i], chunks[j], c.parity[i][j])
+		}
+		chunks[c.k+i] = parity[i]
+	}
+	return chunks, nil
+}
+
+// Decode reconstructs the original block from any k available chunks.
+// chunks has length k+m; missing chunks are nil. All present chunks must
+// share one size. The reconstructed block is newly allocated.
+func (c *Code) Decode(chunks [][]byte) ([]byte, error) {
+	if len(chunks) != c.k+c.m {
+		return nil, fmt.Errorf("%w: %d chunks, want %d", ErrChunkSize, len(chunks), c.k+c.m)
+	}
+	cs := -1
+	present := make([]int, 0, c.k)
+	for i, ch := range chunks {
+		if ch == nil {
+			continue
+		}
+		if cs == -1 {
+			cs = len(ch)
+		} else if len(ch) != cs {
+			return nil, fmt.Errorf("%w: chunk %d has %d bytes, want %d", ErrChunkSize, i, len(ch), cs)
+		}
+		present = append(present, i)
+	}
+	if len(present) < c.k {
+		return nil, fmt.Errorf("%w: have %d, need %d", ErrNotEnoughChunks, len(present), c.k)
+	}
+
+	// Fast path: all data chunks present (systematic layout).
+	allData := true
+	for j := 0; j < c.k; j++ {
+		if chunks[j] == nil {
+			allData = false
+			break
+		}
+	}
+	block := make([]byte, c.k*cs)
+	if allData {
+		for j := 0; j < c.k; j++ {
+			copy(block[j*cs:], chunks[j])
+		}
+		return block, nil
+	}
+
+	// General path: pick k present chunks (prefer data chunks — cheaper
+	// rows), build the k×k generator submatrix, invert, multiply.
+	use := present[:c.k]
+	mat := make([][]byte, c.k)
+	for r, idx := range use {
+		row := make([]byte, c.k)
+		if idx < c.k {
+			row[idx] = 1 // systematic row
+		} else {
+			copy(row, c.parity[idx-c.k])
+		}
+		mat[r] = row
+	}
+	if !invertMatrix(mat) {
+		return nil, errors.New("erasure: generator submatrix singular (corrupt code state)")
+	}
+	// dataChunk[j] = sum_r mat[j][r] * chunks[use[r]]
+	for j := 0; j < c.k; j++ {
+		out := block[j*cs : (j+1)*cs]
+		if chunks[j] != nil {
+			copy(out, chunks[j]) // already have it verbatim
+			continue
+		}
+		for r, idx := range use {
+			mulAddSlice(out, chunks[idx], mat[j][r])
+		}
+	}
+	return block, nil
+}
+
+// Reconstruct fills in every nil chunk (data and parity) in place, given at
+// least k present chunks. Used by memory-node recovery, which must rebuild
+// the exact chunk a rejoining node is responsible for.
+func (c *Code) Reconstruct(chunks [][]byte) error {
+	block, err := c.Decode(chunks)
+	if err != nil {
+		return err
+	}
+	cs := len(block) / c.k
+	full, err := c.Encode(block)
+	if err != nil {
+		return err
+	}
+	for i := range chunks {
+		if chunks[i] == nil {
+			chunks[i] = make([]byte, cs)
+			copy(chunks[i], full[i])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,132 @@
+package kv
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// PutBatch commits several updates atomically: the whole batch occupies a
+// single KV log entry, so after any coordinator failure either every
+// update in the batch is replayed or none is, and no other conflicting
+// write interleaves between them — the §3.3.2 multi-write commit interface
+// surfaced at the key-value level.
+//
+// The batch must fit in one log slot: with the default sizing that is one
+// full-size record, so batched updates should use proportionally smaller
+// values (the slot holds MaxKey+MaxValue bytes of payload in total, plus
+// per-record framing). Deletes are expressed as nil values.
+func (s *Store) PutBatch(pairs []Pair) error {
+	if len(pairs) == 0 {
+		return nil
+	}
+	recs := make([]record, len(pairs))
+	for i, p := range pairs {
+		if len(p.Key) == 0 || len(p.Key) > s.cfg.MaxKey {
+			return fmt.Errorf("%w: key %d B (max %d)", ErrTooLarge, len(p.Key), s.cfg.MaxKey)
+		}
+		if len(p.Value) > s.cfg.MaxValue {
+			return fmt.Errorf("%w: value %d B (max %d)", ErrTooLarge, len(p.Value), s.cfg.MaxValue)
+		}
+		op := byte(opPut)
+		if p.Value == nil {
+			op = opDelete
+		}
+		recs[i] = record{
+			op:    op,
+			key:   append([]byte(nil), p.Key...),
+			value: append([]byte(nil), p.Value...),
+		}
+	}
+	err := s.commitBatch(recs)
+	if err == nil {
+		for _, r := range recs {
+			if r.op == opDelete {
+				s.stats.deletes.Add(1)
+			} else {
+				s.stats.puts.Add(1)
+			}
+		}
+	}
+	return err
+}
+
+// Pair is one update in a PutBatch. A nil Value deletes the key.
+type Pair struct {
+	Key   []byte
+	Value []byte
+}
+
+// commitBatch reserves one log index for all records, enqueues their
+// applies (to the shards their keys hash to, in batch order), writes the
+// single log slot, and updates the cache.
+func (s *Store) commitBatch(recs []record) error {
+	tasks := make([]*applyTask, len(recs))
+	committed := make(chan struct{})
+
+	s.seqMu.Lock()
+	for s.nextIdx > s.watermark+uint64(s.kvGeo.Slots) && !s.closed.Load() {
+		s.seqCond.Wait()
+	}
+	if s.closed.Load() {
+		s.seqMu.Unlock()
+		return ErrClosed
+	}
+	idx := s.nextIdx
+	s.nextIdx++
+	// All records share the log index; only the last finisher advances the
+	// watermark (finishEntry is idempotent via the applied set, but we must
+	// call it exactly once — route that through a countdown task).
+	remaining := newCountdown(len(recs), func() { s.finishEntry(idx) })
+	for i, r := range recs {
+		t := &applyTask{idx: idx, rec: r, committed: committed, countdown: remaining}
+		tasks[i] = t
+		shard := s.bucketOf(r.key) % uint64(len(s.shards))
+		s.shards[shard].push(t)
+	}
+	s.seqMu.Unlock()
+
+	entry := batchEntryFor(idx, recs)
+	slot := make([]byte, s.kvGeo.SlotSize)
+	_, err := entry.Encode(slot)
+	if err == nil {
+		err = s.mem.DirectWrite(s.kvGeo.SlotOffset(idx), slot)
+	}
+	if err != nil {
+		for _, t := range tasks {
+			t.ok = false
+		}
+		close(committed)
+		return err
+	}
+	for _, r := range recs {
+		if r.op == opDelete {
+			s.cache.put(string(r.key), nil, true)
+		} else {
+			s.cache.put(string(r.key), r.value, true)
+		}
+	}
+	for _, t := range tasks {
+		t.ok = true
+	}
+	close(committed)
+	return nil
+}
+
+// countdown runs fn after n done calls.
+type countdown struct {
+	n  atomic.Int64
+	fn func()
+}
+
+func newCountdown(n int, fn func()) *countdown {
+	c := &countdown{fn: fn}
+	c.n.Store(int64(n))
+	return c
+}
+
+// done consumes one count; the last consumer runs fn.
+func (c *countdown) done() {
+	if c.n.Add(-1) == 0 {
+		c.fn()
+	}
+}

@@ -1,0 +1,122 @@
+package kv
+
+import (
+	"container/list"
+	"sync"
+)
+
+// cache is the coordinator's value cache (paper §4.1/§4.2): an LRU map from
+// key to latest committed value, with pin counts that prevent evicting
+// entries whose updates have not yet been applied to replicated memory —
+// evicting them would let a subsequent get read a stale block.
+//
+// A nil value is a tombstone for a committed delete.
+type cache struct {
+	mu       sync.Mutex
+	capacity int
+	entries  map[string]*list.Element
+	order    *list.List // front = most recent
+}
+
+type cacheEntry struct {
+	key     string
+	value   []byte // nil = tombstone
+	pending int    // outstanding unapplied updates
+}
+
+// newCache creates a cache holding up to capacity entries. Capacity 0
+// disables caching except for pinned (pending) entries, which are always
+// retained for correctness.
+func newCache(capacity int) *cache {
+	return &cache{
+		capacity: capacity,
+		entries:  make(map[string]*list.Element),
+		order:    list.New(),
+	}
+}
+
+// get returns the cached value and whether the key was present. The
+// returned slice must not be modified.
+func (c *cache) get(key string) (value []byte, tombstone, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false, false
+	}
+	c.order.MoveToFront(el)
+	e := el.Value.(*cacheEntry)
+	return e.value, e.value == nil, true
+}
+
+// put inserts or refreshes a committed value. pin marks one pending apply
+// (unpinned later with unpin). A nil value records a delete tombstone.
+func (c *cache) put(key string, value []byte, pin bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		e := el.Value.(*cacheEntry)
+		e.value = value
+		if pin {
+			e.pending++
+		}
+		c.order.MoveToFront(el)
+	} else {
+		e := &cacheEntry{key: key, value: value}
+		if pin {
+			e.pending = 1
+		}
+		c.entries[key] = c.order.PushFront(e)
+	}
+	c.evictLocked()
+}
+
+// insertClean adds a value read from replicated memory, without pinning.
+// It never replaces an existing entry (which may be newer than the read).
+func (c *cache) insertClean(key string, value []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[key]; ok {
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, value: value})
+	c.evictLocked()
+}
+
+// unpin releases one pending apply for key.
+func (c *cache) unpin(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		e := el.Value.(*cacheEntry)
+		if e.pending > 0 {
+			e.pending--
+		}
+	}
+	c.evictLocked()
+}
+
+// evictLocked drops least-recently-used unpinned entries over capacity.
+func (c *cache) evictLocked() {
+	over := c.order.Len() - c.capacity
+	if over <= 0 {
+		return
+	}
+	for el := c.order.Back(); el != nil && over > 0; {
+		prev := el.Prev()
+		e := el.Value.(*cacheEntry)
+		if e.pending == 0 {
+			c.order.Remove(el)
+			delete(c.entries, e.key)
+			over--
+		}
+		el = prev
+	}
+}
+
+// len reports the number of cached entries.
+func (c *cache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

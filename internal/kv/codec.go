@@ -1,0 +1,138 @@
+package kv
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/repro/sift/internal/wal"
+)
+
+// Log record opcodes.
+const (
+	opPut    = 1
+	opDelete = 2
+)
+
+// walEntryOverhead is the wal.Entry framing around one record (entry header
+// plus one write header).
+const walEntryOverhead = 18 + 12
+
+// recordOverhead is the record's own header: op(1) keyLen(2) valLen(2).
+const recordOverhead = 5
+
+// record is one KV log record.
+type record struct {
+	op    byte
+	key   []byte
+	value []byte
+}
+
+// encodeRecord serialises a record for embedding in a wal.Entry write.
+func encodeRecord(r record) []byte {
+	buf := make([]byte, recordOverhead+len(r.key)+len(r.value))
+	buf[0] = r.op
+	binary.LittleEndian.PutUint16(buf[1:3], uint16(len(r.key)))
+	binary.LittleEndian.PutUint16(buf[3:5], uint16(len(r.value)))
+	copy(buf[recordOverhead:], r.key)
+	copy(buf[recordOverhead+len(r.key):], r.value)
+	return buf
+}
+
+// decodeRecord parses a record.
+func decodeRecord(buf []byte) (record, error) {
+	if len(buf) < recordOverhead {
+		return record{}, fmt.Errorf("kv: short record (%d bytes)", len(buf))
+	}
+	op := buf[0]
+	kl := int(binary.LittleEndian.Uint16(buf[1:3]))
+	vl := int(binary.LittleEndian.Uint16(buf[3:5]))
+	if recordOverhead+kl+vl > len(buf) {
+		return record{}, fmt.Errorf("kv: truncated record")
+	}
+	return record{
+		op:    op,
+		key:   buf[recordOverhead : recordOverhead+kl],
+		value: buf[recordOverhead+kl : recordOverhead+kl+vl],
+	}, nil
+}
+
+// entryFor wraps a record in a wal.Entry for the KV log. The wal package
+// supplies the index, CRC, and circular-slot machinery.
+func entryFor(idx uint64, r record) wal.Entry {
+	return wal.Entry{Index: idx, Writes: []wal.Write{{Addr: 0, Data: encodeRecord(r)}}}
+}
+
+// batchEntryFor packs several records into one entry (PutBatch): one
+// wal.Write per record, all under a single log index.
+func batchEntryFor(idx uint64, recs []record) wal.Entry {
+	ws := make([]wal.Write, len(recs))
+	for i, r := range recs {
+		ws[i] = wal.Write{Addr: 0, Data: encodeRecord(r)}
+	}
+	return wal.Entry{Index: idx, Writes: ws}
+}
+
+// recordsOf extracts every record from a KV log entry (single puts carry
+// one; batches carry several).
+func recordsOf(e wal.Entry) ([]record, error) {
+	if len(e.Writes) == 0 {
+		return nil, fmt.Errorf("kv: entry %d has no writes", e.Index)
+	}
+	recs := make([]record, 0, len(e.Writes))
+	for _, w := range e.Writes {
+		r, err := decodeRecord(w.Data)
+		if err != nil {
+			return nil, err
+		}
+		recs = append(recs, r)
+	}
+	return recs, nil
+}
+
+// Data block layout: used(1) keyLen(2) valLen(2) next(8) key[MaxKey]
+// value[MaxValue]. next holds blockIdx+1; 0 terminates the chain.
+const blockHeaderSize = 13
+
+// block is a decoded data block.
+type block struct {
+	used  bool
+	key   []byte
+	value []byte
+	next  uint64 // blockIdx+1; 0 = end of chain
+}
+
+// encodeBlock writes a block image into buf (length ≥ BlockSize).
+func (s *Store) encodeBlock(buf []byte, b block) {
+	for i := range buf[:blockHeaderSize] {
+		buf[i] = 0
+	}
+	if b.used {
+		buf[0] = 1
+	}
+	binary.LittleEndian.PutUint16(buf[1:3], uint16(len(b.key)))
+	binary.LittleEndian.PutUint16(buf[3:5], uint16(len(b.value)))
+	binary.LittleEndian.PutUint64(buf[5:13], b.next)
+	copy(buf[blockHeaderSize:], b.key)
+	for i := blockHeaderSize + len(b.key); i < blockHeaderSize+s.cfg.MaxKey; i++ {
+		buf[i] = 0
+	}
+	copy(buf[blockHeaderSize+s.cfg.MaxKey:], b.value)
+}
+
+// decodeBlock parses a block image.
+func (s *Store) decodeBlock(buf []byte) (block, error) {
+	if len(buf) < s.blockSize {
+		return block{}, fmt.Errorf("kv: short block image (%d bytes)", len(buf))
+	}
+	kl := int(binary.LittleEndian.Uint16(buf[1:3]))
+	vl := int(binary.LittleEndian.Uint16(buf[3:5]))
+	if kl > s.cfg.MaxKey || vl > s.cfg.MaxValue {
+		return block{}, fmt.Errorf("kv: corrupt block header (kl=%d vl=%d)", kl, vl)
+	}
+	return block{
+		used:  buf[0] == 1,
+		key:   buf[blockHeaderSize : blockHeaderSize+kl],
+		value: buf[blockHeaderSize+s.cfg.MaxKey : blockHeaderSize+s.cfg.MaxKey+vl],
+		next:  binary.LittleEndian.Uint64(buf[5:13]),
+	}, nil
+}

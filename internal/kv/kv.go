@@ -1,0 +1,326 @@
+// Package kv implements Sift's recoverable key-value store on top of the
+// replicated memory layer (paper §4).
+//
+// The store is a hash table with chaining, built from four structures that
+// all live in replicated memory at predefined locations:
+//
+//   - an index table of bucket-head pointers,
+//   - a bitmap tracking free data blocks,
+//   - an array of fixed-size data blocks (key, value, next pointer), and
+//   - a circular write-ahead log, placed in the direct-write zone so a put
+//     commits in a single RDMA round trip (§4.2).
+//
+// The index table and bitmap are cached at the coordinator, eliminating up
+// to two remote reads per put; a value cache (default: half the keys)
+// absorbs most gets. Logged puts are applied to the table structures in the
+// background by per-shard appliers, which preserve per-key commit order.
+package kv
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+
+	"github.com/repro/sift/internal/repmem"
+	"github.com/repro/sift/internal/wal"
+)
+
+// Store errors.
+var (
+	// ErrNotFound is returned by Get for missing keys.
+	ErrNotFound = errors.New("kv: key not found")
+	// ErrTooLarge is returned when a key or value exceeds the configured max.
+	ErrTooLarge = errors.New("kv: key or value too large")
+	// ErrFull is returned when all data blocks are allocated.
+	ErrFull = errors.New("kv: store is full")
+	// ErrClosed is returned after Close.
+	ErrClosed = errors.New("kv: store closed")
+)
+
+// Config sizes the key-value store. The zero value is unusable; use
+// DefaultConfig for the paper's evaluation configuration.
+type Config struct {
+	// Capacity is the maximum number of keys (data blocks).
+	Capacity int
+	// MaxKey and MaxValue bound key and value sizes (paper: 32 B and 992 B).
+	MaxKey   int
+	MaxValue int
+	// LoadFactor is the maximum index-table load factor (paper: 0.125).
+	LoadFactor float64
+	// CacheFraction sizes the value cache relative to Capacity (paper: 0.5).
+	CacheFraction float64
+	// WALSlots is the circular KV log's entry count (paper: 64k).
+	WALSlots int
+	// ApplyShards is the number of background appliers (per-key ordering is
+	// preserved by sharding on the bucket).
+	ApplyShards int
+	// Persist, when set, receives every committed update from the
+	// background appliers — the paper's §3.5 design where "all updates are
+	// synchronously written to the persistent database by a background
+	// thread" (RocksDB there; internal/persist's minidb here, or anything
+	// else implementing the interface).
+	Persist Persistence
+}
+
+// Persistence is the optional durable sink for committed updates (§3.5).
+type Persistence interface {
+	Put(key, value []byte) error
+	Delete(key []byte) error
+}
+
+// DefaultConfig returns the paper's §6.2 configuration: 1M keys, 32 B keys,
+// 992 B values, 12.5% load factor, 50% cache, 64k-entry log.
+func DefaultConfig() Config {
+	return Config{
+		Capacity:      1_000_000,
+		MaxKey:        32,
+		MaxValue:      992,
+		LoadFactor:    0.125,
+		CacheFraction: 0.5,
+		WALSlots:      64 * 1024,
+		ApplyShards:   4,
+	}
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.LoadFactor <= 0 {
+		out.LoadFactor = 0.125
+	}
+	if out.CacheFraction < 0 {
+		out.CacheFraction = 0
+	}
+	if out.WALSlots <= 0 {
+		out.WALSlots = 64 * 1024
+	}
+	if out.ApplyShards <= 0 {
+		out.ApplyShards = 4
+	}
+	return out
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Capacity <= 0 || c.MaxKey <= 0 || c.MaxValue < 0 {
+		return fmt.Errorf("kv: invalid sizes in config %+v", c)
+	}
+	if c.LoadFactor < 0 {
+		// Chaining tolerates load factors above 1 (they set the mean chain
+		// length), so only negative values are rejected.
+		return fmt.Errorf("kv: load factor %v out of range", c.LoadFactor)
+	}
+	return nil
+}
+
+// Buckets returns the index table size implied by the config.
+func (c Config) Buckets() int {
+	cc := c.withDefaults()
+	b := int(float64(cc.Capacity)/cc.LoadFactor + 0.5)
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+// BlockSize returns the fixed data block size.
+func (c Config) BlockSize() int { return blockHeaderSize + c.MaxKey + c.MaxValue }
+
+// IndexBytes returns the index table's footprint.
+func (c Config) IndexBytes() int { return c.Buckets() * 8 }
+
+// BitmapBytes returns the allocator bitmap's footprint.
+func (c Config) BitmapBytes() int { return (c.Capacity + 7) / 8 }
+
+// BlocksBase returns the main-space offset of the data block array, aligned
+// so that block i starts at BlocksBase + i*BlockSize. align must be ≥1
+// (pass the repmem EC block size, or 1 without EC).
+func (c Config) BlocksBase(align int) uint64 {
+	base := uint64(c.IndexBytes() + c.BitmapBytes())
+	if align > 1 {
+		a := uint64(align)
+		base = (base + a - 1) / a * a
+	}
+	return base
+}
+
+// RequiredMemSize returns the main-space bytes the store needs.
+func (c Config) RequiredMemSize(align int) int {
+	return int(c.BlocksBase(align)) + c.Capacity*c.BlockSize()
+}
+
+// WALSlotSize returns the KV log slot size: one full put record plus
+// framing, rounded up for alignment.
+func (c Config) WALSlotSize() int {
+	cc := c.withDefaults()
+	n := walEntryOverhead + recordOverhead + cc.MaxKey + cc.MaxValue
+	return (n + 63) / 64 * 64
+}
+
+// RequiredDirectSize returns the direct-zone bytes the store needs.
+func (c Config) RequiredDirectSize() int {
+	cc := c.withDefaults()
+	return cc.WALSlotSize() * cc.WALSlots
+}
+
+// Stats are cumulative counters exposed for the benchmark harness.
+type Stats struct {
+	Puts        uint64
+	Gets        uint64
+	Deletes     uint64
+	CacheHits   uint64
+	CacheMisses uint64
+	Applies     uint64
+	ChainReads  uint64 // remote block reads during chain walks
+}
+
+// Store is the coordinator-side key-value store. It is safe for concurrent
+// use. Construct with New (fresh or recovering — New always runs recovery,
+// which on a fresh store is a no-op).
+type Store struct {
+	cfg Config
+	mem *repmem.Memory
+
+	buckets    uint64
+	blockSize  int
+	bitmapBase uint64
+	blocksBase uint64
+	kvGeo      wal.Geometry
+
+	// index caches the index table: bucket -> blockIdx+1 (0 = empty chain).
+	index []uint64
+	// bitmap caches the block allocator.
+	bitmap   []byte
+	bitmapMu sync.Mutex
+	freeHint int
+
+	bucketLocks []sync.RWMutex
+
+	cache *cache
+
+	seqMu     sync.Mutex
+	seqCond   *sync.Cond
+	nextIdx   uint64
+	watermark uint64
+	applied   map[uint64]bool
+
+	shards  []*shardQueue
+	applyWG sync.WaitGroup
+	closed  atomic.Bool
+
+	stats struct {
+		puts, gets, deletes    atomic.Uint64
+		cacheHits, cacheMisses atomic.Uint64
+		applies, chainReads    atomic.Uint64
+	}
+}
+
+const bucketLockStripes = 512
+
+// New builds the store over mem and recovers its state: it loads the index
+// table and bitmap from replicated memory and replays the KV write-ahead
+// log (paper §4.3). On a fresh deployment both steps see zeroes and the
+// store starts empty.
+func New(mem *repmem.Memory, cfg Config) (*Store, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := cfg.withDefaults()
+	align := 1
+	if mem.ErasureEnabled() {
+		align = mem.ECBlockSize()
+	}
+	if need := c.RequiredMemSize(align); need > mem.MemSize() {
+		return nil, fmt.Errorf("kv: needs %d bytes of main memory, have %d", need, mem.MemSize())
+	}
+	if need := c.RequiredDirectSize(); need > mem.DirectSize() {
+		return nil, fmt.Errorf("kv: needs %d bytes of direct memory, have %d", need, mem.DirectSize())
+	}
+	s := &Store{
+		cfg:         c,
+		mem:         mem,
+		buckets:     uint64(c.Buckets()),
+		blockSize:   c.BlockSize(),
+		bitmapBase:  uint64(c.IndexBytes()),
+		blocksBase:  c.BlocksBase(align),
+		kvGeo:       wal.Geometry{Base: 0, SlotSize: c.WALSlotSize(), Slots: c.WALSlots},
+		index:       make([]uint64, c.Buckets()),
+		bitmap:      make([]byte, c.BitmapBytes()),
+		bucketLocks: make([]sync.RWMutex, bucketLockStripes),
+		applied:     make(map[uint64]bool),
+		nextIdx:     1,
+	}
+	s.seqCond = sync.NewCond(&s.seqMu)
+	cacheEntries := int(float64(c.Capacity) * c.CacheFraction)
+	s.cache = newCache(cacheEntries)
+
+	if err := s.recover(); err != nil {
+		return nil, err
+	}
+
+	s.shards = make([]*shardQueue, c.ApplyShards)
+	for i := range s.shards {
+		q := newShardQueue()
+		s.shards[i] = q
+		s.applyWG.Add(1)
+		go s.applyLoop(q)
+	}
+	return s, nil
+}
+
+// Close stops the background appliers. Pending applies are drained first so
+// every committed put reaches the replicated memory.
+func (s *Store) Close() {
+	// The sequence lock serialises this against commitRecord's enqueue, so
+	// no send can race the channel close.
+	s.seqMu.Lock()
+	if s.closed.Swap(true) {
+		s.seqMu.Unlock()
+		return
+	}
+	for _, q := range s.shards {
+		q.close()
+	}
+	s.seqCond.Broadcast()
+	s.seqMu.Unlock()
+	s.applyWG.Wait()
+}
+
+// Stats returns a snapshot of the operation counters.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Puts:        s.stats.puts.Load(),
+		Gets:        s.stats.gets.Load(),
+		Deletes:     s.stats.deletes.Load(),
+		CacheHits:   s.stats.cacheHits.Load(),
+		CacheMisses: s.stats.cacheMisses.Load(),
+		Applies:     s.stats.applies.Load(),
+		ChainReads:  s.stats.chainReads.Load(),
+	}
+}
+
+// Memory returns the underlying replicated memory handle.
+func (s *Store) Memory() *repmem.Memory { return s.mem }
+
+// MemoryStats returns the replicated memory layer's counters.
+func (s *Store) MemoryStats() repmem.Stats { return s.mem.Stats() }
+
+// bucketOf hashes a key to its bucket.
+func (s *Store) bucketOf(key []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(key)
+	return h.Sum64() % s.buckets
+}
+
+func (s *Store) bucketLock(bucket uint64) *sync.RWMutex {
+	return &s.bucketLocks[bucket%bucketLockStripes]
+}
+
+// indexAddr returns the main-space address of a bucket's index entry.
+func (s *Store) indexAddr(bucket uint64) uint64 { return bucket * 8 }
+
+// blockAddr returns the main-space address of data block i.
+func (s *Store) blockAddr(i uint64) uint64 {
+	return s.blocksBase + i*uint64(s.blockSize)
+}

@@ -1,0 +1,326 @@
+package kv
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// applyTask carries a committed log entry to its shard's applier. Tasks are
+// enqueued in log-index order under the sequence lock, so per-key apply
+// order always matches commit order.
+type applyTask struct {
+	idx       uint64
+	rec       record
+	committed chan struct{} // closed once the log write resolves
+	ok        bool          // valid after committed is closed
+	// countdown, when set, coordinates a multi-record batch sharing one
+	// log index: the last applied record finishes the entry.
+	countdown *countdown
+}
+
+// Put stores value under key. It returns once the update is committed: the
+// record is written to the circular KV log on a majority of memory nodes in
+// a single RDMA round trip (paper §4.2). The hash-table update happens in
+// the background.
+func (s *Store) Put(key, value []byte) error {
+	if len(key) > s.cfg.MaxKey || len(value) > s.cfg.MaxValue {
+		return fmt.Errorf("%w: key %d B (max %d), value %d B (max %d)",
+			ErrTooLarge, len(key), s.cfg.MaxKey, len(value), s.cfg.MaxValue)
+	}
+	if len(key) == 0 {
+		return fmt.Errorf("%w: empty key", ErrTooLarge)
+	}
+	err := s.commitRecord(record{op: opPut, key: key, value: value})
+	if err == nil {
+		s.stats.puts.Add(1)
+	}
+	return err
+}
+
+// Delete removes key. Deleting a missing key is not an error (the record
+// still commits; its apply is a no-op).
+func (s *Store) Delete(key []byte) error {
+	if len(key) > s.cfg.MaxKey || len(key) == 0 {
+		return fmt.Errorf("%w: key %d B (max %d)", ErrTooLarge, len(key), s.cfg.MaxKey)
+	}
+	err := s.commitRecord(record{op: opDelete, key: key})
+	if err == nil {
+		s.stats.deletes.Add(1)
+	}
+	return err
+}
+
+// commitRecord reserves a log index, enqueues the background apply, writes
+// the log slot, and updates the cache.
+func (s *Store) commitRecord(r record) error {
+	// Copy caller buffers: they outlive this call (cache + background apply).
+	r.key = append([]byte(nil), r.key...)
+	r.value = append([]byte(nil), r.value...)
+
+	task := &applyTask{rec: r, committed: make(chan struct{})}
+
+	s.seqMu.Lock()
+	for s.nextIdx > s.watermark+uint64(s.kvGeo.Slots) && !s.closed.Load() {
+		s.seqCond.Wait()
+	}
+	if s.closed.Load() {
+		s.seqMu.Unlock()
+		return ErrClosed
+	}
+	task.idx = s.nextIdx
+	s.nextIdx++
+	shard := s.bucketOf(r.key) % uint64(len(s.shards))
+	s.shards[shard].push(task)
+	s.seqMu.Unlock()
+
+	entry := entryFor(task.idx, r)
+	slot := make([]byte, s.kvGeo.SlotSize)
+	_, err := entry.Encode(slot)
+	if err == nil {
+		err = s.mem.DirectWrite(s.kvGeo.SlotOffset(task.idx), slot)
+	}
+	if err != nil {
+		task.ok = false
+		close(task.committed)
+		return err
+	}
+
+	// Committed: the cache immediately reflects the new value so gets see it
+	// before the background apply lands; the pin keeps it resident until then.
+	if r.op == opDelete {
+		s.cache.put(string(r.key), nil, true)
+	} else {
+		s.cache.put(string(r.key), r.value, true)
+	}
+	task.ok = true
+	close(task.committed)
+	return nil
+}
+
+// Get returns the value stored under key. It checks the coordinator cache
+// first and falls back to walking the bucket's chain in replicated memory
+// (paper §4.2). The returned slice is the caller's to keep.
+func (s *Store) Get(key []byte) ([]byte, error) {
+	if s.closed.Load() {
+		return nil, ErrClosed
+	}
+	s.stats.gets.Add(1)
+	if v, tomb, ok := s.cache.get(string(key)); ok {
+		s.stats.cacheHits.Add(1)
+		if tomb {
+			return nil, ErrNotFound
+		}
+		return append([]byte(nil), v...), nil
+	}
+	s.stats.cacheMisses.Add(1)
+
+	bucket := s.bucketOf(key)
+	lk := s.bucketLock(bucket)
+	lk.RLock()
+	blk, _, _, err := s.findInChain(bucket, key)
+	lk.RUnlock()
+	if err != nil {
+		return nil, err
+	}
+	if blk == nil {
+		return nil, ErrNotFound
+	}
+	value := append([]byte(nil), blk.value...)
+	s.cache.insertClean(string(key), value)
+	return append([]byte(nil), value...), nil
+}
+
+// findInChain walks bucket's chain looking for key. It returns the matching
+// block (nil if absent), its block index, and the previous block index+1
+// (0 when the match is the chain head). Caller holds the bucket lock.
+func (s *Store) findInChain(bucket uint64, key []byte) (*block, uint64, uint64, error) {
+	cur := s.index[bucket]
+	prev := uint64(0)
+	for cur != 0 {
+		blk, err := s.readBlock(cur - 1)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		if blk.used && bytes.Equal(blk.key, key) {
+			return &blk, cur - 1, prev, nil
+		}
+		prev = cur
+		cur = blk.next
+	}
+	return nil, 0, 0, nil
+}
+
+// readBlock fetches data block i from replicated memory.
+func (s *Store) readBlock(i uint64) (block, error) {
+	buf := make([]byte, s.blockSize)
+	if err := s.mem.Read(s.blockAddr(i), buf); err != nil {
+		return block{}, err
+	}
+	s.stats.chainReads.Add(1)
+	return s.decodeBlock(buf)
+}
+
+// writeBlock materializes data block i. The KV log already provides
+// durability, so this is an unlogged write (§3.3.2).
+func (s *Store) writeBlock(i uint64, b block) error {
+	buf := make([]byte, s.blockSize)
+	s.encodeBlock(buf, b)
+	return s.mem.UnloggedWrite(s.blockAddr(i), buf)
+}
+
+// writeIndexEntry materializes one bucket-head pointer.
+func (s *Store) writeIndexEntry(bucket uint64) error {
+	var buf [8]byte
+	putUint64(buf[:], s.index[bucket])
+	return s.mem.UnloggedWrite(s.indexAddr(bucket), buf[:])
+}
+
+// allocBlock takes a free block from the cached bitmap and materializes the
+// changed bitmap byte.
+func (s *Store) allocBlock() (uint64, error) {
+	s.bitmapMu.Lock()
+	defer s.bitmapMu.Unlock()
+	n := s.cfg.Capacity
+	for scanned := 0; scanned < n; scanned++ {
+		i := (s.freeHint + scanned) % n
+		byteIdx, bit := i/8, uint(i%8)
+		if s.bitmap[byteIdx]&(1<<bit) == 0 {
+			s.bitmap[byteIdx] |= 1 << bit
+			s.freeHint = (i + 1) % n
+			if err := s.mem.UnloggedWrite(s.bitmapBase+uint64(byteIdx), []byte{s.bitmap[byteIdx]}); err != nil {
+				return 0, err
+			}
+			return uint64(i), nil
+		}
+	}
+	return 0, ErrFull
+}
+
+// freeBlock returns block i to the allocator.
+func (s *Store) freeBlock(i uint64) error {
+	s.bitmapMu.Lock()
+	defer s.bitmapMu.Unlock()
+	byteIdx, bit := int(i)/8, uint(i%8)
+	s.bitmap[byteIdx] &^= 1 << bit
+	if int(i) < s.freeHint {
+		s.freeHint = int(i)
+	}
+	return s.mem.UnloggedWrite(s.bitmapBase+uint64(byteIdx), []byte{s.bitmap[byteIdx]})
+}
+
+// applyLoop drains one shard's task queue.
+func (s *Store) applyLoop(q *shardQueue) {
+	defer s.applyWG.Done()
+	for {
+		task, ok := q.pop()
+		if !ok {
+			return
+		}
+		<-task.committed
+		if task.ok {
+			if err := s.applyRecord(task.rec); err == nil {
+				s.stats.applies.Add(1)
+			}
+			if p := s.cfg.Persist; p != nil {
+				// Synchronous persistence by the background thread (§3.5):
+				// commit latency is unaffected, and the number of
+				// outstanding (unpersisted) writes is bounded by the log.
+				if task.rec.op == opDelete {
+					p.Delete(task.rec.key) //nolint:errcheck — persistence is best-effort beside the WAL
+				} else {
+					p.Put(task.rec.key, task.rec.value) //nolint:errcheck
+				}
+			}
+			s.cache.unpin(string(task.rec.key))
+		}
+		if task.countdown != nil {
+			task.countdown.done()
+		} else {
+			s.finishEntry(task.idx)
+		}
+	}
+}
+
+// applyRecord performs the hash-table update for a committed record
+// (paper §4.2's "apply" step). Idempotent, so log replay may repeat it.
+func (s *Store) applyRecord(r record) error {
+	bucket := s.bucketOf(r.key)
+	lk := s.bucketLock(bucket)
+	lk.Lock()
+	defer lk.Unlock()
+
+	blk, blkIdx, prev, err := s.findInChain(bucket, r.key)
+	if err != nil {
+		return err
+	}
+	switch r.op {
+	case opPut:
+		if blk != nil {
+			// Update in place.
+			blk.value = r.value
+			return s.writeBlock(blkIdx, *blk)
+		}
+		idx, err := s.allocBlock()
+		if err != nil {
+			return err
+		}
+		// Insert at chain head: one block write plus one index write.
+		nb := block{used: true, key: r.key, value: r.value, next: s.index[bucket]}
+		if err := s.writeBlock(idx, nb); err != nil {
+			return err
+		}
+		s.index[bucket] = idx + 1
+		return s.writeIndexEntry(bucket)
+	case opDelete:
+		if blk == nil {
+			return nil
+		}
+		if prev == 0 {
+			s.index[bucket] = blk.next
+			if err := s.writeIndexEntry(bucket); err != nil {
+				return err
+			}
+		} else {
+			pb, err := s.readBlock(prev - 1)
+			if err != nil {
+				return err
+			}
+			pb.next = blk.next
+			if err := s.writeBlock(prev-1, pb); err != nil {
+				return err
+			}
+		}
+		// Mark the block unused before freeing so a reused-but-unwritten
+		// block never matches a chain walk.
+		if err := s.writeBlock(blkIdx, block{}); err != nil {
+			return err
+		}
+		return s.freeBlock(blkIdx)
+	default:
+		return fmt.Errorf("kv: unknown opcode %d", r.op)
+	}
+}
+
+// finishEntry marks a log index resolved and advances the watermark,
+// freeing its circular slot.
+func (s *Store) finishEntry(idx uint64) {
+	s.seqMu.Lock()
+	s.applied[idx] = true
+	for s.applied[s.watermark+1] {
+		delete(s.applied, s.watermark+1)
+		s.watermark++
+	}
+	s.seqCond.Broadcast()
+	s.seqMu.Unlock()
+}
+
+func putUint64(b []byte, v uint64) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+	b[4] = byte(v >> 32)
+	b[5] = byte(v >> 40)
+	b[6] = byte(v >> 48)
+	b[7] = byte(v >> 56)
+}

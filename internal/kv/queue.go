@@ -1,0 +1,61 @@
+package kv
+
+import "sync"
+
+// shardQueue is an unbounded FIFO of apply tasks. Unboundedness matters:
+// commit paths enqueue while holding the sequence lock, and appliers may
+// wait for a task's commit to resolve before draining further, so a
+// bounded queue could deadlock the committer against its own applier.
+// Memory stays bounded regardless: outstanding entries are capped by the
+// circular log window.
+type shardQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []*applyTask
+	head   int
+	closed bool
+}
+
+func newShardQueue() *shardQueue {
+	q := &shardQueue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push appends a task. Never blocks.
+func (q *shardQueue) push(t *applyTask) {
+	q.mu.Lock()
+	q.items = append(q.items, t)
+	q.cond.Signal()
+	q.mu.Unlock()
+}
+
+// pop removes the oldest task, blocking until one is available. ok is false
+// once the queue is closed and drained.
+func (q *shardQueue) pop() (*applyTask, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.head >= len(q.items) && !q.closed {
+		q.cond.Wait()
+	}
+	if q.head >= len(q.items) {
+		return nil, false
+	}
+	t := q.items[q.head]
+	q.items[q.head] = nil
+	q.head++
+	// Compact once the consumed prefix dominates, keeping memory bounded.
+	if q.head > 1024 && q.head*2 > len(q.items) {
+		q.items = append([]*applyTask(nil), q.items[q.head:]...)
+		q.head = 0
+	}
+	return t, true
+}
+
+// close wakes all consumers; pending tasks are still drained first.
+func (q *shardQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}

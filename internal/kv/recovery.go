@@ -1,0 +1,114 @@
+package kv
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/repro/sift/internal/wal"
+)
+
+// recover rebuilds the coordinator's soft state after a key-value process
+// failure (paper §4.3): it loads the index table and bitmap from replicated
+// memory, merges the per-node copies of the circular KV log, replays the
+// merged log in index order, and warms the cache with the replayed values.
+// On a fresh deployment everything is zeroed and recovery is a no-op.
+//
+// Replay is idempotent and, because every entry in the log's active window
+// is still present, replaying the full window in order converges to exactly
+// the state the failed process had committed.
+func (s *Store) recover() error {
+	// Index table.
+	idxBuf := make([]byte, s.cfg.IndexBytes())
+	if err := s.mem.Read(0, idxBuf); err != nil {
+		return fmt.Errorf("kv recovery: index table: %w", err)
+	}
+	for b := range s.index {
+		s.index[b] = binary.LittleEndian.Uint64(idxBuf[b*8:])
+	}
+	// Bitmap.
+	if err := s.mem.Read(s.bitmapBase, s.bitmap); err != nil {
+		return fmt.Errorf("kv recovery: bitmap: %w", err)
+	}
+
+	// Merge the per-node copies of the KV log. An entry committed by the old
+	// process was durable on a majority, so it appears in at least one copy.
+	areas, err := s.mem.DirectReadAll(0, s.kvGeo.TotalSize())
+	if err != nil {
+		return fmt.Errorf("kv recovery: log read: %w", err)
+	}
+	entries := wal.Reconcile(s.kvGeo, areas)
+
+	// Make the nodes' logs consistent with the merged view so a subsequent
+	// recovery (before this window fully turns over) sees the same log.
+	desired := make(map[int][]byte, len(entries))
+	for _, e := range entries {
+		slot := make([]byte, s.kvGeo.SlotSize)
+		if _, err := e.Encode(slot); err != nil {
+			return fmt.Errorf("kv recovery: re-encode: %w", err)
+		}
+		desired[int(e.Index%uint64(s.kvGeo.Slots))] = slot
+	}
+	zeros := make([]byte, s.kvGeo.SlotSize)
+	for slot := 0; slot < s.kvGeo.Slots; slot++ {
+		want, ok := desired[slot]
+		if !ok {
+			want = zeros
+		}
+		differs := false
+		for _, area := range areas {
+			if area == nil {
+				continue
+			}
+			have := area[slot*s.kvGeo.SlotSize : (slot+1)*s.kvGeo.SlotSize]
+			if !bytesEqual(have, want) {
+				differs = true
+				break
+			}
+		}
+		if differs {
+			if err := s.mem.DirectWrite(uint64(slot*s.kvGeo.SlotSize), want); err != nil {
+				return fmt.Errorf("kv recovery: log rewrite: %w", err)
+			}
+		}
+	}
+
+	// Replay in index order, populating the cache as we go (§6.5: "while the
+	// log is being replayed, the cache is populated in parallel").
+	var maxIdx uint64
+	for _, e := range entries {
+		recs, err := recordsOf(e)
+		if err != nil {
+			continue // unreadable entry: skip (was never decodable)
+		}
+		for _, rec := range recs {
+			if err := s.applyRecord(rec); err != nil {
+				return fmt.Errorf("kv recovery: replay %d: %w", e.Index, err)
+			}
+			if rec.op == opDelete {
+				s.cache.put(string(rec.key), nil, false)
+			} else {
+				s.cache.put(string(rec.key), rec.value, false)
+			}
+		}
+		if e.Index > maxIdx {
+			maxIdx = e.Index
+		}
+	}
+	if maxIdx+1 > s.nextIdx {
+		s.nextIdx = maxIdx + 1
+	}
+	s.watermark = s.nextIdx - 1
+	return nil
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

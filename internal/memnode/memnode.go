@@ -1,0 +1,156 @@
+// Package memnode defines the memory layout of a Sift memory node and
+// helpers to construct one (paper §3.1, Figure 1).
+//
+// A memory node is completely passive: it registers two RDMA memory regions
+// and then only participates by having its NIC (simulated by the rdma
+// package transports) serve one-sided operations.
+//
+//   - The administrative region holds the heartbeat/election word
+//     (term_id, node_id, timestamp) and is shared: every CPU node may CAS it.
+//   - The replicated memory region is exclusive (at-most-one-connection) and
+//     is subdivided into the replicated-memory write-ahead log, a
+//     direct-write zone (unlogged, used by the key-value store's own WAL),
+//     and the materialized replicated memory.
+package memnode
+
+import (
+	"fmt"
+
+	"github.com/repro/sift/internal/rdma"
+	"github.com/repro/sift/internal/wal"
+)
+
+// Region ids used by every Sift memory node.
+const (
+	// AdminRegionID is the shared administrative (heartbeat) region.
+	AdminRegionID rdma.RegionID = 1
+	// ReplRegionID is the exclusive replicated memory region.
+	ReplRegionID rdma.RegionID = 2
+)
+
+// AdminSize is the administrative region size. Only the first 8 bytes (the
+// packed heartbeat word) are currently used; the rest is reserved.
+const AdminSize = 64
+
+// AdminWordOffset is the offset of the packed heartbeat word.
+const AdminWordOffset = 0
+
+// AdminPopulatedOffset is the offset of the "populated" marker word: 0
+// means the node's replicated region holds no trustworthy state (fresh
+// machine, rebooted DRAM, or a recovery copy in progress); 1 means a
+// coordinator has fully populated it. Coordinators check this at takeover
+// so a node that lost its memory between coordinatorships is recovered
+// rather than read.
+const AdminPopulatedOffset = 8
+
+// Populated marker values.
+const (
+	MarkerEmpty     = 0
+	MarkerPopulated = 1
+)
+
+// AdminMembershipOffset is the offset of the membership word: the
+// coordinator of term T publishes term(16)|version(16)|liveBitmap(32) here
+// on every writable node whenever its view of the live memory nodes
+// changes. A successor reads the word from a majority, takes the highest
+// (term, version), and treats nodes absent from that bitmap as needing a
+// rebuild — so a node that silently missed updates (partitioned with its
+// DRAM intact) is never read after a coordinator failover. Stale
+// coordinators lose automatically: their term tags are smaller.
+const AdminMembershipOffset = 16
+
+// PackMembership builds a membership word.
+func PackMembership(term, version uint16, bitmap uint32) uint64 {
+	return uint64(term)<<48 | uint64(version)<<32 | uint64(bitmap)
+}
+
+// UnpackMembership splits a membership word.
+func UnpackMembership(w uint64) (term, version uint16, bitmap uint32) {
+	return uint16(w >> 48), uint16(w >> 32), uint32(w)
+}
+
+// Layout describes how a memory node's replicated region is carved up.
+// All coordinators of a group must agree on the layout.
+type Layout struct {
+	// WALSlotSize and WALSlots define the replicated-memory write-ahead log.
+	WALSlotSize int
+	WALSlots    int
+	// DirectSize is the size of the direct-write zone (full copy per node).
+	DirectSize int
+	// MainSize is the per-node size of the materialized memory: the full
+	// logical memory size without erasure coding, or the chunked share
+	// (logical size / (Fm+1)) with it.
+	MainSize int
+}
+
+// Validate checks the layout for consistency.
+func (l Layout) Validate() error {
+	if err := l.WALGeometry().Validate(); err != nil {
+		return err
+	}
+	if l.DirectSize < 0 || l.MainSize <= 0 {
+		return fmt.Errorf("memnode: invalid layout %+v", l)
+	}
+	return nil
+}
+
+// WALGeometry returns the WAL's placement (slot 0 at region offset 0).
+func (l Layout) WALGeometry() wal.Geometry {
+	return wal.Geometry{Base: 0, SlotSize: l.WALSlotSize, Slots: l.WALSlots}
+}
+
+// WALBytes returns the WAL area size.
+func (l Layout) WALBytes() int { return l.WALSlotSize * l.WALSlots }
+
+// DirectBase returns the region offset of the direct-write zone.
+func (l Layout) DirectBase() uint64 { return uint64(l.WALBytes()) }
+
+// MainBase returns the region offset of the materialized memory.
+func (l Layout) MainBase() uint64 { return uint64(l.WALBytes() + l.DirectSize) }
+
+// ReplSize returns the total replicated region size.
+func (l Layout) ReplSize() int { return l.WALBytes() + l.DirectSize + l.MainSize }
+
+// New constructs a memory node with the standard admin and replicated
+// regions for the given layout.
+func New(name string, l Layout) (*rdma.Node, error) {
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	n := rdma.NewNode(name)
+	n.Alloc(AdminRegionID, AdminSize, false)
+	n.Alloc(ReplRegionID, l.ReplSize(), true)
+	return n, nil
+}
+
+// Reset zeroes a node's regions, modelling the loss of volatile memory when
+// a memory node restarts (Sift stores everything in DRAM by default, §3.5).
+// The populated marker is cleared — that is the point: the next coordinator
+// must not trust this node's contents. The election word is preserved as a
+// simplification (a real reboot would zero it too; candidates recover from
+// that via their CAS return values, but keeping it avoids pointless term
+// churn in tests).
+func Reset(n *rdma.Node, l Layout) {
+	if a := n.Region(AdminRegionID); a != nil {
+		var zero [8]byte
+		a.WriteAt(0, AdminPopulatedOffset, zero[:]) //nolint:errcheck — admin region is shared (epoch 0)
+	}
+	if r := n.Region(ReplRegionID); r != nil {
+		// Reset is node-local maintenance: acquire a fresh epoch to write
+		// (this also fences any lingering coordinator connection, exactly as
+		// a machine reboot would). The next coordinator connection acquires
+		// a newer epoch on dial.
+		epoch := r.Acquire()
+		zero := make([]byte, 64<<10)
+		size := uint64(r.Size())
+		for off := uint64(0); off < size; off += uint64(len(zero)) {
+			chunk := zero
+			if rem := size - off; rem < uint64(len(zero)) {
+				chunk = zero[:rem]
+			}
+			if err := r.WriteAt(epoch, off, chunk); err != nil {
+				return
+			}
+		}
+	}
+}

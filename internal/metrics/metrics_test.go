@@ -1,0 +1,163 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestBucketMappingMonotone(t *testing.T) {
+	f := func(a, b uint32) bool {
+		x, y := uint64(a), uint64(b)
+		if x > y {
+			x, y = y, x
+		}
+		return bucketFor(x) <= bucketFor(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBucketBoundsContainValue(t *testing.T) {
+	f := func(v uint32) bool {
+		us := uint64(v)
+		idx := bucketFor(us)
+		lo := bucketLow(idx)
+		var hi uint64
+		if idx+1 < numBuckets {
+			hi = bucketLow(idx + 1)
+		} else {
+			hi = math.MaxUint64
+		}
+		return lo <= us && us < hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramPercentiles(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 1000; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	med := h.Percentile(50)
+	if med < 450*time.Microsecond || med > 550*time.Microsecond {
+		t.Fatalf("median = %v", med)
+	}
+	p95 := h.Percentile(95)
+	if p95 < 900*time.Microsecond || p95 > 1000*time.Microsecond {
+		t.Fatalf("p95 = %v", p95)
+	}
+	if h.Max() != 1000*time.Microsecond {
+		t.Fatalf("max = %v", h.Max())
+	}
+	mean := h.Mean()
+	if mean < 480*time.Microsecond || mean > 520*time.Microsecond {
+		t.Fatalf("mean = %v", mean)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Percentile(50) != 0 || h.Mean() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Record(50 * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+}
+
+func TestHistogramLargeValues(t *testing.T) {
+	var h Histogram
+	h.Record(2 * time.Minute)
+	if h.Count() != 1 {
+		t.Fatal("large value dropped")
+	}
+	if h.Percentile(50) <= 0 {
+		t.Fatal("percentile of huge sample is zero")
+	}
+}
+
+func TestSnapshotString(t *testing.T) {
+	var h Histogram
+	h.Record(time.Millisecond)
+	s := h.Snapshot()
+	if s.Count != 1 || s.String() == "" {
+		t.Fatalf("snapshot %+v", s)
+	}
+}
+
+func TestTimeline(t *testing.T) {
+	tl := NewTimeline(10 * time.Millisecond)
+	for i := 0; i < 5; i++ {
+		tl.Tick()
+	}
+	time.Sleep(25 * time.Millisecond)
+	tl.Tick()
+	pts := tl.Series()
+	if len(pts) < 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	if pts[0].Ops < 400 { // 5 events in 10ms = 500/sec
+		t.Fatalf("first interval ops = %v", pts[0].Ops)
+	}
+	if pts[0].T != 0 || pts[1].T != 10*time.Millisecond {
+		t.Fatalf("timestamps wrong: %v %v", pts[0].T, pts[1].T)
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	if got := Throughput(1000, time.Second); got != 1000 {
+		t.Fatalf("got %v", got)
+	}
+	if got := Throughput(10, 0); got != 0 {
+		t.Fatalf("zero elapsed: %v", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	mean, ci := Summarize([]float64{10, 10, 10, 10})
+	if mean != 10 || ci != 0 {
+		t.Fatalf("constant samples: mean=%v ci=%v", mean, ci)
+	}
+	mean, ci = Summarize([]float64{8, 12})
+	if mean != 10 || ci <= 0 {
+		t.Fatalf("mean=%v ci=%v", mean, ci)
+	}
+	if m, c := Summarize(nil); m != 0 || c != 0 {
+		t.Fatal("empty samples")
+	}
+	if m, c := Summarize([]float64{5}); m != 5 || c != 0 {
+		t.Fatal("single sample")
+	}
+}
+
+func TestSortedCopy(t *testing.T) {
+	in := []float64{3, 1, 2}
+	out := SortedCopy(in)
+	if out[0] != 1 || out[2] != 3 || in[0] != 3 {
+		t.Fatal("sorted copy wrong or mutated input")
+	}
+}

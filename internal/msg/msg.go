@@ -1,0 +1,122 @@
+// Package msg is an in-process two-sided messaging substrate: the
+// send/recv-verb counterpart to package rdma's one-sided verbs. The Raft-R
+// and EPaxos baselines communicate through it, over the same netsim.Fabric
+// as Sift's one-sided traffic, so failure injection and latency modelling
+// are uniform across systems (the paper's Raft-R "uses RDMA send/recv
+// verbs", §6.3.1).
+package msg
+
+import (
+	"errors"
+	"sync"
+
+	"github.com/repro/sift/internal/netsim"
+)
+
+// ErrUnknownNode is returned when sending to a node that never joined.
+var ErrUnknownNode = errors.New("msg: unknown node")
+
+// ErrClosed is returned when the endpoint has left the network.
+var ErrClosed = errors.New("msg: endpoint closed")
+
+// Message is one delivered datagram.
+type Message struct {
+	From    string
+	Type    uint8
+	Payload []byte
+}
+
+// Network connects named endpoints over a shared fabric.
+type Network struct {
+	fabric *netsim.Fabric
+	mu     sync.RWMutex
+	nodes  map[string]*Endpoint
+}
+
+// NewNetwork creates a message network over fabric (nil = zero latency).
+func NewNetwork(fabric *netsim.Fabric) *Network {
+	if fabric == nil {
+		fabric = netsim.NewFabric(nil)
+	}
+	return &Network{fabric: fabric, nodes: make(map[string]*Endpoint)}
+}
+
+// Fabric exposes the underlying fabric for failure injection.
+func (n *Network) Fabric() *netsim.Fabric { return n.fabric }
+
+// Join registers an endpoint with the given inbox capacity.
+func (n *Network) Join(name string, buffer int) *Endpoint {
+	if buffer <= 0 {
+		buffer = 1024
+	}
+	ep := &Endpoint{name: name, net: n, inbox: make(chan Message, buffer)}
+	n.mu.Lock()
+	n.nodes[name] = ep
+	n.mu.Unlock()
+	return ep
+}
+
+// Endpoint is one node's mailbox.
+type Endpoint struct {
+	name  string
+	net   *Network
+	inbox chan Message
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// Name returns the endpoint's network name.
+func (e *Endpoint) Name() string { return e.name }
+
+// Inbox returns the delivery channel.
+func (e *Endpoint) Inbox() <-chan Message { return e.inbox }
+
+// Send transfers a message to the named endpoint. It blocks for the
+// simulated network latency and fails if either endpoint is down or
+// partitioned. Delivery into a full inbox drops the message (modelling
+// receiver overrun on a reliable-datagram QP whose receive queue is empty).
+func (e *Endpoint) Send(to string, typ uint8, payload []byte) error {
+	e.mu.Lock()
+	closed := e.closed
+	e.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	e.net.mu.RLock()
+	dst := e.net.nodes[to]
+	e.net.mu.RUnlock()
+	if dst == nil {
+		return ErrUnknownNode
+	}
+	if err := e.net.fabric.Transfer(e.name, to, len(payload)+16); err != nil {
+		return err
+	}
+	dst.mu.Lock()
+	if dst.closed {
+		dst.mu.Unlock()
+		return ErrUnknownNode
+	}
+	select {
+	case dst.inbox <- Message{From: e.name, Type: typ, Payload: payload}:
+	default:
+		// Receiver overrun: message lost. Protocols built on this substrate
+		// (Raft, EPaxos) tolerate loss by retrying.
+	}
+	dst.mu.Unlock()
+	return nil
+}
+
+// Close detaches the endpoint. Messages in flight to it are dropped.
+func (e *Endpoint) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	e.mu.Unlock()
+	e.net.mu.Lock()
+	delete(e.net.nodes, e.name)
+	e.net.mu.Unlock()
+}

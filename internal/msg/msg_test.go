@@ -1,0 +1,92 @@
+package msg
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSendRecv(t *testing.T) {
+	n := NewNetwork(nil)
+	a := n.Join("a", 16)
+	b := n.Join("b", 16)
+	if err := a.Send("b", 7, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-b.Inbox():
+		if m.From != "a" || m.Type != 7 || string(m.Payload) != "hello" {
+			t.Fatalf("got %+v", m)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("message never delivered")
+	}
+}
+
+func TestSendUnknownNode(t *testing.T) {
+	n := NewNetwork(nil)
+	a := n.Join("a", 16)
+	if err := a.Send("ghost", 1, nil); err != ErrUnknownNode {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSendToDeadNode(t *testing.T) {
+	n := NewNetwork(nil)
+	a := n.Join("a", 16)
+	n.Join("b", 16)
+	n.Fabric().Kill("b")
+	if err := a.Send("b", 1, nil); err == nil {
+		t.Fatal("send to dead node should fail")
+	}
+	n.Fabric().Restart("b")
+	if err := a.Send("b", 1, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClosedEndpoint(t *testing.T) {
+	n := NewNetwork(nil)
+	a := n.Join("a", 16)
+	b := n.Join("b", 16)
+	b.Close()
+	if err := a.Send("b", 1, nil); err != ErrUnknownNode {
+		t.Fatalf("send to closed endpoint: %v", err)
+	}
+	a.Close()
+	if err := a.Send("b", 1, nil); err != ErrClosed {
+		t.Fatalf("send from closed endpoint: %v", err)
+	}
+	a.Close() // double close is fine
+}
+
+func TestFullInboxDrops(t *testing.T) {
+	n := NewNetwork(nil)
+	a := n.Join("a", 16)
+	b := n.Join("b", 2)
+	for i := 0; i < 5; i++ {
+		if err := a.Send("b", 1, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Only the buffer capacity is retained; overflow dropped silently.
+	count := 0
+	for {
+		select {
+		case <-b.Inbox():
+			count++
+		default:
+			if count != 2 {
+				t.Fatalf("delivered %d, want 2", count)
+			}
+			return
+		}
+	}
+}
+
+func TestName(t *testing.T) {
+	n := NewNetwork(nil)
+	a := n.Join("alice", 0) // zero buffer gets the default
+	if a.Name() != "alice" {
+		t.Fatalf("Name = %q", a.Name())
+	}
+}

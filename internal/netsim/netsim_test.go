@@ -1,0 +1,159 @@
+package netsim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestNoLatency(t *testing.T) {
+	var m NoLatency
+	if d := m.Delay(1 << 20); d != 0 {
+		t.Fatalf("NoLatency.Delay = %v, want 0", d)
+	}
+}
+
+func TestFixedLatency(t *testing.T) {
+	m := FixedLatency{Base: time.Microsecond, PerByte: time.Nanosecond}
+	if d := m.Delay(0); d != time.Microsecond {
+		t.Fatalf("Delay(0) = %v, want 1µs", d)
+	}
+	if d := m.Delay(1000); d != time.Microsecond+1000*time.Nanosecond {
+		t.Fatalf("Delay(1000) = %v", d)
+	}
+}
+
+func TestFixedLatencyMonotone(t *testing.T) {
+	m := FixedLatency{Base: time.Microsecond, PerByte: time.Nanosecond}
+	f := func(a, b uint16) bool {
+		x, y := int(a), int(b)
+		if x > y {
+			x, y = y, x
+		}
+		return m.Delay(x) <= m.Delay(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJitterLatencyBounds(t *testing.T) {
+	inner := FixedLatency{Base: 10 * time.Microsecond}
+	j := NewJitterLatency(inner, 5*time.Microsecond, 1)
+	for i := 0; i < 1000; i++ {
+		d := j.Delay(0)
+		if d < 10*time.Microsecond || d >= 15*time.Microsecond {
+			t.Fatalf("jittered delay %v out of [10µs,15µs)", d)
+		}
+	}
+}
+
+func TestJitterLatencyZeroJitter(t *testing.T) {
+	j := NewJitterLatency(FixedLatency{Base: time.Millisecond}, 0, 1)
+	if d := j.Delay(0); d != time.Millisecond {
+		t.Fatalf("Delay = %v, want 1ms", d)
+	}
+}
+
+func TestRDMAvsTCPDefaults(t *testing.T) {
+	if RDMADefault().Delay(0) >= TCPDefault().Delay(0) {
+		t.Fatal("RDMA default latency should be below TCP default")
+	}
+}
+
+func TestSleepNonPositive(t *testing.T) {
+	start := time.Now()
+	Sleep(0)
+	Sleep(-time.Second)
+	if time.Since(start) > 50*time.Millisecond {
+		t.Fatal("Sleep on non-positive duration blocked")
+	}
+}
+
+func TestSleepShortDuration(t *testing.T) {
+	start := time.Now()
+	Sleep(20 * time.Microsecond)
+	elapsed := time.Since(start)
+	if elapsed < 20*time.Microsecond {
+		t.Fatalf("Sleep(20µs) returned after %v", elapsed)
+	}
+}
+
+func TestFabricKillRestart(t *testing.T) {
+	f := NewFabric(nil)
+	if err := f.Transfer("a", "b", 10); err != nil {
+		t.Fatalf("healthy transfer: %v", err)
+	}
+	f.Kill("b")
+	if !f.Down("b") {
+		t.Fatal("b should be down")
+	}
+	if err := f.Transfer("a", "b", 10); err != ErrUnreachable {
+		t.Fatalf("transfer to dead node: err = %v, want ErrUnreachable", err)
+	}
+	if err := f.Transfer("b", "a", 10); err != ErrUnreachable {
+		t.Fatalf("transfer from dead node: err = %v, want ErrUnreachable", err)
+	}
+	f.Restart("b")
+	if f.Down("b") {
+		t.Fatal("b should be up after restart")
+	}
+	if err := f.Transfer("a", "b", 10); err != nil {
+		t.Fatalf("transfer after restart: %v", err)
+	}
+}
+
+func TestFabricPartitionSymmetric(t *testing.T) {
+	f := NewFabric(nil)
+	f.Partition("a", "b")
+	if err := f.Transfer("a", "b", 1); err != ErrUnreachable {
+		t.Fatal("a->b should be partitioned")
+	}
+	if err := f.Transfer("b", "a", 1); err != ErrUnreachable {
+		t.Fatal("b->a should be partitioned")
+	}
+	if err := f.Transfer("a", "c", 1); err != nil {
+		t.Fatalf("a->c should be fine: %v", err)
+	}
+	f.Heal("b", "a") // order-insensitive
+	if err := f.Transfer("a", "b", 1); err != nil {
+		t.Fatalf("healed link: %v", err)
+	}
+}
+
+func TestFabricHealAll(t *testing.T) {
+	f := NewFabric(nil)
+	f.Kill("x")
+	f.Partition("a", "b")
+	f.HealAll()
+	if f.Down("x") {
+		t.Fatal("x still down after HealAll")
+	}
+	if err := f.Transfer("a", "b", 1); err != nil {
+		t.Fatalf("a->b after HealAll: %v", err)
+	}
+}
+
+func TestFabricSetLatency(t *testing.T) {
+	f := NewFabric(nil)
+	f.SetLatency(FixedLatency{Base: 2 * time.Millisecond})
+	start := time.Now()
+	if err := f.Transfer("a", "b", 0); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) < 2*time.Millisecond {
+		t.Fatal("latency model not applied")
+	}
+	f.SetLatency(nil) // resets to no latency
+	start = time.Now()
+	f.Transfer("a", "b", 0)
+	if time.Since(start) > time.Millisecond {
+		t.Fatal("nil latency model should mean zero delay")
+	}
+}
+
+func TestLinkKeyCanonical(t *testing.T) {
+	if linkKey("a", "b") != linkKey("b", "a") {
+		t.Fatal("linkKey must be order-insensitive")
+	}
+}

@@ -1,0 +1,341 @@
+// Package persist provides minidb, a small durable key-value store used as
+// the stand-in for the paper's RocksDB persistence backend (§3.5: "We have
+// implemented such a design using RocksDB, where all updates are
+// synchronously written to the persistent database by a background
+// thread").
+//
+// minidb is a write-ahead-logged memtable with snapshot compaction:
+// updates append to a CRC-protected log (optionally fsynced), Get serves
+// from memory, and Compact atomically rewrites the snapshot and truncates
+// the log. Open replays snapshot + log, discarding a torn tail.
+package persist
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Errors.
+var (
+	// ErrClosed is returned after Close.
+	ErrClosed = errors.New("persist: database closed")
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Record opcodes.
+const (
+	opPut    byte = 1
+	opDelete byte = 2
+)
+
+const (
+	walName  = "wal.log"
+	snapName = "snapshot.db"
+	tmpName  = "snapshot.tmp"
+)
+
+// Options configure a DB.
+type Options struct {
+	// Sync fsyncs the WAL after every update (the paper's configuration
+	// writes synchronously; disable for tests that don't measure
+	// durability).
+	Sync bool
+	// CompactThreshold triggers automatic compaction after this many WAL
+	// records (0 = never automatic).
+	CompactThreshold int
+}
+
+// DB is a durable key-value store.
+type DB struct {
+	dir  string
+	opts Options
+
+	mu       sync.RWMutex
+	mem      map[string][]byte
+	wal      *os.File
+	walW     *bufio.Writer
+	walCount int
+	closed   bool
+	compacts int
+}
+
+// Open loads (or creates) a database in dir.
+func Open(dir string, opts Options) (*DB, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	db := &DB{dir: dir, opts: opts, mem: make(map[string][]byte)}
+	if err := db.loadSnapshot(); err != nil {
+		return nil, err
+	}
+	if err := db.replayWAL(); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(filepath.Join(dir, walName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	db.wal = f
+	db.walW = bufio.NewWriter(f)
+	return db, nil
+}
+
+// record layout: op(1) klen(4) vlen(4) key value crc(4)
+func appendRecord(w io.Writer, op byte, key, value []byte) error {
+	var hdr [9]byte
+	hdr[0] = op
+	binary.LittleEndian.PutUint32(hdr[1:5], uint32(len(key)))
+	binary.LittleEndian.PutUint32(hdr[5:9], uint32(len(value)))
+	crc := crc32.Checksum(hdr[:], crcTable)
+	crc = crc32.Update(crc, crcTable, key)
+	crc = crc32.Update(crc, crcTable, value)
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], crc)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(key); err != nil {
+		return err
+	}
+	if _, err := w.Write(value); err != nil {
+		return err
+	}
+	_, err := w.Write(tail[:])
+	return err
+}
+
+// readRecord returns io.EOF cleanly at end, or an error for torn records.
+func readRecord(r *bufio.Reader) (op byte, key, value []byte, err error) {
+	var hdr [9]byte
+	if _, err = io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, nil, err
+	}
+	op = hdr[0]
+	kl := binary.LittleEndian.Uint32(hdr[1:5])
+	vl := binary.LittleEndian.Uint32(hdr[5:9])
+	if kl > 1<<20 || vl > 64<<20 {
+		return 0, nil, nil, fmt.Errorf("persist: implausible record (%d,%d)", kl, vl)
+	}
+	key = make([]byte, kl)
+	value = make([]byte, vl)
+	if _, err = io.ReadFull(r, key); err != nil {
+		return 0, nil, nil, err
+	}
+	if _, err = io.ReadFull(r, value); err != nil {
+		return 0, nil, nil, err
+	}
+	var tail [4]byte
+	if _, err = io.ReadFull(r, tail[:]); err != nil {
+		return 0, nil, nil, err
+	}
+	want := crc32.Checksum(hdr[:], crcTable)
+	want = crc32.Update(want, crcTable, key)
+	want = crc32.Update(want, crcTable, value)
+	if binary.LittleEndian.Uint32(tail[:]) != want {
+		return 0, nil, nil, fmt.Errorf("persist: crc mismatch")
+	}
+	return op, key, value, nil
+}
+
+func (db *DB) loadSnapshot() error {
+	f, err := os.Open(filepath.Join(db.dir, snapName))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	for {
+		op, key, value, err := readRecord(r)
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("persist: corrupt snapshot: %w", err)
+		}
+		if op == opPut {
+			db.mem[string(key)] = value
+		}
+	}
+}
+
+func (db *DB) replayWAL() error {
+	f, err := os.Open(filepath.Join(db.dir, walName))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	for {
+		op, key, value, err := readRecord(r)
+		if err != nil {
+			// EOF or torn tail (crash mid-append): stop replaying. Anything
+			// before the tear was intact (CRC-checked).
+			return nil
+		}
+		switch op {
+		case opPut:
+			db.mem[string(key)] = value
+		case opDelete:
+			delete(db.mem, string(key))
+		}
+		db.walCount++
+	}
+}
+
+// Put durably stores value under key.
+func (db *DB) Put(key, value []byte) error {
+	return db.update(opPut, key, value)
+}
+
+// Delete durably removes key.
+func (db *DB) Delete(key []byte) error {
+	return db.update(opDelete, key, nil)
+}
+
+func (db *DB) update(op byte, key, value []byte) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	if err := appendRecord(db.walW, op, key, value); err != nil {
+		return err
+	}
+	if err := db.walW.Flush(); err != nil {
+		return err
+	}
+	if db.opts.Sync {
+		if err := db.wal.Sync(); err != nil {
+			return err
+		}
+	}
+	if op == opPut {
+		db.mem[string(key)] = append([]byte(nil), value...)
+	} else {
+		delete(db.mem, string(key))
+	}
+	db.walCount++
+	if db.opts.CompactThreshold > 0 && db.walCount >= db.opts.CompactThreshold {
+		return db.compactLocked()
+	}
+	return nil
+}
+
+// Get returns the value for key.
+func (db *DB) Get(key []byte) ([]byte, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	v, ok := db.mem[string(key)]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), v...), true
+}
+
+// Len returns the number of live keys.
+func (db *DB) Len() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.mem)
+}
+
+// Compact writes a fresh snapshot and truncates the WAL. The snapshot is
+// written to a temp file and renamed, so a crash never loses the previous
+// snapshot.
+func (db *DB) Compact() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	return db.compactLocked()
+}
+
+func (db *DB) compactLocked() error {
+	tmp := filepath.Join(db.dir, tmpName)
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	for k, v := range db.mem {
+		if err := appendRecord(w, opPut, []byte(k), v); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(db.dir, snapName)); err != nil {
+		return err
+	}
+	// Truncate the WAL now that its contents are in the snapshot.
+	if err := db.wal.Close(); err != nil {
+		return err
+	}
+	nf, err := os.OpenFile(filepath.Join(db.dir, walName), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	db.wal = nf
+	db.walW = bufio.NewWriter(nf)
+	db.walCount = 0
+	db.compacts++
+	return nil
+}
+
+// Compactions reports how many compactions have run.
+func (db *DB) Compactions() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.compacts
+}
+
+// Dump copies the full contents (used to seed memory-node recovery from a
+// persistent snapshot, the §3.5 alternative recovery path).
+func (db *DB) Dump() map[string][]byte {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make(map[string][]byte, len(db.mem))
+	for k, v := range db.mem {
+		out[k] = append([]byte(nil), v...)
+	}
+	return out
+}
+
+// Close flushes and closes the database.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil
+	}
+	db.closed = true
+	if err := db.walW.Flush(); err != nil {
+		return err
+	}
+	return db.wal.Close()
+}

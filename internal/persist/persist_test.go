@@ -1,0 +1,226 @@
+package persist
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func openTemp(t *testing.T, opts Options) (*DB, string) {
+	t.Helper()
+	dir := t.TempDir()
+	db, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, dir
+}
+
+func TestPutGetDelete(t *testing.T) {
+	db, _ := openTemp(t, Options{})
+	defer db.Close()
+	if err := db.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := db.Get([]byte("k"))
+	if !ok || string(v) != "v" {
+		t.Fatalf("got %q ok=%v", v, ok)
+	}
+	if err := db.Delete([]byte("k")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := db.Get([]byte("k")); ok {
+		t.Fatal("deleted key present")
+	}
+	if db.Len() != 0 {
+		t.Fatalf("len = %d", db.Len())
+	}
+}
+
+func TestReopenReplaysWAL(t *testing.T) {
+	db, dir := openTemp(t, Options{})
+	for i := 0; i < 50; i++ {
+		db.Put([]byte(fmt.Sprintf("k%d", i)), []byte(fmt.Sprintf("v%d", i)))
+	}
+	db.Delete([]byte("k10"))
+	db.Close()
+
+	db2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if db2.Len() != 49 {
+		t.Fatalf("len after reopen = %d", db2.Len())
+	}
+	v, ok := db2.Get([]byte("k7"))
+	if !ok || string(v) != "v7" {
+		t.Fatalf("k7 = %q ok=%v", v, ok)
+	}
+	if _, ok := db2.Get([]byte("k10")); ok {
+		t.Fatal("deleted key resurrected")
+	}
+}
+
+func TestCompactionAndReopen(t *testing.T) {
+	db, dir := openTemp(t, Options{})
+	for i := 0; i < 30; i++ {
+		db.Put([]byte(fmt.Sprintf("k%d", i)), bytes.Repeat([]byte{byte(i)}, 100))
+	}
+	if err := db.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if db.Compactions() != 1 {
+		t.Fatalf("compactions = %d", db.Compactions())
+	}
+	// Post-compaction writes land in the fresh WAL.
+	db.Put([]byte("after"), []byte("compact"))
+	db.Close()
+
+	db2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if db2.Len() != 31 {
+		t.Fatalf("len = %d", db2.Len())
+	}
+	v, _ := db2.Get([]byte("after"))
+	if string(v) != "compact" {
+		t.Fatalf("after = %q", v)
+	}
+}
+
+func TestAutoCompaction(t *testing.T) {
+	db, _ := openTemp(t, Options{CompactThreshold: 10})
+	defer db.Close()
+	for i := 0; i < 25; i++ {
+		db.Put([]byte(fmt.Sprintf("k%d", i)), []byte("v"))
+	}
+	if db.Compactions() < 2 {
+		t.Fatalf("compactions = %d, want >= 2", db.Compactions())
+	}
+}
+
+func TestTornWALTailDiscarded(t *testing.T) {
+	db, dir := openTemp(t, Options{})
+	db.Put([]byte("good"), []byte("1"))
+	db.Put([]byte("alsogood"), []byte("2"))
+	db.Close()
+
+	// Simulate a crash mid-append: chop bytes off the WAL tail.
+	walPath := filepath.Join(dir, walName)
+	data, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(walPath, data[:len(data)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if _, ok := db2.Get([]byte("good")); !ok {
+		t.Fatal("intact record lost")
+	}
+	if _, ok := db2.Get([]byte("alsogood")); ok {
+		t.Fatal("torn record replayed")
+	}
+}
+
+func TestSyncMode(t *testing.T) {
+	db, dir := openTemp(t, Options{Sync: true})
+	if err := db.Put([]byte("durable"), []byte("yes")); err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+	db2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if v, ok := db2.Get([]byte("durable")); !ok || string(v) != "yes" {
+		t.Fatalf("got %q ok=%v", v, ok)
+	}
+}
+
+func TestClosedOperations(t *testing.T) {
+	db, _ := openTemp(t, Options{})
+	db.Close()
+	if err := db.Put([]byte("k"), []byte("v")); err != ErrClosed {
+		t.Fatalf("put after close: %v", err)
+	}
+	if err := db.Compact(); err != ErrClosed {
+		t.Fatalf("compact after close: %v", err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+func TestDump(t *testing.T) {
+	db, _ := openTemp(t, Options{})
+	defer db.Close()
+	db.Put([]byte("a"), []byte("1"))
+	db.Put([]byte("b"), []byte("2"))
+	d := db.Dump()
+	if len(d) != 2 || string(d["a"]) != "1" {
+		t.Fatalf("dump = %v", d)
+	}
+	// Dump is a copy.
+	d["a"][0] = 'X'
+	if v, _ := db.Get([]byte("a")); string(v) != "1" {
+		t.Fatal("dump aliases internal state")
+	}
+}
+
+func TestQuickRoundTripAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	model := map[string]string{}
+	db, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(key, value []byte, del bool) bool {
+		if len(key) == 0 {
+			return true
+		}
+		if del {
+			db.Delete(key)
+			delete(model, string(key))
+		} else {
+			db.Put(key, value)
+			model[string(key)] = string(value)
+		}
+		got, ok := db.Get(key)
+		want, exists := model[string(key)]
+		if exists != ok {
+			return false
+		}
+		return !ok || string(got) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+	db2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if db2.Len() != len(model) {
+		t.Fatalf("reopen len = %d, model = %d", db2.Len(), len(model))
+	}
+	for k, v := range model {
+		got, ok := db2.Get([]byte(k))
+		if !ok || string(got) != v {
+			t.Fatalf("key %q = %q ok=%v, want %q", k, got, ok, v)
+		}
+	}
+}

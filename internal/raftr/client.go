@@ -1,0 +1,53 @@
+package raftr
+
+import "time"
+
+// Put replicates a write through the leader: the command is appended to the
+// leader's log, shipped to followers, and acknowledged once a majority
+// (including the leader) has it. Returns ErrNotLeader on non-leader nodes.
+func (n *Node) Put(key, value []byte) error {
+	return n.propose(command{Op: opPut, Key: key, Value: value})
+}
+
+// Delete removes a key through the same replication path.
+func (n *Node) Delete(key []byte) error {
+	return n.propose(command{Op: opDelete, Key: key})
+}
+
+func (n *Node) propose(cmd command) error {
+	if Role(n.role.Load()) != Leader {
+		return ErrNotLeader
+	}
+	// Copy caller buffers: the command outlives this call (log, wire
+	// encoding on the loop thread) and callers may reuse their slices.
+	cmd.Key = append([]byte(nil), cmd.Key...)
+	cmd.Value = append([]byte(nil), cmd.Value...)
+	req := &proposalReq{cmd: cmd, done: make(chan error, 1)}
+	select {
+	case n.proposeCh <- req:
+	case <-n.stopCh:
+		return ErrStopped
+	}
+	select {
+	case err := <-req.done:
+		return err
+	case <-time.After(n.cfg.ProposalTimeout):
+		return ErrTimeout
+	case <-n.stopCh:
+		return ErrStopped
+	}
+}
+
+// Get serves a read locally from the leader's replica (§6.3.1: "Read
+// requests are serviced locally from the leader's replica"), relying on the
+// leader lease as the paper's Raft-R does. Non-leaders reject reads.
+func (n *Node) Get(key []byte) ([]byte, error) {
+	if Role(n.role.Load()) != Leader {
+		return nil, ErrNotLeader
+	}
+	v, ok := n.sm.get(key)
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return v, nil
+}

@@ -1,0 +1,186 @@
+package raftr
+
+import "time"
+
+// handleMessage dispatches one inbound protocol message.
+func (n *Node) handleMessage(m msgEnvelope) {
+	switch m.Type {
+	case msgRequestVote:
+		rv, err := decodeRequestVote(m.Payload)
+		if err != nil {
+			return
+		}
+		n.onRequestVote(m.From, rv)
+	case msgVoteResp:
+		vr, err := decodeVoteResp(m.Payload)
+		if err != nil {
+			return
+		}
+		n.onVoteResp(m.From, vr)
+	case msgAppendEntries:
+		ae, err := decodeAppendEntries(m.Payload)
+		if err != nil {
+			return
+		}
+		n.onAppendEntries(m.From, ae)
+	case msgAppendResp:
+		ar, err := decodeAppendResp(m.Payload)
+		if err != nil {
+			return
+		}
+		n.onAppendResp(m.From, ar)
+	case msgSnapshot:
+		sn, err := decodeSnapshot(m.Payload)
+		if err != nil {
+			return
+		}
+		n.onSnapshot(m.From, sn)
+	}
+}
+
+// onRequestVote implements the RequestVote receiver rules.
+func (n *Node) onRequestVote(from string, rv requestVote) {
+	if rv.Term > n.term {
+		n.stepDown(rv.Term)
+	}
+	granted := false
+	if rv.Term == n.term && (n.votedFor == "" || n.votedFor == from) {
+		lastIdx := n.lastLogIndex()
+		lastTerm, _ := n.termAt(lastIdx)
+		// Grant only if the candidate's log is at least as up to date.
+		if rv.LastLogTerm > lastTerm || (rv.LastLogTerm == lastTerm && rv.LastLogIndex >= lastIdx) {
+			granted = true
+			n.votedFor = from
+			n.resetTimeout()
+		}
+	}
+	n.ep.Send(from, msgVoteResp, encodeVoteResp(voteResp{Term: n.term, Granted: granted}))
+}
+
+// onVoteResp tallies votes at a candidate.
+func (n *Node) onVoteResp(from string, vr voteResp) {
+	if vr.Term > n.term {
+		n.stepDown(vr.Term)
+		return
+	}
+	if Role(n.role.Load()) != Candidate || vr.Term != n.term || !vr.Granted {
+		return
+	}
+	n.votes[from] = true
+	if len(n.votes) >= len(n.cfg.Peers)/2+1 {
+		n.becomeLeader()
+	}
+}
+
+// onAppendEntries implements the AppendEntries receiver rules.
+func (n *Node) onAppendEntries(from string, ae appendEntries) {
+	if ae.Term > n.term {
+		n.stepDown(ae.Term)
+	}
+	resp := appendResp{Term: n.term}
+	if ae.Term < n.term {
+		n.ep.Send(from, msgAppendResp, encodeAppendResp(resp))
+		return
+	}
+	// Valid leader for our term.
+	n.role.Store(int32(Follower))
+	n.setLeader(ae.LeaderID)
+	n.lastHeard = time.Now()
+
+	prevTerm, ok := n.termAt(ae.PrevLogIndex)
+	if !ok || prevTerm != ae.PrevLogTerm {
+		// Log mismatch: tell the leader how far back we are.
+		hint := n.lastLogIndex()
+		if ae.PrevLogIndex < hint {
+			hint = ae.PrevLogIndex
+		}
+		resp.Success = false
+		resp.MatchIndex = hint // leader retries from hint
+		n.ep.Send(from, msgAppendResp, encodeAppendResp(resp))
+		return
+	}
+	// Append, truncating any conflicting suffix.
+	idx := ae.PrevLogIndex
+	for i, e := range ae.Entries {
+		idx = ae.PrevLogIndex + uint64(i) + 1
+		if t, ok := n.termAt(idx); ok {
+			if t == e.Term {
+				continue // already have it
+			}
+			n.log = n.log[:idx-n.firstIndex] // conflict: truncate
+		}
+		n.log = append(n.log, e)
+	}
+	last := ae.PrevLogIndex + uint64(len(ae.Entries))
+	if ae.LeaderCommit > n.commitIndex {
+		n.commitIndex = min64(ae.LeaderCommit, n.lastLogIndex())
+		n.applyCommitted()
+	}
+	resp.Success = true
+	resp.MatchIndex = last
+	n.ep.Send(from, msgAppendResp, encodeAppendResp(resp))
+}
+
+// onAppendResp processes a follower's replication ack at the leader.
+func (n *Node) onAppendResp(from string, ar appendResp) {
+	if ar.Term > n.term {
+		n.stepDown(ar.Term)
+		return
+	}
+	if Role(n.role.Load()) != Leader || ar.Term != n.term {
+		return
+	}
+	delete(n.inflight, from)
+	if ar.Success {
+		if ar.MatchIndex > n.matchIndex[from] {
+			n.matchIndex[from] = ar.MatchIndex
+		}
+		n.nextIndex[from] = ar.MatchIndex + 1
+		n.maybeCommit()
+		// More to ship?
+		if n.nextIndex[from] <= n.lastLogIndex() {
+			n.sendAppendTo(from)
+		}
+	} else {
+		// Back off to the follower's hint and retry.
+		next := ar.MatchIndex + 1
+		if next < 1 {
+			next = 1
+		}
+		n.nextIndex[from] = next
+		n.sendAppendTo(from)
+	}
+}
+
+// onSnapshot installs a full state machine image at a lagging follower.
+func (n *Node) onSnapshot(from string, sn snapshot) {
+	if sn.Term > n.term {
+		n.stepDown(sn.Term)
+	}
+	if sn.Term < n.term {
+		return
+	}
+	n.role.Store(int32(Follower))
+	n.setLeader(from)
+	n.lastHeard = time.Now()
+	if sn.LastIndex <= n.lastApplied {
+		return // stale snapshot
+	}
+	n.sm.restore(sn.KV)
+	n.log = []logEntry{{Term: sn.LastTerm}}
+	n.firstIndex = sn.LastIndex
+	n.lastApplied = sn.LastIndex
+	if sn.LastIndex > n.commitIndex {
+		n.commitIndex = sn.LastIndex
+	}
+	n.ep.Send(from, msgAppendResp, encodeAppendResp(appendResp{
+		Term: n.term, Success: true, MatchIndex: sn.LastIndex,
+	}))
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,284 @@
+package raftr
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"github.com/repro/sift/internal/msg"
+)
+
+// msgEnvelope aliases the substrate's message type.
+type msgEnvelope = msg.Message
+
+// Protocol message types.
+const (
+	msgRequestVote uint8 = iota + 1
+	msgVoteResp
+	msgAppendEntries
+	msgAppendResp
+	msgSnapshot
+)
+
+// errShort indicates a truncated message.
+var errShort = errors.New("raftr: short message")
+
+type requestVote struct {
+	Term         uint64
+	LastLogIndex uint64
+	LastLogTerm  uint64
+}
+
+func encodeRequestVote(rv requestVote) []byte {
+	buf := make([]byte, 24)
+	binary.LittleEndian.PutUint64(buf[0:], rv.Term)
+	binary.LittleEndian.PutUint64(buf[8:], rv.LastLogIndex)
+	binary.LittleEndian.PutUint64(buf[16:], rv.LastLogTerm)
+	return buf
+}
+
+func decodeRequestVote(b []byte) (requestVote, error) {
+	if len(b) < 24 {
+		return requestVote{}, errShort
+	}
+	return requestVote{
+		Term:         binary.LittleEndian.Uint64(b[0:]),
+		LastLogIndex: binary.LittleEndian.Uint64(b[8:]),
+		LastLogTerm:  binary.LittleEndian.Uint64(b[16:]),
+	}, nil
+}
+
+type voteResp struct {
+	Term    uint64
+	Granted bool
+}
+
+func encodeVoteResp(vr voteResp) []byte {
+	buf := make([]byte, 9)
+	binary.LittleEndian.PutUint64(buf[0:], vr.Term)
+	if vr.Granted {
+		buf[8] = 1
+	}
+	return buf
+}
+
+func decodeVoteResp(b []byte) (voteResp, error) {
+	if len(b) < 9 {
+		return voteResp{}, errShort
+	}
+	return voteResp{Term: binary.LittleEndian.Uint64(b[0:]), Granted: b[8] == 1}, nil
+}
+
+type appendEntries struct {
+	Term         uint64
+	LeaderID     string
+	PrevLogIndex uint64
+	PrevLogTerm  uint64
+	Entries      []logEntry
+	LeaderCommit uint64
+}
+
+func encodeAppendEntries(ae appendEntries) []byte {
+	size := 8 + 2 + len(ae.LeaderID) + 8 + 8 + 8 + 4
+	for _, e := range ae.Entries {
+		size += 8 + cmdSize(e.Cmd)
+	}
+	buf := make([]byte, size)
+	off := 0
+	binary.LittleEndian.PutUint64(buf[off:], ae.Term)
+	off += 8
+	binary.LittleEndian.PutUint16(buf[off:], uint16(len(ae.LeaderID)))
+	off += 2
+	off += copy(buf[off:], ae.LeaderID)
+	binary.LittleEndian.PutUint64(buf[off:], ae.PrevLogIndex)
+	off += 8
+	binary.LittleEndian.PutUint64(buf[off:], ae.PrevLogTerm)
+	off += 8
+	binary.LittleEndian.PutUint64(buf[off:], ae.LeaderCommit)
+	off += 8
+	binary.LittleEndian.PutUint32(buf[off:], uint32(len(ae.Entries)))
+	off += 4
+	for _, e := range ae.Entries {
+		binary.LittleEndian.PutUint64(buf[off:], e.Term)
+		off += 8
+		off += encodeCmd(buf[off:], e.Cmd)
+	}
+	return buf
+}
+
+func decodeAppendEntries(b []byte) (appendEntries, error) {
+	var ae appendEntries
+	off := 0
+	if len(b) < 10 {
+		return ae, errShort
+	}
+	ae.Term = binary.LittleEndian.Uint64(b[off:])
+	off += 8
+	idLen := int(binary.LittleEndian.Uint16(b[off:]))
+	off += 2
+	if off+idLen+28 > len(b) {
+		return ae, errShort
+	}
+	ae.LeaderID = string(b[off : off+idLen])
+	off += idLen
+	ae.PrevLogIndex = binary.LittleEndian.Uint64(b[off:])
+	off += 8
+	ae.PrevLogTerm = binary.LittleEndian.Uint64(b[off:])
+	off += 8
+	ae.LeaderCommit = binary.LittleEndian.Uint64(b[off:])
+	off += 8
+	count := int(binary.LittleEndian.Uint32(b[off:]))
+	off += 4
+	ae.Entries = make([]logEntry, 0, count)
+	for i := 0; i < count; i++ {
+		if off+8 > len(b) {
+			return ae, errShort
+		}
+		term := binary.LittleEndian.Uint64(b[off:])
+		off += 8
+		cmd, n, err := decodeCmd(b[off:])
+		if err != nil {
+			return ae, err
+		}
+		off += n
+		ae.Entries = append(ae.Entries, logEntry{Term: term, Cmd: cmd})
+	}
+	return ae, nil
+}
+
+type appendResp struct {
+	Term       uint64
+	Success    bool
+	MatchIndex uint64
+}
+
+func encodeAppendResp(ar appendResp) []byte {
+	buf := make([]byte, 17)
+	binary.LittleEndian.PutUint64(buf[0:], ar.Term)
+	if ar.Success {
+		buf[8] = 1
+	}
+	binary.LittleEndian.PutUint64(buf[9:], ar.MatchIndex)
+	return buf
+}
+
+func decodeAppendResp(b []byte) (appendResp, error) {
+	if len(b) < 17 {
+		return appendResp{}, errShort
+	}
+	return appendResp{
+		Term:       binary.LittleEndian.Uint64(b[0:]),
+		Success:    b[8] == 1,
+		MatchIndex: binary.LittleEndian.Uint64(b[9:]),
+	}, nil
+}
+
+type snapshot struct {
+	Term      uint64
+	LastIndex uint64
+	LastTerm  uint64
+	KV        map[string][]byte
+}
+
+func encodeSnapshot(sn snapshot) []byte {
+	size := 24 + 4
+	for k, v := range sn.KV {
+		size += 4 + len(k) + 4 + len(v)
+	}
+	buf := make([]byte, size)
+	binary.LittleEndian.PutUint64(buf[0:], sn.Term)
+	binary.LittleEndian.PutUint64(buf[8:], sn.LastIndex)
+	binary.LittleEndian.PutUint64(buf[16:], sn.LastTerm)
+	binary.LittleEndian.PutUint32(buf[24:], uint32(len(sn.KV)))
+	off := 28
+	for k, v := range sn.KV {
+		binary.LittleEndian.PutUint32(buf[off:], uint32(len(k)))
+		off += 4
+		off += copy(buf[off:], k)
+		binary.LittleEndian.PutUint32(buf[off:], uint32(len(v)))
+		off += 4
+		off += copy(buf[off:], v)
+	}
+	return buf
+}
+
+func decodeSnapshot(b []byte) (snapshot, error) {
+	if len(b) < 28 {
+		return snapshot{}, errShort
+	}
+	sn := snapshot{
+		Term:      binary.LittleEndian.Uint64(b[0:]),
+		LastIndex: binary.LittleEndian.Uint64(b[8:]),
+		LastTerm:  binary.LittleEndian.Uint64(b[16:]),
+		KV:        make(map[string][]byte),
+	}
+	count := int(binary.LittleEndian.Uint32(b[24:]))
+	off := 28
+	for i := 0; i < count; i++ {
+		if off+4 > len(b) {
+			return snapshot{}, errShort
+		}
+		kl := int(binary.LittleEndian.Uint32(b[off:]))
+		off += 4
+		if off+kl+4 > len(b) {
+			return snapshot{}, errShort
+		}
+		k := string(b[off : off+kl])
+		off += kl
+		vl := int(binary.LittleEndian.Uint32(b[off:]))
+		off += 4
+		if off+vl > len(b) {
+			return snapshot{}, errShort
+		}
+		v := append([]byte(nil), b[off:off+vl]...)
+		off += vl
+		sn.KV[k] = v
+	}
+	return sn, nil
+}
+
+// command is one state-machine operation.
+type command struct {
+	Op    byte // opPut or opDelete
+	Key   []byte
+	Value []byte
+}
+
+// Command opcodes.
+const (
+	opPut    byte = 1
+	opDelete byte = 2
+)
+
+func cmdSize(c command) int { return 1 + 4 + len(c.Key) + 4 + len(c.Value) }
+
+func encodeCmd(buf []byte, c command) int {
+	buf[0] = c.Op
+	binary.LittleEndian.PutUint32(buf[1:], uint32(len(c.Key)))
+	off := 5 + copy(buf[5:], c.Key)
+	binary.LittleEndian.PutUint32(buf[off:], uint32(len(c.Value)))
+	off += 4
+	off += copy(buf[off:], c.Value)
+	return off
+}
+
+func decodeCmd(b []byte) (command, int, error) {
+	if len(b) < 9 {
+		return command{}, 0, errShort
+	}
+	c := command{Op: b[0]}
+	kl := int(binary.LittleEndian.Uint32(b[1:]))
+	off := 5
+	if off+kl+4 > len(b) {
+		return command{}, 0, errShort
+	}
+	c.Key = append([]byte(nil), b[off:off+kl]...)
+	off += kl
+	vl := int(binary.LittleEndian.Uint32(b[off:]))
+	off += 4
+	if off+vl > len(b) {
+		return command{}, 0, errShort
+	}
+	c.Value = append([]byte(nil), b[off:off+vl]...)
+	off += vl
+	return c, off, nil
+}

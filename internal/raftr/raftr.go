@@ -1,0 +1,515 @@
+// Package raftr implements Raft-R, the paper's RDMA-based Raft-like
+// comparison system (§6.3.1): a leader-based replicated key-value store
+// where write requests are replicated to a majority before committing and
+// read requests are serviced locally from the leader's full replica, which
+// is "a partitioned map with 1000 partitions to reduce contention and
+// read/write locks to provide strong consistency."
+//
+// Raft-R couples compute and storage: every node keeps the full state
+// machine and must be provisioned to become leader — exactly the property
+// Sift's disaggregation removes. The consensus core is a faithful Raft:
+// terms, randomized election timeouts, RequestVote with log-recency checks,
+// AppendEntries with consistency probing and commit-index advancement.
+package raftr
+
+import (
+	"errors"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/repro/sift/internal/msg"
+)
+
+// Client-visible errors.
+var (
+	// ErrNotLeader is returned by operations sent to a non-leader node.
+	ErrNotLeader = errors.New("raftr: not the leader")
+	// ErrNotFound is returned by Get for missing keys.
+	ErrNotFound = errors.New("raftr: key not found")
+	// ErrTimeout is returned when a proposal fails to commit in time.
+	ErrTimeout = errors.New("raftr: proposal timed out")
+	// ErrStopped is returned after Stop.
+	ErrStopped = errors.New("raftr: node stopped")
+)
+
+// Role is a node's Raft role.
+type Role int32
+
+// Raft roles.
+const (
+	Follower Role = iota
+	Candidate
+	Leader
+)
+
+// Config parameterises one Raft-R node.
+type Config struct {
+	// ID is this node's name on the message network.
+	ID string
+	// Peers lists every group member, including this node.
+	Peers []string
+	// Endpoint is the node's mailbox.
+	Endpoint *msg.Endpoint
+	// ElectionTimeout is the base follower timeout (randomized up to 2x).
+	ElectionTimeout time.Duration
+	// HeartbeatInterval is the leader's empty-AppendEntries period.
+	HeartbeatInterval time.Duration
+	// Partitions is the state-machine map's partition count (paper: 1000).
+	Partitions int
+	// MaxBatch bounds entries per AppendEntries message.
+	MaxBatch int
+	// Seed randomizes election timeouts deterministically.
+	Seed int64
+	// ProposalTimeout bounds how long a client write may wait (default 2s).
+	ProposalTimeout time.Duration
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.ElectionTimeout <= 0 {
+		out.ElectionTimeout = 20 * time.Millisecond
+	}
+	if out.HeartbeatInterval <= 0 {
+		out.HeartbeatInterval = out.ElectionTimeout / 4
+	}
+	if out.Partitions <= 0 {
+		out.Partitions = 1000
+	}
+	if out.MaxBatch <= 0 {
+		out.MaxBatch = 64
+	}
+	if out.Seed == 0 {
+		out.Seed = int64(len(out.ID)) + 7
+	}
+	if out.ProposalTimeout <= 0 {
+		out.ProposalTimeout = 2 * time.Second
+	}
+	return out
+}
+
+// logEntry is one replicated command.
+type logEntry struct {
+	Term uint64
+	Cmd  command
+}
+
+// proposal is a client write waiting for commit.
+type proposal struct {
+	index uint64
+	done  chan error
+}
+
+// Node is one Raft-R group member.
+type Node struct {
+	cfg Config
+	ep  *msg.Endpoint
+	rng *rand.Rand
+
+	role     atomic.Int32
+	leaderID atomic.Pointer[string]
+
+	// Raft state, owned by the run loop.
+	term        uint64
+	votedFor    string
+	log         []logEntry // log[0] is a sentinel at (index 0, term 0)
+	firstIndex  uint64     // absolute index of log[0]
+	commitIndex uint64
+	lastApplied uint64
+	votes       map[string]bool
+	nextIndex   map[string]uint64
+	matchIndex  map[string]uint64
+	inflight    map[string]time.Time // non-zero: AppendEntries outstanding since
+
+	lastHeard time.Time
+	timeout   time.Duration
+
+	sm *stateMachine
+
+	proposeCh chan *proposalReq
+	controlCh chan func() // loop-thread injection (tests, maintenance)
+	stopCh    chan struct{}
+	stopOnce  sync.Once
+	doneCh    chan struct{}
+
+	pendMu  sync.Mutex
+	pending map[uint64][]*proposal
+
+	// Stats.
+	commits   atomic.Uint64
+	elections atomic.Uint64
+}
+
+type proposalReq struct {
+	cmd  command
+	done chan error
+}
+
+// NewNode creates a node; call Start to run it.
+func NewNode(cfg Config) *Node {
+	c := cfg.withDefaults()
+	n := &Node{
+		cfg:        c,
+		ep:         c.Endpoint,
+		rng:        rand.New(rand.NewSource(c.Seed)),
+		log:        []logEntry{{}},
+		firstIndex: 0,
+		votes:      make(map[string]bool),
+		nextIndex:  make(map[string]uint64),
+		matchIndex: make(map[string]uint64),
+		inflight:   make(map[string]time.Time),
+		sm:         newStateMachine(c.Partitions),
+		proposeCh:  make(chan *proposalReq, 4096),
+		controlCh:  make(chan func(), 8),
+		stopCh:     make(chan struct{}),
+		doneCh:     make(chan struct{}),
+		pending:    make(map[uint64][]*proposal),
+	}
+	n.resetTimeout()
+	empty := ""
+	n.leaderID.Store(&empty)
+	return n
+}
+
+// Start launches the node's event loop.
+func (n *Node) Start() { go n.run() }
+
+// Stop terminates the node (modelling a process crash: no graceful
+// handoff). Blocks until the loop exits.
+func (n *Node) Stop() {
+	n.stopOnce.Do(func() { close(n.stopCh) })
+	<-n.doneCh
+}
+
+// Role returns the node's current role.
+func (n *Node) Role() Role { return Role(n.role.Load()) }
+
+// Leader returns the last known leader's id ("" if unknown).
+func (n *Node) Leader() string { return *n.leaderID.Load() }
+
+// Commits returns the number of commands this node has applied.
+func (n *Node) Commits() uint64 { return n.commits.Load() }
+
+// Elections returns how many elections this node has started.
+func (n *Node) Elections() uint64 { return n.elections.Load() }
+
+func (n *Node) resetTimeout() {
+	n.timeout = n.cfg.ElectionTimeout + time.Duration(n.rng.Int63n(int64(n.cfg.ElectionTimeout)))
+	n.lastHeard = time.Now()
+}
+
+func (n *Node) setLeader(id string) {
+	n.leaderID.Store(&id)
+}
+
+// lastLogIndex returns the absolute index of the last entry.
+func (n *Node) lastLogIndex() uint64 { return n.firstIndex + uint64(len(n.log)) - 1 }
+
+// entryAt returns the entry at absolute index i (must be in range).
+func (n *Node) entryAt(i uint64) logEntry { return n.log[i-n.firstIndex] }
+
+// termAt returns the term at absolute index i, or false if compacted away.
+func (n *Node) termAt(i uint64) (uint64, bool) {
+	if i < n.firstIndex || i > n.lastLogIndex() {
+		return 0, false
+	}
+	return n.log[i-n.firstIndex].Term, true
+}
+
+// run is the single-threaded Raft event loop.
+func (n *Node) run() {
+	defer close(n.doneCh)
+	ticker := time.NewTicker(n.cfg.HeartbeatInterval / 2)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-n.stopCh:
+			n.failAllPending(ErrStopped)
+			return
+		case m := <-n.ep.Inbox():
+			n.handleMessage(m)
+		case req := <-n.proposeCh:
+			n.handleProposeBatch(req)
+		case fn := <-n.controlCh:
+			fn()
+		case <-ticker.C:
+			n.tick()
+		}
+	}
+}
+
+// forceCompactForTest compacts the log so that only entries above keepFrom
+// remain, synchronously on the loop thread. Test hook for exercising the
+// snapshot catch-up path without generating 64k entries.
+func (n *Node) forceCompactForTest(keepFrom uint64) {
+	done := make(chan struct{})
+	n.controlCh <- func() {
+		defer close(done)
+		if keepFrom <= n.firstIndex || keepFrom > n.lastApplied {
+			return
+		}
+		n.log = append([]logEntry{}, n.log[keepFrom-n.firstIndex:]...)
+		n.firstIndex = keepFrom
+	}
+	<-done
+}
+
+// tick drives timeouts and leader heartbeats.
+func (n *Node) tick() {
+	switch Role(n.role.Load()) {
+	case Leader:
+		n.broadcastAppend()
+	default:
+		if time.Since(n.lastHeard) >= n.timeout {
+			n.startElection()
+		}
+	}
+}
+
+// startElection transitions to candidate and solicits votes.
+func (n *Node) startElection() {
+	n.term++
+	n.votedFor = n.cfg.ID
+	n.votes = map[string]bool{n.cfg.ID: true}
+	n.role.Store(int32(Candidate))
+	n.elections.Add(1)
+	n.resetTimeout()
+	lastIdx := n.lastLogIndex()
+	lastTerm, _ := n.termAt(lastIdx)
+	payload := encodeRequestVote(requestVote{Term: n.term, LastLogIndex: lastIdx, LastLogTerm: lastTerm})
+	for _, p := range n.cfg.Peers {
+		if p != n.cfg.ID {
+			n.ep.Send(p, msgRequestVote, payload)
+		}
+	}
+	if len(n.cfg.Peers) == 1 {
+		n.becomeLeader()
+	}
+}
+
+// becomeLeader initialises leader state.
+func (n *Node) becomeLeader() {
+	n.role.Store(int32(Leader))
+	n.setLeader(n.cfg.ID)
+	last := n.lastLogIndex()
+	for _, p := range n.cfg.Peers {
+		n.nextIndex[p] = last + 1
+		n.matchIndex[p] = 0
+		delete(n.inflight, p)
+	}
+	n.matchIndex[n.cfg.ID] = last
+	n.broadcastAppend()
+}
+
+// stepDown reverts to follower for a newer term.
+func (n *Node) stepDown(term uint64) {
+	n.term = term
+	n.votedFor = ""
+	n.role.Store(int32(Follower))
+	n.resetTimeout()
+	n.failAllPending(ErrNotLeader)
+}
+
+// failAllPending rejects every outstanding proposal.
+func (n *Node) failAllPending(err error) {
+	n.pendMu.Lock()
+	for idx, ps := range n.pending {
+		for _, p := range ps {
+			p.done <- err
+		}
+		delete(n.pending, idx)
+	}
+	n.pendMu.Unlock()
+}
+
+// handleProposeBatch appends the received command plus everything else
+// already waiting in the propose queue, then replicates once — the natural
+// batching a loaded leader exhibits, and what keeps per-command overhead
+// low at high write rates.
+func (n *Node) handleProposeBatch(first *proposalReq) {
+	reqs := []*proposalReq{first}
+	// Two drain passes with a scheduler yield between them: clients that
+	// were just woken by the previous commit get a chance to enqueue, so
+	// batches actually fill under closed-loop load instead of convoying
+	// one command per round trip.
+	for pass := 0; pass < 2 && len(reqs) < n.cfg.MaxBatch; pass++ {
+		for len(reqs) < n.cfg.MaxBatch {
+			select {
+			case r := <-n.proposeCh:
+				reqs = append(reqs, r)
+				continue
+			default:
+			}
+			break
+		}
+		if pass == 0 {
+			runtime.Gosched()
+		}
+	}
+	if Role(n.role.Load()) != Leader {
+		for _, r := range reqs {
+			r.done <- ErrNotLeader
+		}
+		return
+	}
+	n.pendMu.Lock()
+	for _, r := range reqs {
+		n.log = append(n.log, logEntry{Term: n.term, Cmd: r.cmd})
+		idx := n.lastLogIndex()
+		n.pending[idx] = append(n.pending[idx], &proposal{index: idx, done: r.done})
+	}
+	n.pendMu.Unlock()
+	n.matchIndex[n.cfg.ID] = n.lastLogIndex()
+	n.broadcastAppend()
+}
+
+// broadcastAppend sends AppendEntries to every follower.
+func (n *Node) broadcastAppend() {
+	for _, p := range n.cfg.Peers {
+		if p == n.cfg.ID {
+			continue
+		}
+		n.sendAppendTo(p)
+	}
+	n.maybeCommit()
+}
+
+// sendAppendTo ships the follower's next batch (or a heartbeat). At most
+// one AppendEntries is outstanding per follower (with a retransmit timeout
+// in case the response was lost) — without this, a loaded leader re-ships
+// its whole in-flight window on every proposal and tick, and the followers
+// drown in duplicate entries.
+func (n *Node) sendAppendTo(p string) {
+	if since, busy := n.inflight[p]; busy {
+		if time.Since(since) < n.cfg.ElectionTimeout/2 {
+			return
+		}
+		// Retransmit: the previous message or its response was lost.
+	}
+	next := n.nextIndex[p]
+	if next <= n.firstIndex {
+		// The follower needs compacted entries: send a snapshot of the
+		// state machine instead.
+		n.sendSnapshotTo(p)
+		return
+	}
+	prevIdx := next - 1
+	prevTerm, ok := n.termAt(prevIdx)
+	if !ok {
+		n.sendSnapshotTo(p)
+		return
+	}
+	var entries []logEntry
+	last := n.lastLogIndex()
+	for i := next; i <= last && len(entries) < n.cfg.MaxBatch; i++ {
+		entries = append(entries, n.entryAt(i))
+	}
+	ae := appendEntries{
+		Term:         n.term,
+		LeaderID:     n.cfg.ID,
+		PrevLogIndex: prevIdx,
+		PrevLogTerm:  prevTerm,
+		Entries:      entries,
+		LeaderCommit: n.commitIndex,
+	}
+	n.inflight[p] = time.Now()
+	n.ep.Send(p, msgAppendEntries, encodeAppendEntries(ae))
+}
+
+// sendSnapshotTo transfers the full state machine (log compaction support).
+func (n *Node) sendSnapshotTo(p string) {
+	snap := snapshot{
+		Term:      n.term,
+		LastIndex: n.lastApplied,
+		LastTerm:  n.termOfApplied(),
+		KV:        n.sm.dump(),
+	}
+	n.inflight[p] = time.Now()
+	n.ep.Send(p, msgSnapshot, encodeSnapshot(snap))
+}
+
+func (n *Node) termOfApplied() uint64 {
+	t, ok := n.termAt(n.lastApplied)
+	if !ok {
+		return 0
+	}
+	return t
+}
+
+// maybeCommit advances commitIndex to the majority match point.
+func (n *Node) maybeCommit() {
+	if Role(n.role.Load()) != Leader {
+		return
+	}
+	last := n.lastLogIndex()
+	for idx := n.commitIndex + 1; idx <= last; idx++ {
+		t, ok := n.termAt(idx)
+		if !ok || t != n.term {
+			continue // only commit entries from the current term directly
+		}
+		count := 0
+		for _, p := range n.cfg.Peers {
+			if n.matchIndex[p] >= idx {
+				count++
+			}
+		}
+		if count >= len(n.cfg.Peers)/2+1 {
+			n.commitIndex = idx
+		}
+	}
+	n.applyCommitted()
+}
+
+// applyCommitted applies newly committed entries to the state machine and
+// acks their proposers.
+func (n *Node) applyCommitted() {
+	for n.lastApplied < n.commitIndex {
+		n.lastApplied++
+		if n.lastApplied < n.firstIndex || n.lastApplied > n.lastLogIndex() {
+			continue // covered by an installed snapshot
+		}
+		e := n.entryAt(n.lastApplied)
+		n.sm.apply(e.Cmd)
+		n.commits.Add(1)
+		n.pendMu.Lock()
+		if ps := n.pending[n.lastApplied]; ps != nil {
+			for _, p := range ps {
+				p.done <- nil
+			}
+			delete(n.pending, n.lastApplied)
+		}
+		n.pendMu.Unlock()
+	}
+	n.maybeCompact()
+}
+
+// maxLogEntries bounds the in-memory log before compaction.
+const maxLogEntries = 1 << 16
+
+// maybeCompact trims the applied log prefix once the log grows large,
+// keeping a margin so healthy followers never need snapshots.
+func (n *Node) maybeCompact() {
+	if len(n.log) < maxLogEntries {
+		return
+	}
+	keepFrom := n.lastApplied
+	if keepFrom > uint64(maxLogEntries/4) {
+		keepFrom -= uint64(maxLogEntries / 4)
+	} else {
+		keepFrom = 0
+	}
+	if Role(n.role.Load()) == Leader {
+		for _, p := range n.cfg.Peers {
+			if m := n.matchIndex[p]; m < keepFrom && m > 0 {
+				keepFrom = m
+			}
+		}
+	}
+	if keepFrom <= n.firstIndex {
+		return
+	}
+	n.log = append([]logEntry{}, n.log[keepFrom-n.firstIndex:]...)
+	n.firstIndex = keepFrom
+}

@@ -1,0 +1,316 @@
+package raftr
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/repro/sift/internal/msg"
+)
+
+// cluster spins up n Raft-R nodes on one message network.
+type cluster struct {
+	net   *msg.Network
+	nodes []*Node
+	names []string
+}
+
+func newCluster(t *testing.T, n int) *cluster {
+	t.Helper()
+	net := msg.NewNetwork(nil)
+	c := &cluster{net: net}
+	for i := 0; i < n; i++ {
+		c.names = append(c.names, fmt.Sprintf("r%d", i))
+	}
+	for i := 0; i < n; i++ {
+		ep := net.Join(c.names[i], 4096)
+		node := NewNode(Config{
+			ID:                c.names[i],
+			Peers:             c.names,
+			Endpoint:          ep,
+			ElectionTimeout:   15 * time.Millisecond,
+			HeartbeatInterval: 3 * time.Millisecond,
+			Partitions:        16,
+			Seed:              int64(i+1) * 31,
+		})
+		c.nodes = append(c.nodes, node)
+		node.Start()
+	}
+	t.Cleanup(func() {
+		for _, n := range c.nodes {
+			n.Stop()
+		}
+	})
+	return c
+}
+
+// leader waits for a stable leader.
+func (c *cluster) leader(t *testing.T, timeout time.Duration) *Node {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		for _, n := range c.nodes {
+			if n.Role() == Leader {
+				return n
+			}
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("no Raft-R leader elected")
+	return nil
+}
+
+func TestLeaderElection(t *testing.T) {
+	c := newCluster(t, 3)
+	ld := c.leader(t, 3*time.Second)
+	// Let things settle; there must be exactly one leader.
+	time.Sleep(50 * time.Millisecond)
+	leaders := 0
+	for _, n := range c.nodes {
+		if n.Role() == Leader {
+			leaders++
+		}
+	}
+	if leaders != 1 {
+		t.Fatalf("%d leaders", leaders)
+	}
+	if ld.Leader() != ld.cfg.ID {
+		t.Fatalf("leader's Leader() = %q", ld.Leader())
+	}
+}
+
+func TestPutGetThroughLeader(t *testing.T) {
+	c := newCluster(t, 3)
+	ld := c.leader(t, 3*time.Second)
+	if err := ld.Put([]byte("alpha"), []byte("beta")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := ld.Get([]byte("alpha"))
+	if err != nil || string(v) != "beta" {
+		t.Fatalf("got %q err=%v", v, err)
+	}
+	if _, err := ld.Get([]byte("missing")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing key: %v", err)
+	}
+}
+
+func TestNonLeaderRejects(t *testing.T) {
+	c := newCluster(t, 3)
+	ld := c.leader(t, 3*time.Second)
+	for _, n := range c.nodes {
+		if n == ld {
+			continue
+		}
+		if err := n.Put([]byte("k"), []byte("v")); !errors.Is(err, ErrNotLeader) {
+			t.Fatalf("follower accepted put: %v", err)
+		}
+		if _, err := n.Get([]byte("k")); !errors.Is(err, ErrNotLeader) {
+			t.Fatalf("follower accepted get: %v", err)
+		}
+	}
+}
+
+func TestReplicationReachesFollowers(t *testing.T) {
+	c := newCluster(t, 3)
+	ld := c.leader(t, 3*time.Second)
+	for i := 0; i < 20; i++ {
+		if err := ld.Put([]byte(fmt.Sprintf("k%d", i)), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Followers should apply within a few heartbeats.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		allDone := true
+		for _, n := range c.nodes {
+			if n.Commits() < 20 {
+				allDone = false
+			}
+		}
+		if allDone {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	for _, n := range c.nodes {
+		v, ok := n.sm.get([]byte("k7"))
+		if !ok || string(v) != "v7" {
+			t.Fatalf("node %s: k7 = %q ok=%v", n.cfg.ID, v, ok)
+		}
+	}
+}
+
+func TestDeleteReplicated(t *testing.T) {
+	c := newCluster(t, 3)
+	ld := c.leader(t, 3*time.Second)
+	ld.Put([]byte("k"), []byte("v"))
+	if err := ld.Delete([]byte("k")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ld.Get([]byte("k")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("deleted key: %v", err)
+	}
+}
+
+func TestLeaderFailover(t *testing.T) {
+	c := newCluster(t, 3)
+	ld := c.leader(t, 3*time.Second)
+	for i := 0; i < 10; i++ {
+		if err := ld.Put([]byte(fmt.Sprintf("k%d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Crash the leader (network-level kill + stop).
+	c.net.Fabric().Kill(ld.cfg.ID)
+
+	deadline := time.Now().Add(5 * time.Second)
+	var newLd *Node
+	for time.Now().Before(deadline) && newLd == nil {
+		for _, n := range c.nodes {
+			if n != ld && n.Role() == Leader {
+				newLd = n
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if newLd == nil {
+		t.Fatal("no new leader after crash")
+	}
+	// Committed data survives.
+	var v []byte
+	var err error
+	for attempt := 0; attempt < 50; attempt++ {
+		if v, err = newLd.Get([]byte("k3")); err == nil {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err != nil || string(v) != "v" {
+		t.Fatalf("k3 after failover: %q err=%v", v, err)
+	}
+	// And the new leader accepts writes.
+	if err := newLd.Put([]byte("post"), []byte("failover")); err != nil {
+		t.Fatalf("put after failover: %v", err)
+	}
+}
+
+func TestConcurrentPuts(t *testing.T) {
+	c := newCluster(t, 3)
+	ld := c.leader(t, 3*time.Second)
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				if err := ld.Put([]byte(fmt.Sprintf("w%d-%d", w, i)), []byte("v")); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if v, err := ld.Get([]byte("w3-11")); err != nil || string(v) != "v" {
+		t.Fatalf("got %q err=%v", v, err)
+	}
+}
+
+func TestFollowerCatchUpAfterPartition(t *testing.T) {
+	c := newCluster(t, 3)
+	ld := c.leader(t, 3*time.Second)
+	// Partition one follower, write, heal, verify catch-up.
+	var follower *Node
+	for _, n := range c.nodes {
+		if n != ld {
+			follower = n
+			break
+		}
+	}
+	c.net.Fabric().Partition(ld.cfg.ID, follower.cfg.ID)
+	for i := 0; i < 10; i++ {
+		if err := ld.Put([]byte(fmt.Sprintf("p%d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.net.Fabric().Heal(ld.cfg.ID, follower.cfg.ID)
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if v, ok := follower.sm.get([]byte("p9")); ok && string(v) == "v" {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("partitioned follower never caught up")
+}
+
+func TestFiveNodeCluster(t *testing.T) {
+	c := newCluster(t, 5)
+	ld := c.leader(t, 3*time.Second)
+	// F=2: two follower failures must not block commits.
+	killed := 0
+	for _, n := range c.nodes {
+		if n != ld && killed < 2 {
+			c.net.Fabric().Kill(n.cfg.ID)
+			killed++
+		}
+	}
+	if err := ld.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatalf("put with 2 failures: %v", err)
+	}
+	v, err := ld.Get([]byte("k"))
+	if err != nil || string(v) != "v" {
+		t.Fatalf("got %q err=%v", v, err)
+	}
+}
+
+func TestSnapshotCatchUp(t *testing.T) {
+	// Force log compaction beyond a dead follower's match point, then make
+	// sure it catches up via snapshot when it returns.
+	c := newCluster(t, 3)
+	ld := c.leader(t, 3*time.Second)
+	var follower *Node
+	for _, n := range c.nodes {
+		if n != ld {
+			follower = n
+			break
+		}
+	}
+	c.net.Fabric().Kill(follower.cfg.ID)
+	for i := 0; i < 50; i++ {
+		if err := ld.Put([]byte(fmt.Sprintf("s%d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Manually compact the leader's log past the follower's match index to
+	// force the snapshot path (the size threshold is too large to hit here).
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		// Run compaction inside the loop thread via a no-op propose first
+		// to serialize; then compact directly — the loop owns this state,
+		// so pause it briefly by stopping ticks: simplest is to mutate via
+		// test-only knowledge that the loop is idle between messages.
+		time.Sleep(20 * time.Millisecond)
+	}()
+	<-done
+	ld.forceCompactForTest(40)
+
+	c.net.Fabric().Restart(follower.cfg.ID)
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if v, ok := follower.sm.get([]byte("s49")); ok && string(v) == "v" {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("follower never caught up via snapshot")
+}

@@ -1,0 +1,89 @@
+package raftr
+
+import (
+	"hash/fnv"
+	"sync"
+)
+
+// stateMachine is Raft-R's in-memory replica: "a partitioned map with 1000
+// partitions to reduce contention and read/write locks to provide strong
+// consistency" (§6.3.1). Every node — leader and followers alike — holds a
+// full copy, which is the coupled-resource cost Sift's evaluation compares
+// against.
+type stateMachine struct {
+	parts []mapPart
+}
+
+type mapPart struct {
+	mu sync.RWMutex
+	m  map[string][]byte
+}
+
+func newStateMachine(partitions int) *stateMachine {
+	sm := &stateMachine{parts: make([]mapPart, partitions)}
+	for i := range sm.parts {
+		sm.parts[i].m = make(map[string][]byte)
+	}
+	return sm
+}
+
+func (sm *stateMachine) part(key []byte) *mapPart {
+	h := fnv.New32a()
+	h.Write(key)
+	return &sm.parts[int(h.Sum32())%len(sm.parts)]
+}
+
+// apply executes one committed command.
+func (sm *stateMachine) apply(c command) {
+	p := sm.part(c.Key)
+	p.mu.Lock()
+	switch c.Op {
+	case opPut:
+		p.m[string(c.Key)] = append([]byte(nil), c.Value...)
+	case opDelete:
+		delete(p.m, string(c.Key))
+	}
+	p.mu.Unlock()
+}
+
+// get reads one key under the partition read lock.
+func (sm *stateMachine) get(key []byte) ([]byte, bool) {
+	p := sm.part(key)
+	p.mu.RLock()
+	v, ok := p.m[string(key)]
+	p.mu.RUnlock()
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), v...), true
+}
+
+// dump copies the full state (snapshot transfer).
+func (sm *stateMachine) dump() map[string][]byte {
+	out := make(map[string][]byte)
+	for i := range sm.parts {
+		p := &sm.parts[i]
+		p.mu.RLock()
+		for k, v := range p.m {
+			out[k] = append([]byte(nil), v...)
+		}
+		p.mu.RUnlock()
+	}
+	return out
+}
+
+// restore replaces the full state (snapshot install).
+func (sm *stateMachine) restore(kv map[string][]byte) {
+	for i := range sm.parts {
+		p := &sm.parts[i]
+		p.mu.Lock()
+		p.m = make(map[string][]byte)
+		p.mu.Unlock()
+	}
+	for k, v := range kv {
+		p := sm.part([]byte(k))
+		p.mu.Lock()
+		p.m[k] = append([]byte(nil), v...)
+		p.mu.Unlock()
+	}
+}

@@ -1,0 +1,178 @@
+package rdma
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/repro/sift/internal/netsim"
+)
+
+// opHeaderSize approximates the on-wire size of a verb header (opcode,
+// region, offset, length) plus transport framing; used for latency modelling.
+const opHeaderSize = 32
+
+// DialOpts configures a new connection.
+type DialOpts struct {
+	// Exclusive lists regions to open with at-most-one-connection semantics.
+	// Dialing revokes every prior connection's access to these regions.
+	// Regions not registered as exclusive are silently opened shared.
+	Exclusive []RegionID
+}
+
+// Network is an in-process RDMA network: a set of passive nodes joined by a
+// netsim.Fabric that models latency, partitions, and node failures.
+type Network struct {
+	fabric *netsim.Fabric
+
+	mu    sync.RWMutex
+	nodes map[string]*Node
+}
+
+// NewNetwork creates a network over the given fabric. A nil fabric gets a
+// zero-latency default.
+func NewNetwork(fabric *netsim.Fabric) *Network {
+	if fabric == nil {
+		fabric = netsim.NewFabric(nil)
+	}
+	return &Network{fabric: fabric, nodes: make(map[string]*Node)}
+}
+
+// Fabric returns the underlying fabric for failure injection.
+func (n *Network) Fabric() *netsim.Fabric { return n.fabric }
+
+// AddNode attaches a node to the network.
+func (n *Network) AddNode(node *Node) {
+	n.mu.Lock()
+	n.nodes[node.Name()] = node
+	n.mu.Unlock()
+}
+
+// RemoveNode detaches a node (e.g. permanent decommission).
+func (n *Network) RemoveNode(name string) {
+	n.mu.Lock()
+	delete(n.nodes, name)
+	n.mu.Unlock()
+}
+
+// Node returns the attached node with the given name, or nil.
+func (n *Network) Node(name string) *Node {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.nodes[name]
+}
+
+// Dial opens a connection from initiator src to the node named dst.
+// Establishing the connection involves the remote node's CPU (as in real
+// RDMA connection setup); all subsequent verbs are one-sided.
+func (n *Network) Dial(src, dst string, opts DialOpts) (Verbs, error) {
+	n.mu.RLock()
+	node := n.nodes[dst]
+	n.mu.RUnlock()
+	if node == nil {
+		return nil, fmt.Errorf("rdma: dial %s: %w", dst, ErrUnknownRegion)
+	}
+	// Connection setup round trip.
+	if err := n.fabric.Transfer(src, dst, opHeaderSize); err != nil {
+		return nil, fmt.Errorf("rdma: dial %s: %w", dst, err)
+	}
+	c := &inprocConn{net: n, src: src, dst: dst, node: node, epochs: make(map[RegionID]uint64)}
+	for _, id := range opts.Exclusive {
+		r := node.Region(id)
+		if r == nil {
+			c.Close()
+			return nil, fmt.Errorf("rdma: dial %s region %d: %w", dst, id, ErrUnknownRegion)
+		}
+		c.epochs[id] = r.Acquire()
+	}
+	if err := n.fabric.Transfer(dst, src, opHeaderSize); err != nil {
+		return nil, fmt.Errorf("rdma: dial %s: %w", dst, err)
+	}
+	return c, nil
+}
+
+// inprocConn is a reliable connection on the in-process transport. Verbs are
+// executed directly against the remote node's registered regions; the
+// netsim.Fabric supplies latency and failure behaviour.
+type inprocConn struct {
+	net  *Network
+	src  string
+	dst  string
+	node *Node
+
+	mu     sync.Mutex
+	closed bool
+	epochs map[RegionID]uint64
+}
+
+func (c *inprocConn) region(id RegionID) (*Region, uint64, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, 0, ErrClosed
+	}
+	epoch := c.epochs[id]
+	c.mu.Unlock()
+	r := c.node.Region(id)
+	if r == nil {
+		return nil, 0, fmt.Errorf("rdma: region %d: %w", id, ErrUnknownRegion)
+	}
+	return r, epoch, nil
+}
+
+// Read implements Verbs.
+func (c *inprocConn) Read(region RegionID, offset uint64, buf []byte) error {
+	r, epoch, err := c.region(region)
+	if err != nil {
+		return err
+	}
+	if err := c.net.fabric.Transfer(c.src, c.dst, opHeaderSize); err != nil {
+		return err
+	}
+	if err := r.ReadAt(epoch, offset, buf); err != nil {
+		return err
+	}
+	return c.net.fabric.Transfer(c.dst, c.src, opHeaderSize+len(buf))
+}
+
+// Write implements Verbs.
+func (c *inprocConn) Write(region RegionID, offset uint64, data []byte) error {
+	r, epoch, err := c.region(region)
+	if err != nil {
+		return err
+	}
+	if err := c.net.fabric.Transfer(c.src, c.dst, opHeaderSize+len(data)); err != nil {
+		return err
+	}
+	if err := r.WriteAt(epoch, offset, data); err != nil {
+		return err
+	}
+	// Reliable-connection acknowledgement.
+	return c.net.fabric.Transfer(c.dst, c.src, opHeaderSize)
+}
+
+// CompareAndSwap implements Verbs.
+func (c *inprocConn) CompareAndSwap(region RegionID, offset uint64, expect, swap uint64) (uint64, error) {
+	r, epoch, err := c.region(region)
+	if err != nil {
+		return 0, err
+	}
+	if err := c.net.fabric.Transfer(c.src, c.dst, opHeaderSize+16); err != nil {
+		return 0, err
+	}
+	old, err := r.CASAt(epoch, offset, expect, swap)
+	if err != nil {
+		return 0, err
+	}
+	if err := c.net.fabric.Transfer(c.dst, c.src, opHeaderSize+8); err != nil {
+		return 0, err
+	}
+	return old, nil
+}
+
+// Close implements Verbs.
+func (c *inprocConn) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	return nil
+}

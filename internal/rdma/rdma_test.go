@@ -1,0 +1,227 @@
+package rdma
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegionReadWriteRoundTrip(t *testing.T) {
+	r := NewRegion(4096, false)
+	data := []byte("hello, rdma world")
+	if err := r.WriteAt(0, 100, data); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, len(data))
+	if err := r.ReadAt(0, 100, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, data) {
+		t.Fatalf("read %q, want %q", buf, data)
+	}
+}
+
+func TestRegionRoundTripQuick(t *testing.T) {
+	const size = 1 << 16
+	r := NewRegion(size, false)
+	f := func(off uint16, data []byte) bool {
+		offset := uint64(off)
+		if offset+uint64(len(data)) > size {
+			return true // out of bounds handled elsewhere
+		}
+		if err := r.WriteAt(0, offset, data); err != nil {
+			return false
+		}
+		buf := make([]byte, len(data))
+		if err := r.ReadAt(0, offset, buf); err != nil {
+			return false
+		}
+		return bytes.Equal(buf, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegionOutOfBounds(t *testing.T) {
+	r := NewRegion(128, false)
+	if err := r.WriteAt(0, 120, make([]byte, 16)); !errors.Is(err, ErrOutOfBounds) {
+		t.Fatalf("write past end: err = %v, want ErrOutOfBounds", err)
+	}
+	if err := r.ReadAt(0, 1000, make([]byte, 1)); !errors.Is(err, ErrOutOfBounds) {
+		t.Fatalf("read past end: err = %v, want ErrOutOfBounds", err)
+	}
+	if err := r.WriteAt(0, 0, make([]byte, 128)); err != nil {
+		t.Fatalf("exact-fit write should succeed: %v", err)
+	}
+}
+
+func TestRegionCAS(t *testing.T) {
+	r := NewRegion(64, false)
+	old, err := r.CASAt(0, 8, 0, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old != 0 {
+		t.Fatalf("first CAS observed %d, want 0", old)
+	}
+	// Failed CAS returns current value and does not modify.
+	old, err = r.CASAt(0, 8, 0, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old != 42 {
+		t.Fatalf("failed CAS observed %d, want 42", old)
+	}
+	var buf [8]byte
+	r.ReadAt(0, 8, buf[:])
+	if got := binary.LittleEndian.Uint64(buf[:]); got != 42 {
+		t.Fatalf("memory holds %d after failed CAS, want 42", got)
+	}
+}
+
+func TestRegionCASMisaligned(t *testing.T) {
+	r := NewRegion(64, false)
+	if _, err := r.CASAt(0, 3, 0, 1); !errors.Is(err, ErrMisaligned) {
+		t.Fatalf("misaligned CAS: err = %v, want ErrMisaligned", err)
+	}
+}
+
+func TestRegionCASMutualExclusion(t *testing.T) {
+	// N goroutines CAS-increment a counter; every increment must be applied
+	// exactly once.
+	r := NewRegion(64, false)
+	const workers, perWorker = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				for {
+					var buf [8]byte
+					r.ReadAt(0, 0, buf[:])
+					cur := binary.LittleEndian.Uint64(buf[:])
+					old, err := r.CASAt(0, 0, cur, cur+1)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if old == cur {
+						break
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	var buf [8]byte
+	r.ReadAt(0, 0, buf[:])
+	if got := binary.LittleEndian.Uint64(buf[:]); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestRegionExclusiveFencing(t *testing.T) {
+	r := NewRegion(64, true)
+	e1 := r.Acquire()
+	if err := r.WriteAt(e1, 0, []byte{1}); err != nil {
+		t.Fatalf("owner write: %v", err)
+	}
+	e2 := r.Acquire()
+	if e2 <= e1 {
+		t.Fatalf("epochs must increase: %d then %d", e1, e2)
+	}
+	if err := r.WriteAt(e1, 0, []byte{2}); !errors.Is(err, ErrFenced) {
+		t.Fatalf("stale owner write: err = %v, want ErrFenced", err)
+	}
+	if err := r.WriteAt(e2, 0, []byte{3}); err != nil {
+		t.Fatalf("new owner write: %v", err)
+	}
+	var b [1]byte
+	if err := r.ReadAt(e2, 0, b[:]); err != nil || b[0] != 3 {
+		t.Fatalf("read = %v %d, want 3", err, b[0])
+	}
+}
+
+func TestRegionNonExclusiveAcquireIsNoop(t *testing.T) {
+	r := NewRegion(64, false)
+	if e := r.Acquire(); e != 0 {
+		t.Fatalf("Acquire on shared region = %d, want 0", e)
+	}
+	if err := r.WriteAt(0, 0, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegionSnapshot(t *testing.T) {
+	r := NewRegion(32, false)
+	r.WriteAt(0, 5, []byte{9, 8, 7})
+	snap := r.Snapshot()
+	if len(snap) != 32 || snap[5] != 9 || snap[7] != 7 {
+		t.Fatalf("snapshot mismatch: %v", snap[:8])
+	}
+	// Snapshot is a copy.
+	snap[5] = 0
+	var b [1]byte
+	r.ReadAt(0, 5, b[:])
+	if b[0] != 9 {
+		t.Fatal("snapshot aliases region memory")
+	}
+}
+
+func TestNodeRegions(t *testing.T) {
+	n := NewNode("m0")
+	if n.Name() != "m0" {
+		t.Fatalf("Name = %q", n.Name())
+	}
+	r := n.Alloc(1, 128, false)
+	if r.Size() != 128 {
+		t.Fatalf("Size = %d", r.Size())
+	}
+	if n.Region(1) != r {
+		t.Fatal("Region(1) mismatch")
+	}
+	if n.Region(9) != nil {
+		t.Fatal("unknown region should be nil")
+	}
+	n.Alloc(2, 64, true)
+	ids := n.RegionIDs()
+	if len(ids) != 2 {
+		t.Fatalf("RegionIDs = %v", ids)
+	}
+}
+
+func TestRegionStripedConcurrency(t *testing.T) {
+	// Concurrent writers to disjoint areas must not corrupt each other.
+	r := NewRegion(64<<10, false)
+	const workers = 16
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			chunk := bytes.Repeat([]byte{byte(w + 1)}, 1024)
+			off := uint64(w * 4096)
+			for i := 0; i < 100; i++ {
+				if err := r.WriteAt(0, off, chunk); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w := 0; w < workers; w++ {
+		buf := make([]byte, 1024)
+		r.ReadAt(0, uint64(w*4096), buf)
+		for _, b := range buf {
+			if b != byte(w+1) {
+				t.Fatalf("worker %d area corrupted: %d", w, b)
+			}
+		}
+	}
+}

@@ -1,0 +1,335 @@
+package rdma
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// TCP transport: a passive memory node daemon serves verbs over TCP. The
+// daemon's per-connection handler is the moral equivalent of the RNIC — it
+// executes READ/WRITE/CAS directly against the node's registered regions and
+// runs no protocol logic. Initiators use DialTCP to obtain a Verbs
+// connection. One operation is outstanding per connection (callers open
+// several connections for parallelism, as they would create several QPs).
+
+const tcpMagic = "SIFTRDM1"
+
+// Verb opcodes on the wire.
+const (
+	opRead  = 1
+	opWrite = 2
+	opCAS   = 3
+)
+
+// Wire status codes.
+const (
+	statusOK = iota
+	statusFenced
+	statusOutOfBounds
+	statusUnknownRegion
+	statusMisaligned
+)
+
+func statusToError(s byte) error {
+	switch s {
+	case statusOK:
+		return nil
+	case statusFenced:
+		return ErrFenced
+	case statusOutOfBounds:
+		return ErrOutOfBounds
+	case statusUnknownRegion:
+		return ErrUnknownRegion
+	case statusMisaligned:
+		return ErrMisaligned
+	default:
+		return fmt.Errorf("rdma: unknown wire status %d", s)
+	}
+}
+
+func errorToStatus(err error) byte {
+	switch {
+	case err == nil:
+		return statusOK
+	case errors.Is(err, ErrFenced):
+		return statusFenced
+	case errors.Is(err, ErrOutOfBounds):
+		return statusOutOfBounds
+	case errors.Is(err, ErrUnknownRegion):
+		return statusUnknownRegion
+	case errors.Is(err, ErrMisaligned):
+		return statusMisaligned
+	default:
+		return statusOutOfBounds
+	}
+}
+
+// maxWireData bounds a single transfer to keep a malformed peer from forcing
+// huge allocations.
+const maxWireData = 64 << 20
+
+// Serve accepts connections on l and serves one-sided operations against
+// node until l is closed. It is the only code a memory node runs after
+// startup, mirroring the passivity of Sift memory nodes.
+func Serve(l net.Listener, node *Node) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		go serveConn(conn, node)
+	}
+}
+
+func serveConn(conn net.Conn, node *Node) {
+	defer conn.Close()
+	br := bufio.NewReaderSize(conn, 64<<10)
+	bw := bufio.NewWriterSize(conn, 64<<10)
+
+	// Handshake: magic, then the list of regions to open exclusively.
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil || string(magic[:]) != tcpMagic {
+		return
+	}
+	var nEx uint16
+	if err := binary.Read(br, binary.LittleEndian, &nEx); err != nil {
+		return
+	}
+	epochs := make(map[RegionID]uint64)
+	ok := byte(statusOK)
+	for i := 0; i < int(nEx); i++ {
+		var id uint32
+		if err := binary.Read(br, binary.LittleEndian, &id); err != nil {
+			return
+		}
+		r := node.Region(RegionID(id))
+		if r == nil {
+			ok = statusUnknownRegion
+			continue
+		}
+		epochs[RegionID(id)] = r.Acquire()
+	}
+	if err := bw.WriteByte(ok); err != nil || bw.Flush() != nil {
+		return
+	}
+	if ok != statusOK {
+		return
+	}
+
+	var hdr [17]byte // opcode(1) region(4) offset(8) length(4)
+	for {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			return
+		}
+		opcode := hdr[0]
+		region := RegionID(binary.LittleEndian.Uint32(hdr[1:5]))
+		offset := binary.LittleEndian.Uint64(hdr[5:13])
+		length := binary.LittleEndian.Uint32(hdr[13:17])
+		if length > maxWireData {
+			return
+		}
+		r := node.Region(region)
+		epoch := epochs[region]
+
+		switch opcode {
+		case opRead:
+			var data []byte
+			var err error
+			if r == nil {
+				err = ErrUnknownRegion
+			} else {
+				data = make([]byte, length)
+				err = r.ReadAt(epoch, offset, data)
+			}
+			bw.WriteByte(errorToStatus(err))
+			if err == nil {
+				bw.Write(data)
+			}
+		case opWrite:
+			payload := make([]byte, length)
+			if _, err := io.ReadFull(br, payload); err != nil {
+				return
+			}
+			var err error
+			if r == nil {
+				err = ErrUnknownRegion
+			} else {
+				err = r.WriteAt(epoch, offset, payload)
+			}
+			bw.WriteByte(errorToStatus(err))
+		case opCAS:
+			var args [16]byte
+			if _, err := io.ReadFull(br, args[:]); err != nil {
+				return
+			}
+			expect := binary.LittleEndian.Uint64(args[0:8])
+			swap := binary.LittleEndian.Uint64(args[8:16])
+			var old uint64
+			var err error
+			if r == nil {
+				err = ErrUnknownRegion
+			} else {
+				old, err = r.CASAt(epoch, offset, expect, swap)
+			}
+			bw.WriteByte(errorToStatus(err))
+			if err == nil {
+				var ov [8]byte
+				binary.LittleEndian.PutUint64(ov[:], old)
+				bw.Write(ov[:])
+			}
+		default:
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// tcpConn implements Verbs over a TCP connection to a memory node daemon.
+type tcpConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+	err  error // sticky transport error
+}
+
+// DialTCP connects to a memory node daemon at addr. Regions listed in
+// opts.Exclusive are opened with at-most-one-connection semantics: the
+// daemon revokes all earlier exclusive holders.
+func DialTCP(addr string, opts DialOpts) (Verbs, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &tcpConn{
+		conn: conn,
+		br:   bufio.NewReaderSize(conn, 64<<10),
+		bw:   bufio.NewWriterSize(conn, 64<<10),
+	}
+	c.bw.WriteString(tcpMagic)
+	binary.Write(c.bw, binary.LittleEndian, uint16(len(opts.Exclusive)))
+	for _, id := range opts.Exclusive {
+		binary.Write(c.bw, binary.LittleEndian, uint32(id))
+	}
+	if err := c.bw.Flush(); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	status, err := c.br.ReadByte()
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if status != statusOK {
+		conn.Close()
+		return nil, statusToError(status)
+	}
+	return c, nil
+}
+
+func (c *tcpConn) sendHeader(opcode byte, region RegionID, offset uint64, length uint32) {
+	var hdr [17]byte
+	hdr[0] = opcode
+	binary.LittleEndian.PutUint32(hdr[1:5], uint32(region))
+	binary.LittleEndian.PutUint64(hdr[5:13], offset)
+	binary.LittleEndian.PutUint32(hdr[13:17], length)
+	c.bw.Write(hdr[:])
+}
+
+func (c *tcpConn) fail(err error) error {
+	c.err = err
+	c.conn.Close()
+	return err
+}
+
+// Read implements Verbs.
+func (c *tcpConn) Read(region RegionID, offset uint64, buf []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return c.err
+	}
+	c.sendHeader(opRead, region, offset, uint32(len(buf)))
+	if err := c.bw.Flush(); err != nil {
+		return c.fail(err)
+	}
+	status, err := c.br.ReadByte()
+	if err != nil {
+		return c.fail(err)
+	}
+	if status != statusOK {
+		return statusToError(status)
+	}
+	if _, err := io.ReadFull(c.br, buf); err != nil {
+		return c.fail(err)
+	}
+	return nil
+}
+
+// Write implements Verbs.
+func (c *tcpConn) Write(region RegionID, offset uint64, data []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return c.err
+	}
+	c.sendHeader(opWrite, region, offset, uint32(len(data)))
+	c.bw.Write(data)
+	if err := c.bw.Flush(); err != nil {
+		return c.fail(err)
+	}
+	status, err := c.br.ReadByte()
+	if err != nil {
+		return c.fail(err)
+	}
+	return statusToError(status)
+}
+
+// CompareAndSwap implements Verbs.
+func (c *tcpConn) CompareAndSwap(region RegionID, offset uint64, expect, swap uint64) (uint64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return 0, c.err
+	}
+	c.sendHeader(opCAS, region, offset, 0)
+	var args [16]byte
+	binary.LittleEndian.PutUint64(args[0:8], expect)
+	binary.LittleEndian.PutUint64(args[8:16], swap)
+	c.bw.Write(args[:])
+	if err := c.bw.Flush(); err != nil {
+		return 0, c.fail(err)
+	}
+	status, err := c.br.ReadByte()
+	if err != nil {
+		return 0, c.fail(err)
+	}
+	if status != statusOK {
+		return 0, statusToError(status)
+	}
+	var ov [8]byte
+	if _, err := io.ReadFull(c.br, ov[:]); err != nil {
+		return 0, c.fail(err)
+	}
+	return binary.LittleEndian.Uint64(ov[:]), nil
+}
+
+// Close implements Verbs.
+func (c *tcpConn) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err == nil {
+		c.err = ErrClosed
+	}
+	return c.conn.Close()
+}

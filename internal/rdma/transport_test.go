@@ -1,0 +1,200 @@
+package rdma
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"testing"
+
+	"github.com/repro/sift/internal/netsim"
+)
+
+// verbsTransportTest exercises a Verbs implementation against a node that
+// has region 1 (shared, 4 KiB) and region 2 (exclusive, 4 KiB).
+func verbsTransportTest(t *testing.T, dial func(opts DialOpts) (Verbs, error)) {
+	t.Helper()
+
+	c, err := dial(DialOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	data := []byte("one-sided write")
+	if err := c.Write(1, 64, data); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	buf := make([]byte, len(data))
+	if err := c.Read(1, 64, buf); err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if !bytes.Equal(buf, data) {
+		t.Fatalf("read back %q, want %q", buf, data)
+	}
+
+	old, err := c.CompareAndSwap(1, 8, 0, 77)
+	if err != nil || old != 0 {
+		t.Fatalf("CAS: old=%d err=%v", old, err)
+	}
+	old, err = c.CompareAndSwap(1, 8, 0, 88)
+	if err != nil || old != 77 {
+		t.Fatalf("second CAS: old=%d err=%v, want 77", old, err)
+	}
+
+	if err := c.Read(99, 0, buf); !errors.Is(err, ErrUnknownRegion) {
+		t.Fatalf("unknown region: err=%v", err)
+	}
+	if err := c.Write(1, 1<<20, data); !errors.Is(err, ErrOutOfBounds) {
+		t.Fatalf("out of bounds: err=%v", err)
+	}
+	if _, err := c.CompareAndSwap(1, 5, 0, 0); !errors.Is(err, ErrMisaligned) {
+		t.Fatalf("misaligned CAS: err=%v", err)
+	}
+
+	// Exclusive fencing: a second exclusive dial revokes the first.
+	c1, err := dial(DialOpts{Exclusive: []RegionID{2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	if err := c1.Write(2, 0, []byte{1}); err != nil {
+		t.Fatalf("exclusive owner write: %v", err)
+	}
+	c2, err := dial(DialOpts{Exclusive: []RegionID{2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if err := c1.Write(2, 0, []byte{2}); !errors.Is(err, ErrFenced) {
+		t.Fatalf("fenced write: err=%v, want ErrFenced", err)
+	}
+	if err := c1.Read(2, 0, buf[:1]); !errors.Is(err, ErrFenced) {
+		t.Fatalf("fenced read: err=%v, want ErrFenced", err)
+	}
+	if err := c2.Write(2, 0, []byte{3}); err != nil {
+		t.Fatalf("new owner write: %v", err)
+	}
+	// Shared region still accessible to the fenced connection.
+	if err := c1.Read(1, 64, buf); err != nil {
+		t.Fatalf("fenced conn reading shared region: %v", err)
+	}
+}
+
+func newTestNode(name string) *Node {
+	n := NewNode(name)
+	n.Alloc(1, 4096, false)
+	n.Alloc(2, 4096, true)
+	return n
+}
+
+func TestInprocTransport(t *testing.T) {
+	net := NewNetwork(nil)
+	net.AddNode(newTestNode("m0"))
+	verbsTransportTest(t, func(opts DialOpts) (Verbs, error) {
+		return net.Dial("cpu0", "m0", opts)
+	})
+}
+
+func TestTCPTransport(t *testing.T) {
+	node := newTestNode("m0")
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go Serve(l, node)
+	verbsTransportTest(t, func(opts DialOpts) (Verbs, error) {
+		return DialTCP(l.Addr().String(), opts)
+	})
+}
+
+func TestInprocDialUnknownNode(t *testing.T) {
+	nw := NewNetwork(nil)
+	if _, err := nw.Dial("cpu0", "ghost", DialOpts{}); err == nil {
+		t.Fatal("dial to unknown node should fail")
+	}
+}
+
+func TestInprocDialUnknownExclusiveRegion(t *testing.T) {
+	nw := NewNetwork(nil)
+	nw.AddNode(newTestNode("m0"))
+	if _, err := nw.Dial("cpu0", "m0", DialOpts{Exclusive: []RegionID{42}}); !errors.Is(err, ErrUnknownRegion) {
+		t.Fatalf("err=%v, want ErrUnknownRegion", err)
+	}
+}
+
+func TestInprocNodeFailure(t *testing.T) {
+	nw := NewNetwork(nil)
+	nw.AddNode(newTestNode("m0"))
+	c, err := nw.Dial("cpu0", "m0", DialOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw.Fabric().Kill("m0")
+	if err := c.Write(1, 0, []byte{1}); !errors.Is(err, netsim.ErrUnreachable) {
+		t.Fatalf("write to dead node: err=%v", err)
+	}
+	if _, err := nw.Dial("cpu0", "m0", DialOpts{}); err == nil {
+		t.Fatal("dial to dead node should fail")
+	}
+	nw.Fabric().Restart("m0")
+	if err := c.Write(1, 0, []byte{1}); err != nil {
+		t.Fatalf("write after restart: %v", err)
+	}
+}
+
+func TestInprocClosedConn(t *testing.T) {
+	nw := NewNetwork(nil)
+	nw.AddNode(newTestNode("m0"))
+	c, _ := nw.Dial("cpu0", "m0", DialOpts{})
+	c.Close()
+	if err := c.Write(1, 0, []byte{1}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("write on closed conn: err=%v", err)
+	}
+	if err := c.Read(1, 0, make([]byte, 1)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("read on closed conn: err=%v", err)
+	}
+}
+
+func TestTCPClosedConn(t *testing.T) {
+	node := newTestNode("m0")
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go Serve(l, node)
+	c, err := DialTCP(l.Addr().String(), DialOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	if err := c.Write(1, 0, []byte{1}); err == nil {
+		t.Fatal("write on closed conn should fail")
+	}
+}
+
+func TestTCPDialUnknownExclusiveRegion(t *testing.T) {
+	node := newTestNode("m0")
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go Serve(l, node)
+	if _, err := DialTCP(l.Addr().String(), DialOpts{Exclusive: []RegionID{42}}); !errors.Is(err, ErrUnknownRegion) {
+		t.Fatalf("err=%v, want ErrUnknownRegion", err)
+	}
+}
+
+func TestRemoveNode(t *testing.T) {
+	nw := NewNetwork(nil)
+	nw.AddNode(newTestNode("m0"))
+	if nw.Node("m0") == nil {
+		t.Fatal("node should be present")
+	}
+	nw.RemoveNode("m0")
+	if nw.Node("m0") != nil {
+		t.Fatal("node should be gone")
+	}
+}

@@ -1,0 +1,118 @@
+package repmem
+
+import "sync"
+
+// lockBlock is the granularity of range locking, in bytes. Writers lock the
+// stripes covering their range; readers take the read side. Under erasure
+// coding the effective granularity is max(lockBlock, ECBlockSize) because
+// writes are expanded to full EC blocks before locking.
+const lockBlock = 4096
+
+// lockTable is a striped range lock: byte ranges map to a fixed set of
+// RWMutex stripes. Coarser than a per-block map but allocation-free and
+// deadlock-safe (stripes are always taken in ascending index order).
+type lockTable struct {
+	stripes []sync.RWMutex
+}
+
+func newLockTable(n int) *lockTable {
+	return &lockTable{stripes: make([]sync.RWMutex, n)}
+}
+
+// stripesFor returns the ascending, deduplicated stripe indexes covering
+// [addr, addr+size). A zero-length range still locks its position stripe.
+func (t *lockTable) stripesFor(addr uint64, size int) []int {
+	first := addr / lockBlock
+	last := first
+	if size > 0 {
+		last = (addr + uint64(size) - 1) / lockBlock
+	}
+	n := uint64(len(t.stripes))
+	count := last - first + 1
+	if count >= n {
+		// Range covers every stripe.
+		all := make([]int, n)
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	}
+	seen := make(map[int]struct{}, count)
+	out := make([]int, 0, count)
+	for b := first; b <= last; b++ {
+		s := int(b % n)
+		if _, dup := seen[s]; !dup {
+			seen[s] = struct{}{}
+			out = append(out, s)
+		}
+	}
+	// Insertion sort: count is small and often already ordered.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// lockRange write-locks the stripes covering the range and returns an
+// unlock function.
+func (t *lockTable) lockRange(addr uint64, size int) func() {
+	ss := t.stripesFor(addr, size)
+	for _, s := range ss {
+		t.stripes[s].Lock()
+	}
+	return func() {
+		for i := len(ss) - 1; i >= 0; i-- {
+			t.stripes[ss[i]].Unlock()
+		}
+	}
+}
+
+// rlockRange read-locks the stripes covering the range.
+func (t *lockTable) rlockRange(addr uint64, size int) func() {
+	ss := t.stripesFor(addr, size)
+	for _, s := range ss {
+		t.stripes[s].RLock()
+	}
+	return func() {
+		for i := len(ss) - 1; i >= 0; i-- {
+			t.stripes[ss[i]].RUnlock()
+		}
+	}
+}
+
+// lockRanges write-locks the union of several ranges with a single,
+// globally ordered acquisition (used by WriteBatch so multi-write commits
+// cannot deadlock against each other).
+func (t *lockTable) lockRanges(ranges []lockRange) func() {
+	seen := make(map[int]struct{})
+	var all []int
+	for _, r := range ranges {
+		for _, s := range t.stripesFor(r.addr, r.size) {
+			if _, dup := seen[s]; !dup {
+				seen[s] = struct{}{}
+				all = append(all, s)
+			}
+		}
+	}
+	// Sort ascending.
+	for i := 1; i < len(all); i++ {
+		for j := i; j > 0 && all[j] < all[j-1]; j-- {
+			all[j], all[j-1] = all[j-1], all[j]
+		}
+	}
+	for _, s := range all {
+		t.stripes[s].Lock()
+	}
+	return func() {
+		for i := len(all) - 1; i >= 0; i-- {
+			t.stripes[all[i]].Unlock()
+		}
+	}
+}
+
+type lockRange struct {
+	addr uint64
+	size int
+}

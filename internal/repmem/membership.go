@@ -1,0 +1,89 @@
+package repmem
+
+import (
+	"encoding/binary"
+	"sync"
+
+	"github.com/repro/sift/internal/memnode"
+	"github.com/repro/sift/internal/rdma"
+)
+
+// Membership tracking: the coordinator publishes its view of the live
+// memory nodes as a term-tagged word on every writable node's admin region
+// (see memnode.AdminMembershipOffset). A successor coordinator consults the
+// highest-(term,version) word it can read and rebuilds any node absent from
+// that bitmap — closing the window where a node that silently missed
+// updates (partitioned with its DRAM intact) would otherwise be read as if
+// current. Stale coordinators can keep writing their old-term words without
+// harm: readers take the maximum.
+
+// membership is the publisher-side state.
+type membership struct {
+	mu      sync.Mutex
+	version uint16
+}
+
+// publishMembership writes the current live-node bitmap, tagged with this
+// coordinator's term, to every writable node. Best effort: if the group has
+// lost its quorum the write set shrinks accordingly and progress stops
+// elsewhere anyway.
+func (m *Memory) publishMembership() {
+	if m.closed.Load() || m.fenced.Load() {
+		return
+	}
+	m.member.mu.Lock()
+	m.member.version++
+	version := m.member.version
+	var bitmap uint32
+	for i := range m.nodes {
+		if m.state[i].Load() == nodeLive {
+			bitmap |= 1 << uint(i)
+		}
+	}
+	word := memnode.PackMembership(m.cfg.Term, version, bitmap)
+	m.member.mu.Unlock()
+
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], word)
+	for _, i := range m.writableNodes() {
+		c, err := m.conn(i)
+		if err == nil {
+			err = c.Write(memnode.AdminRegionID, memnode.AdminMembershipOffset, buf[:])
+		}
+		if err != nil {
+			// Do not recurse into nodeFailed (which would republish); the
+			// next operation against this node will detect the failure.
+			continue
+		}
+	}
+}
+
+// readMembership returns the highest-(term,version) membership word
+// readable across the given connections, or ok=false when none is set.
+func readMembership(conns []rdma.Verbs) (term, version uint16, bitmap uint32, ok bool) {
+	var best uint64
+	for _, c := range conns {
+		if c == nil {
+			continue
+		}
+		var buf [8]byte
+		if err := c.Read(memnode.AdminRegionID, memnode.AdminMembershipOffset, buf[:]); err != nil {
+			continue
+		}
+		w := binary.LittleEndian.Uint64(buf[:])
+		if w == 0 {
+			continue
+		}
+		// (term, version) order coincides with numeric order of the packed
+		// word's top 32 bits; bitmap differences below that don't matter
+		// because equal (term,version) words are identical by construction.
+		if w > best {
+			best = w
+		}
+	}
+	if best == 0 {
+		return 0, 0, 0, false
+	}
+	t, v, b := memnode.UnpackMembership(best)
+	return t, v, b, true
+}

@@ -1,0 +1,219 @@
+package repmem
+
+import (
+	"fmt"
+
+	"github.com/repro/sift/internal/memnode"
+)
+
+// replRegion is the replicated region id on every memory node.
+const replRegion = memnode.ReplRegionID
+
+// Read serves a main-space read. Because all requests flow through the
+// coordinator, which holds an effective lease on the whole memory (§3.3.1),
+// no quorum is needed: one one-sided RDMA READ from any live node suffices.
+// Under erasure coding, reads within a single chunk go straight to the
+// chunk's owner node; anything else reconstructs the affected blocks from
+// any k chunks, preferring data chunks to skip decoding (§5.1).
+func (m *Memory) Read(addr uint64, buf []byte) error {
+	if err := m.checkOpen(); err != nil {
+		return err
+	}
+	if err := m.checkMainRange(addr, len(buf)); err != nil {
+		return err
+	}
+	unlock := m.locks.rlockRange(addr, len(buf))
+	defer unlock()
+	m.stats.reads.Add(1)
+	if m.code == nil {
+		return m.readPlain(addr, buf)
+	}
+	return m.readEC(addr, buf)
+}
+
+// readPlain reads from one live node, failing over on errors.
+func (m *Memory) readPlain(addr uint64, buf []byte) error {
+	live := m.nodesInState(nodeLive)
+	if len(live) == 0 {
+		return fmt.Errorf("%w: no live memory nodes", ErrNoQuorum)
+	}
+	start := int(m.readRR.Add(1))
+	for k := 0; k < len(live); k++ {
+		i := live[(start+k)%len(live)]
+		c, err := m.conn(i)
+		if err == nil {
+			err = c.Read(replRegion, m.physMain(addr), buf)
+		}
+		if err != nil {
+			m.nodeFailed(i, err)
+			if e := m.checkOpen(); e != nil {
+				return e
+			}
+			continue
+		}
+		m.stats.remoteReads.Add(1)
+		return nil
+	}
+	return fmt.Errorf("%w: all read attempts failed", ErrNoQuorum)
+}
+
+// readEC reads a main-space range under erasure coding.
+func (m *Memory) readEC(addr uint64, buf []byte) error {
+	C := uint64(m.chunk)
+	B := uint64(m.cfg.ECBlockSize)
+
+	// Fast path: the range lies inside a single chunk whose owner is live.
+	if len(buf) > 0 {
+		b := addr / B
+		within := addr % B
+		j := int(within / C)
+		endWithin := within + uint64(len(buf)) - 1
+		if int(endWithin/C) == j && m.state[j].Load() == nodeLive {
+			c, err := m.conn(j)
+			if err == nil {
+				phys := m.layout.MainBase() + b*C + (within % C)
+				if err = c.Read(replRegion, phys, buf); err == nil {
+					m.stats.remoteReads.Add(1)
+					return nil
+				}
+			}
+			m.nodeFailed(j, err)
+			if e := m.checkOpen(); e != nil {
+				return e
+			}
+			// Fall through to the reconstruction path.
+		}
+	}
+
+	// General path: reconstruct each affected block.
+	first := addr / B
+	last := first
+	if len(buf) > 0 {
+		last = (addr + uint64(len(buf)) - 1) / B
+	}
+	for b := first; b <= last; b++ {
+		blockStart := b * B
+		lo := max64(addr, blockStart)
+		hi := min64(addr+uint64(len(buf)), blockStart+B)
+		block, err := m.readBlockEC(b)
+		if err != nil {
+			return err
+		}
+		copy(buf[lo-addr:hi-addr], block[lo-blockStart:hi-blockStart])
+	}
+	return nil
+}
+
+// readBlockEC fetches any k chunks of EC block b from live nodes (data
+// chunks first) and reconstructs the block.
+func (m *Memory) readBlockEC(b uint64) ([]byte, error) {
+	n := len(m.nodes)
+	k := m.code.K()
+	phys := m.layout.MainBase() + b*uint64(m.chunk)
+	chunks := make([][]byte, n)
+	got := 0
+	decodedNeeded := false
+	for j := 0; j < n && got < k; j++ {
+		if m.state[j].Load() != nodeLive {
+			if j < k {
+				decodedNeeded = true
+			}
+			continue
+		}
+		c, err := m.conn(j)
+		if err == nil {
+			chunk := make([]byte, m.chunk)
+			if err = c.Read(replRegion, phys, chunk); err == nil {
+				chunks[j] = chunk
+				got++
+				m.stats.remoteReads.Add(1)
+				continue
+			}
+		}
+		m.nodeFailed(j, err)
+		if e := m.checkOpen(); e != nil {
+			return nil, e
+		}
+		if j < k {
+			decodedNeeded = true
+		}
+	}
+	if got < k {
+		return nil, fmt.Errorf("%w: only %d of %d chunks reachable", ErrNoQuorum, got, k)
+	}
+	if decodedNeeded {
+		m.stats.decodedReads.Add(1)
+	}
+	return m.code.Decode(chunks)
+}
+
+// DirectRead serves a direct-space read from one live node.
+func (m *Memory) DirectRead(addr uint64, buf []byte) error {
+	if err := m.checkOpen(); err != nil {
+		return err
+	}
+	if err := m.checkDirectRange(addr, len(buf)); err != nil {
+		return err
+	}
+	unlock := m.directLocks.rlockRange(addr, len(buf))
+	defer unlock()
+	live := m.nodesInState(nodeLive)
+	if len(live) == 0 {
+		return fmt.Errorf("%w: no live memory nodes", ErrNoQuorum)
+	}
+	start := int(m.readRR.Add(1))
+	for k := 0; k < len(live); k++ {
+		i := live[(start+k)%len(live)]
+		c, err := m.conn(i)
+		if err == nil {
+			err = c.Read(replRegion, m.physDirect(addr), buf)
+		}
+		if err != nil {
+			m.nodeFailed(i, err)
+			if e := m.checkOpen(); e != nil {
+				return e
+			}
+			continue
+		}
+		return nil
+	}
+	return fmt.Errorf("%w: all read attempts failed", ErrNoQuorum)
+}
+
+// DirectReadAll returns each live node's copy of a direct-space range,
+// letting callers quorum-merge self-validating data (the key-value store's
+// WAL recovery). Unreachable nodes yield nil entries.
+func (m *Memory) DirectReadAll(addr uint64, size int) ([][]byte, error) {
+	if err := m.checkOpen(); err != nil {
+		return nil, err
+	}
+	if err := m.checkDirectRange(addr, size); err != nil {
+		return nil, err
+	}
+	unlock := m.directLocks.rlockRange(addr, size)
+	defer unlock()
+	out := make([][]byte, len(m.nodes))
+	got := 0
+	for i := range m.nodes {
+		if m.state[i].Load() != nodeLive {
+			continue
+		}
+		c, err := m.conn(i)
+		if err == nil {
+			buf := make([]byte, size)
+			if err = c.Read(replRegion, m.physDirect(addr), buf); err == nil {
+				out[i] = buf
+				got++
+				continue
+			}
+		}
+		m.nodeFailed(i, err)
+		if e := m.checkOpen(); e != nil {
+			return nil, e
+		}
+	}
+	if got == 0 {
+		return nil, fmt.Errorf("%w: no live memory nodes", ErrNoQuorum)
+	}
+	return out, nil
+}

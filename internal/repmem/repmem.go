@@ -1,0 +1,504 @@
+// Package repmem implements Sift's replicated memory layer (paper §3): the
+// coordinator-side logic that presents the group's 2Fm+1 passive memory
+// nodes as a single logical memory.
+//
+// Two logical address spaces are exposed:
+//
+//   - Main space [0, MemSize): read with Read, updated with Write/WriteBatch.
+//     Updates are appended to a circular write-ahead log on the memory nodes
+//     (one one-sided RDMA WRITE per node, committed on majority ack) and
+//     applied to the materialized memory in the background. With erasure
+//     coding enabled, the materialized memory is stored as Cauchy
+//     Reed–Solomon chunks — one chunk per node — while the WAL remains
+//     unencoded (§5.1).
+//
+//   - Direct space [0, DirectSize): read/written without logging
+//     (DirectWrite commits in a single RDMA round trip on majority ack).
+//     Used by applications that manage their own conflicts and recovery,
+//     such as the key-value store's circular WAL (§3.3.2, §4.1).
+//
+// Consistency: writers hold per-range locks from WAL append until the
+// background apply completes, so reads never observe a committed-but-
+// unapplied range (the paper's "locks are only released once a replicated
+// memory update has been submitted").
+package repmem
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"github.com/repro/sift/internal/erasure"
+	"github.com/repro/sift/internal/memnode"
+	"github.com/repro/sift/internal/rdma"
+	"github.com/repro/sift/internal/wal"
+)
+
+// Errors returned by the replicated memory layer.
+var (
+	// ErrNoQuorum means fewer than a majority of memory nodes acknowledged.
+	ErrNoQuorum = errors.New("repmem: no quorum of memory nodes")
+	// ErrFenced means a newer coordinator has taken over the group.
+	ErrFenced = rdma.ErrFenced
+	// ErrOutOfRange means an access fell outside the logical space.
+	ErrOutOfRange = errors.New("repmem: access out of logical address range")
+	// ErrClosed means the memory has been closed or fenced.
+	ErrClosed = errors.New("repmem: closed")
+	// ErrEntryTooLarge means a write batch does not fit in one WAL slot.
+	ErrEntryTooLarge = wal.ErrTooLarge
+)
+
+// Node liveness states.
+const (
+	nodeLive    int32 = iota // serving reads, receiving writes
+	nodeDead                 // unreachable; excluded from everything
+	nodeSyncing              // reconnected; receiving writes, not yet readable
+)
+
+// Dialer opens an RDMA connection to a memory node with the replicated
+// region held exclusively (at-most-one-connection fencing).
+type Dialer func(node string) (rdma.Verbs, error)
+
+// Config parameterises the replicated memory layer.
+type Config struct {
+	// MemoryNodes lists the group's 2Fm+1 memory nodes.
+	MemoryNodes []string
+	// Dial opens an exclusive replicated-region connection.
+	Dial Dialer
+
+	// MemSize is the logical main memory size in bytes.
+	MemSize int
+	// DirectSize is the direct-write zone size in bytes.
+	DirectSize int
+	// WALSlots and WALSlotSize define the circular write-ahead log. The
+	// paper's evaluation configures 32k slots (§6.2).
+	WALSlots    int
+	WALSlotSize int
+
+	// ECData (k = Fm+1) and ECParity (m = Fm) enable erasure coding when
+	// both are non-zero; ECData+ECParity must equal len(MemoryNodes) and
+	// ECBlockSize must divide MemSize and be divisible by ECData.
+	ECData      int
+	ECParity    int
+	ECBlockSize int
+
+	// ApplyWorkers bounds concurrent background appliers (default 4).
+	ApplyWorkers int
+	// LockStripes sizes the range-lock tables (default 1024).
+	LockStripes int
+
+	// Term tags this coordinator's membership publications (see
+	// internal/memnode.AdminMembershipOffset); pass the election term that
+	// made this node coordinator. Zero is valid for direct library use —
+	// publications still order by version within the zero term.
+	Term uint16
+
+	// OnFenced, if set, is called once when the layer discovers it has been
+	// fenced by a newer coordinator.
+	OnFenced func()
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.ApplyWorkers <= 0 {
+		out.ApplyWorkers = 4
+	}
+	if out.LockStripes <= 0 {
+		out.LockStripes = 1024
+	}
+	if out.WALSlotSize <= 0 {
+		out.WALSlotSize = 4096
+	}
+	if out.WALSlots <= 0 {
+		out.WALSlots = 32 * 1024
+	}
+	return out
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if len(c.MemoryNodes) == 0 || len(c.MemoryNodes)%2 == 0 {
+		return fmt.Errorf("repmem: need an odd number (2Fm+1) of memory nodes, have %d", len(c.MemoryNodes))
+	}
+	if c.Dial == nil {
+		return errors.New("repmem: Dial is required")
+	}
+	if c.MemSize <= 0 {
+		return errors.New("repmem: MemSize must be positive")
+	}
+	if c.DirectSize < 0 {
+		return errors.New("repmem: DirectSize must be non-negative")
+	}
+	if (c.ECData == 0) != (c.ECParity == 0) {
+		return errors.New("repmem: ECData and ECParity must be set together")
+	}
+	if c.ECData > 0 {
+		if c.ECData+c.ECParity != len(c.MemoryNodes) {
+			return fmt.Errorf("repmem: ECData+ECParity = %d must equal memory node count %d",
+				c.ECData+c.ECParity, len(c.MemoryNodes))
+		}
+		if c.ECBlockSize <= 0 || c.ECBlockSize%c.ECData != 0 {
+			return fmt.Errorf("repmem: ECBlockSize %d must be a positive multiple of ECData %d", c.ECBlockSize, c.ECData)
+		}
+		if c.MemSize%c.ECBlockSize != 0 {
+			return fmt.Errorf("repmem: MemSize %d must be a multiple of ECBlockSize %d", c.MemSize, c.ECBlockSize)
+		}
+	}
+	return nil
+}
+
+// Layout returns the physical memory-node layout implied by the config.
+func (c Config) Layout() memnode.Layout {
+	cfg := c.withDefaults()
+	main := cfg.MemSize
+	if cfg.ECData > 0 {
+		main = cfg.MemSize / cfg.ECData
+	}
+	return memnode.Layout{
+		WALSlotSize: cfg.WALSlotSize,
+		WALSlots:    cfg.WALSlots,
+		DirectSize:  cfg.DirectSize,
+		MainSize:    main,
+	}
+}
+
+// Stats are cumulative operation counters, exposed for the benchmark
+// harness.
+type Stats struct {
+	Writes        uint64 // logged write requests committed
+	DirectWrites  uint64 // direct-zone writes committed
+	Applies       uint64 // WAL entries applied to materialized memory
+	Reads         uint64 // main-space read requests served
+	RemoteReads   uint64 // RDMA READ operations issued for main-space reads
+	DecodedReads  uint64 // main-space reads requiring erasure decoding
+	NodeFailures  uint64 // memory node failure detections
+	NodeRecovered uint64 // memory node recoveries completed
+}
+
+// Memory is the coordinator-side replicated memory handle. It is safe for
+// concurrent use. Create with New, then call Recover exactly once before
+// serving (it replays the write-ahead log left by a previous coordinator).
+type Memory struct {
+	cfg    Config
+	layout memnode.Layout
+	geo    wal.Geometry
+	code   *erasure.Code // nil when EC disabled
+	chunk  int           // EC chunk size C; 0 when disabled
+
+	nodes []string
+	conns []atomic.Pointer[connBox]
+	state []atomic.Int32
+
+	locks       *lockTable // main space
+	directLocks *lockTable // direct space
+
+	seqMu     sync.Mutex
+	seqCond   *sync.Cond
+	nextIndex uint64
+	watermark uint64          // every index <= watermark has been applied
+	applied   map[uint64]bool // applied indexes above the watermark
+
+	applySem chan struct{}
+	applyWG  sync.WaitGroup
+
+	member membership
+
+	readRR atomic.Uint64
+
+	closed atomic.Bool
+	fenced atomic.Bool
+
+	recoveredOnce atomic.Bool
+
+	stats struct {
+		writes, directWrites, applies    atomic.Uint64
+		reads, remoteReads, decodedReads atomic.Uint64
+		nodeFailures, nodeRecovered      atomic.Uint64
+	}
+}
+
+// connBox wraps a connection so a nil pointer distinguishes "never dialed".
+type connBox struct{ v rdma.Verbs }
+
+// New validates the config and dials the memory nodes. Nodes that cannot be
+// dialed start in the dead state; New succeeds as long as a majority is
+// reachable.
+func New(cfg Config) (*Memory, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := cfg.withDefaults()
+	m := &Memory{
+		cfg:         c,
+		layout:      c.Layout(),
+		nodes:       c.MemoryNodes,
+		conns:       make([]atomic.Pointer[connBox], len(c.MemoryNodes)),
+		state:       make([]atomic.Int32, len(c.MemoryNodes)),
+		locks:       newLockTable(c.LockStripes),
+		directLocks: newLockTable(c.LockStripes),
+		applied:     make(map[uint64]bool),
+		applySem:    make(chan struct{}, c.ApplyWorkers),
+		nextIndex:   1,
+	}
+	m.seqCond = sync.NewCond(&m.seqMu)
+	m.geo = m.layout.WALGeometry()
+	if c.ECData > 0 {
+		code, err := erasure.New(c.ECData, c.ECParity)
+		if err != nil {
+			return nil, err
+		}
+		m.code = code
+		m.chunk = c.ECBlockSize / c.ECData
+	}
+
+	for i, node := range m.nodes {
+		conn, err := c.Dial(node)
+		if err != nil {
+			m.state[i].Store(nodeDead)
+			continue
+		}
+		m.conns[i].Store(&connBox{v: conn})
+	}
+
+	// Takeover hygiene, part 1: consult the previous coordinator's
+	// membership word. A node absent from the most recent published bitmap
+	// missed updates while it was down — even if its memory is intact, it
+	// must be rebuilt, not read.
+	conns := make([]rdma.Verbs, len(m.nodes))
+	for i := range m.nodes {
+		if b := m.conns[i].Load(); b != nil {
+			conns[i] = b.v
+		}
+	}
+	if _, _, bitmap, ok := readMembership(conns); ok {
+		for i := range m.nodes {
+			if m.state[i].Load() == nodeLive && bitmap&(1<<uint(i)) == 0 {
+				m.state[i].Store(nodeDead)
+				m.stats.nodeFailures.Add(1)
+			}
+		}
+	}
+
+	// Takeover hygiene, part 2: a reachable node whose "populated" marker is clear
+	// holds no trustworthy state — it is a fresh machine, a rebooted one
+	// (volatile DRAM gone), or a node whose recovery copy was interrupted
+	// by the previous coordinator's death. Such nodes must be rebuilt, not
+	// read. A group where no reachable node is populated is a fresh
+	// deployment: mark them all populated and start empty.
+	populated := make([]bool, len(m.nodes))
+	anyPopulated := false
+	for i := range m.nodes {
+		if m.state[i].Load() != nodeLive {
+			continue
+		}
+		conn := m.conns[i].Load().v
+		p, err := readPopulated(conn)
+		if err != nil {
+			m.nodeFailed(i, err)
+			continue
+		}
+		populated[i] = p
+		if p {
+			anyPopulated = true
+		}
+	}
+	reachable := 0
+	for i := range m.nodes {
+		if m.state[i].Load() != nodeLive {
+			continue
+		}
+		if !anyPopulated {
+			if err := writePopulated(m.conns[i].Load().v, memnode.MarkerPopulated); err != nil {
+				m.nodeFailed(i, err)
+				continue
+			}
+		} else if !populated[i] {
+			// Stale/empty node among a populated group: rebuild it.
+			m.state[i].Store(nodeDead)
+			m.stats.nodeFailures.Add(1)
+			continue
+		}
+		reachable++
+	}
+	if reachable < m.Majority() {
+		m.Close()
+		return nil, fmt.Errorf("%w: reached %d trustworthy nodes of %d", ErrNoQuorum, reachable, len(m.nodes))
+	}
+	// Publish this coordinator's initial view under its own term.
+	m.publishMembership()
+	return m, nil
+}
+
+// readPopulated reads a node's populated marker from its admin region.
+func readPopulated(c rdma.Verbs) (bool, error) {
+	var buf [8]byte
+	if err := c.Read(memnode.AdminRegionID, memnode.AdminPopulatedOffset, buf[:]); err != nil {
+		return false, err
+	}
+	return buf[0] == memnode.MarkerPopulated, nil
+}
+
+// writePopulated sets a node's populated marker.
+func writePopulated(c rdma.Verbs, v byte) error {
+	var buf [8]byte
+	buf[0] = v
+	return c.Write(memnode.AdminRegionID, memnode.AdminPopulatedOffset, buf[:])
+}
+
+// Majority returns the commit quorum size (⌊n/2⌋+1 over full membership).
+func (m *Memory) Majority() int { return len(m.nodes)/2 + 1 }
+
+// MemSize returns the logical main memory size.
+func (m *Memory) MemSize() int { return m.cfg.MemSize }
+
+// DirectSize returns the direct zone size.
+func (m *Memory) DirectSize() int { return m.cfg.DirectSize }
+
+// ErasureEnabled reports whether the main space is erasure coded.
+func (m *Memory) ErasureEnabled() bool { return m.code != nil }
+
+// ECBlockSize returns the erasure coding block size, or 0 when disabled.
+func (m *Memory) ECBlockSize() int {
+	if m.code == nil {
+		return 0
+	}
+	return m.cfg.ECBlockSize
+}
+
+// Stats returns a snapshot of the operation counters.
+func (m *Memory) Stats() Stats {
+	return Stats{
+		Writes:        m.stats.writes.Load(),
+		DirectWrites:  m.stats.directWrites.Load(),
+		Applies:       m.stats.applies.Load(),
+		Reads:         m.stats.reads.Load(),
+		RemoteReads:   m.stats.remoteReads.Load(),
+		DecodedReads:  m.stats.decodedReads.Load(),
+		NodeFailures:  m.stats.nodeFailures.Load(),
+		NodeRecovered: m.stats.nodeRecovered.Load(),
+	}
+}
+
+// conn returns node i's connection, dialing it if needed.
+func (m *Memory) conn(i int) (rdma.Verbs, error) {
+	if b := m.conns[i].Load(); b != nil {
+		return b.v, nil
+	}
+	v, err := m.cfg.Dial(m.nodes[i])
+	if err != nil {
+		return nil, err
+	}
+	box := &connBox{v: v}
+	if !m.conns[i].CompareAndSwap(nil, box) {
+		v.Close()
+		return m.conns[i].Load().v, nil
+	}
+	return v, nil
+}
+
+// nodeFailed records an operation failure against node i.
+func (m *Memory) nodeFailed(i int, err error) {
+	if errors.Is(err, rdma.ErrFenced) {
+		m.fence()
+		return
+	}
+	if m.state[i].Load() != nodeDead {
+		m.state[i].Store(nodeDead)
+		m.stats.nodeFailures.Add(1)
+		// Record the shrunken view for any successor coordinator, off the
+		// caller's hot path.
+		go m.publishMembership()
+	}
+	// Drop the connection so recovery re-dials (and re-acquires the
+	// exclusive region, fencing nothing since we are the same owner logic).
+	if b := m.conns[i].Swap(nil); b != nil {
+		b.v.Close()
+	}
+}
+
+// fence marks the memory as fenced and fires the callback once.
+func (m *Memory) fence() {
+	if m.fenced.CompareAndSwap(false, true) {
+		m.closed.Store(true)
+		m.seqMu.Lock()
+		m.seqCond.Broadcast()
+		m.seqMu.Unlock()
+		if m.cfg.OnFenced != nil {
+			go m.cfg.OnFenced()
+		}
+	}
+}
+
+// checkOpen returns an error when the memory is closed or fenced.
+func (m *Memory) checkOpen() error {
+	if m.fenced.Load() {
+		return ErrFenced
+	}
+	if m.closed.Load() {
+		return ErrClosed
+	}
+	return nil
+}
+
+// liveNodes returns indexes of nodes in the given state.
+func (m *Memory) nodesInState(s int32) []int {
+	out := make([]int, 0, len(m.nodes))
+	for i := range m.nodes {
+		if m.state[i].Load() == s {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// writableNodes returns nodes that should receive writes (live + syncing).
+func (m *Memory) writableNodes() []int {
+	out := make([]int, 0, len(m.nodes))
+	for i := range m.nodes {
+		if s := m.state[i].Load(); s == nodeLive || s == nodeSyncing {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Close tears down all connections and stops background work. It does not
+// wait for in-flight applies on other goroutines beyond the apply queue.
+func (m *Memory) Close() {
+	if m.closed.Swap(true) {
+		return
+	}
+	m.seqMu.Lock()
+	m.seqCond.Broadcast()
+	m.seqMu.Unlock()
+	m.applyWG.Wait()
+	for i := range m.conns {
+		if b := m.conns[i].Swap(nil); b != nil {
+			b.v.Close()
+		}
+	}
+}
+
+// physMain maps a main-space address to the physical region offset on node
+// i, valid only for the full-replication layout (EC uses chunk math).
+func (m *Memory) physMain(addr uint64) uint64 { return m.layout.MainBase() + addr }
+
+// physDirect maps a direct-space address to its physical region offset.
+func (m *Memory) physDirect(addr uint64) uint64 { return m.layout.DirectBase() + addr }
+
+// checkMainRange validates a main-space access.
+func (m *Memory) checkMainRange(addr uint64, n int) error {
+	if n < 0 || addr > uint64(m.cfg.MemSize) || addr+uint64(n) > uint64(m.cfg.MemSize) {
+		return fmt.Errorf("%w: main [%d,%d) of %d", ErrOutOfRange, addr, addr+uint64(n), m.cfg.MemSize)
+	}
+	return nil
+}
+
+// checkDirectRange validates a direct-space access.
+func (m *Memory) checkDirectRange(addr uint64, n int) error {
+	if n < 0 || addr > uint64(m.cfg.DirectSize) || addr+uint64(n) > uint64(m.cfg.DirectSize) {
+		return fmt.Errorf("%w: direct [%d,%d) of %d", ErrOutOfRange, addr, addr+uint64(n), m.cfg.DirectSize)
+	}
+	return nil
+}

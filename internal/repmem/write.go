@@ -1,0 +1,325 @@
+package repmem
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/repro/sift/internal/wal"
+)
+
+// Write commits a single logged update to the main space: the update is
+// appended to the write-ahead log on a majority of memory nodes (one
+// one-sided RDMA WRITE each) and applied to the materialized memory in the
+// background. Write returns as soon as the entry is committed; the affected
+// range stays locked until the background apply completes, so subsequent
+// reads never observe the pre-write state after a successful Write.
+func (m *Memory) Write(addr uint64, data []byte) error {
+	return m.WriteBatch([]wal.Write{{Addr: addr, Data: data}})
+}
+
+// WriteBatch commits several updates atomically: they occupy a single log
+// entry, so they are applied together without interleaving with other
+// conflicting writes (paper §3.3.2). The whole batch must fit in one WAL
+// slot.
+func (m *Memory) WriteBatch(writes []wal.Write) error {
+	if err := m.checkOpen(); err != nil {
+		return err
+	}
+	if len(writes) == 0 {
+		return nil
+	}
+	ranges := make([]lockRange, len(writes))
+	for i, w := range writes {
+		if err := m.checkMainRange(w.Addr, len(w.Data)); err != nil {
+			return err
+		}
+		ranges[i] = m.expandToECBlocks(w.Addr, len(w.Data))
+	}
+
+	unlock := m.locks.lockRanges(ranges)
+
+	// Reserve a log index, bounded by the circular log capacity: index i may
+	// only be written once entry i-Slots has been applied (its slot is being
+	// reused).
+	m.seqMu.Lock()
+	for m.nextIndex > m.watermark+uint64(m.geo.Slots) && !m.closed.Load() {
+		m.seqCond.Wait()
+	}
+	if m.closed.Load() {
+		m.seqMu.Unlock()
+		unlock()
+		return m.checkOpen()
+	}
+	idx := m.nextIndex
+	m.nextIndex++
+	m.seqMu.Unlock()
+
+	entry := wal.Entry{Index: idx, Writes: writes}
+	slot := make([]byte, m.geo.SlotSize)
+	if _, err := entry.Encode(slot); err != nil {
+		m.finishEntry(idx)
+		unlock()
+		return fmt.Errorf("repmem: %w", err)
+	}
+
+	if err := m.appendQuorum(idx, slot); err != nil {
+		m.finishEntry(idx)
+		unlock()
+		return err
+	}
+	m.stats.writes.Add(1)
+
+	// Committed: hand the apply to the background pool. The caller's locks
+	// are released by the applier.
+	m.applyWG.Add(1)
+	go func() {
+		m.applySem <- struct{}{}
+		defer func() {
+			<-m.applySem
+			m.applyWG.Done()
+		}()
+		m.applyEntry(entry)
+		unlock()
+		m.finishEntry(idx)
+		m.stats.applies.Add(1)
+	}()
+	return nil
+}
+
+// appendQuorum writes a WAL slot image to every writable node in parallel
+// and waits for a majority of acknowledgements.
+func (m *Memory) appendQuorum(idx uint64, slot []byte) error {
+	offset := m.geo.SlotOffset(idx)
+	targets := m.writableNodes()
+	acks := make(chan bool, len(targets))
+	for _, i := range targets {
+		go func(i int) {
+			c, err := m.conn(i)
+			if err == nil {
+				err = c.Write(replRegion, offset, slot)
+			}
+			if err != nil {
+				m.nodeFailed(i, err)
+				acks <- false
+				return
+			}
+			acks <- true
+		}(i)
+	}
+	got := 0
+	for range targets {
+		if <-acks {
+			got++
+		}
+	}
+	if err := m.checkOpen(); err != nil {
+		return err
+	}
+	if got < m.Majority() {
+		return fmt.Errorf("%w: %d of %d acks", ErrNoQuorum, got, len(m.nodes))
+	}
+	return nil
+}
+
+// finishEntry marks idx as applied (or abandoned) and advances the
+// contiguous watermark, freeing its slot for reuse.
+func (m *Memory) finishEntry(idx uint64) {
+	m.seqMu.Lock()
+	m.applied[idx] = true
+	for m.applied[m.watermark+1] {
+		delete(m.applied, m.watermark+1)
+		m.watermark++
+	}
+	m.seqCond.Broadcast()
+	m.seqMu.Unlock()
+}
+
+// applyEntry writes an entry's updates to the materialized memory on every
+// writable node. Failures mark the node dead; the entry remains recoverable
+// from the WAL.
+func (m *Memory) applyEntry(entry wal.Entry) {
+	for _, w := range entry.Writes {
+		if m.code != nil {
+			m.applyEC(w.Addr, w.Data)
+		} else {
+			m.applyPlain(w.Addr, w.Data)
+		}
+	}
+}
+
+// applyPlain writes data at a main-space address to all writable nodes
+// (full-replication layout).
+func (m *Memory) applyPlain(addr uint64, data []byte) {
+	targets := m.writableNodes()
+	var wg sync.WaitGroup
+	for _, i := range targets {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := m.conn(i)
+			if err == nil {
+				err = c.Write(replRegion, m.physMain(addr), data)
+			}
+			if err != nil {
+				m.nodeFailed(i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+// applyEC applies a main-space update under erasure coding: each affected
+// EC block is (re)encoded and chunk j is written to memory node j. Partial
+// block updates read–modify–write the block; the caller's write lock covers
+// the full block, so the RMW is race-free.
+func (m *Memory) applyEC(addr uint64, data []byte) {
+	B := uint64(m.cfg.ECBlockSize)
+	first := addr / B
+	last := (addr + uint64(len(data)) - 1) / B
+	for b := first; b <= last; b++ {
+		blockStart := b * B
+		lo := max64(addr, blockStart)
+		hi := min64(addr+uint64(len(data)), blockStart+B)
+
+		var block []byte
+		if lo == blockStart && hi == blockStart+B {
+			block = data[lo-addr : hi-addr]
+		} else {
+			cur, err := m.readBlockEC(b)
+			if err != nil {
+				// Cannot reconstruct the block (catastrophic loss); the WAL
+				// still holds the entry for future recovery.
+				continue
+			}
+			copy(cur[lo-blockStart:], data[lo-addr:hi-addr])
+			block = cur
+		}
+		chunks, err := m.code.Encode(block)
+		if err != nil {
+			continue
+		}
+		physOff := m.layout.MainBase() + b*uint64(m.chunk)
+		targets := m.writableNodes()
+		var wg sync.WaitGroup
+		for _, i := range targets {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				c, err := m.conn(i)
+				if err == nil {
+					err = c.Write(replRegion, physOff, chunks[i])
+				}
+				if err != nil {
+					m.nodeFailed(i, err)
+				}
+			}(i)
+		}
+		wg.Wait()
+	}
+}
+
+// DirectWrite commits data to the direct space in a single RDMA round trip
+// per node, without logging (paper §3.3.2: "regions of replicated memory
+// [that can] be written to directly, without being logged"). It returns
+// once a majority of memory nodes acknowledge. The direct zone is never
+// erasure coded — it holds write-ahead data whose unencoded form is exactly
+// what makes coordinator+quorum-member double failures survivable (§5.1).
+func (m *Memory) DirectWrite(addr uint64, data []byte) error {
+	if err := m.checkOpen(); err != nil {
+		return err
+	}
+	if err := m.checkDirectRange(addr, len(data)); err != nil {
+		return err
+	}
+	unlock := m.directLocks.lockRange(addr, len(data))
+	defer unlock()
+
+	targets := m.writableNodes()
+	acks := make(chan bool, len(targets))
+	off := m.physDirect(addr)
+	for _, i := range targets {
+		go func(i int) {
+			c, err := m.conn(i)
+			if err == nil {
+				err = c.Write(replRegion, off, data)
+			}
+			if err != nil {
+				m.nodeFailed(i, err)
+				acks <- false
+				return
+			}
+			acks <- true
+		}(i)
+	}
+	got := 0
+	for range targets {
+		if <-acks {
+			got++
+		}
+	}
+	if err := m.checkOpen(); err != nil {
+		return err
+	}
+	if got < m.Majority() {
+		return fmt.Errorf("%w: %d of %d acks", ErrNoQuorum, got, len(m.nodes))
+	}
+	m.stats.directWrites.Add(1)
+	return nil
+}
+
+// UnloggedWrite updates the main space immediately, without a WAL entry.
+// It blocks until the update is materialized on every writable node. This
+// is for applications that provide their own write-ahead durability (the
+// key-value store logs puts in the direct zone and applies blocks through
+// this path); a torn update after a coordinator failure is repaired by the
+// application replaying its own log.
+func (m *Memory) UnloggedWrite(addr uint64, data []byte) error {
+	if err := m.checkOpen(); err != nil {
+		return err
+	}
+	if err := m.checkMainRange(addr, len(data)); err != nil {
+		return err
+	}
+	r := m.expandToECBlocks(addr, len(data))
+	unlock := m.locks.lockRange(r.addr, r.size)
+	defer unlock()
+	if m.code != nil {
+		m.applyEC(addr, data)
+	} else {
+		m.applyPlain(addr, data)
+	}
+	if err := m.checkOpen(); err != nil {
+		return err
+	}
+	if len(m.writableNodes()) < m.Majority() {
+		return fmt.Errorf("%w: lost quorum during unlogged write", ErrNoQuorum)
+	}
+	return nil
+}
+
+// expandToECBlocks widens a range to EC block boundaries so that
+// read-modify-write applies are covered by the caller's lock. Without EC it
+// returns the range unchanged.
+func (m *Memory) expandToECBlocks(addr uint64, size int) lockRange {
+	if m.code == nil || size == 0 {
+		return lockRange{addr: addr, size: size}
+	}
+	B := uint64(m.cfg.ECBlockSize)
+	lo := addr / B * B
+	hi := (addr + uint64(size) + B - 1) / B * B
+	return lockRange{addr: lo, size: int(hi - lo)}
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

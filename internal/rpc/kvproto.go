@@ -1,0 +1,40 @@
+package rpc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// KV method ids shared by Sift and the baseline systems, so every system
+// presents the same wire API to clients.
+const (
+	MethodGet    uint8 = 1
+	MethodPut    uint8 = 2
+	MethodDelete uint8 = 3
+	MethodStatus uint8 = 4 // liveness/role probe
+)
+
+// ErrDecode indicates a malformed KV payload.
+var ErrDecode = errors.New("rpc: malformed kv payload")
+
+// EncodeKV packs a key (and optional value) as len(2)+key+value.
+func EncodeKV(key, value []byte) []byte {
+	buf := make([]byte, 2+len(key)+len(value))
+	binary.LittleEndian.PutUint16(buf[0:2], uint16(len(key)))
+	copy(buf[2:], key)
+	copy(buf[2+len(key):], value)
+	return buf
+}
+
+// DecodeKV unpacks a payload produced by EncodeKV.
+func DecodeKV(payload []byte) (key, value []byte, err error) {
+	if len(payload) < 2 {
+		return nil, nil, ErrDecode
+	}
+	kl := int(binary.LittleEndian.Uint16(payload[0:2]))
+	if 2+kl > len(payload) {
+		return nil, nil, fmt.Errorf("%w: key length %d", ErrDecode, kl)
+	}
+	return payload[2 : 2+kl], payload[2+kl:], nil
+}

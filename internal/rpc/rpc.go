@@ -1,0 +1,297 @@
+// Package rpc is the client↔server RPC used between clients and the Sift
+// coordinator (and by the Raft-R/EPaxos baselines, so all systems share one
+// front end as in the paper's evaluation: "All systems we implemented use
+// the same custom select-based RPC over TCP library", §6.2).
+//
+// It is a minimal multiplexed binary protocol over TCP: requests carry an
+// id, a method byte, and an opaque payload; responses carry the id, a
+// status, and a payload. A single connection supports concurrent in-flight
+// calls. An in-process loopback lets benchmarks bypass the kernel without
+// changing call sites.
+package rpc
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// Errors returned by the client.
+var (
+	// ErrClosed means the connection has been closed.
+	ErrClosed = errors.New("rpc: connection closed")
+	// ErrRemote wraps an error string returned by the server handler.
+	ErrRemote = errors.New("rpc: remote error")
+)
+
+// Handler processes one request payload and returns a response payload.
+// Returning an error sends the error text to the client as ErrRemote.
+type Handler func(payload []byte) ([]byte, error)
+
+// Caller is the client-side calling interface, satisfied by both *Client
+// (TCP) and *Loopback (in-process).
+type Caller interface {
+	Call(method uint8, payload []byte) ([]byte, error)
+	Close() error
+}
+
+// Server dispatches requests to registered handlers.
+type Server struct {
+	mu       sync.RWMutex
+	handlers map[uint8]Handler
+}
+
+// NewServer creates an empty server.
+func NewServer() *Server {
+	return &Server{handlers: make(map[uint8]Handler)}
+}
+
+// Handle registers h for method. Re-registering replaces the handler.
+func (s *Server) Handle(method uint8, h Handler) {
+	s.mu.Lock()
+	s.handlers[method] = h
+	s.mu.Unlock()
+}
+
+// dispatch runs the handler for one request.
+func (s *Server) dispatch(method uint8, payload []byte) ([]byte, error) {
+	s.mu.RLock()
+	h := s.handlers[method]
+	s.mu.RUnlock()
+	if h == nil {
+		return nil, fmt.Errorf("unknown method %d", method)
+	}
+	return h(payload)
+}
+
+// Serve accepts and serves connections until l is closed.
+func (s *Server) Serve(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		go s.serveConn(conn)
+	}
+}
+
+// maxPayload bounds one frame's payload.
+const maxPayload = 16 << 20
+
+// Frame layout — request: id(8) method(1) len(4) payload;
+// response: id(8) status(1) len(4) payload.
+const frameHeader = 13
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	br := bufio.NewReaderSize(conn, 64<<10)
+	var wmu sync.Mutex
+	bw := bufio.NewWriterSize(conn, 64<<10)
+
+	var hdr [frameHeader]byte
+	for {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			return
+		}
+		id := binary.LittleEndian.Uint64(hdr[0:8])
+		method := hdr[8]
+		plen := binary.LittleEndian.Uint32(hdr[9:13])
+		if plen > maxPayload {
+			return
+		}
+		payload := make([]byte, plen)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return
+		}
+		// Handlers may block (consensus round trips), so dispatch
+		// concurrently; the write mutex serialises responses.
+		go func() {
+			resp, err := s.dispatch(method, payload)
+			status := byte(0)
+			if err != nil {
+				status = 1
+				resp = []byte(err.Error())
+			}
+			var rh [frameHeader]byte
+			binary.LittleEndian.PutUint64(rh[0:8], id)
+			rh[8] = status
+			binary.LittleEndian.PutUint32(rh[9:13], uint32(len(resp)))
+			wmu.Lock()
+			defer wmu.Unlock()
+			if _, err := bw.Write(rh[:]); err != nil {
+				return
+			}
+			if _, err := bw.Write(resp); err != nil {
+				return
+			}
+			bw.Flush()
+		}()
+	}
+}
+
+// Client is a multiplexed TCP connection to a Server.
+type Client struct {
+	conn net.Conn
+
+	wmu sync.Mutex
+	bw  *bufio.Writer
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan response
+	closed  bool
+	err     error
+}
+
+type response struct {
+	status  byte
+	payload []byte
+}
+
+// Dial connects to a Server at addr.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		conn:    conn,
+		bw:      bufio.NewWriterSize(conn, 64<<10),
+		pending: make(map[uint64]chan response),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+func (c *Client) readLoop() {
+	br := bufio.NewReaderSize(c.conn, 64<<10)
+	var hdr [frameHeader]byte
+	for {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			c.fail(err)
+			return
+		}
+		id := binary.LittleEndian.Uint64(hdr[0:8])
+		status := hdr[8]
+		plen := binary.LittleEndian.Uint32(hdr[9:13])
+		if plen > maxPayload {
+			c.fail(fmt.Errorf("rpc: oversized response (%d bytes)", plen))
+			return
+		}
+		payload := make([]byte, plen)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			c.fail(err)
+			return
+		}
+		c.mu.Lock()
+		ch := c.pending[id]
+		delete(c.pending, id)
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- response{status: status, payload: payload}
+		}
+	}
+}
+
+// fail poisons the client and unblocks all waiters.
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.err = err
+	for id, ch := range c.pending {
+		close(ch)
+		delete(c.pending, id)
+	}
+	c.mu.Unlock()
+	c.conn.Close()
+}
+
+// Call sends a request and blocks for its response. Safe for concurrent use.
+func (c *Client) Call(method uint8, payload []byte) ([]byte, error) {
+	ch := make(chan response, 1)
+	c.mu.Lock()
+	if c.closed {
+		err := c.err
+		c.mu.Unlock()
+		if err == nil {
+			err = ErrClosed
+		}
+		return nil, err
+	}
+	c.nextID++
+	id := c.nextID
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	var hdr [frameHeader]byte
+	binary.LittleEndian.PutUint64(hdr[0:8], id)
+	hdr[8] = method
+	binary.LittleEndian.PutUint32(hdr[9:13], uint32(len(payload)))
+
+	c.wmu.Lock()
+	_, err := c.bw.Write(hdr[:])
+	if err == nil {
+		_, err = c.bw.Write(payload)
+	}
+	if err == nil {
+		err = c.bw.Flush()
+	}
+	c.wmu.Unlock()
+	if err != nil {
+		c.fail(err)
+		return nil, err
+	}
+
+	resp, ok := <-ch
+	if !ok {
+		c.mu.Lock()
+		err := c.err
+		c.mu.Unlock()
+		if err == nil {
+			err = ErrClosed
+		}
+		return nil, err
+	}
+	if resp.status != 0 {
+		return nil, fmt.Errorf("%w: %s", ErrRemote, resp.payload)
+	}
+	return resp.payload, nil
+}
+
+// Close tears down the connection; in-flight calls fail with ErrClosed.
+func (c *Client) Close() error {
+	c.fail(ErrClosed)
+	return nil
+}
+
+// Loopback is an in-process Caller that invokes a Server's handlers
+// directly, for single-process deployments and benchmarks.
+type Loopback struct {
+	srv *Server
+}
+
+// NewLoopback wraps srv.
+func NewLoopback(srv *Server) *Loopback { return &Loopback{srv: srv} }
+
+// Call implements Caller.
+func (l *Loopback) Call(method uint8, payload []byte) ([]byte, error) {
+	resp, err := l.srv.dispatch(method, payload)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s", ErrRemote, err.Error())
+	}
+	return resp, nil
+}
+
+// Close implements Caller.
+func (l *Loopback) Close() error { return nil }

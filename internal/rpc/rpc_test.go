@@ -1,0 +1,172 @@
+package rpc
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func startServer(t *testing.T) (*Server, string) {
+	t.Helper()
+	srv := NewServer()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go srv.Serve(l)
+	return srv, l.Addr().String()
+}
+
+func TestCallRoundTrip(t *testing.T) {
+	srv, addr := startServer(t)
+	srv.Handle(1, func(p []byte) ([]byte, error) {
+		return append([]byte("echo:"), p...), nil
+	})
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	resp, err := c.Call(1, []byte("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp) != "echo:hello" {
+		t.Fatalf("resp = %q", resp)
+	}
+}
+
+func TestRemoteError(t *testing.T) {
+	srv, addr := startServer(t)
+	srv.Handle(1, func(p []byte) ([]byte, error) {
+		return nil, errors.New("boom")
+	})
+	c, _ := Dial(addr)
+	defer c.Close()
+	_, err := c.Call(1, nil)
+	if !errors.Is(err, ErrRemote) || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestUnknownMethod(t *testing.T) {
+	_, addr := startServer(t)
+	c, _ := Dial(addr)
+	defer c.Close()
+	if _, err := c.Call(99, nil); !errors.Is(err, ErrRemote) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestConcurrentCallsMultiplexed(t *testing.T) {
+	srv, addr := startServer(t)
+	srv.Handle(1, func(p []byte) ([]byte, error) {
+		return p, nil // echo
+	})
+	c, _ := Dial(addr)
+	defer c.Close()
+	const workers = 16
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				msg := []byte(fmt.Sprintf("w%d-i%d", w, i))
+				resp, err := c.Call(1, msg)
+				if err != nil {
+					t.Errorf("call: %v", err)
+					return
+				}
+				if !bytes.Equal(resp, msg) {
+					t.Errorf("cross-talk: sent %q got %q", msg, resp)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestClientClose(t *testing.T) {
+	srv, addr := startServer(t)
+	srv.Handle(1, func(p []byte) ([]byte, error) { return p, nil })
+	c, _ := Dial(addr)
+	c.Close()
+	if _, err := c.Call(1, nil); err == nil {
+		t.Fatal("call on closed client should fail")
+	}
+}
+
+func TestServerConnDrop(t *testing.T) {
+	srv := NewServer()
+	srv.Handle(1, func(p []byte) ([]byte, error) { return p, nil })
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l)
+	c, _ := Dial(l.Addr().String())
+	if _, err := c.Call(1, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	c.conn.Close() // sever underneath
+	if _, err := c.Call(1, []byte("y")); err == nil {
+		t.Fatal("call over severed conn should fail")
+	}
+}
+
+func TestLoopback(t *testing.T) {
+	srv := NewServer()
+	srv.Handle(7, func(p []byte) ([]byte, error) { return append(p, '!'), nil })
+	lb := NewLoopback(srv)
+	defer lb.Close()
+	resp, err := lb.Call(7, []byte("fast"))
+	if err != nil || string(resp) != "fast!" {
+		t.Fatalf("resp=%q err=%v", resp, err)
+	}
+	if _, err := lb.Call(8, nil); !errors.Is(err, ErrRemote) {
+		t.Fatalf("unknown method via loopback: %v", err)
+	}
+}
+
+func TestKVProtoRoundTrip(t *testing.T) {
+	f := func(key, value []byte) bool {
+		if len(key) > 65535 {
+			key = key[:65535]
+		}
+		p := EncodeKV(key, value)
+		k, v, err := DecodeKV(p)
+		return err == nil && bytes.Equal(k, key) && bytes.Equal(v, value)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKVProtoMalformed(t *testing.T) {
+	if _, _, err := DecodeKV(nil); !errors.Is(err, ErrDecode) {
+		t.Fatalf("nil payload: %v", err)
+	}
+	if _, _, err := DecodeKV([]byte{255, 255, 0}); !errors.Is(err, ErrDecode) {
+		t.Fatalf("overlong key: %v", err)
+	}
+}
+
+func TestEmptyPayloads(t *testing.T) {
+	srv, addr := startServer(t)
+	srv.Handle(1, func(p []byte) ([]byte, error) { return nil, nil })
+	c, _ := Dial(addr)
+	defer c.Close()
+	resp, err := c.Call(1, nil)
+	if err != nil || len(resp) != 0 {
+		t.Fatalf("resp=%v err=%v", resp, err)
+	}
+}

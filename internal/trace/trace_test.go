@@ -1,0 +1,93 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+func TestGenerateSortedAndBounded(t *testing.T) {
+	cfg := Default(1)
+	events := Generate(cfg)
+	if len(events) == 0 {
+		t.Fatal("empty trace")
+	}
+	for i, e := range events {
+		if e.Machine < 0 || e.Machine >= cfg.Machines {
+			t.Fatalf("event %d: machine %d out of range", i, e.Machine)
+		}
+		if e.At < 0 || e.At > cfg.Duration+10*time.Second {
+			t.Fatalf("event %d: time %v out of range", i, e.At)
+		}
+		if i > 0 && e.At < events[i-1].At {
+			t.Fatalf("events not sorted at %d", i)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Default(42))
+	b := Generate(Default(42))
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs", i)
+		}
+	}
+	c := Generate(Default(43))
+	if len(a) == len(c) {
+		same := true
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical traces")
+		}
+	}
+}
+
+func TestAggregateFailureRateCalibration(t *testing.T) {
+	// ~12500 machines at 45-day MTBF over 29 days ≈ 8000 background
+	// failures, plus ~14 bursts of 50-110 → total roughly 8k-10k events.
+	events := Generate(Default(7))
+	if len(events) < 5000 || len(events) > 15000 {
+		t.Fatalf("trace has %d events, expected 5k-15k", len(events))
+	}
+}
+
+func TestBurstsPresent(t *testing.T) {
+	// There must exist 10-second windows with dozens of failures (bursts),
+	// which is what makes backup pools > 1 necessary.
+	events := Generate(Default(3))
+	maxWindow := 0
+	start := 0
+	for i := range events {
+		for events[i].At-events[start].At > 10*time.Second {
+			start++
+		}
+		if w := i - start + 1; w > maxWindow {
+			maxWindow = w
+		}
+	}
+	if maxWindow < 12 {
+		t.Fatalf("largest 10s failure window has %d events; bursts missing", maxWindow)
+	}
+}
+
+func TestConfigOverrides(t *testing.T) {
+	cfg := Config{Machines: 100, Duration: time.Hour, MachineMTBF: time.Hour, Seed: 5}
+	events := Generate(cfg)
+	// ~100 background failures expected, plus possibly one burst.
+	if len(events) < 30 || len(events) > 400 {
+		t.Fatalf("events = %d", len(events))
+	}
+	for _, e := range events {
+		if e.Machine >= 100 {
+			t.Fatalf("machine %d out of configured range", e.Machine)
+		}
+	}
+}

@@ -1,0 +1,281 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	e := Entry{
+		Index: 42,
+		Writes: []Write{
+			{Addr: 100, Data: []byte("hello")},
+			{Addr: 2048, Data: []byte{}},
+			{Addr: 0, Data: bytes.Repeat([]byte{7}, 100)},
+		},
+	}
+	buf := make([]byte, 1024)
+	n, err := e.Encode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != e.Size() {
+		t.Fatalf("Encode wrote %d, Size says %d", n, e.Size())
+	}
+	got, err := Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Index != e.Index || len(got.Writes) != len(e.Writes) {
+		t.Fatalf("decoded %+v", got)
+	}
+	for i := range e.Writes {
+		if got.Writes[i].Addr != e.Writes[i].Addr || !bytes.Equal(got.Writes[i].Data, e.Writes[i].Data) {
+			t.Fatalf("write %d mismatch: %+v vs %+v", i, got.Writes[i], e.Writes[i])
+		}
+	}
+}
+
+func TestEncodeDecodeQuick(t *testing.T) {
+	f := func(index uint64, addr1, addr2 uint64, d1, d2 []byte) bool {
+		if index == 0 {
+			index = 1
+		}
+		e := Entry{Index: index, Writes: []Write{{Addr: addr1, Data: d1}, {Addr: addr2, Data: d2}}}
+		buf := make([]byte, e.Size()+64)
+		if _, err := e.Encode(buf); err != nil {
+			return false
+		}
+		got, err := Decode(buf)
+		if err != nil {
+			return false
+		}
+		return got.Index == e.Index &&
+			len(got.Writes) == 2 &&
+			got.Writes[0].Addr == addr1 && bytes.Equal(got.Writes[0].Data, d1) &&
+			got.Writes[1].Addr == addr2 && bytes.Equal(got.Writes[1].Data, d2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeTooLarge(t *testing.T) {
+	e := Entry{Index: 1, Writes: []Write{{Addr: 0, Data: make([]byte, 100)}}}
+	buf := make([]byte, 50)
+	if _, err := e.Encode(buf); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestDecodeCorruption(t *testing.T) {
+	e := Entry{Index: 7, Writes: []Write{{Addr: 10, Data: []byte("payload")}}}
+	buf := make([]byte, 256)
+	n, _ := e.Encode(buf)
+
+	// Flip each byte of the encoded image; decode must never return a
+	// different valid entry silently.
+	for i := 0; i < n; i++ {
+		mut := append([]byte(nil), buf...)
+		mut[i] ^= 0xff
+		got, err := Decode(mut)
+		if err == nil && (got.Index != e.Index || !bytes.Equal(got.Writes[0].Data, e.Writes[0].Data)) {
+			t.Fatalf("bit flip at %d produced different valid entry %+v", i, got)
+		}
+	}
+}
+
+func TestDecodeEmptySlot(t *testing.T) {
+	if _, err := Decode(make([]byte, 128)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("zeroed slot: err = %v, want ErrCorrupt", err)
+	}
+	if _, err := Decode(make([]byte, 4)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("short slot: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestGeometry(t *testing.T) {
+	g := Geometry{Base: 4096, SlotSize: 256, Slots: 16}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.TotalSize() != 4096 {
+		t.Fatalf("TotalSize = %d", g.TotalSize())
+	}
+	if off := g.SlotOffset(1); off != 4096+256 {
+		t.Fatalf("SlotOffset(1) = %d", off)
+	}
+	if off := g.SlotOffset(17); off != 4096+256 {
+		t.Fatalf("SlotOffset(17) = %d (wraps to slot 1)", off)
+	}
+	bad := Geometry{SlotSize: 4, Slots: 0}
+	if err := bad.Validate(); !errors.Is(err, ErrBadGeometry) {
+		t.Fatalf("bad geometry: %v", err)
+	}
+}
+
+// writeEntryToArea encodes e into its slot within a raw log area image.
+func writeEntryToArea(t *testing.T, g Geometry, area []byte, e Entry) {
+	t.Helper()
+	slot := int(e.Index % uint64(g.Slots))
+	if _, err := e.Encode(area[slot*g.SlotSize : (slot+1)*g.SlotSize]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScanWindowBasic(t *testing.T) {
+	g := Geometry{SlotSize: 128, Slots: 8}
+	area := make([]byte, g.TotalSize())
+	for i := uint64(1); i <= 5; i++ {
+		writeEntryToArea(t, g, area, Entry{Index: i, Writes: []Write{{Addr: i * 10, Data: []byte{byte(i)}}}})
+	}
+	entries := g.ScanWindow(area)
+	if len(entries) != 5 {
+		t.Fatalf("got %d entries, want 5", len(entries))
+	}
+	for i, e := range entries {
+		if e.Index != uint64(i+1) {
+			t.Fatalf("entry %d has index %d", i, e.Index)
+		}
+	}
+}
+
+func TestScanWindowDropsStaleLaps(t *testing.T) {
+	g := Geometry{SlotSize: 128, Slots: 4}
+	area := make([]byte, g.TotalSize())
+	// Lap 1: indexes 1..4 fill all slots. Then 5,6 overwrite slots 1,2.
+	for i := uint64(1); i <= 6; i++ {
+		writeEntryToArea(t, g, area, Entry{Index: i, Writes: nil})
+	}
+	entries := g.ScanWindow(area)
+	// Window is (6-4, 6] = {3,4,5,6}.
+	want := []uint64{3, 4, 5, 6}
+	if len(entries) != len(want) {
+		t.Fatalf("got %d entries %v, want %v", len(entries), entries, want)
+	}
+	for i, e := range entries {
+		if e.Index != want[i] {
+			t.Fatalf("entries[%d].Index = %d, want %d", i, e.Index, want[i])
+		}
+	}
+}
+
+func TestScanWindowSkipsTorn(t *testing.T) {
+	g := Geometry{SlotSize: 128, Slots: 8}
+	area := make([]byte, g.TotalSize())
+	writeEntryToArea(t, g, area, Entry{Index: 1, Writes: []Write{{Addr: 1, Data: []byte("a")}}})
+	writeEntryToArea(t, g, area, Entry{Index: 2, Writes: []Write{{Addr: 2, Data: []byte("b")}}})
+	// Tear entry 2: corrupt a payload byte.
+	area[2*g.SlotSize+20] ^= 0xff
+	entries := g.ScanWindow(area)
+	if len(entries) != 1 || entries[0].Index != 1 {
+		t.Fatalf("entries = %+v, want just index 1", entries)
+	}
+}
+
+func TestScanWindowRejectsWrongSlot(t *testing.T) {
+	g := Geometry{SlotSize: 128, Slots: 8}
+	area := make([]byte, g.TotalSize())
+	// Craft a valid entry with index 3 but place it in slot 5.
+	e := Entry{Index: 3, Writes: nil}
+	buf := make([]byte, g.SlotSize)
+	e.Encode(buf)
+	copy(area[5*g.SlotSize:], buf)
+	if entries := g.ScanWindow(area); len(entries) != 0 {
+		t.Fatalf("misplaced entry accepted: %+v", entries)
+	}
+}
+
+func TestReconcileUnion(t *testing.T) {
+	g := Geometry{SlotSize: 128, Slots: 8}
+	// Node A has entries 1,2,3; node B has 2,3,4; node C is nil (failed).
+	a := make([]byte, g.TotalSize())
+	b := make([]byte, g.TotalSize())
+	for _, i := range []uint64{1, 2, 3} {
+		writeEntryToArea(t, g, a, Entry{Index: i, Writes: []Write{{Addr: i, Data: []byte{byte(i)}}}})
+	}
+	for _, i := range []uint64{2, 3, 4} {
+		writeEntryToArea(t, g, b, Entry{Index: i, Writes: []Write{{Addr: i, Data: []byte{byte(i)}}}})
+	}
+	merged := Reconcile(g, [][]byte{a, b, nil})
+	want := []uint64{1, 2, 3, 4}
+	if len(merged) != len(want) {
+		t.Fatalf("merged %d entries, want %d", len(merged), len(want))
+	}
+	for i, e := range merged {
+		if e.Index != want[i] {
+			t.Fatalf("merged[%d].Index = %d, want %d", i, e.Index, want[i])
+		}
+	}
+}
+
+func TestReconcileWindowAcrossNodes(t *testing.T) {
+	g := Geometry{SlotSize: 128, Slots: 4}
+	// Node A is behind: has 1..4. Node B has 5..7 (overwriting 1..3's slots).
+	a := make([]byte, g.TotalSize())
+	b := make([]byte, g.TotalSize())
+	for i := uint64(1); i <= 4; i++ {
+		writeEntryToArea(t, g, a, Entry{Index: i, Writes: nil})
+	}
+	for i := uint64(1); i <= 7; i++ {
+		writeEntryToArea(t, g, b, Entry{Index: i, Writes: nil})
+	}
+	merged := Reconcile(g, [][]byte{a, b})
+	// Global window is (7-4, 7] = {4,5,6,7}.
+	want := []uint64{4, 5, 6, 7}
+	if len(merged) != len(want) {
+		t.Fatalf("merged = %+v, want indexes %v", merged, want)
+	}
+	for i, e := range merged {
+		if e.Index != want[i] {
+			t.Fatalf("merged[%d].Index = %d, want %d", i, e.Index, want[i])
+		}
+	}
+}
+
+func TestReconcileQuickAckedEntriesSurvive(t *testing.T) {
+	// Property: any entry present on a majority of nodes is always in the
+	// reconciled log when at most Fm snapshots are missing.
+	g := Geometry{SlotSize: 128, Slots: 16}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const n = 5 // Fm = 2
+		areas := make([][]byte, n)
+		for i := range areas {
+			areas[i] = make([]byte, g.TotalSize())
+		}
+		// Write entries 1..10; each to a random majority of nodes.
+		acked := map[uint64]bool{}
+		for idx := uint64(1); idx <= 10; idx++ {
+			e := Entry{Index: idx, Writes: []Write{{Addr: idx, Data: []byte{byte(idx)}}}}
+			perm := rng.Perm(n)
+			copies := 3 + rng.Intn(3) // 3..5 replicas: always a majority
+			for _, node := range perm[:copies] {
+				slot := int(idx % uint64(g.Slots))
+				e.Encode(areas[node][slot*g.SlotSize:])
+			}
+			acked[idx] = true
+		}
+		// Fail up to Fm=2 random nodes.
+		for _, node := range rng.Perm(n)[:rng.Intn(3)] {
+			areas[node] = nil
+		}
+		merged := Reconcile(g, areas)
+		found := map[uint64]bool{}
+		for _, e := range merged {
+			found[e.Index] = true
+		}
+		for idx := range acked {
+			if !found[idx] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,205 @@
+// Package workload generates the evaluation workloads of paper §6.2:
+// key-value operations over a fixed key population with a Zipfian(0.99) or
+// uniform key-popularity distribution, in four read/write mixes
+// (write-only, mixed 50/50, read-heavy 90/10, read-only).
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Mix is a read/write ratio.
+type Mix struct {
+	Name      string
+	ReadRatio float64 // fraction of operations that are reads
+}
+
+// The paper's four workload types (§6.2).
+var (
+	WriteOnly = Mix{Name: "write-only", ReadRatio: 0}
+	Mixed     = Mix{Name: "mixed", ReadRatio: 0.5}
+	ReadHeavy = Mix{Name: "read-heavy", ReadRatio: 0.9}
+	ReadOnly  = Mix{Name: "read-only", ReadRatio: 1}
+)
+
+// Mixes lists the paper's workload types in Figure 5 order.
+var Mixes = []Mix{WriteOnly, Mixed, ReadHeavy, ReadOnly}
+
+// MixByName resolves a mix by its name.
+func MixByName(name string) (Mix, error) {
+	for _, m := range Mixes {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	return Mix{}, fmt.Errorf("workload: unknown mix %q", name)
+}
+
+// Zipf generates Zipf-distributed ranks in [0, n) with the classic
+// "Gray et al." method used by YCSB, so that rank 0 is the most popular
+// item. The paper uses parameter 0.99.
+type Zipf struct {
+	n     int
+	theta float64
+	alpha float64
+	zetan float64
+	eta   float64
+	rng   *rand.Rand
+}
+
+// NewZipf creates a generator over n items with the given theta (0 < theta
+// < 1; the paper uses 0.99).
+func NewZipf(n int, theta float64, seed int64) *Zipf {
+	z := &Zipf{
+		n:     n,
+		theta: theta,
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+	z.zetan = zeta(n, theta)
+	z.alpha = 1.0 / (1.0 - theta)
+	z.eta = (1 - math.Pow(2.0/float64(n), 1-theta)) / (1 - zeta(2, theta)/z.zetan)
+	return z
+}
+
+// zeta computes the generalized harmonic number H_{n,theta}.
+func zeta(n int, theta float64) float64 {
+	sum := 0.0
+	for i := 1; i <= n; i++ {
+		sum += 1.0 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// Next returns the next rank in [0, n).
+func (z *Zipf) Next() int {
+	u := z.rng.Float64()
+	uz := u * z.zetan
+	if uz < 1.0 {
+		return 0
+	}
+	if uz < 1.0+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	return int(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+}
+
+// KeyFunc maps a rank to a key. Rank 0 is the most popular key.
+type KeyFunc func(rank int) []byte
+
+// DefaultKey formats ranks as fixed-width keys within the paper's 32-byte
+// key limit.
+func DefaultKey(rank int) []byte {
+	return []byte(fmt.Sprintf("user%012d", rank))
+}
+
+// Op is one generated operation.
+type Op struct {
+	Read  bool
+	Key   []byte
+	Value []byte // nil for reads
+}
+
+// Generator produces a stream of operations for one client.
+type Generator struct {
+	mix       Mix
+	keys      int
+	valueSize int
+	key       KeyFunc
+	zipf      *Zipf // nil means uniform
+	rng       *rand.Rand
+	valueBuf  []byte
+	counter   uint64
+}
+
+// Config parameterises a Generator.
+type Config struct {
+	// Mix is the read/write ratio.
+	Mix Mix
+	// Keys is the key population size (paper: 1M).
+	Keys int
+	// ValueSize is the value payload size in bytes (paper: up to 992).
+	ValueSize int
+	// ZipfTheta > 0 enables a Zipfian distribution with that parameter
+	// (paper: 0.99); 0 selects uniform.
+	ZipfTheta float64
+	// Key maps ranks to keys (default DefaultKey).
+	Key KeyFunc
+	// Seed makes the stream deterministic.
+	Seed int64
+}
+
+// NewGenerator builds a generator.
+func NewGenerator(cfg Config) *Generator {
+	if cfg.Key == nil {
+		cfg.Key = DefaultKey
+	}
+	g := &Generator{
+		mix:       cfg.Mix,
+		keys:      cfg.Keys,
+		valueSize: cfg.ValueSize,
+		key:       cfg.Key,
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		valueBuf:  make([]byte, cfg.ValueSize),
+	}
+	if cfg.ZipfTheta > 0 {
+		g.zipf = NewZipf(cfg.Keys, cfg.ZipfTheta, cfg.Seed+1)
+	}
+	for i := range g.valueBuf {
+		g.valueBuf[i] = byte('a' + i%26)
+	}
+	return g
+}
+
+// rank draws the next key rank.
+func (g *Generator) rank() int {
+	if g.zipf != nil {
+		r := g.zipf.Next()
+		if r >= g.keys {
+			r = g.keys - 1
+		}
+		return r
+	}
+	return g.rng.Intn(g.keys)
+}
+
+// Next returns the next operation. The returned value slice is reused
+// across calls with a small mutation, mirroring clients that send fresh
+// payloads without reallocating.
+func (g *Generator) Next() Op {
+	read := g.rng.Float64() < g.mix.ReadRatio
+	op := Op{Read: read, Key: g.key(g.rank())}
+	if !read {
+		g.counter++
+		if len(g.valueBuf) >= 8 {
+			putCounter(g.valueBuf, g.counter)
+		}
+		op.Value = g.valueBuf
+	}
+	return op
+}
+
+// PopulationKeys enumerates every key once, for pre-population (§6.2: "Each
+// system is pre-populated with all of the keys").
+func PopulationKeys(keys int, key KeyFunc) [][]byte {
+	if key == nil {
+		key = DefaultKey
+	}
+	out := make([][]byte, keys)
+	for i := range out {
+		out[i] = key(i)
+	}
+	return out
+}
+
+func putCounter(b []byte, v uint64) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+	b[4] = byte(v >> 32)
+	b[5] = byte(v >> 40)
+	b[6] = byte(v >> 48)
+	b[7] = byte(v >> 56)
+}

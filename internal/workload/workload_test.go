@@ -1,0 +1,142 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestMixes(t *testing.T) {
+	if len(Mixes) != 4 {
+		t.Fatalf("Mixes = %d", len(Mixes))
+	}
+	m, err := MixByName("read-heavy")
+	if err != nil || m.ReadRatio != 0.9 {
+		t.Fatalf("read-heavy: %+v err=%v", m, err)
+	}
+	if _, err := MixByName("nope"); err == nil {
+		t.Fatal("unknown mix accepted")
+	}
+}
+
+func TestZipfRange(t *testing.T) {
+	z := NewZipf(1000, 0.99, 1)
+	for i := 0; i < 100000; i++ {
+		r := z.Next()
+		if r < 0 || r >= 1000 {
+			t.Fatalf("rank %d out of range", r)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	// With theta 0.99 over 10k keys, the top 10 ranks should get far more
+	// than their uniform share (0.1%) of draws.
+	z := NewZipf(10000, 0.99, 42)
+	const draws = 200000
+	top10 := 0
+	for i := 0; i < draws; i++ {
+		if z.Next() < 10 {
+			top10++
+		}
+	}
+	frac := float64(top10) / draws
+	if frac < 0.2 {
+		t.Fatalf("top-10 fraction = %.3f, expected heavy skew (>0.2)", frac)
+	}
+}
+
+func TestZipfDeterministic(t *testing.T) {
+	a := NewZipf(100, 0.99, 7)
+	b := NewZipf(100, 0.99, 7)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestZipfRankZeroMostPopular(t *testing.T) {
+	z := NewZipf(1000, 0.99, 3)
+	counts := make([]int, 1000)
+	for i := 0; i < 100000; i++ {
+		counts[z.Next()]++
+	}
+	if counts[0] < counts[500] {
+		t.Fatalf("rank 0 (%d draws) less popular than rank 500 (%d)", counts[0], counts[500])
+	}
+}
+
+func TestDefaultKeyFitsPaperLimit(t *testing.T) {
+	f := func(rank uint16) bool {
+		k := DefaultKey(int(rank))
+		return len(k) <= 32 && len(k) > 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(DefaultKey(7), DefaultKey(7)) {
+		t.Fatal("key function not deterministic")
+	}
+	if bytes.Equal(DefaultKey(1), DefaultKey(2)) {
+		t.Fatal("distinct ranks collide")
+	}
+}
+
+func TestGeneratorMixRatio(t *testing.T) {
+	for _, mix := range Mixes {
+		g := NewGenerator(Config{Mix: mix, Keys: 100, ValueSize: 64, Seed: 5})
+		reads := 0
+		const n = 20000
+		for i := 0; i < n; i++ {
+			if g.Next().Read {
+				reads++
+			}
+		}
+		got := float64(reads) / n
+		if diff := got - mix.ReadRatio; diff > 0.02 || diff < -0.02 {
+			t.Fatalf("%s: read fraction %.3f, want %.2f", mix.Name, got, mix.ReadRatio)
+		}
+	}
+}
+
+func TestGeneratorValues(t *testing.T) {
+	g := NewGenerator(Config{Mix: WriteOnly, Keys: 10, ValueSize: 128, Seed: 1})
+	op := g.Next()
+	if op.Read {
+		t.Fatal("write-only generated a read")
+	}
+	if len(op.Value) != 128 {
+		t.Fatalf("value size %d", len(op.Value))
+	}
+	if len(op.Key) == 0 {
+		t.Fatal("empty key")
+	}
+}
+
+func TestGeneratorUniform(t *testing.T) {
+	g := NewGenerator(Config{Mix: ReadOnly, Keys: 4, ValueSize: 8, Seed: 9}) // theta 0 = uniform
+	counts := map[string]int{}
+	for i := 0; i < 8000; i++ {
+		counts[string(g.Next().Key)]++
+	}
+	for k, c := range counts {
+		if c < 1500 || c > 2500 {
+			t.Fatalf("uniform key %s drawn %d times of 8000", k, c)
+		}
+	}
+}
+
+func TestPopulationKeys(t *testing.T) {
+	keys := PopulationKeys(100, nil)
+	if len(keys) != 100 {
+		t.Fatalf("len = %d", len(keys))
+	}
+	seen := map[string]bool{}
+	for _, k := range keys {
+		if seen[string(k)] {
+			t.Fatalf("duplicate key %s", k)
+		}
+		seen[string(k)] = true
+	}
+}

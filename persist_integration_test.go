@@ -1,0 +1,113 @@
+package sift
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/repro/sift/internal/persist"
+)
+
+// TestPersistDirSurvivesFullClusterLoss covers the §3.5 persistence option:
+// with PersistDir set, committed updates reach a durable store that
+// survives the loss of every (volatile) memory node — the failure mode
+// plain Sift cannot survive.
+func TestPersistDirSurvivesFullClusterLoss(t *testing.T) {
+	dir := t.TempDir()
+	cfg := smallConfig()
+	cfg.PersistDir = dir
+
+	cl := newTestCluster(t, cfg)
+	c := cl.Client()
+	for i := 0; i < 30; i++ {
+		if err := c.Put([]byte(fmt.Sprintf("p%d", i)), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Delete([]byte("p5"))
+
+	// Wait for the background persistence thread to drain (bounded by the
+	// KV log: all committed entries are applied before slots recycle).
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		st := cl.Stats()
+		if st.KV.Applies >= 30 {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	cl.Close() // total cluster loss: every memory node's DRAM is gone
+
+	db, err := persist.Open(dir, persist.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	for i := 0; i < 30; i++ {
+		if i == 5 {
+			continue
+		}
+		v, ok := db.Get([]byte(fmt.Sprintf("p%d", i)))
+		if !ok || string(v) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("p%d: %q ok=%v", i, v, ok)
+		}
+	}
+	if _, ok := db.Get([]byte("p5")); ok {
+		t.Fatal("deleted key persisted")
+	}
+}
+
+// TestPersistDirReopen verifies a second cluster can be started against the
+// same directory (e.g. to repopulate a fresh group from the snapshot).
+func TestPersistDirReopen(t *testing.T) {
+	dir := t.TempDir()
+	cfg := smallConfig()
+	cfg.PersistDir = dir
+	cl := newTestCluster(t, cfg)
+	if err := cl.Client().Put([]byte("x"), []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	cl.Close()
+
+	cl2, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl2.Close()
+	// The new cluster's memory starts empty (fresh memory nodes) but the
+	// persistent DB still holds the old state and keeps receiving updates.
+	if err := cl2.Client().Put([]byte("y"), []byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && cl2.Stats().KV.Applies < 1 {
+		time.Sleep(2 * time.Millisecond)
+	}
+	cl2.Close()
+
+	db, err := persist.Open(dir, persist.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if v, ok := db.Get([]byte("x")); !ok || string(v) != "1" {
+		t.Fatalf("x: %q ok=%v", v, ok)
+	}
+	if v, ok := db.Get([]byte("y")); !ok || string(v) != "2" {
+		t.Fatalf("y: %q ok=%v", v, ok)
+	}
+}
+
+// TestPersistDirBadPath surfaces persistence setup errors at NewCluster.
+func TestPersistDirBadPath(t *testing.T) {
+	cfg := smallConfig()
+	cfg.PersistDir = "/dev/null/not-a-dir"
+	_, err := NewCluster(cfg)
+	if err == nil {
+		t.Fatal("NewCluster with unusable PersistDir should fail")
+	}
+	if !strings.Contains(err.Error(), "persistence") {
+		t.Fatalf("error should mention persistence: %v", err)
+	}
+}
