@@ -1,0 +1,15 @@
+GO ?= go
+
+.PHONY: tier1 race bench-pipeline
+
+# Tier-1 verification: everything builds and every test passes.
+tier1:
+	$(GO) build ./... && $(GO) test ./...
+
+# Race-detector pass over the packages on the write hot path.
+race:
+	$(GO) test -race ./internal/rdma/... ./internal/repmem/... ./internal/kv/...
+
+# Pipelined-transport throughput benchmark (records EXPERIMENTS.md numbers).
+bench-pipeline:
+	$(GO) test -run '^$$' -bench BenchmarkPipelinedPut -benchtime 2s .

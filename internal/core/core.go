@@ -12,7 +12,6 @@ package core
 
 import (
 	"context"
-	"errors"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -200,11 +199,9 @@ func (n *CPUNode) coordinate(ctx context.Context, term uint16) {
 				return
 			case <-ticker.C:
 				ts++
+				// Any heartbeat failure — dethroned or transport — means the
+				// lease can no longer be defended, so fence either way.
 				if err := n.elector.Heartbeat(term, ts); err != nil {
-					if errors.Is(err, election.ErrDethroned) {
-						fence()
-						return
-					}
 					fence()
 					return
 				}

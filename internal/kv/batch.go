@@ -86,10 +86,13 @@ func (s *Store) commitBatch(recs []record) error {
 	s.seqMu.Unlock()
 
 	entry := batchEntryFor(idx, recs)
-	slot := make([]byte, s.kvGeo.SlotSize)
-	_, err := entry.Encode(slot)
+	slot := s.getSlot()
+	n, err := entry.Encode(slot)
 	if err == nil {
-		err = s.mem.DirectWrite(s.kvGeo.SlotOffset(idx), slot)
+		clear(slot[n:]) // pooled buffers carry old payloads past the entry
+		err = s.mem.DirectWriteOwned(s.kvGeo.SlotOffset(idx), slot, func() { s.putSlot(slot) })
+	} else {
+		s.putSlot(slot)
 	}
 	if err != nil {
 		for _, t := range tasks {

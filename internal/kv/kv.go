@@ -209,6 +209,10 @@ type Store struct {
 	applyWG sync.WaitGroup
 	closed  atomic.Bool
 
+	// slotPool recycles log-slot buffers between commits; a buffer returns
+	// to the pool only after every per-node write referencing it resolves.
+	slotPool sync.Pool
+
 	stats struct {
 		puts, gets, deletes    atomic.Uint64
 		cacheHits, cacheMisses atomic.Uint64
@@ -252,6 +256,10 @@ func New(mem *repmem.Memory, cfg Config) (*Store, error) {
 		nextIdx:     1,
 	}
 	s.seqCond = sync.NewCond(&s.seqMu)
+	s.slotPool.New = func() any {
+		b := make([]byte, s.kvGeo.SlotSize)
+		return &b
+	}
 	cacheEntries := int(float64(c.Capacity) * c.CacheFraction)
 	s.cache = newCache(cacheEntries)
 

@@ -74,10 +74,13 @@ func (s *Store) commitRecord(r record) error {
 	s.seqMu.Unlock()
 
 	entry := entryFor(task.idx, r)
-	slot := make([]byte, s.kvGeo.SlotSize)
-	_, err := entry.Encode(slot)
+	slot := s.getSlot()
+	n, err := entry.Encode(slot)
 	if err == nil {
-		err = s.mem.DirectWrite(s.kvGeo.SlotOffset(task.idx), slot)
+		clear(slot[n:]) // pooled buffers carry old payloads past the entry
+		err = s.mem.DirectWriteOwned(s.kvGeo.SlotOffset(task.idx), slot, func() { s.putSlot(slot) })
+	} else {
+		s.putSlot(slot)
 	}
 	if err != nil {
 		task.ok = false
@@ -125,10 +128,18 @@ func (s *Store) Get(key []byte) ([]byte, error) {
 	if blk == nil {
 		return nil, ErrNotFound
 	}
-	value := append([]byte(nil), blk.value...)
-	s.cache.insertClean(string(key), value)
-	return append([]byte(nil), value...), nil
+	// blk.value is a fresh per-read buffer, so the caller can own it
+	// directly; the cache gets its own copy (cached values are shared and
+	// must never be handed to callers who may modify them).
+	s.cache.insertClean(string(key), append([]byte(nil), blk.value...))
+	return blk.value, nil
 }
+
+// getSlot takes a log-slot-sized buffer from the pool.
+func (s *Store) getSlot() []byte { return *s.slotPool.Get().(*[]byte) }
+
+// putSlot recycles a slot buffer once no write referencing it is in flight.
+func (s *Store) putSlot(b []byte) { s.slotPool.Put(&b) }
 
 // findInChain walks bucket's chain looking for key. It returns the matching
 // block (nil if absent), its block index, and the previous block index+1

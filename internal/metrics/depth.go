@@ -1,0 +1,47 @@
+package metrics
+
+import "sync/atomic"
+
+// Depth tracks an instantaneous concurrency level (e.g. operations in
+// flight on a pipelined connection, or requests queued for a worker) and
+// its high-water mark. It is lock-free: Inc/Dec are a single atomic add
+// plus a CAS loop that only spins while the level is setting new records.
+type Depth struct {
+	cur atomic.Int64
+	max atomic.Int64
+}
+
+// Inc records one more outstanding item and returns the new level.
+func (d *Depth) Inc() int64 {
+	n := d.cur.Add(1)
+	for {
+		m := d.max.Load()
+		if n <= m || d.max.CompareAndSwap(m, n) {
+			return n
+		}
+	}
+}
+
+// Dec records one completed item.
+func (d *Depth) Dec() { d.cur.Add(-1) }
+
+// Add shifts the level by delta (useful for batch enqueues) and updates
+// the high-water mark when delta is positive.
+func (d *Depth) Add(delta int64) int64 {
+	n := d.cur.Add(delta)
+	if delta > 0 {
+		for {
+			m := d.max.Load()
+			if n <= m || d.max.CompareAndSwap(m, n) {
+				break
+			}
+		}
+	}
+	return n
+}
+
+// Current returns the present level.
+func (d *Depth) Current() int64 { return d.cur.Load() }
+
+// Max returns the high-water mark observed so far.
+func (d *Depth) Max() int64 { return d.max.Load() }

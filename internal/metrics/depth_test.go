@@ -1,0 +1,59 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestDepthSequential(t *testing.T) {
+	var d Depth
+	for i := 1; i <= 3; i++ {
+		if n := d.Inc(); n != int64(i) {
+			t.Fatalf("Inc #%d returned %d", i, n)
+		}
+	}
+	if d.Current() != 3 || d.Max() != 3 {
+		t.Fatalf("Current=%d Max=%d, want 3/3", d.Current(), d.Max())
+	}
+	d.Dec()
+	d.Dec()
+	if d.Current() != 1 || d.Max() != 3 {
+		t.Fatalf("after Dec: Current=%d Max=%d, want 1/3", d.Current(), d.Max())
+	}
+	if n := d.Add(5); n != 6 {
+		t.Fatalf("Add(5) returned %d, want 6", n)
+	}
+	if d.Max() != 6 {
+		t.Fatalf("Max=%d after batch add, want 6", d.Max())
+	}
+	if n := d.Add(-6); n != 0 {
+		t.Fatalf("Add(-6) returned %d, want 0", n)
+	}
+	if d.Max() != 6 {
+		t.Fatalf("negative Add moved Max to %d", d.Max())
+	}
+}
+
+func TestDepthConcurrent(t *testing.T) {
+	var d Depth
+	const goroutines = 8
+	const iters = 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				d.Inc()
+				d.Dec()
+			}
+		}()
+	}
+	wg.Wait()
+	if d.Current() != 0 {
+		t.Fatalf("Current=%d after balanced Inc/Dec, want 0", d.Current())
+	}
+	if m := d.Max(); m < 1 || m > goroutines {
+		t.Fatalf("Max=%d, want 1..%d", m, goroutines)
+	}
+}

@@ -3,7 +3,9 @@ package rdma
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
+	"github.com/repro/sift/internal/metrics"
 	"github.com/repro/sift/internal/netsim"
 )
 
@@ -90,33 +92,108 @@ func (n *Network) Dial(src, dst string, opts DialOpts) (Verbs, error) {
 	return c, nil
 }
 
+// inprocWorkers bounds the per-connection pipeline depth for asynchronous
+// submission: up to this many operations execute against the fabric
+// concurrently, modelling the parallelism of an RNIC's processing units.
+const inprocWorkers = 8
+
+// inprocQueue is the submit-channel depth; submissions beyond it apply
+// backpressure to the submitter.
+const inprocQueue = 128
+
 // inprocConn is a reliable connection on the in-process transport. Verbs are
 // executed directly against the remote node's registered regions; the
-// netsim.Fabric supplies latency and failure behaviour.
+// netsim.Fabric supplies latency and failure behaviour. The epochs map is
+// immutable after Dial, so the verb paths are lock-free.
 type inprocConn struct {
 	net  *Network
 	src  string
 	dst  string
 	node *Node
 
-	mu     sync.Mutex
-	closed bool
+	closed atomic.Bool
 	epochs map[RegionID]uint64
+
+	// subMu guards the submit channel's lifecycle: Submit sends while
+	// holding the read side so Close (write side) cannot close the channel
+	// under an in-progress send. Workers start lazily on first Submit.
+	subMu sync.RWMutex
+	subCh chan *Op
+
+	submitted atomic.Uint64
+	inflight  metrics.Depth
 }
 
+var (
+	_ Submitter       = (*inprocConn)(nil)
+	_ PipelineStatser = (*inprocConn)(nil)
+)
+
 func (c *inprocConn) region(id RegionID) (*Region, uint64, error) {
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
+	if c.closed.Load() {
 		return nil, 0, ErrClosed
 	}
-	epoch := c.epochs[id]
-	c.mu.Unlock()
 	r := c.node.Region(id)
 	if r == nil {
 		return nil, 0, fmt.Errorf("rdma: region %d: %w", id, ErrUnknownRegion)
 	}
-	return r, epoch, nil
+	return r, c.epochs[id], nil
+}
+
+// Submit implements Submitter: the op executes on one of the connection's
+// worker goroutines, so many operations proceed concurrently while the
+// submitter keeps going.
+func (c *inprocConn) Submit(op *Op) {
+	for {
+		c.subMu.RLock()
+		if c.closed.Load() {
+			c.subMu.RUnlock()
+			op.complete(ErrClosed)
+			return
+		}
+		if ch := c.subCh; ch != nil {
+			c.submitted.Add(1)
+			c.inflight.Inc()
+			ch <- op
+			c.subMu.RUnlock()
+			return
+		}
+		c.subMu.RUnlock()
+		c.startWorkers()
+	}
+}
+
+// startWorkers lazily creates the submit channel and worker pool, so
+// connections that never Submit (election probes, recovery scans) cost no
+// goroutines.
+func (c *inprocConn) startWorkers() {
+	c.subMu.Lock()
+	if c.subCh == nil && !c.closed.Load() {
+		ch := make(chan *Op, inprocQueue)
+		c.subCh = ch
+		for i := 0; i < inprocWorkers; i++ {
+			go c.workerLoop(ch)
+		}
+	}
+	c.subMu.Unlock()
+}
+
+func (c *inprocConn) workerLoop(ch chan *Op) {
+	for op := range ch {
+		var err error
+		switch op.Kind {
+		case OpRead:
+			err = c.Read(op.Region, op.Offset, op.Data)
+		case OpWrite:
+			err = c.Write(op.Region, op.Offset, op.Data)
+		case OpCAS:
+			op.Old, err = c.CompareAndSwap(op.Region, op.Offset, op.Expect, op.Swap)
+		default:
+			err = fmt.Errorf("rdma: unknown op kind %d", op.Kind)
+		}
+		c.inflight.Dec()
+		op.complete(err)
+	}
 }
 
 // Read implements Verbs.
@@ -169,10 +246,28 @@ func (c *inprocConn) CompareAndSwap(region RegionID, offset uint64, expect, swap
 	return old, nil
 }
 
-// Close implements Verbs.
+// Close implements Verbs. Queued operations complete with ErrClosed as the
+// workers drain the channel.
 func (c *inprocConn) Close() error {
-	c.mu.Lock()
-	c.closed = true
-	c.mu.Unlock()
+	c.subMu.Lock()
+	first := !c.closed.Swap(true)
+	ch := c.subCh
+	c.subCh = nil
+	c.subMu.Unlock()
+	if first && ch != nil {
+		close(ch)
+	}
 	return nil
+}
+
+// PipelineStats implements PipelineStatser. Flushes equals Submitted: the
+// in-process transport has no wire to batch onto, so every submission is
+// its own doorbell.
+func (c *inprocConn) PipelineStats() PipelineStats {
+	n := c.submitted.Load()
+	return PipelineStats{
+		Submitted:   n,
+		Flushes:     n,
+		MaxInFlight: uint64(c.inflight.Max()),
+	}
 }

@@ -1,0 +1,109 @@
+package rdma
+
+import "sync"
+
+// Pipelined submission: both transports allow many operations in flight on
+// one connection, the way a real RNIC allows many work requests on one QP.
+// Submit queues an operation and returns immediately; the completion
+// callback fires when the remote operation has executed. Operations
+// submitted on one connection are delivered to the remote node in
+// submission order (reliable-connection ordering) but may *complete* — fire
+// their callbacks — out of order, because responses are demultiplexed by
+// request ID.
+
+// OpKind selects the verb an Op performs.
+type OpKind uint8
+
+// Op kinds.
+const (
+	OpRead OpKind = iota + 1
+	OpWrite
+	OpCAS
+)
+
+// Op is an asynchronous one-sided operation. The submitter fills in the
+// request fields; the transport fills in the result fields and then invokes
+// Done exactly once. Between Submit and the Done callback the transport owns
+// the Op and its Data buffer — the caller must not touch either. Once Done
+// returns, the transport holds no reference to the Op, so Done may recycle
+// it (and Data) into a pool.
+type Op struct {
+	Kind   OpKind
+	Region RegionID
+	Offset uint64
+
+	// Data is the destination buffer for OpRead or the payload for OpWrite.
+	Data []byte
+
+	// Expect and Swap are the OpCAS arguments; Old receives the value
+	// observed before the swap.
+	Expect, Swap uint64
+	Old          uint64
+
+	// Err is the operation's outcome, valid once Done fires. Region-level
+	// errors (ErrFenced, ErrOutOfBounds, …) affect only this Op; transport
+	// errors additionally fail the connection and every other in-flight Op.
+	Err error
+
+	// Done is the completion callback. It may run on a transport goroutine
+	// and must not block. Leave nil only when submitting through a helper
+	// (such as the synchronous Verbs methods) that waits internally.
+	Done func(*Op)
+
+	id   uint64   // wire request ID, assigned by the transport
+	done chan *Op // internal completion channel for synchronous waits
+}
+
+// complete delivers the outcome to whoever is waiting on the Op.
+func (op *Op) complete(err error) {
+	op.Err = err
+	switch {
+	case op.Done != nil:
+		op.Done(op)
+	case op.done != nil:
+		op.done <- op
+	}
+}
+
+// Submitter is implemented by connections that support pipelined
+// (asynchronous, many-in-flight) operation submission alongside the
+// blocking Verbs methods.
+type Submitter interface {
+	Verbs
+	// Submit queues op for execution. It never blocks on the network; the
+	// outcome is delivered through op.Done (which may fire before Submit
+	// returns, e.g. when the connection is already dead).
+	Submit(op *Op)
+}
+
+// PipelineStats is a snapshot of a pipelined connection's counters.
+type PipelineStats struct {
+	// Submitted counts operations submitted over the connection's lifetime.
+	Submitted uint64
+	// Flushes counts writer wake-ups that pushed a batch to the wire
+	// (doorbells). Submitted/Flushes is the mean coalescing factor.
+	Flushes uint64
+	// MaxInFlight is the high-water mark of concurrently outstanding
+	// operations on the connection.
+	MaxInFlight uint64
+}
+
+// PipelineStatser is implemented by connections that export PipelineStats.
+type PipelineStatser interface {
+	PipelineStats() PipelineStats
+}
+
+// doneChans pools the single-slot channels used by synchronous waits.
+var doneChans = sync.Pool{New: func() any { return make(chan *Op, 1) }}
+
+// submitWait submits op and blocks until it completes, implementing the
+// blocking Verbs methods in terms of Submit.
+func submitWait(s Submitter, op *Op) error {
+	ch := doneChans.Get().(chan *Op)
+	op.done = ch
+	s.Submit(op)
+	<-ch
+	op.done = nil
+	doneChans.Put(ch)
+	return op.Err
+}

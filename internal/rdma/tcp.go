@@ -8,16 +8,26 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
+
+	"github.com/repro/sift/internal/metrics"
 )
 
 // TCP transport: a passive memory node daemon serves verbs over TCP. The
 // daemon's per-connection handler is the moral equivalent of the RNIC — it
 // executes READ/WRITE/CAS directly against the node's registered regions and
 // runs no protocol logic. Initiators use DialTCP to obtain a Verbs
-// connection. One operation is outstanding per connection (callers open
-// several connections for parallelism, as they would create several QPs).
+// connection.
+//
+// The wire protocol is pipelined: every request carries a 64-bit ID, so many
+// operations can be outstanding on one connection (as on a real QP). On the
+// initiator a dedicated writer goroutine coalesces queued requests into one
+// buffered flush (doorbell batching) and a dedicated reader goroutine
+// demultiplexes responses to their waiting submitters by ID. The daemon
+// executes requests strictly in arrival order (reliable-connection
+// semantics) and pushes responses through its own coalescing writer.
 
-const tcpMagic = "SIFTRDM1"
+const tcpMagic = "SIFTRDM2"
 
 // Verb opcodes on the wire.
 const (
@@ -73,6 +83,30 @@ func errorToStatus(err error) byte {
 // huge allocations.
 const maxWireData = 64 << 20
 
+// Frame sizes.
+const (
+	reqHeaderSize  = 25 // id(8) opcode(1) region(4) offset(8) length(4)
+	respHeaderSize = 13 // id(8) status(1) length(4)
+	casArgsSize    = 16 // expect(8) swap(8)
+)
+
+// wireBufs pools transfer buffers on the daemon side; read-response payloads
+// are held until the response writer has flushed them.
+var wireBufs = sync.Pool{New: func() any { b := make([]byte, 0, 4096); return &b }}
+
+func getWireBuf(n int) []byte {
+	b := *wireBufs.Get().(*[]byte)
+	if cap(b) < n {
+		return make([]byte, n)
+	}
+	return b[:n]
+}
+
+func putWireBuf(b []byte) {
+	b = b[:0]
+	wireBufs.Put(&b)
+}
+
 // Serve accepts connections on l and serves one-sided operations against
 // node until l is closed. It is the only code a memory node runs after
 // startup, mirroring the passivity of Sift memory nodes.
@@ -89,18 +123,101 @@ func Serve(l net.Listener, node *Node) error {
 	}
 }
 
-func serveConn(conn net.Conn, node *Node) {
+// srvResp is one queued response awaiting the daemon's writer goroutine.
+// payload, when pooled is true, is returned to wireBufs after the flush.
+type srvResp struct {
+	id      uint64
+	status  byte
+	payload []byte
+	pooled  bool
+}
+
+// srvWriter coalesces queued responses into single flushes.
+type srvWriter struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []srvResp
+	closed bool
+}
+
+func (w *srvWriter) push(r srvResp) {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		if r.pooled {
+			putWireBuf(r.payload)
+		}
+		return
+	}
+	w.queue = append(w.queue, r)
+	w.mu.Unlock()
+	w.cond.Signal()
+}
+
+func (w *srvWriter) close() {
+	w.mu.Lock()
+	w.closed = true
+	w.mu.Unlock()
+	w.cond.Broadcast()
+}
+
+// run drains the response queue onto bw until close() is called and the
+// queue is empty, or a write fails. It owns closing conn.
+func (w *srvWriter) run(conn net.Conn, bw *bufio.Writer) {
 	defer conn.Close()
+	var hdr [respHeaderSize]byte
+	for {
+		w.mu.Lock()
+		for len(w.queue) == 0 && !w.closed {
+			w.cond.Wait()
+		}
+		if len(w.queue) == 0 && w.closed {
+			w.mu.Unlock()
+			return
+		}
+		batch := w.queue
+		w.queue = nil
+		w.mu.Unlock()
+
+		ok := true
+		for _, r := range batch {
+			binary.LittleEndian.PutUint64(hdr[0:8], r.id)
+			hdr[8] = r.status
+			binary.LittleEndian.PutUint32(hdr[9:13], uint32(len(r.payload)))
+			if _, err := bw.Write(hdr[:]); err != nil {
+				ok = false
+			}
+			if len(r.payload) > 0 {
+				if _, err := bw.Write(r.payload); err != nil {
+					ok = false
+				}
+			}
+			if r.pooled {
+				putWireBuf(r.payload)
+			}
+		}
+		if !ok || bw.Flush() != nil {
+			// Transport broken: closing conn unblocks the request reader,
+			// which will shut the queue down.
+			w.close()
+			return
+		}
+	}
+}
+
+func serveConn(conn net.Conn, node *Node) {
 	br := bufio.NewReaderSize(conn, 64<<10)
 	bw := bufio.NewWriterSize(conn, 64<<10)
 
 	// Handshake: magic, then the list of regions to open exclusively.
 	var magic [8]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil || string(magic[:]) != tcpMagic {
+		conn.Close()
 		return
 	}
 	var nEx uint16
 	if err := binary.Read(br, binary.LittleEndian, &nEx); err != nil {
+		conn.Close()
 		return
 	}
 	epochs := make(map[RegionID]uint64)
@@ -108,6 +225,7 @@ func serveConn(conn net.Conn, node *Node) {
 	for i := 0; i < int(nEx); i++ {
 		var id uint32
 		if err := binary.Read(br, binary.LittleEndian, &id); err != nil {
+			conn.Close()
 			return
 		}
 		r := node.Region(RegionID(id))
@@ -117,22 +235,29 @@ func serveConn(conn net.Conn, node *Node) {
 		}
 		epochs[RegionID(id)] = r.Acquire()
 	}
-	if err := bw.WriteByte(ok); err != nil || bw.Flush() != nil {
-		return
-	}
-	if ok != statusOK {
+	if err := bw.WriteByte(ok); err != nil || bw.Flush() != nil || ok != statusOK {
+		conn.Close()
 		return
 	}
 
-	var hdr [17]byte // opcode(1) region(4) offset(8) length(4)
+	// Request loop: execute strictly in arrival order (the ordering the
+	// initiator's repmem layer relies on for same-address writes), handing
+	// responses to the coalescing writer.
+	w := &srvWriter{}
+	w.cond = sync.NewCond(&w.mu)
+	go w.run(conn, bw)
+	defer w.close()
+
+	var hdr [reqHeaderSize]byte
 	for {
 		if _, err := io.ReadFull(br, hdr[:]); err != nil {
 			return
 		}
-		opcode := hdr[0]
-		region := RegionID(binary.LittleEndian.Uint32(hdr[1:5]))
-		offset := binary.LittleEndian.Uint64(hdr[5:13])
-		length := binary.LittleEndian.Uint32(hdr[13:17])
+		id := binary.LittleEndian.Uint64(hdr[0:8])
+		opcode := hdr[8]
+		region := RegionID(binary.LittleEndian.Uint32(hdr[9:13]))
+		offset := binary.LittleEndian.Uint64(hdr[13:21])
+		length := binary.LittleEndian.Uint32(hdr[21:25])
 		if length > maxWireData {
 			return
 		}
@@ -146,16 +271,21 @@ func serveConn(conn net.Conn, node *Node) {
 			if r == nil {
 				err = ErrUnknownRegion
 			} else {
-				data = make([]byte, length)
+				data = getWireBuf(int(length))
 				err = r.ReadAt(epoch, offset, data)
 			}
-			bw.WriteByte(errorToStatus(err))
-			if err == nil {
-				bw.Write(data)
+			if err != nil {
+				if data != nil {
+					putWireBuf(data)
+				}
+				w.push(srvResp{id: id, status: errorToStatus(err)})
+			} else {
+				w.push(srvResp{id: id, status: statusOK, payload: data, pooled: true})
 			}
 		case opWrite:
-			payload := make([]byte, length)
+			payload := getWireBuf(int(length))
 			if _, err := io.ReadFull(br, payload); err != nil {
+				putWireBuf(payload)
 				return
 			}
 			var err error
@@ -164,9 +294,10 @@ func serveConn(conn net.Conn, node *Node) {
 			} else {
 				err = r.WriteAt(epoch, offset, payload)
 			}
-			bw.WriteByte(errorToStatus(err))
+			putWireBuf(payload)
+			w.push(srvResp{id: id, status: errorToStatus(err)})
 		case opCAS:
-			var args [16]byte
+			var args [casArgsSize]byte
 			if _, err := io.ReadFull(br, args[:]); err != nil {
 				return
 			}
@@ -179,29 +310,49 @@ func serveConn(conn net.Conn, node *Node) {
 			} else {
 				old, err = r.CASAt(epoch, offset, expect, swap)
 			}
-			bw.WriteByte(errorToStatus(err))
-			if err == nil {
-				var ov [8]byte
-				binary.LittleEndian.PutUint64(ov[:], old)
-				bw.Write(ov[:])
+			if err != nil {
+				w.push(srvResp{id: id, status: errorToStatus(err)})
+			} else {
+				ov := getWireBuf(8)
+				binary.LittleEndian.PutUint64(ov, old)
+				w.push(srvResp{id: id, status: statusOK, payload: ov, pooled: true})
 			}
 		default:
-			return
-		}
-		if err := bw.Flush(); err != nil {
 			return
 		}
 	}
 }
 
-// tcpConn implements Verbs over a TCP connection to a memory node daemon.
+// tcpConn implements Submitter over a TCP connection to a memory node
+// daemon. Completion ownership: an Op is completed exactly once, by
+// whichever goroutine removes it from the queue or the pending map — the
+// writer for ops that never reach the wire, the reader for everything else.
 type tcpConn struct {
-	mu   sync.Mutex
 	conn net.Conn
 	br   *bufio.Reader
 	bw   *bufio.Writer
-	err  error // sticky transport error
+
+	// mu guards queue, pending, nextID and the sticky transport error; cond
+	// (on mu) wakes the writer. wmu serializes request serialization against
+	// failAll so an Op's Data buffer is never handed back to its owner while
+	// the writer may still be reading it.
+	mu      sync.Mutex
+	cond    *sync.Cond
+	wmu     sync.Mutex
+	queue   []*Op
+	pending map[uint64]*Op
+	err     error
+	nextID  uint64
+
+	submitted atomic.Uint64
+	flushes   atomic.Uint64
+	inflight  metrics.Depth
 }
+
+var (
+	_ Submitter       = (*tcpConn)(nil)
+	_ PipelineStatser = (*tcpConn)(nil)
+)
 
 // DialTCP connects to a memory node daemon at addr. Regions listed in
 // opts.Exclusive are opened with at-most-one-connection semantics: the
@@ -212,10 +363,12 @@ func DialTCP(addr string, opts DialOpts) (Verbs, error) {
 		return nil, err
 	}
 	c := &tcpConn{
-		conn: conn,
-		br:   bufio.NewReaderSize(conn, 64<<10),
-		bw:   bufio.NewWriterSize(conn, 64<<10),
+		conn:    conn,
+		br:      bufio.NewReaderSize(conn, 64<<10),
+		bw:      bufio.NewWriterSize(conn, 64<<10),
+		pending: make(map[uint64]*Op),
 	}
+	c.cond = sync.NewCond(&c.mu)
 	c.bw.WriteString(tcpMagic)
 	binary.Write(c.bw, binary.LittleEndian, uint16(len(opts.Exclusive)))
 	for _, id := range opts.Exclusive {
@@ -234,102 +387,282 @@ func DialTCP(addr string, opts DialOpts) (Verbs, error) {
 		conn.Close()
 		return nil, statusToError(status)
 	}
+	go c.writeLoop()
+	go c.readLoop()
 	return c, nil
 }
 
-func (c *tcpConn) sendHeader(opcode byte, region RegionID, offset uint64, length uint32) {
-	var hdr [17]byte
-	hdr[0] = opcode
-	binary.LittleEndian.PutUint32(hdr[1:5], uint32(region))
-	binary.LittleEndian.PutUint64(hdr[5:13], offset)
-	binary.LittleEndian.PutUint32(hdr[13:17], length)
-	c.bw.Write(hdr[:])
-}
-
+// fail records the first transport error, wakes the writer, and tears down
+// the socket (unblocking any goroutine stuck in socket I/O). It returns the
+// sticky error.
 func (c *tcpConn) fail(err error) error {
-	c.err = err
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	err = c.err
+	c.mu.Unlock()
+	c.cond.Broadcast()
 	c.conn.Close()
 	return err
 }
 
-// Read implements Verbs.
-func (c *tcpConn) Read(region RegionID, offset uint64, buf []byte) error {
+// finish completes op and drops it from the in-flight gauge.
+func (c *tcpConn) finish(op *Op, err error) {
+	c.inflight.Dec()
+	op.complete(err)
+}
+
+// failAll completes every queued and in-flight op with err. Taking wmu
+// first waits out a writer that may be mid-serialization (the socket is
+// already closed, so it cannot block for long).
+func (c *tcpConn) failAll(err error) {
+	c.wmu.Lock()
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.err != nil {
-		return c.err
+	pend := c.pending
+	c.pending = make(map[uint64]*Op)
+	q := c.queue
+	c.queue = nil
+	c.mu.Unlock()
+	c.wmu.Unlock()
+	for _, op := range pend {
+		c.finish(op, err)
 	}
-	c.sendHeader(opRead, region, offset, uint32(len(buf)))
-	if err := c.bw.Flush(); err != nil {
-		return c.fail(err)
+	for _, op := range q {
+		c.finish(op, err)
 	}
-	status, err := c.br.ReadByte()
-	if err != nil {
-		return c.fail(err)
+}
+
+// Submit implements Submitter.
+func (c *tcpConn) Submit(op *Op) {
+	wire := len(op.Data)
+	switch op.Kind {
+	case OpCAS:
+		wire = casArgsSize
+	case OpRead, OpWrite:
+	default:
+		op.complete(fmt.Errorf("rdma: unknown op kind %d", op.Kind))
+		return
 	}
-	if status != statusOK {
-		return statusToError(status)
+	if wire > maxWireData {
+		op.complete(fmt.Errorf("%w: transfer of %d bytes exceeds wire limit", ErrOutOfBounds, wire))
+		return
 	}
-	if _, err := io.ReadFull(c.br, buf); err != nil {
-		return c.fail(err)
+	c.inflight.Inc()
+	c.submitted.Add(1)
+	c.mu.Lock()
+	if err := c.err; err != nil {
+		c.mu.Unlock()
+		c.finish(op, err)
+		return
+	}
+	c.queue = append(c.queue, op)
+	c.mu.Unlock()
+	c.cond.Signal()
+}
+
+// encodeOp serializes one request frame into the buffered writer.
+func (c *tcpConn) encodeOp(op *Op) error {
+	var hdr [reqHeaderSize]byte
+	binary.LittleEndian.PutUint64(hdr[0:8], op.id)
+	length := uint32(len(op.Data))
+	switch op.Kind {
+	case OpRead:
+		hdr[8] = opRead
+	case OpWrite:
+		hdr[8] = opWrite
+	case OpCAS:
+		hdr[8] = opCAS
+		length = casArgsSize
+	}
+	binary.LittleEndian.PutUint32(hdr[9:13], uint32(op.Region))
+	binary.LittleEndian.PutUint64(hdr[13:21], op.Offset)
+	binary.LittleEndian.PutUint32(hdr[21:25], length)
+	if _, err := c.bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	switch op.Kind {
+	case OpWrite:
+		if _, err := c.bw.Write(op.Data); err != nil {
+			return err
+		}
+	case OpCAS:
+		var args [casArgsSize]byte
+		binary.LittleEndian.PutUint64(args[0:8], op.Expect)
+		binary.LittleEndian.PutUint64(args[8:16], op.Swap)
+		if _, err := c.bw.Write(args[:]); err != nil {
+			return err
+		}
 	}
 	return nil
 }
 
+// writeLoop drains the submit queue: it registers each batch in the pending
+// map, serializes it, and pushes it to the wire in one flush (doorbell
+// batching).
+func (c *tcpConn) writeLoop() {
+	for {
+		c.mu.Lock()
+		for len(c.queue) == 0 && c.err == nil {
+			c.cond.Wait()
+		}
+		if err := c.err; err != nil {
+			q := c.queue
+			c.queue = nil
+			c.mu.Unlock()
+			for _, op := range q {
+				c.finish(op, err)
+			}
+			return
+		}
+		batch := c.queue
+		c.queue = nil
+		c.mu.Unlock()
+
+		c.wmu.Lock()
+		c.mu.Lock()
+		if err := c.err; err != nil {
+			// The reader died while this batch was detached from the queue;
+			// its failAll cannot see these ops, so complete them here.
+			c.mu.Unlock()
+			c.wmu.Unlock()
+			for _, op := range batch {
+				c.finish(op, err)
+			}
+			return
+		}
+		for _, op := range batch {
+			op.id = c.nextID
+			c.nextID++
+			c.pending[op.id] = op
+		}
+		c.mu.Unlock()
+		var werr error
+		for _, op := range batch {
+			if werr = c.encodeOp(op); werr != nil {
+				break
+			}
+		}
+		if werr == nil {
+			werr = c.bw.Flush()
+		}
+		c.wmu.Unlock()
+		c.flushes.Add(1)
+		if werr != nil {
+			// The batch is registered in pending; the reader's failAll
+			// completes it once the closed socket wakes it.
+			c.fail(werr)
+			return
+		}
+	}
+}
+
+// readLoop demultiplexes responses to their submitters by request ID.
+// Per-op region errors (fenced, out of bounds, …) complete only their op;
+// transport or protocol errors fail the connection and every in-flight op.
+func (c *tcpConn) readLoop() {
+	var hdr [respHeaderSize]byte
+	for {
+		if _, err := io.ReadFull(c.br, hdr[:]); err != nil {
+			c.failAll(c.fail(err))
+			return
+		}
+		id := binary.LittleEndian.Uint64(hdr[0:8])
+		status := hdr[8]
+		length := binary.LittleEndian.Uint32(hdr[9:13])
+		if length > maxWireData {
+			c.failAll(c.fail(fmt.Errorf("rdma: oversized response (%d bytes)", length)))
+			return
+		}
+		c.mu.Lock()
+		op, ok := c.pending[id]
+		delete(c.pending, id)
+		c.mu.Unlock()
+		if !ok {
+			c.failAll(c.fail(fmt.Errorf("rdma: response for unknown request %d", id)))
+			return
+		}
+
+		var opErr error
+		switch {
+		case status != statusOK:
+			opErr = statusToError(status)
+			if length != 0 {
+				err := c.fail(fmt.Errorf("rdma: error response carries %d payload bytes", length))
+				c.finish(op, err)
+				c.failAll(err)
+				return
+			}
+		case op.Kind == OpRead:
+			if int(length) != len(op.Data) {
+				err := c.fail(fmt.Errorf("rdma: read response length %d, want %d", length, len(op.Data)))
+				c.finish(op, err)
+				c.failAll(err)
+				return
+			}
+			if _, err := io.ReadFull(c.br, op.Data); err != nil {
+				err = c.fail(err)
+				c.finish(op, err)
+				c.failAll(err)
+				return
+			}
+		case op.Kind == OpCAS:
+			if length != 8 {
+				err := c.fail(fmt.Errorf("rdma: CAS response length %d, want 8", length))
+				c.finish(op, err)
+				c.failAll(err)
+				return
+			}
+			var ov [8]byte
+			if _, err := io.ReadFull(c.br, ov[:]); err != nil {
+				err = c.fail(err)
+				c.finish(op, err)
+				c.failAll(err)
+				return
+			}
+			op.Old = binary.LittleEndian.Uint64(ov[:])
+		default: // OpWrite
+			if length != 0 {
+				err := c.fail(fmt.Errorf("rdma: write response carries %d payload bytes", length))
+				c.finish(op, err)
+				c.failAll(err)
+				return
+			}
+		}
+		c.finish(op, opErr)
+	}
+}
+
+// Read implements Verbs.
+func (c *tcpConn) Read(region RegionID, offset uint64, buf []byte) error {
+	return submitWait(c, &Op{Kind: OpRead, Region: region, Offset: offset, Data: buf})
+}
+
 // Write implements Verbs.
 func (c *tcpConn) Write(region RegionID, offset uint64, data []byte) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.err != nil {
-		return c.err
-	}
-	c.sendHeader(opWrite, region, offset, uint32(len(data)))
-	c.bw.Write(data)
-	if err := c.bw.Flush(); err != nil {
-		return c.fail(err)
-	}
-	status, err := c.br.ReadByte()
-	if err != nil {
-		return c.fail(err)
-	}
-	return statusToError(status)
+	return submitWait(c, &Op{Kind: OpWrite, Region: region, Offset: offset, Data: data})
 }
 
 // CompareAndSwap implements Verbs.
 func (c *tcpConn) CompareAndSwap(region RegionID, offset uint64, expect, swap uint64) (uint64, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.err != nil {
-		return 0, c.err
+	op := &Op{Kind: OpCAS, Region: region, Offset: offset, Expect: expect, Swap: swap}
+	if err := submitWait(c, op); err != nil {
+		return 0, err
 	}
-	c.sendHeader(opCAS, region, offset, 0)
-	var args [16]byte
-	binary.LittleEndian.PutUint64(args[0:8], expect)
-	binary.LittleEndian.PutUint64(args[8:16], swap)
-	c.bw.Write(args[:])
-	if err := c.bw.Flush(); err != nil {
-		return 0, c.fail(err)
-	}
-	status, err := c.br.ReadByte()
-	if err != nil {
-		return 0, c.fail(err)
-	}
-	if status != statusOK {
-		return 0, statusToError(status)
-	}
-	var ov [8]byte
-	if _, err := io.ReadFull(c.br, ov[:]); err != nil {
-		return 0, c.fail(err)
-	}
-	return binary.LittleEndian.Uint64(ov[:]), nil
+	return op.Old, nil
 }
 
-// Close implements Verbs.
+// Close implements Verbs. In-flight operations complete with ErrClosed.
 func (c *tcpConn) Close() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.err == nil {
-		c.err = ErrClosed
+	c.fail(ErrClosed)
+	return nil
+}
+
+// PipelineStats implements PipelineStatser.
+func (c *tcpConn) PipelineStats() PipelineStats {
+	return PipelineStats{
+		Submitted:   c.submitted.Load(),
+		Flushes:     c.flushes.Load(),
+		MaxInFlight: uint64(c.inflight.Max()),
 	}
-	return c.conn.Close()
 }

@@ -31,6 +31,7 @@ import (
 
 	"github.com/repro/sift/internal/erasure"
 	"github.com/repro/sift/internal/memnode"
+	"github.com/repro/sift/internal/metrics"
 	"github.com/repro/sift/internal/rdma"
 	"github.com/repro/sift/internal/wal"
 )
@@ -174,6 +175,14 @@ type Stats struct {
 	DecodedReads  uint64 // main-space reads requiring erasure decoding
 	NodeFailures  uint64 // memory node failure detections
 	NodeRecovered uint64 // memory node recoveries completed
+
+	// Pipeline counters (per-node worker queues + transport connections).
+	Enqueued         uint64 // write ops handed to per-node workers
+	QueueWaitUs      uint64 // cumulative µs ops spent queued before dispatch
+	MaxQueueDepth    uint64 // high-water mark of ops queued across workers
+	TransportOps     uint64 // ops submitted on currently live connections
+	TransportFlushes uint64 // doorbell flushes on currently live connections
+	MaxInFlight      uint64 // max ops in flight on any single live connection
 }
 
 // Memory is the coordinator-side replicated memory handle. It is safe for
@@ -202,6 +211,11 @@ type Memory struct {
 	applySem chan struct{}
 	applyWG  sync.WaitGroup
 
+	workers    []*nodeWorker
+	workerWG   sync.WaitGroup
+	queueDepth metrics.Depth
+	slotPool   sync.Pool
+
 	member membership
 
 	readRR atomic.Uint64
@@ -215,6 +229,7 @@ type Memory struct {
 		writes, directWrites, applies    atomic.Uint64
 		reads, remoteReads, decodedReads atomic.Uint64
 		nodeFailures, nodeRecovered      atomic.Uint64
+		enqueued, queueWaitUs            atomic.Uint64
 	}
 }
 
@@ -243,6 +258,10 @@ func New(cfg Config) (*Memory, error) {
 	}
 	m.seqCond = sync.NewCond(&m.seqMu)
 	m.geo = m.layout.WALGeometry()
+	m.slotPool.New = func() any {
+		b := make([]byte, m.geo.SlotSize)
+		return &b
+	}
 	if c.ECData > 0 {
 		code, err := erasure.New(c.ECData, c.ECParity)
 		if err != nil {
@@ -251,6 +270,7 @@ func New(cfg Config) (*Memory, error) {
 		m.code = code
 		m.chunk = c.ECBlockSize / c.ECData
 	}
+	m.startWorkers()
 
 	for i, node := range m.nodes {
 		conn, err := c.Dial(node)
@@ -366,9 +386,11 @@ func (m *Memory) ECBlockSize() int {
 	return m.cfg.ECBlockSize
 }
 
-// Stats returns a snapshot of the operation counters.
+// Stats returns a snapshot of the operation counters. Transport counters
+// aggregate over currently live connections (a connection dropped after a
+// node failure takes its counters with it).
 func (m *Memory) Stats() Stats {
-	return Stats{
+	s := Stats{
 		Writes:        m.stats.writes.Load(),
 		DirectWrites:  m.stats.directWrites.Load(),
 		Applies:       m.stats.applies.Load(),
@@ -377,8 +399,34 @@ func (m *Memory) Stats() Stats {
 		DecodedReads:  m.stats.decodedReads.Load(),
 		NodeFailures:  m.stats.nodeFailures.Load(),
 		NodeRecovered: m.stats.nodeRecovered.Load(),
+		Enqueued:      m.stats.enqueued.Load(),
+		QueueWaitUs:   m.stats.queueWaitUs.Load(),
+		MaxQueueDepth: uint64(m.queueDepth.Max()),
 	}
+	for i := range m.conns {
+		b := m.conns[i].Load()
+		if b == nil {
+			continue
+		}
+		ps, ok := b.v.(rdma.PipelineStatser)
+		if !ok {
+			continue
+		}
+		p := ps.PipelineStats()
+		s.TransportOps += p.Submitted
+		s.TransportFlushes += p.Flushes
+		if p.MaxInFlight > s.MaxInFlight {
+			s.MaxInFlight = p.MaxInFlight
+		}
+	}
+	return s
 }
+
+// getSlot takes a WAL-slot-sized buffer from the pool.
+func (m *Memory) getSlot() []byte { return *m.slotPool.Get().(*[]byte) }
+
+// putSlot recycles a slot buffer once no write referencing it is in flight.
+func (m *Memory) putSlot(b []byte) { m.slotPool.Put(&b) }
 
 // conn returns node i's connection, dialing it if needed.
 func (m *Memory) conn(i int) (rdma.Verbs, error) {
@@ -473,6 +521,9 @@ func (m *Memory) Close() {
 	m.seqCond.Broadcast()
 	m.seqMu.Unlock()
 	m.applyWG.Wait()
+	// Workers stop after the appliers have drained (they feed the workers)
+	// and before the connections close (queued requests still need them).
+	m.stopWorkers()
 	for i := range m.conns {
 		if b := m.conns[i].Swap(nil); b != nil {
 			b.v.Close()

@@ -1,0 +1,194 @@
+package repmem
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/repro/sift/internal/rdma"
+)
+
+// Per-node I/O workers: every memory node has one persistent worker
+// goroutine fed by a channel. A quorum write is an enqueue per node plus a
+// wait, rather than a goroutine spawn per node per operation. The worker
+// submits asynchronously when the connection supports pipelined submission
+// (both built-in transports do), so many operations from many concurrent
+// writers are in flight on the node's single connection at once — the
+// paper's deep per-QP pipeline. Requests enqueued to one node are submitted
+// in order, which together with the transport's reliable-connection
+// ordering keeps same-address writes ordered per node.
+
+// nodeQueueDepth bounds a node worker's submit queue; enqueues beyond it
+// apply backpressure to writers.
+const nodeQueueDepth = 256
+
+// nodeReq is one write destined for a single memory node. done fires
+// exactly once with the operation's outcome; it may run on a transport
+// goroutine and must not block.
+type nodeReq struct {
+	region rdma.RegionID
+	offset uint64
+	data   []byte
+	enq    time.Time
+	done   func(error)
+}
+
+// nodeWorker owns one node's request channel. mu guards the channel against
+// close: enqueuers send while holding the read side, stop takes the write
+// side.
+type nodeWorker struct {
+	mu     sync.RWMutex
+	ch     chan nodeReq
+	closed bool
+}
+
+// startWorkers launches one worker per memory node.
+func (m *Memory) startWorkers() {
+	m.workers = make([]*nodeWorker, len(m.nodes))
+	for i := range m.workers {
+		w := &nodeWorker{ch: make(chan nodeReq, nodeQueueDepth)}
+		m.workers[i] = w
+		m.workerWG.Add(1)
+		go m.nodeWorkerLoop(i, w.ch)
+	}
+}
+
+// stopWorkers closes every worker channel; the workers drain what is queued
+// and exit. Callers must still be able to reach the connections, so this
+// runs before conns are torn down in Close.
+func (m *Memory) stopWorkers() {
+	for _, w := range m.workers {
+		w.mu.Lock()
+		if !w.closed {
+			w.closed = true
+			close(w.ch)
+		}
+		w.mu.Unlock()
+	}
+	m.workerWG.Wait()
+}
+
+// enqueue hands req to node i's worker. After the memory is closed, done
+// fires immediately with ErrClosed.
+func (m *Memory) enqueue(i int, req nodeReq) {
+	req.enq = time.Now()
+	w := m.workers[i]
+	w.mu.RLock()
+	if w.closed {
+		w.mu.RUnlock()
+		req.done(ErrClosed)
+		return
+	}
+	m.stats.enqueued.Add(1)
+	m.queueDepth.Inc()
+	w.ch <- req
+	w.mu.RUnlock()
+}
+
+// opPool recycles rdma.Op shells between submissions.
+var opPool = sync.Pool{New: func() any { return new(rdma.Op) }}
+
+// nodeWorkerLoop drains node i's queue. With a pipelined connection the
+// loop submits and immediately moves on — completions arrive on transport
+// goroutines — so the queue drains at submission speed, not round-trip
+// speed.
+func (m *Memory) nodeWorkerLoop(i int, ch chan nodeReq) {
+	defer m.workerWG.Done()
+	for req := range ch {
+		m.queueDepth.Dec()
+		m.stats.queueWaitUs.Add(uint64(time.Since(req.enq).Microseconds()))
+		conn, err := m.conn(i)
+		if err != nil {
+			req.done(err)
+			continue
+		}
+		sub, ok := conn.(rdma.Submitter)
+		if !ok {
+			req.done(conn.Write(req.region, req.offset, req.data))
+			continue
+		}
+		op := opPool.Get().(*rdma.Op)
+		op.Kind = rdma.OpWrite
+		op.Region = req.region
+		op.Offset = req.offset
+		op.Data = req.data
+		done := req.done
+		op.Done = func(o *rdma.Op) {
+			err := o.Err
+			*o = rdma.Op{}
+			opPool.Put(o)
+			done(err)
+		}
+		sub.Submit(op)
+	}
+}
+
+// quorumGroup tracks one fan-out's completions. wait returns as soon as the
+// outcome is decided — need acks for success, or too many failures — while
+// the group keeps counting stragglers; onAll runs exactly once after the
+// final completion, when per-op resources (buffers, range locks) may be
+// released.
+type quorumGroup struct {
+	mu        sync.Mutex
+	remaining int
+	total     int
+	need      int
+	acks      int
+	decided   bool
+	err       error
+	decCh     chan struct{}
+	onAll     func()
+}
+
+// newQuorumGroup creates a group over total completions needing need acks.
+// If need can never be reached (need > total), the group is born decided.
+func newQuorumGroup(total, need int, onAll func()) *quorumGroup {
+	g := &quorumGroup{remaining: total, total: total, need: need, decCh: make(chan struct{}), onAll: onAll}
+	if need > total {
+		g.decided = true
+		g.err = fmt.Errorf("%w: %d of %d acks", ErrNoQuorum, 0, total)
+		close(g.decCh)
+	}
+	if total == 0 {
+		g.finishAll()
+	}
+	return g
+}
+
+func (g *quorumGroup) finishAll() {
+	if g.onAll != nil {
+		g.onAll()
+	}
+}
+
+// ack records one completion. Safe to call from transport goroutines.
+func (g *quorumGroup) ack(err error) {
+	g.mu.Lock()
+	g.remaining--
+	if err == nil {
+		g.acks++
+	}
+	if !g.decided {
+		if g.acks >= g.need {
+			g.decided = true
+			close(g.decCh)
+		} else if g.acks+g.remaining < g.need {
+			g.decided = true
+			g.err = fmt.Errorf("%w: %d of %d acks", ErrNoQuorum, g.acks, g.total)
+			close(g.decCh)
+		}
+	}
+	last := g.remaining == 0
+	g.mu.Unlock()
+	if last {
+		g.finishAll()
+	}
+}
+
+// wait blocks until the outcome is decided and returns it.
+func (g *quorumGroup) wait() error {
+	<-g.decCh
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.err
+}

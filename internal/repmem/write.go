@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"github.com/repro/sift/internal/rdma"
 	"github.com/repro/sift/internal/wal"
 )
 
@@ -55,16 +56,33 @@ func (m *Memory) WriteBatch(writes []wal.Write) error {
 	m.seqMu.Unlock()
 
 	entry := wal.Entry{Index: idx, Writes: writes}
-	slot := make([]byte, m.geo.SlotSize)
-	if _, err := entry.Encode(slot); err != nil {
+	slot := m.getSlot()
+	n, err := entry.Encode(slot)
+	if err != nil {
+		m.putSlot(slot)
 		m.finishEntry(idx)
 		unlock()
 		return fmt.Errorf("repmem: %w", err)
 	}
+	// Zero the slot tail: recovery compares raw slot bytes against freshly
+	// encoded (zero-tailed) images, and pooled buffers carry old payloads.
+	clear(slot[n:])
 
-	if err := m.appendQuorum(idx, slot); err != nil {
-		m.finishEntry(idx)
+	// appendsDone closes once every node's WAL write has completed, at
+	// which point the slot buffer is recyclable and — crucially — no write
+	// to this log slot is still in flight, so the slot may be reused by a
+	// later entry without racing a straggler.
+	appendsDone := make(chan struct{})
+	err = m.appendQuorum(idx, slot, func() {
+		m.putSlot(slot)
+		close(appendsDone)
+	})
+	if err != nil {
 		unlock()
+		go func() {
+			<-appendsDone
+			m.finishEntry(idx)
+		}()
 		return err
 	}
 	m.stats.writes.Add(1)
@@ -80,45 +98,37 @@ func (m *Memory) WriteBatch(writes []wal.Write) error {
 		}()
 		m.applyEntry(entry)
 		unlock()
+		<-appendsDone
 		m.finishEntry(idx)
 		m.stats.applies.Add(1)
 	}()
 	return nil
 }
 
-// appendQuorum writes a WAL slot image to every writable node in parallel
-// and waits for a majority of acknowledgements.
-func (m *Memory) appendQuorum(idx uint64, slot []byte) error {
+// appendQuorum writes a WAL slot image to every writable node through the
+// per-node workers and returns once a majority has acknowledged (or the
+// quorum is unreachable). allDone runs exactly once, after the last node
+// completes — success or failure — when slot may be recycled.
+func (m *Memory) appendQuorum(idx uint64, slot []byte, allDone func()) error {
 	offset := m.geo.SlotOffset(idx)
 	targets := m.writableNodes()
-	acks := make(chan bool, len(targets))
+	g := newQuorumGroup(len(targets), m.Majority(), allDone)
 	for _, i := range targets {
-		go func(i int) {
-			c, err := m.conn(i)
-			if err == nil {
-				err = c.Write(replRegion, offset, slot)
-			}
+		i := i
+		m.enqueue(i, nodeReq{region: replRegion, offset: offset, data: slot, done: func(err error) {
 			if err != nil {
 				m.nodeFailed(i, err)
-				acks <- false
-				return
 			}
-			acks <- true
-		}(i)
+			g.ack(err)
+		}})
 	}
-	got := 0
-	for range targets {
-		if <-acks {
-			got++
+	if err := g.wait(); err != nil {
+		if oerr := m.checkOpen(); oerr != nil {
+			return oerr
 		}
-	}
-	if err := m.checkOpen(); err != nil {
 		return err
 	}
-	if got < m.Majority() {
-		return fmt.Errorf("%w: %d of %d acks", ErrNoQuorum, got, len(m.nodes))
-	}
-	return nil
+	return m.checkOpen()
 }
 
 // finishEntry marks idx as applied (or abandoned) and advances the
@@ -147,25 +157,33 @@ func (m *Memory) applyEntry(entry wal.Entry) {
 	}
 }
 
-// applyPlain writes data at a main-space address to all writable nodes
-// (full-replication layout).
-func (m *Memory) applyPlain(addr uint64, data []byte) {
-	targets := m.writableNodes()
+// fanOutWait enqueues a write to every writable node and blocks until all
+// completions arrive. Apply paths must wait for every node (not just a
+// majority): the caller's range lock is what keeps a straggler write from
+// racing a later write to the same address, so it cannot be released while
+// any node's write is outstanding.
+func (m *Memory) fanOutWait(region rdma.RegionID, offset uint64, data []byte, targets []int) {
+	if len(targets) == 0 {
+		return
+	}
 	var wg sync.WaitGroup
+	wg.Add(len(targets))
 	for _, i := range targets {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			c, err := m.conn(i)
-			if err == nil {
-				err = c.Write(replRegion, m.physMain(addr), data)
-			}
+		i := i
+		m.enqueue(i, nodeReq{region: region, offset: offset, data: data, done: func(err error) {
 			if err != nil {
 				m.nodeFailed(i, err)
 			}
-		}(i)
+			wg.Done()
+		}})
 	}
 	wg.Wait()
+}
+
+// applyPlain writes data at a main-space address to all writable nodes
+// (full-replication layout).
+func (m *Memory) applyPlain(addr uint64, data []byte) {
+	m.fanOutWait(replRegion, m.physMain(addr), data, m.writableNodes())
 }
 
 // applyEC applies a main-space update under erasure coding: each affected
@@ -200,19 +218,19 @@ func (m *Memory) applyEC(addr uint64, data []byte) {
 		}
 		physOff := m.layout.MainBase() + b*uint64(m.chunk)
 		targets := m.writableNodes()
+		if len(targets) == 0 {
+			continue
+		}
 		var wg sync.WaitGroup
+		wg.Add(len(targets))
 		for _, i := range targets {
-			wg.Add(1)
-			go func(i int) {
-				defer wg.Done()
-				c, err := m.conn(i)
-				if err == nil {
-					err = c.Write(replRegion, physOff, chunks[i])
-				}
+			i := i
+			m.enqueue(i, nodeReq{region: replRegion, offset: physOff, data: chunks[i], done: func(err error) {
 				if err != nil {
 					m.nodeFailed(i, err)
 				}
-			}(i)
+				wg.Done()
+			}})
 		}
 		wg.Wait()
 	}
@@ -224,44 +242,66 @@ func (m *Memory) applyEC(addr uint64, data []byte) {
 // once a majority of memory nodes acknowledge. The direct zone is never
 // erasure coded — it holds write-ahead data whose unencoded form is exactly
 // what makes coordinator+quorum-member double failures survivable (§5.1).
+//
+// The caller must not modify data until every node's write has completed;
+// use DirectWriteOwned to learn when that is.
 func (m *Memory) DirectWrite(addr uint64, data []byte) error {
+	return m.directWrite(addr, data, nil)
+}
+
+// DirectWriteOwned is DirectWrite with buffer handoff: the layer takes
+// ownership of data and calls release exactly once — on every return path,
+// including validation errors — after the last per-node write has resolved.
+// The caller may recycle data inside release. release may run on a
+// transport goroutine and must not block.
+func (m *Memory) DirectWriteOwned(addr uint64, data []byte, release func()) error {
+	return m.directWrite(addr, data, release)
+}
+
+func (m *Memory) directWrite(addr uint64, data []byte, release func()) error {
 	if err := m.checkOpen(); err != nil {
+		if release != nil {
+			release()
+		}
 		return err
 	}
 	if err := m.checkDirectRange(addr, len(data)); err != nil {
+		if release != nil {
+			release()
+		}
 		return err
 	}
-	unlock := m.directLocks.lockRange(addr, len(data))
-	defer unlock()
 
+	// The range lock is held until every node's write completes (not just
+	// the majority that unblocks the caller): a straggler write racing a
+	// recovery copy or a later write to the same range on that node would
+	// resurrect stale bytes.
+	unlock := m.directLocks.lockRange(addr, len(data))
 	targets := m.writableNodes()
-	acks := make(chan bool, len(targets))
+	g := newQuorumGroup(len(targets), m.Majority(), func() {
+		unlock()
+		if release != nil {
+			release()
+		}
+	})
 	off := m.physDirect(addr)
 	for _, i := range targets {
-		go func(i int) {
-			c, err := m.conn(i)
-			if err == nil {
-				err = c.Write(replRegion, off, data)
-			}
+		i := i
+		m.enqueue(i, nodeReq{region: replRegion, offset: off, data: data, done: func(err error) {
 			if err != nil {
 				m.nodeFailed(i, err)
-				acks <- false
-				return
 			}
-			acks <- true
-		}(i)
+			g.ack(err)
+		}})
 	}
-	got := 0
-	for range targets {
-		if <-acks {
-			got++
+	if err := g.wait(); err != nil {
+		if oerr := m.checkOpen(); oerr != nil {
+			return oerr
 		}
+		return err
 	}
 	if err := m.checkOpen(); err != nil {
 		return err
-	}
-	if got < m.Majority() {
-		return fmt.Errorf("%w: %d of %d acks", ErrNoQuorum, got, len(m.nodes))
 	}
 	m.stats.directWrites.Add(1)
 	return nil
