@@ -1,14 +1,20 @@
 GO ?= go
 
-.PHONY: tier1 race bench-pipeline
+.PHONY: tier1 race chaos bench-pipeline
 
-# Tier-1 verification: everything builds and every test passes.
+# Tier-1 verification: everything vets, builds, and every test passes.
 tier1:
-	$(GO) build ./... && $(GO) test ./...
+	$(GO) vet ./... && $(GO) build ./... && $(GO) test ./...
 
-# Race-detector pass over the packages on the write hot path.
+# Race-detector pass over the packages on the write hot path and the
+# gray-failure machinery.
 race:
-	$(GO) test -race ./internal/rdma/... ./internal/repmem/... ./internal/kv/...
+	$(GO) test -race ./internal/rdma/... ./internal/repmem/... ./internal/kv/... ./internal/faultrdma/... ./internal/election/...
+
+# Chaos suite: fail-stop and gray-failure schedules against the in-process
+# cluster, twice, under the race detector.
+chaos:
+	$(GO) test -race -count=2 -run 'TestChaos' .
 
 # Pipelined-transport throughput benchmark (records EXPERIMENTS.md numbers).
 bench-pipeline:

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -170,4 +171,246 @@ func TestChaosErasureCoded(t *testing.T) {
 			t.Fatalf("key %s: read %q, want %q", k, got, want)
 		}
 	}
+}
+
+// grayConfig is smallConfig plus the fault-injection layer and aggressive
+// gray-failure detection knobs shared by the gray chaos tests.
+func grayConfig() Config {
+	cfg := smallConfig()
+	cfg.FaultInjection = true
+	cfg.OpDeadline = 80 * time.Millisecond
+	cfg.SuspectAfter = 2
+	cfg.NodeRecoveryInterval = 25 * time.Millisecond
+	return cfg
+}
+
+// healthState reports the coordinator's view of one memory node, or "" when
+// no coordinator is serving.
+func healthState(cl *Cluster, node string) string {
+	for _, h := range cl.Health() {
+		if h.Node == node {
+			return h.State
+		}
+	}
+	return ""
+}
+
+// TestChaosHungMemoryNode is the gray-failure acceptance test: one memory
+// node stays connected but stops responding (the paper's fail-stop model
+// never covers this — the connection is healthy, the host is not). Client
+// Puts must keep committing, and once the coordinator has marked the node
+// suspect each Put must complete within 2× the op deadline because quorum
+// writes no longer wait on it. When the node resumes, the recovery manager
+// repairs it and every acknowledged write is still readable.
+func TestChaosHungMemoryNode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos run in -short mode")
+	}
+	cfg := grayConfig()
+	cl := newTestCluster(t, cfg)
+	c := cl.Client()
+	c.RetryBudget = 20 * time.Second
+
+	acked := map[string]string{}
+	put := func(k, v string) {
+		t.Helper()
+		if err := c.Put([]byte(k), []byte(v)); err != nil {
+			t.Fatalf("put %s: %v", k, err)
+		}
+		acked[k] = v
+	}
+
+	for i := 0; i < 24; i++ {
+		put(fmt.Sprintf("k%d", i%12), fmt.Sprintf("v%d", i))
+	}
+	baseline := runtime.NumGoroutine()
+
+	victim := cl.MemoryNodes()[1]
+	cl.Faults().Node(victim).Hang()
+
+	// Drive writes until the coordinator stops trusting the victim. Puts
+	// commit throughout (quorum = the two healthy nodes); the victim's ops
+	// expire with rdma.ErrDeadline in the background and build the
+	// consecutive-timeout streak.
+	suspectBy := time.Now().Add(15 * time.Second)
+	for healthState(cl, victim) == "live" {
+		if time.Now().After(suspectBy) {
+			t.Fatalf("victim never left live state; health=%+v", cl.Health())
+		}
+		put(fmt.Sprintf("hung-k%d", len(acked)%12), fmt.Sprintf("hv%d", len(acked)))
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Logf("victim %s marked %q after deadline expiries", victim, healthState(cl, victim))
+
+	// With the victim excluded from the wait set, writes must be bounded by
+	// the healthy quorum, not the hung node: well under 2× the op deadline.
+	bound := 2 * cfg.OpDeadline
+	for i := 0; i < 20; i++ {
+		start := time.Now()
+		put(fmt.Sprintf("bounded-k%d", i), fmt.Sprintf("bv%d", i))
+		if elapsed := time.Since(start); elapsed >= bound {
+			t.Fatalf("put %d took %v with suspect node (bound %v)", i, elapsed, bound)
+		}
+	}
+	if s := cl.Stats(); s.Memory.NodeTimeouts == 0 {
+		t.Fatalf("expected deadline expiries in stats, got %+v", s.Memory)
+	}
+
+	// The node comes back: parked ops drain, the next probe succeeds, and
+	// the recovery manager rebuilds it from a healthy replica.
+	cl.Faults().Node(victim).Resume()
+	if err := cl.AwaitMemoryNodeRecovery(1, 20*time.Second); err != nil {
+		t.Fatalf("victim not repaired after resume: %v (health=%+v)", err, cl.Health())
+	}
+
+	// No goroutine leak: ops blocked on the hung node (heartbeat CAS,
+	// parked writes, probe reads) must all have completed or been fenced.
+	// Allow slack for transient recovery work and poll until stable.
+	deadline := time.Now().Add(10 * time.Second)
+	slack := 24
+	for runtime.NumGoroutine() > baseline+slack {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked across hang/resume: baseline %d, now %d", baseline, runtime.NumGoroutine())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	for k, want := range acked {
+		got, err := c.Get([]byte(k))
+		if err != nil {
+			t.Fatalf("get %s: %v", k, err)
+		}
+		if string(got) != want {
+			t.Fatalf("key %s: read %q, want %q", k, got, want)
+		}
+	}
+	t.Logf("hung-node chaos survived: %d keys verified, stats %+v", len(acked), cl.Stats().Memory)
+}
+
+// TestChaosSlowThenRecover covers the straggler flavour of gray failure: the
+// node answers every operation, just slower than the op deadline. The
+// coordinator must suspect it from deadline expiries alone (the connection
+// never errors), keep committing on the healthy quorum, and repair it once
+// its latency returns to normal.
+func TestChaosSlowThenRecover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos run in -short mode")
+	}
+	cfg := grayConfig()
+	cfg.OpDeadline = 40 * time.Millisecond
+	cl := newTestCluster(t, cfg)
+	c := cl.Client()
+	c.RetryBudget = 20 * time.Second
+
+	acked := map[string]string{}
+	put := func(k, v string) {
+		t.Helper()
+		if err := c.Put([]byte(k), []byte(v)); err != nil {
+			t.Fatalf("put %s: %v", k, err)
+		}
+		acked[k] = v
+	}
+
+	for i := 0; i < 16; i++ {
+		put(fmt.Sprintf("k%d", i%8), fmt.Sprintf("v%d", i))
+	}
+
+	// Every op to the victim now takes 3× the deadline. The transport fails
+	// the op at the deadline and executes it late; commits ride the quorum.
+	victim := cl.MemoryNodes()[2]
+	cl.Faults().Node(victim).SetDelay(3*cfg.OpDeadline, 0, 1.0)
+
+	suspectBy := time.Now().Add(15 * time.Second)
+	for healthState(cl, victim) == "live" {
+		if time.Now().After(suspectBy) {
+			t.Fatalf("slow victim never suspected; health=%+v", cl.Health())
+		}
+		put(fmt.Sprintf("slow-k%d", len(acked)%8), fmt.Sprintf("sv%d", len(acked)))
+		time.Sleep(5 * time.Millisecond)
+	}
+	if s := cl.Stats(); s.Memory.NodeSuspected == 0 && s.Memory.NodeFailures == 0 {
+		t.Fatalf("no suspicion or failure recorded for slow node: %+v", s.Memory)
+	}
+
+	// Latency recovers; the suspect probe sees a responsive node and routes
+	// it through full recovery back to live.
+	cl.Faults().Node(victim).SetDelay(0, 0, 0)
+	if err := cl.AwaitMemoryNodeRecovery(1, 20*time.Second); err != nil {
+		t.Fatalf("slow node not repaired after recovering: %v (health=%+v)", err, cl.Health())
+	}
+
+	for k, want := range acked {
+		got, err := c.Get([]byte(k))
+		if err != nil {
+			t.Fatalf("get %s: %v", k, err)
+		}
+		if string(got) != want {
+			t.Fatalf("key %s: read %q, want %q", k, got, want)
+		}
+	}
+}
+
+// TestChaosNetworkFlap bounces one memory node's network repeatedly and
+// checks the redial path: every flap fails in-flight ops, the circuit
+// breaker paces reconnection attempts while the node is down, and each
+// restart is healed by a redial plus background recovery. Committed data
+// survives every cycle.
+func TestChaosNetworkFlap(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos run in -short mode")
+	}
+	cfg := smallConfig()
+	cfg.NodeRecoveryInterval = 10 * time.Millisecond
+	cl := newTestCluster(t, cfg)
+	c := cl.Client()
+	c.RetryBudget = 20 * time.Second
+
+	acked := map[string]string{}
+	put := func(k, v string) {
+		t.Helper()
+		if err := c.Put([]byte(k), []byte(v)); err != nil {
+			t.Fatalf("put %s: %v", k, err)
+		}
+		acked[k] = v
+	}
+
+	victim := cl.MemoryNodes()[0]
+	seq := 0
+	for flap := 0; flap < 3; flap++ {
+		for i := 0; i < 8; i++ {
+			put(fmt.Sprintf("k%d", seq%16), fmt.Sprintf("v%d", seq))
+			seq++
+		}
+		cl.KillMemoryNode(victim)
+		// Writes keep committing while the node is down; redial attempts
+		// fail into the circuit breaker in the background.
+		for i := 0; i < 8; i++ {
+			put(fmt.Sprintf("k%d", seq%16), fmt.Sprintf("v%d", seq))
+			seq++
+			time.Sleep(5 * time.Millisecond)
+		}
+		cl.RestartMemoryNode(victim)
+		if err := cl.AwaitMemoryNodeRecovery(uint64(flap+1), 20*time.Second); err != nil {
+			t.Fatalf("flap %d: %v (health=%+v)", flap, err, cl.Health())
+		}
+	}
+
+	s := cl.Stats().Memory
+	if s.Redials == 0 {
+		t.Fatalf("no successful redials recorded across flaps: %+v", s)
+	}
+	if s.RedialErrors == 0 {
+		t.Fatalf("no failed redial attempts recorded while node was down: %+v", s)
+	}
+	for k, want := range acked {
+		got, err := c.Get([]byte(k))
+		if err != nil {
+			t.Fatalf("get %s: %v", k, err)
+		}
+		if string(got) != want {
+			t.Fatalf("key %s: read %q, want %q", k, got, want)
+		}
+	}
+	t.Logf("network flap survived: %d keys, redials=%d redialErrors=%d recovered=%d",
+		len(acked), s.Redials, s.RedialErrors, s.NodeRecovered)
 }

@@ -9,6 +9,7 @@ import (
 	"github.com/repro/sift/internal/core"
 	"github.com/repro/sift/internal/deploy"
 	"github.com/repro/sift/internal/election"
+	"github.com/repro/sift/internal/faultrdma"
 	"github.com/repro/sift/internal/kv"
 	"github.com/repro/sift/internal/memnode"
 	"github.com/repro/sift/internal/netsim"
@@ -27,6 +28,7 @@ type Cluster struct {
 
 	fabric  *netsim.Fabric
 	network *rdma.Network
+	faults  *faultrdma.Controller // nil unless cfg.FaultInjection
 
 	memNames []string
 
@@ -82,6 +84,8 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		return nil, err
 	}
 
+	mcfg.SuspectAfter = c.SuspectAfter
+	mcfg.DeadAfter = c.DeadAfter
 	cl := &Cluster{
 		cfg:     c,
 		kcfg:    kcfg,
@@ -89,6 +93,9 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		fabric:  fabric,
 		network: network,
 		runners: make(map[uint16]*cpuRunner),
+	}
+	if c.FaultInjection {
+		cl.faults = faultrdma.NewController(c.Seed, c.OpDeadline)
 	}
 	if c.PersistDir != "" {
 		db, err := persist.Open(c.PersistDir, persist.Options{Sync: true, CompactThreshold: 4 * kcfg.WALSlots})
@@ -126,18 +133,27 @@ func NewCluster(cfg Config) (*Cluster, error) {
 func (cl *Cluster) nodeConfig(id uint16) core.Config {
 	cpuName := fmt.Sprintf("cpu%d", id)
 	mcfg := cl.mcfg
-	mcfg.Dial = func(node string) (rdma.Verbs, error) {
-		return cl.network.Dial(cpuName, node, rdma.DialOpts{Exclusive: []rdma.RegionID{memnode.ReplRegionID}})
+	memDial := func(node string) (rdma.Verbs, error) {
+		return cl.network.Dial(cpuName, node, rdma.DialOpts{
+			Exclusive:  []rdma.RegionID{memnode.ReplRegionID},
+			OpDeadline: cl.cfg.OpDeadline,
+		})
 	}
+	electDial := func(node string) (rdma.Verbs, error) {
+		return cl.network.Dial(cpuName, node, rdma.DialOpts{OpDeadline: cl.cfg.OpDeadline})
+	}
+	if cl.faults != nil {
+		memDial = cl.faults.WrapDialer(memDial)
+		electDial = cl.faults.WrapDialer(electDial)
+	}
+	mcfg.Dial = memDial
 	return core.Config{
 		NodeID: id,
 		Election: election.Config{
 			MemoryNodes: cl.memNames,
 			AdminRegion: memnode.AdminRegionID,
 			AdminOffset: memnode.AdminWordOffset,
-			Dial: func(node string) (rdma.Verbs, error) {
-				return cl.network.Dial(cpuName, node, rdma.DialOpts{})
-			},
+			Dial:        electDial,
 			HeartbeatInterval: cl.cfg.HeartbeatInterval,
 			ReadInterval:      cl.cfg.ReadInterval,
 			MissedBeats:       cl.cfg.MissedBeats,
@@ -202,6 +218,20 @@ func (cl *Cluster) WaitForCoordinator(timeout time.Duration) error {
 		time.Sleep(time.Millisecond)
 	}
 	return ErrNoCoordinator
+}
+
+// Faults returns the fault-injection controller, or nil when the cluster
+// was built without Config.FaultInjection. Controller.Node(name) scopes
+// injections to one memory node.
+func (cl *Cluster) Faults() *faultrdma.Controller { return cl.faults }
+
+// Health reports the coordinator's per-memory-node gray-failure view
+// (nil when no coordinator is serving).
+func (cl *Cluster) Health() []repmem.NodeHealth {
+	if st := cl.coordinatorStore(); st != nil {
+		return st.MemoryHealth()
+	}
+	return nil
 }
 
 // MemoryNodes returns the memory node names (for failure injection).

@@ -49,6 +49,7 @@ func main() {
 		memWALSlot  = flag.Int("mem-wal-slot-size", 4096, "replicated-memory log slot bytes")
 		heartbeat   = flag.Duration("heartbeat", 7*time.Millisecond, "heartbeat write/read interval")
 		missed      = flag.Int("missed-beats", 3, "missed heartbeats before election")
+		opDeadline  = flag.Duration("op-deadline", time.Second, "per-operation RDMA deadline (0 disables; hung memory nodes fail ops with rdma.ErrDeadline)")
 	)
 	flag.Parse()
 
@@ -70,7 +71,10 @@ func main() {
 	}
 	mcfg.MemoryNodes = memNodes
 	mcfg.Dial = func(node string) (rdma.Verbs, error) {
-		return rdma.DialTCP(node, rdma.DialOpts{Exclusive: []rdma.RegionID{memnode.ReplRegionID}})
+		return rdma.DialTCP(node, rdma.DialOpts{
+			Exclusive:  []rdma.RegionID{memnode.ReplRegionID},
+			OpDeadline: *opDeadline,
+		})
 	}
 
 	node := core.NewCPUNode(core.Config{
@@ -80,7 +84,7 @@ func main() {
 			AdminRegion: memnode.AdminRegionID,
 			AdminOffset: memnode.AdminWordOffset,
 			Dial: func(node string) (rdma.Verbs, error) {
-				return rdma.DialTCP(node, rdma.DialOpts{})
+				return rdma.DialTCP(node, rdma.DialOpts{OpDeadline: *opDeadline})
 			},
 			HeartbeatInterval: *heartbeat,
 			ReadInterval:      *heartbeat,

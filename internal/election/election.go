@@ -405,6 +405,12 @@ func (e *Elector) electionRound(term uint16) Outcome {
 // when fewer than a majority of heartbeat writes succeed — either because a
 // newer term exists or because the coordinator lost connectivity to a
 // quorum; in both cases it must stop serving (paper §3.2).
+//
+// The round returns as soon as the quorum outcome is decided rather than
+// draining every node: a hung (gray) minority member would otherwise pin
+// every round at the full op deadline, stalling the published timestamp
+// long enough for backups to suspect a healthy coordinator. Stragglers
+// complete into the buffered channel and update lastSeen on their own.
 func (e *Elector) Heartbeat(term uint16, timestamp uint32) error {
 	mine := Word{Term: term, Node: e.cfg.NodeID, Timestamp: timestamp}
 	type result struct {
@@ -455,17 +461,21 @@ func (e *Elector) Heartbeat(term uint16, timestamp uint32) error {
 			ch <- result{node: node, observed: obs}
 		}(node)
 	}
-	renewed := 0
-	for range e.cfg.MemoryNodes {
+	renewed, failed := 0, 0
+	n := len(e.cfg.MemoryNodes)
+	for i := 0; i < n; i++ {
 		r := <-ch
 		if r.ok {
-			renewed++
+			if renewed++; renewed >= e.Majority() {
+				return nil
+			}
+		} else {
+			if failed++; failed > n-e.Majority() {
+				return ErrDethroned
+			}
 		}
 	}
-	if renewed < e.Majority() {
-		return ErrDethroned
-	}
-	return nil
+	return ErrDethroned
 }
 
 // HeartbeatInterval exposes the configured write period.

@@ -1,0 +1,143 @@
+package election
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/repro/sift/internal/faultrdma"
+	"github.com/repro/sift/internal/rdma"
+)
+
+// faultyGroup is testGroup with a fault-injection layer over every dial:
+// CAS traffic to the admin words sees drops and delays, some past the op
+// deadline — the paper's election protocol must stay safe (at most one
+// winner per term) when the memory fabric turns gray.
+func faultyGroup(t *testing.T, n int, seed int64) (*faultrdma.Controller, []string, func(id uint16) Config) {
+	t.Helper()
+	nw := rdma.NewNetwork(nil)
+	names := make([]string, n)
+	for i := 0; i < n; i++ {
+		names[i] = string(rune('a' + i))
+		node := rdma.NewNode(names[i])
+		node.Alloc(1, 64, false)
+		nw.AddNode(node)
+	}
+	const opDeadline = 20 * time.Millisecond
+	ctrl := faultrdma.NewController(seed, opDeadline)
+	mk := func(id uint16) Config {
+		return Config{
+			NodeID:      id,
+			MemoryNodes: names,
+			Dial: ctrl.WrapDialer(func(node string) (rdma.Verbs, error) {
+				return nw.Dial("cpu", node, rdma.DialOpts{OpDeadline: opDeadline})
+			}),
+			AdminRegion:       1,
+			HeartbeatInterval: time.Millisecond,
+			ReadInterval:      time.Millisecond,
+			MissedBeats:       3,
+			Seed:              int64(id) + 100,
+		}
+	}
+	return ctrl, names, mk
+}
+
+// TestElectionSafeUnderCASDelayAndLoss runs concurrent candidates while
+// every memory node drops 20% of operations and delays 30% — some past the
+// op deadline, so a candidate may see ErrDeadline for a CAS that actually
+// landed. Safety: no term ever has two winners. Liveness: the candidate
+// backoff (jittered inside Campaign) bounds the election storm and some
+// candidate wins within the test deadline.
+func TestElectionSafeUnderCASDelayAndLoss(t *testing.T) {
+	for round := 0; round < 5; round++ {
+		ctrl, names, mk := faultyGroup(t, 5, int64(round)*31+1)
+		for _, name := range names {
+			ctrl.Node(name).SetDrop(0.2)
+			ctrl.Node(name).SetDelay(15*time.Millisecond, 15*time.Millisecond, 0.3)
+		}
+
+		const candidates = 3
+		type res struct {
+			id   uint16
+			term uint16
+		}
+		ch := make(chan res, candidates*4)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		var wg sync.WaitGroup
+		for id := uint16(1); id <= candidates; id++ {
+			wg.Add(1)
+			go func(id uint16) {
+				defer wg.Done()
+				e := New(mk(id))
+				defer e.Close()
+				var words map[string]Word
+				for ctx.Err() == nil {
+					term, outcome, err := e.Campaign(ctx, words)
+					if err != nil {
+						// Injected quorum loss; back off briefly and retry.
+						select {
+						case <-ctx.Done():
+							return
+						case <-time.After(2 * time.Millisecond):
+						}
+						words = nil
+						continue
+					}
+					if outcome == Won {
+						ch <- res{id, term}
+						cancel()
+						return
+					}
+					words, err = e.AwaitSuspicion(ctx)
+					if err != nil {
+						return
+					}
+				}
+			}(id)
+		}
+		wg.Wait()
+		cancel()
+		close(ch)
+
+		winners := map[uint16][]uint16{}
+		for r := range ch {
+			winners[r.term] = append(winners[r.term], r.id)
+		}
+		if len(winners) == 0 {
+			t.Fatalf("round %d: no candidate won within the deadline (election storm unbounded)", round)
+		}
+		for term, ids := range winners {
+			if len(ids) > 1 {
+				t.Fatalf("round %d: term %d has %d winners: %v", round, term, len(ids), ids)
+			}
+		}
+	}
+}
+
+// TestElectionHeartbeatSurvivesGrayMinority checks a coordinator keeps its
+// lease when a minority of admin words is hung: heartbeats return at quorum
+// on the healthy majority instead of waiting out the hung node's deadline,
+// so the published timestamp keeps advancing at the configured interval.
+func TestElectionHeartbeatSurvivesGrayMinority(t *testing.T) {
+	ctrl, names, mk := faultyGroup(t, 3, 7)
+	e := New(mk(1))
+	defer e.Close()
+	term, outcome, err := e.Campaign(context.Background(), nil)
+	if err != nil || outcome != Won {
+		t.Fatalf("campaign: outcome=%v err=%v", outcome, err)
+	}
+	ctrl.Node(names[0]).Hang()
+	defer ctrl.Node(names[0]).Resume()
+	start := time.Now()
+	for ts := uint32(2); ts < 8; ts++ {
+		if err := e.Heartbeat(term, ts); err != nil {
+			t.Fatalf("heartbeat with gray minority, ts=%d: %v", ts, err)
+		}
+	}
+	// Six rounds against a 20ms op deadline: waiting out the hung node each
+	// round would cost ≥120ms; quorum-early return keeps the lease warm.
+	if elapsed := time.Since(start); elapsed >= 120*time.Millisecond {
+		t.Fatalf("6 heartbeat rounds took %v: rounds are waiting out the hung node instead of returning at quorum", elapsed)
+	}
+}

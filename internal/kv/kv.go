@@ -314,6 +314,9 @@ func (s *Store) Memory() *repmem.Memory { return s.mem }
 // MemoryStats returns the replicated memory layer's counters.
 func (s *Store) MemoryStats() repmem.Stats { return s.mem.Stats() }
 
+// MemoryHealth returns the per-memory-node gray-failure view.
+func (s *Store) MemoryHealth() []repmem.NodeHealth { return s.mem.Health() }
+
 // bucketOf hashes a key to its bucket.
 func (s *Store) bucketOf(key []byte) uint64 {
 	h := fnv.New64a()

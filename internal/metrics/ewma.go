@@ -1,0 +1,59 @@
+package metrics
+
+import "sync"
+
+// defaultEWMAAlpha weights a new observation at 20% — responsive enough to
+// notice a node turning gray within a handful of operations, smooth enough
+// not to suspect a node over one slow op.
+const defaultEWMAAlpha = 0.2
+
+// EWMA is an exponentially weighted moving average of a scalar series. The
+// zero value is ready to use (with the default smoothing factor) and safe
+// for concurrent use.
+type EWMA struct {
+	mu    sync.Mutex
+	alpha float64
+	v     float64
+	n     uint64
+}
+
+// NewEWMA creates an average with smoothing factor alpha in (0, 1]; higher
+// alpha weights recent observations more.
+func NewEWMA(alpha float64) *EWMA { return &EWMA{alpha: alpha} }
+
+// Observe folds x into the average. The first observation seeds the average
+// directly.
+func (e *EWMA) Observe(x float64) {
+	e.mu.Lock()
+	if e.alpha == 0 {
+		e.alpha = defaultEWMAAlpha
+	}
+	if e.n == 0 {
+		e.v = x
+	} else {
+		e.v = e.alpha*x + (1-e.alpha)*e.v
+	}
+	e.n++
+	e.mu.Unlock()
+}
+
+// Value returns the current average (0 before any observation).
+func (e *EWMA) Value() float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.v
+}
+
+// Count returns the number of observations folded in.
+func (e *EWMA) Count() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.n
+}
+
+// Reset discards all observations.
+func (e *EWMA) Reset() {
+	e.mu.Lock()
+	e.v, e.n = 0, 0
+	e.mu.Unlock()
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/repro/sift/internal/metrics"
 	"github.com/repro/sift/internal/netsim"
@@ -19,6 +20,17 @@ type DialOpts struct {
 	// Dialing revokes every prior connection's access to these regions.
 	// Regions not registered as exclusive are silently opened shared.
 	Exclusive []RegionID
+
+	// OpDeadline bounds every operation on the connection: an operation not
+	// remotely acknowledged within this duration completes with ErrDeadline,
+	// and the connection stays usable for later operations. Zero disables
+	// deadlines (operations may block for as long as the peer is silent).
+	OpDeadline time.Duration
+
+	// DialTimeout bounds connection establishment, including the region
+	// handshake. Zero means the transport's default (no limit for in-proc;
+	// OpDeadline, if set, for TCP).
+	DialTimeout time.Duration
 }
 
 // Network is an in-process RDMA network: a set of passive nodes joined by a
@@ -77,7 +89,7 @@ func (n *Network) Dial(src, dst string, opts DialOpts) (Verbs, error) {
 	if err := n.fabric.Transfer(src, dst, opHeaderSize); err != nil {
 		return nil, fmt.Errorf("rdma: dial %s: %w", dst, err)
 	}
-	c := &inprocConn{net: n, src: src, dst: dst, node: node, epochs: make(map[RegionID]uint64)}
+	c := &inprocConn{net: n, src: src, dst: dst, node: node, epochs: make(map[RegionID]uint64), opDeadline: opts.OpDeadline}
 	for _, id := range opts.Exclusive {
 		r := node.Region(id)
 		if r == nil {
@@ -111,8 +123,9 @@ type inprocConn struct {
 	dst  string
 	node *Node
 
-	closed atomic.Bool
-	epochs map[RegionID]uint64
+	closed     atomic.Bool
+	epochs     map[RegionID]uint64
+	opDeadline time.Duration
 
 	// subMu guards the submit channel's lifecycle: Submit sends while
 	// holding the read side so Close (write side) cannot close the channel
@@ -152,6 +165,10 @@ func (c *inprocConn) Submit(op *Op) {
 			return
 		}
 		if ch := c.subCh; ch != nil {
+			op.deadline = time.Time{}
+			if c.opDeadline > 0 {
+				op.deadline = time.Now().Add(c.opDeadline)
+			}
 			c.submitted.Add(1)
 			c.inflight.Inc()
 			ch <- op
@@ -180,24 +197,49 @@ func (c *inprocConn) startWorkers() {
 
 func (c *inprocConn) workerLoop(ch chan *Op) {
 	for op := range ch {
+		// Ops that expired while queued complete without executing; ops that
+		// expire during execution still executed remotely but report
+		// ErrDeadline, mirroring the TCP transport's ambiguity (the initiator
+		// cannot tell whether a late operation landed).
+		if !op.deadline.IsZero() && time.Now().After(op.deadline) {
+			c.inflight.Dec()
+			op.complete(ErrDeadline)
+			continue
+		}
 		var err error
 		switch op.Kind {
 		case OpRead:
-			err = c.Read(op.Region, op.Offset, op.Data)
+			err = c.read(op.Region, op.Offset, op.Data)
 		case OpWrite:
-			err = c.Write(op.Region, op.Offset, op.Data)
+			err = c.write(op.Region, op.Offset, op.Data)
 		case OpCAS:
-			op.Old, err = c.CompareAndSwap(op.Region, op.Offset, op.Expect, op.Swap)
+			op.Old, err = c.compareAndSwap(op.Region, op.Offset, op.Expect, op.Swap)
 		default:
 			err = fmt.Errorf("rdma: unknown op kind %d", op.Kind)
+		}
+		if err == nil && !op.deadline.IsZero() && time.Now().After(op.deadline) {
+			err = ErrDeadline
 		}
 		c.inflight.Dec()
 		op.complete(err)
 	}
 }
 
+// lateness converts an elapsed-past-deadline execution into ErrDeadline for
+// the blocking verb paths. Errors that already occurred take precedence.
+func (c *inprocConn) lateness(start time.Time, err error) error {
+	if err == nil && c.opDeadline > 0 && time.Since(start) > c.opDeadline {
+		return ErrDeadline
+	}
+	return err
+}
+
 // Read implements Verbs.
 func (c *inprocConn) Read(region RegionID, offset uint64, buf []byte) error {
+	return c.lateness(time.Now(), c.read(region, offset, buf))
+}
+
+func (c *inprocConn) read(region RegionID, offset uint64, buf []byte) error {
 	r, epoch, err := c.region(region)
 	if err != nil {
 		return err
@@ -213,6 +255,10 @@ func (c *inprocConn) Read(region RegionID, offset uint64, buf []byte) error {
 
 // Write implements Verbs.
 func (c *inprocConn) Write(region RegionID, offset uint64, data []byte) error {
+	return c.lateness(time.Now(), c.write(region, offset, data))
+}
+
+func (c *inprocConn) write(region RegionID, offset uint64, data []byte) error {
 	r, epoch, err := c.region(region)
 	if err != nil {
 		return err
@@ -229,6 +275,12 @@ func (c *inprocConn) Write(region RegionID, offset uint64, data []byte) error {
 
 // CompareAndSwap implements Verbs.
 func (c *inprocConn) CompareAndSwap(region RegionID, offset uint64, expect, swap uint64) (uint64, error) {
+	start := time.Now()
+	old, err := c.compareAndSwap(region, offset, expect, swap)
+	return old, c.lateness(start, err)
+}
+
+func (c *inprocConn) compareAndSwap(region RegionID, offset uint64, expect, swap uint64) (uint64, error) {
 	r, epoch, err := c.region(region)
 	if err != nil {
 		return 0, err

@@ -1,6 +1,9 @@
 package rdma
 
-import "sync"
+import (
+	"sync"
+	"time"
+)
 
 // Pipelined submission: both transports allow many operations in flight on
 // one connection, the way a real RNIC allows many work requests on one QP.
@@ -50,9 +53,16 @@ type Op struct {
 	// (such as the synchronous Verbs methods) that waits internally.
 	Done func(*Op)
 
-	id   uint64   // wire request ID, assigned by the transport
-	done chan *Op // internal completion channel for synchronous waits
+	id       uint64    // wire request ID, assigned by the transport
+	done     chan *Op  // internal completion channel for synchronous waits
+	deadline time.Time // completion deadline, assigned by the transport at Submit
 }
+
+// Complete delivers err as the operation's outcome, firing the completion
+// callback exactly once. It exists for transport implementations outside
+// this package (fault-injection wrappers and the like); ordinary submitters
+// never call it.
+func (op *Op) Complete(err error) { op.complete(err) }
 
 // complete delivers the outcome to whoever is waiting on the Op.
 func (op *Op) complete(err error) {
@@ -86,6 +96,9 @@ type PipelineStats struct {
 	// MaxInFlight is the high-water mark of concurrently outstanding
 	// operations on the connection.
 	MaxInFlight uint64
+	// Expiries counts operations abandoned by the deadline sweep
+	// (completed with ErrDeadline while still owed a response).
+	Expiries uint64
 }
 
 // PipelineStatser is implemented by connections that export PipelineStats.

@@ -40,6 +40,12 @@ var (
 	ErrMisaligned = errors.New("rdma: atomic access must be 8-byte aligned")
 	// ErrClosed indicates the connection has been closed.
 	ErrClosed = errors.New("rdma: connection closed")
+	// ErrDeadline indicates an operation exceeded the connection's per-op
+	// deadline. The remote node may or may not have executed the operation
+	// (it may still execute it later); callers must treat the outcome as
+	// unknown. The connection itself stays usable — gray-failure detection
+	// is built on these per-operation timeouts, not on connection liveness.
+	ErrDeadline = errors.New("rdma: operation deadline exceeded")
 )
 
 // RegionID names a registered memory region on a node.

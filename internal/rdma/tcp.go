@@ -9,6 +9,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/repro/sift/internal/metrics"
 )
@@ -323,29 +324,45 @@ func serveConn(conn net.Conn, node *Node) {
 	}
 }
 
+// maxExpiredIDs bounds the set of request IDs abandoned by the deadline
+// sweep whose responses are still owed by the peer. A peer that falls this
+// far behind is not gray, it is gone — the connection is failed outright.
+const maxExpiredIDs = 4096
+
 // tcpConn implements Submitter over a TCP connection to a memory node
 // daemon. Completion ownership: an Op is completed exactly once, by
 // whichever goroutine removes it from the queue or the pending map — the
-// writer for ops that never reach the wire, the reader for everything else.
+// writer for ops that never reach the wire, the reader for everything else,
+// and the deadline sweep for ops the peer left hanging past their deadline.
 type tcpConn struct {
-	conn net.Conn
-	br   *bufio.Reader
-	bw   *bufio.Writer
+	conn       net.Conn
+	br         *bufio.Reader
+	bw         *bufio.Writer
+	opDeadline time.Duration
 
-	// mu guards queue, pending, nextID and the sticky transport error; cond
-	// (on mu) wakes the writer. wmu serializes request serialization against
-	// failAll so an Op's Data buffer is never handed back to its owner while
-	// the writer may still be reading it.
+	// mu guards queue, pending, expired, nextID and the sticky transport
+	// error; cond (on mu) wakes the writer. wmu serializes request
+	// serialization against failAll and the deadline sweep so an Op's Data
+	// buffer is never handed back to its owner while the writer may still be
+	// reading it.
 	mu      sync.Mutex
 	cond    *sync.Cond
 	wmu     sync.Mutex
 	queue   []*Op
 	pending map[uint64]*Op
+	// expired records IDs of timed-out ops already completed with
+	// ErrDeadline; a late response for one is discarded instead of killing
+	// the connection.
+	expired map[uint64]struct{}
 	err     error
 	nextID  uint64
 
+	sweepStop chan struct{}
+	stopSweep sync.Once
+
 	submitted atomic.Uint64
 	flushes   atomic.Uint64
+	expiries  atomic.Uint64
 	inflight  metrics.Depth
 }
 
@@ -358,17 +375,27 @@ var (
 // opts.Exclusive are opened with at-most-one-connection semantics: the
 // daemon revokes all earlier exclusive holders.
 func DialTCP(addr string, opts DialOpts) (Verbs, error) {
-	conn, err := net.Dial("tcp", addr)
+	dialTimeout := opts.DialTimeout
+	if dialTimeout == 0 {
+		dialTimeout = opts.OpDeadline
+	}
+	conn, err := net.DialTimeout("tcp", addr, dialTimeout)
 	if err != nil {
 		return nil, err
 	}
 	c := &tcpConn{
-		conn:    conn,
-		br:      bufio.NewReaderSize(conn, 64<<10),
-		bw:      bufio.NewWriterSize(conn, 64<<10),
-		pending: make(map[uint64]*Op),
+		conn:       conn,
+		br:         bufio.NewReaderSize(conn, 64<<10),
+		bw:         bufio.NewWriterSize(conn, 64<<10),
+		pending:    make(map[uint64]*Op),
+		expired:    make(map[uint64]struct{}),
+		opDeadline: opts.OpDeadline,
+		sweepStop:  make(chan struct{}),
 	}
 	c.cond = sync.NewCond(&c.mu)
+	if dialTimeout > 0 {
+		conn.SetDeadline(time.Now().Add(dialTimeout))
+	}
 	c.bw.WriteString(tcpMagic)
 	binary.Write(c.bw, binary.LittleEndian, uint16(len(opts.Exclusive)))
 	for _, id := range opts.Exclusive {
@@ -387,8 +414,12 @@ func DialTCP(addr string, opts DialOpts) (Verbs, error) {
 		conn.Close()
 		return nil, statusToError(status)
 	}
+	conn.SetDeadline(time.Time{})
 	go c.writeLoop()
 	go c.readLoop()
+	if c.opDeadline > 0 {
+		go c.sweepLoop()
+	}
 	return c, nil
 }
 
@@ -403,8 +434,78 @@ func (c *tcpConn) fail(err error) error {
 	err = c.err
 	c.mu.Unlock()
 	c.cond.Broadcast()
+	if c.sweepStop != nil {
+		c.stopSweep.Do(func() { close(c.sweepStop) })
+	}
 	c.conn.Close()
 	return err
+}
+
+// sweepLoop periodically expires pending requests whose deadline has passed.
+// The sweep is what turns a hung-but-connected peer (a gray failure) into
+// per-operation ErrDeadline completions instead of an indefinitely blocked
+// demux reader.
+func (c *tcpConn) sweepLoop() {
+	period := c.opDeadline / 4
+	if period < time.Millisecond {
+		period = time.Millisecond
+	}
+	if period > 250*time.Millisecond {
+		period = 250 * time.Millisecond
+	}
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.sweepStop:
+			return
+		case now := <-t.C:
+			c.expireOverdue(now)
+		}
+	}
+}
+
+// expireOverdue completes every queued or in-flight op whose deadline has
+// passed with ErrDeadline. Taking wmu first keeps the sweep from completing
+// an op whose Data the writer is still serializing. Expired in-flight IDs
+// are remembered so their late responses can be discarded.
+func (c *tcpConn) expireOverdue(now time.Time) {
+	var victims []*Op
+	c.wmu.Lock()
+	c.mu.Lock()
+	if c.err != nil {
+		c.mu.Unlock()
+		c.wmu.Unlock()
+		return
+	}
+	for id, op := range c.pending {
+		if !op.deadline.IsZero() && now.After(op.deadline) {
+			delete(c.pending, id)
+			c.expired[id] = struct{}{}
+			victims = append(victims, op)
+		}
+	}
+	if len(c.queue) > 0 {
+		kept := c.queue[:0]
+		for _, op := range c.queue {
+			if !op.deadline.IsZero() && now.After(op.deadline) {
+				victims = append(victims, op)
+			} else {
+				kept = append(kept, op)
+			}
+		}
+		c.queue = kept
+	}
+	overrun := len(c.expired) > maxExpiredIDs
+	c.mu.Unlock()
+	c.wmu.Unlock()
+	for _, op := range victims {
+		c.expiries.Add(1)
+		c.finish(op, ErrDeadline)
+	}
+	if overrun {
+		c.failAll(c.fail(fmt.Errorf("%w: peer owes %d responses", ErrDeadline, maxExpiredIDs)))
+	}
 }
 
 // finish completes op and drops it from the in-flight gauge.
@@ -447,6 +548,10 @@ func (c *tcpConn) Submit(op *Op) {
 	if wire > maxWireData {
 		op.complete(fmt.Errorf("%w: transfer of %d bytes exceeds wire limit", ErrOutOfBounds, wire))
 		return
+	}
+	op.deadline = time.Time{}
+	if c.opDeadline > 0 {
+		op.deadline = time.Now().Add(c.opDeadline)
 	}
 	c.inflight.Inc()
 	c.submitted.Add(1)
@@ -537,6 +642,11 @@ func (c *tcpConn) writeLoop() {
 			c.pending[op.id] = op
 		}
 		c.mu.Unlock()
+		// Bound the push itself: a peer that stops draining its socket must
+		// not wedge the writer forever once the kernel buffers fill.
+		if c.opDeadline > 0 {
+			c.conn.SetWriteDeadline(time.Now().Add(c.opDeadline))
+		}
 		var werr error
 		for _, op := range batch {
 			if werr = c.encodeOp(op); werr != nil {
@@ -577,10 +687,27 @@ func (c *tcpConn) readLoop() {
 		c.mu.Lock()
 		op, ok := c.pending[id]
 		delete(c.pending, id)
+		var wasExpired bool
+		if !ok {
+			_, wasExpired = c.expired[id]
+			delete(c.expired, id)
+		}
 		c.mu.Unlock()
 		if !ok {
-			c.failAll(c.fail(fmt.Errorf("rdma: response for unknown request %d", id)))
-			return
+			if !wasExpired {
+				c.failAll(c.fail(fmt.Errorf("rdma: response for unknown request %d", id)))
+				return
+			}
+			// Late response for an op the deadline sweep already failed:
+			// swallow its payload and keep demultiplexing. The connection
+			// survives a gray episode.
+			if length > 0 {
+				if _, err := io.CopyN(io.Discard, c.br, int64(length)); err != nil {
+					c.failAll(c.fail(err))
+					return
+				}
+			}
+			continue
 		}
 
 		var opErr error
@@ -664,5 +791,6 @@ func (c *tcpConn) PipelineStats() PipelineStats {
 		Submitted:   c.submitted.Load(),
 		Flushes:     c.flushes.Load(),
 		MaxInFlight: uint64(c.inflight.Max()),
+		Expiries:    c.expiries.Load(),
 	}
 }

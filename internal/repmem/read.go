@@ -45,7 +45,7 @@ func (m *Memory) readPlain(addr uint64, buf []byte) error {
 			err = c.Read(replRegion, m.physMain(addr), buf)
 		}
 		if err != nil {
-			m.nodeFailed(i, err)
+			m.noteNodeError(i, err)
 			if e := m.checkOpen(); e != nil {
 				return e
 			}
@@ -77,7 +77,7 @@ func (m *Memory) readEC(addr uint64, buf []byte) error {
 					return nil
 				}
 			}
-			m.nodeFailed(j, err)
+			m.noteNodeError(j, err)
 			if e := m.checkOpen(); e != nil {
 				return e
 			}
@@ -130,7 +130,7 @@ func (m *Memory) readBlockEC(b uint64) ([]byte, error) {
 				continue
 			}
 		}
-		m.nodeFailed(j, err)
+		m.noteNodeError(j, err)
 		if e := m.checkOpen(); e != nil {
 			return nil, e
 		}
@@ -169,7 +169,7 @@ func (m *Memory) DirectRead(addr uint64, buf []byte) error {
 			err = c.Read(replRegion, m.physDirect(addr), buf)
 		}
 		if err != nil {
-			m.nodeFailed(i, err)
+			m.noteNodeError(i, err)
 			if e := m.checkOpen(); e != nil {
 				return e
 			}
@@ -207,7 +207,7 @@ func (m *Memory) DirectReadAll(addr uint64, size int) ([][]byte, error) {
 				continue
 			}
 		}
-		m.nodeFailed(i, err)
+		m.noteNodeError(i, err)
 		if e := m.checkOpen(); e != nil {
 			return nil, e
 		}

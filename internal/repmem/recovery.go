@@ -130,6 +130,16 @@ func bytesEqual(a, b []byte) bool {
 // this trade-off).
 const recoveryBatch = 64 << 10
 
+// suspectProbeLimit is how many consecutive failed probes a suspect node
+// gets before being declared dead outright.
+const suspectProbeLimit = 4
+
+// errSuspectRepair routes a responsive suspect through nodeFailed so the
+// ordinary dead-node recovery path repairs it: a suspect may have missed
+// best-effort writes while gray, so it must be rebuilt in full before it
+// serves reads again.
+var errSuspectRepair = fmt.Errorf("repmem: suspect node responsive, repairing")
+
 // StartRecovery launches the background recovery manager: a goroutine that
 // periodically polls failed memory nodes and reintegrates any that have
 // come back (paper §3.4.2). The returned function stops the manager.
@@ -148,7 +158,8 @@ func (m *Memory) StartRecovery(interval time.Duration) (stop func()) {
 				}
 				// Probe live nodes so failures are detected even on an idle
 				// group (ops would detect them too, but a read-from-cache
-				// workload may touch no memory node for a while).
+				// workload may touch no memory node for a while). Probe
+				// timeouts feed the same suspicion counters as op timeouts.
 				for _, i := range m.nodesInState(nodeLive) {
 					c, err := m.conn(i)
 					if err == nil {
@@ -156,9 +167,27 @@ func (m *Memory) StartRecovery(interval time.Duration) (stop func()) {
 						err = c.Read(replRegion, 0, probe[:])
 					}
 					if err != nil {
+						m.noteNodeError(i, err)
+					}
+				}
+				// Probe suspects: one that answers again is routed through
+				// the dead-node repair below (it may have missed best-effort
+				// writes while gray); one that keeps timing out is declared
+				// dead after suspectProbeLimit strikes.
+				for _, i := range m.nodesInState(nodeSuspect) {
+					c, err := m.conn(i)
+					if err == nil {
+						var probe [1]byte
+						err = c.Read(replRegion, 0, probe[:])
+					}
+					if err == nil {
+						m.health[i].probeFails.Store(0)
+						m.nodeFailed(i, errSuspectRepair)
+					} else if m.health[i].probeFails.Add(1) >= suspectProbeLimit {
 						m.nodeFailed(i, err)
 					}
 				}
+				m.checkStragglers()
 				for _, i := range m.nodesInState(nodeDead) {
 					if err := m.recoverNode(i); err == nil {
 						m.stats.nodeRecovered.Add(1)
@@ -170,12 +199,52 @@ func (m *Memory) StartRecovery(interval time.Duration) (stop func()) {
 	return func() { close(done) }
 }
 
+// checkStragglers marks live nodes whose smoothed write latency has drifted
+// far above the fastest live node's as suspect, so a node that is slow but
+// not hung (a gray straggler, Velos-style) stops delaying quorum writes.
+// Both a relative bar (StragglerFactor × the best live EWMA) and an
+// absolute floor (StragglerMinLatency) must be exceeded, and only nodes
+// with enough samples are judged.
+func (m *Memory) checkStragglers() {
+	const minSamples = 8
+	live := m.nodesInState(nodeLive)
+	if len(live) < 2 {
+		return
+	}
+	best := -1.0
+	for _, i := range live {
+		if m.health[i].ewma.Count() < minSamples {
+			continue
+		}
+		if v := m.health[i].ewma.Value(); best < 0 || v < best {
+			best = v
+		}
+	}
+	if best < 0 {
+		return
+	}
+	floor := float64(m.cfg.StragglerMinLatency.Microseconds())
+	for _, i := range live {
+		if m.health[i].ewma.Count() < minSamples {
+			continue
+		}
+		v := m.health[i].ewma.Value()
+		if v > best*m.cfg.StragglerFactor && v > floor {
+			m.suspectNode(i)
+		}
+	}
+}
+
 // RecoverNodeNow synchronously attempts to reintegrate the named memory
 // node. It is the hook tests and the failure-recovery benchmarks use to
-// avoid waiting for the background manager's poll tick.
+// avoid waiting for the background manager's poll tick. A suspect node is
+// demoted to dead first so it goes through the full rebuild.
 func (m *Memory) RecoverNodeNow(node string) error {
 	for i, n := range m.nodes {
 		if n == node {
+			if m.state[i].Load() == nodeSuspect {
+				m.nodeFailed(i, errSuspectRepair)
+			}
 			if m.state[i].Load() != nodeDead {
 				return nil
 			}
@@ -199,7 +268,10 @@ func (m *Memory) recoverNode(i int) error {
 	if err := m.checkOpen(); err != nil {
 		return err
 	}
-	// Reconnect. The old connection (if any) was dropped on failure.
+	// Reconnect. The old connection (if any) was dropped on failure. A
+	// recovery attempt is deliberate, so it bypasses the redial circuit
+	// breaker rather than waiting out a backoff opened by the hot path.
+	m.redialers[i].reset()
 	c, err := m.conn(i)
 	if err != nil {
 		return err
@@ -249,6 +321,9 @@ func (m *Memory) recoverNode(i int) error {
 		m.nodeFailed(i, err)
 		return err
 	}
+	m.health[i].consecTimeouts.Store(0)
+	m.health[i].probeFails.Store(0)
+	m.health[i].ewma.Reset()
 	m.state[i].Store(nodeLive)
 	m.publishMembership()
 	return nil
@@ -385,6 +460,16 @@ func (m *Memory) LiveMemoryNodes() []string {
 func (m *Memory) DeadMemoryNodes() []string {
 	var out []string
 	for _, i := range m.nodesInState(nodeDead) {
+		out = append(out, m.nodes[i])
+	}
+	return out
+}
+
+// SuspectMemoryNodes returns the names of nodes currently suspected gray:
+// excluded from quorum waits but still receiving writes best-effort.
+func (m *Memory) SuspectMemoryNodes() []string {
+	var out []string
+	for _, i := range m.nodesInState(nodeSuspect) {
 		out = append(out, m.nodes[i])
 	}
 	return out

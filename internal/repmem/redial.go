@@ -1,0 +1,105 @@
+package repmem
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"github.com/repro/sift/internal/rdma"
+)
+
+// ErrCircuitOpen means a node's redial circuit breaker is open: a recent
+// dial failed and the backoff window has not elapsed, so the attempt was
+// refused without touching the network.
+var ErrCircuitOpen = errors.New("repmem: redial circuit open")
+
+// redialer re-establishes one memory node's connection with jittered
+// exponential backoff. It is single-flight: concurrent callers serialize on
+// one dial attempt, and between failed attempts the circuit breaker fails
+// callers fast instead of hammering a dead peer. Dialing through cfg.Dial
+// re-registers the replicated region and re-acquires it exclusively, so a
+// successful redial re-fences any straggler writes still buffered on the
+// node's previous connection.
+type redialer struct {
+	node string
+	dial Dialer
+	min  time.Duration
+	max  time.Duration
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	failures int       // consecutive failed attempts
+	nextTry  time.Time // circuit stays open until then
+}
+
+func newRedialer(node string, dial Dialer, min, max time.Duration, seed int64) *redialer {
+	return &redialer{
+		node: node,
+		dial: dial,
+		min:  min,
+		max:  max,
+		rng:  rand.New(rand.NewSource(seed)),
+	}
+}
+
+// dialNow attempts to connect, honouring the circuit breaker. Holding mu
+// across the dial is what makes it single-flight.
+func (r *redialer) dialNow() (rdma.Verbs, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if wait := time.Until(r.nextTry); wait > 0 {
+		return nil, fmt.Errorf("%w: %s retries in %v (%d failures)",
+			ErrCircuitOpen, r.node, wait.Round(time.Millisecond), r.failures)
+	}
+	v, err := r.dial(r.node)
+	if err != nil {
+		r.failures++
+		r.nextTry = time.Now().Add(r.backoffLocked())
+		return nil, err
+	}
+	r.failures = 0
+	r.nextTry = time.Time{}
+	return v, nil
+}
+
+// backoffLocked returns the next backoff: min·2^(failures-1) capped at max,
+// with ±50% uniform jitter so a cluster of coordinators does not redial a
+// recovering node in lockstep.
+func (r *redialer) backoffLocked() time.Duration {
+	b := r.min
+	for n := 1; n < r.failures; n++ {
+		b *= 2
+		if b >= r.max {
+			b = r.max
+			break
+		}
+	}
+	if b > r.max {
+		b = r.max
+	}
+	// Jitter in [b/2, 3b/2).
+	return b/2 + time.Duration(r.rng.Int63n(int64(b)))
+}
+
+// reset closes the circuit so the next dialNow attempts immediately. Used
+// by deliberate recovery attempts, which are already rate-limited by the
+// recovery manager's poll interval; the hot write/read paths keep failing
+// fast through the breaker.
+func (r *redialer) reset() {
+	r.mu.Lock()
+	r.failures = 0
+	r.nextTry = time.Time{}
+	r.mu.Unlock()
+}
+
+// snapshot reports the circuit state for health export.
+func (r *redialer) snapshot() (failures int, openFor time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if wait := time.Until(r.nextTry); wait > 0 {
+		openFor = wait
+	}
+	return r.failures, openFor
+}

@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/repro/sift/internal/erasure"
 	"github.com/repro/sift/internal/memnode"
@@ -55,6 +56,7 @@ const (
 	nodeLive    int32 = iota // serving reads, receiving writes
 	nodeDead                 // unreachable; excluded from everything
 	nodeSyncing              // reconnected; receiving writes, not yet readable
+	nodeSuspect              // gray: quorums stop waiting on it, writes continue best-effort
 )
 
 // Dialer opens an RDMA connection to a memory node with the replicated
@@ -98,6 +100,30 @@ type Config struct {
 	// OnFenced, if set, is called once when the layer discovers it has been
 	// fenced by a newer coordinator.
 	OnFenced func()
+
+	// SuspectAfter is the number of consecutive per-operation deadline
+	// expiries (rdma.ErrDeadline) after which a live node is marked suspect:
+	// quorum writes stop waiting on it while it keeps receiving writes
+	// best-effort (default 2). Suspicion requires a transport configured
+	// with an op deadline — without one, gray nodes are indistinguishable
+	// from slow ones.
+	SuspectAfter int
+	// DeadAfter is the number of consecutive deadline expiries after which
+	// a node is declared dead outright and handed to the recovery manager
+	// (default 16).
+	DeadAfter int
+	// StragglerFactor marks a live node suspect when its EWMA write latency
+	// exceeds StragglerFactor times the fastest live node's (default 16).
+	StragglerFactor float64
+	// StragglerMinLatency is the absolute EWMA floor below which the
+	// straggler check never fires, preventing false suspicion when all
+	// nodes are fast (default 2ms).
+	StragglerMinLatency time.Duration
+	// RedialBackoffMin and RedialBackoffMax bound the jittered exponential
+	// backoff between reconnection attempts to a failed node (defaults
+	// 10ms and 2s).
+	RedialBackoffMin time.Duration
+	RedialBackoffMax time.Duration
 }
 
 func (c *Config) withDefaults() Config {
@@ -113,6 +139,24 @@ func (c *Config) withDefaults() Config {
 	}
 	if out.WALSlots <= 0 {
 		out.WALSlots = 32 * 1024
+	}
+	if out.SuspectAfter <= 0 {
+		out.SuspectAfter = 2
+	}
+	if out.DeadAfter <= 0 {
+		out.DeadAfter = 16
+	}
+	if out.StragglerFactor <= 0 {
+		out.StragglerFactor = 16
+	}
+	if out.StragglerMinLatency <= 0 {
+		out.StragglerMinLatency = 2 * time.Millisecond
+	}
+	if out.RedialBackoffMin <= 0 {
+		out.RedialBackoffMin = 10 * time.Millisecond
+	}
+	if out.RedialBackoffMax <= 0 {
+		out.RedialBackoffMax = 2 * time.Second
 	}
 	return out
 }
@@ -175,6 +219,10 @@ type Stats struct {
 	DecodedReads  uint64 // main-space reads requiring erasure decoding
 	NodeFailures  uint64 // memory node failure detections
 	NodeRecovered uint64 // memory node recoveries completed
+	NodeTimeouts  uint64 // per-operation deadline expiries observed
+	NodeSuspected uint64 // live → suspect transitions (gray-failure detections)
+	Redials       uint64 // successful reconnections to failed nodes
+	RedialErrors  uint64 // failed reconnection attempts (circuit-breaker refusals excluded)
 
 	// Pipeline counters (per-node worker queues + transport connections).
 	Enqueued         uint64 // write ops handed to per-node workers
@@ -195,9 +243,12 @@ type Memory struct {
 	code   *erasure.Code // nil when EC disabled
 	chunk  int           // EC chunk size C; 0 when disabled
 
-	nodes []string
-	conns []atomic.Pointer[connBox]
-	state []atomic.Int32
+	nodes     []string
+	conns     []atomic.Pointer[connBox]
+	dialMu    []sync.Mutex // per-node: serializes dial-and-store in conn
+	state     []atomic.Int32
+	health    []nodeHealth
+	redialers []*redialer
 
 	locks       *lockTable // main space
 	directLocks *lockTable // direct space
@@ -229,8 +280,17 @@ type Memory struct {
 		writes, directWrites, applies    atomic.Uint64
 		reads, remoteReads, decodedReads atomic.Uint64
 		nodeFailures, nodeRecovered      atomic.Uint64
+		nodeTimeouts, nodeSuspected      atomic.Uint64
+		redials, redialErrors            atomic.Uint64
 		enqueued, queueWaitUs            atomic.Uint64
 	}
+}
+
+// nodeHealth tracks one node's gray-failure signals.
+type nodeHealth struct {
+	ewma           metrics.EWMA // write latency, µs
+	consecTimeouts atomic.Int32
+	probeFails     atomic.Int32 // consecutive failed suspect probes
 }
 
 // connBox wraps a connection so a nil pointer distinguishes "never dialed".
@@ -249,6 +309,7 @@ func New(cfg Config) (*Memory, error) {
 		layout:      c.Layout(),
 		nodes:       c.MemoryNodes,
 		conns:       make([]atomic.Pointer[connBox], len(c.MemoryNodes)),
+		dialMu:      make([]sync.Mutex, len(c.MemoryNodes)),
 		state:       make([]atomic.Int32, len(c.MemoryNodes)),
 		locks:       newLockTable(c.LockStripes),
 		directLocks: newLockTable(c.LockStripes),
@@ -257,6 +318,11 @@ func New(cfg Config) (*Memory, error) {
 		nextIndex:   1,
 	}
 	m.seqCond = sync.NewCond(&m.seqMu)
+	m.health = make([]nodeHealth, len(c.MemoryNodes))
+	m.redialers = make([]*redialer, len(c.MemoryNodes))
+	for i, node := range c.MemoryNodes {
+		m.redialers[i] = newRedialer(node, c.Dial, c.RedialBackoffMin, c.RedialBackoffMax, int64(i)+1)
+	}
 	m.geo = m.layout.WALGeometry()
 	m.slotPool.New = func() any {
 		b := make([]byte, m.geo.SlotSize)
@@ -399,6 +465,10 @@ func (m *Memory) Stats() Stats {
 		DecodedReads:  m.stats.decodedReads.Load(),
 		NodeFailures:  m.stats.nodeFailures.Load(),
 		NodeRecovered: m.stats.nodeRecovered.Load(),
+		NodeTimeouts:  m.stats.nodeTimeouts.Load(),
+		NodeSuspected: m.stats.nodeSuspected.Load(),
+		Redials:       m.stats.redials.Load(),
+		RedialErrors:  m.stats.redialErrors.Load(),
 		Enqueued:      m.stats.enqueued.Load(),
 		QueueWaitUs:   m.stats.queueWaitUs.Load(),
 		MaxQueueDepth: uint64(m.queueDepth.Max()),
@@ -428,20 +498,30 @@ func (m *Memory) getSlot() []byte { return *m.slotPool.Get().(*[]byte) }
 // putSlot recycles a slot buffer once no write referencing it is in flight.
 func (m *Memory) putSlot(b []byte) { m.slotPool.Put(&b) }
 
-// conn returns node i's connection, dialing it if needed.
+// conn returns node i's connection, redialing through the node's
+// circuit-breaking redialer when it has been dropped. A node that was down
+// at connect time joins later through exactly this path.
 func (m *Memory) conn(i int) (rdma.Verbs, error) {
 	if b := m.conns[i].Load(); b != nil {
 		return b.v, nil
 	}
-	v, err := m.cfg.Dial(m.nodes[i])
+	// Double-checked per-node lock: concurrent callers must not both dial,
+	// because the loser's exclusive-region Acquire would fence the winner's
+	// fresh connection (dialing at all revokes the prior holder).
+	m.dialMu[i].Lock()
+	defer m.dialMu[i].Unlock()
+	if b := m.conns[i].Load(); b != nil {
+		return b.v, nil
+	}
+	v, err := m.redialers[i].dialNow()
 	if err != nil {
+		if !errors.Is(err, ErrCircuitOpen) {
+			m.stats.redialErrors.Add(1)
+		}
 		return nil, err
 	}
-	box := &connBox{v: v}
-	if !m.conns[i].CompareAndSwap(nil, box) {
-		v.Close()
-		return m.conns[i].Load().v, nil
-	}
+	m.stats.redials.Add(1)
+	m.conns[i].Store(&connBox{v: v})
 	return v, nil
 }
 
@@ -463,6 +543,53 @@ func (m *Memory) nodeFailed(i int, err error) {
 	if b := m.conns[i].Swap(nil); b != nil {
 		b.v.Close()
 	}
+}
+
+// suspectNode marks a live node gray: quorum writes stop waiting on it,
+// reads avoid it, and it keeps receiving writes best-effort until it either
+// proves responsive (and is repaired through the recovery path) or is
+// declared dead.
+func (m *Memory) suspectNode(i int) {
+	if m.state[i].CompareAndSwap(nodeLive, nodeSuspect) {
+		m.stats.nodeSuspected.Add(1)
+		// The node may miss best-effort writes from here on; record its
+		// absence for any successor coordinator, off the caller's hot path.
+		go m.publishMembership()
+	}
+}
+
+// noteNodeError classifies a failed operation against node i. Deadline
+// expiries feed the gray-failure accounting — a hung peer is suspected
+// after SuspectAfter consecutive timeouts and declared dead after
+// DeadAfter — while every other error means the transport itself failed
+// and the node is declared dead immediately.
+func (m *Memory) noteNodeError(i int, err error) {
+	if err == nil {
+		return
+	}
+	if errors.Is(err, rdma.ErrDeadline) {
+		m.stats.nodeTimeouts.Add(1)
+		n := int(m.health[i].consecTimeouts.Add(1))
+		if n >= m.cfg.DeadAfter {
+			m.nodeFailed(i, err)
+		} else if n >= m.cfg.SuspectAfter {
+			m.suspectNode(i)
+		}
+		return
+	}
+	m.nodeFailed(i, err)
+}
+
+// noteOpResult records a completed write against node i: successes feed the
+// EWMA latency and clear the timeout streak, failures go through
+// noteNodeError.
+func (m *Memory) noteOpResult(i int, lat time.Duration, err error) {
+	if err == nil {
+		m.health[i].ewma.Observe(float64(lat.Microseconds()))
+		m.health[i].consecTimeouts.Store(0)
+		return
+	}
+	m.noteNodeError(i, err)
 }
 
 // fence marks the memory as fenced and fires the callback once.
@@ -509,6 +636,72 @@ func (m *Memory) writableNodes() []int {
 		}
 	}
 	return out
+}
+
+// writeTargets partitions a write fan-out: wait lists the nodes whose
+// completions the caller counts (live + syncing); bestEffort lists suspect
+// nodes, which receive the write without anyone waiting on them. When the
+// wait set alone cannot reach need, suspects are promoted back into it
+// (degraded mode): a majority ack must always mean a true majority of the
+// full membership, never a majority of the healthy subset.
+func (m *Memory) writeTargets(need int) (wait, bestEffort []int) {
+	for i := range m.nodes {
+		switch m.state[i].Load() {
+		case nodeLive, nodeSyncing:
+			wait = append(wait, i)
+		case nodeSuspect:
+			bestEffort = append(bestEffort, i)
+		}
+	}
+	if len(wait) < need && len(bestEffort) > 0 {
+		wait = append(wait, bestEffort...)
+		bestEffort = nil
+	}
+	return wait, bestEffort
+}
+
+// NodeHealth is one memory node's gray-failure view, exported for the
+// cluster health surface and the chaos tests.
+type NodeHealth struct {
+	Node           string
+	State          string  // "live", "suspect", "syncing", or "dead"
+	EWMALatencyUs  float64 // smoothed write latency in microseconds
+	ConsecTimeouts int     // current consecutive deadline-expiry streak
+	RedialFailures int     // consecutive failed reconnection attempts
+	RedialBackoff  time.Duration // time until the next redial attempt; 0 when the circuit is closed
+}
+
+// Health snapshots every node's liveness state, latency EWMA, timeout
+// streak, and redial circuit-breaker state.
+func (m *Memory) Health() []NodeHealth {
+	out := make([]NodeHealth, len(m.nodes))
+	for i, node := range m.nodes {
+		failures, openFor := m.redialers[i].snapshot()
+		out[i] = NodeHealth{
+			Node:           node,
+			State:          stateName(m.state[i].Load()),
+			EWMALatencyUs:  m.health[i].ewma.Value(),
+			ConsecTimeouts: int(m.health[i].consecTimeouts.Load()),
+			RedialFailures: failures,
+			RedialBackoff:  openFor,
+		}
+	}
+	return out
+}
+
+func stateName(s int32) string {
+	switch s {
+	case nodeLive:
+		return "live"
+	case nodeDead:
+		return "dead"
+	case nodeSyncing:
+		return "syncing"
+	case nodeSuspect:
+		return "suspect"
+	default:
+		return "unknown"
+	}
 }
 
 // Close tears down all connections and stops background work. It does not

@@ -97,14 +97,21 @@ func (m *Memory) nodeWorkerLoop(i int, ch chan nodeReq) {
 	for req := range ch {
 		m.queueDepth.Dec()
 		m.stats.queueWaitUs.Add(uint64(time.Since(req.enq).Microseconds()))
+		// conn redials through the circuit breaker, so a node that was down
+		// at connect time (or lost its connection mid-run) is re-established
+		// from the write path itself, not only by the recovery manager.
 		conn, err := m.conn(i)
 		if err != nil {
+			m.noteNodeError(i, err)
 			req.done(err)
 			continue
 		}
+		start := time.Now()
 		sub, ok := conn.(rdma.Submitter)
 		if !ok {
-			req.done(conn.Write(req.region, req.offset, req.data))
+			err := conn.Write(req.region, req.offset, req.data)
+			m.noteOpResult(i, time.Since(start), err)
+			req.done(err)
 			continue
 		}
 		op := opPool.Get().(*rdma.Op)
@@ -117,10 +124,22 @@ func (m *Memory) nodeWorkerLoop(i int, ch chan nodeReq) {
 			err := o.Err
 			*o = rdma.Op{}
 			opPool.Put(o)
+			m.noteOpResult(i, time.Since(start), err)
 			done(err)
 		}
 		sub.Submit(op)
 	}
+}
+
+// enqueueBestEffort sends a write to a suspect node without making any
+// caller wait on it. The payload is copied — the caller's buffer may be
+// pooled and recycled the moment the waited-on completions finish, while a
+// gray node can sit on this op until its deadline — and the outcome feeds
+// only the health accounting in the worker.
+func (m *Memory) enqueueBestEffort(i int, region rdma.RegionID, offset uint64, data []byte) {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	m.enqueue(i, nodeReq{region: region, offset: offset, data: cp, done: func(error) {}})
 }
 
 // quorumGroup tracks one fan-out's completions. wait returns as soon as the
@@ -135,7 +154,7 @@ type quorumGroup struct {
 	need      int
 	acks      int
 	decided   bool
-	err       error
+	failed    bool
 	decCh     chan struct{}
 	onAll     func()
 }
@@ -146,7 +165,7 @@ func newQuorumGroup(total, need int, onAll func()) *quorumGroup {
 	g := &quorumGroup{remaining: total, total: total, need: need, decCh: make(chan struct{}), onAll: onAll}
 	if need > total {
 		g.decided = true
-		g.err = fmt.Errorf("%w: %d of %d acks", ErrNoQuorum, 0, total)
+		g.failed = true
 		close(g.decCh)
 	}
 	if total == 0 {
@@ -174,7 +193,7 @@ func (g *quorumGroup) ack(err error) {
 			close(g.decCh)
 		} else if g.acks+g.remaining < g.need {
 			g.decided = true
-			g.err = fmt.Errorf("%w: %d of %d acks", ErrNoQuorum, g.acks, g.total)
+			g.failed = true
 			close(g.decCh)
 		}
 	}
@@ -185,10 +204,16 @@ func (g *quorumGroup) ack(err error) {
 	}
 }
 
-// wait blocks until the outcome is decided and returns it.
+// wait blocks until the outcome is decided and returns it. The failure
+// message reads the ack counter at report time, so acks that arrived before
+// (or even after) the fatal decision are reflected instead of the
+// zero-value count the group was born with.
 func (g *quorumGroup) wait() error {
 	<-g.decCh
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	return g.err
+	if g.failed {
+		return fmt.Errorf("%w: %d of %d acks (need %d)", ErrNoQuorum, g.acks, g.total, g.need)
+	}
+	return nil
 }

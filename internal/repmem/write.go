@@ -107,20 +107,19 @@ func (m *Memory) WriteBatch(writes []wal.Write) error {
 
 // appendQuorum writes a WAL slot image to every writable node through the
 // per-node workers and returns once a majority has acknowledged (or the
-// quorum is unreachable). allDone runs exactly once, after the last node
-// completes — success or failure — when slot may be recycled.
+// quorum is unreachable). allDone runs exactly once, after the last
+// waited-on node completes — success or failure — when slot may be
+// recycled. Suspect nodes receive the slot best-effort on a private copy,
+// so a gray node neither delays the quorum nor pins the slot buffer.
 func (m *Memory) appendQuorum(idx uint64, slot []byte, allDone func()) error {
 	offset := m.geo.SlotOffset(idx)
-	targets := m.writableNodes()
-	g := newQuorumGroup(len(targets), m.Majority(), allDone)
-	for _, i := range targets {
-		i := i
-		m.enqueue(i, nodeReq{region: replRegion, offset: offset, data: slot, done: func(err error) {
-			if err != nil {
-				m.nodeFailed(i, err)
-			}
-			g.ack(err)
-		}})
+	wait, bestEffort := m.writeTargets(m.Majority())
+	g := newQuorumGroup(len(wait), m.Majority(), allDone)
+	for _, i := range wait {
+		m.enqueue(i, nodeReq{region: replRegion, offset: offset, data: slot, done: g.ack})
+	}
+	for _, i := range bestEffort {
+		m.enqueueBestEffort(i, replRegion, offset, slot)
 	}
 	if err := g.wait(); err != nil {
 		if oerr := m.checkOpen(); oerr != nil {
@@ -157,11 +156,15 @@ func (m *Memory) applyEntry(entry wal.Entry) {
 	}
 }
 
-// fanOutWait enqueues a write to every writable node and blocks until all
-// completions arrive. Apply paths must wait for every node (not just a
-// majority): the caller's range lock is what keeps a straggler write from
-// racing a later write to the same address, so it cannot be released while
-// any node's write is outstanding.
+// fanOutWait enqueues a write to every waited-on node and blocks until all
+// their completions arrive. Apply paths must wait for every non-suspect
+// node (not just a majority): the caller's range lock is what keeps a
+// straggler write from racing a later write to the same address, so it
+// cannot be released while any waited-on node's write is outstanding.
+// Suspect nodes get the write best-effort on a copied buffer — their
+// eventual completion is bounded by the transport deadline and cannot race
+// a later write to the same range because the node is repaired through
+// full recovery (under the same locks) before it serves reads again.
 func (m *Memory) fanOutWait(region rdma.RegionID, offset uint64, data []byte, targets []int) {
 	if len(targets) == 0 {
 		return
@@ -169,11 +172,7 @@ func (m *Memory) fanOutWait(region rdma.RegionID, offset uint64, data []byte, ta
 	var wg sync.WaitGroup
 	wg.Add(len(targets))
 	for _, i := range targets {
-		i := i
 		m.enqueue(i, nodeReq{region: region, offset: offset, data: data, done: func(err error) {
-			if err != nil {
-				m.nodeFailed(i, err)
-			}
 			wg.Done()
 		}})
 	}
@@ -181,9 +180,14 @@ func (m *Memory) fanOutWait(region rdma.RegionID, offset uint64, data []byte, ta
 }
 
 // applyPlain writes data at a main-space address to all writable nodes
-// (full-replication layout).
+// (full-replication layout); suspects are written best-effort.
 func (m *Memory) applyPlain(addr uint64, data []byte) {
-	m.fanOutWait(replRegion, m.physMain(addr), data, m.writableNodes())
+	wait, bestEffort := m.writeTargets(0)
+	offset := m.physMain(addr)
+	for _, i := range bestEffort {
+		m.enqueueBestEffort(i, replRegion, offset, data)
+	}
+	m.fanOutWait(replRegion, offset, data, wait)
 }
 
 // applyEC applies a main-space update under erasure coding: each affected
@@ -217,18 +221,17 @@ func (m *Memory) applyEC(addr uint64, data []byte) {
 			continue
 		}
 		physOff := m.layout.MainBase() + b*uint64(m.chunk)
-		targets := m.writableNodes()
-		if len(targets) == 0 {
+		wait, bestEffort := m.writeTargets(0)
+		for _, i := range bestEffort {
+			m.enqueueBestEffort(i, replRegion, physOff, chunks[i])
+		}
+		if len(wait) == 0 {
 			continue
 		}
 		var wg sync.WaitGroup
-		wg.Add(len(targets))
-		for _, i := range targets {
-			i := i
+		wg.Add(len(wait))
+		for _, i := range wait {
 			m.enqueue(i, nodeReq{region: replRegion, offset: physOff, data: chunks[i], done: func(err error) {
-				if err != nil {
-					m.nodeFailed(i, err)
-				}
 				wg.Done()
 			}})
 		}
@@ -277,22 +280,19 @@ func (m *Memory) directWrite(addr uint64, data []byte, release func()) error {
 	// recovery copy or a later write to the same range on that node would
 	// resurrect stale bytes.
 	unlock := m.directLocks.lockRange(addr, len(data))
-	targets := m.writableNodes()
-	g := newQuorumGroup(len(targets), m.Majority(), func() {
+	wait, bestEffort := m.writeTargets(m.Majority())
+	g := newQuorumGroup(len(wait), m.Majority(), func() {
 		unlock()
 		if release != nil {
 			release()
 		}
 	})
 	off := m.physDirect(addr)
-	for _, i := range targets {
-		i := i
-		m.enqueue(i, nodeReq{region: replRegion, offset: off, data: data, done: func(err error) {
-			if err != nil {
-				m.nodeFailed(i, err)
-			}
-			g.ack(err)
-		}})
+	for _, i := range wait {
+		m.enqueue(i, nodeReq{region: replRegion, offset: off, data: data, done: g.ack})
+	}
+	for _, i := range bestEffort {
+		m.enqueueBestEffort(i, replRegion, off, data)
 	}
 	if err := g.wait(); err != nil {
 		if oerr := m.checkOpen(); oerr != nil {
@@ -331,7 +331,16 @@ func (m *Memory) UnloggedWrite(addr uint64, data []byte) error {
 	if err := m.checkOpen(); err != nil {
 		return err
 	}
-	if len(m.writableNodes()) < m.Majority() {
+	// Suspects count toward the quorum here: they still hold the data from
+	// before they turned gray plus best-effort copies of everything since,
+	// and are repaired in full before rejoining reads.
+	alive := 0
+	for i := range m.nodes {
+		if m.state[i].Load() != nodeDead {
+			alive++
+		}
+	}
+	if alive < m.Majority() {
 		return fmt.Errorf("%w: lost quorum during unlogged write", ErrNoQuorum)
 	}
 	return nil

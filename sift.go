@@ -107,6 +107,24 @@ type Config struct {
 	// period (default 250ms).
 	NodeRecoveryInterval time.Duration
 
+	// OpDeadline bounds every one-sided verb (READ/WRITE/CAS): an
+	// operation outstanding longer than this fails with rdma.ErrDeadline
+	// instead of blocking its submitter, which is what lets the cluster
+	// detect hung-but-connected (gray) memory nodes. Default 1s; negative
+	// disables per-operation deadlines entirely.
+	OpDeadline time.Duration
+	// SuspectAfter and DeadAfter are the consecutive deadline-expiry
+	// counts after which a memory node is suspected gray (excluded from
+	// quorum waits, written best-effort) and declared dead (defaults 2
+	// and 16).
+	SuspectAfter int
+	DeadAfter    int
+
+	// FaultInjection interposes a fault-injection layer between CPU nodes
+	// and the fabric; Faults() then controls per-memory-node drop, delay,
+	// hang, and dial failures. For chaos tests only — off by default.
+	FaultInjection bool
+
 	// Latency selects the simulated fabric profile.
 	Latency LatencyProfile
 
@@ -164,6 +182,12 @@ func (c *Config) withDefaults() Config {
 	}
 	if out.NodeRecoveryInterval <= 0 {
 		out.NodeRecoveryInterval = 250 * time.Millisecond
+	}
+	if out.OpDeadline == 0 {
+		out.OpDeadline = time.Second
+	}
+	if out.OpDeadline < 0 {
+		out.OpDeadline = 0
 	}
 	if out.Seed == 0 {
 		out.Seed = 1
