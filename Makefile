@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 race chaos bench-pipeline
+.PHONY: tier1 race chaos linearize bench-pipeline
 
 # Tier-1 verification: everything vets, builds, and every test passes.
 tier1:
@@ -12,9 +12,17 @@ race:
 	$(GO) test -race ./internal/rdma/... ./internal/repmem/... ./internal/kv/... ./internal/faultrdma/... ./internal/election/...
 
 # Chaos suite: fail-stop and gray-failure schedules against the in-process
-# cluster, twice, under the race detector.
-chaos:
+# cluster, twice, under the race detector. The 'TestChaos' pattern also
+# covers the TestChaosLinearize* scenarios.
+chaos: linearize
 	$(GO) test -race -count=2 -run 'TestChaos' .
+
+# Linearizability: checker unit tests, client retry regression tests, and
+# the chaos linearizability scenarios, under the race detector with a
+# bounded duration.
+linearize:
+	$(GO) test -race -timeout 5m ./internal/linearize/
+	$(GO) test -race -timeout 10m -run 'TestRetriable|TestClient|TestAmbiguous|TestNoCoordinatorWithoutSends|TestChaosLinearize' .
 
 # Pipelined-transport throughput benchmark (records EXPERIMENTS.md numbers).
 bench-pipeline:

@@ -5,9 +5,13 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
+	"sort"
 	"sync"
 	"testing"
 	"time"
+
+	"github.com/repro/sift/internal/linearize"
+	"github.com/repro/sift/internal/workload"
 )
 
 // TestChaosCommittedWritesSurvive runs a write/read workload while
@@ -413,4 +417,177 @@ func TestChaosNetworkFlap(t *testing.T) {
 	}
 	t.Logf("network flap survived: %d keys, redials=%d redialErrors=%d recovered=%d",
 		len(acked), s.Redials, s.RedialErrors, s.NodeRecovered)
+}
+
+// --- Chaos linearizability suite ---------------------------------------
+//
+// The tests above assert liveness and data presence; the TestChaosLinearize*
+// scenarios assert the client-visible ordering itself. A fleet of
+// instrumented clients records every op (including ambiguous outcomes) into
+// one shared history while faults fire, and internal/linearize then decides
+// whether the cluster's responses admit any legal sequential execution —
+// the paper's §5 safety claim, checked mechanically.
+
+// runLinearizeClients starts n instrumented clients running a mixed
+// unique-value workload over a small keyspace against cl, invokes disturb
+// while they run, then stops them and verifies the recorded history
+// linearizes at the default checker timeout.
+func runLinearizeClients(t *testing.T, cl *Cluster, n int, disturb func()) {
+	t.Helper()
+	rec := linearize.NewRecorder()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c := cl.Client()
+			c.ClientID = id
+			c.History = rec
+			c.RetryBudget = 20 * time.Second
+			gen := workload.NewGenerator(workload.Config{
+				Mix: workload.Mixed, Keys: 8, ValueSize: 16,
+				Seed: int64(1000 + id), UniqueValues: true,
+				ClientID: id, DeleteRatio: 0.1,
+			})
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				op := gen.Next()
+				var err error
+				switch {
+				case op.Read:
+					_, err = c.Get(op.Key)
+				case op.Delete:
+					err = c.Delete(op.Key)
+				default:
+					err = c.Put(op.Key, op.Value)
+				}
+				// ErrNoCoordinator also covers ErrAmbiguous (it wraps it);
+				// both are legal under faults and modeled by the recorder.
+				if err != nil && !errors.Is(err, ErrNotFound) && !errors.Is(err, ErrNoCoordinator) {
+					t.Errorf("client %d: unexpected error %v", id, err)
+					return
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+		}(i)
+	}
+
+	disturb()
+	close(stop)
+	wg.Wait()
+
+	hist := rec.History()
+	open := 0
+	for _, o := range hist {
+		if o.Ambiguous() {
+			open++
+		}
+	}
+	rep := linearize.Check(hist, linearize.DefaultTimeout)
+	if rep.Result != linearize.Ok {
+		// Dump the offending partition in invocation order for debugging.
+		var bad []linearize.Op
+		for _, o := range hist {
+			if o.Key == rep.Key {
+				bad = append(bad, o)
+			}
+		}
+		sort.Slice(bad, func(i, j int) bool { return bad[i].Invoke < bad[j].Invoke })
+		for _, o := range bad {
+			t.Logf("  c%-2d %-6s in=%q out=%q notFound=%v [%d, %d]",
+				o.ClientID, o.Kind, o.In, o.Out, o.NotFound, o.Invoke, o.Return)
+		}
+		for _, o := range rep.Frontier {
+			t.Logf("  frontier: c%-2d %-6s in=%q out=%q notFound=%v [%d, %d]",
+				o.ClientID, o.Kind, o.In, o.Out, o.NotFound, o.Invoke, o.Return)
+		}
+		t.Fatalf("history of %d ops (%d open) over %d keys: %v on key %q",
+			rep.Ops, open, rep.Keys, rep.Result, rep.Key)
+	}
+	t.Logf("linearized %d ops (%d open) over %d keys in %v", rep.Ops, open, rep.Keys, rep.Elapsed)
+}
+
+// TestChaosLinearizeHungNodeElection: a memory node hangs gray (connection
+// up, host silent) and the coordinator is killed mid-traffic, forcing an
+// election that must fence the old regime — any acknowledged write that the
+// fencing loses would show up as a non-linearizable read.
+func TestChaosLinearizeHungNodeElection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos run in -short mode")
+	}
+	cfg := grayConfig()
+	cl := newTestCluster(t, cfg)
+	if err := cl.WaitForCoordinator(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	victim := cl.MemoryNodes()[1]
+	runLinearizeClients(t, cl, 10, func() {
+		time.Sleep(150 * time.Millisecond)
+		cl.Faults().Node(victim).Hang()
+		time.Sleep(250 * time.Millisecond)
+		if _, err := cl.ForceFailover(50, 10*time.Second); err != nil {
+			t.Error(err)
+		}
+		time.Sleep(250 * time.Millisecond)
+		cl.Faults().Node(victim).Resume()
+		time.Sleep(200 * time.Millisecond)
+	})
+}
+
+// TestChaosLinearizeDropDelay: one memory node drops 20% of ops and delays
+// another 30% past the op deadline — the quorum path must keep acks honest
+// while per-node retries and suspicion churn underneath.
+func TestChaosLinearizeDropDelay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos run in -short mode")
+	}
+	cfg := grayConfig()
+	cl := newTestCluster(t, cfg)
+	if err := cl.WaitForCoordinator(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	lossy := cl.Faults().Node(cl.MemoryNodes()[2])
+	runLinearizeClients(t, cl, 12, func() {
+		time.Sleep(100 * time.Millisecond)
+		lossy.SetDrop(0.2)
+		lossy.SetDelay(2*cfg.OpDeadline, cfg.OpDeadline, 0.3)
+		time.Sleep(900 * time.Millisecond)
+		lossy.SetDrop(0)
+		lossy.SetDelay(0, 0, 0)
+		time.Sleep(150 * time.Millisecond)
+	})
+}
+
+// TestChaosLinearizeNetworkFlap: a memory node's network flaps twice; the
+// circuit-breaker redial plus background recovery must reintegrate it
+// without resurrecting stale state into the read path.
+func TestChaosLinearizeNetworkFlap(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos run in -short mode")
+	}
+	cfg := smallConfig()
+	cfg.NodeRecoveryInterval = 10 * time.Millisecond
+	cl := newTestCluster(t, cfg)
+	if err := cl.WaitForCoordinator(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	victim := cl.MemoryNodes()[0]
+	runLinearizeClients(t, cl, 8, func() {
+		for flap := 0; flap < 2; flap++ {
+			time.Sleep(150 * time.Millisecond)
+			cl.KillMemoryNode(victim)
+			time.Sleep(150 * time.Millisecond)
+			cl.RestartMemoryNode(victim)
+			if err := cl.AwaitMemoryNodeRecovery(uint64(flap+1), 20*time.Second); err != nil {
+				t.Errorf("flap %d: %v (health=%+v)", flap, err, cl.Health())
+				return
+			}
+		}
+		time.Sleep(150 * time.Millisecond)
+	})
 }

@@ -2,9 +2,12 @@ package sift
 
 import (
 	"errors"
+	"math/rand"
 	"time"
 
 	"github.com/repro/sift/internal/kv"
+	"github.com/repro/sift/internal/linearize"
+	"github.com/repro/sift/internal/rdma"
 	"github.com/repro/sift/internal/repmem"
 )
 
@@ -18,6 +21,11 @@ type Client struct {
 	// RetryBudget bounds how long an operation may wait across failovers
 	// (default 10s).
 	RetryBudget time.Duration
+	// ClientID labels this client's operations in the recorded History.
+	ClientID int
+	// History, when non-nil, records every operation's invocation and
+	// outcome — including ambiguous ones — for linearizability checking.
+	History *linearize.Recorder
 }
 
 func (c *Client) budget() time.Duration {
@@ -27,22 +35,46 @@ func (c *Client) budget() time.Duration {
 	return 10 * time.Second
 }
 
-// retriable reports whether an error indicates a coordinator transition
-// (as opposed to a caller mistake), so the operation should be retried
-// against the next coordinator.
+// retriable reports whether an error indicates a coordinator transition or
+// transport fault (as opposed to a caller mistake), so the operation should
+// be retried against the next coordinator. Transport deadline/teardown
+// errors are included even though repmem normally folds them into
+// ErrNoQuorum: an op that races a coordinator hang can still surface one
+// raw, and it must not reach the caller when retry budget remains.
 func retriable(err error) bool {
 	return errors.Is(err, kv.ErrClosed) ||
 		errors.Is(err, repmem.ErrFenced) ||
 		errors.Is(err, repmem.ErrClosed) ||
-		errors.Is(err, repmem.ErrNoQuorum)
+		errors.Is(err, repmem.ErrNoQuorum) ||
+		errors.Is(err, rdma.ErrDeadline) ||
+		errors.Is(err, rdma.ErrClosed)
+}
+
+// jitteredBackoff spreads b uniformly over [b/2, 3b/2) — same scheme as
+// internal/repmem's redialer — and caps the sleep at remaining, so the herd
+// desynchronizes and the final retry still lands inside the budget instead
+// of sleeping through it. A nil rng uses the process-global source.
+func jitteredBackoff(b, remaining time.Duration, rng *rand.Rand) time.Duration {
+	var d time.Duration
+	if rng != nil {
+		d = b/2 + time.Duration(rng.Int63n(int64(b)))
+	} else {
+		d = b/2 + time.Duration(rand.Int63n(int64(b)))
+	}
+	if d > remaining {
+		d = remaining
+	}
+	return d
 }
 
 // do runs op against the current coordinator, retrying across failovers
-// with exponential backoff (bounded), so a herd of waiting clients does not
-// starve the very takeover it is waiting for.
+// with jittered exponential backoff. When the budget expires it returns
+// ErrAmbiguous if at least one attempt reached a coordinator (the op may
+// have committed) and plain ErrNoCoordinator if none did.
 func (c *Client) do(op func(*kv.Store) error) error {
 	deadline := time.Now().Add(c.budget())
 	backoff := time.Millisecond
+	sent := false
 	for {
 		st := c.cluster.coordinatorStore()
 		if st != nil {
@@ -50,25 +82,63 @@ func (c *Client) do(op func(*kv.Store) error) error {
 			if err == nil || !retriable(err) {
 				return err
 			}
+			sent = true
 		}
-		if time.Now().After(deadline) {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			if sent {
+				return ErrAmbiguous
+			}
 			return ErrNoCoordinator
 		}
-		time.Sleep(backoff)
+		time.Sleep(jitteredBackoff(backoff, remaining, nil))
 		if backoff < 16*time.Millisecond {
 			backoff *= 2
 		}
 	}
 }
 
+// finishWrite resolves a recorded put/delete against its outcome. A write
+// whose fate is unknown stays in the history open-ended; only errors that
+// guarantee the op never reached the log discard it.
+func finishWrite(p *linearize.Pending, err error) {
+	switch {
+	case err == nil:
+		p.Commit("", false)
+	case errors.Is(err, ErrAmbiguous):
+		p.Ambiguous()
+	case errors.Is(err, ErrNoCoordinator), errors.Is(err, kv.ErrTooLarge):
+		p.Discard()
+	default:
+		p.Ambiguous()
+	}
+}
+
+// finishGet resolves a recorded get. Failed reads carry no information and
+// leave the history.
+func finishGet(p *linearize.Pending, out []byte, err error) {
+	switch {
+	case err == nil:
+		p.Commit(string(out), false)
+	case errors.Is(err, ErrNotFound):
+		p.Commit("", true)
+	default:
+		p.Discard()
+	}
+}
+
 // Put stores value under key. It returns once the update is committed on a
 // majority of memory nodes.
 func (c *Client) Put(key, value []byte) error {
-	return c.do(func(st *kv.Store) error { return st.Put(key, value) })
+	p := c.History.Invoke(c.ClientID, linearize.KindPut, string(key), string(value))
+	err := c.do(func(st *kv.Store) error { return st.Put(key, value) })
+	finishWrite(p, err)
+	return err
 }
 
 // Get returns the value stored under key, or ErrNotFound.
 func (c *Client) Get(key []byte) ([]byte, error) {
+	p := c.History.Invoke(c.ClientID, linearize.KindGet, string(key), "")
 	var out []byte
 	err := c.do(func(st *kv.Store) error {
 		v, err := st.Get(key)
@@ -79,8 +149,9 @@ func (c *Client) Get(key []byte) ([]byte, error) {
 		return nil
 	})
 	if errors.Is(err, kv.ErrNotFound) {
-		return nil, ErrNotFound
+		err = ErrNotFound
 	}
+	finishGet(p, out, err)
 	if err != nil {
 		return nil, err
 	}
@@ -89,7 +160,10 @@ func (c *Client) Get(key []byte) ([]byte, error) {
 
 // Delete removes key. Deleting a missing key is not an error.
 func (c *Client) Delete(key []byte) error {
-	return c.do(func(st *kv.Store) error { return st.Delete(key) })
+	p := c.History.Invoke(c.ClientID, linearize.KindDelete, string(key), "")
+	err := c.do(func(st *kv.Store) error { return st.Delete(key) })
+	finishWrite(p, err)
+	return err
 }
 
 // Pair is one update in a PutBatch; a nil Value deletes the key.
@@ -100,6 +174,24 @@ type Pair = kv.Pair
 // write interleaves between them (paper §3.3.2's multi-write commit). The
 // whole batch must fit in one log slot — use it for a handful of related
 // small updates, not bulk loading.
+//
+// History records each pair as its own per-key write (the per-key checker
+// cannot express cross-key atomicity; see internal/linearize).
 func (c *Client) PutBatch(pairs []Pair) error {
-	return c.do(func(st *kv.Store) error { return st.PutBatch(pairs) })
+	var ps []*linearize.Pending
+	if c.History != nil {
+		ps = make([]*linearize.Pending, 0, len(pairs))
+		for _, pr := range pairs {
+			if pr.Value == nil {
+				ps = append(ps, c.History.Invoke(c.ClientID, linearize.KindDelete, string(pr.Key), ""))
+			} else {
+				ps = append(ps, c.History.Invoke(c.ClientID, linearize.KindPut, string(pr.Key), string(pr.Value)))
+			}
+		}
+	}
+	err := c.do(func(st *kv.Store) error { return st.PutBatch(pairs) })
+	for _, p := range ps {
+		finishWrite(p, err)
+	}
+	return err
 }

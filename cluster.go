@@ -309,6 +309,25 @@ func (cl *Cluster) StartCPUNode(id uint16) {
 	cl.startCPUNodeLocked(id)
 }
 
+// ForceFailover deterministically triggers a coordinator change: it crashes
+// the current coordinator, starts a replacement CPU node under the given id
+// (0 skips the replacement; an id already running is left alone), and waits
+// for a successor to win the election. It returns the new coordinator's id.
+func (cl *Cluster) ForceFailover(replacement uint16, timeout time.Duration) (uint16, error) {
+	old := cl.KillCoordinator()
+	if replacement != 0 {
+		cl.StartCPUNode(replacement)
+	}
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if id := cl.Coordinator(); id != 0 && id != old {
+			return id, nil
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return 0, fmt.Errorf("sift: no successor coordinator within %v (killed %d)", timeout, old)
+}
+
 // Stats reports cluster-level counters from the current coordinator.
 type Stats struct {
 	CoordinatorID uint16

@@ -103,9 +103,9 @@ func (s *Store) commitBatch(recs []record) error {
 	}
 	for _, r := range recs {
 		if r.op == opDelete {
-			s.cache.put(string(r.key), nil, true)
+			s.cache.put(string(r.key), nil, true, idx)
 		} else {
-			s.cache.put(string(r.key), r.value, true)
+			s.cache.put(string(r.key), r.value, true, idx)
 		}
 	}
 	for _, t := range tasks {

@@ -22,6 +22,7 @@ type cacheEntry struct {
 	key     string
 	value   []byte // nil = tombstone
 	pending int    // outstanding unapplied updates
+	seq     uint64 // log index of value; cache must converge to log order
 }
 
 // newCache creates a cache holding up to capacity entries. Capacity 0
@@ -51,18 +52,29 @@ func (c *cache) get(key string) (value []byte, tombstone, ok bool) {
 
 // put inserts or refreshes a committed value. pin marks one pending apply
 // (unpinned later with unpin). A nil value records a delete tombstone.
-func (c *cache) put(key string, value []byte, pin bool) {
+//
+// seq is the record's log index. Commits to the same key race here in
+// quorum-completion order, which is not log order; recovery and the shard
+// appliers both replay the log in index order, so the cache must converge
+// to the same order or reads flip across a failover. A pin is always
+// counted (its apply task will unpin regardless), but the value only wins
+// when seq >= the entry's — >= so the later records of a same-index batch
+// override the earlier ones in batch order.
+func (c *cache) put(key string, value []byte, pin bool, seq uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.entries[key]; ok {
 		e := el.Value.(*cacheEntry)
-		e.value = value
 		if pin {
 			e.pending++
 		}
+		if seq >= e.seq {
+			e.value = value
+			e.seq = seq
+		}
 		c.order.MoveToFront(el)
 	} else {
-		e := &cacheEntry{key: key, value: value}
+		e := &cacheEntry{key: key, value: value, seq: seq}
 		if pin {
 			e.pending = 1
 		}

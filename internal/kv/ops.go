@@ -91,9 +91,9 @@ func (s *Store) commitRecord(r record) error {
 	// Committed: the cache immediately reflects the new value so gets see it
 	// before the background apply lands; the pin keeps it resident until then.
 	if r.op == opDelete {
-		s.cache.put(string(r.key), nil, true)
+		s.cache.put(string(r.key), nil, true, task.idx)
 	} else {
-		s.cache.put(string(r.key), r.value, true)
+		s.cache.put(string(r.key), r.value, true, task.idx)
 	}
 	task.ok = true
 	close(task.committed)

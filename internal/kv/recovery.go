@@ -85,9 +85,9 @@ func (s *Store) recover() error {
 				return fmt.Errorf("kv recovery: replay %d: %w", e.Index, err)
 			}
 			if rec.op == opDelete {
-				s.cache.put(string(rec.key), nil, false)
+				s.cache.put(string(rec.key), nil, false, e.Index)
 			} else {
-				s.cache.put(string(rec.key), rec.value, false)
+				s.cache.put(string(rec.key), rec.value, false, e.Index)
 			}
 		}
 		if e.Index > maxIdx {

@@ -1,0 +1,275 @@
+package linearize
+
+import (
+	"sort"
+	"time"
+)
+
+// Result is a checker verdict.
+type Result int
+
+// Verdicts.
+const (
+	// Ok: the history has at least one legal linearization.
+	Ok Result = iota
+	// Nonlinearizable: no linearization exists — a consistency violation.
+	Nonlinearizable
+	// Undecided: the search hit its wall-clock timeout before deciding.
+	Undecided
+)
+
+// String returns the verdict name.
+func (r Result) String() string {
+	switch r {
+	case Ok:
+		return "linearizable"
+	case Nonlinearizable:
+		return "NOT linearizable"
+	case Undecided:
+		return "undecided (checker timeout)"
+	default:
+		return "unknown"
+	}
+}
+
+// DefaultTimeout bounds a Check call when the caller passes no timeout.
+const DefaultTimeout = 10 * time.Second
+
+// Report is a Check outcome.
+type Report struct {
+	Result Result
+	// Key identifies the offending partition when Result is not Ok.
+	Key string
+	// Ops and Keys size the checked history.
+	Ops  int
+	Keys int
+	// Elapsed is the total search time.
+	Elapsed time.Duration
+	// Frontier holds the earliest-invoked operations (up to a handful) that
+	// the deepest partial linearization could not order — the usual place
+	// to start reading a Nonlinearizable verdict.
+	Frontier []Op
+}
+
+// Check verifies that history is linearizable under the per-key register
+// model: each key is an independent register with Put/Get/Delete, so the
+// history partitions by key (Wing–Gong locality: a history is linearizable
+// iff each per-key subhistory is) and each partition is searched
+// independently. The search is the WGL algorithm with memoized visited
+// (linearized-set, register-state) pairs; timeout (DefaultTimeout when
+// <= 0) bounds the total wall clock, and an expired search reports
+// Undecided for the partition it was in rather than hanging.
+//
+// Partitioning is also the model's limit: cross-key atomicity (PutBatch) is
+// not checked.
+func Check(history []Op, timeout time.Duration) Report {
+	if timeout <= 0 {
+		timeout = DefaultTimeout
+	}
+	start := time.Now()
+	deadline := start.Add(timeout)
+
+	perKey := make(map[string][]Op)
+	for _, o := range history {
+		perKey[o.Key] = append(perKey[o.Key], o)
+	}
+	keys := make([]string, 0, len(perKey))
+	for k := range perKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	rep := Report{Result: Ok, Ops: len(history), Keys: len(keys)}
+	for _, k := range keys {
+		if res, frontier := checkKey(perKey[k], deadline); res != Ok {
+			rep.Result = res
+			rep.Key = k
+			rep.Frontier = frontier
+			break
+		}
+	}
+	rep.Elapsed = time.Since(start)
+	return rep
+}
+
+// event is one endpoint of an operation on the doubly linked entry list.
+// Invoke events carry a match pointer to their return event; lifting an
+// operation splices both out, and unlift restores them from their stale
+// prev/next pointers (which is why lifted nodes are never reused).
+type event struct {
+	op     int // index into the partition's ops
+	invoke bool
+	t      int64
+	match  *event // invoke → its return event
+	prev   *event
+	next   *event
+}
+
+// lift removes e (an invoke) and its return from the list.
+func lift(e *event) {
+	e.prev.next = e.next
+	if e.next != nil {
+		e.next.prev = e.prev
+	}
+	m := e.match
+	m.prev.next = m.next
+	if m.next != nil {
+		m.next.prev = m.prev
+	}
+}
+
+// unlift reinserts e and its return, in reverse order of lift.
+func unlift(e *event) {
+	m := e.match
+	m.prev.next = m
+	if m.next != nil {
+		m.next.prev = m
+	}
+	e.prev.next = e
+	if e.next != nil {
+		e.next.prev = e
+	}
+}
+
+// apply runs op against the register state (present, value) and reports
+// whether the op's recorded outcome is consistent, plus the successor state.
+func apply(o *Op, present bool, value string) (ok, nPresent bool, nValue string) {
+	switch o.Kind {
+	case KindPut:
+		return true, true, o.In
+	case KindDelete:
+		return true, false, ""
+	default: // KindGet
+		if o.NotFound {
+			return !present, present, value
+		}
+		return present && value == o.Out, present, value
+	}
+}
+
+// checkKey runs the WGL search over one key's subhistory. On a non-Ok
+// verdict it also returns the frontier: the earliest-invoked ops the deepest
+// partial linearization left unordered.
+func checkKey(ops []Op, deadline time.Time) (Result, []Op) {
+	n := len(ops)
+	if n == 0 {
+		return Ok, nil
+	}
+
+	// Build the time-ordered event list. Timestamps are unique except for
+	// open returns (all ∞, mutual order immaterial); an op's return always
+	// sorts after its invoke because the recorder's sequence is increasing.
+	events := make([]*event, 0, 2*n)
+	for i := range ops {
+		inv := &event{op: i, invoke: true, t: ops[i].Invoke}
+		ret := &event{op: i, t: ops[i].Return}
+		inv.match = ret
+		events = append(events, inv, ret)
+	}
+	sort.SliceStable(events, func(a, b int) bool {
+		if events[a].t != events[b].t {
+			return events[a].t < events[b].t
+		}
+		return events[a].invoke && !events[b].invoke
+	})
+	head := &event{op: -1}
+	for prev, i := head, 0; i < len(events); i++ {
+		prev.next = events[i]
+		events[i].prev = prev
+		prev = events[i]
+	}
+
+	// frame is one tentative linearization on the backtracking stack.
+	type frame struct {
+		ev      *event
+		present bool
+		value   string
+	}
+	var (
+		stack      []frame
+		words      = (n + 63) / 64
+		linearized = make([]uint64, words)
+		deepest    = make([]uint64, words) // largest linearized set reached
+		deepestLen = -1
+		visited    = make(map[string]struct{})
+		present    bool
+		value      string
+		steps      uint
+	)
+	// frontier reports the earliest-invoked ops outside the deepest partial
+	// linearization — diagnostics for a failed or expired search.
+	frontier := func() []Op {
+		var out []Op
+		for i := 0; i < n; i++ {
+			if deepest[i/64]&(1<<uint(i%64)) == 0 {
+				out = append(out, ops[i])
+			}
+		}
+		sort.Slice(out, func(a, b int) bool { return out[a].Invoke < out[b].Invoke })
+		if len(out) > 8 {
+			out = out[:8]
+		}
+		return out
+	}
+	// stateKey encodes (linearized set, register state) for memoization.
+	stateKey := func(p bool, v string) string {
+		b := make([]byte, 0, 8*words+1+len(v))
+		for _, w := range linearized {
+			b = append(b, byte(w), byte(w>>8), byte(w>>16), byte(w>>24),
+				byte(w>>32), byte(w>>40), byte(w>>48), byte(w>>56))
+		}
+		if p {
+			b = append(b, 1)
+			b = append(b, v...)
+		} else {
+			b = append(b, 0)
+		}
+		return string(b)
+	}
+
+	e := head.next
+	for head.next != nil {
+		if steps++; steps&255 == 0 && time.Now().After(deadline) {
+			return Undecided, frontier()
+		}
+		if e.invoke {
+			// A minimal op: its invoke precedes every unlinearized return
+			// still on the list. Try to linearize it here.
+			ok, nPresent, nValue := apply(&ops[e.op], present, value)
+			if ok {
+				linearized[e.op/64] |= 1 << uint(e.op%64)
+				key := stateKey(nPresent, nValue)
+				if _, seen := visited[key]; seen {
+					// This (set, state) was already explored and failed.
+					linearized[e.op/64] &^= 1 << uint(e.op%64)
+					e = e.next
+					continue
+				}
+				visited[key] = struct{}{}
+				stack = append(stack, frame{ev: e, present: present, value: value})
+				present, value = nPresent, nValue
+				lift(e)
+				if len(stack) > deepestLen {
+					deepestLen = len(stack)
+					copy(deepest, linearized)
+				}
+				e = head.next
+				continue
+			}
+			e = e.next
+			continue
+		}
+		// Reached the first return on the list: no remaining minimal op can
+		// be linearized next — undo the latest tentative choice.
+		if len(stack) == 0 {
+			return Nonlinearizable, frontier()
+		}
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		linearized[f.ev.op/64] &^= 1 << uint(f.ev.op%64)
+		present, value = f.present, f.value
+		unlift(f.ev)
+		e = f.ev.next
+	}
+	return Ok, nil
+}

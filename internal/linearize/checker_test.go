@@ -1,0 +1,171 @@
+package linearize
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func put(client int, key, in string, inv, ret int64) Op {
+	return Op{ClientID: client, Kind: KindPut, Key: key, In: in, Invoke: inv, Return: ret}
+}
+
+func get(client int, key, out string, inv, ret int64) Op {
+	return Op{ClientID: client, Kind: KindGet, Key: key, Out: out, Invoke: inv, Return: ret}
+}
+
+func getNone(client int, key string, inv, ret int64) Op {
+	return Op{ClientID: client, Kind: KindGet, Key: key, NotFound: true, Invoke: inv, Return: ret}
+}
+
+func del(client int, key string, inv, ret int64) Op {
+	return Op{ClientID: client, Kind: KindDelete, Key: key, Invoke: inv, Return: ret}
+}
+
+func TestCheckTable(t *testing.T) {
+	cases := []struct {
+		name string
+		hist []Op
+		want Result
+	}{
+		{"empty", nil, Ok},
+		{"sequential put then get", []Op{
+			put(1, "k", "v1", 1, 2),
+			get(1, "k", "v1", 3, 4),
+		}, Ok},
+		{"get before any put sees absence", []Op{
+			getNone(1, "k", 1, 2),
+			put(2, "k", "v1", 3, 4),
+		}, Ok},
+		{"concurrent puts, get picks a serialization", []Op{
+			put(1, "k", "a", 1, 4),
+			put(2, "k", "b", 2, 5),
+			get(3, "k", "a", 6, 7), // legal: b then a
+		}, Ok},
+		{"read overlapping a put may see either value", []Op{
+			put(1, "k", "old", 1, 2),
+			put(1, "k", "new", 3, 6),
+			get(2, "k", "old", 4, 5), // get overlaps the put: old is fine
+		}, Ok},
+		{"delete then absence", []Op{
+			put(1, "k", "v1", 1, 2),
+			del(1, "k", 3, 4),
+			getNone(2, "k", 5, 6),
+		}, Ok},
+		{"ambiguous put that took effect", []Op{
+			put(1, "k", "v1", 1, openReturn),
+			get(2, "k", "v1", 2, 3),
+		}, Ok},
+		{"ambiguous put that never took effect", []Op{
+			put(1, "k", "v1", 1, openReturn),
+			getNone(2, "k", 2, 3),
+		}, Ok},
+		{"ambiguous delete may land between reads", []Op{
+			put(1, "k", "v1", 1, 2),
+			del(2, "k", 3, openReturn),
+			get(3, "k", "v1", 4, 5),
+			getNone(3, "k", 6, 7),
+		}, Ok},
+		{"stale read", []Op{
+			put(1, "k", "v1", 1, 2),
+			put(1, "k", "v2", 3, 4),
+			get(2, "k", "v1", 5, 6), // both puts returned before the get
+		}, Nonlinearizable},
+		{"lost update", []Op{
+			put(1, "k", "v1", 1, 2),
+			get(2, "k", "v1", 3, 4),
+			put(1, "k", "v2", 5, 6),
+			get(2, "k", "v1", 7, 8), // v2 vanished with no intervening write
+		}, Nonlinearizable},
+		{"cross-client reorder", []Op{
+			put(1, "k", "a", 1, 10),
+			put(2, "k", "b", 2, 11),
+			get(3, "k", "a", 3, 4),
+			get(3, "k", "b", 5, 6),
+			get(3, "k", "a", 7, 8), // a, b, a with only two writes
+		}, Nonlinearizable},
+		{"absence after committed put", []Op{
+			put(1, "k", "v1", 1, 2),
+			getNone(2, "k", 3, 4),
+		}, Nonlinearizable},
+		{"value never written", []Op{
+			put(1, "k", "v1", 1, 2),
+			get(2, "k", "ghost", 3, 4),
+		}, Nonlinearizable},
+		{"ambiguous put cannot explain a foreign value", []Op{
+			put(1, "k", "v1", 1, openReturn),
+			get(2, "k", "ghost", 2, 3),
+		}, Nonlinearizable},
+		{"other keys do not excuse a bad one", []Op{
+			put(1, "a", "v1", 1, 2),
+			get(2, "a", "v1", 3, 4),
+			put(1, "b", "v1", 5, 6),
+			getNone(2, "b", 7, 8),
+		}, Nonlinearizable},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rep := Check(tc.hist, DefaultTimeout)
+			if rep.Result != tc.want {
+				t.Fatalf("Check = %v (key %q), want %v", rep.Result, rep.Key, tc.want)
+			}
+			if rep.Ops != len(tc.hist) {
+				t.Fatalf("Report.Ops = %d, want %d", rep.Ops, len(tc.hist))
+			}
+		})
+	}
+}
+
+func TestCheckReportsOffendingKey(t *testing.T) {
+	hist := []Op{
+		put(1, "good", "v", 1, 2),
+		get(2, "good", "v", 3, 4),
+		put(1, "bad", "v1", 5, 6),
+		get(2, "bad", "ghost", 7, 8),
+	}
+	rep := Check(hist, DefaultTimeout)
+	if rep.Result != Nonlinearizable || rep.Key != "bad" {
+		t.Fatalf("got %v on key %q, want Nonlinearizable on \"bad\"", rep.Result, rep.Key)
+	}
+	if rep.Keys != 2 {
+		t.Fatalf("Report.Keys = %d, want 2", rep.Keys)
+	}
+}
+
+// hardHistory builds n open puts of distinct values plus a final read of a
+// value none of them wrote, forcing the search to reject every subset of the
+// open puts before concluding.
+func hardHistory(n int) []Op {
+	hist := make([]Op, 0, n+1)
+	for i := 0; i < n; i++ {
+		hist = append(hist, put(i, "k", fmt.Sprintf("v%d", i), int64(i+1), openReturn))
+	}
+	hist = append(hist, get(99, "k", "ghost", int64(n+1), int64(n+2)))
+	return hist
+}
+
+func TestCheckUndecidedOnTimeout(t *testing.T) {
+	rep := Check(hardHistory(26), time.Nanosecond)
+	if rep.Result != Undecided {
+		t.Fatalf("Check = %v, want Undecided", rep.Result)
+	}
+}
+
+func TestCheckExhaustsSmallHardHistory(t *testing.T) {
+	rep := Check(hardHistory(10), DefaultTimeout)
+	if rep.Result != Nonlinearizable {
+		t.Fatalf("Check = %v, want Nonlinearizable", rep.Result)
+	}
+}
+
+func TestResultString(t *testing.T) {
+	for r, want := range map[Result]string{
+		Ok:              "linearizable",
+		Nonlinearizable: "NOT linearizable",
+		Undecided:       "undecided (checker timeout)",
+	} {
+		if got := r.String(); got != want {
+			t.Fatalf("Result(%d).String() = %q, want %q", int(r), got, want)
+		}
+	}
+}

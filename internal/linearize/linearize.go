@@ -1,0 +1,191 @@
+// Package linearize verifies client-visible consistency: it records a
+// concurrent history of key-value operations (Put/Get/Delete per key) and
+// checks it against the linearizable per-key register model with an
+// embedded Wing–Gong/Lowe-style search.
+//
+// This is the correctness analogue of internal/faultrdma: the fault
+// injector produces the failure schedules, this package decides whether the
+// cluster's responses under those schedules could have come from any legal
+// sequential execution. The paper's core safety claim (§5) — elections and
+// fencing through CAS on the memory nodes keep the store linearizable
+// across coordinator failovers — is exactly the property checked here, and
+// "The Impact of RDMA on Agreement" argues such permission/fencing
+// reasoning is subtle enough to deserve mechanical verification.
+//
+// History model. Every operation is recorded as an invoke/return pair with
+// logical timestamps drawn from one atomic sequence, so the recorded order
+// is a valid real-time order: if operation A returned before operation B
+// was invoked, A's Return precedes B's Invoke. Operations whose outcome the
+// client cannot know — a Put that exhausted its retry budget after at least
+// one send (sift.ErrAmbiguous), or a client that died mid-call — are kept
+// as *open* operations (Return = ∞): the checker may linearize them at any
+// point after their invocation or, equivalently, at the very end of the
+// history where an unapplied write is observable by nobody. Failed reads
+// carry no information and are discarded.
+package linearize
+
+import (
+	"math"
+	"sync"
+)
+
+// Kind is an operation type in the per-key register model.
+type Kind uint8
+
+// Operation kinds.
+const (
+	KindPut Kind = iota
+	KindGet
+	KindDelete
+)
+
+// String returns the kind name.
+func (k Kind) String() string {
+	switch k {
+	case KindPut:
+		return "put"
+	case KindGet:
+		return "get"
+	case KindDelete:
+		return "delete"
+	default:
+		return "unknown"
+	}
+}
+
+// openReturn marks an operation whose return the client never observed: it
+// may have taken effect at any time after its invocation, or never.
+const openReturn = math.MaxInt64
+
+// Op is one recorded operation. Invoke and Return are logical timestamps
+// from the recorder's sequence; Return is ∞ (Ambiguous() reports true) for
+// open operations.
+type Op struct {
+	ClientID int
+	Key      string
+	Kind     Kind
+	In       string // value written (puts)
+	Out      string // value read (gets)
+	NotFound bool   // the get observed absence
+	Invoke   int64
+	Return   int64
+}
+
+// Ambiguous reports whether the operation is open-ended: the client never
+// learned its outcome, so it may or may not have taken effect.
+func (o Op) Ambiguous() bool { return o.Return == openReturn }
+
+// Recorder collects a concurrent history. It is safe for concurrent use by
+// any number of clients; one mutex-ordered sequence supplies timestamps, so
+// lock-acquisition order is the recorded real-time order.
+type Recorder struct {
+	mu   sync.Mutex
+	seq  int64
+	ops  []Op
+	open map[*Pending]struct{}
+}
+
+// NewRecorder creates an empty history recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{open: make(map[*Pending]struct{})}
+}
+
+// Pending is an invoked-but-unfinished operation. Exactly one of Commit,
+// Ambiguous, or Discard finishes it; later calls are no-ops. All methods
+// are nil-receiver safe so un-instrumented clients cost nothing.
+type Pending struct {
+	r  *Recorder
+	op Op
+}
+
+// Invoke records an operation's invocation and returns its handle. A nil
+// recorder returns a nil handle (recording disabled).
+func (r *Recorder) Invoke(clientID int, kind Kind, key, in string) *Pending {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seq++
+	p := &Pending{r: r, op: Op{
+		ClientID: clientID,
+		Kind:     kind,
+		Key:      key,
+		In:       in,
+		Invoke:   r.seq,
+		Return:   openReturn,
+	}}
+	r.open[p] = struct{}{}
+	return p
+}
+
+// finish closes out the pending op. keep=false drops it from the history.
+func (p *Pending) finish(ambiguous, keep bool) {
+	if p == nil || p.r == nil {
+		return
+	}
+	r := p.r
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, outstanding := r.open[p]; !outstanding {
+		return
+	}
+	delete(r.open, p)
+	if !keep {
+		return
+	}
+	if !ambiguous {
+		r.seq++
+		p.op.Return = r.seq
+	}
+	r.ops = append(r.ops, p.op)
+}
+
+// Commit records a definite completion. For gets, out is the value read and
+// notFound reports observed absence; puts and deletes ignore both.
+func (p *Pending) Commit(out string, notFound bool) {
+	if p != nil {
+		p.op.Out = out
+		p.op.NotFound = notFound
+	}
+	p.finish(false, true)
+}
+
+// Ambiguous records an unknown outcome: the operation stays in the history
+// as open-ended (it may have taken effect any time after its invocation, or
+// never). Ambiguous reads carry no information, so they are discarded
+// instead.
+func (p *Pending) Ambiguous() {
+	if p != nil && p.op.Kind == KindGet {
+		p.finish(true, false)
+		return
+	}
+	p.finish(true, true)
+}
+
+// Discard records a definite no-effect failure (validation error, or the
+// operation never reached a coordinator): the op leaves the history.
+func (p *Pending) Discard() { p.finish(false, false) }
+
+// History snapshots the recorded history. Operations still pending at
+// snapshot time are treated like a crashed client's: writes become open
+// operations, reads are dropped.
+func (r *Recorder) History() []Op {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Op, 0, len(r.ops)+len(r.open))
+	out = append(out, r.ops...)
+	for p := range r.open {
+		if p.op.Kind != KindGet {
+			out = append(out, p.op)
+		}
+	}
+	return out
+}
+
+// Len returns the number of finished operations recorded so far.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.ops)
+}

@@ -1,0 +1,126 @@
+package linearize
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestRecorderBasic(t *testing.T) {
+	r := NewRecorder()
+	p := r.Invoke(1, KindPut, "k", "v1")
+	p.Commit("", false)
+	g := r.Invoke(1, KindGet, "k", "")
+	g.Commit("v1", false)
+
+	hist := r.History()
+	if len(hist) != 2 || r.Len() != 2 {
+		t.Fatalf("history length = %d (Len %d), want 2", len(hist), r.Len())
+	}
+	if hist[0].Invoke >= hist[0].Return || hist[0].Return >= hist[1].Invoke {
+		t.Fatalf("timestamps not ordered: %+v %+v", hist[0], hist[1])
+	}
+	if rep := Check(hist, DefaultTimeout); rep.Result != Ok {
+		t.Fatalf("recorded history not linearizable: %v", rep.Result)
+	}
+}
+
+func TestRecorderAmbiguousKeepsWritesDropsReads(t *testing.T) {
+	r := NewRecorder()
+	r.Invoke(1, KindPut, "k", "v1").Ambiguous()
+	r.Invoke(2, KindGet, "k", "").Ambiguous()
+	r.Invoke(3, KindDelete, "k", "").Ambiguous()
+
+	hist := r.History()
+	if len(hist) != 2 {
+		t.Fatalf("history length = %d, want 2 (put+delete kept, get dropped)", len(hist))
+	}
+	for _, o := range hist {
+		if !o.Ambiguous() {
+			t.Fatalf("op %+v should be open-ended", o)
+		}
+		if o.Kind == KindGet {
+			t.Fatalf("ambiguous get leaked into history: %+v", o)
+		}
+	}
+}
+
+func TestRecorderDiscard(t *testing.T) {
+	r := NewRecorder()
+	r.Invoke(1, KindPut, "k", "v1").Discard()
+	if len(r.History()) != 0 {
+		t.Fatal("discarded op should leave the history")
+	}
+}
+
+func TestRecorderFinishIsIdempotent(t *testing.T) {
+	r := NewRecorder()
+	p := r.Invoke(1, KindPut, "k", "v1")
+	p.Commit("", false)
+	p.Ambiguous()
+	p.Discard()
+	hist := r.History()
+	if len(hist) != 1 || hist[0].Ambiguous() {
+		t.Fatalf("want exactly the committed op, got %+v", hist)
+	}
+}
+
+func TestRecorderSnapshotTreatsOpenOpsAsCrashed(t *testing.T) {
+	r := NewRecorder()
+	r.Invoke(1, KindPut, "k", "v1") // never finished
+	r.Invoke(2, KindGet, "k", "")   // never finished
+	hist := r.History()
+	if len(hist) != 1 || hist[0].Kind != KindPut || !hist[0].Ambiguous() {
+		t.Fatalf("want one open put, got %+v", hist)
+	}
+}
+
+func TestNilRecorderAndPendingAreNoOps(t *testing.T) {
+	var r *Recorder
+	p := r.Invoke(1, KindPut, "k", "v")
+	if p != nil {
+		t.Fatal("nil recorder should hand out nil pendings")
+	}
+	p.Commit("", false)
+	p.Ambiguous()
+	p.Discard()
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	const clients, perClient = 8, 100
+	r := NewRecorder()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			key := fmt.Sprintf("k%d", c)
+			for i := 0; i < perClient; i++ {
+				v := fmt.Sprintf("c%d-%d", c, i)
+				r.Invoke(c, KindPut, key, v).Commit("", false)
+				r.Invoke(c, KindGet, key, "").Commit(v, false)
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	hist := r.History()
+	if len(hist) != clients*perClient*2 {
+		t.Fatalf("history length = %d, want %d", len(hist), clients*perClient*2)
+	}
+	seen := make(map[int64]bool, len(hist)*2)
+	for _, o := range hist {
+		if o.Invoke >= o.Return {
+			t.Fatalf("invoke !< return: %+v", o)
+		}
+		if seen[o.Invoke] || seen[o.Return] {
+			t.Fatalf("duplicate timestamp in %+v", o)
+		}
+		seen[o.Invoke], seen[o.Return] = true, true
+	}
+	// Each client's ops are per-key sequential puts immediately read back,
+	// so the whole history must linearize.
+	if rep := Check(hist, DefaultTimeout); rep.Result != Ok {
+		t.Fatalf("concurrent recorded history: %v on key %q", rep.Result, rep.Key)
+	}
+}

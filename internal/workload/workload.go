@@ -96,9 +96,10 @@ func DefaultKey(rank int) []byte {
 
 // Op is one generated operation.
 type Op struct {
-	Read  bool
-	Key   []byte
-	Value []byte // nil for reads
+	Read   bool
+	Delete bool // a write that removes the key (UniqueValues mode only)
+	Key    []byte
+	Value  []byte // nil for reads and deletes
 }
 
 // Generator produces a stream of operations for one client.
@@ -111,6 +112,9 @@ type Generator struct {
 	rng       *rand.Rand
 	valueBuf  []byte
 	counter   uint64
+	unique    bool
+	clientID  int
+	delRatio  float64
 }
 
 // Config parameterises a Generator.
@@ -128,6 +132,16 @@ type Config struct {
 	Key KeyFunc
 	// Seed makes the stream deterministic.
 	Seed int64
+	// UniqueValues switches the generator into history-emitting mode for
+	// linearizability checking: every write carries a globally unique
+	// "c<ClientID>-<seq>" payload (instead of the reused buffer), so a read
+	// identifies exactly which write it observed.
+	UniqueValues bool
+	// ClientID distinguishes clients' values in UniqueValues mode.
+	ClientID int
+	// DeleteRatio is the fraction of writes emitted as deletes in
+	// UniqueValues mode (0 disables deletes).
+	DeleteRatio float64
 }
 
 // NewGenerator builds a generator.
@@ -142,6 +156,9 @@ func NewGenerator(cfg Config) *Generator {
 		key:       cfg.Key,
 		rng:       rand.New(rand.NewSource(cfg.Seed)),
 		valueBuf:  make([]byte, cfg.ValueSize),
+		unique:    cfg.UniqueValues,
+		clientID:  cfg.ClientID,
+		delRatio:  cfg.DeleteRatio,
 	}
 	if cfg.ZipfTheta > 0 {
 		g.zipf = NewZipf(cfg.Keys, cfg.ZipfTheta, cfg.Seed+1)
@@ -166,17 +183,27 @@ func (g *Generator) rank() int {
 
 // Next returns the next operation. The returned value slice is reused
 // across calls with a small mutation, mirroring clients that send fresh
-// payloads without reallocating.
+// payloads without reallocating — except in UniqueValues mode, where each
+// write gets a freshly allocated, globally unique payload.
 func (g *Generator) Next() Op {
 	read := g.rng.Float64() < g.mix.ReadRatio
 	op := Op{Read: read, Key: g.key(g.rank())}
-	if !read {
-		g.counter++
-		if len(g.valueBuf) >= 8 {
-			putCounter(g.valueBuf, g.counter)
-		}
-		op.Value = g.valueBuf
+	if read {
+		return op
 	}
+	g.counter++
+	if g.unique {
+		if g.delRatio > 0 && g.rng.Float64() < g.delRatio {
+			op.Delete = true
+			return op
+		}
+		op.Value = []byte(fmt.Sprintf("c%d-%d", g.clientID, g.counter))
+		return op
+	}
+	if len(g.valueBuf) >= 8 {
+		putCounter(g.valueBuf, g.counter)
+	}
+	op.Value = g.valueBuf
 	return op
 }
 

@@ -140,3 +140,40 @@ func TestPopulationKeys(t *testing.T) {
 		seen[string(k)] = true
 	}
 }
+
+func TestGeneratorUniqueValuesMode(t *testing.T) {
+	ga := NewGenerator(Config{Mix: Mixed, Keys: 8, ValueSize: 16, Seed: 7,
+		UniqueValues: true, ClientID: 3, DeleteRatio: 0.2})
+	gb := NewGenerator(Config{Mix: Mixed, Keys: 8, ValueSize: 16, Seed: 7,
+		UniqueValues: true, ClientID: 4, DeleteRatio: 0.2})
+
+	seen := map[string]bool{}
+	var deletes int
+	for i := 0; i < 2000; i++ {
+		for _, op := range []Op{ga.Next(), gb.Next()} {
+			if op.Read {
+				if op.Value != nil || op.Delete {
+					t.Fatalf("read carries write fields: %+v", op)
+				}
+				continue
+			}
+			if op.Delete {
+				deletes++
+				if op.Value != nil {
+					t.Fatalf("delete carries a value: %+v", op)
+				}
+				continue
+			}
+			if seen[string(op.Value)] {
+				t.Fatalf("duplicate value %q across clients", op.Value)
+			}
+			seen[string(op.Value)] = true
+		}
+	}
+	if deletes == 0 {
+		t.Fatal("DeleteRatio 0.2 produced no deletes")
+	}
+	if len(seen) == 0 {
+		t.Fatal("no unique-value writes generated")
+	}
+}

@@ -49,6 +49,13 @@ var (
 	ErrNoCoordinator = errors.New("sift: no coordinator available")
 	// ErrClosed is returned after Cluster.Close.
 	ErrClosed = errors.New("sift: cluster closed")
+	// ErrAmbiguous means the operation exhausted its retry budget after at
+	// least one attempt reached a coordinator, so it may or may not have
+	// committed (e.g. the ack was lost to a failover mid-write). It wraps
+	// ErrNoCoordinator: errors.Is(err, ErrNoCoordinator) still holds, and
+	// callers that track consistency must treat the op as open-ended rather
+	// than as a definite failure.
+	ErrAmbiguous = fmt.Errorf("sift: operation outcome unknown (may have committed): %w", ErrNoCoordinator)
 )
 
 // LatencyProfile selects the simulated fabric's latency model.
