@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 race chaos linearize bench-pipeline
+.PHONY: tier1 race chaos linearize fuzz-short bench-pipeline
 
 # Tier-1 verification: everything vets, builds, and every test passes.
 tier1:
@@ -23,6 +23,11 @@ chaos: linearize
 linearize:
 	$(GO) test -race -timeout 5m ./internal/linearize/
 	$(GO) test -race -timeout 10m -run 'TestRetriable|TestClient|TestAmbiguous|TestNoCoordinatorWithoutSends|TestChaosLinearize' .
+
+# Short fuzz pass over the WAL entry decoder, which parses whatever bytes a
+# crashed or corrupt memory node holds during recovery.
+fuzz-short:
+	$(GO) test ./internal/wal/ -run '^$$' -fuzz FuzzDecode -fuzztime 30s
 
 # Pipelined-transport throughput benchmark (records EXPERIMENTS.md numbers).
 bench-pipeline:

@@ -1,6 +1,7 @@
 package sift
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -11,6 +12,7 @@ import (
 	"time"
 
 	"github.com/repro/sift/internal/linearize"
+	"github.com/repro/sift/internal/memnode"
 	"github.com/repro/sift/internal/workload"
 )
 
@@ -590,4 +592,103 @@ func TestChaosLinearizeNetworkFlap(t *testing.T) {
 		}
 		time.Sleep(150 * time.Millisecond)
 	})
+}
+
+// TestChaosCorruption is the data-integrity acceptance test: one memory node
+// (a minority) silently corrupts 2% of its replicated-region traffic — read
+// responses and stored write payloads both — while instrumented clients run.
+// Clients must never observe a wrong byte (the verified read path treats a
+// CRC-failing replica like a dead one and reconstructs), the recorded history
+// must linearize, and once the fault clears the scrubber must heal the node
+// back to byte-identity with its peers.
+func TestChaosCorruption(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos run in -short mode")
+	}
+	cfg := grayConfig()
+	cl := newTestCluster(t, cfg)
+	if err := cl.WaitForCoordinator(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	victim := cl.MemoryNodes()[1]
+	nf := cl.Faults().Node(victim)
+	// Scope the fault to the replicated data region: the admin region carries
+	// election words, and a flipped heartbeat is a different experiment.
+	nf.SetCorruptRegions(memnode.ReplRegionID)
+
+	runLinearizeClients(t, cl, 10, func() {
+		time.Sleep(100 * time.Millisecond)
+		nf.SetCorrupt(0.02)
+		time.Sleep(1200 * time.Millisecond)
+		nf.SetCorrupt(0)
+		time.Sleep(200 * time.Millisecond)
+	})
+	if st := nf.Stats(); st.Corrupts == 0 {
+		t.Fatal("fault layer never corrupted an op; the schedule tested nothing")
+	} else {
+		t.Logf("injected %d corruptions on %s", st.Corrupts, victim)
+	}
+
+	// Plant one more silent flip in the victim's main memory directly —
+	// modelled bit rot the transport never saw — so the healing assertion
+	// below does not depend on which injected corruptions happened to land
+	// in stored state versus read responses.
+	layout := cl.mcfg.Layout()
+	if err := cl.network.Node(victim).Region(memnode.ReplRegionID).Corrupt(layout.MainBase()+137, 0x40); err != nil {
+		t.Fatal(err)
+	}
+
+	// The corruption-count state machine may have suspected the victim; wait
+	// until the recovery manager has walked every node back to live.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		live := 0
+		for _, h := range cl.Health() {
+			if h.State == "live" {
+				live++
+			}
+		}
+		if live == len(cl.MemoryNodes()) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("nodes never all returned to live: %+v", cl.Health())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Scrub until a full sweep finds nothing and every node's replicated
+	// region (direct zone + main memory + checksum strip; the WAL area is
+	// pooled/reconciled, not scrubbed) is byte-identical.
+	identical := func() bool {
+		var first []byte
+		for _, name := range cl.MemoryNodes() {
+			snap := cl.network.Node(name).Region(memnode.ReplRegionID).Snapshot()[layout.DirectBase():]
+			if first == nil {
+				first = snap
+			} else if !bytes.Equal(first, snap) {
+				return false
+			}
+		}
+		return true
+	}
+	for {
+		rep, err := cl.ScrubNow()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Corrupt == 0 && rep.Unrepaired == 0 && identical() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("cluster never healed to byte-identity; last report %+v", rep)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	s := cl.Stats().Memory
+	if s.CorruptionsDetected == 0 || s.BlocksRepaired == 0 {
+		t.Fatalf("corruptions=%d repaired=%d, want both > 0", s.CorruptionsDetected, s.BlocksRepaired)
+	}
+	t.Logf("healed: detected=%d repaired=%d scrubbed=%d passes=%d",
+		s.CorruptionsDetected, s.BlocksRepaired, s.ScrubbedBlocks, s.ScrubPasses)
 }

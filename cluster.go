@@ -79,6 +79,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		KVWALSlots:     c.KVWALSlots,
 		MemWALSlots:    c.MemWALSlots,
 		MemWALSlotSize: c.MemWALSlotSize,
+		NoIntegrity:    c.NoIntegrity,
 	}.Derive()
 	if err != nil {
 		return nil, err
@@ -162,6 +163,7 @@ func (cl *Cluster) nodeConfig(id uint16) core.Config {
 		Memory:               mcfg,
 		KV:                   cl.kcfg,
 		NodeRecoveryInterval: cl.cfg.NodeRecoveryInterval,
+		ScrubInterval:        cl.cfg.ScrubInterval,
 	}
 }
 
@@ -232,6 +234,17 @@ func (cl *Cluster) Health() []repmem.NodeHealth {
 		return st.MemoryHealth()
 	}
 	return nil
+}
+
+// ScrubNow forces one full synchronous integrity sweep on the current
+// coordinator, returning what it found and fixed. It does not wait for the
+// background scrub cadence.
+func (cl *Cluster) ScrubNow() (repmem.ScrubReport, error) {
+	st := cl.coordinatorStore()
+	if st == nil {
+		return repmem.ScrubReport{}, ErrNoCoordinator
+	}
+	return st.Memory().ScrubOnce()
 }
 
 // MemoryNodes returns the memory node names (for failure injection).

@@ -50,6 +50,8 @@ func main() {
 		heartbeat   = flag.Duration("heartbeat", 7*time.Millisecond, "heartbeat write/read interval")
 		missed      = flag.Int("missed-beats", 3, "missed heartbeats before election")
 		opDeadline  = flag.Duration("op-deadline", time.Second, "per-operation RDMA deadline (0 disables; hung memory nodes fail ops with rdma.ErrDeadline)")
+		scrubEvery  = flag.Duration("scrub-interval", 50*time.Millisecond, "background integrity scrub tick (0 disables)")
+		noIntegrity = flag.Bool("no-integrity", false, "disable the main-memory checksum strip and read verification (must match memnoded)")
 	)
 	flag.Parse()
 
@@ -64,6 +66,7 @@ func main() {
 		KVWALSlots:     *kvWALSlots,
 		MemWALSlots:    *memWALSlots,
 		MemWALSlotSize: *memWALSlot,
+		NoIntegrity:    *noIntegrity,
 	}
 	kcfg, mcfg, err := params.Derive()
 	if err != nil {
@@ -93,6 +96,12 @@ func main() {
 		},
 		Memory: mcfg,
 		KV:     kcfg,
+		ScrubInterval: func() time.Duration {
+			if *scrubEvery <= 0 {
+				return -1
+			}
+			return *scrubEvery
+		}(),
 		OnRoleChange: func(r core.Role) {
 			log.Printf("siftd: role -> %s", r)
 		},

@@ -61,6 +61,9 @@ type Config struct {
 	// NodeRecoveryInterval is how often the coordinator polls failed memory
 	// nodes for reintegration (default 500ms).
 	NodeRecoveryInterval time.Duration
+	// ScrubInterval is the background scrubber's tick (it verifies a small
+	// batch of blocks per tick). Default 50ms; negative disables scrubbing.
+	ScrubInterval time.Duration
 	// OnRoleChange, if set, is invoked (synchronously) on role transitions.
 	OnRoleChange func(Role)
 }
@@ -87,6 +90,9 @@ type CPUNode struct {
 func NewCPUNode(cfg Config) *CPUNode {
 	if cfg.NodeRecoveryInterval <= 0 {
 		cfg.NodeRecoveryInterval = 500 * time.Millisecond
+	}
+	if cfg.ScrubInterval == 0 {
+		cfg.ScrubInterval = 50 * time.Millisecond
 	}
 	cfg.Election.NodeID = cfg.NodeID
 	cfg.Memory.MemoryNodes = cfg.Election.MemoryNodes
@@ -230,6 +236,10 @@ func (n *CPUNode) coordinate(ctx context.Context, term uint16) {
 	}
 	stopRecovery := mem.StartRecovery(n.cfg.NodeRecoveryInterval)
 	defer stopRecovery()
+	if n.cfg.ScrubInterval > 0 {
+		stopScrub := mem.StartScrub(n.cfg.ScrubInterval)
+		defer stopScrub()
+	}
 
 	n.term.Store(uint32(term))
 	n.store.Store(store)

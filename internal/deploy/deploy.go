@@ -29,6 +29,9 @@ type Params struct {
 	// Replicated-memory log sizing.
 	MemWALSlots    int
 	MemWALSlotSize int
+	// NoIntegrity disables the main-memory checksum strip and the read-path
+	// verification that rides on it.
+	NoIntegrity bool
 }
 
 func (p *Params) withDefaults() Params {
@@ -92,6 +95,15 @@ func (p Params) Derive() (kv.Config, repmem.Config, error) {
 		// steady-state applies are single whole-block writes.
 		mcfg.ECBlockSize = (kcfg.BlockSize() + k - 1) / k * k
 		align = mcfg.ECBlockSize
+	}
+	if pp.NoIntegrity {
+		mcfg.IntegrityBlockSize = -1
+	} else if !pp.EC {
+		// Align KV data blocks to integrity blocks sized to match: a
+		// steady-state block apply then exactly covers one integrity block,
+		// so checksummed writes need no read-modify-write on the hot path.
+		mcfg.IntegrityBlockSize = kcfg.BlockSize()
+		align = kcfg.BlockSize()
 	}
 	mcfg.MemSize = kcfg.RequiredMemSize(align)
 	if pp.EC && mcfg.MemSize%mcfg.ECBlockSize != 0 {

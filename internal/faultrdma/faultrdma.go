@@ -120,6 +120,7 @@ type FaultStats struct {
 	Duplicates  uint64
 	FailStopped uint64
 	DialsFailed uint64
+	Corrupts    uint64 // ops whose payload bytes were silently flipped
 }
 
 // NodeFaults is the mutable fault schedule for one node. All setters are
@@ -135,7 +136,9 @@ type NodeFaults struct {
 	delay       time.Duration
 	delayJitter time.Duration
 	dupP        float64
-	failAfter   int64 // ops until fail-stop; 0 = disarmed
+	corruptP    float64
+	corruptIn   map[rdma.RegionID]bool // nil = every region
+	failAfter   int64                  // ops until fail-stop; 0 = disarmed
 	failStopped bool
 	failDials   int
 	conns       map[*conn]struct{}
@@ -147,6 +150,7 @@ type NodeFaults struct {
 	dups        atomic.Uint64
 	failStops   atomic.Uint64
 	dialsFailed atomic.Uint64
+	corrupts    atomic.Uint64
 }
 
 // Stats snapshots the node's injected-fault counters.
@@ -159,6 +163,7 @@ func (nf *NodeFaults) Stats() FaultStats {
 		Duplicates:  nf.dups.Load(),
 		FailStopped: nf.failStops.Load(),
 		DialsFailed: nf.dialsFailed.Load(),
+		Corrupts:    nf.corrupts.Load(),
 	}
 }
 
@@ -208,6 +213,65 @@ func (nf *NodeFaults) SetDuplicate(p float64) {
 	nf.mu.Lock()
 	nf.dupP = p
 	nf.mu.Unlock()
+}
+
+// SetCorrupt silently flips 1–3 payload bytes of each READ response and
+// each stored WRITE payload with probability p, modelling memory or NIC
+// bit rot on the node. The operation still reports success — corruption is
+// only detectable end-to-end (checksums, cross-replica comparison). CAS
+// words are never corrupted: a flipped heartbeat would model a Byzantine
+// election participant, which is outside Sift's fault model.
+func (nf *NodeFaults) SetCorrupt(p float64) {
+	nf.mu.Lock()
+	nf.corruptP = p
+	nf.mu.Unlock()
+}
+
+// SetCorruptRegions restricts SetCorrupt to the given regions (no call, or
+// a call with no arguments, means every region). Tests use this to confine
+// bit rot to the replicated data region while keeping the admin/election
+// plane honest.
+func (nf *NodeFaults) SetCorruptRegions(regions ...rdma.RegionID) {
+	nf.mu.Lock()
+	if len(regions) == 0 {
+		nf.corruptIn = nil
+	} else {
+		nf.corruptIn = make(map[rdma.RegionID]bool, len(regions))
+		for _, r := range regions {
+			nf.corruptIn[r] = true
+		}
+	}
+	nf.mu.Unlock()
+}
+
+// byteFlip is one planned corruption: XOR mask into payload byte pos.
+type byteFlip struct {
+	pos  int
+	mask byte
+}
+
+// planCorruption decides, under the schedule lock, whether and how to
+// corrupt op's payload. It returns nil to leave the op untouched.
+func (nf *NodeFaults) planCorruption(op *rdma.Op) []byteFlip {
+	if op.Kind != rdma.OpRead && op.Kind != rdma.OpWrite {
+		return nil
+	}
+	if len(op.Data) == 0 {
+		return nil
+	}
+	nf.mu.Lock()
+	defer nf.mu.Unlock()
+	if nf.corruptP <= 0 || nf.rng.Float64() >= nf.corruptP {
+		return nil
+	}
+	if nf.corruptIn != nil && !nf.corruptIn[op.Region] {
+		return nil
+	}
+	flips := make([]byteFlip, 1+nf.rng.Intn(3))
+	for i := range flips {
+		flips[i] = byteFlip{pos: nf.rng.Intn(len(op.Data)), mask: byte(1 + nf.rng.Intn(255))}
+	}
+	return flips
 }
 
 // FailStopAfter crashes the node after n more operations: the n-th and all
@@ -330,6 +394,9 @@ func (c *conn) Submit(op *rdma.Op) {
 	}
 	c.mu.Unlock()
 
+	if flips := c.nf.planCorruption(op); flips != nil {
+		op = c.corruptOp(op, flips)
+	}
 	act, delay := c.nf.decide()
 	switch act {
 	case actFailStop:
@@ -350,6 +417,45 @@ func (c *conn) Submit(op *rdma.Op) {
 	default:
 		c.forward(op)
 	}
+}
+
+// corruptOp applies planned byte flips to op. A WRITE is replaced by a
+// shadow carrying a flipped copy of the payload — the submitter's buffer
+// may be pooled and must not be mutated — whose completion resolves the
+// original op, so the store lands corrupted while the submitter sees clean
+// success. A READ has its completion wrapped to flip response bytes after a
+// successful transfer.
+func (c *conn) corruptOp(op *rdma.Op, flips []byteFlip) *rdma.Op {
+	switch op.Kind {
+	case rdma.OpWrite:
+		shadow := cloneOp(op)
+		for _, f := range flips {
+			shadow.Data[f.pos] ^= f.mask
+		}
+		shadow.Done = func(s *rdma.Op) { op.Complete(s.Err) }
+		c.nf.corrupts.Add(1)
+		return shadow
+	case rdma.OpRead:
+		prev := op.Done
+		if prev == nil {
+			// Completion flows through the transport's internal channel,
+			// which a wrapper cannot interpose on; leave the op alone.
+			return op
+		}
+		op.Done = func(o *rdma.Op) {
+			if o.Err == nil {
+				for _, f := range flips {
+					o.Data[f.pos] ^= f.mask
+				}
+				c.nf.corrupts.Add(1)
+			}
+			if prev != nil {
+				prev(o)
+			}
+		}
+		return op
+	}
+	return op
 }
 
 // delayOp executes op after d. When d overruns the op deadline the

@@ -282,3 +282,97 @@ func TestCloseCompletesParked(t *testing.T) {
 		t.Fatal("parked op leaked across Close")
 	}
 }
+
+// TestCorruptRead checks read-path corruption: stored memory is clean, but
+// the bytes surfaced to the caller are flipped, and the event is counted.
+func TestCorruptRead(t *testing.T) {
+	net := newTestNet()
+	ctrl := NewController(7, time.Second)
+	v := dialWrapped(t, ctrl, net)
+
+	want := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	if err := v.Write(1, 0, want); err != nil {
+		t.Fatal(err)
+	}
+	ctrl.Node("m0").SetCorrupt(1.0)
+	buf := make([]byte, len(want))
+	if err := v.Read(1, 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) == string(want) {
+		t.Fatal("read with corruptP=1 returned clean bytes")
+	}
+	if st := ctrl.Node("m0").Stats(); st.Corrupts == 0 {
+		t.Fatal("corruption not counted")
+	}
+	// Stored memory was never touched: a clean read sees the original.
+	ctrl.Node("m0").SetCorrupt(0)
+	if err := v.Read(1, 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != string(want) {
+		t.Fatalf("stored bytes damaged by read corruption: %v", buf)
+	}
+}
+
+// TestCorruptWrite checks write-path corruption: the payload lands flipped
+// in remote memory while the submitter's own buffer is untouched.
+func TestCorruptWrite(t *testing.T) {
+	net := newTestNet()
+	ctrl := NewController(7, time.Second)
+	v := dialWrapped(t, ctrl, net)
+
+	ctrl.Node("m0").SetCorrupt(1.0)
+	payload := []byte{9, 9, 9, 9, 9, 9, 9, 9}
+	orig := append([]byte(nil), payload...)
+	if err := v.Write(1, 64, payload); err != nil {
+		t.Fatal(err)
+	}
+	if string(payload) != string(orig) {
+		t.Fatal("submitter's buffer was mutated")
+	}
+	ctrl.Node("m0").SetCorrupt(0)
+	buf := make([]byte, len(payload))
+	if err := v.Read(1, 64, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) == string(orig) {
+		t.Fatal("write with corruptP=1 stored clean bytes")
+	}
+	if st := ctrl.Node("m0").Stats(); st.Corrupts == 0 {
+		t.Fatal("corruption not counted")
+	}
+}
+
+// TestCorruptRegionScoping confirms SetCorruptRegions limits damage to the
+// listed regions; CAS is never corrupted regardless.
+func TestCorruptRegionScoping(t *testing.T) {
+	net := newTestNet()
+	ctrl := NewController(7, time.Second)
+	v := dialWrapped(t, ctrl, net)
+
+	ctrl.Node("m0").SetCorrupt(1.0)
+	ctrl.Node("m0").SetCorruptRegions(99) // a region this node doesn't serve
+	want := []byte{4, 3, 2, 1}
+	if err := v.Write(1, 0, want); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, len(want))
+	if err := v.Read(1, 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != string(want) {
+		t.Fatalf("corruption escaped its region scope: %v", buf)
+	}
+	if st := ctrl.Node("m0").Stats(); st.Corrupts != 0 {
+		t.Fatalf("Corrupts = %d, want 0", st.Corrupts)
+	}
+	// Widen back to all regions: CAS must still pass through untouched.
+	ctrl.Node("m0").SetCorruptRegions()
+	if old, err := v.CompareAndSwap(1, 1024, 0, 77); err != nil || old != 0 {
+		t.Fatalf("cas under corruption: old=%d err=%v", old, err)
+	}
+	if got, err := v.CompareAndSwap(1, 1024, 77, 78); err != nil || got != 77 {
+		t.Fatalf("cas word corrupted: old=%d err=%v", got, err)
+	}
+}

@@ -81,6 +81,11 @@ type Layout struct {
 	// logical memory size without erasure coding, or the chunked share
 	// (logical size / (Fm+1)) with it.
 	MainSize int
+	// IntegrityBlockSize is the granularity of the main-memory checksum
+	// strip: one CRC32C per IntegrityBlockSize bytes of this node's
+	// materialized memory (a plain-replicated block, or one erasure-coded
+	// chunk). Zero means no strip.
+	IntegrityBlockSize int
 }
 
 // Validate checks the layout for consistency.
@@ -88,7 +93,7 @@ func (l Layout) Validate() error {
 	if err := l.WALGeometry().Validate(); err != nil {
 		return err
 	}
-	if l.DirectSize < 0 || l.MainSize <= 0 {
+	if l.DirectSize < 0 || l.MainSize <= 0 || l.IntegrityBlockSize < 0 {
 		return fmt.Errorf("memnode: invalid layout %+v", l)
 	}
 	return nil
@@ -108,8 +113,33 @@ func (l Layout) DirectBase() uint64 { return uint64(l.WALBytes()) }
 // MainBase returns the region offset of the materialized memory.
 func (l Layout) MainBase() uint64 { return uint64(l.WALBytes() + l.DirectSize) }
 
+// IntegritySlots returns the number of checksum strip entries: one per
+// IntegrityBlockSize bytes of the node's materialized memory, with a final
+// short block when MainSize is not a multiple. Zero when the strip is off.
+func (l Layout) IntegritySlots() int {
+	if l.IntegrityBlockSize <= 0 {
+		return 0
+	}
+	return (l.MainSize + l.IntegrityBlockSize - 1) / l.IntegrityBlockSize
+}
+
+// IntegrityBytes returns the checksum strip size (4 bytes per slot).
+func (l Layout) IntegrityBytes() int { return 4 * l.IntegritySlots() }
+
+// IntegrityBase returns the region offset of the checksum strip. The strip
+// sits after the materialized memory so enabling it never shifts the WAL,
+// direct-zone, or main-memory offsets.
+func (l Layout) IntegrityBase() uint64 {
+	return uint64(l.WALBytes() + l.DirectSize + l.MainSize)
+}
+
+// IntegrityOffset returns the region offset of strip entry b.
+func (l Layout) IntegrityOffset(b uint64) uint64 { return l.IntegrityBase() + 4*b }
+
 // ReplSize returns the total replicated region size.
-func (l Layout) ReplSize() int { return l.WALBytes() + l.DirectSize + l.MainSize }
+func (l Layout) ReplSize() int {
+	return l.WALBytes() + l.DirectSize + l.MainSize + l.IntegrityBytes()
+}
 
 // New constructs a memory node with the standard admin and replicated
 // regions for the given layout.

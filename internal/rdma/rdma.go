@@ -203,6 +203,20 @@ func (r *Region) CASAt(epoch, offset uint64, expect, swap uint64) (uint64, error
 	return old, nil
 }
 
+// Corrupt XORs mask into the byte at offset, bypassing epoch fencing. It is
+// a node-local maintenance operation modelling silent memory corruption —
+// flipped DRAM bits do not hold ownership tokens — not a network verb.
+func (r *Region) Corrupt(offset uint64, mask byte) error {
+	if err := r.bounds(offset, 1); err != nil {
+		return err
+	}
+	first, _ := r.stripeRange(offset, 1)
+	r.stripes[first].Lock()
+	r.buf[offset] ^= mask
+	r.stripes[first].Unlock()
+	return nil
+}
+
 // Snapshot returns a copy of the region contents. It is a node-local
 // maintenance operation (used to model local persistence and tests), not a
 // network verb.

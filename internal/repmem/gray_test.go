@@ -154,7 +154,7 @@ func TestNoteNodeErrorSuspicionThenDeath(t *testing.T) {
 
 	// A success on another node clears its streak.
 	m.noteNodeError(1, rdma.ErrDeadline)
-	m.noteOpResult(1, time.Millisecond, nil)
+	m.noteOpResult(1, nil, time.Millisecond, nil)
 	if n := m.health[1].consecTimeouts.Load(); n != 0 {
 		t.Fatalf("streak after success = %d, want 0", n)
 	}

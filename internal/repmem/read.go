@@ -22,9 +22,13 @@ func (m *Memory) Read(addr uint64, buf []byte) error {
 	if err := m.checkMainRange(addr, len(buf)); err != nil {
 		return err
 	}
+	m.stats.reads.Add(1)
+	if m.integ != nil {
+		// Verified read with transparent read-repair; takes its own locks.
+		return m.integ.read(addr, buf)
+	}
 	unlock := m.locks.rlockRange(addr, len(buf))
 	defer unlock()
-	m.stats.reads.Add(1)
 	if m.code == nil {
 		return m.readPlain(addr, buf)
 	}
@@ -45,7 +49,7 @@ func (m *Memory) readPlain(addr uint64, buf []byte) error {
 			err = c.Read(replRegion, m.physMain(addr), buf)
 		}
 		if err != nil {
-			m.noteNodeError(i, err)
+			m.noteConnError(i, c, err)
 			if e := m.checkOpen(); e != nil {
 				return e
 			}
@@ -77,7 +81,7 @@ func (m *Memory) readEC(addr uint64, buf []byte) error {
 					return nil
 				}
 			}
-			m.noteNodeError(j, err)
+			m.noteConnError(j, c, err)
 			if e := m.checkOpen(); e != nil {
 				return e
 			}
@@ -95,7 +99,7 @@ func (m *Memory) readEC(addr uint64, buf []byte) error {
 		blockStart := b * B
 		lo := max64(addr, blockStart)
 		hi := min64(addr+uint64(len(buf)), blockStart+B)
-		block, err := m.readBlockEC(b)
+		block, _, err := m.readBlockEC(b)
 		if err != nil {
 			return err
 		}
@@ -105,12 +109,15 @@ func (m *Memory) readEC(addr uint64, buf []byte) error {
 }
 
 // readBlockEC fetches any k chunks of EC block b from live nodes (data
-// chunks first) and reconstructs the block.
-func (m *Memory) readBlockEC(b uint64) ([]byte, error) {
+// chunks first) and reconstructs the block. With integrity enabled a chunk
+// that fails its checksum is skipped like a dead node; the second return
+// value lists the nodes whose chunks were corrupt.
+func (m *Memory) readBlockEC(b uint64) ([]byte, []int, error) {
 	n := len(m.nodes)
 	k := m.code.K()
 	phys := m.layout.MainBase() + b*uint64(m.chunk)
 	chunks := make([][]byte, n)
+	var corrupt []int
 	got := 0
 	decodedNeeded := false
 	for j := 0; j < n && got < k; j++ {
@@ -124,27 +131,36 @@ func (m *Memory) readBlockEC(b uint64) ([]byte, error) {
 		if err == nil {
 			chunk := make([]byte, m.chunk)
 			if err = c.Read(replRegion, phys, chunk); err == nil {
+				m.stats.remoteReads.Add(1)
+				if m.integ != nil && crcBlock(chunk) != m.integ.sum(j, b) {
+					m.noteCorruption(j, 1)
+					corrupt = append(corrupt, j)
+					if j < k {
+						decodedNeeded = true
+					}
+					continue
+				}
 				chunks[j] = chunk
 				got++
-				m.stats.remoteReads.Add(1)
 				continue
 			}
 		}
-		m.noteNodeError(j, err)
+		m.noteConnError(j, c, err)
 		if e := m.checkOpen(); e != nil {
-			return nil, e
+			return nil, corrupt, e
 		}
 		if j < k {
 			decodedNeeded = true
 		}
 	}
 	if got < k {
-		return nil, fmt.Errorf("%w: only %d of %d chunks reachable", ErrNoQuorum, got, k)
+		return nil, corrupt, fmt.Errorf("%w: only %d of %d chunks usable", ErrNoQuorum, got, k)
 	}
 	if decodedNeeded {
 		m.stats.decodedReads.Add(1)
 	}
-	return m.code.Decode(chunks)
+	block, err := m.code.Decode(chunks)
+	return block, corrupt, err
 }
 
 // DirectRead serves a direct-space read from one live node.
@@ -169,7 +185,7 @@ func (m *Memory) DirectRead(addr uint64, buf []byte) error {
 			err = c.Read(replRegion, m.physDirect(addr), buf)
 		}
 		if err != nil {
-			m.noteNodeError(i, err)
+			m.noteConnError(i, c, err)
 			if e := m.checkOpen(); e != nil {
 				return e
 			}
@@ -207,7 +223,7 @@ func (m *Memory) DirectReadAll(addr uint64, size int) ([][]byte, error) {
 				continue
 			}
 		}
-		m.noteNodeError(i, err)
+		m.noteConnError(i, c, err)
 		if e := m.checkOpen(); e != nil {
 			return nil, e
 		}

@@ -1,6 +1,8 @@
 package repmem
 
 import (
+	"bytes"
+	"errors"
 	"fmt"
 	"time"
 
@@ -78,7 +80,7 @@ func (m *Memory) Recover() error {
 				want = zeros
 			}
 			have := areas[i][s*m.geo.SlotSize : (s+1)*m.geo.SlotSize]
-			if bytesEqual(have, want) {
+			if bytes.Equal(have, want) {
 				continue
 			}
 			if err := c.Write(replRegion, uint64(s*m.geo.SlotSize), want); err != nil {
@@ -88,6 +90,14 @@ func (m *Memory) Recover() error {
 		}
 		if e := m.checkOpen(); e != nil {
 			return e
+		}
+	}
+
+	// Load the checksum cache from the nodes' strips before any verified
+	// read or replay RMW consults it.
+	if m.integ != nil {
+		if err := m.integ.loadSums(); err != nil {
+			return err
 		}
 	}
 
@@ -109,19 +119,6 @@ func (m *Memory) Recover() error {
 	m.watermark = m.nextIndex - 1
 	m.seqMu.Unlock()
 	return nil
-}
-
-// bytesEqual reports whether two slices have identical contents.
-func bytesEqual(a, b []byte) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := range a {
-		if a[i] != b[i] {
-			return false
-		}
-	}
-	return true
 }
 
 // recoveryBatch is how many bytes are copied per locked step when
@@ -167,7 +164,7 @@ func (m *Memory) StartRecovery(interval time.Duration) (stop func()) {
 						err = c.Read(replRegion, 0, probe[:])
 					}
 					if err != nil {
-						m.noteNodeError(i, err)
+						m.noteConnError(i, c, err)
 					}
 				}
 				// Probe suspects: one that answers again is routed through
@@ -244,6 +241,22 @@ func (m *Memory) RecoverNodeNow(node string) error {
 		if n == node {
 			if m.state[i].Load() == nodeSuspect {
 				m.nodeFailed(i, errSuspectRepair)
+			}
+			if m.state[i].Load() == nodeLive {
+				// An apparently healthy node may have rebooted without the
+				// failure evidence having surfaced yet: an op parked on the
+				// old connection only completes with ErrFenced once the
+				// node's post-reboot epoch bump is observed. The populated
+				// marker disambiguates synchronously — the admin region is
+				// shared, so even a stale connection can read it, and a
+				// rebooted node reads empty.
+				if c, err := m.conn(i); err == nil {
+					if populated, err := readPopulated(c); err != nil {
+						m.noteConnError(i, c, err)
+					} else if !populated {
+						m.markNodeDead(i)
+					}
+				}
 			}
 			if m.state[i].Load() != nodeDead {
 				return nil
@@ -323,6 +336,7 @@ func (m *Memory) recoverNode(i int) error {
 	}
 	m.health[i].consecTimeouts.Store(0)
 	m.health[i].probeFails.Store(0)
+	m.health[i].corruptBlocks.Store(0)
 	m.health[i].ewma.Reset()
 	m.state[i].Store(nodeLive)
 	m.publishMembership()
@@ -385,7 +399,9 @@ func (m *Memory) copyMainMemory(i int, c rdma.Verbs) error {
 		k := m.code.K()
 		for b := uint64(0); b < blocks; b++ {
 			unlock := m.locks.rlockRange(b*B, int(B))
-			block, err := m.readBlockEC(b)
+			// readBlockEC skips checksum-failing chunks like dead nodes, so
+			// corruption on a source node is never copied to the target.
+			block, _, err := m.readBlockEC(b)
 			var chunk []byte
 			if err == nil {
 				if i < k {
@@ -400,6 +416,11 @@ func (m *Memory) copyMainMemory(i int, c rdma.Verbs) error {
 				if err == nil {
 					err = c.Write(replRegion, m.layout.MainBase()+b*uint64(m.chunk), chunk)
 				}
+				if err == nil && m.integ != nil {
+					sum := crcBlock(chunk)
+					m.integ.setSum(i, b, sum)
+					err = c.Write(replRegion, m.integ.stripOff(b), stripEntry(sum))
+				}
 			}
 			unlock()
 			if err != nil {
@@ -407,6 +428,10 @@ func (m *Memory) copyMainMemory(i int, c rdma.Verbs) error {
 			}
 		}
 		return nil
+	}
+
+	if m.integ != nil {
+		return m.copyMainVerified(i, c)
 	}
 
 	size := uint64(m.cfg.MemSize)
@@ -423,6 +448,40 @@ func (m *Memory) copyMainMemory(i int, c rdma.Verbs) error {
 			err = c.Write(replRegion, m.physMain(off), chunk)
 		}
 		unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// copyMainVerified copies the plain-replicated main memory block by block,
+// verifying each source block against the checksum cache — an unverified
+// copy would bless a corrupt source byte-for-byte onto the rebuilt node,
+// strip entry and all. A block with no verified source replica is repaired
+// (under write locks) and the copy retried.
+func (m *Memory) copyMainVerified(i int, c rdma.Verbs) error {
+	g := m.integ
+	for b := uint64(0); b < uint64(g.blocks); b++ {
+		var err error
+		for attempt := 0; attempt < 2; attempt++ {
+			start, length := g.blockRange(b)
+			unlock := m.locks.rlockRange(start, length)
+			var blk []byte
+			blk, err = g.readPlainBlockNoRepair(b)
+			if err == nil {
+				if err = c.Write(replRegion, g.physOff(b), blk); err == nil {
+					err = c.Write(replRegion, g.stripOff(b), stripEntry(g.sum(0, b)))
+				}
+			}
+			unlock()
+			if err == nil || !errors.Is(err, ErrCorrupt) {
+				break
+			}
+			if rerr := g.repairBlocks([]uint64{b}); rerr != nil {
+				return rerr
+			}
+		}
 		if err != nil {
 			return err
 		}

@@ -24,6 +24,7 @@
 package repmem
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"sync"
@@ -85,6 +86,19 @@ type Config struct {
 	ECData      int
 	ECParity    int
 	ECBlockSize int
+
+	// IntegrityBlockSize is the logical granularity of main-memory
+	// checksumming: each block of this many bytes carries a CRC32C in a
+	// strip on every memory node, verified on reads and repaired on
+	// mismatch. Zero selects the default (the EC block size under erasure
+	// coding, 4096 otherwise); negative disables checksumming. Under
+	// erasure coding any positive value is forced to ECBlockSize — the
+	// chunk is the physical unit of verification.
+	IntegrityBlockSize int
+	// CorruptSuspectAfter is the number of corrupt blocks detected on one
+	// node since its last rebuild after which the node is marked suspect
+	// and routed through a full rebuild (default 8; negative disables).
+	CorruptSuspectAfter int
 
 	// ApplyWorkers bounds concurrent background appliers (default 4).
 	ApplyWorkers int
@@ -158,6 +172,17 @@ func (c *Config) withDefaults() Config {
 	if out.RedialBackoffMax <= 0 {
 		out.RedialBackoffMax = 2 * time.Second
 	}
+	switch {
+	case out.IntegrityBlockSize < 0:
+		out.IntegrityBlockSize = 0
+	case out.ECData > 0:
+		out.IntegrityBlockSize = out.ECBlockSize
+	case out.IntegrityBlockSize == 0:
+		out.IntegrityBlockSize = 4096
+	}
+	if out.CorruptSuspectAfter == 0 {
+		out.CorruptSuspectAfter = 8
+	}
 	return out
 }
 
@@ -197,14 +222,20 @@ func (c Config) Validate() error {
 func (c Config) Layout() memnode.Layout {
 	cfg := c.withDefaults()
 	main := cfg.MemSize
+	ibs := cfg.IntegrityBlockSize
 	if cfg.ECData > 0 {
 		main = cfg.MemSize / cfg.ECData
+		if ibs > 0 {
+			// Per node, the unit of verification is one chunk per EC block.
+			ibs = cfg.ECBlockSize / cfg.ECData
+		}
 	}
 	return memnode.Layout{
-		WALSlotSize: cfg.WALSlotSize,
-		WALSlots:    cfg.WALSlots,
-		DirectSize:  cfg.DirectSize,
-		MainSize:    main,
+		WALSlotSize:        cfg.WALSlotSize,
+		WALSlots:           cfg.WALSlots,
+		DirectSize:         cfg.DirectSize,
+		MainSize:           main,
+		IntegrityBlockSize: ibs,
 	}
 }
 
@@ -223,6 +254,13 @@ type Stats struct {
 	NodeSuspected uint64 // live → suspect transitions (gray-failure detections)
 	Redials       uint64 // successful reconnections to failed nodes
 	RedialErrors  uint64 // failed reconnection attempts (circuit-breaker refusals excluded)
+
+	// Integrity counters (checksummed main memory + scrubber).
+	CorruptionsDetected uint64 // replica blocks/chunks that failed their CRC or diverged
+	BlocksRepaired      uint64 // replica blocks/chunks rewritten from a verified copy
+	ScrubbedBlocks      uint64 // blocks/ranges examined by the scrubber
+	ScrubPasses         uint64 // completed full scrub sweeps
+	ScrubPassUs         uint64 // smoothed (EWMA) full-sweep duration in microseconds
 
 	// Pipeline counters (per-node worker queues + transport connections).
 	Enqueued         uint64 // write ops handed to per-node workers
@@ -252,6 +290,8 @@ type Memory struct {
 
 	locks       *lockTable // main space
 	directLocks *lockTable // direct space
+
+	integ *integrity // checksummed main memory; nil when disabled
 
 	seqMu     sync.Mutex
 	seqCond   *sync.Cond
@@ -283,14 +323,18 @@ type Memory struct {
 		nodeTimeouts, nodeSuspected      atomic.Uint64
 		redials, redialErrors            atomic.Uint64
 		enqueued, queueWaitUs            atomic.Uint64
+		corruptions, repairs             atomic.Uint64
+		scrubbed, scrubPasses            atomic.Uint64
 	}
+	scrubPassTime metrics.EWMA // full-sweep duration, µs
 }
 
 // nodeHealth tracks one node's gray-failure signals.
 type nodeHealth struct {
 	ewma           metrics.EWMA // write latency, µs
 	consecTimeouts atomic.Int32
-	probeFails     atomic.Int32 // consecutive failed suspect probes
+	probeFails     atomic.Int32  // consecutive failed suspect probes
+	corruptBlocks  atomic.Uint64 // corrupt blocks detected since last rebuild
 }
 
 // connBox wraps a connection so a nil pointer distinguishes "never dialed".
@@ -335,6 +379,9 @@ func New(cfg Config) (*Memory, error) {
 		}
 		m.code = code
 		m.chunk = c.ECBlockSize / c.ECData
+	}
+	if c.IntegrityBlockSize > 0 {
+		m.integ = newIntegrity(m)
 	}
 	m.startWorkers()
 
@@ -411,6 +458,13 @@ func New(cfg Config) (*Memory, error) {
 		m.Close()
 		return nil, fmt.Errorf("%w: reached %d trustworthy nodes of %d", ErrNoQuorum, reachable, len(m.nodes))
 	}
+	// On a fresh deployment the materialized memory is all zeroes but the
+	// (also zeroed) strip does not equal the CRC of a zero block, so the
+	// strip must be initialized before the first verified read. On a
+	// populated group Recover loads the strips instead.
+	if m.integ != nil && !anyPopulated {
+		m.integ.bootstrapFresh()
+	}
 	// Publish this coordinator's initial view under its own term.
 	m.publishMembership()
 	return m, nil
@@ -472,6 +526,12 @@ func (m *Memory) Stats() Stats {
 		Enqueued:      m.stats.enqueued.Load(),
 		QueueWaitUs:   m.stats.queueWaitUs.Load(),
 		MaxQueueDepth: uint64(m.queueDepth.Max()),
+
+		CorruptionsDetected: m.stats.corruptions.Load(),
+		BlocksRepaired:      m.stats.repairs.Load(),
+		ScrubbedBlocks:      m.stats.scrubbed.Load(),
+		ScrubPasses:         m.stats.scrubPasses.Load(),
+		ScrubPassUs:         uint64(m.scrubPassTime.Value()),
 	}
 	for i := range m.conns {
 		b := m.conns[i].Load()
@@ -531,6 +591,13 @@ func (m *Memory) nodeFailed(i int, err error) {
 		m.fence()
 		return
 	}
+	m.markNodeDead(i)
+}
+
+// markNodeDead declares node i dead and drops its connection so recovery
+// re-dials (re-acquiring the exclusive region, which fences nothing new
+// since we are the same owner logic).
+func (m *Memory) markNodeDead(i int) {
 	if m.state[i].Load() != nodeDead {
 		m.state[i].Store(nodeDead)
 		m.stats.nodeFailures.Add(1)
@@ -538,8 +605,6 @@ func (m *Memory) nodeFailed(i int, err error) {
 		// caller's hot path.
 		go m.publishMembership()
 	}
-	// Drop the connection so recovery re-dials (and re-acquires the
-	// exclusive region, fencing nothing since we are the same owner logic).
 	if b := m.conns[i].Swap(nil); b != nil {
 		b.v.Close()
 	}
@@ -556,6 +621,68 @@ func (m *Memory) suspectNode(i int) {
 		// absence for any successor coordinator, off the caller's hot path.
 		go m.publishMembership()
 	}
+}
+
+// noteCorruption records n corrupt-block observations against node i and
+// feeds the live→suspect state machine: a node silently flipping bits is as
+// untrustworthy as a hung one, and only a full rebuild (which also resets
+// the count) clears the suspicion.
+func (m *Memory) noteCorruption(i, n int) {
+	if n <= 0 {
+		return
+	}
+	m.stats.corruptions.Add(uint64(n))
+	total := m.health[i].corruptBlocks.Add(uint64(n))
+	if m.cfg.CorruptSuspectAfter > 0 && total >= uint64(m.cfg.CorruptSuspectAfter) {
+		m.suspectNode(i)
+	}
+}
+
+// fencedByTakeover distinguishes the two causes of an ErrFenced observed on
+// node i's current connection. A newer coordinator acquiring the exclusive
+// region leaves the node's state intact (populated marker set) and, in
+// cluster use, has stamped a higher election term into the node's heartbeat
+// word; the node itself rebooting or being reset clears the populated
+// marker when it bumps the epoch (memnode.Reset). The admin region is
+// shared (epoch 0), so it stays readable on the fenced connection. When the
+// admin region cannot be read at all the call reports a takeover — the
+// conservative, self-fencing answer.
+func (m *Memory) fencedByTakeover(c rdma.Verbs) bool {
+	var buf [8]byte
+	if err := c.Read(memnode.AdminRegionID, memnode.AdminWordOffset, buf[:]); err == nil {
+		w := binary.LittleEndian.Uint64(buf[:])
+		if term := uint16(w >> 48); term > m.cfg.Term {
+			return true
+		}
+	}
+	populated, err := readPopulated(c)
+	return err != nil || populated
+}
+
+// noteConnError is noteNodeError for callers that know which connection the
+// failed op used.
+//
+// A completion from a connection that is no longer node i's current one is
+// dropped entirely: the failure was already accounted for when that
+// connection was torn down, and attributing it again would kill the node's
+// fresh connection (or, for ErrFenced raced by our own redial, fence the
+// whole memory over a takeover that never happened).
+//
+// ErrFenced on the current connection is further disambiguated: the node
+// itself rebooting bumps the region epoch just like a takeover does, but
+// leaves its populated marker cleared — that is an ordinary node failure
+// for the recovery manager, not a reason to stand down as coordinator.
+func (m *Memory) noteConnError(i int, c rdma.Verbs, err error) {
+	if c != nil {
+		if b := m.conns[i].Load(); b == nil || b.v != c {
+			return
+		}
+		if errors.Is(err, rdma.ErrFenced) && !m.fencedByTakeover(c) {
+			m.markNodeDead(i)
+			return
+		}
+	}
+	m.noteNodeError(i, err)
 }
 
 // noteNodeError classifies a failed operation against node i. Deadline
@@ -583,13 +710,13 @@ func (m *Memory) noteNodeError(i int, err error) {
 // noteOpResult records a completed write against node i: successes feed the
 // EWMA latency and clear the timeout streak, failures go through
 // noteNodeError.
-func (m *Memory) noteOpResult(i int, lat time.Duration, err error) {
+func (m *Memory) noteOpResult(i int, c rdma.Verbs, lat time.Duration, err error) {
 	if err == nil {
 		m.health[i].ewma.Observe(float64(lat.Microseconds()))
 		m.health[i].consecTimeouts.Store(0)
 		return
 	}
-	m.noteNodeError(i, err)
+	m.noteConnError(i, c, err)
 }
 
 // fence marks the memory as fenced and fires the callback once.
@@ -664,11 +791,12 @@ func (m *Memory) writeTargets(need int) (wait, bestEffort []int) {
 // cluster health surface and the chaos tests.
 type NodeHealth struct {
 	Node           string
-	State          string  // "live", "suspect", "syncing", or "dead"
-	EWMALatencyUs  float64 // smoothed write latency in microseconds
-	ConsecTimeouts int     // current consecutive deadline-expiry streak
-	RedialFailures int     // consecutive failed reconnection attempts
+	State          string        // "live", "suspect", "syncing", or "dead"
+	EWMALatencyUs  float64       // smoothed write latency in microseconds
+	ConsecTimeouts int           // current consecutive deadline-expiry streak
+	RedialFailures int           // consecutive failed reconnection attempts
 	RedialBackoff  time.Duration // time until the next redial attempt; 0 when the circuit is closed
+	Corruptions    uint64        // corrupt blocks detected on this node since its last rebuild
 }
 
 // Health snapshots every node's liveness state, latency EWMA, timeout
@@ -684,6 +812,7 @@ func (m *Memory) Health() []NodeHealth {
 			ConsecTimeouts: int(m.health[i].consecTimeouts.Load()),
 			RedialFailures: failures,
 			RedialBackoff:  openFor,
+			Corruptions:    m.health[i].corruptBlocks.Load(),
 		}
 	}
 	return out

@@ -110,7 +110,7 @@ func (m *Memory) nodeWorkerLoop(i int, ch chan nodeReq) {
 		sub, ok := conn.(rdma.Submitter)
 		if !ok {
 			err := conn.Write(req.region, req.offset, req.data)
-			m.noteOpResult(i, time.Since(start), err)
+			m.noteOpResult(i, conn, time.Since(start), err)
 			req.done(err)
 			continue
 		}
@@ -124,7 +124,7 @@ func (m *Memory) nodeWorkerLoop(i int, ch chan nodeReq) {
 			err := o.Err
 			*o = rdma.Op{}
 			opPool.Put(o)
-			m.noteOpResult(i, time.Since(start), err)
+			m.noteOpResult(i, conn, time.Since(start), err)
 			done(err)
 		}
 		sub.Submit(op)

@@ -1,6 +1,7 @@
 package repmem
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sync"
 
@@ -34,7 +35,7 @@ func (m *Memory) WriteBatch(writes []wal.Write) error {
 		if err := m.checkMainRange(w.Addr, len(w.Data)); err != nil {
 			return err
 		}
-		ranges[i] = m.expandToECBlocks(w.Addr, len(w.Data))
+		ranges[i] = m.expandWriteRange(w.Addr, len(w.Data))
 	}
 
 	unlock := m.locks.lockRanges(ranges)
@@ -180,14 +181,59 @@ func (m *Memory) fanOutWait(region rdma.RegionID, offset uint64, data []byte, ta
 }
 
 // applyPlain writes data at a main-space address to all writable nodes
-// (full-replication layout); suspects are written best-effort.
+// (full-replication layout); suspects are written best-effort. With
+// integrity enabled the write is widened to integrity-block boundaries
+// (reading back the partial edge blocks — the caller's expanded write lock
+// covers them) so the data and its refreshed strip entries land together.
 func (m *Memory) applyPlain(addr uint64, data []byte) {
 	wait, bestEffort := m.writeTargets(0)
-	offset := m.physMain(addr)
-	for _, i := range bestEffort {
-		m.enqueueBestEffort(i, replRegion, offset, data)
+	if m.integ == nil {
+		offset := m.physMain(addr)
+		for _, i := range bestEffort {
+			m.enqueueBestEffort(i, replRegion, offset, data)
+		}
+		m.fanOutWait(replRegion, offset, data, wait)
+		return
 	}
-	m.fanOutWait(replRegion, offset, data, wait)
+	span, spanStart, strip, ok := m.integ.buildPlainSpan(addr, data)
+	if !ok {
+		// No retrievable edge-block content (catastrophic loss); the WAL
+		// still holds the entry for future recovery.
+		return
+	}
+	writes := []spanWrite{
+		{off: m.physMain(spanStart), data: span},
+		{off: m.integ.stripOff(spanStart / m.integ.ibs), data: strip},
+	}
+	for _, i := range bestEffort {
+		for _, w := range writes {
+			m.enqueueBestEffort(i, replRegion, w.off, w.data)
+		}
+	}
+	m.fanOutWaitWrites(wait, writes)
+}
+
+// spanWrite is one (offset, payload) pair of a multi-write apply.
+type spanWrite struct {
+	off  uint64
+	data []byte
+}
+
+// fanOutWaitWrites enqueues several writes to every waited-on node and
+// blocks until all completions arrive (see fanOutWait for why all).
+func (m *Memory) fanOutWaitWrites(targets []int, writes []spanWrite) {
+	if len(targets) == 0 || len(writes) == 0 {
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(targets) * len(writes))
+	done := func(error) { wg.Done() }
+	for _, i := range targets {
+		for _, w := range writes {
+			m.enqueue(i, nodeReq{region: replRegion, offset: w.off, data: w.data, done: done})
+		}
+	}
+	wg.Wait()
 }
 
 // applyEC applies a main-space update under erasure coding: each affected
@@ -207,7 +253,9 @@ func (m *Memory) applyEC(addr uint64, data []byte) {
 		if lo == blockStart && hi == blockStart+B {
 			block = data[lo-addr : hi-addr]
 		} else {
-			cur, err := m.readBlockEC(b)
+			// RMW source read; corrupt chunks are skipped like dead nodes and
+			// then overwritten below, so apply itself heals them.
+			cur, _, err := m.readBlockEC(b)
 			if err != nil {
 				// Cannot reconstruct the block (catastrophic loss); the WAL
 				// still holds the entry for future recovery.
@@ -221,19 +269,41 @@ func (m *Memory) applyEC(addr uint64, data []byte) {
 			continue
 		}
 		physOff := m.layout.MainBase() + b*uint64(m.chunk)
+		var strip []byte
+		if m.integ != nil {
+			strip = make([]byte, 4*len(chunks))
+			for j := range chunks {
+				sum := crcBlock(chunks[j])
+				m.integ.setSum(j, b, sum)
+				binary.LittleEndian.PutUint32(strip[4*j:], sum)
+			}
+		}
+		stripOff := uint64(0)
+		if m.integ != nil {
+			stripOff = m.integ.stripOff(b)
+		}
 		wait, bestEffort := m.writeTargets(0)
 		for _, i := range bestEffort {
 			m.enqueueBestEffort(i, replRegion, physOff, chunks[i])
+			if strip != nil {
+				m.enqueueBestEffort(i, replRegion, stripOff, strip[4*i:4*i+4])
+			}
 		}
 		if len(wait) == 0 {
 			continue
 		}
+		perNode := 1
+		if strip != nil {
+			perNode = 2
+		}
 		var wg sync.WaitGroup
-		wg.Add(len(wait))
+		wg.Add(len(wait) * perNode)
+		done := func(error) { wg.Done() }
 		for _, i := range wait {
-			m.enqueue(i, nodeReq{region: replRegion, offset: physOff, data: chunks[i], done: func(err error) {
-				wg.Done()
-			}})
+			m.enqueue(i, nodeReq{region: replRegion, offset: physOff, data: chunks[i], done: done})
+			if strip != nil {
+				m.enqueue(i, nodeReq{region: replRegion, offset: stripOff, data: strip[4*i : 4*i+4], done: done})
+			}
 		}
 		wg.Wait()
 	}
@@ -320,7 +390,7 @@ func (m *Memory) UnloggedWrite(addr uint64, data []byte) error {
 	if err := m.checkMainRange(addr, len(data)); err != nil {
 		return err
 	}
-	r := m.expandToECBlocks(addr, len(data))
+	r := m.expandWriteRange(addr, len(data))
 	unlock := m.locks.lockRange(r.addr, r.size)
 	defer unlock()
 	if m.code != nil {
@@ -346,16 +416,28 @@ func (m *Memory) UnloggedWrite(addr uint64, data []byte) error {
 	return nil
 }
 
-// expandToECBlocks widens a range to EC block boundaries so that
-// read-modify-write applies are covered by the caller's lock. Without EC it
-// returns the range unchanged.
-func (m *Memory) expandToECBlocks(addr uint64, size int) lockRange {
-	if m.code == nil || size == 0 {
+// expandWriteRange widens a range so read-modify-write applies and checksum
+// verification are covered by the caller's lock: to EC block boundaries
+// under erasure coding, to integrity-block boundaries when checksumming
+// (identical under EC, where the integrity block is the EC block). Without
+// either it returns the range unchanged.
+func (m *Memory) expandWriteRange(addr uint64, size int) lockRange {
+	var B uint64
+	switch {
+	case size == 0:
+		return lockRange{addr: addr, size: size}
+	case m.code != nil:
+		B = uint64(m.cfg.ECBlockSize)
+	case m.integ != nil:
+		B = m.integ.ibs
+	default:
 		return lockRange{addr: addr, size: size}
 	}
-	B := uint64(m.cfg.ECBlockSize)
 	lo := addr / B * B
 	hi := (addr + uint64(size) + B - 1) / B * B
+	if limit := uint64(m.cfg.MemSize); hi > limit {
+		hi = limit
+	}
 	return lockRange{addr: lo, size: int(hi - lo)}
 }
 

@@ -1,0 +1,70 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzDecode feeds arbitrary slot images to Decode. The decoder guards
+// recovery — it parses whatever bytes a crashed or corrupt memory node
+// holds — so it must never panic and must classify every input as either a
+// valid entry or ErrCorrupt.
+func FuzzDecode(f *testing.F) {
+	// Seed with an empty slot, a short slot, and a few valid encodings.
+	f.Add([]byte{})
+	f.Add(make([]byte, 17))
+	f.Add(make([]byte, 512))
+	for _, e := range []Entry{
+		{Index: 1},
+		{Index: 7, Writes: []Write{{Addr: 64, Data: []byte("hello")}}},
+		{Index: 1 << 40, Writes: []Write{
+			{Addr: 0, Data: bytes.Repeat([]byte{0xab}, 100)},
+			{Addr: 4096, Data: nil},
+		}},
+	} {
+		buf := make([]byte, 512)
+		if _, err := e.Encode(buf); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf)
+		// And a torn variant: valid header, damaged payload.
+		torn := append([]byte(nil), buf...)
+		torn[len(torn)/2] ^= 0xff
+		f.Add(torn)
+	}
+
+	f.Fuzz(func(t *testing.T, slot []byte) {
+		e, err := Decode(slot)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("Decode returned non-ErrCorrupt error: %v", err)
+			}
+			return
+		}
+		// A successfully decoded entry must satisfy the format invariants
+		// and round-trip through Encode back to a decodable image.
+		if e.Index == 0 {
+			t.Fatal("decoded entry with zero index")
+		}
+		if e.Size() > len(slot) {
+			t.Fatalf("decoded entry larger than its slot: %d > %d", e.Size(), len(slot))
+		}
+		buf := make([]byte, len(slot))
+		if _, err := e.Encode(buf); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		e2, err := Decode(buf)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if e2.Index != e.Index || len(e2.Writes) != len(e.Writes) {
+			t.Fatalf("round trip changed entry: %+v vs %+v", e, e2)
+		}
+		for i := range e.Writes {
+			if e2.Writes[i].Addr != e.Writes[i].Addr || !bytes.Equal(e2.Writes[i].Data, e.Writes[i].Data) {
+				t.Fatalf("round trip changed write %d", i)
+			}
+		}
+	})
+}

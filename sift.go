@@ -113,6 +113,14 @@ type Config struct {
 	// NodeRecoveryInterval is the dead-memory-node reintegration poll
 	// period (default 250ms).
 	NodeRecoveryInterval time.Duration
+	// ScrubInterval is the background integrity scrubber's tick; each tick
+	// verifies a small batch of main-memory blocks and direct-zone ranges
+	// against their checksums and cross-replica agreement, repairing what it
+	// can. Default 50ms; negative disables the scrubber.
+	ScrubInterval time.Duration
+	// NoIntegrity disables the per-block CRC32C checksum strip and the
+	// read-path verification/read-repair that rides on it.
+	NoIntegrity bool
 
 	// OpDeadline bounds every one-sided verb (READ/WRITE/CAS): an
 	// operation outstanding longer than this fails with rdma.ErrDeadline
@@ -189,6 +197,9 @@ func (c *Config) withDefaults() Config {
 	}
 	if out.NodeRecoveryInterval <= 0 {
 		out.NodeRecoveryInterval = 250 * time.Millisecond
+	}
+	if out.ScrubInterval == 0 {
+		out.ScrubInterval = 50 * time.Millisecond
 	}
 	if out.OpDeadline == 0 {
 		out.OpDeadline = time.Second
