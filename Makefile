@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 race chaos linearize fuzz-short bench-pipeline
+.PHONY: tier1 race chaos linearize fuzz-short bench-pipeline obs-smoke staticcheck
 
 # Tier-1 verification: everything vets, builds, and every test passes.
 tier1:
@@ -32,3 +32,21 @@ fuzz-short:
 # Pipelined-transport throughput benchmark (records EXPERIMENTS.md numbers).
 bench-pipeline:
 	$(GO) test -run '^$$' -bench BenchmarkPipelinedPut -benchtime 2s .
+
+# Observability smoke: both daemons build, the obs package tests pass, and
+# the in-process cluster serves /metrics, /healthz, /statusz, and /events
+# with the expected content (TestObsSmoke scrapes them over HTTP).
+obs-smoke:
+	$(GO) build -o /tmp/sift-obs-smoke-siftd ./cmd/siftd
+	$(GO) build -o /tmp/sift-obs-smoke-memnoded ./cmd/memnoded
+	$(GO) test ./internal/obs/
+	$(GO) test -run 'TestObs' -v .
+
+# Static analysis beyond go vet. Skips gracefully when the staticcheck
+# binary is not installed (CI installs it; see .github/workflows/ci.yml).
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi

@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -15,6 +16,21 @@ import (
 	"github.com/repro/sift/internal/memnode"
 	"github.com/repro/sift/internal/workload"
 )
+
+// dumpEventsOnFailure prints the cluster's control-plane event ring into
+// the test log when the test fails, so a broken failover leaves its
+// election/fencing/suspicion trace next to the assertion that caught it.
+func dumpEventsOnFailure(t *testing.T, cl *Cluster) {
+	t.Helper()
+	t.Cleanup(func() {
+		if !t.Failed() {
+			return
+		}
+		var b strings.Builder
+		cl.Events().Dump(&b)
+		t.Logf("control-plane events at failure:\n%s", b.String())
+	})
+}
 
 // TestChaosCommittedWritesSurvive runs a write/read workload while
 // repeatedly crashing coordinators and memory nodes (within the F budget),
@@ -29,6 +45,7 @@ func TestChaosCommittedWritesSurvive(t *testing.T) {
 	cfg.Keys = 256
 	cfg.NodeRecoveryInterval = 10 * time.Millisecond
 	cl := newTestCluster(t, cfg)
+	dumpEventsOnFailure(t, cl)
 
 	const (
 		workers = 4
@@ -138,6 +155,7 @@ func TestChaosErasureCoded(t *testing.T) {
 	cfg.ErasureCoding = true
 	cfg.NodeRecoveryInterval = 10 * time.Millisecond
 	cl := newTestCluster(t, cfg)
+	dumpEventsOnFailure(t, cl)
 	c := cl.Client()
 	c.RetryBudget = 20 * time.Second
 
@@ -214,6 +232,7 @@ func TestChaosHungMemoryNode(t *testing.T) {
 	}
 	cfg := grayConfig()
 	cl := newTestCluster(t, cfg)
+	dumpEventsOnFailure(t, cl)
 	c := cl.Client()
 	c.RetryBudget = 20 * time.Second
 
@@ -305,6 +324,7 @@ func TestChaosSlowThenRecover(t *testing.T) {
 	cfg := grayConfig()
 	cfg.OpDeadline = 40 * time.Millisecond
 	cl := newTestCluster(t, cfg)
+	dumpEventsOnFailure(t, cl)
 	c := cl.Client()
 	c.RetryBudget = 20 * time.Second
 
@@ -368,6 +388,7 @@ func TestChaosNetworkFlap(t *testing.T) {
 	cfg := smallConfig()
 	cfg.NodeRecoveryInterval = 10 * time.Millisecond
 	cl := newTestCluster(t, cfg)
+	dumpEventsOnFailure(t, cl)
 	c := cl.Client()
 	c.RetryBudget = 20 * time.Second
 
@@ -524,6 +545,7 @@ func TestChaosLinearizeHungNodeElection(t *testing.T) {
 	}
 	cfg := grayConfig()
 	cl := newTestCluster(t, cfg)
+	dumpEventsOnFailure(t, cl)
 	if err := cl.WaitForCoordinator(5 * time.Second); err != nil {
 		t.Fatal(err)
 	}
@@ -550,6 +572,7 @@ func TestChaosLinearizeDropDelay(t *testing.T) {
 	}
 	cfg := grayConfig()
 	cl := newTestCluster(t, cfg)
+	dumpEventsOnFailure(t, cl)
 	if err := cl.WaitForCoordinator(5 * time.Second); err != nil {
 		t.Fatal(err)
 	}
@@ -575,6 +598,7 @@ func TestChaosLinearizeNetworkFlap(t *testing.T) {
 	cfg := smallConfig()
 	cfg.NodeRecoveryInterval = 10 * time.Millisecond
 	cl := newTestCluster(t, cfg)
+	dumpEventsOnFailure(t, cl)
 	if err := cl.WaitForCoordinator(5 * time.Second); err != nil {
 		t.Fatal(err)
 	}
@@ -607,6 +631,7 @@ func TestChaosCorruption(t *testing.T) {
 	}
 	cfg := grayConfig()
 	cl := newTestCluster(t, cfg)
+	dumpEventsOnFailure(t, cl)
 	if err := cl.WaitForCoordinator(5 * time.Second); err != nil {
 		t.Fatal(err)
 	}

@@ -75,6 +75,7 @@ func (c *Client) do(op func(*kv.Store) error) error {
 	deadline := time.Now().Add(c.budget())
 	backoff := time.Millisecond
 	sent := false
+	cm := c.cluster.cm
 	for {
 		st := c.cluster.coordinatorStore()
 		if st != nil {
@@ -87,10 +88,13 @@ func (c *Client) do(op func(*kv.Store) error) error {
 		remaining := time.Until(deadline)
 		if remaining <= 0 {
 			if sent {
+				cm.ambiguous.Inc()
 				return ErrAmbiguous
 			}
+			cm.noCoord.Inc()
 			return ErrNoCoordinator
 		}
+		cm.retries.Inc()
 		time.Sleep(jitteredBackoff(backoff, remaining, nil))
 		if backoff < 16*time.Millisecond {
 			backoff *= 2
@@ -131,7 +135,9 @@ func finishGet(p *linearize.Pending, out []byte, err error) {
 // majority of memory nodes.
 func (c *Client) Put(key, value []byte) error {
 	p := c.History.Invoke(c.ClientID, linearize.KindPut, string(key), string(value))
+	start := time.Now()
 	err := c.do(func(st *kv.Store) error { return st.Put(key, value) })
+	c.cluster.cm.putLat.Record(time.Since(start))
 	finishWrite(p, err)
 	return err
 }
@@ -140,6 +146,7 @@ func (c *Client) Put(key, value []byte) error {
 func (c *Client) Get(key []byte) ([]byte, error) {
 	p := c.History.Invoke(c.ClientID, linearize.KindGet, string(key), "")
 	var out []byte
+	start := time.Now()
 	err := c.do(func(st *kv.Store) error {
 		v, err := st.Get(key)
 		if err != nil {
@@ -148,6 +155,7 @@ func (c *Client) Get(key []byte) ([]byte, error) {
 		out = v
 		return nil
 	})
+	c.cluster.cm.getLat.Record(time.Since(start))
 	if errors.Is(err, kv.ErrNotFound) {
 		err = ErrNotFound
 	}
@@ -161,7 +169,9 @@ func (c *Client) Get(key []byte) ([]byte, error) {
 // Delete removes key. Deleting a missing key is not an error.
 func (c *Client) Delete(key []byte) error {
 	p := c.History.Invoke(c.ClientID, linearize.KindDelete, string(key), "")
+	start := time.Now()
 	err := c.do(func(st *kv.Store) error { return st.Delete(key) })
+	c.cluster.cm.deleteLat.Record(time.Since(start))
 	finishWrite(p, err)
 	return err
 }
@@ -189,7 +199,9 @@ func (c *Client) PutBatch(pairs []Pair) error {
 			}
 		}
 	}
+	start := time.Now()
 	err := c.do(func(st *kv.Store) error { return st.PutBatch(pairs) })
+	c.cluster.cm.batchLat.Record(time.Since(start))
 	for _, p := range ps {
 		finishWrite(p, err)
 	}

@@ -13,6 +13,7 @@ import (
 	"github.com/repro/sift/internal/kv"
 	"github.com/repro/sift/internal/memnode"
 	"github.com/repro/sift/internal/netsim"
+	"github.com/repro/sift/internal/obs"
 	"github.com/repro/sift/internal/persist"
 	"github.com/repro/sift/internal/rdma"
 	"github.com/repro/sift/internal/repmem"
@@ -33,6 +34,13 @@ type Cluster struct {
 	memNames []string
 
 	persistDB *persist.DB
+
+	// Observability surface (see obs.go): registry, event ring, and the
+	// cross-term latency hooks shared by every coordinator incarnation.
+	reg     *obs.Registry
+	events  *obs.Ring
+	latency *repmem.LatencyHooks
+	cm      *clientMetrics
 
 	mu      sync.Mutex
 	runners map[uint16]*cpuRunner
@@ -118,6 +126,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	}
 	mcfg.MemoryNodes = cl.memNames
 	cl.mcfg = mcfg
+	cl.initObs() // after memNames exist (per-node gauges), before CPU nodes start
 
 	for i := 0; i < c.CPUNodes; i++ {
 		cl.startCPUNodeLocked(uint16(i + 1))
@@ -148,13 +157,15 @@ func (cl *Cluster) nodeConfig(id uint16) core.Config {
 		electDial = cl.faults.WrapDialer(electDial)
 	}
 	mcfg.Dial = memDial
+	mcfg.Events = cl.events
+	mcfg.Latency = cl.latency
 	return core.Config{
 		NodeID: id,
 		Election: election.Config{
-			MemoryNodes: cl.memNames,
-			AdminRegion: memnode.AdminRegionID,
-			AdminOffset: memnode.AdminWordOffset,
-			Dial:        electDial,
+			MemoryNodes:       cl.memNames,
+			AdminRegion:       memnode.AdminRegionID,
+			AdminOffset:       memnode.AdminWordOffset,
+			Dial:              electDial,
 			HeartbeatInterval: cl.cfg.HeartbeatInterval,
 			ReadInterval:      cl.cfg.ReadInterval,
 			MissedBeats:       cl.cfg.MissedBeats,
@@ -164,6 +175,7 @@ func (cl *Cluster) nodeConfig(id uint16) core.Config {
 		KV:                   cl.kcfg,
 		NodeRecoveryInterval: cl.cfg.NodeRecoveryInterval,
 		ScrubInterval:        cl.cfg.ScrubInterval,
+		Events:               cl.events,
 	}
 }
 
@@ -327,6 +339,7 @@ func (cl *Cluster) StartCPUNode(id uint16) {
 // (0 skips the replacement; an id already running is left alone), and waits
 // for a successor to win the election. It returns the new coordinator's id.
 func (cl *Cluster) ForceFailover(replacement uint16, timeout time.Duration) (uint16, error) {
+	cl.events.Emit("cluster.force-failover", "", 0, "killing coordinator")
 	old := cl.KillCoordinator()
 	if replacement != 0 {
 		cl.StartCPUNode(replacement)

@@ -19,6 +19,7 @@ import (
 
 	"github.com/repro/sift/internal/deploy"
 	"github.com/repro/sift/internal/memnode"
+	"github.com/repro/sift/internal/obs"
 	"github.com/repro/sift/internal/rdma"
 )
 
@@ -34,6 +35,7 @@ func main() {
 		memWALSlots = flag.Int("mem-wal-slots", 1024, "replicated-memory log entries")
 		memWALSlot  = flag.Int("mem-wal-slot-size", 4096, "replicated-memory log slot bytes")
 		noIntegrity = flag.Bool("no-integrity", false, "disable the main-memory checksum strip (must match siftd)")
+		debugAddr   = flag.String("debug-addr", "", "debug HTTP listen address serving /metrics, /healthz, /statusz, /debug/pprof ('' disables)")
 	)
 	flag.Parse()
 
@@ -56,6 +58,27 @@ func main() {
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatalf("memnoded: %v", err)
+	}
+	if *debugAddr != "" {
+		reg := obs.NewRegistry()
+		obs.RegisterProcess(reg)
+		reg.GaugeFunc("sift_memnode_repl_bytes", "Replicated region size in bytes.",
+			func() float64 { return float64(layout.ReplSize()) })
+		reg.GaugeFunc("sift_memnode_wal_slots", "Replicated-memory WAL slots.",
+			func() float64 { return float64(layout.WALSlots) })
+		statusz := func() any {
+			return map[string]any{
+				"addr":        *addr,
+				"layout":      layout,
+				"repl_bytes":  layout.ReplSize(),
+				"admin_bytes": memnode.AdminSize,
+			}
+		}
+		_, daddr, err := obs.Start(*debugAddr, obs.Options{Registry: reg, Statusz: statusz})
+		if err != nil {
+			log.Fatalf("memnoded: %v", err)
+		}
+		log.Printf("memnoded: debug server on http://%s (/metrics /healthz /statusz /debug/pprof)", daddr)
 	}
 	log.Printf("memnoded: serving %d B replicated region + %d B admin region on %s",
 		layout.ReplSize(), memnode.AdminSize, l.Addr())

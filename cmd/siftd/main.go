@@ -30,7 +30,9 @@ import (
 	"github.com/repro/sift/internal/election"
 	"github.com/repro/sift/internal/kv"
 	"github.com/repro/sift/internal/memnode"
+	"github.com/repro/sift/internal/obs"
 	"github.com/repro/sift/internal/rdma"
+	"github.com/repro/sift/internal/repmem"
 	"github.com/repro/sift/internal/rpc"
 )
 
@@ -52,6 +54,7 @@ func main() {
 		opDeadline  = flag.Duration("op-deadline", time.Second, "per-operation RDMA deadline (0 disables; hung memory nodes fail ops with rdma.ErrDeadline)")
 		scrubEvery  = flag.Duration("scrub-interval", 50*time.Millisecond, "background integrity scrub tick (0 disables)")
 		noIntegrity = flag.Bool("no-integrity", false, "disable the main-memory checksum strip and read verification (must match memnoded)")
+		debugAddr   = flag.String("debug-addr", "", "debug HTTP listen address serving /metrics, /healthz, /statusz, /events, /debug/pprof ('' disables)")
 	)
 	flag.Parse()
 
@@ -80,6 +83,16 @@ func main() {
 		})
 	}
 
+	reg := obs.NewRegistry()
+	obs.RegisterProcess(reg)
+	events := obs.NewRing(obs.DefaultRingSize)
+	latency := &repmem.LatencyHooks{}
+	mcfg.Latency = latency
+	reg.Observe("sift_repmem_write_seconds", "Logged write commit latency (WAL append quorum).", &latency.Write)
+	reg.Observe("sift_repmem_direct_write_seconds", "Direct-zone write commit latency.", &latency.DirectWrite)
+	reg.Observe("sift_repmem_read_seconds", "Main-space read latency.", &latency.Read)
+	reg.Observe("sift_repmem_quorum_wait_seconds", "Quorum ack wait inside a write fan-out.", &latency.Quorum)
+
 	node := core.NewCPUNode(core.Config{
 		NodeID: uint16(*id),
 		Election: election.Config{
@@ -105,10 +118,79 @@ func main() {
 		OnRoleChange: func(r core.Role) {
 			log.Printf("siftd: role -> %s", r)
 		},
+		Events: events,
 	})
 
+	// Counters and gauges read through the coordinator's layers at scrape
+	// time; they report zero while this node is a follower.
+	memStat := func(f func(repmem.Stats) uint64) func() float64 {
+		return func() float64 {
+			if st := node.Store(); st != nil {
+				return float64(f(st.MemoryStats()))
+			}
+			return 0
+		}
+	}
+	reg.CounterFunc("sift_repmem_quorum_writes_total", "Writes committed on a majority (logged + direct).",
+		memStat(func(s repmem.Stats) uint64 { return s.Writes + s.DirectWrites }))
+	reg.CounterFunc("sift_repmem_reads_total", "Main-space reads served.",
+		memStat(func(s repmem.Stats) uint64 { return s.Reads }))
+	reg.CounterFunc("sift_repmem_node_failures_total", "Memory node failure detections.",
+		memStat(func(s repmem.Stats) uint64 { return s.NodeFailures }))
+	reg.CounterFunc("sift_repmem_node_recoveries_total", "Memory node recoveries completed.",
+		memStat(func(s repmem.Stats) uint64 { return s.NodeRecovered }))
+	reg.CounterFunc("sift_repmem_node_suspected_total", "Live-to-suspect transitions (gray-failure detections).",
+		memStat(func(s repmem.Stats) uint64 { return s.NodeSuspected }))
+	reg.CounterFunc("sift_repmem_read_repairs_total", "Reads that triggered an inline block repair.",
+		memStat(func(s repmem.Stats) uint64 { return s.ReadRepairs }))
+	reg.CounterFunc("sift_repmem_corruptions_total", "Replica blocks that failed their checksum or diverged.",
+		memStat(func(s repmem.Stats) uint64 { return s.CorruptionsDetected }))
+	reg.CounterFunc("sift_scrub_passes_total", "Completed full scrub sweeps.",
+		memStat(func(s repmem.Stats) uint64 { return s.ScrubPasses }))
+	reg.CounterFunc("sift_election_campaigns_total", "Election campaigns started by this CPU node.",
+		func() float64 { return float64(node.Elections()) })
+	reg.CounterFunc("sift_election_promotions_total", "Coordinator promotions on this CPU node.",
+		func() float64 { return float64(node.Promotions()) })
+	reg.CounterFunc("sift_election_dethronements_total", "Times this node was dethroned by a heartbeat failure.",
+		func() float64 { return float64(node.Dethronements()) })
+	reg.GaugeFunc("sift_election_term", "Term this node coordinates (0 when follower).",
+		func() float64 { return float64(node.Term()) })
+	reg.GaugeFunc("sift_is_coordinator", "1 while this node is the serving coordinator.",
+		func() float64 {
+			if node.Store() != nil {
+				return 1
+			}
+			return 0
+		})
+	reg.GaugeFunc("sift_pipeline_queue_depth", "Current depth of the per-node write worker queues.",
+		func() float64 {
+			if st := node.Store(); st != nil {
+				cur, _ := st.Memory().QueueDepth()
+				return float64(cur)
+			}
+			return 0
+		})
+
+	// instrument wraps a client RPC handler with per-op throughput, error,
+	// and latency metrics.
+	instrument := func(op string, h func([]byte) ([]byte, error)) func([]byte) ([]byte, error) {
+		lat := reg.Histogram(fmt.Sprintf("sift_client_op_seconds{op=%q}", op), "Client RPC operation latency.")
+		ops := reg.Counter(fmt.Sprintf("sift_client_ops_total{op=%q}", op), "Client RPC operations served.")
+		errs := reg.Counter(fmt.Sprintf("sift_client_op_errors_total{op=%q}", op), "Client RPC operations that returned an error.")
+		return func(payload []byte) ([]byte, error) {
+			start := time.Now()
+			out, err := h(payload)
+			lat.Record(time.Since(start))
+			ops.Inc()
+			if err != nil {
+				errs.Inc()
+			}
+			return out, err
+		}
+	}
+
 	srv := rpc.NewServer()
-	srv.Handle(rpc.MethodGet, func(payload []byte) ([]byte, error) {
+	srv.Handle(rpc.MethodGet, instrument("get", func(payload []byte) ([]byte, error) {
 		st := node.Store()
 		if st == nil {
 			return nil, fmt.Errorf("not coordinator (role %s)", node.Role())
@@ -122,8 +204,8 @@ func main() {
 			return nil, fmt.Errorf("not found")
 		}
 		return v, err
-	})
-	srv.Handle(rpc.MethodPut, func(payload []byte) ([]byte, error) {
+	}))
+	srv.Handle(rpc.MethodPut, instrument("put", func(payload []byte) ([]byte, error) {
 		st := node.Store()
 		if st == nil {
 			return nil, fmt.Errorf("not coordinator (role %s)", node.Role())
@@ -133,8 +215,8 @@ func main() {
 			return nil, err
 		}
 		return nil, st.Put(key, value)
-	})
-	srv.Handle(rpc.MethodDelete, func(payload []byte) ([]byte, error) {
+	}))
+	srv.Handle(rpc.MethodDelete, instrument("delete", func(payload []byte) ([]byte, error) {
 		st := node.Store()
 		if st == nil {
 			return nil, fmt.Errorf("not coordinator (role %s)", node.Role())
@@ -144,10 +226,57 @@ func main() {
 			return nil, err
 		}
 		return nil, st.Delete(key)
-	})
+	}))
 	srv.Handle(rpc.MethodStatus, func([]byte) ([]byte, error) {
 		return []byte(node.Role().String()), nil
 	})
+
+	if *debugAddr != "" {
+		healthz := func() error {
+			st := node.Store()
+			if st == nil {
+				return nil // follower or candidate: healthy, just not serving
+			}
+			health := st.MemoryHealth()
+			live := 0
+			for _, h := range health {
+				if h.State == "live" {
+					live++
+				}
+			}
+			if need := len(health)/2 + 1; live < need {
+				return fmt.Errorf("only %d of %d memory nodes live (need %d)", live, len(health), need)
+			}
+			return nil
+		}
+		statusz := func() any {
+			doc := map[string]any{
+				"node_id":       *id,
+				"role":          node.Role().String(),
+				"term":          node.Term(),
+				"elections":     node.Elections(),
+				"promotions":    node.Promotions(),
+				"dethronements": node.Dethronements(),
+				"memory_nodes":  memNodes,
+				"events_seen":   events.Seq(),
+			}
+			if st := node.Store(); st != nil {
+				doc["kv"] = st.Stats()
+				doc["repmem"] = st.MemoryStats()
+				doc["health"] = st.MemoryHealth()
+				cur, max := st.Memory().QueueDepth()
+				doc["pipeline"] = map[string]int64{"queue_depth": cur, "queue_depth_max": max}
+			}
+			return doc
+		}
+		_, addr, err := obs.Start(*debugAddr, obs.Options{
+			Registry: reg, Events: events, Healthz: healthz, Statusz: statusz,
+		})
+		if err != nil {
+			log.Fatalf("siftd: %v", err)
+		}
+		log.Printf("siftd: debug server on http://%s (/metrics /healthz /statusz /events /debug/pprof)", addr)
+	}
 
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {

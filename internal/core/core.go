@@ -12,12 +12,14 @@ package core
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"github.com/repro/sift/internal/election"
 	"github.com/repro/sift/internal/kv"
+	"github.com/repro/sift/internal/obs"
 	"github.com/repro/sift/internal/repmem"
 )
 
@@ -66,6 +68,11 @@ type Config struct {
 	ScrubInterval time.Duration
 	// OnRoleChange, if set, is invoked (synchronously) on role transitions.
 	OnRoleChange func(Role)
+	// Events, if set, receives control-plane events (election.campaign,
+	// election.won, election.lost, coordinator.promoted/demoted/fenced,
+	// election.dethroned). It is also handed to the replicated memory layer
+	// unless Memory.Events is already set.
+	Events *obs.Ring
 }
 
 // CPUNode runs the Sift CPU-node state machine for one group.
@@ -81,9 +88,19 @@ type CPUNode struct {
 	stepDown chan struct{} // closed to force the coordinator loop to exit
 
 	// Stats.
-	elections  atomic.Uint64
-	promotions atomic.Uint64
-	demotions  atomic.Uint64
+	elections     atomic.Uint64
+	promotions    atomic.Uint64
+	demotions     atomic.Uint64
+	dethronements atomic.Uint64
+}
+
+// label names this CPU node in events ("cpu3").
+func (n *CPUNode) label() string { return fmt.Sprintf("cpu%d", n.cfg.NodeID) }
+
+// emit records a control-plane event against this CPU node. Safe with no
+// ring configured.
+func (n *CPUNode) emit(typ string, term uint16, detail string) {
+	n.cfg.Events.Emit(typ, n.label(), term, detail)
 }
 
 // NewCPUNode constructs the node; call Run to start it.
@@ -112,10 +129,11 @@ func (n *CPUNode) Term() uint16 { return uint16(n.term.Load()) }
 // treat kv.ErrClosed as "retry against the new coordinator".
 func (n *CPUNode) Store() *kv.Store { return n.store.Load() }
 
-// Elections, Promotions, Demotions return lifecycle counters.
-func (n *CPUNode) Elections() uint64  { return n.elections.Load() }
-func (n *CPUNode) Promotions() uint64 { return n.promotions.Load() }
-func (n *CPUNode) Demotions() uint64  { return n.demotions.Load() }
+// Elections, Promotions, Demotions, Dethronements return lifecycle counters.
+func (n *CPUNode) Elections() uint64     { return n.elections.Load() }
+func (n *CPUNode) Promotions() uint64    { return n.promotions.Load() }
+func (n *CPUNode) Demotions() uint64     { return n.demotions.Load() }
+func (n *CPUNode) Dethronements() uint64 { return n.dethronements.Load() }
 
 func (n *CPUNode) setRole(r Role) {
 	if Role(n.role.Swap(int32(r))) != r && n.cfg.OnRoleChange != nil {
@@ -136,13 +154,16 @@ func (n *CPUNode) Run(ctx context.Context) error {
 		}
 		n.setRole(Candidate)
 		n.elections.Add(1)
+		n.emit("election.campaign", 0, "suspicion of coordinator failure")
 		term, outcome, err := n.elector.Campaign(ctx, observed)
 		if err != nil {
 			return err
 		}
 		if outcome != election.Won {
+			n.emit("election.lost", 0, "another candidate won")
 			continue // another node is (probably) coordinating; watch again
 		}
+		n.emit("election.won", term, "")
 		n.coordinate(ctx, term)
 		if ctx.Err() != nil {
 			return ctx.Err()
@@ -158,15 +179,18 @@ func (n *CPUNode) Run(ctx context.Context) error {
 func (n *CPUNode) TakeOver(ctx context.Context, observed map[string]election.Word) (bool, error) {
 	n.setRole(Candidate)
 	n.elections.Add(1)
+	n.emit("election.campaign", 0, "takeover requested")
 	term, outcome, err := n.elector.Campaign(ctx, observed)
 	if err != nil {
 		n.setRole(Follower)
 		return false, err
 	}
 	if outcome != election.Won {
+		n.emit("election.lost", 0, "another candidate won")
 		n.setRole(Follower)
 		return false, nil
 	}
+	n.emit("election.won", term, "")
 	n.coordinate(ctx, term)
 	n.setRole(Follower)
 	return true, nil
@@ -208,6 +232,8 @@ func (n *CPUNode) coordinate(ctx context.Context, term uint16) {
 				// Any heartbeat failure — dethroned or transport — means the
 				// lease can no longer be defended, so fence either way.
 				if err := n.elector.Heartbeat(term, ts); err != nil {
+					n.dethronements.Add(1)
+					n.emit("election.dethroned", term, err.Error())
 					fence()
 					return
 				}
@@ -220,8 +246,14 @@ func (n *CPUNode) coordinate(ctx context.Context, term uint16) {
 	}()
 
 	mcfg := n.cfg.Memory
-	mcfg.OnFenced = fence
+	mcfg.OnFenced = func() {
+		n.emit("coordinator.fenced", term, "replicated memory fenced")
+		fence()
+	}
 	mcfg.Term = term // tags membership publications; successors take the max
+	if mcfg.Events == nil {
+		mcfg.Events = n.cfg.Events
+	}
 	mem, err := repmem.New(mcfg)
 	if err != nil {
 		return // lost quorum between election and takeover; retry via loop
@@ -245,12 +277,14 @@ func (n *CPUNode) coordinate(ctx context.Context, term uint16) {
 	n.store.Store(store)
 	n.setRole(Coordinator)
 	n.promotions.Add(1)
+	n.emit("coordinator.promoted", term, "")
 
 	defer func() {
 		n.store.Store(nil)
 		n.term.Store(0)
 		store.Close()
 		n.demotions.Add(1)
+		n.emit("coordinator.demoted", term, "")
 	}()
 
 	select {

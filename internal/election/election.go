@@ -55,12 +55,17 @@ func Unpack(v uint64) Word {
 }
 
 // Newer reports whether w supersedes old: a higher term always wins; within
-// a term, a larger timestamp is a fresher heartbeat.
+// a term, a fresher heartbeat timestamp wins. The timestamp is a uint32
+// beat counter that wraps after ~4.3B beats (~348 days at the default 7 ms
+// interval), so freshness is judged by RFC 1982 serial-number arithmetic —
+// w is newer when it is ahead of old by less than half the counter space —
+// rather than plain >, which would make a live coordinator look stale the
+// moment its counter wrapped past a follower's last observation.
 func (w Word) Newer(old Word) bool {
 	if w.Term != old.Term {
 		return w.Term > old.Term
 	}
-	return w.Timestamp > old.Timestamp
+	return w.Timestamp != old.Timestamp && int32(w.Timestamp-old.Timestamp) > 0
 }
 
 // Dialer opens an RDMA connection to the named memory node's admin region.

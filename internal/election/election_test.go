@@ -40,6 +40,50 @@ func TestWordNewer(t *testing.T) {
 	}
 }
 
+// TestWordNewerTimestampWraparound is the regression test for the uint32
+// heartbeat-counter wrap bug: after ~4.3B beats (~348 days at the default
+// 7 ms interval) the coordinator's timestamp wraps to small values, and the
+// pre-fix plain > comparison made every post-wrap heartbeat look stale —
+// followers would stop resetting their missed-beat counters and dethrone a
+// perfectly live coordinator. Serial-number comparison must see heartbeats
+// as fresh straight across the wrap point.
+func TestWordNewerTimestampWraparound(t *testing.T) {
+	const maxTS = ^uint32(0)
+	cases := []struct {
+		name     string
+		old, new uint32
+		want     bool
+	}{
+		{"last pre-wrap beat", maxTS - 1, maxTS, true},
+		{"wrap to zero", maxTS, 0, true},
+		{"wrap past zero", maxTS, 5, true},
+		{"several beats across the wrap", maxTS - 3, 2, true},
+		{"stale pre-wrap value is not fresher", 2, maxTS, false},
+		{"equal is not newer", maxTS, maxTS, false},
+		{"ordinary advance still works", 100, 101, true},
+		{"ordinary regression still rejected", 101, 100, false},
+		{"just under half window ahead", 0, 1<<31 - 1, true},
+		{"more than half window ahead is stale", 0, 1<<31 + 1, false},
+	}
+	for _, c := range cases {
+		old := Word{Term: 7, Node: 1, Timestamp: c.old}
+		new := Word{Term: 7, Node: 1, Timestamp: c.new}
+		if got := new.Newer(old); got != c.want {
+			t.Errorf("%s: Newer(ts %d over %d) = %v, want %v", c.name, c.new, c.old, got, c.want)
+		}
+	}
+	// The follower-side suspicion loop keys off exactly this comparison: a
+	// heartbeat sequence running over the wrap must keep reading as fresh.
+	last := Word{Term: 7, Node: 1, Timestamp: maxTS - 2}
+	for i := 0; i < 6; i++ {
+		next := Word{Term: 7, Node: 1, Timestamp: last.Timestamp + 1}
+		if !next.Newer(last) {
+			t.Fatalf("beat %d (ts %d -> %d) read as stale across wrap", i, last.Timestamp, next.Timestamp)
+		}
+		last = next
+	}
+}
+
 // testGroup wires an in-process network with n memory nodes exposing admin
 // region 1, and returns a config factory for CPU nodes.
 func testGroup(t *testing.T, n int) (*rdma.Network, []string, func(id uint16) Config) {

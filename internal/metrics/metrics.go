@@ -98,7 +98,16 @@ func (h *Histogram) Max() time.Duration {
 	return time.Duration(h.max.Load()) * time.Microsecond
 }
 
-// Percentile returns the q-th percentile (0 < q ≤ 100).
+// Sum returns the cumulative recorded time (µs resolution).
+func (h *Histogram) Sum() time.Duration {
+	return time.Duration(h.sum.Load()) * time.Microsecond
+}
+
+// Percentile returns the q-th percentile (0 < q ≤ 100). Within the target
+// bucket the value is rank-interpolated between the bucket bounds rather
+// than truncated to the lower bound, which would systematically
+// underestimate by up to the bucket width (≤3.2%). Width-1 buckets are
+// exact and returned as-is; the result never exceeds the observed maximum.
 func (h *Histogram) Percentile(q float64) time.Duration {
 	n := h.count.Load()
 	if n == 0 {
@@ -110,10 +119,23 @@ func (h *Histogram) Percentile(q float64) time.Duration {
 	}
 	var cum uint64
 	for i := 0; i < numBuckets; i++ {
-		cum += h.buckets[i].Load()
-		if cum >= target {
-			return time.Duration(bucketLow(i)) * time.Microsecond
+		c := h.buckets[i].Load()
+		if cum+c >= target {
+			low := bucketLow(i)
+			width := bucketLow(i+1) - low
+			var v uint64
+			if width <= 1 {
+				v = low // 1µs buckets hold exactly their lower bound
+			} else {
+				frac := float64(target-cum) / float64(c)
+				v = low + uint64(frac*float64(width))
+			}
+			if max := h.max.Load(); v > max {
+				v = max
+			}
+			return time.Duration(v) * time.Microsecond
 		}
+		cum += c
 	}
 	return h.Max()
 }
@@ -146,32 +168,71 @@ func (s Snapshot) String() string {
 		s.Count, s.Mean, s.Median, s.P95, s.P99, s.Max)
 }
 
+// DefaultTimelineSlots caps how many intervals a Timeline retains (the most
+// recent ones win). At the default 100 ms interval this is ~27 minutes of
+// history — enough for every experiment figure, while a timeline backing a
+// long-running daemon's /statusz stays bounded instead of leaking one slot
+// per interval forever.
+const DefaultTimelineSlots = 16384
+
 // Timeline counts events in fixed intervals from a start time, for
-// throughput-over-time plots (Figures 11 and 12 use 100 ms intervals).
+// throughput-over-time plots (Figures 11 and 12 use 100 ms intervals). It
+// retains at most maxSlots recent intervals: older ones are discarded as
+// the window slides, so memory use is bounded on long-lived processes.
 type Timeline struct {
 	start    time.Time
 	interval time.Duration
+	maxSlots int
 	mu       sync.Mutex
+	base     int // interval index of slots[0]
 	slots    []uint64
 }
 
-// NewTimeline creates a timeline with the given interval (default 100 ms).
+// NewTimeline creates a timeline with the given interval (default 100 ms)
+// retaining DefaultTimelineSlots intervals.
 func NewTimeline(interval time.Duration) *Timeline {
+	return NewTimelineN(interval, DefaultTimelineSlots)
+}
+
+// NewTimelineN creates a timeline retaining at most maxSlots intervals
+// (values < 1 select DefaultTimelineSlots).
+func NewTimelineN(interval time.Duration, maxSlots int) *Timeline {
 	if interval <= 0 {
 		interval = 100 * time.Millisecond
 	}
-	return &Timeline{start: time.Now(), interval: interval}
+	if maxSlots < 1 {
+		maxSlots = DefaultTimelineSlots
+	}
+	return &Timeline{start: time.Now(), interval: interval, maxSlots: maxSlots}
 }
 
 // Tick records one event at the current time.
 func (t *Timeline) Tick() {
 	slot := int(time.Since(t.start) / t.interval)
 	t.mu.Lock()
-	for len(t.slots) <= slot {
+	t.tickSlot(slot)
+	t.mu.Unlock()
+}
+
+// tickSlot records one event in the given absolute interval; caller holds
+// t.mu. Slots older than the retained window are dropped.
+func (t *Timeline) tickSlot(slot int) {
+	if slot < t.base {
+		return // predates the retained window
+	}
+	if slot >= t.base+t.maxSlots {
+		newBase := slot - t.maxSlots + 1
+		if drop := newBase - t.base; drop >= len(t.slots) {
+			t.slots = t.slots[:0]
+		} else {
+			t.slots = append(t.slots[:0], t.slots[drop:]...)
+		}
+		t.base = newBase
+	}
+	for len(t.slots) <= slot-t.base {
 		t.slots = append(t.slots, 0)
 	}
-	t.slots[slot]++
-	t.mu.Unlock()
+	t.slots[slot-t.base]++
 }
 
 // Point is one timeline sample: ops/sec over an interval starting at T.
@@ -180,7 +241,9 @@ type Point struct {
 	Ops float64 // events per second during the interval
 }
 
-// Series returns the timeline as throughput points.
+// Series returns the retained timeline as throughput points. Point
+// timestamps stay anchored to the timeline's start, so a window that has
+// slid begins at a non-zero T.
 func (t *Timeline) Series() []Point {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -188,7 +251,7 @@ func (t *Timeline) Series() []Point {
 	perSec := float64(time.Second) / float64(t.interval)
 	for i, c := range t.slots {
 		out[i] = Point{
-			T:   time.Duration(i) * t.interval,
+			T:   time.Duration(t.base+i) * t.interval,
 			Ops: float64(c) * perSec,
 		}
 	}

@@ -64,6 +64,29 @@ func TestHistogramPercentiles(t *testing.T) {
 	}
 }
 
+// TestHistogramPercentileInterpolates is the regression test for the
+// bucket-lower-bound underestimation bug: 1000 identical 1 ms samples land
+// in the [992µs, 1008µs) bucket, and the pre-fix Percentile returned 992µs
+// for every quantile — short by nearly the whole bucket width. Interpolated
+// percentiles of a constant distribution must report (modulo the bucket's
+// interpolation step) the constant, and never exceed the observed max.
+func TestHistogramPercentileInterpolates(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 1000; i++ {
+		h.Record(time.Millisecond)
+	}
+	p50 := h.Percentile(50)
+	if p50 < 999*time.Microsecond || p50 > 1001*time.Microsecond {
+		t.Fatalf("p50 of constant 1ms distribution = %v (lower-bound truncation?)", p50)
+	}
+	if p99 := h.Percentile(99); p99 > h.Max() {
+		t.Fatalf("p99 %v exceeds max %v", p99, h.Max())
+	}
+	if p100 := h.Percentile(100); p100 != h.Max() {
+		t.Fatalf("p100 %v != max %v", p100, h.Max())
+	}
+}
+
 func TestHistogramEmpty(t *testing.T) {
 	var h Histogram
 	if h.Percentile(50) != 0 || h.Mean() != 0 || h.Max() != 0 {
@@ -125,6 +148,72 @@ func TestTimeline(t *testing.T) {
 	}
 	if pts[0].T != 0 || pts[1].T != 10*time.Millisecond {
 		t.Fatalf("timestamps wrong: %v %v", pts[0].T, pts[1].T)
+	}
+}
+
+// TestTimelineBounded is the regression test for the unbounded-slots memory
+// leak: a long-lived daemon ticking across millions of intervals must not
+// grow the slot slice without bound. The capped ring retains only the most
+// recent maxSlots intervals, and Series stays anchored to absolute time.
+func TestTimelineBounded(t *testing.T) {
+	tl := NewTimelineN(10*time.Millisecond, 64)
+	// Simulate a year-scale run: tick once per interval far beyond the cap.
+	for slot := 0; slot < 1_000_000; slot += 1000 {
+		tl.mu.Lock()
+		tl.tickSlot(slot)
+		tl.mu.Unlock()
+	}
+	tl.mu.Lock()
+	n := len(tl.slots)
+	tl.mu.Unlock()
+	if n > 64 {
+		t.Fatalf("timeline retained %d slots, cap is 64 (unbounded growth)", n)
+	}
+	pts := tl.Series()
+	if len(pts) == 0 || len(pts) > 64 {
+		t.Fatalf("series has %d points", len(pts))
+	}
+	// The last tick was at slot 999000; the window must contain it.
+	last := pts[len(pts)-1]
+	if want := time.Duration(999000) * 10 * time.Millisecond; last.T != want {
+		t.Fatalf("last point at %v, want %v", last.T, want)
+	}
+	if last.Ops == 0 {
+		t.Fatal("most recent tick lost")
+	}
+	// Ticks predating the retained window are dropped, not resurrected.
+	tl.mu.Lock()
+	tl.tickSlot(0)
+	nAfter := len(tl.slots)
+	base := tl.base
+	tl.mu.Unlock()
+	if nAfter != n || base == 0 {
+		t.Fatalf("stale tick modified the window: len %d -> %d, base %d", n, nAfter, base)
+	}
+}
+
+// TestTimelineContiguous checks the ring preserves Series semantics while
+// the window has not slid: same points as the unbounded version.
+func TestTimelineContiguous(t *testing.T) {
+	tl := NewTimelineN(10*time.Millisecond, 1024)
+	tl.mu.Lock()
+	for slot := 0; slot < 8; slot++ {
+		for k := 0; k <= slot; k++ {
+			tl.tickSlot(slot)
+		}
+	}
+	tl.mu.Unlock()
+	pts := tl.Series()
+	if len(pts) != 8 {
+		t.Fatalf("points = %d, want 8", len(pts))
+	}
+	for i, p := range pts {
+		if p.T != time.Duration(i)*10*time.Millisecond {
+			t.Fatalf("point %d at %v", i, p.T)
+		}
+		if want := float64(i+1) * 100; p.Ops != want {
+			t.Fatalf("point %d ops = %v, want %v", i, p.Ops, want)
+		}
 	}
 }
 

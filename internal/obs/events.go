@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event is one control-plane transition: an election, a fencing decision, a
+// suspicion change, a recovery, or a scrub repair. The taxonomy is
+// documented in DESIGN.md §12; Type is dot-separated
+// ("election.won", "node.suspect", "scrub.repair", ...).
+type Event struct {
+	Seq    uint64    `json:"seq"`
+	Time   time.Time `json:"time"`
+	Type   string    `json:"type"`
+	Node   string    `json:"node,omitempty"` // subject: "cpu1", "mem0", ...
+	Term   uint16    `json:"term,omitempty"`
+	Detail string    `json:"detail,omitempty"`
+}
+
+// String renders the event as one log line.
+func (e Event) String() string {
+	s := fmt.Sprintf("%6d %s %-22s", e.Seq, e.Time.Format("15:04:05.000"), e.Type)
+	if e.Node != "" {
+		s += " node=" + e.Node
+	}
+	if e.Term != 0 {
+		s += fmt.Sprintf(" term=%d", e.Term)
+	}
+	if e.Detail != "" {
+		s += " " + e.Detail
+	}
+	return s
+}
+
+// Ring is a bounded, concurrency-safe control-plane event log: the most
+// recent capacity events are retained, older ones are overwritten. All
+// methods are nil-safe, so layers can emit unconditionally and a component
+// wired without a ring simply drops its events.
+type Ring struct {
+	mu   sync.Mutex
+	buf  []Event
+	cap  int
+	next int // write position once the buffer is full
+	seq  uint64
+}
+
+// DefaultRingSize is the event capacity daemons use.
+const DefaultRingSize = 1024
+
+// NewRing creates a ring retaining the most recent capacity events (values
+// < 1 select DefaultRingSize).
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = DefaultRingSize
+	}
+	return &Ring{buf: make([]Event, 0, capacity), cap: capacity}
+}
+
+// Emit appends an event. Safe on a nil ring (no-op).
+func (r *Ring) Emit(typ, node string, term uint16, detail string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.seq++
+	e := Event{Seq: r.seq, Time: time.Now(), Type: typ, Node: node, Term: term, Detail: detail}
+	if len(r.buf) < r.cap {
+		r.buf = append(r.buf, e)
+	} else {
+		r.buf[r.next] = e
+		r.next = (r.next + 1) % r.cap
+	}
+	r.mu.Unlock()
+}
+
+// Seq returns the total number of events emitted (including overwritten
+// ones). Safe on a nil ring.
+func (r *Ring) Seq() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.seq
+}
+
+// Recent returns up to n retained events, oldest first (n < 1 returns all
+// retained). Safe on a nil ring.
+func (r *Ring) Recent(n int) []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, 0, len(r.buf))
+	if len(r.buf) < r.cap {
+		out = append(out, r.buf...)
+	} else {
+		out = append(out, r.buf[r.next:]...)
+		out = append(out, r.buf[:r.next]...)
+	}
+	if n > 0 && len(out) > n {
+		out = out[len(out)-n:]
+	}
+	return out
+}
+
+// Dump writes every retained event to w, one line each, oldest first. It is
+// what chaos tests print when they fail, so a broken failover leaves its
+// control-plane trace in the test log. Safe on a nil ring.
+func (r *Ring) Dump(w io.Writer) {
+	for _, e := range r.Recent(0) {
+		fmt.Fprintln(w, e.String())
+	}
+}

@@ -1,0 +1,223 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("sift_test_total", "test counter")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d", c.Value())
+	}
+	g := r.Gauge("sift_test_gauge", "test gauge")
+	g.Set(2.5)
+	if g.Value() != 2.5 {
+		t.Fatalf("gauge = %v", g.Value())
+	}
+	// Idempotent: the same name returns the same counter.
+	if r.Counter("sift_test_total", "again") != c {
+		t.Fatal("re-registration returned a different counter")
+	}
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("sift_x_total", "x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on kind mismatch")
+		}
+	}()
+	r.Gauge("sift_x_total", "x as gauge")
+}
+
+func TestPrometheusEncoding(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(`sift_ops_total{op="put"}`, "ops by type").Add(3)
+	r.Counter(`sift_ops_total{op="get"}`, "ops by type").Add(7)
+	r.Gauge("sift_depth", "queue depth").Set(4)
+	r.GaugeFunc("sift_dynamic", "scrape-time value", func() float64 { return 1.25 })
+	h := r.Histogram(`sift_lat_seconds{op="put"}`, "op latency")
+	for i := 0; i < 100; i++ {
+		h.Record(time.Millisecond)
+	}
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	for _, want := range []string{
+		"# HELP sift_ops_total ops by type",
+		"# TYPE sift_ops_total counter",
+		`sift_ops_total{op="put"} 3`,
+		`sift_ops_total{op="get"} 7`,
+		"# TYPE sift_depth gauge",
+		"sift_depth 4",
+		"sift_dynamic 1.25",
+		"# TYPE sift_lat_seconds summary",
+		`sift_lat_seconds{op="put",quantile="0.5"} 0.001`,
+		`sift_lat_seconds_sum{op="put"} 0.1`,
+		`sift_lat_seconds_count{op="put"} 100`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("encoding missing %q\n%s", want, out)
+		}
+	}
+	// One header per family, even with two labeled series.
+	if n := strings.Count(out, "# TYPE sift_ops_total"); n != 1 {
+		t.Errorf("family header appears %d times", n)
+	}
+}
+
+func TestRingBounded(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 10; i++ {
+		r.Emit("test.event", fmt.Sprintf("n%d", i), uint16(i), "")
+	}
+	if r.Seq() != 10 {
+		t.Fatalf("seq = %d", r.Seq())
+	}
+	got := r.Recent(0)
+	if len(got) != 4 {
+		t.Fatalf("retained %d events, cap 4", len(got))
+	}
+	// Oldest-first, and only the most recent four survive.
+	for i, e := range got {
+		if want := uint64(7 + i); e.Seq != want {
+			t.Fatalf("event %d has seq %d, want %d", i, e.Seq, want)
+		}
+	}
+	if got2 := r.Recent(2); len(got2) != 2 || got2[1].Seq != 10 {
+		t.Fatalf("Recent(2) = %+v", got2)
+	}
+}
+
+func TestRingNilSafe(t *testing.T) {
+	var r *Ring
+	r.Emit("x", "", 0, "") // must not panic
+	if r.Recent(5) != nil || r.Seq() != 0 {
+		t.Fatal("nil ring not empty")
+	}
+	r.Dump(&strings.Builder{})
+}
+
+func TestRingConcurrent(t *testing.T) {
+	r := NewRing(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Emit("c", "n", 1, "")
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Seq() != 4000 {
+		t.Fatalf("seq = %d", r.Seq())
+	}
+	if len(r.Recent(0)) != 64 {
+		t.Fatalf("retained %d", len(r.Recent(0)))
+	}
+}
+
+func TestHandlerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("sift_smoke_total", "smoke").Add(9)
+	ring := NewRing(16)
+	ring.Emit("election.won", "cpu1", 3, "")
+	healthy := true
+	h := NewHandler(Options{
+		Registry: reg,
+		Events:   ring,
+		Healthz: func() error {
+			if !healthy {
+				return fmt.Errorf("no quorum")
+			}
+			return nil
+		},
+		Statusz: func() any { return map[string]any{"role": "coordinator", "term": 3} },
+	})
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		var b strings.Builder
+		buf := make([]byte, 64<<10)
+		for {
+			n, err := resp.Body.Read(buf)
+			b.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		return resp.StatusCode, b.String()
+	}
+
+	if code, body := get("/metrics"); code != 200 || !strings.Contains(body, "sift_smoke_total 9") {
+		t.Fatalf("/metrics: %d %q", code, body)
+	}
+	if code, body := get("/healthz"); code != 200 || !strings.Contains(body, "ok") {
+		t.Fatalf("/healthz: %d %q", code, body)
+	}
+	healthy = false
+	if code, body := get("/healthz"); code != http.StatusServiceUnavailable || !strings.Contains(body, "no quorum") {
+		t.Fatalf("unhealthy /healthz: %d %q", code, body)
+	}
+	code, body := get("/statusz")
+	if code != 200 {
+		t.Fatalf("/statusz: %d", code)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal([]byte(body), &doc); err != nil || doc["role"] != "coordinator" {
+		t.Fatalf("/statusz doc %q: %v", body, err)
+	}
+	code, body = get("/events")
+	if code != 200 {
+		t.Fatalf("/events: %d", code)
+	}
+	var events []Event
+	if err := json.Unmarshal([]byte(body), &events); err != nil || len(events) != 1 || events[0].Type != "election.won" {
+		t.Fatalf("/events doc %q: %v", body, err)
+	}
+	if code, body := get("/debug/pprof/cmdline"); code != 200 || body == "" {
+		t.Fatalf("/debug/pprof/cmdline: %d", code)
+	}
+	if code, _ := get("/nope"); code != 404 {
+		t.Fatalf("unknown path: %d", code)
+	}
+}
+
+func TestStartBindsAndServes(t *testing.T) {
+	srv, addr, err := Start("127.0.0.1:0", Options{Registry: NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + addr.String() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,267 @@
+// Package obs is the runtime observability layer: a lightweight metrics
+// registry (counters, gauges, scrape-time functions, and latency summaries
+// backed by metrics.Histogram) with Prometheus text encoding, a bounded
+// control-plane event ring, and an HTTP debug server serving /metrics,
+// /healthz, /statusz, /events, and /debug/pprof/*. Both daemons (cmd/siftd,
+// cmd/memnoded) and the in-process Cluster mount it, so throughput
+// timelines and failover behaviour — which the paper observes from outside
+// (Figures 11/12) — are visible from inside a running deployment.
+//
+// Metric naming convention: everything is prefixed sift_, subsystem second
+// (sift_client_*, sift_kv_*, sift_repmem_*, sift_election_*,
+// sift_process_*). Cumulative counters end in _total, latencies are
+// summaries in seconds. A metric name may carry a literal label set —
+// `sift_node_up{node="mem0"}` — and the registry groups series of one
+// family under a single HELP/TYPE header.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/repro/sift/internal/metrics"
+)
+
+// Counter is a monotonically increasing uint64 metric.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a settable float64 metric.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindSummary
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "summary"
+	}
+}
+
+// metric is one registered series.
+type metric struct {
+	name   string // full series name, possibly with a {label="x"} set
+	family string // name up to the label set
+	labels string // inner label text, without braces ("" when unlabeled)
+	help   string
+	kind   metricKind
+
+	counter *Counter
+	gauge   *Gauge
+	fn      func() float64 // scrape-time value (counterFunc / gaugeFunc)
+	hist    *metrics.Histogram
+}
+
+// Registry holds metrics and encodes them in the Prometheus text format.
+// Registration methods are idempotent on the full series name: the first
+// registration wins and is returned again, so independent layers may safely
+// ask for the same counter. All methods are safe for concurrent use.
+type Registry struct {
+	mu       sync.Mutex
+	families []string // family emission order (first registration)
+	byFamily map[string][]*metric
+	byName   map[string]*metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		byFamily: make(map[string][]*metric),
+		byName:   make(map[string]*metric),
+	}
+}
+
+// splitName separates a series name into family and label text:
+// `x_total{op="put"}` -> ("x_total", `op="put"`).
+func splitName(name string) (family, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i], strings.TrimSuffix(name[i+1:], "}")
+	}
+	return name, ""
+}
+
+// register adds m under its name, returning the previously registered
+// metric when the name is taken (first registration wins).
+func (r *Registry) register(m *metric) *metric {
+	m.family, m.labels = splitName(m.name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if existing, ok := r.byName[m.name]; ok {
+		if existing.kind != m.kind {
+			panic(fmt.Sprintf("obs: %s re-registered as %v, was %v", m.name, m.kind, existing.kind))
+		}
+		return existing
+	}
+	if _, ok := r.byFamily[m.family]; !ok {
+		r.families = append(r.families, m.family)
+	}
+	r.byFamily[m.family] = append(r.byFamily[m.family], m)
+	r.byName[m.name] = m
+	return m
+}
+
+// Counter registers (or returns the existing) counter under name.
+func (r *Registry) Counter(name, help string) *Counter {
+	m := r.register(&metric{name: name, help: help, kind: kindCounter, counter: &Counter{}})
+	return m.counter
+}
+
+// Gauge registers (or returns the existing) gauge under name.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	m := r.register(&metric{name: name, help: help, kind: kindGauge, gauge: &Gauge{}})
+	return m.gauge
+}
+
+// CounterFunc registers a cumulative counter whose value is read from fn at
+// scrape time (for layers that keep their own atomic counters).
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	r.register(&metric{name: name, help: help, kind: kindCounter, fn: fn})
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.register(&metric{name: name, help: help, kind: kindGauge, fn: fn})
+}
+
+// Histogram registers (or returns the existing) latency histogram under
+// name, encoded as a Prometheus summary in seconds (quantiles 0.5/0.95/0.99
+// plus _sum and _count).
+func (r *Registry) Histogram(name, help string) *metrics.Histogram {
+	m := r.register(&metric{name: name, help: help, kind: kindSummary, hist: &metrics.Histogram{}})
+	return m.hist
+}
+
+// Observe registers an externally owned histogram under name (same encoding
+// as Histogram). Useful when the histogram must outlive or predate the
+// registry — e.g. repmem's hot-path latency hooks.
+func (r *Registry) Observe(name, help string, h *metrics.Histogram) {
+	r.register(&metric{name: name, help: help, kind: kindSummary, hist: h})
+}
+
+// snapshot returns the families and metrics in emission order.
+func (r *Registry) snapshot() ([]string, map[string][]*metric) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fams := append([]string(nil), r.families...)
+	byFam := make(map[string][]*metric, len(fams))
+	for f, ms := range r.byFamily {
+		byFam[f] = append([]*metric(nil), ms...)
+	}
+	return fams, byFam
+}
+
+// fmtFloat renders a metric value the way Prometheus expects.
+func fmtFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// series renders a sample line for family+labels with extra label text
+// appended (used for quantile labels).
+func seriesName(family, labels, extra string) string {
+	switch {
+	case labels == "" && extra == "":
+		return family
+	case labels == "":
+		return family + "{" + extra + "}"
+	case extra == "":
+		return family + "{" + labels + "}"
+	default:
+		return family + "{" + labels + "," + extra + "}"
+	}
+}
+
+// WritePrometheus encodes every registered metric in the Prometheus text
+// exposition format, one HELP/TYPE header per family.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	fams, byFam := r.snapshot()
+	var b strings.Builder
+	for _, fam := range fams {
+		ms := byFam[fam]
+		if len(ms) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "# HELP %s %s\n", fam, ms[0].help)
+		fmt.Fprintf(&b, "# TYPE %s %s\n", fam, ms[0].kind)
+		for _, m := range ms {
+			switch {
+			case m.counter != nil:
+				fmt.Fprintf(&b, "%s %d\n", seriesName(fam, m.labels, ""), m.counter.Value())
+			case m.gauge != nil:
+				fmt.Fprintf(&b, "%s %s\n", seriesName(fam, m.labels, ""), fmtFloat(m.gauge.Value()))
+			case m.fn != nil:
+				fmt.Fprintf(&b, "%s %s\n", seriesName(fam, m.labels, ""), fmtFloat(m.fn()))
+			case m.hist != nil:
+				for _, q := range [...]float64{50, 95, 99} {
+					fmt.Fprintf(&b, "%s %s\n",
+						seriesName(fam, m.labels, fmt.Sprintf("quantile=%q", fmtFloat(q/100))),
+						fmtFloat(m.hist.Percentile(q).Seconds()))
+				}
+				fmt.Fprintf(&b, "%s %s\n", seriesName(fam+"_sum", m.labels, ""), fmtFloat(m.hist.Sum().Seconds()))
+				fmt.Fprintf(&b, "%s %d\n", seriesName(fam+"_count", m.labels, ""), m.hist.Count())
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Names returns every registered series name, sorted (for tests and the
+// debug index page).
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.byName))
+	for n := range r.byName {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RegisterProcess adds the standard process-level gauges (uptime,
+// goroutines, heap) to r.
+func RegisterProcess(r *Registry) {
+	start := time.Now()
+	r.GaugeFunc("sift_process_uptime_seconds", "Seconds since the process registered its metrics.",
+		func() float64 { return time.Since(start).Seconds() })
+	r.GaugeFunc("sift_process_goroutines", "Current number of goroutines.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	r.GaugeFunc("sift_process_heap_bytes", "Bytes of allocated heap objects (runtime.MemStats.HeapAlloc).",
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.HeapAlloc)
+		})
+}

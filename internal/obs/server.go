@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+)
+
+// Options configures the debug HTTP handler. Any field may be nil: the
+// corresponding endpoint degrades gracefully (empty metrics, empty events,
+// always-healthy healthz, `{}` statusz).
+type Options struct {
+	// Registry backs /metrics.
+	Registry *Registry
+	// Events backs /events.
+	Events *Ring
+	// Healthz is consulted by /healthz: nil error (or nil func) is 200,
+	// an error is 503 with the error text.
+	Healthz func() error
+	// Statusz builds the /statusz JSON document at request time.
+	Statusz func() any
+}
+
+// NewHandler builds the debug mux: /metrics (Prometheus text format),
+// /healthz, /statusz (JSON), /events (JSON, ?n= caps the count), and
+// /debug/pprof/*.
+func NewHandler(o Options) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if o.Registry != nil {
+			o.Registry.WritePrometheus(w)
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if o.Healthz != nil {
+			if err := o.Healthz(); err != nil {
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		var doc any = struct{}{}
+		if o.Statusz != nil {
+			doc = o.Statusz()
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+		n := 256
+		if s := r.URL.Query().Get("n"); s != "" {
+			if v, err := strconv.Atoi(s); err == nil {
+				n = v
+			}
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		events := o.Events.Recent(n)
+		if events == nil {
+			events = []Event{}
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(events)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "sift debug server")
+		fmt.Fprintln(w, "  /metrics        Prometheus text format")
+		fmt.Fprintln(w, "  /healthz        health (200 ok / 503 reason)")
+		fmt.Fprintln(w, "  /statusz        JSON status snapshot")
+		fmt.Fprintln(w, "  /events[?n=N]   recent control-plane events")
+		fmt.Fprintln(w, "  /debug/pprof/   profiling")
+	})
+	return mux
+}
+
+// Start listens on addr and serves the debug handler in the background. It
+// returns the server (for Shutdown/Close) and the bound address, so ":0"
+// works for tests. The server uses sane read timeouts; pprof profile
+// streaming needs an unbounded write side.
+func Start(addr string, o Options) (*http.Server, net.Addr, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, fmt.Errorf("obs: debug server: %w", err)
+	}
+	srv := &http.Server{
+		Handler:           NewHandler(o),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	go srv.Serve(l)
+	return srv, l.Addr(), nil
+}

@@ -220,6 +220,8 @@ func (g *integrity) read(addr uint64, buf []byte) error {
 			return err
 		}
 		lastErr = err
+		m.stats.readRepairs.Add(1)
+		m.emit("read.repair", "", fmt.Sprintf("%d corrupt block(s) at read time", len(bad)))
 		if rerr := g.repairBlocks(bad); rerr != nil && err != nil {
 			return fmt.Errorf("%w (block repair: %v)", err, rerr)
 		}

@@ -2,6 +2,7 @@ package repmem
 
 import (
 	"fmt"
+	"time"
 
 	"github.com/repro/sift/internal/memnode"
 )
@@ -23,6 +24,10 @@ func (m *Memory) Read(addr uint64, buf []byte) error {
 		return err
 	}
 	m.stats.reads.Add(1)
+	if h := m.cfg.Latency; h != nil {
+		start := time.Now()
+		defer func() { h.Read.Record(time.Since(start)) }()
+	}
 	if m.integ != nil {
 		// Verified read with transparent read-repair; takes its own locks.
 		return m.integ.read(addr, buf)

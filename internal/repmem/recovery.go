@@ -227,7 +227,9 @@ func (m *Memory) checkStragglers() {
 		}
 		v := m.health[i].ewma.Value()
 		if v > best*m.cfg.StragglerFactor && v > floor {
-			m.suspectNode(i)
+			if m.suspectNode(i, "straggler") {
+				m.stats.stragglerSuspects.Add(1)
+			}
 		}
 	}
 }
@@ -339,6 +341,7 @@ func (m *Memory) recoverNode(i int) error {
 	m.health[i].corruptBlocks.Store(0)
 	m.health[i].ewma.Reset()
 	m.state[i].Store(nodeLive)
+	m.emit("node.recovered", m.nodes[i], "")
 	m.publishMembership()
 	return nil
 }

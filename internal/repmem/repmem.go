@@ -34,9 +34,22 @@ import (
 	"github.com/repro/sift/internal/erasure"
 	"github.com/repro/sift/internal/memnode"
 	"github.com/repro/sift/internal/metrics"
+	"github.com/repro/sift/internal/obs"
 	"github.com/repro/sift/internal/rdma"
 	"github.com/repro/sift/internal/wal"
 )
+
+// LatencyHooks holds the hot-path latency histograms. They live outside the
+// Memory because a Memory is rebuilt on every coordinator promotion while
+// the observed distributions should span terms: allocate one set at
+// cluster/daemon scope, pass it through Config.Latency on every term, and
+// register the histograms with an obs.Registry once.
+type LatencyHooks struct {
+	Write       metrics.Histogram // WriteBatch end-to-end commit latency
+	DirectWrite metrics.Histogram // direct-zone write commit latency
+	Read        metrics.Histogram // main-space read latency
+	Quorum      metrics.Histogram // quorum ack wait inside a write
+}
 
 // Errors returned by the replicated memory layer.
 var (
@@ -114,6 +127,15 @@ type Config struct {
 	// OnFenced, if set, is called once when the layer discovers it has been
 	// fenced by a newer coordinator.
 	OnFenced func()
+
+	// Events, if set, receives control-plane events (node.suspect,
+	// node.dead, node.recovered, repmem.fenced, scrub.repair, read.repair).
+	// A nil ring drops them.
+	Events *obs.Ring
+	// Latency, if set, receives hot-path latency observations. Pass the
+	// same hooks across coordinator terms so distributions survive
+	// re-promotion.
+	Latency *LatencyHooks
 
 	// SuspectAfter is the number of consecutive per-operation deadline
 	// expiries (rdma.ErrDeadline) after which a live node is marked suspect:
@@ -252,8 +274,14 @@ type Stats struct {
 	NodeRecovered uint64 // memory node recoveries completed
 	NodeTimeouts  uint64 // per-operation deadline expiries observed
 	NodeSuspected uint64 // live → suspect transitions (gray-failure detections)
-	Redials       uint64 // successful reconnections to failed nodes
-	RedialErrors  uint64 // failed reconnection attempts (circuit-breaker refusals excluded)
+	// StragglerSuspects counts suspicions raised specifically by the EWMA
+	// straggler check (a subset of NodeSuspected).
+	StragglerSuspects uint64
+	// ReadRepairs counts read operations that triggered an inline block
+	// repair (a subset of BlocksRepaired is attributable to them).
+	ReadRepairs  uint64
+	Redials      uint64 // successful reconnections to failed nodes
+	RedialErrors uint64 // failed reconnection attempts (circuit-breaker refusals excluded)
 
 	// Integrity counters (checksummed main memory + scrubber).
 	CorruptionsDetected uint64 // replica blocks/chunks that failed their CRC or diverged
@@ -321,6 +349,7 @@ type Memory struct {
 		reads, remoteReads, decodedReads atomic.Uint64
 		nodeFailures, nodeRecovered      atomic.Uint64
 		nodeTimeouts, nodeSuspected      atomic.Uint64
+		stragglerSuspects, readRepairs   atomic.Uint64
 		redials, redialErrors            atomic.Uint64
 		enqueued, queueWaitUs            atomic.Uint64
 		corruptions, repairs             atomic.Uint64
@@ -521,6 +550,10 @@ func (m *Memory) Stats() Stats {
 		NodeRecovered: m.stats.nodeRecovered.Load(),
 		NodeTimeouts:  m.stats.nodeTimeouts.Load(),
 		NodeSuspected: m.stats.nodeSuspected.Load(),
+
+		StragglerSuspects: m.stats.stragglerSuspects.Load(),
+		ReadRepairs:       m.stats.readRepairs.Load(),
+
 		Redials:       m.stats.redials.Load(),
 		RedialErrors:  m.stats.redialErrors.Load(),
 		Enqueued:      m.stats.enqueued.Load(),
@@ -585,6 +618,18 @@ func (m *Memory) conn(i int) (rdma.Verbs, error) {
 	return v, nil
 }
 
+// emit records a control-plane event against the named node, tagged with
+// this coordinator's term. Safe with no ring configured.
+func (m *Memory) emit(typ, node, detail string) {
+	m.cfg.Events.Emit(typ, node, m.cfg.Term, detail)
+}
+
+// QueueDepth reports the per-node worker queues' current depth and
+// high-water mark, for the status surface.
+func (m *Memory) QueueDepth() (current, max int64) {
+	return m.queueDepth.Current(), m.queueDepth.Max()
+}
+
 // nodeFailed records an operation failure against node i.
 func (m *Memory) nodeFailed(i int, err error) {
 	if errors.Is(err, rdma.ErrFenced) {
@@ -601,6 +646,7 @@ func (m *Memory) markNodeDead(i int) {
 	if m.state[i].Load() != nodeDead {
 		m.state[i].Store(nodeDead)
 		m.stats.nodeFailures.Add(1)
+		m.emit("node.dead", m.nodes[i], "")
 		// Record the shrunken view for any successor coordinator, off the
 		// caller's hot path.
 		go m.publishMembership()
@@ -613,14 +659,19 @@ func (m *Memory) markNodeDead(i int) {
 // suspectNode marks a live node gray: quorum writes stop waiting on it,
 // reads avoid it, and it keeps receiving writes best-effort until it either
 // proves responsive (and is repaired through the recovery path) or is
-// declared dead.
-func (m *Memory) suspectNode(i int) {
+// declared dead. reason names the signal that tripped the suspicion
+// ("timeouts", "straggler", "corruption") for the event log; it returns
+// whether this call performed the live→suspect transition.
+func (m *Memory) suspectNode(i int, reason string) bool {
 	if m.state[i].CompareAndSwap(nodeLive, nodeSuspect) {
 		m.stats.nodeSuspected.Add(1)
+		m.emit("node.suspect", m.nodes[i], reason)
 		// The node may miss best-effort writes from here on; record its
 		// absence for any successor coordinator, off the caller's hot path.
 		go m.publishMembership()
+		return true
 	}
+	return false
 }
 
 // noteCorruption records n corrupt-block observations against node i and
@@ -634,7 +685,7 @@ func (m *Memory) noteCorruption(i, n int) {
 	m.stats.corruptions.Add(uint64(n))
 	total := m.health[i].corruptBlocks.Add(uint64(n))
 	if m.cfg.CorruptSuspectAfter > 0 && total >= uint64(m.cfg.CorruptSuspectAfter) {
-		m.suspectNode(i)
+		m.suspectNode(i, "corruption")
 	}
 }
 
@@ -700,7 +751,7 @@ func (m *Memory) noteNodeError(i int, err error) {
 		if n >= m.cfg.DeadAfter {
 			m.nodeFailed(i, err)
 		} else if n >= m.cfg.SuspectAfter {
-			m.suspectNode(i)
+			m.suspectNode(i, "timeouts")
 		}
 		return
 	}
@@ -722,6 +773,7 @@ func (m *Memory) noteOpResult(i int, c rdma.Verbs, lat time.Duration, err error)
 // fence marks the memory as fenced and fires the callback once.
 func (m *Memory) fence() {
 	if m.fenced.CompareAndSwap(false, true) {
+		m.emit("repmem.fenced", "", "newer coordinator took over")
 		m.closed.Store(true)
 		m.seqMu.Lock()
 		m.seqCond.Broadcast()

@@ -2,6 +2,7 @@ package repmem
 
 import (
 	"bytes"
+	"fmt"
 	"time"
 )
 
@@ -134,6 +135,11 @@ func (m *Memory) scrubStep(cursor, n int) int {
 func (m *Memory) scrubMainBlock(b uint64) (corrupt, repaired, unrepaired int) {
 	g := m.integ
 	m.stats.scrubbed.Add(1)
+	defer func() {
+		if repaired > 0 {
+			m.emit("scrub.repair", "", fmt.Sprintf("main block %d: repaired %d replica(s)", b, repaired))
+		}
+	}()
 	start, length := g.blockRange(b)
 	unlock := m.locks.rlockRange(start, length)
 	var bad int
@@ -212,6 +218,11 @@ func (m *Memory) scrubMainBlock(b uint64) (corrupt, repaired, unrepaired int) {
 // honest copies agree); anything less is left alone and counted.
 func (m *Memory) scrubDirectRange(idx int) (corrupt, repaired, unrepaired int) {
 	m.stats.scrubbed.Add(1)
+	defer func() {
+		if repaired > 0 {
+			m.emit("scrub.repair", "", fmt.Sprintf("direct range %d: repaired %d replica(s)", idx, repaired))
+		}
+	}()
 	off := uint64(idx) * scrubDirectChunk
 	n := min64(scrubDirectChunk, uint64(m.cfg.DirectSize)-off)
 	if n == 0 {

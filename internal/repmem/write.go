@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sync"
+	"time"
 
 	"github.com/repro/sift/internal/rdma"
 	"github.com/repro/sift/internal/wal"
@@ -29,6 +30,10 @@ func (m *Memory) WriteBatch(writes []wal.Write) error {
 	}
 	if len(writes) == 0 {
 		return nil
+	}
+	var start time.Time
+	if m.cfg.Latency != nil {
+		start = time.Now()
 	}
 	ranges := make([]lockRange, len(writes))
 	for i, w := range writes {
@@ -87,6 +92,9 @@ func (m *Memory) WriteBatch(writes []wal.Write) error {
 		return err
 	}
 	m.stats.writes.Add(1)
+	if h := m.cfg.Latency; h != nil {
+		h.Write.Record(time.Since(start))
+	}
 
 	// Committed: hand the apply to the background pool. The caller's locks
 	// are released by the applier.
@@ -122,13 +130,26 @@ func (m *Memory) appendQuorum(idx uint64, slot []byte, allDone func()) error {
 	for _, i := range bestEffort {
 		m.enqueueBestEffort(i, replRegion, offset, slot)
 	}
-	if err := g.wait(); err != nil {
+	err := m.waitQuorum(g)
+	if err != nil {
 		if oerr := m.checkOpen(); oerr != nil {
 			return oerr
 		}
 		return err
 	}
 	return m.checkOpen()
+}
+
+// waitQuorum blocks on the quorum group, timing the ack wait into the
+// Quorum latency hook.
+func (m *Memory) waitQuorum(g *quorumGroup) error {
+	if h := m.cfg.Latency; h != nil {
+		start := time.Now()
+		err := g.wait()
+		h.Quorum.Record(time.Since(start))
+		return err
+	}
+	return g.wait()
 }
 
 // finishEntry marks idx as applied (or abandoned) and advances the
@@ -349,6 +370,10 @@ func (m *Memory) directWrite(addr uint64, data []byte, release func()) error {
 	// the majority that unblocks the caller): a straggler write racing a
 	// recovery copy or a later write to the same range on that node would
 	// resurrect stale bytes.
+	var start time.Time
+	if m.cfg.Latency != nil {
+		start = time.Now()
+	}
 	unlock := m.directLocks.lockRange(addr, len(data))
 	wait, bestEffort := m.writeTargets(m.Majority())
 	g := newQuorumGroup(len(wait), m.Majority(), func() {
@@ -364,7 +389,7 @@ func (m *Memory) directWrite(addr uint64, data []byte, release func()) error {
 	for _, i := range bestEffort {
 		m.enqueueBestEffort(i, replRegion, off, data)
 	}
-	if err := g.wait(); err != nil {
+	if err := m.waitQuorum(g); err != nil {
 		if oerr := m.checkOpen(); oerr != nil {
 			return oerr
 		}
@@ -374,6 +399,9 @@ func (m *Memory) directWrite(addr uint64, data []byte, release func()) error {
 		return err
 	}
 	m.stats.directWrites.Add(1)
+	if h := m.cfg.Latency; h != nil {
+		h.DirectWrite.Record(time.Since(start))
+	}
 	return nil
 }
 
