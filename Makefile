@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 race chaos linearize fuzz-short bench-pipeline obs-smoke staticcheck
+.PHONY: tier1 race chaos linearize fuzz-short bench-pipeline bench-ec bench-json obs-smoke staticcheck
 
 # Tier-1 verification: everything vets, builds, and every test passes.
 tier1:
@@ -24,14 +24,30 @@ linearize:
 	$(GO) test -race -timeout 5m ./internal/linearize/
 	$(GO) test -race -timeout 10m -run 'TestRetriable|TestClient|TestAmbiguous|TestNoCoordinatorWithoutSends|TestChaosLinearize' .
 
-# Short fuzz pass over the WAL entry decoder, which parses whatever bytes a
-# crashed or corrupt memory node holds during recovery.
+# Short fuzz passes: the WAL entry decoder (parses whatever bytes a crashed
+# or corrupt memory node holds during recovery) and the word-parallel
+# GF(256) kernels (differential against the scalar gfMul reference).
 fuzz-short:
 	$(GO) test ./internal/wal/ -run '^$$' -fuzz FuzzDecode -fuzztime 30s
+	$(GO) test ./internal/erasure/ -run '^$$' -fuzz FuzzGFKernels -fuzztime 30s
 
 # Pipelined-transport throughput benchmark (records EXPERIMENTS.md numbers).
 bench-pipeline:
 	$(GO) test -run '^$$' -bench BenchmarkPipelinedPut -benchtime 2s .
+
+# Erasure-kernel benchmarks: encode/reconstruct/decode MB/s and allocs at
+# 4 KiB / 64 KiB / 1 MiB blocks, plus the repmem steady-state EC paths.
+# BENCHTIME=1x (used by CI's race smoke) turns this into a correctness pass.
+BENCHTIME ?= 2s
+bench-ec:
+	$(GO) test $(BENCHFLAGS) -run '^$$' -bench 'BenchmarkEncode|BenchmarkReconstruct|BenchmarkDecode|BenchmarkMulAddSlice' -benchtime $(BENCHTIME) ./internal/erasure/
+	$(GO) test $(BENCHFLAGS) -run '^$$' -bench 'BenchmarkECApply|BenchmarkECRead' -benchtime $(BENCHTIME) ./internal/repmem/
+
+# Benchmark trajectory: runs the EC and cluster benchmarks and emits
+# BENCH_6.json with encode/reconstruct MB/s, put throughput, and read
+# latency percentiles. Regenerate after perf-sensitive changes.
+bench-json:
+	$(GO) run ./cmd/benchjson -out BENCH_6.json
 
 # Observability smoke: both daemons build, the obs package tests pass, and
 # the in-process cluster serves /metrics, /healthz, /statusz, and /events

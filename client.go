@@ -142,11 +142,20 @@ func (c *Client) Put(key, value []byte) error {
 	return err
 }
 
-// Get returns the value stored under key, or ErrNotFound.
+// Get returns the value stored under key, or ErrNotFound. With
+// Config.BackupReads the read is first offered to a follower CPU node
+// holding a read lease; only found values are served from backups, so a
+// miss (or any backup-side anomaly) transparently falls back to the
+// coordinator.
 func (c *Client) Get(key []byte) ([]byte, error) {
 	p := c.History.Invoke(c.ClientID, linearize.KindGet, string(key), "")
 	var out []byte
 	start := time.Now()
+	if v, ok := c.cluster.backupGet(key); ok {
+		c.cluster.cm.getLat.Record(time.Since(start))
+		finishGet(p, v, nil)
+		return v, nil
+	}
 	err := c.do(func(st *kv.Store) error {
 		v, err := st.Get(key)
 		if err != nil {

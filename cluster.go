@@ -2,8 +2,10 @@ package sift
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/repro/sift/internal/core"
@@ -45,6 +47,8 @@ type Cluster struct {
 	mu      sync.Mutex
 	runners map[uint16]*cpuRunner
 	closed  bool
+
+	backupRR atomic.Uint64 // rotates lease reads across follower CPU nodes
 }
 
 // cpuRunner tracks one CPU node's lifetime.
@@ -95,6 +99,13 @@ func NewCluster(cfg Config) (*Cluster, error) {
 
 	mcfg.SuspectAfter = c.SuspectAfter
 	mcfg.DeadAfter = c.DeadAfter
+	if c.BackupReads {
+		// Lease soundness needs acks to imply visibility: writes wait for
+		// their apply, and after a node exclusion acks hold until every
+		// backup's membership view (≤ LeaseWindow old at use) has rotated.
+		kcfg.SyncApply = true
+		kcfg.AckHold = c.LeaseWindow + c.ReadInterval
+	}
 	cl := &Cluster{
 		cfg:     c,
 		kcfg:    kcfg,
@@ -152,9 +163,16 @@ func (cl *Cluster) nodeConfig(id uint16) core.Config {
 	electDial := func(node string) (rdma.Verbs, error) {
 		return cl.network.Dial(cpuName, node, rdma.DialOpts{OpDeadline: cl.cfg.OpDeadline})
 	}
+	backupDial := func(node string) (rdma.Verbs, error) {
+		return cl.network.Dial(cpuName, node, rdma.DialOpts{
+			ReadOnly:   []rdma.RegionID{memnode.ReplRegionID},
+			OpDeadline: cl.cfg.OpDeadline,
+		})
+	}
 	if cl.faults != nil {
 		memDial = cl.faults.WrapDialer(memDial)
 		electDial = cl.faults.WrapDialer(electDial)
+		backupDial = cl.faults.WrapDialer(backupDial)
 	}
 	mcfg.Dial = memDial
 	mcfg.Events = cl.events
@@ -175,8 +193,51 @@ func (cl *Cluster) nodeConfig(id uint16) core.Config {
 		KV:                   cl.kcfg,
 		NodeRecoveryInterval: cl.cfg.NodeRecoveryInterval,
 		ScrubInterval:        cl.cfg.ScrubInterval,
+		BackupReads:          cl.cfg.BackupReads,
+		LeaseWindow:          cl.cfg.LeaseWindow,
+		BackupDial:           backupDial,
 		Events:               cl.events,
 	}
+}
+
+// backupGet attempts a lease-based read on a follower CPU node, rotating
+// across the running followers. ok is false when no follower could serve it
+// (no lease, read anomaly, or key not proven present) — the caller falls
+// back to the coordinator path.
+func (cl *Cluster) backupGet(key []byte) ([]byte, bool) {
+	if !cl.cfg.BackupReads {
+		return nil, false
+	}
+	cl.mu.Lock()
+	nodes := make([]*core.CPUNode, 0, len(cl.runners))
+	for _, r := range cl.runners {
+		nodes = append(nodes, r.node)
+	}
+	cl.mu.Unlock()
+	if len(nodes) == 0 {
+		return nil, false
+	}
+	tried := false
+	start := int(cl.backupRR.Add(1))
+	for k := 0; k < len(nodes); k++ {
+		n := nodes[(start+k)%len(nodes)]
+		if n.Role() != core.Follower {
+			continue
+		}
+		tried = true
+		v, err := n.BackupGet(key)
+		if err == nil {
+			cl.cm.backupGets.Inc()
+			return v, true
+		}
+		if errors.Is(err, core.ErrNoLease) {
+			cl.cm.leaseRejects.Inc()
+		}
+	}
+	if tried {
+		cl.cm.backupFallbacks.Inc()
+	}
+	return nil, false
 }
 
 // startCPUNodeLocked launches CPU node id; caller holds cl.mu or is in

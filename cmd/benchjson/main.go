@@ -1,0 +1,213 @@
+// Command benchjson runs the repository's headline performance probes and
+// emits one JSON document (for the benchmark-trajectory record BENCH_6.json):
+// erasure encode/reconstruct bandwidth, cluster put throughput, and read
+// latency percentiles on both the coordinator and lease-based backup read
+// paths. Invoke via `make bench-json`.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	sift "github.com/repro/sift"
+	"github.com/repro/sift/internal/erasure"
+	"github.com/repro/sift/internal/metrics"
+)
+
+type doc struct {
+	Generated string `json:"generated"`
+	Go        string `json:"go"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	CPUs      int    `json:"cpus"`
+
+	// MB/s over the logical block, 64 KiB blocks, k=F+1 data + F parity.
+	EncodeMBs      map[string]float64 `json:"encode_mb_s"`
+	ReconstructMBs map[string]float64 `json:"reconstruct_mb_s"`
+
+	// In-process cluster (F=1, no simulated latency), 992-byte values.
+	PutOpsPerSec float64 `json:"put_ops_per_sec"`
+	ReadP50Us    float64 `json:"read_p50_us"`
+	ReadP99Us    float64 `json:"read_p99_us"`
+
+	// Same reads with lease-based backup reads enabled.
+	BackupReadP50Us float64 `json:"backup_read_p50_us"`
+	BackupReadP99Us float64 `json:"backup_read_p99_us"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_6.json", "output path")
+	dur := flag.Duration("duration", 2*time.Second, "per-probe measurement duration")
+	flag.Parse()
+
+	d := doc{
+		Generated:      time.Now().UTC().Format(time.RFC3339),
+		Go:             runtime.Version(),
+		GOOS:           runtime.GOOS,
+		GOARCH:         runtime.GOARCH,
+		CPUs:           runtime.NumCPU(),
+		EncodeMBs:      map[string]float64{},
+		ReconstructMBs: map[string]float64{},
+	}
+
+	for _, f := range []int{1, 2} {
+		// Round 64 KiB up to a multiple of k, as the deploy layer does.
+		k := f + 1
+		block := (64*1024 + k - 1) / k * k
+		enc, rec, err := ecBandwidth(f, block, *dur)
+		if err != nil {
+			fatal(err)
+		}
+		key := fmt.Sprintf("f%d_64k", f)
+		d.EncodeMBs[key] = round1(enc)
+		d.ReconstructMBs[key] = round1(rec)
+	}
+
+	put, p50, p99, err := clusterProbe(false, *dur)
+	if err != nil {
+		fatal(err)
+	}
+	d.PutOpsPerSec = round1(put)
+	d.ReadP50Us = round1(p50)
+	d.ReadP99Us = round1(p99)
+
+	_, bp50, bp99, err := clusterProbe(true, *dur)
+	if err != nil {
+		fatal(err)
+	}
+	d.BackupReadP50Us = round1(bp50)
+	d.BackupReadP99Us = round1(bp99)
+
+	buf, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n%s", *out, buf)
+}
+
+// ecBandwidth measures EncodeTo and Reconstruct bandwidth (MB/s of logical
+// block) for k=f+1, m=f at the given block size.
+func ecBandwidth(f, block int, dur time.Duration) (encMBs, recMBs float64, err error) {
+	code, err := erasure.New(f+1, f)
+	if err != nil {
+		return 0, 0, err
+	}
+	data := make([]byte, block)
+	rng := rand.New(rand.NewSource(42))
+	rng.Read(data)
+	chunkLen, err := code.ChunkSize(block)
+	if err != nil {
+		return 0, 0, err
+	}
+	n := code.K() + code.M()
+	chunks := make([][]byte, n)
+	for i := range chunks {
+		chunks[i] = make([]byte, chunkLen)
+	}
+
+	encMBs = throughput(dur, block, func() error { return code.EncodeTo(data, chunks) })
+
+	// Reconstruct with the first f chunks missing (worst case: data chunks
+	// rebuilt from parity).
+	backup := make([][]byte, n)
+	for i := range chunks {
+		backup[i] = append([]byte(nil), chunks[i]...)
+	}
+	recMBs = throughput(dur, block, func() error {
+		for i := 0; i < f; i++ {
+			chunks[i] = nil
+		}
+		if err := code.Reconstruct(chunks); err != nil {
+			return err
+		}
+		for i := 0; i < f; i++ {
+			copy(chunks[i], backup[i]) // Reconstruct reallocates; keep shape
+		}
+		return nil
+	})
+	return encMBs, recMBs, nil
+}
+
+// throughput runs fn repeatedly for roughly dur and returns MB/s given
+// bytes of useful work per call.
+func throughput(dur time.Duration, bytes int, fn func() error) float64 {
+	// Warmup.
+	for i := 0; i < 8; i++ {
+		if err := fn(); err != nil {
+			fatal(err)
+		}
+	}
+	start := time.Now()
+	calls := 0
+	for time.Since(start) < dur {
+		if err := fn(); err != nil {
+			fatal(err)
+		}
+		calls++
+	}
+	elapsed := time.Since(start).Seconds()
+	return float64(calls) * float64(bytes) / 1e6 / elapsed
+}
+
+// clusterProbe measures put throughput and get latency percentiles against
+// an in-process F=1 cluster, optionally with lease-based backup reads.
+func clusterProbe(backupReads bool, dur time.Duration) (putOps, readP50Us, readP99Us float64, err error) {
+	cfg := sift.Config{F: 1, Keys: 4096, MaxValueSize: 992}
+	if backupReads {
+		cfg.BackupReads = true
+		cfg.CPUNodes = 3
+	}
+	cl, err := sift.NewCluster(cfg)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer cl.Close()
+	c := cl.Client()
+
+	val := make([]byte, 992)
+	key := func(i int) []byte { return []byte(fmt.Sprintf("user%012d", i)) }
+	for i := 0; i < cfg.Keys; i++ {
+		if err := c.Put(key(i), val); err != nil {
+			return 0, 0, 0, err
+		}
+	}
+
+	start := time.Now()
+	puts := 0
+	for time.Since(start) < dur {
+		if err := c.Put(key(puts%cfg.Keys), val); err != nil {
+			return 0, 0, 0, err
+		}
+		puts++
+	}
+	putOps = float64(puts) / time.Since(start).Seconds()
+
+	var hist metrics.Histogram
+	start = time.Now()
+	for i := 0; time.Since(start) < dur; i++ {
+		t0 := time.Now()
+		if _, err := c.Get(key(i % cfg.Keys)); err != nil {
+			return 0, 0, 0, err
+		}
+		hist.Record(time.Since(t0))
+	}
+	return putOps, float64(hist.Percentile(50)) / 1e3, float64(hist.Percentile(99)) / 1e3, nil
+}
+
+func round1(v float64) float64 {
+	return float64(int64(v*10+0.5)) / 10
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

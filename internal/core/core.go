@@ -12,6 +12,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -22,6 +23,11 @@ import (
 	"github.com/repro/sift/internal/obs"
 	"github.com/repro/sift/internal/repmem"
 )
+
+// ErrNoLease is returned by BackupGet when this node cannot serve the read:
+// it holds no valid read lease, it is itself the coordinator, or backup
+// reads are not configured. The caller retries at the coordinator.
+var ErrNoLease = errors.New("core: no backup read lease")
 
 // Role is a CPU node's current protocol role.
 type Role int32
@@ -66,6 +72,21 @@ type Config struct {
 	// ScrubInterval is the background scrubber's tick (it verifies a small
 	// batch of blocks per tick). Default 50ms; negative disables scrubbing.
 	ScrubInterval time.Duration
+	// BackupReads enables serving Get requests from this node while it is a
+	// follower, under a read lease derived from its heartbeat observations
+	// (paper §5.2's backup CPU involvement, extended to the read path).
+	// Requires BackupDial; the coordinator side must run the KV store with
+	// SyncApply and an AckHold of at least LeaseWindow (plus read-latency
+	// margin) for the leases to be sound.
+	BackupReads bool
+	// LeaseWindow is the backup read-lease duration, measured from the start
+	// of a heartbeat read round that saw a majority at the current term. A
+	// new coordinator delays its first acknowledgement by this long so every
+	// prior-term lease has expired (see DESIGN.md §13).
+	LeaseWindow time.Duration
+	// BackupDial opens observer (read-only) connections to memory nodes for
+	// the backup read path — see rdma.DialOpts.ReadOnly.
+	BackupDial repmem.Dialer
 	// OnRoleChange, if set, is invoked (synchronously) on role transitions.
 	OnRoleChange func(Role)
 	// Events, if set, receives control-plane events (election.campaign,
@@ -86,6 +107,8 @@ type CPUNode struct {
 
 	mu       sync.Mutex
 	stepDown chan struct{} // closed to force the coordinator loop to exit
+
+	backup *backupReader // nil unless cfg.BackupReads
 
 	// Stats.
 	elections     atomic.Uint64
@@ -113,9 +136,128 @@ func NewCPUNode(cfg Config) *CPUNode {
 	}
 	cfg.Election.NodeID = cfg.NodeID
 	cfg.Memory.MemoryNodes = cfg.Election.MemoryNodes
+	if cfg.BackupReads && cfg.LeaseWindow <= 0 {
+		cfg.LeaseWindow = 4 * cfg.Election.HeartbeatInterval
+	}
 	n := &CPUNode{cfg: cfg}
 	n.elector = election.New(cfg.Election)
+	if cfg.BackupReads && cfg.BackupDial != nil {
+		if br, err := newBackupReader(cfg); err == nil {
+			n.backup = br
+		}
+	}
 	return n
+}
+
+// backupReader bundles the follower-side read path: a read-only view of the
+// replicated memory plus a lock-free chain walker, with a cached membership
+// mask that is refreshed from the admin region well within the ack-hold
+// window.
+type backupReader struct {
+	view  *repmem.View
+	chain *kv.ChainReader
+
+	mu      sync.Mutex
+	maskAt  time.Time
+	masked  bool
+	serving uint16 // highest serving term seen at the last refresh
+}
+
+func newBackupReader(cfg Config) (*backupReader, error) {
+	vcfg := cfg.Memory
+	vcfg.Dial = cfg.BackupDial
+	vcfg.OnFenced = nil
+	view, err := repmem.NewView(vcfg)
+	if err != nil {
+		return nil, err
+	}
+	align := 1
+	if vcfg.ECData > 0 {
+		align = vcfg.ECBlockSize
+	}
+	chain, err := kv.NewChainReader(cfg.KV, align, view)
+	if err != nil {
+		view.Close()
+		return nil, err
+	}
+	return &backupReader{view: view, chain: chain}, nil
+}
+
+// refreshMask re-reads the published membership bitmap and serving term
+// unless the cached pair is younger than ttl. A mask in use is therefore
+// never older than ttl plus one read; the coordinator's AckHold must exceed
+// that. It returns the cached serving term. (A stale serving term is safe:
+// the word is monotonic, so a match with the lease term can only
+// under-claim, never claim an unfinished takeover complete.)
+func (b *backupReader) refreshMask(ttl time.Duration) (uint16, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.masked && time.Since(b.maskAt) < ttl {
+		return b.serving, nil
+	}
+	_, _, bitmap, ok := b.view.ReadMembership()
+	if !ok {
+		return 0, fmt.Errorf("no published membership")
+	}
+	serving, ok := b.view.ReadServing()
+	if !ok {
+		return 0, fmt.Errorf("no published serving term")
+	}
+	b.view.SetMask(bitmap)
+	b.maskAt = time.Now()
+	b.masked = true
+	b.serving = serving
+	return serving, nil
+}
+
+// BackupGet serves a read from replicated memory while this node is a
+// follower holding a valid read lease. Any error — ErrNoLease or a
+// kv.ErrBackupRetry wrap — means the caller must retry at the coordinator;
+// only found values are authoritative.
+func (n *CPUNode) BackupGet(key []byte) ([]byte, error) {
+	br := n.backup
+	if br == nil {
+		return nil, ErrNoLease
+	}
+	if n.store.Load() != nil {
+		return nil, ErrNoLease // we are the coordinator; use Store
+	}
+	w := n.cfg.LeaseWindow
+	term, ok := n.elector.Lease(w)
+	if !ok {
+		return nil, ErrNoLease
+	}
+	serving, err := br.refreshMask(w / 2)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrNoLease, err)
+	}
+	// The lease term's coordinator must have declared its takeover complete
+	// (serving word ≥ published after recovery/replay): a lease alone only
+	// proves who the coordinator is, not that its replay — which rewrites
+	// blocks through older states — has finished.
+	if serving != term {
+		return nil, ErrNoLease
+	}
+	walkStart := time.Now()
+	val, err := br.chain.Get(key)
+	if err != nil {
+		return nil, err
+	}
+	// Two post-read checks close the soundness argument:
+	//   - The walk must fit in half a lease window, so the membership mask
+	//     in use is at most LeaseWindow old (mask TTL W/2 + walk W/2) at
+	//     return — within the coordinator's AckHold, which guarantees no
+	//     acknowledged write has skipped a node this walk read from.
+	//   - The lease must still be valid at the same term, so the value was
+	//     read entirely inside a window during which no later coordinator
+	//     can have acknowledged anything.
+	if time.Since(walkStart) > w/2 {
+		return nil, ErrNoLease
+	}
+	if t2, ok := n.elector.Lease(w); !ok || t2 != term {
+		return nil, ErrNoLease
+	}
+	return val, nil
 }
 
 // Role returns the node's current role.
@@ -198,11 +340,24 @@ func (n *CPUNode) TakeOver(ctx context.Context, observed map[string]election.Wor
 
 // Close releases the node's election connections. Only call after Run or
 // TakeOver has returned.
-func (n *CPUNode) Close() { n.elector.Close() }
+func (n *CPUNode) Close() {
+	n.elector.Close()
+	if n.backup != nil {
+		n.backup.view.Close()
+	}
+}
 
 // coordinate runs one coordinatorship: build the replicated memory and KV
 // layers, recover, then heartbeat until dethroned or cancelled.
 func (n *CPUNode) coordinate(ctx context.Context, term uint16) {
+	// Every backup read lease for a prior term is anchored at a heartbeat
+	// round that started before this term's election CAS reached a majority
+	// — which is before this function runs. Waiting out one lease window
+	// from here (less however long recovery takes) therefore guarantees all
+	// such leases have expired before this coordinator acknowledges its
+	// first operation.
+	takeoverStart := time.Now()
+
 	n.mu.Lock()
 	n.stepDown = make(chan struct{})
 	stepDown := n.stepDown
@@ -245,6 +400,28 @@ func (n *CPUNode) coordinate(ctx context.Context, term uint16) {
 		<-hbDone
 	}()
 
+	// With backup reads enabled, no replicated state may be rewritten until
+	// every lease from a prior term has expired: recovery and log replay
+	// rewrite table blocks through older states, and a prior-term lease
+	// holder reading mid-replay could return a value that regresses an
+	// acknowledged write. Every such lease is anchored at a heartbeat round
+	// that started before this term's election CAS reached a majority —
+	// before this function runs — so waiting one lease window here, with
+	// heartbeats already flowing, outlasts them all. New-term leases are
+	// kept out of the replay window separately, by the serving word
+	// published below.
+	if n.cfg.BackupReads {
+		if rem := n.cfg.LeaseWindow - time.Since(takeoverStart); rem > 0 {
+			select {
+			case <-time.After(rem):
+			case <-stepDown:
+				return
+			case <-ctx.Done():
+				return
+			}
+		}
+	}
+
 	mcfg := n.cfg.Memory
 	mcfg.OnFenced = func() {
 		n.emit("coordinator.fenced", term, "replicated memory fenced")
@@ -271,6 +448,12 @@ func (n *CPUNode) coordinate(ctx context.Context, term uint16) {
 	if n.cfg.ScrubInterval > 0 {
 		stopScrub := mem.StartScrub(n.cfg.ScrubInterval)
 		defer stopScrub()
+	}
+
+	if n.cfg.BackupReads {
+		// Takeover complete: recovery and replay are done, so lease holders
+		// at this term may now trust what they read.
+		mem.PublishServing()
 	}
 
 	n.term.Store(uint32(term))

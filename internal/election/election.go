@@ -130,6 +130,18 @@ type Elector struct {
 	mu       sync.Mutex
 	conns    map[string]rdma.Verbs
 	lastSeen map[string]Word // most recent word observed on each memory node
+
+	// Read-lease state, piggybacked on the heartbeat read rounds the
+	// follower performs anyway (no extra RDMA operations). A round is
+	// lease-good when a majority of admin words carry one term T and no
+	// word carries a higher term; the lease anchors at the round's START
+	// time: by quorum intersection, term T+1's election CAS cannot have
+	// completed on a majority before the round began, so any T+1
+	// coordinator that delays its first acknowledgement by the lease
+	// window W is guaranteed this lease has expired first.
+	leaseMu     sync.Mutex
+	leaseAnchor time.Time
+	leaseTerm   uint16
 }
 
 // New creates an Elector. It opens connections lazily, so construction never
@@ -214,6 +226,7 @@ func (e *Elector) readWord(node string) (Word, error) {
 // read and the freshest word overall. err is ErrNoQuorum when fewer than a
 // majority of nodes responded.
 func (e *Elector) ReadAll() (words map[string]Word, best Word, err error) {
+	roundStart := time.Now()
 	words = make(map[string]Word, len(e.cfg.MemoryNodes))
 	type result struct {
 		node string
@@ -237,10 +250,47 @@ func (e *Elector) ReadAll() (words map[string]Word, best Word, err error) {
 			best = r.w
 		}
 	}
+	e.noteLeaseRound(roundStart, words, best)
 	if len(words) < e.Majority() {
 		return words, best, ErrNoQuorum
 	}
 	return words, best, nil
+}
+
+// noteLeaseRound updates the read-lease state after one read round. best is
+// the freshest word observed, so "no higher term" holds exactly when a
+// majority of the readable words carry best.Term.
+func (e *Elector) noteLeaseRound(roundStart time.Time, words map[string]Word, best Word) {
+	if best.Term == 0 {
+		return // no coordinator has ever owned a term
+	}
+	atTerm := 0
+	for _, w := range words {
+		if w.Term == best.Term {
+			atTerm++
+		}
+	}
+	if atTerm < e.Majority() {
+		return
+	}
+	e.leaseMu.Lock()
+	e.leaseAnchor = roundStart
+	e.leaseTerm = best.Term
+	e.leaseMu.Unlock()
+}
+
+// Lease reports whether this node holds a valid read lease for window w:
+// within the last w, a full read round (anchored at its start) observed a
+// majority of memory nodes agreeing on one term with no higher term in
+// sight. It returns that term. Backup CPU nodes gate replicated-memory
+// reads on this.
+func (e *Elector) Lease(w time.Duration) (uint16, bool) {
+	e.leaseMu.Lock()
+	defer e.leaseMu.Unlock()
+	if e.leaseTerm == 0 || time.Since(e.leaseAnchor) >= w {
+		return 0, false
+	}
+	return e.leaseTerm, true
 }
 
 // AwaitSuspicion blocks in the follower role, performing heartbeat reads

@@ -1,0 +1,136 @@
+package erasure
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// Size-parameterized benchmarks. Block sizes span the shapes that matter in
+// practice: 4 KiB (a page-ish logged write), 64 KiB (a large apply span —
+// the acceptance gate for the word-parallel kernels), and 1 MiB (recovery
+// copy chunks). Every benchmark reports MB/s (SetBytes on the logical block
+// length) and allocs/op so numbers stay comparable across PRs.
+
+var benchShapes = []struct{ k, m int }{{2, 1}, {3, 2}}
+
+var benchBlockSizes = []struct {
+	name string
+	n    int
+}{
+	{"4KiB", 4 << 10},
+	{"64KiB", 64 << 10},
+	{"1MiB", 1 << 20},
+}
+
+func benchBlock(k, n int) []byte {
+	block := make([]byte, n-n%k)
+	rand.New(rand.NewSource(int64(n))).Read(block)
+	return block
+}
+
+func BenchmarkEncode(b *testing.B) {
+	for _, sh := range benchShapes {
+		for _, sz := range benchBlockSizes {
+			b.Run(fmt.Sprintf("F%d/%s", sh.m, sz.name), func(b *testing.B) {
+				c, _ := New(sh.k, sh.m)
+				block := benchBlock(sh.k, sz.n)
+				cs, _ := c.ChunkSize(len(block))
+				chunks := make([][]byte, sh.k+sh.m)
+				for i := 0; i < sh.m; i++ {
+					chunks[sh.k+i] = make([]byte, cs)
+				}
+				b.SetBytes(int64(len(block)))
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := c.EncodeTo(block, chunks); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkReconstruct(b *testing.B) {
+	for _, sh := range benchShapes {
+		for _, sz := range benchBlockSizes {
+			b.Run(fmt.Sprintf("F%d/%s", sh.m, sz.name), func(b *testing.B) {
+				c, _ := New(sh.k, sh.m)
+				block := benchBlock(sh.k, sz.n)
+				chunks, err := c.Encode(block)
+				if err != nil {
+					b.Fatal(err)
+				}
+				lost := append([]byte(nil), chunks[0]...)
+				b.SetBytes(int64(len(block)))
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					chunks[0] = nil
+					if err := c.Reconstruct(chunks); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				if !bytesEqual(chunks[0], lost) {
+					b.Fatal("reconstructed chunk differs")
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	for _, sh := range benchShapes {
+		for _, sz := range benchBlockSizes {
+			b.Run(fmt.Sprintf("F%d/%s", sh.m, sz.name), func(b *testing.B) {
+				c, _ := New(sh.k, sh.m)
+				block := benchBlock(sh.k, sz.n)
+				chunks, err := c.Encode(block)
+				if err != nil {
+					b.Fatal(err)
+				}
+				avail := make([][]byte, len(chunks))
+				copy(avail, chunks)
+				avail[0] = nil // force one parity chunk into the decode
+				b.SetBytes(int64(len(block)))
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := c.Decode(avail); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkMulAddSlice(b *testing.B) {
+	for _, sz := range benchBlockSizes {
+		b.Run(sz.name, func(b *testing.B) {
+			src := benchBlock(1, sz.n)
+			dst := make([]byte, len(src))
+			b.SetBytes(int64(len(src)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				mulAddSlice(dst, src, 0x57)
+			}
+		})
+	}
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,93 @@
+package erasure
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzGFKernels differentially tests every word-parallel kernel against the
+// scalar gfMul reference: arbitrary coefficients, arbitrary lengths
+// (including lengths not divisible by 8, which exercise the scalar tails),
+// and arbitrary slice alignment (the off parameter shifts the views so the
+// word loops start at any byte offset).
+func FuzzGFKernels(f *testing.F) {
+	f.Add([]byte{}, byte(0), uint8(0))
+	f.Add([]byte{1, 2, 3}, byte(1), uint8(1))
+	f.Add(bytes.Repeat([]byte{0xa5, 0x3c, 0x7e}, 23), byte(0x57), uint8(5))
+	f.Add(bytes.Repeat([]byte{0xff}, 64), byte(0x8e), uint8(7))
+	f.Fuzz(func(t *testing.T, data []byte, c byte, off uint8) {
+		src := data[int(off%8)*len(data)/8:]
+		n := len(src)
+
+		// mulSlice vs scalar.
+		got := make([]byte, n)
+		mulSlice(got, src, c)
+		want := make([]byte, n)
+		for i, b := range src {
+			want[i] = gfMul(c, b)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("mulSlice(c=%#x, n=%d) diverges from scalar gfMul", c, n)
+		}
+
+		// mulAddSlice vs scalar, with a non-trivial initial destination.
+		dst := make([]byte, n)
+		for i := range dst {
+			dst[i] = byte(i*37 + 11)
+		}
+		wantAdd := make([]byte, n)
+		for i, b := range src {
+			wantAdd[i] = dst[i] ^ gfMul(c, b)
+		}
+		mulAddSlice(dst, src, c)
+		if !bytes.Equal(dst, wantAdd) {
+			t.Fatalf("mulAddSlice(c=%#x, n=%d) diverges from scalar gfMul", c, n)
+		}
+
+		// xorSlice vs scalar.
+		for i := range dst {
+			dst[i] = byte(i * 13)
+		}
+		wantXor := make([]byte, n)
+		for i, b := range src {
+			wantXor[i] = byte(i*13) ^ b
+		}
+		xorSlice(dst, src)
+		if !bytes.Equal(dst, wantXor) {
+			t.Fatalf("xorSlice(n=%d) diverges from scalar xor", n)
+		}
+
+		// Fused encoders (encodeK2M1, encodeK3M2 via EncodeTo) vs the
+		// scalar matrix-vector product over the same coefficient rows.
+		for _, sh := range []struct{ k, m int }{{2, 1}, {3, 2}} {
+			if n < sh.k {
+				continue
+			}
+			code, err := New(sh.k, sh.m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			block := src[:n-n%sh.k]
+			cs := len(block) / sh.k
+			chunks := make([][]byte, sh.k+sh.m)
+			for i := 0; i < sh.m; i++ {
+				chunks[sh.k+i] = make([]byte, cs)
+			}
+			if err := code.EncodeTo(block, chunks); err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < sh.m; i++ {
+				for x := 0; x < cs; x++ {
+					var wantByte byte
+					for j := 0; j < sh.k; j++ {
+						wantByte ^= gfMul(code.parity[i][j], block[j*cs+x])
+					}
+					if chunks[sh.k+i][x] != wantByte {
+						t.Fatalf("k=%d m=%d parity[%d][%d]: got %#x, want %#x",
+							sh.k, sh.m, i, x, chunks[sh.k+i][x], wantByte)
+					}
+				}
+			}
+		}
+	})
+}

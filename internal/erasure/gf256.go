@@ -32,6 +32,10 @@ func init() {
 	for i := 255; i < 512; i++ {
 		gfExp[i] = gfExp[i-255]
 	}
+	// The word-parallel kernels' nibble-split and composed product tables
+	// derive from the log/exp tables, so they are built here rather than in
+	// a second init whose ordering would depend on file names.
+	buildKernelTables()
 }
 
 // gfMul multiplies two field elements.
@@ -59,48 +63,6 @@ func gfInv(a byte) byte {
 		panic("erasure: zero has no inverse in GF(256)")
 	}
 	return gfExp[255-int(gfLog[a])]
-}
-
-// mulRowTable returns the 256-entry multiplication table for coefficient c,
-// letting the encode inner loop run as a table lookup per byte.
-func mulRowTable(c byte) *[256]byte {
-	var t [256]byte
-	if c == 0 {
-		return &t
-	}
-	lc := int(gfLog[c])
-	for x := 1; x < 256; x++ {
-		t[x] = gfExp[lc+int(gfLog[x])]
-	}
-	return &t
-}
-
-// mulAddSlice computes dst[i] ^= c * src[i] for all i using a lookup table.
-func mulAddSlice(dst, src []byte, c byte) {
-	if c == 0 {
-		return
-	}
-	t := mulTables[c]
-	for i, s := range src {
-		dst[i] ^= t[s]
-	}
-}
-
-// mulSlice computes dst[i] = c * src[i].
-func mulSlice(dst, src []byte, c byte) {
-	t := mulTables[c]
-	for i, s := range src {
-		dst[i] = t[s]
-	}
-}
-
-// mulTables caches per-coefficient lookup tables (64 KiB total).
-var mulTables [256]*[256]byte
-
-func init() {
-	for c := 0; c < 256; c++ {
-		mulTables[c] = mulRowTable(byte(c))
-	}
 }
 
 // invertMatrix inverts an n×n matrix over GF(256) in place using

@@ -1,0 +1,296 @@
+package erasure
+
+import (
+	"encoding/binary"
+	"runtime"
+	"sync"
+)
+
+// Word-parallel GF(256) kernels (pure Go, no assembler).
+//
+// GF(256) multiplication by a fixed coefficient is linear over GF(2):
+// c·b = c·(b & 0x0F) ⊕ c·(b & 0xF0). Each coefficient's 256-entry product
+// table is therefore composed from two 16-entry nibble tables (mulNibLo /
+// mulNibHi), and the hot loops process 8 bytes per step: load a 64-bit
+// source word, gather the 8 product bytes through the composed table,
+// reassemble them with shifts/ors, and fold the result into the
+// destination with a single 64-bit xor. The per-byte bounds checks, the
+// byte-wide read-modify-write of the destination, and most loop overhead
+// of the old byte-at-a-time kernel disappear; the 8 gathers per word are
+// independent loads from a 256-byte L1-resident table, so they pipeline.
+//
+// On top of the word kernels, the encoder is progressive/row-fused: each
+// source chunk's word is loaded once and contributes to every parity row
+// while it sits in a register (encodeK2M1, encodeK3M2), instead of one
+// full pass over source and parity per matrix cell — see the comment above
+// those kernels for the row-normalisation and double-byte-table tricks that
+// cut the gather count further. Blocks at least shardMinBytes long are
+// additionally range-sharded across a bounded worker pool
+// (min(GOMAXPROCS, 8) workers).
+
+var (
+	// mulNibLo[c][n] = c·n and mulNibHi[c][n] = c·(n<<4): the low/high
+	// 4-bit split tables every composed product table is built from.
+	mulNibLo [256][16]byte
+	mulNibHi [256][16]byte
+	// mulTables[c] is the composed 256-entry product table for c.
+	mulTables [256]*[256]byte
+)
+
+// buildKernelTables populates the nibble-split and composed product
+// tables. Called from the gf256.go init after the log/exp tables exist.
+func buildKernelTables() {
+	for c := 0; c < 256; c++ {
+		for n := 0; n < 16; n++ {
+			mulNibLo[c][n] = gfMul(byte(c), byte(n))
+			mulNibHi[c][n] = gfMul(byte(c), byte(n<<4))
+		}
+		t := new([256]byte)
+		for b := 0; b < 256; b++ {
+			t[b] = mulNibLo[c][b&0x0F] ^ mulNibHi[c][b>>4]
+		}
+		mulTables[c] = t
+	}
+}
+
+// mulAddSlice computes dst[i] ^= c * src[i] for all i, 8 bytes per step.
+// The gather is written as two independent 4-byte half-words so the
+// reassembly forms two short dependency chains instead of one 8-deep one.
+func mulAddSlice(dst, src []byte, c byte) {
+	if c == 0 || len(src) == 0 {
+		return
+	}
+	if c == 1 {
+		xorSlice(dst, src)
+		return
+	}
+	t := mulTables[c]
+	d, s := dst, src
+	for len(s) >= 8 && len(d) >= 8 {
+		v := binary.LittleEndian.Uint64(s)
+		lo := uint64(t[v&0xff]) |
+			uint64(t[v>>8&0xff])<<8 |
+			uint64(t[v>>16&0xff])<<16 |
+			uint64(t[v>>24&0xff])<<24
+		hi := uint64(t[v>>32&0xff]) |
+			uint64(t[v>>40&0xff])<<8 |
+			uint64(t[v>>48&0xff])<<16 |
+			uint64(t[v>>56])<<24
+		binary.LittleEndian.PutUint64(d, binary.LittleEndian.Uint64(d)^(lo|hi<<32))
+		s, d = s[8:], d[8:]
+	}
+	for i, b := range s {
+		d[i] ^= t[b]
+	}
+}
+
+// mulSlice computes dst[i] = c * src[i], 8 bytes per step.
+func mulSlice(dst, src []byte, c byte) {
+	if c == 1 {
+		copy(dst, src)
+		return
+	}
+	t := mulTables[c]
+	d, s := dst, src
+	for len(s) >= 8 && len(d) >= 8 {
+		v := binary.LittleEndian.Uint64(s)
+		lo := uint64(t[v&0xff]) |
+			uint64(t[v>>8&0xff])<<8 |
+			uint64(t[v>>16&0xff])<<16 |
+			uint64(t[v>>24&0xff])<<24
+		hi := uint64(t[v>>32&0xff]) |
+			uint64(t[v>>40&0xff])<<8 |
+			uint64(t[v>>48&0xff])<<16 |
+			uint64(t[v>>56])<<24
+		binary.LittleEndian.PutUint64(d, lo|hi<<32)
+		s, d = s[8:], d[8:]
+	}
+	for i, b := range s {
+		d[i] = t[b]
+	}
+}
+
+// xorSlice computes dst[i] ^= src[i] (the c == 1 multiply), a word at a
+// time.
+func xorSlice(dst, src []byte) {
+	d, s := dst, src
+	for len(s) >= 8 && len(d) >= 8 {
+		binary.LittleEndian.PutUint64(d, binary.LittleEndian.Uint64(d)^binary.LittleEndian.Uint64(s))
+		s, d = s[8:], d[8:]
+	}
+	for i, b := range s {
+		d[i] ^= b
+	}
+}
+
+// The fused encoders below exploit two structural tricks on top of the
+// word kernels:
+//
+//   - Row normalisation. New scales every parity row by a non-zero
+//     constant so that column 0 is all ones (row scaling preserves the
+//     any-k-of-n property: a scaled square submatrix is invertible iff the
+//     original is). Source chunk 0 then contributes to every parity row
+//     with a plain 64-bit xor — no gathers at all.
+//
+//   - Double-byte tables. For the remaining coefficients a Code builds
+//     [65536]-entry tables indexed by two adjacent source bytes, so one
+//     gather yields two product bytes (tab16), or — for the k=3, m=2
+//     shape — two product bytes for each of the two parity rows packed in
+//     a uint32 (tab16x2). Gather count per source word drops from 8 to 4.
+
+// newTab16 builds the double-byte product table for coefficient c: entry
+// (y<<8 | x) holds c·x in the low byte and c·y in the high byte, matching
+// little-endian lane order.
+func newTab16(c byte) *[65536]uint16 {
+	t := mulTables[c]
+	u := new([65536]uint16)
+	for y := 0; y < 256; y++ {
+		hi := uint16(t[y]) << 8
+		row := u[y<<8 : y<<8+256]
+		for x := 0; x < 256; x++ {
+			row[x] = uint16(t[x]) | hi
+		}
+	}
+	return u
+}
+
+// newTab16x2 builds the double-byte, double-row table for one source
+// column with row coefficients c0 and c1: the low uint16 is c0's product
+// pair, the high uint16 is c1's.
+func newTab16x2(c0, c1 byte) *[65536]uint32 {
+	t0, t1 := mulTables[c0], mulTables[c1]
+	u := new([65536]uint32)
+	for y := 0; y < 256; y++ {
+		hi := uint32(t0[y])<<8 | uint32(t1[y])<<24
+		row := u[y<<8 : y<<8+256]
+		for x := 0; x < 256; x++ {
+			row[x] = uint32(t0[x]) | uint32(t1[x])<<16 | hi
+		}
+	}
+	return u
+}
+
+// encodeK2M1 computes the single (normalised) parity row of a k=2 code:
+// p = s0 ⊕ c1·s1. Per 8 output bytes: two source loads, four double-byte
+// gathers, one store.
+func encodeK2M1(p, s0, s1 []byte, u *[65536]uint16, t1 *[256]byte) {
+	for len(p) >= 8 && len(s0) >= 8 && len(s1) >= 8 {
+		a := binary.LittleEndian.Uint64(s0)
+		b := binary.LittleEndian.Uint64(s1)
+		r := uint64(u[b&0xffff]) |
+			uint64(u[b>>16&0xffff])<<16 |
+			uint64(u[b>>32&0xffff])<<32 |
+			uint64(u[b>>48])<<48
+		binary.LittleEndian.PutUint64(p, a^r)
+		p, s0, s1 = p[8:], s0[8:], s1[8:]
+	}
+	for i := range p {
+		p[i] = s0[i] ^ t1[s1[i]]
+	}
+}
+
+// encodeK3M2 computes both (normalised) parity rows of a k=3, m=2 code in
+// one pass: p0 = s0 ⊕ c01·s1 ⊕ c02·s2 and p1 = s0 ⊕ c11·s1 ⊕ c12·s2, with
+// each gather serving two lanes of both rows.
+func encodeK3M2(p0, p1, s0, s1, s2 []byte, u1, u2 *[65536]uint32, tabs [][]*[256]byte) {
+	for len(p0) >= 8 && len(p1) >= 8 && len(s0) >= 8 && len(s1) >= 8 && len(s2) >= 8 {
+		a := binary.LittleEndian.Uint64(s0)
+		b := binary.LittleEndian.Uint64(s1)
+		c := binary.LittleEndian.Uint64(s2)
+		g0 := u1[b&0xffff] ^ u2[c&0xffff]
+		g1 := u1[b>>16&0xffff] ^ u2[c>>16&0xffff]
+		g2 := u1[b>>32&0xffff] ^ u2[c>>32&0xffff]
+		g3 := u1[b>>48] ^ u2[c>>48]
+		r0 := uint64(g0&0xffff) | uint64(g1&0xffff)<<16 | uint64(g2&0xffff)<<32 | uint64(g3&0xffff)<<48
+		r1 := uint64(g0>>16) | uint64(g1>>16)<<16 | uint64(g2>>16)<<32 | uint64(g3>>16)<<48
+		binary.LittleEndian.PutUint64(p0, a^r0)
+		binary.LittleEndian.PutUint64(p1, a^r1)
+		p0, p1 = p0[8:], p1[8:]
+		s0, s1, s2 = s0[8:], s1[8:], s2[8:]
+	}
+	t01, t02 := tabs[0][1], tabs[0][2]
+	t11, t12 := tabs[1][1], tabs[1][2]
+	for i := range p0 {
+		p0[i] = s0[i] ^ t01[s1[i]] ^ t02[s2[i]]
+		p1[i] = s0[i] ^ t11[s1[i]] ^ t12[s2[i]]
+	}
+}
+
+// Bounded worker pool for range-sharding large blocks. Work is submitted
+// best-effort: when every worker is busy the caller simply runs the shard
+// inline, so the pool can never deadlock and adds no latency when idle.
+
+// shardMinBytes is the per-chunk length above which encode/reconstruct
+// work is sharded across the pool.
+const shardMinBytes = 32 << 10
+
+var kernelPool struct {
+	once    sync.Once
+	workers int
+	ch      chan func()
+}
+
+func poolStart() {
+	kernelPool.workers = runtime.GOMAXPROCS(0)
+	if kernelPool.workers > 8 {
+		kernelPool.workers = 8
+	}
+	kernelPool.ch = make(chan func(), 4*kernelPool.workers)
+	for i := 0; i < kernelPool.workers; i++ {
+		go func() {
+			for f := range kernelPool.ch {
+				f()
+			}
+		}()
+	}
+}
+
+// poolWorkers reports the kernel pool's worker count, starting the pool on
+// first use.
+func poolWorkers() int {
+	kernelPool.once.Do(poolStart)
+	return kernelPool.workers
+}
+
+// shardRanges invokes fn over [0, n) split into word-aligned sub-ranges,
+// running shards on the kernel pool when n is large enough and workers are
+// available, inline otherwise. fn must be safe to run concurrently on
+// disjoint ranges (every kernel above is elementwise, so it is).
+func shardRanges(n int, fn func(lo, hi int)) {
+	w := poolWorkers()
+	if n < shardMinBytes || w < 2 {
+		fn(0, n)
+		return
+	}
+	shards := w
+	if shards > (n+shardMinBytes-1)/shardMinBytes {
+		shards = (n + shardMinBytes - 1) / shardMinBytes
+	}
+	per := (n/shards + 7) &^ 7
+	var wg sync.WaitGroup
+	lo := 0
+	for s := 0; s < shards && lo < n; s++ {
+		hi := lo + per
+		if s == shards-1 || hi > n {
+			hi = n
+		}
+		if hi == n {
+			fn(lo, hi) // caller contributes the final shard inline
+			lo = hi
+			break
+		}
+		l, h := lo, hi
+		wg.Add(1)
+		task := func() {
+			defer wg.Done()
+			fn(l, h)
+		}
+		select {
+		case kernelPool.ch <- task:
+		default:
+			task() // pool saturated: run inline
+		}
+		lo = hi
+	}
+	wg.Wait()
+}

@@ -79,6 +79,9 @@ func (s *Store) commitBatch(recs []record) error {
 	remaining := newCountdown(len(recs), func() { s.finishEntry(idx) })
 	for i, r := range recs {
 		t := &applyTask{idx: idx, rec: r, committed: committed, countdown: remaining}
+		if s.cfg.SyncApply {
+			t.applied = make(chan struct{})
+		}
 		tasks[i] = t
 		shard := s.bucketOf(r.key) % uint64(len(s.shards))
 		s.shards[shard].push(t)
@@ -112,6 +115,15 @@ func (s *Store) commitBatch(recs []record) error {
 		t.ok = true
 	}
 	close(committed)
+	if s.cfg.SyncApply {
+		for _, t := range tasks {
+			<-t.applied
+			if t.applyErr != nil {
+				return t.applyErr
+			}
+		}
+		s.holdAck()
+	}
 	return nil
 }
 

@@ -3,6 +3,7 @@ package kv
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 
 	"github.com/repro/sift/internal/wal"
 )
@@ -89,9 +90,21 @@ func recordsOf(e wal.Entry) ([]record, error) {
 	return recs, nil
 }
 
-// Data block layout: used(1) keyLen(2) valLen(2) next(8) key[MaxKey]
-// value[MaxValue]. next holds blockIdx+1; 0 terminates the chain.
-const blockHeaderSize = 13
+// Data block layout: used(1) keyLen(2) valLen(2) next(8) crc(4) key[MaxKey]
+// value[MaxValue]. next holds blockIdx+1; 0 terminates the chain. crc is a
+// CRC-32C over the whole block image with the crc field itself zeroed; it
+// is what lets a backup CPU node, reading blocks without the coordinator's
+// locks, reject a torn image (e.g. an erasure-coded block whose chunks it
+// fetched from nodes straddling an in-flight update) instead of decoding
+// garbage. The coordinator's own reads are serialized by its locks and
+// skip verification.
+const blockHeaderSize = 17
+
+// blockCRCOffset locates the crc field within the header.
+const blockCRCOffset = 13
+
+// blockCRCTable is the Castagnoli table (hardware-accelerated on amd64/arm64).
+var blockCRCTable = crc32.MakeTable(crc32.Castagnoli)
 
 // block is a decoded data block.
 type block struct {
@@ -101,8 +114,26 @@ type block struct {
 	next  uint64 // blockIdx+1; 0 = end of chain
 }
 
-// encodeBlock writes a block image into buf (length ≥ BlockSize).
-func (s *Store) encodeBlock(buf []byte, b block) {
+// blockCodec serialises data blocks. It is shared by the coordinator's
+// Store and by backup-side chain readers, which have no Store.
+type blockCodec struct {
+	maxKey, maxValue, blockSize int
+}
+
+func (c Config) codec() blockCodec {
+	return blockCodec{maxKey: c.MaxKey, maxValue: c.MaxValue, blockSize: c.BlockSize()}
+}
+
+// crcOf computes the block CRC of buf with the crc field treated as zero.
+func (c blockCodec) crcOf(buf []byte) uint32 {
+	var zero [4]byte
+	crc := crc32.Update(0, blockCRCTable, buf[:blockCRCOffset])
+	crc = crc32.Update(crc, blockCRCTable, zero[:])
+	return crc32.Update(crc, blockCRCTable, buf[blockHeaderSize:c.blockSize])
+}
+
+// encode writes a block image into buf (length ≥ blockSize).
+func (c blockCodec) encode(buf []byte, b block) {
 	for i := range buf[:blockHeaderSize] {
 		buf[i] = 0
 	}
@@ -113,26 +144,49 @@ func (s *Store) encodeBlock(buf []byte, b block) {
 	binary.LittleEndian.PutUint16(buf[3:5], uint16(len(b.value)))
 	binary.LittleEndian.PutUint64(buf[5:13], b.next)
 	copy(buf[blockHeaderSize:], b.key)
-	for i := blockHeaderSize + len(b.key); i < blockHeaderSize+s.cfg.MaxKey; i++ {
+	for i := blockHeaderSize + len(b.key); i < blockHeaderSize+c.maxKey; i++ {
 		buf[i] = 0
 	}
-	copy(buf[blockHeaderSize+s.cfg.MaxKey:], b.value)
+	copy(buf[blockHeaderSize+c.maxKey:], b.value)
+	binary.LittleEndian.PutUint32(buf[blockCRCOffset:blockHeaderSize], c.crcOf(buf))
 }
 
-// decodeBlock parses a block image.
-func (s *Store) decodeBlock(buf []byte) (block, error) {
-	if len(buf) < s.blockSize {
+// decode parses a block image without CRC verification.
+func (c blockCodec) decode(buf []byte) (block, error) {
+	if len(buf) < c.blockSize {
 		return block{}, fmt.Errorf("kv: short block image (%d bytes)", len(buf))
 	}
 	kl := int(binary.LittleEndian.Uint16(buf[1:3]))
 	vl := int(binary.LittleEndian.Uint16(buf[3:5]))
-	if kl > s.cfg.MaxKey || vl > s.cfg.MaxValue {
+	if kl > c.maxKey || vl > c.maxValue {
 		return block{}, fmt.Errorf("kv: corrupt block header (kl=%d vl=%d)", kl, vl)
 	}
 	return block{
 		used:  buf[0] == 1,
 		key:   buf[blockHeaderSize : blockHeaderSize+kl],
-		value: buf[blockHeaderSize+s.cfg.MaxKey : blockHeaderSize+s.cfg.MaxKey+vl],
+		value: buf[blockHeaderSize+c.maxKey : blockHeaderSize+c.maxKey+vl],
 		next:  binary.LittleEndian.Uint64(buf[5:13]),
 	}, nil
 }
+
+// decodeVerified parses a block image, first checking its CRC. A block
+// that was never written (all zeroes) fails the check, as does any torn or
+// stale image.
+func (c blockCodec) decodeVerified(buf []byte) (block, error) {
+	if len(buf) < c.blockSize {
+		return block{}, fmt.Errorf("kv: short block image (%d bytes)", len(buf))
+	}
+	if binary.LittleEndian.Uint32(buf[blockCRCOffset:blockHeaderSize]) != c.crcOf(buf) {
+		return block{}, errBlockCRC
+	}
+	return c.decode(buf)
+}
+
+// errBlockCRC marks a torn or unwritten block image on the backup path.
+var errBlockCRC = fmt.Errorf("kv: block image failed CRC")
+
+// encodeBlock writes a block image into buf (length ≥ BlockSize).
+func (s *Store) encodeBlock(buf []byte, b block) { s.bcodec.encode(buf, b) }
+
+// decodeBlock parses a block image.
+func (s *Store) decodeBlock(buf []byte) (block, error) { return s.bcodec.decode(buf) }

@@ -22,6 +22,7 @@ import (
 	"hash/fnv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/repro/sift/internal/repmem"
 	"github.com/repro/sift/internal/wal"
@@ -56,6 +57,19 @@ type Config struct {
 	// ApplyShards is the number of background appliers (per-key ordering is
 	// preserved by sharding on the bucket).
 	ApplyShards int
+	// SyncApply, when set, makes Put/Delete/PutBatch wait for the background
+	// apply to materialize the update in the hash-table structures before
+	// returning. This is required when backup CPU nodes serve lease-based
+	// reads directly from replicated memory: an acknowledged write must be
+	// visible to a reader that only sees the table, not the log.
+	SyncApply bool
+	// AckHold, with SyncApply, delays acknowledgements until at least this
+	// long has passed since a memory node was last excluded from the
+	// waited-on write set. Set it to the backup read-lease window (plus
+	// margin): it guarantees that no backup whose membership view predates
+	// the exclusion can still be serving reads from the excluded node by the
+	// time a write that skipped that node is acknowledged.
+	AckHold time.Duration
 	// Persist, when set, receives every committed update from the
 	// background appliers — the paper's §3.5 design where "all updates are
 	// synchronously written to the persistent database by a background
@@ -145,9 +159,23 @@ func (c Config) BlocksBase(align int) uint64 {
 	return base
 }
 
+// BlockStride returns the spacing between consecutive data blocks:
+// BlockSize rounded up to a multiple of align. With erasure coding, align
+// is the EC block size, which confines every data block to a whole number
+// of EC blocks — block writes are then pure encode-and-fan-out (no
+// read-modify-write of a shared tail block), and a reader can fetch a data
+// block without touching its neighbours.
+func (c Config) BlockStride(align int) int {
+	bs := c.BlockSize()
+	if align > 1 {
+		bs = (bs + align - 1) / align * align
+	}
+	return bs
+}
+
 // RequiredMemSize returns the main-space bytes the store needs.
 func (c Config) RequiredMemSize(align int) int {
-	return int(c.BlocksBase(align)) + c.Capacity*c.BlockSize()
+	return int(c.BlocksBase(align)) + c.Capacity*c.BlockStride(align)
 }
 
 // WALSlotSize returns the KV log slot size: one full put record plus
@@ -184,6 +212,8 @@ type Store struct {
 
 	buckets    uint64
 	blockSize  int
+	stride     int // blockSize rounded up to EC-block alignment
+	bcodec     blockCodec
 	bitmapBase uint64
 	blocksBase uint64
 	kvGeo      wal.Geometry
@@ -246,6 +276,8 @@ func New(mem *repmem.Memory, cfg Config) (*Store, error) {
 		mem:         mem,
 		buckets:     uint64(c.Buckets()),
 		blockSize:   c.BlockSize(),
+		stride:      c.BlockStride(align),
+		bcodec:      c.codec(),
 		bitmapBase:  uint64(c.IndexBytes()),
 		blocksBase:  c.BlocksBase(align),
 		kvGeo:       wal.Geometry{Base: 0, SlotSize: c.WALSlotSize(), Slots: c.WALSlots},
@@ -331,7 +363,8 @@ func (s *Store) bucketLock(bucket uint64) *sync.RWMutex {
 // indexAddr returns the main-space address of a bucket's index entry.
 func (s *Store) indexAddr(bucket uint64) uint64 { return bucket * 8 }
 
-// blockAddr returns the main-space address of data block i.
+// blockAddr returns the main-space address of data block i. Blocks are
+// stride apart, so under erasure coding each occupies whole EC blocks.
 func (s *Store) blockAddr(i uint64) uint64 {
-	return s.blocksBase + i*uint64(s.blockSize)
+	return s.blocksBase + i*uint64(s.stride)
 }

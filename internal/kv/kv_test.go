@@ -539,7 +539,7 @@ func TestConfigAccessors(t *testing.T) {
 	if cfg.Buckets() != 8_000_000 {
 		t.Fatalf("Buckets = %d", cfg.Buckets())
 	}
-	if cfg.BlockSize() != 13+32+992 {
+	if cfg.BlockSize() != 17+32+992 {
 		t.Fatalf("BlockSize = %d", cfg.BlockSize())
 	}
 	if cfg.WALSlotSize()%64 != 0 {

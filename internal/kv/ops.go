@@ -3,6 +3,7 @@ package kv
 import (
 	"bytes"
 	"fmt"
+	"time"
 )
 
 // applyTask carries a committed log entry to its shard's applier. Tasks are
@@ -13,6 +14,10 @@ type applyTask struct {
 	rec       record
 	committed chan struct{} // closed once the log write resolves
 	ok        bool          // valid after committed is closed
+	// applied, when non-nil (SyncApply mode), is closed once the record has
+	// been materialized in replicated memory; applyErr is valid after.
+	applied  chan struct{}
+	applyErr error
 	// countdown, when set, coordinates a multi-record batch sharing one
 	// log index: the last applied record finishes the entry.
 	countdown *countdown
@@ -58,6 +63,9 @@ func (s *Store) commitRecord(r record) error {
 	r.value = append([]byte(nil), r.value...)
 
 	task := &applyTask{rec: r, committed: make(chan struct{})}
+	if s.cfg.SyncApply {
+		task.applied = make(chan struct{})
+	}
 
 	s.seqMu.Lock()
 	for s.nextIdx > s.watermark+uint64(s.kvGeo.Slots) && !s.closed.Load() {
@@ -97,7 +105,31 @@ func (s *Store) commitRecord(r record) error {
 	}
 	task.ok = true
 	close(task.committed)
+	if task.applied != nil {
+		// SyncApply: acknowledge only once the update is materialized, so a
+		// lease-holding backup that reads the table structures after this
+		// ack is guaranteed to see it (the apply fan-out waits on every
+		// non-excluded node).
+		<-task.applied
+		if task.applyErr != nil {
+			return task.applyErr
+		}
+		s.holdAck()
+	}
 	return nil
+}
+
+// holdAck delays an acknowledgement until at least AckHold has passed since
+// the replicated memory last excluded a node from its waited-on write set.
+// A backup's view of membership can be up to a lease window stale; holding
+// acks for that long after an exclusion means no backup still reading the
+// excluded node can miss an acked write.
+func (s *Store) holdAck() {
+	if h := s.cfg.AckHold; h > 0 {
+		if rem := h - s.mem.SinceExclusion(); rem > 0 {
+			time.Sleep(rem)
+		}
+	}
 }
 
 // Get returns the value stored under key. It checks the coordinator cache
@@ -161,9 +193,11 @@ func (s *Store) findInChain(bucket uint64, key []byte) (*block, uint64, uint64, 
 	return nil, 0, 0, nil
 }
 
-// readBlock fetches data block i from replicated memory.
+// readBlock fetches data block i from replicated memory. The read covers
+// the full stride so that under erasure coding it is a whole-EC-block
+// reconstruction (no partial-block scratch copy).
 func (s *Store) readBlock(i uint64) (block, error) {
-	buf := make([]byte, s.blockSize)
+	buf := make([]byte, s.stride)
 	if err := s.mem.Read(s.blockAddr(i), buf); err != nil {
 		return block{}, err
 	}
@@ -172,9 +206,11 @@ func (s *Store) readBlock(i uint64) (block, error) {
 }
 
 // writeBlock materializes data block i. The KV log already provides
-// durability, so this is an unlogged write (§3.3.2).
+// durability, so this is an unlogged write (§3.3.2). The write covers the
+// full stride so that under erasure coding it is a whole-EC-block apply
+// (encode and fan out, no read-modify-write).
 func (s *Store) writeBlock(i uint64, b block) error {
-	buf := make([]byte, s.blockSize)
+	buf := make([]byte, s.stride)
 	s.encodeBlock(buf, b)
 	return s.mem.UnloggedWrite(s.blockAddr(i), buf)
 }
@@ -229,8 +265,13 @@ func (s *Store) applyLoop(q *shardQueue) {
 		}
 		<-task.committed
 		if task.ok {
-			if err := s.applyRecord(task.rec); err == nil {
+			err := s.applyRecord(task.rec)
+			if err == nil {
 				s.stats.applies.Add(1)
+			}
+			if task.applied != nil {
+				task.applyErr = err
+				close(task.applied)
 			}
 			if p := s.cfg.Persist; p != nil {
 				// Synchronous persistence by the background thread (§3.5):

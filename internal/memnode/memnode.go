@@ -59,6 +59,15 @@ const (
 // coordinators lose automatically: their term tags are smaller.
 const AdminMembershipOffset = 16
 
+// AdminServingOffset is the offset of the serving word: the coordinator of
+// term T writes T here only once its takeover is complete — recovery and
+// log replay finished, table structures stable apart from live applies. A
+// backup CPU node serving lease-based reads requires its lease term to
+// equal this word: a lease anchored on term T's heartbeat words otherwise
+// says nothing about whether T's replay (which rewrites blocks through
+// older states) is still in flight. Monotonic; readers take the maximum.
+const AdminServingOffset = 24
+
 // PackMembership builds a membership word.
 func PackMembership(term, version uint16, bitmap uint32) uint64 {
 	return uint64(term)<<48 | uint64(version)<<32 | uint64(bitmap)

@@ -21,6 +21,13 @@ type DialOpts struct {
 	// Regions not registered as exclusive are silently opened shared.
 	Exclusive []RegionID
 
+	// ReadOnly lists exclusive regions to open with observer access: reads
+	// bypass epoch fencing (they keep working across ownership changes), and
+	// writes and CAS on the connection fail with ErrFenced. Backup CPU nodes
+	// use this to serve lease-based reads from replicated memory without
+	// revoking the coordinator's exclusive write access.
+	ReadOnly []RegionID
+
 	// OpDeadline bounds every operation on the connection: an operation not
 	// remotely acknowledged within this duration completes with ErrDeadline,
 	// and the connection stays usable for later operations. Zero disables
@@ -98,6 +105,17 @@ func (n *Network) Dial(src, dst string, opts DialOpts) (Verbs, error) {
 		}
 		c.epochs[id] = r.Acquire()
 	}
+	if len(opts.ReadOnly) > 0 {
+		c.readonly = make(map[RegionID]bool, len(opts.ReadOnly))
+		for _, id := range opts.ReadOnly {
+			if node.Region(id) == nil {
+				c.Close()
+				return nil, fmt.Errorf("rdma: dial %s region %d: %w", dst, id, ErrUnknownRegion)
+			}
+			c.epochs[id] = ObserverEpoch
+			c.readonly[id] = true
+		}
+	}
 	if err := n.fabric.Transfer(dst, src, opHeaderSize); err != nil {
 		return nil, fmt.Errorf("rdma: dial %s: %w", dst, err)
 	}
@@ -125,6 +143,7 @@ type inprocConn struct {
 
 	closed     atomic.Bool
 	epochs     map[RegionID]uint64
+	readonly   map[RegionID]bool // observer regions: reads only
 	opDeadline time.Duration
 
 	// subMu guards the submit channel's lifecycle: Submit sends while
@@ -259,6 +278,9 @@ func (c *inprocConn) Write(region RegionID, offset uint64, data []byte) error {
 }
 
 func (c *inprocConn) write(region RegionID, offset uint64, data []byte) error {
+	if c.readonly[region] {
+		return ErrFenced
+	}
 	r, epoch, err := c.region(region)
 	if err != nil {
 		return err
@@ -281,6 +303,9 @@ func (c *inprocConn) CompareAndSwap(region RegionID, offset uint64, expect, swap
 }
 
 func (c *inprocConn) compareAndSwap(region RegionID, offset uint64, expect, swap uint64) (uint64, error) {
+	if c.readonly[region] {
+		return 0, ErrFenced
+	}
 	r, epoch, err := c.region(region)
 	if err != nil {
 		return 0, err

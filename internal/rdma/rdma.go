@@ -96,6 +96,13 @@ func (r *Region) Size() int { return len(r.buf) }
 // Exclusive reports whether the region enforces at-most-one-connection.
 func (r *Region) Exclusive() bool { return r.exclusive }
 
+// ObserverEpoch is the epoch token granting read-only access to an
+// exclusive region that survives ownership changes — the moral equivalent
+// of a real RNIC handing out a read-only rkey beside the writer's
+// protection domain. Transports must never use it for writes or CAS; they
+// enforce read-only-ness at the connection layer (see DialOpts.ReadOnly).
+const ObserverEpoch = ^uint64(0)
+
 // Acquire registers a new exclusive owner and returns its epoch token,
 // revoking all prior owners. For non-exclusive regions it returns 0; all
 // epoch-0 tokens remain valid forever.
@@ -111,7 +118,7 @@ func (r *Region) Acquire() uint64 {
 
 // check validates an epoch token against the current owner epoch.
 func (r *Region) check(epoch uint64) error {
-	if !r.exclusive {
+	if !r.exclusive || epoch == ObserverEpoch {
 		return nil
 	}
 	r.mu.Lock()

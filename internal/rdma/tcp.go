@@ -30,6 +30,10 @@ import (
 
 const tcpMagic = "SIFTRDM2"
 
+// tcpReadOnlyBit flags a handshake region id as observer (read-only)
+// access; ids without it are opened exclusively, as before.
+const tcpReadOnlyBit = uint32(1) << 31
+
 // Verb opcodes on the wire.
 const (
 	opRead  = 1
@@ -222,6 +226,7 @@ func serveConn(conn net.Conn, node *Node) {
 		return
 	}
 	epochs := make(map[RegionID]uint64)
+	readonly := make(map[RegionID]bool)
 	ok := byte(statusOK)
 	for i := 0; i < int(nEx); i++ {
 		var id uint32
@@ -229,12 +234,21 @@ func serveConn(conn net.Conn, node *Node) {
 			conn.Close()
 			return
 		}
+		// The high bit marks observer (read-only) access: reads bypass epoch
+		// fencing, writes and CAS are rejected (see DialOpts.ReadOnly).
+		observer := id&tcpReadOnlyBit != 0
+		id &^= tcpReadOnlyBit
 		r := node.Region(RegionID(id))
 		if r == nil {
 			ok = statusUnknownRegion
 			continue
 		}
-		epochs[RegionID(id)] = r.Acquire()
+		if observer {
+			epochs[RegionID(id)] = ObserverEpoch
+			readonly[RegionID(id)] = true
+		} else {
+			epochs[RegionID(id)] = r.Acquire()
+		}
 	}
 	if err := bw.WriteByte(ok); err != nil || bw.Flush() != nil || ok != statusOK {
 		conn.Close()
@@ -292,6 +306,8 @@ func serveConn(conn net.Conn, node *Node) {
 			var err error
 			if r == nil {
 				err = ErrUnknownRegion
+			} else if readonly[region] {
+				err = ErrFenced
 			} else {
 				err = r.WriteAt(epoch, offset, payload)
 			}
@@ -308,6 +324,8 @@ func serveConn(conn net.Conn, node *Node) {
 			var err error
 			if r == nil {
 				err = ErrUnknownRegion
+			} else if readonly[region] {
+				err = ErrFenced
 			} else {
 				old, err = r.CASAt(epoch, offset, expect, swap)
 			}
@@ -397,9 +415,12 @@ func DialTCP(addr string, opts DialOpts) (Verbs, error) {
 		conn.SetDeadline(time.Now().Add(dialTimeout))
 	}
 	c.bw.WriteString(tcpMagic)
-	binary.Write(c.bw, binary.LittleEndian, uint16(len(opts.Exclusive)))
+	binary.Write(c.bw, binary.LittleEndian, uint16(len(opts.Exclusive)+len(opts.ReadOnly)))
 	for _, id := range opts.Exclusive {
 		binary.Write(c.bw, binary.LittleEndian, uint32(id))
+	}
+	for _, id := range opts.ReadOnly {
+		binary.Write(c.bw, binary.LittleEndian, uint32(id)|tcpReadOnlyBit)
 	}
 	if err := c.bw.Flush(); err != nil {
 		conn.Close()

@@ -207,7 +207,7 @@ func (g *integrity) read(addr uint64, buf []byte) error {
 	var lastErr error
 	for attempt := 0; attempt < 3; attempt++ {
 		r := m.expandWriteRange(addr, len(buf))
-		unlock := m.locks.rlockRange(r.addr, r.size)
+		m.locks.rlockSpan(r.addr, r.size)
 		var bad []uint64
 		var err error
 		if m.code == nil {
@@ -215,7 +215,7 @@ func (g *integrity) read(addr uint64, buf []byte) error {
 		} else {
 			bad, err = g.readECVerified(addr, buf)
 		}
-		unlock()
+		m.locks.runlockSpan(r.addr, r.size)
 		if len(bad) == 0 {
 			return err
 		}
@@ -297,7 +297,8 @@ func (g *integrity) readECVerified(addr uint64, buf []byte) ([]uint64, error) {
 	var bad []uint64
 
 	// Fast path: the range lies inside a single chunk whose owner is live.
-	// The full chunk is read (still one RDMA READ) so it can be verified.
+	// The full chunk is read (still one RDMA READ, into a pooled buffer) so
+	// it can be verified.
 	if len(buf) > 0 {
 		b := addr / B
 		within := addr % B
@@ -306,11 +307,13 @@ func (g *integrity) readECVerified(addr uint64, buf []byte) ([]uint64, error) {
 		if int(endWithin/C) == j && m.state[j].Load() == nodeLive {
 			c, err := m.conn(j)
 			if err == nil {
-				chunk := make([]byte, C)
+				cp := m.chunkPool.Get().(*[]byte)
+				chunk := *cp
 				if err = c.Read(replRegion, g.physOff(b), chunk); err == nil {
 					m.stats.remoteReads.Add(1)
 					if crcBlock(chunk) == g.sum(j, b) {
 						copy(buf, chunk[within%C:])
+						m.chunkPool.Put(cp)
 						return nil, nil
 					}
 					// Corrupt owner: treat exactly like a dead-node read and
@@ -318,6 +321,7 @@ func (g *integrity) readECVerified(addr uint64, buf []byte) ([]uint64, error) {
 					m.noteCorruption(j, 1)
 					bad = append(bad, b)
 				}
+				m.chunkPool.Put(cp)
 			}
 			if err != nil {
 				m.noteConnError(j, c, err)
@@ -328,6 +332,10 @@ func (g *integrity) readECVerified(addr uint64, buf []byte) ([]uint64, error) {
 		}
 	}
 
+	// General path: reconstruct each affected block — whole-block spans
+	// straight into the caller's buffer, partial edges via scratch.
+	sc := m.getECScratch()
+	defer m.putECScratch(sc)
 	first := addr / B
 	last := first
 	if len(buf) > 0 {
@@ -337,14 +345,21 @@ func (g *integrity) readECVerified(addr uint64, buf []byte) ([]uint64, error) {
 		blockStart := b * B
 		lo := max64(addr, blockStart)
 		hi := min64(addr+uint64(len(buf)), blockStart+B)
-		block, corrupt, err := m.readBlockEC(b)
+		target := sc.block
+		whole := lo == blockStart && hi == blockStart+B
+		if whole {
+			target = buf[lo-addr : hi-addr]
+		}
+		corrupt, err := m.readBlockECInto(sc, b, target)
 		if len(corrupt) > 0 {
 			bad = append(bad, b)
 		}
 		if err != nil {
 			return bad, err
 		}
-		copy(buf[lo-addr:hi-addr], block[lo-blockStart:hi-blockStart])
+		if !whole {
+			copy(buf[lo-addr:hi-addr], sc.block[lo-blockStart:hi-blockStart])
+		}
 	}
 	return bad, nil
 }

@@ -55,6 +55,98 @@ func (t *lockTable) stripesFor(addr uint64, size int) []int {
 	return out
 }
 
+// spanInterval maps [addr, addr+size) to its circular stripe interval
+// [start, start+count) mod len(stripes). Because consecutive blocks map to
+// consecutive stripes, the covered stripe set of any contiguous range is a
+// circular interval, which the span lock methods below walk without
+// materialising an index slice — the allocation-free counterpart of
+// stripesFor for the hot paths.
+func (t *lockTable) spanInterval(addr uint64, size int) (start, count uint64) {
+	first := addr / lockBlock
+	last := first
+	if size > 0 {
+		last = (addr + uint64(size) - 1) / lockBlock
+	}
+	n := uint64(len(t.stripes))
+	count = last - first + 1
+	if count > n {
+		count = n
+	}
+	return first % n, count
+}
+
+// lockSpan write-locks the stripes covering the range in ascending stripe
+// order (the same global order stripesFor-based callers use, so the two
+// families cannot deadlock against each other). Pair with unlockSpan on the
+// identical range.
+func (t *lockTable) lockSpan(addr uint64, size int) {
+	n := uint64(len(t.stripes))
+	start, count := t.spanInterval(addr, size)
+	end := start + count
+	if end > n { // wrapped interval: the [0, end-n) segment is lowest
+		for s := uint64(0); s < end-n; s++ {
+			t.stripes[s].Lock()
+		}
+		end = n
+	}
+	for s := start; s < end; s++ {
+		t.stripes[s].Lock()
+	}
+}
+
+// unlockSpan releases lockSpan's stripes in descending order.
+func (t *lockTable) unlockSpan(addr uint64, size int) {
+	n := uint64(len(t.stripes))
+	start, count := t.spanInterval(addr, size)
+	end := start + count
+	wrapEnd := uint64(0)
+	if end > n {
+		wrapEnd = end - n
+		end = n
+	}
+	for s := end; s > start; s-- {
+		t.stripes[s-1].Unlock()
+	}
+	for s := wrapEnd; s > 0; s-- {
+		t.stripes[s-1].Unlock()
+	}
+}
+
+// rlockSpan read-locks the stripes covering the range; pair with
+// runlockSpan on the identical range.
+func (t *lockTable) rlockSpan(addr uint64, size int) {
+	n := uint64(len(t.stripes))
+	start, count := t.spanInterval(addr, size)
+	end := start + count
+	if end > n {
+		for s := uint64(0); s < end-n; s++ {
+			t.stripes[s].RLock()
+		}
+		end = n
+	}
+	for s := start; s < end; s++ {
+		t.stripes[s].RLock()
+	}
+}
+
+// runlockSpan releases rlockSpan's stripes in descending order.
+func (t *lockTable) runlockSpan(addr uint64, size int) {
+	n := uint64(len(t.stripes))
+	start, count := t.spanInterval(addr, size)
+	end := start + count
+	wrapEnd := uint64(0)
+	if end > n {
+		wrapEnd = end - n
+		end = n
+	}
+	for s := end; s > start; s-- {
+		t.stripes[s-1].RUnlock()
+	}
+	for s := wrapEnd; s > 0; s-- {
+		t.stripes[s-1].RUnlock()
+	}
+}
+
 // lockRange write-locks the stripes covering the range and returns an
 // unlock function.
 func (t *lockTable) lockRange(addr uint64, size int) func() {

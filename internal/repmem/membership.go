@@ -58,6 +58,47 @@ func (m *Memory) publishMembership() {
 	}
 }
 
+// PublishServing writes this coordinator's term to every writable node's
+// serving word (memnode.AdminServingOffset), marking its takeover complete:
+// recovery and replay are done and the table structures are stable apart
+// from live applies. Backup readers refuse to serve a lease whose term has
+// no matching serving word. Best effort, like publishMembership.
+func (m *Memory) PublishServing() {
+	if m.closed.Load() || m.fenced.Load() {
+		return
+	}
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(m.cfg.Term))
+	for _, i := range m.writableNodes() {
+		c, err := m.conn(i)
+		if err == nil {
+			err = c.Write(memnode.AdminRegionID, memnode.AdminServingOffset, buf[:])
+		}
+		if err != nil {
+			continue
+		}
+	}
+}
+
+// readServing returns the highest serving term readable across the given
+// connections, or ok=false when none is set.
+func readServing(conns []rdma.Verbs) (term uint16, ok bool) {
+	var best uint64
+	for _, c := range conns {
+		if c == nil {
+			continue
+		}
+		var buf [8]byte
+		if err := c.Read(memnode.AdminRegionID, memnode.AdminServingOffset, buf[:]); err != nil {
+			continue
+		}
+		if w := binary.LittleEndian.Uint64(buf[:]); w > best {
+			best = w
+		}
+	}
+	return uint16(best), best != 0
+}
+
 // readMembership returns the highest-(term,version) membership word
 // readable across the given connections, or ok=false when none is set.
 func readMembership(conns []rdma.Verbs) (term, version uint16, bitmap uint32, ok bool) {

@@ -32,8 +32,8 @@ func (m *Memory) Read(addr uint64, buf []byte) error {
 		// Verified read with transparent read-repair; takes its own locks.
 		return m.integ.read(addr, buf)
 	}
-	unlock := m.locks.rlockRange(addr, len(buf))
-	defer unlock()
+	m.locks.rlockSpan(addr, len(buf))
+	defer m.locks.runlockSpan(addr, len(buf))
 	if m.code == nil {
 		return m.readPlain(addr, buf)
 	}
@@ -94,7 +94,11 @@ func (m *Memory) readEC(addr uint64, buf []byte) error {
 		}
 	}
 
-	// General path: reconstruct each affected block.
+	// General path: reconstruct each affected block. Whole-block spans are
+	// reconstructed straight into the caller's buffer; partial edges go
+	// through the scratch block.
+	sc := m.getECScratch()
+	defer m.putECScratch(sc)
 	first := addr / B
 	last := first
 	if len(buf) > 0 {
@@ -104,24 +108,51 @@ func (m *Memory) readEC(addr uint64, buf []byte) error {
 		blockStart := b * B
 		lo := max64(addr, blockStart)
 		hi := min64(addr+uint64(len(buf)), blockStart+B)
-		block, _, err := m.readBlockEC(b)
-		if err != nil {
+		if lo == blockStart && hi == blockStart+B {
+			if _, err := m.readBlockECInto(sc, b, buf[lo-addr:hi-addr]); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := m.readBlockECInto(sc, b, sc.block); err != nil {
 			return err
 		}
-		copy(buf[lo-addr:hi-addr], block[lo-blockStart:hi-blockStart])
+		copy(buf[lo-addr:hi-addr], sc.block[lo-blockStart:hi-blockStart])
 	}
 	return nil
 }
 
 // readBlockEC fetches any k chunks of EC block b from live nodes (data
-// chunks first) and reconstructs the block. With integrity enabled a chunk
-// that fails its checksum is skipped like a dead node; the second return
-// value lists the nodes whose chunks were corrupt.
+// chunks first) and reconstructs the block into a fresh buffer. With
+// integrity enabled a chunk that fails its checksum is skipped like a dead
+// node; the second return value lists the nodes whose chunks were corrupt.
 func (m *Memory) readBlockEC(b uint64) ([]byte, []int, error) {
+	sc := m.getECScratch()
+	defer m.putECScratch(sc)
+	block := make([]byte, m.cfg.ECBlockSize)
+	corrupt, err := m.readBlockECInto(sc, b, block)
+	if err != nil {
+		return nil, corrupt, err
+	}
+	return block, corrupt, nil
+}
+
+// readBlockECInto reconstructs EC block b into block (exactly ECBlockSize
+// bytes) without allocating: data chunks are RDMA-read directly into their
+// positions in block, parity chunks (touched only when a data chunk is
+// unavailable) land in sc's parity scratch, and DecodeInto recomputes only
+// the missing data rows. A chunk that fails its CRC or its read leaves
+// garbage in its block range, but its nil entry in the chunk set forces
+// DecodeInto to overwrite that range from the survivors.
+func (m *Memory) readBlockECInto(sc *ecScratch, b uint64, block []byte) ([]int, error) {
 	n := len(m.nodes)
 	k := m.code.K()
-	phys := m.layout.MainBase() + b*uint64(m.chunk)
-	chunks := make([][]byte, n)
+	C := m.chunk
+	phys := m.layout.MainBase() + b*uint64(C)
+	chunks := sc.rchunks
+	for j := range chunks {
+		chunks[j] = nil
+	}
 	var corrupt []int
 	got := 0
 	decodedNeeded := false
@@ -132,12 +163,17 @@ func (m *Memory) readBlockEC(b uint64) ([]byte, []int, error) {
 			}
 			continue
 		}
+		var target []byte
+		if j < k {
+			target = block[j*C : (j+1)*C]
+		} else {
+			target = sc.rparity[(j-k)*C : (j-k+1)*C]
+		}
 		c, err := m.conn(j)
 		if err == nil {
-			chunk := make([]byte, m.chunk)
-			if err = c.Read(replRegion, phys, chunk); err == nil {
+			if err = c.Read(replRegion, phys, target); err == nil {
 				m.stats.remoteReads.Add(1)
-				if m.integ != nil && crcBlock(chunk) != m.integ.sum(j, b) {
+				if m.integ != nil && crcBlock(target) != m.integ.sum(j, b) {
 					m.noteCorruption(j, 1)
 					corrupt = append(corrupt, j)
 					if j < k {
@@ -145,27 +181,26 @@ func (m *Memory) readBlockEC(b uint64) ([]byte, []int, error) {
 					}
 					continue
 				}
-				chunks[j] = chunk
+				chunks[j] = target
 				got++
 				continue
 			}
 		}
 		m.noteConnError(j, c, err)
 		if e := m.checkOpen(); e != nil {
-			return nil, corrupt, e
+			return corrupt, e
 		}
 		if j < k {
 			decodedNeeded = true
 		}
 	}
 	if got < k {
-		return nil, corrupt, fmt.Errorf("%w: only %d of %d chunks usable", ErrNoQuorum, got, k)
+		return corrupt, fmt.Errorf("%w: only %d of %d chunks usable", ErrNoQuorum, got, k)
 	}
 	if decodedNeeded {
 		m.stats.decodedReads.Add(1)
 	}
-	block, err := m.code.Decode(chunks)
-	return block, corrupt, err
+	return corrupt, m.code.DecodeInto(block, chunks)
 }
 
 // DirectRead serves a direct-space read from one live node.
@@ -176,8 +211,8 @@ func (m *Memory) DirectRead(addr uint64, buf []byte) error {
 	if err := m.checkDirectRange(addr, len(buf)); err != nil {
 		return err
 	}
-	unlock := m.directLocks.rlockRange(addr, len(buf))
-	defer unlock()
+	m.directLocks.rlockSpan(addr, len(buf))
+	defer m.directLocks.runlockSpan(addr, len(buf))
 	live := m.nodesInState(nodeLive)
 	if len(live) == 0 {
 		return fmt.Errorf("%w: no live memory nodes", ErrNoQuorum)

@@ -334,8 +334,17 @@ type Memory struct {
 	workerWG   sync.WaitGroup
 	queueDepth metrics.Depth
 	slotPool   sync.Pool
+	ecPool     sync.Pool // *ecScratch, EC apply/reconstruct scratch
+	chunkPool  sync.Pool // *[]byte of chunk size, verified-read buffers
 
 	member membership
+
+	// lastExclusion is the wall time (UnixNano) a node last left the
+	// waited-on write set (live→suspect or →dead). Acknowledgement paths
+	// that feed lease-based backup readers hold acks until this is at least
+	// a lease window old, so a backup's ≤W-stale view of membership can
+	// never make it read an excluded node for an already-acked write.
+	lastExclusion atomic.Int64
 
 	readRR atomic.Uint64
 
@@ -408,6 +417,10 @@ func New(cfg Config) (*Memory, error) {
 		}
 		m.code = code
 		m.chunk = c.ECBlockSize / c.ECData
+		m.chunkPool.New = func() any {
+			b := make([]byte, m.chunk)
+			return &b
+		}
 	}
 	if c.IntegrityBlockSize > 0 {
 		m.integ = newIntegrity(m)
@@ -513,6 +526,16 @@ func writePopulated(c rdma.Verbs, v byte) error {
 	var buf [8]byte
 	buf[0] = v
 	return c.Write(memnode.AdminRegionID, memnode.AdminPopulatedOffset, buf[:])
+}
+
+// SinceExclusion returns how long ago a node last left the waited-on write
+// set, or a very large duration if none ever has. See lastExclusion.
+func (m *Memory) SinceExclusion() time.Duration {
+	ns := m.lastExclusion.Load()
+	if ns == 0 {
+		return time.Duration(1<<63 - 1)
+	}
+	return time.Since(time.Unix(0, ns))
 }
 
 // Majority returns the commit quorum size (⌊n/2⌋+1 over full membership).
@@ -645,6 +668,7 @@ func (m *Memory) nodeFailed(i int, err error) {
 func (m *Memory) markNodeDead(i int) {
 	if m.state[i].Load() != nodeDead {
 		m.state[i].Store(nodeDead)
+		m.lastExclusion.Store(time.Now().UnixNano())
 		m.stats.nodeFailures.Add(1)
 		m.emit("node.dead", m.nodes[i], "")
 		// Record the shrunken view for any successor coordinator, off the
@@ -664,6 +688,7 @@ func (m *Memory) markNodeDead(i int) {
 // whether this call performed the live→suspect transition.
 func (m *Memory) suspectNode(i int, reason string) bool {
 	if m.state[i].CompareAndSwap(nodeLive, nodeSuspect) {
+		m.lastExclusion.Store(time.Now().UnixNano())
 		m.stats.nodeSuspected.Add(1)
 		m.emit("node.suspect", m.nodes[i], reason)
 		// The node may miss best-effort writes from here on; record its
@@ -824,6 +849,14 @@ func (m *Memory) writableNodes() []int {
 // (degraded mode): a majority ack must always mean a true majority of the
 // full membership, never a majority of the healthy subset.
 func (m *Memory) writeTargets(need int) (wait, bestEffort []int) {
+	return m.writeTargetsInto(need, nil, nil)
+}
+
+// writeTargetsInto is writeTargets appending into caller-provided slices
+// (reset to length zero), so hot paths with pre-sized scratch avoid the
+// per-call slice allocations.
+func (m *Memory) writeTargetsInto(need int, wait, bestEffort []int) ([]int, []int) {
+	wait, bestEffort = wait[:0], bestEffort[:0]
 	for i := range m.nodes {
 		switch m.state[i].Load() {
 		case nodeLive, nodeSyncing:
@@ -834,7 +867,7 @@ func (m *Memory) writeTargets(need int) (wait, bestEffort []int) {
 	}
 	if len(wait) < need && len(bestEffort) > 0 {
 		wait = append(wait, bestEffort...)
-		bestEffort = nil
+		bestEffort = bestEffort[:0]
 	}
 	return wait, bestEffort
 }

@@ -1,0 +1,260 @@
+package repmem
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"github.com/repro/sift/internal/erasure"
+	"github.com/repro/sift/internal/memnode"
+	"github.com/repro/sift/internal/rdma"
+)
+
+// View is a read-only window onto a group's replicated main memory for a
+// CPU node that is NOT the coordinator. It shares the coordinator's layout
+// (so addresses mean the same thing) but holds no locks, no write workers,
+// and no failure-detection state: it simply reads, restricted to the nodes
+// named by a membership bitmap the caller refreshes from the admin region.
+//
+// The View's connections must be observer (read-only) connections — see
+// rdma.DialOpts.ReadOnly — so they neither revoke the coordinator's
+// exclusive write access nor get fenced by it. Any read failure is
+// returned to the caller, who is expected to fall back to the coordinator
+// path; a View never retries against nodes outside the mask, because a
+// node absent from the published membership may hold arbitrarily stale
+// (or wiped) contents.
+type View struct {
+	cfg    Config
+	layout memnode.Layout
+	code   *erasure.Code
+	chunk  int
+
+	dial  Dialer
+	mu    sync.Mutex
+	conns []rdma.Verbs
+
+	// mask is the allowed-node bitmap (bit i = node i readable), published
+	// by the coordinator at memnode.AdminMembershipOffset.
+	mask atomic.Uint32
+
+	rr atomic.Uint64
+}
+
+// NewView builds a read-only view from the group's shared memory
+// configuration. cfg.Dial must open observer connections (no exclusive
+// regions). Until SetMask is called the view trusts no node and every read
+// fails.
+func NewView(cfg Config) (*View, error) {
+	c := cfg.withDefaults()
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	v := &View{
+		cfg:    c,
+		layout: c.Layout(),
+		dial:   c.Dial,
+		conns:  make([]rdma.Verbs, len(c.MemoryNodes)),
+	}
+	if c.ECData > 0 {
+		code, err := erasure.New(c.ECData, c.ECParity)
+		if err != nil {
+			return nil, err
+		}
+		v.code = code
+		v.chunk = c.ECBlockSize / c.ECData
+	}
+	return v, nil
+}
+
+// SetMask installs the allowed-node bitmap (from the coordinator's
+// published membership word).
+func (v *View) SetMask(bitmap uint32) { v.mask.Store(bitmap) }
+
+// ReadMembership reads the freshest membership word visible across the
+// view's connections (dialing as needed). ok is false when no node has a
+// published word.
+func (v *View) ReadMembership() (term, version uint16, bitmap uint32, ok bool) {
+	return readMembership(v.allConns())
+}
+
+// ReadServing reads the highest published serving term — the latest term
+// whose coordinator has completed recovery and replay. ok is false when no
+// node has one.
+func (v *View) ReadServing() (term uint16, ok bool) {
+	return readServing(v.allConns())
+}
+
+func (v *View) allConns() []rdma.Verbs {
+	conns := make([]rdma.Verbs, 0, len(v.cfg.MemoryNodes))
+	for i := range v.cfg.MemoryNodes {
+		if c, err := v.conn(i); err == nil {
+			conns = append(conns, c)
+		}
+	}
+	return conns
+}
+
+// conn returns (dialing lazily) the connection to node i.
+func (v *View) conn(i int) (rdma.Verbs, error) {
+	v.mu.Lock()
+	c := v.conns[i]
+	v.mu.Unlock()
+	if c != nil {
+		return c, nil
+	}
+	c, err := v.dial(v.cfg.MemoryNodes[i])
+	if err != nil {
+		return nil, err
+	}
+	v.mu.Lock()
+	if existing := v.conns[i]; existing != nil {
+		v.mu.Unlock()
+		c.Close()
+		return existing, nil
+	}
+	v.conns[i] = c
+	v.mu.Unlock()
+	return c, nil
+}
+
+// dropConn closes and forgets node i's connection after an error.
+func (v *View) dropConn(i int) {
+	v.mu.Lock()
+	if c := v.conns[i]; c != nil {
+		c.Close()
+		v.conns[i] = nil
+	}
+	v.mu.Unlock()
+}
+
+// allowed reports whether node i is in the current mask.
+func (v *View) allowed(i int) bool { return v.mask.Load()&(1<<uint(i)) != 0 }
+
+// Close releases the view's connections.
+func (v *View) Close() {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for i, c := range v.conns {
+		if c != nil {
+			c.Close()
+			v.conns[i] = nil
+		}
+	}
+}
+
+// Read fills buf from main-space address addr, using only masked nodes.
+// Under full replication one read from any masked node suffices; under
+// erasure coding each affected block is reconstructed from any k masked
+// chunks. Any failure is returned as-is: the caller falls back to the
+// coordinator rather than risking a stale node.
+func (v *View) Read(addr uint64, buf []byte) error {
+	if err := v.checkRange(addr, len(buf)); err != nil {
+		return err
+	}
+	if v.code == nil {
+		return v.readPlain(addr, buf)
+	}
+	return v.readEC(addr, buf)
+}
+
+func (v *View) checkRange(addr uint64, n int) error {
+	if n < 0 || addr+uint64(n) > uint64(v.cfg.MemSize) {
+		return fmt.Errorf("%w: view read [%d,%d) of %d", ErrOutOfRange, addr, addr+uint64(n), v.cfg.MemSize)
+	}
+	return nil
+}
+
+func (v *View) readPlain(addr uint64, buf []byte) error {
+	n := len(v.cfg.MemoryNodes)
+	start := int(v.rr.Add(1))
+	var lastErr error
+	for k := 0; k < n; k++ {
+		i := (start + k) % n
+		if !v.allowed(i) {
+			continue
+		}
+		c, err := v.conn(i)
+		if err == nil {
+			if err = c.Read(replRegion, v.layout.MainBase()+addr, buf); err == nil {
+				return nil
+			}
+			v.dropConn(i)
+		}
+		lastErr = err
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("%w: no nodes in membership mask", ErrNoQuorum)
+	}
+	return lastErr
+}
+
+// readEC reconstructs the affected EC blocks. Whole-block spans decode
+// straight into buf; partial edges go through a scratch block.
+func (v *View) readEC(addr uint64, buf []byte) error {
+	B := uint64(v.cfg.ECBlockSize)
+	first := addr / B
+	last := first
+	if len(buf) > 0 {
+		last = (addr + uint64(len(buf)) - 1) / B
+	}
+	var scratch []byte
+	for b := first; b <= last; b++ {
+		blockStart := b * B
+		lo := max64(addr, blockStart)
+		hi := min64(addr+uint64(len(buf)), blockStart+B)
+		if lo == blockStart && hi == blockStart+B {
+			if err := v.readBlock(b, buf[lo-addr:hi-addr]); err != nil {
+				return err
+			}
+			continue
+		}
+		if scratch == nil {
+			scratch = make([]byte, B)
+		}
+		if err := v.readBlock(b, scratch); err != nil {
+			return err
+		}
+		copy(buf[lo-addr:hi-addr], scratch[lo-blockStart:hi-blockStart])
+	}
+	return nil
+}
+
+// readBlock reconstructs EC block b into block (ECBlockSize bytes) from any
+// k masked chunks, data chunks first.
+func (v *View) readBlock(b uint64, block []byte) error {
+	n := len(v.cfg.MemoryNodes)
+	k := v.code.K()
+	C := v.chunk
+	phys := v.layout.MainBase() + b*uint64(C)
+	chunks := make([][]byte, n)
+	var parity []byte
+	got := 0
+	for j := 0; j < n && got < k; j++ {
+		if !v.allowed(j) {
+			continue
+		}
+		var target []byte
+		if j < k {
+			target = block[j*C : (j+1)*C]
+		} else {
+			if parity == nil {
+				parity = make([]byte, (n-k)*C)
+			}
+			target = parity[(j-k)*C : (j-k+1)*C]
+		}
+		c, err := v.conn(j)
+		if err != nil {
+			continue
+		}
+		if err := c.Read(replRegion, phys, target); err != nil {
+			v.dropConn(j)
+			continue
+		}
+		chunks[j] = target
+		got++
+	}
+	if got < k {
+		return fmt.Errorf("%w: only %d of %d chunks readable", ErrNoQuorum, got, k)
+	}
+	return v.code.DecodeInto(block, chunks)
+}

@@ -85,8 +85,41 @@ func (m *Memory) enqueue(i int, req nodeReq) {
 	w.mu.RUnlock()
 }
 
-// opPool recycles rdma.Op shells between submissions.
-var opPool = sync.Pool{New: func() any { return new(rdma.Op) }}
+// opCtx bundles an rdma.Op with its completion context so a pipelined
+// submission needs no per-op closure: the ctx is pooled and fn is a method
+// value bound once at construction, making the submit path allocation-free.
+type opCtx struct {
+	op    rdma.Op
+	m     *Memory
+	node  int
+	conn  rdma.Verbs
+	start time.Time
+	done  func(error)
+	fn    func(*rdma.Op)
+}
+
+var opCtxPool = sync.Pool{}
+
+func getOpCtx() *opCtx {
+	if v := opCtxPool.Get(); v != nil {
+		return v.(*opCtx)
+	}
+	c := new(opCtx)
+	c.fn = c.complete
+	return c
+}
+
+// complete is the transport completion callback: it recycles the ctx, then
+// feeds the outcome to the health accounting and the caller's done.
+func (c *opCtx) complete(o *rdma.Op) {
+	err := o.Err
+	m, node, conn, start, done := c.m, c.node, c.conn, c.start, c.done
+	*o = rdma.Op{}
+	c.m, c.conn, c.done = nil, nil, nil
+	opCtxPool.Put(c)
+	m.noteOpResult(node, conn, time.Since(start), err)
+	done(err)
+}
 
 // nodeWorkerLoop drains node i's queue. With a pipelined connection the
 // loop submits and immediately moves on — completions arrive on transport
@@ -114,19 +147,14 @@ func (m *Memory) nodeWorkerLoop(i int, ch chan nodeReq) {
 			req.done(err)
 			continue
 		}
-		op := opPool.Get().(*rdma.Op)
+		c := getOpCtx()
+		c.m, c.node, c.conn, c.start, c.done = m, i, conn, start, req.done
+		op := &c.op
 		op.Kind = rdma.OpWrite
 		op.Region = req.region
 		op.Offset = req.offset
 		op.Data = req.data
-		done := req.done
-		op.Done = func(o *rdma.Op) {
-			err := o.Err
-			*o = rdma.Op{}
-			opPool.Put(o)
-			m.noteOpResult(i, conn, time.Since(start), err)
-			done(err)
-		}
+		op.Done = c.fn
 		sub.Submit(op)
 	}
 }

@@ -257,11 +257,61 @@ func (m *Memory) fanOutWaitWrites(targets []int, writes []spanWrite) {
 	wg.Wait()
 }
 
+// ecScratch is the pooled per-apply/per-read scratch for the EC hot paths:
+// a block buffer for read–modify–write and reconstruction, the encode and
+// decode chunk sets with their parity backings, the integrity strip image,
+// target-list scratch, and a reusable wait group with a prebound completion
+// callback. One scratch serves one applyEC or block-read call at a time;
+// pooling it makes the steady-state EC write and read paths allocation-free.
+type ecScratch struct {
+	block   []byte   // ECBlockSize: RMW source / reconstruction target
+	chunks  [][]byte // k+m encode set; parity entries point into parity
+	rchunks [][]byte // k+m read/decode set
+	parity  []byte   // m×chunk encode parity backing
+	rparity []byte   // m×chunk read parity backing
+	strip   []byte   // 4×(k+m) integrity strip image
+	wait    []int    // writeTargetsInto scratch
+	best    []int
+	wg      sync.WaitGroup
+	done    func(error) // prebound wg.Done adapter
+}
+
+// getECScratch takes an EC scratch from the pool, constructing it on first
+// use. Only valid when erasure coding is enabled.
+func (m *Memory) getECScratch() *ecScratch {
+	if v := m.ecPool.Get(); v != nil {
+		return v.(*ecScratch)
+	}
+	n := len(m.nodes)
+	k := m.code.K()
+	mp := m.code.M()
+	sc := &ecScratch{
+		block:   make([]byte, m.cfg.ECBlockSize),
+		chunks:  make([][]byte, n),
+		rchunks: make([][]byte, n),
+		parity:  make([]byte, mp*m.chunk),
+		rparity: make([]byte, mp*m.chunk),
+		strip:   make([]byte, 4*n),
+		wait:    make([]int, 0, n),
+		best:    make([]int, 0, n),
+	}
+	for i := 0; i < mp; i++ {
+		sc.chunks[k+i] = sc.parity[i*m.chunk : (i+1)*m.chunk]
+	}
+	sc.done = func(error) { sc.wg.Done() }
+	return sc
+}
+
+func (m *Memory) putECScratch(sc *ecScratch) { m.ecPool.Put(sc) }
+
 // applyEC applies a main-space update under erasure coding: each affected
 // EC block is (re)encoded and chunk j is written to memory node j. Partial
 // block updates read–modify–write the block; the caller's write lock covers
-// the full block, so the RMW is race-free.
+// the full block, so the RMW is race-free. All buffers come from the
+// pooled scratch — a steady-state whole-block apply allocates nothing.
 func (m *Memory) applyEC(addr uint64, data []byte) {
+	sc := m.getECScratch()
+	defer m.putECScratch(sc)
 	B := uint64(m.cfg.ECBlockSize)
 	first := addr / B
 	last := (addr + uint64(len(data)) - 1) / B
@@ -276,34 +326,31 @@ func (m *Memory) applyEC(addr uint64, data []byte) {
 		} else {
 			// RMW source read; corrupt chunks are skipped like dead nodes and
 			// then overwritten below, so apply itself heals them.
-			cur, _, err := m.readBlockEC(b)
-			if err != nil {
+			if _, err := m.readBlockECInto(sc, b, sc.block); err != nil {
 				// Cannot reconstruct the block (catastrophic loss); the WAL
 				// still holds the entry for future recovery.
 				continue
 			}
-			copy(cur[lo-blockStart:], data[lo-addr:hi-addr])
-			block = cur
+			copy(sc.block[lo-blockStart:], data[lo-addr:hi-addr])
+			block = sc.block
 		}
-		chunks, err := m.code.Encode(block)
-		if err != nil {
+		if err := m.code.EncodeTo(block, sc.chunks); err != nil {
 			continue
 		}
+		chunks := sc.chunks
 		physOff := m.layout.MainBase() + b*uint64(m.chunk)
 		var strip []byte
+		stripOff := uint64(0)
 		if m.integ != nil {
-			strip = make([]byte, 4*len(chunks))
+			strip = sc.strip
 			for j := range chunks {
 				sum := crcBlock(chunks[j])
 				m.integ.setSum(j, b, sum)
 				binary.LittleEndian.PutUint32(strip[4*j:], sum)
 			}
-		}
-		stripOff := uint64(0)
-		if m.integ != nil {
 			stripOff = m.integ.stripOff(b)
 		}
-		wait, bestEffort := m.writeTargets(0)
+		wait, bestEffort := m.writeTargetsInto(0, sc.wait, sc.best)
 		for _, i := range bestEffort {
 			m.enqueueBestEffort(i, replRegion, physOff, chunks[i])
 			if strip != nil {
@@ -317,16 +364,14 @@ func (m *Memory) applyEC(addr uint64, data []byte) {
 		if strip != nil {
 			perNode = 2
 		}
-		var wg sync.WaitGroup
-		wg.Add(len(wait) * perNode)
-		done := func(error) { wg.Done() }
+		sc.wg.Add(len(wait) * perNode)
 		for _, i := range wait {
-			m.enqueue(i, nodeReq{region: replRegion, offset: physOff, data: chunks[i], done: done})
+			m.enqueue(i, nodeReq{region: replRegion, offset: physOff, data: chunks[i], done: sc.done})
 			if strip != nil {
-				m.enqueue(i, nodeReq{region: replRegion, offset: stripOff, data: strip[4*i : 4*i+4], done: done})
+				m.enqueue(i, nodeReq{region: replRegion, offset: stripOff, data: strip[4*i : 4*i+4], done: sc.done})
 			}
 		}
-		wg.Wait()
+		sc.wg.Wait()
 	}
 }
 
@@ -419,8 +464,8 @@ func (m *Memory) UnloggedWrite(addr uint64, data []byte) error {
 		return err
 	}
 	r := m.expandWriteRange(addr, len(data))
-	unlock := m.locks.lockRange(r.addr, r.size)
-	defer unlock()
+	m.locks.lockSpan(r.addr, r.size)
+	defer m.locks.unlockSpan(r.addr, r.size)
 	if m.code != nil {
 		m.applyEC(addr, data)
 	} else {

@@ -23,6 +23,10 @@ type clientMetrics struct {
 	retries   *obs.Counter // failover retry sleeps taken inside Client.do
 	ambiguous *obs.Counter // ops returned ErrAmbiguous after budget expiry
 	noCoord   *obs.Counter // ops returned ErrNoCoordinator after budget expiry
+
+	backupGets      *obs.Counter // gets served by a follower under a read lease
+	backupFallbacks *obs.Counter // backup attempts that fell back to the coordinator
+	leaseRejects    *obs.Counter // backup attempts rejected for lack of a valid lease
 }
 
 // initObs builds the cluster's observability surface: the metrics registry,
@@ -44,6 +48,10 @@ func (cl *Cluster) initObs() {
 		retries:   reg.Counter("sift_client_retries_total", "Failover retry sleeps taken by client operations."),
 		ambiguous: reg.Counter("sift_client_ambiguous_total", "Client operations that expired their retry budget with unknown outcome."),
 		noCoord:   reg.Counter("sift_client_no_coordinator_total", "Client operations that never reached any coordinator."),
+
+		backupGets:      reg.Counter(`sift_client_backup_reads_total{outcome="served"}`, "Gets served by a follower CPU node under a read lease."),
+		backupFallbacks: reg.Counter(`sift_client_backup_reads_total{outcome="fallback"}`, "Backup read attempts that fell back to the coordinator."),
+		leaseRejects:    reg.Counter(`sift_client_backup_reads_total{outcome="no_lease"}`, "Backup read attempts rejected for lack of a valid lease."),
 	}
 
 	// Replicated memory hot-path latency (stable across coordinator terms).

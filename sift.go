@@ -110,6 +110,19 @@ type Config struct {
 	HeartbeatInterval time.Duration
 	ReadInterval      time.Duration
 	MissedBeats       int
+
+	// BackupReads lets follower CPU nodes serve Get requests directly from
+	// replicated memory under a read lease piggybacked on their heartbeat
+	// reads, spreading read load beyond the coordinator. Writes then wait
+	// for their background apply (and briefly longer after a memory-node
+	// exclusion) before acknowledging, so the reads stay linearizable; see
+	// DESIGN.md §13. Off by default.
+	BackupReads bool
+	// LeaseWindow is the backup read-lease duration (default
+	// 4×HeartbeatInterval). Shorter windows bound coordinator-failover
+	// read unavailability tighter; longer windows tolerate heartbeat-read
+	// scheduling jitter better.
+	LeaseWindow time.Duration
 	// NodeRecoveryInterval is the dead-memory-node reintegration poll
 	// period (default 250ms).
 	NodeRecoveryInterval time.Duration
@@ -194,6 +207,9 @@ func (c *Config) withDefaults() Config {
 	}
 	if out.MissedBeats <= 0 {
 		out.MissedBeats = 3
+	}
+	if out.BackupReads && out.LeaseWindow <= 0 {
+		out.LeaseWindow = 4 * out.HeartbeatInterval
 	}
 	if out.NodeRecoveryInterval <= 0 {
 		out.NodeRecoveryInterval = 250 * time.Millisecond
