@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 race chaos linearize fuzz-short bench-pipeline bench-ec bench-json obs-smoke staticcheck
+.PHONY: tier1 race chaos linearize reconfig fuzz-short bench-pipeline bench-ec bench-json obs-smoke staticcheck
 
 # Tier-1 verification: everything vets, builds, and every test passes.
 tier1:
@@ -24,6 +24,14 @@ linearize:
 	$(GO) test -race -timeout 5m ./internal/linearize/
 	$(GO) test -race -timeout 10m -run 'TestRetriable|TestClient|TestAmbiguous|TestNoCoordinatorWithoutSends|TestChaosLinearize' .
 
+# Online reconfiguration suite: the repmem state-transfer/epoch-commit unit
+# tests, the elector membership-update test, and the cluster-level rolling
+# replacement / fencing / backup-straddle scenarios, under the race detector.
+reconfig:
+	$(GO) test -race -timeout 5m -run 'TestReplace|TestRestripe|TestMembership|TestConfig' ./internal/repmem/
+	$(GO) test -race -run 'TestUpdateMembers' ./internal/election/
+	$(GO) test -race -timeout 10m -run 'TestReconfig|TestBackupReadStraddles' .
+
 # Short fuzz passes: the WAL entry decoder (parses whatever bytes a crashed
 # or corrupt memory node holds during recovery) and the word-parallel
 # GF(256) kernels (differential against the scalar gfMul reference).
@@ -44,10 +52,10 @@ bench-ec:
 	$(GO) test $(BENCHFLAGS) -run '^$$' -bench 'BenchmarkECApply|BenchmarkECRead' -benchtime $(BENCHTIME) ./internal/repmem/
 
 # Benchmark trajectory: runs the EC and cluster benchmarks and emits
-# BENCH_6.json with encode/reconstruct MB/s, put throughput, and read
-# latency percentiles. Regenerate after perf-sensitive changes.
+# BENCH_7.json with encode/reconstruct MB/s, put throughput, read
+# latency percentiles, and put throughput under rolling node replacement.
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_6.json
+	$(GO) run ./cmd/benchjson -out BENCH_7.json
 
 # Observability smoke: both daemons build, the obs package tests pass, and
 # the in-process cluster serves /metrics, /healthz, /statusz, and /events

@@ -48,6 +48,9 @@ type Cluster struct {
 	runners map[uint16]*cpuRunner
 	closed  bool
 
+	gaugeMu    sync.Mutex
+	nodeGauges map[string]bool // per-node gauges registered (reconfig adds more)
+
 	backupRR atomic.Uint64 // rotates lease reads across follower CPU nodes
 }
 
@@ -320,17 +323,23 @@ func (cl *Cluster) ScrubNow() (repmem.ScrubReport, error) {
 	return st.Memory().ScrubOnce()
 }
 
-// MemoryNodes returns the memory node names (for failure injection).
+// MemoryNodes returns the current memory node names (for failure
+// injection). Reconfiguration changes this set.
 func (cl *Cluster) MemoryNodes() []string {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
 	return append([]string(nil), cl.memNames...)
 }
 
 // KillMemoryNode fails a memory node and wipes its (volatile) memory, as a
 // machine crash would.
 func (cl *Cluster) KillMemoryNode(name string) {
+	cl.mu.Lock()
+	layout := cl.mcfg.Layout()
+	cl.mu.Unlock()
 	cl.fabric.Kill(name)
 	if node := cl.network.Node(name); node != nil {
-		memnode.Reset(node, cl.mcfg.Layout())
+		memnode.Reset(node, layout)
 	}
 }
 

@@ -1,12 +1,14 @@
 // Command benchjson runs the repository's headline performance probes and
-// emits one JSON document (for the benchmark-trajectory record BENCH_6.json):
-// erasure encode/reconstruct bandwidth, cluster put throughput, and read
+// emits one JSON document (for the benchmark-trajectory record BENCH_7.json):
+// erasure encode/reconstruct bandwidth, cluster put throughput, read
 // latency percentiles on both the coordinator and lease-based backup read
-// paths. Invoke via `make bench-json`.
+// paths, and put throughput while memory nodes are being live-replaced.
+// Invoke via `make bench-json`.
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -38,10 +40,16 @@ type doc struct {
 	// Same reads with lease-based backup reads enabled.
 	BackupReadP50Us float64 `json:"backup_read_p50_us"`
 	BackupReadP99Us float64 `json:"backup_read_p99_us"`
+
+	// Put throughput while memory nodes are live-replaced back to back
+	// (online reconfiguration, DESIGN.md §14), and how many replacements
+	// completed during the probe window.
+	ReplacePutOpsPerSec float64 `json:"put_ops_per_sec_during_replace"`
+	Replacements        int     `json:"replacements_during_probe"`
 }
 
 func main() {
-	out := flag.String("out", "BENCH_6.json", "output path")
+	out := flag.String("out", "BENCH_7.json", "output path")
 	dur := flag.Duration("duration", 2*time.Second, "per-probe measurement duration")
 	flag.Parse()
 
@@ -82,6 +90,13 @@ func main() {
 	}
 	d.BackupReadP50Us = round1(bp50)
 	d.BackupReadP99Us = round1(bp99)
+
+	rput, nrepl, err := reconfigProbe(*dur)
+	if err != nil {
+		fatal(err)
+	}
+	d.ReplacePutOpsPerSec = round1(rput)
+	d.Replacements = nrepl
 
 	buf, err := json.MarshalIndent(d, "", "  ")
 	if err != nil {
@@ -210,4 +225,63 @@ func round1(v float64) float64 {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "benchjson:", err)
 	os.Exit(1)
+}
+
+// reconfigProbe measures put throughput while memory nodes are replaced
+// back to back — the bounded-degradation number for online
+// reconfiguration. Puts that land in a no-coordinator window are skipped,
+// not counted; any other error is fatal.
+func reconfigProbe(dur time.Duration) (putOps float64, replacements int, err error) {
+	cfg := sift.Config{F: 1, Keys: 4096, MaxValueSize: 992}
+	cl, err := sift.NewCluster(cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer cl.Close()
+	c := cl.Client()
+
+	val := make([]byte, 992)
+	key := func(i int) []byte { return []byte(fmt.Sprintf("user%012d", i)) }
+	for i := 0; i < cfg.Keys; i++ {
+		if err := c.Put(key(i), val); err != nil {
+			return 0, 0, err
+		}
+	}
+
+	stop := make(chan struct{})
+	done := make(chan int)
+	go func() {
+		n := 0
+		defer func() { done <- n }()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			victim := cl.MemoryNodes()[0]
+			if _, err := cl.ReplaceMemoryNode(victim, ""); err != nil {
+				return
+			}
+			n++
+		}
+	}()
+
+	start := time.Now()
+	puts := 0
+	for time.Since(start) < dur {
+		if perr := c.Put(key(puts%cfg.Keys), val); perr != nil {
+			if errors.Is(perr, sift.ErrNoCoordinator) {
+				continue
+			}
+			close(stop)
+			<-done
+			return 0, 0, perr
+		}
+		puts++
+	}
+	elapsed := time.Since(start).Seconds()
+	close(stop)
+	replacements = <-done
+	return float64(puts) / elapsed, replacements, nil
 }

@@ -7,6 +7,16 @@
 //	sift-cli -servers host1:8000,host2:8000 put mykey myvalue
 //	sift-cli -servers host1:8000,host2:8000 get mykey
 //	sift-cli -servers host1:8000 status
+//
+// Admin verbs drive online reconfiguration of the memory-node group (the
+// coordinator performs the state transfer; a joining address must already
+// run a fresh memnoded):
+//
+//	sift-cli -servers ... epoch
+//	sift-cli -servers ... replace mem1:7000 mem9:7000
+//	sift-cli -servers ... add mem9:7000
+//	sift-cli -servers ... remove mem1:7000
+//	sift-cli -servers ... restripe memA:7000,memB:7000,memC:7000 [ec-data ec-parity]
 package main
 
 import (
@@ -24,7 +34,7 @@ func main() {
 	flag.Parse()
 	args := flag.Args()
 	if len(args) < 1 {
-		log.Fatalf("usage: sift-cli [-servers ...] get|put|del|status [key] [value]")
+		log.Fatalf("usage: sift-cli [-servers ...] get|put|del|status|epoch|replace|add|remove|restripe [args]")
 	}
 	addrs := strings.Split(*servers, ",")
 
@@ -76,6 +86,12 @@ func run(client *rpc.Client, args []string) (string, error) {
 		return "OK", err
 	case "status":
 		v, err := client.Call(rpc.MethodStatus, nil)
+		if err != nil {
+			return "", err
+		}
+		return string(v), nil
+	case "epoch", "replace", "add", "remove", "restripe":
+		v, err := client.Call(rpc.MethodAdmin, []byte(strings.Join(args, " ")))
 		if err != nil {
 			return "", err
 		}

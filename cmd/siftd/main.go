@@ -21,6 +21,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -230,6 +231,86 @@ func main() {
 	srv.Handle(rpc.MethodStatus, func([]byte) ([]byte, error) {
 		return []byte(node.Role().String()), nil
 	})
+	// Reconfiguration verbs. Only the coordinator drives state transfer;
+	// machines for joining addresses must already be running (fresh
+	// memnoded processes) — the coordinator fills them. The -mem flag is
+	// only the seed list: committed epochs discovered from the admin
+	// regions supersede it.
+	srv.Handle(rpc.MethodAdmin, instrument("admin", func(payload []byte) ([]byte, error) {
+		args := strings.Fields(string(payload))
+		if len(args) == 0 {
+			return nil, fmt.Errorf("admin: empty verb")
+		}
+		snap := node.ConfigSnapshot()
+		if args[0] == "epoch" {
+			return []byte(fmt.Sprintf("epoch %d members %s ec %d+%d",
+				snap.Epoch, strings.Join(snap.Members, ","), snap.ECData, snap.ECParity)), nil
+		}
+		if node.Store() == nil {
+			return nil, fmt.Errorf("not coordinator (role %s)", node.Role())
+		}
+		switch args[0] {
+		case "replace":
+			if len(args) != 3 {
+				return nil, fmt.Errorf("usage: replace <old-addr> <new-addr>")
+			}
+			if err := node.ReplaceMemoryNode(args[1], args[2]); err != nil {
+				return nil, err
+			}
+		case "add":
+			if len(args) != 2 {
+				return nil, fmt.Errorf("usage: add <new-addr>")
+			}
+			if snap.ECData > 0 {
+				return nil, fmt.Errorf("admin: cannot add a single node to an erasure-coded group; use restripe")
+			}
+			if err := node.RestripeMemoryNodes(append(snap.Members, args[1]), 0, 0); err != nil {
+				return nil, err
+			}
+		case "remove":
+			if len(args) != 2 {
+				return nil, fmt.Errorf("usage: remove <addr>")
+			}
+			if snap.ECData > 0 {
+				return nil, fmt.Errorf("admin: cannot remove a single node from an erasure-coded group; use restripe")
+			}
+			members := make([]string, 0, len(snap.Members))
+			for _, m := range snap.Members {
+				if m != args[1] {
+					members = append(members, m)
+				}
+			}
+			if len(members) == len(snap.Members) {
+				return nil, fmt.Errorf("admin: %q is not a memory node", args[1])
+			}
+			if err := node.RestripeMemoryNodes(members, 0, 0); err != nil {
+				return nil, err
+			}
+		case "restripe":
+			if len(args) != 2 && len(args) != 4 {
+				return nil, fmt.Errorf("usage: restripe <addr1,addr2,...> [ec-data ec-parity]")
+			}
+			members := strings.Split(args[1], ",")
+			ecData, ecParity := 0, 0
+			if len(args) == 4 {
+				var err error
+				if ecData, err = strconv.Atoi(args[2]); err != nil {
+					return nil, fmt.Errorf("admin: ec-data: %w", err)
+				}
+				if ecParity, err = strconv.Atoi(args[3]); err != nil {
+					return nil, fmt.Errorf("admin: ec-parity: %w", err)
+				}
+			}
+			if err := node.RestripeMemoryNodes(members, ecData, ecParity); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("admin: unknown verb %q", args[0])
+		}
+		snap = node.ConfigSnapshot()
+		return []byte(fmt.Sprintf("epoch %d members %s",
+			snap.Epoch, strings.Join(snap.Members, ","))), nil
+	}))
 
 	if *debugAddr != "" {
 		healthz := func() error {
@@ -257,7 +338,8 @@ func main() {
 				"elections":     node.Elections(),
 				"promotions":    node.Promotions(),
 				"dethronements": node.Dethronements(),
-				"memory_nodes":  memNodes,
+				"memory_nodes":  node.ConfigSnapshot().Members,
+				"config_epoch":  node.ConfigEpoch(),
 				"events_seen":   events.Seq(),
 			}
 			if st := node.Store(); st != nil {

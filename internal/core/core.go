@@ -20,6 +20,7 @@ import (
 
 	"github.com/repro/sift/internal/election"
 	"github.com/repro/sift/internal/kv"
+	"github.com/repro/sift/internal/memnode"
 	"github.com/repro/sift/internal/obs"
 	"github.com/repro/sift/internal/repmem"
 )
@@ -110,11 +111,24 @@ type CPUNode struct {
 
 	backup *backupReader // nil unless cfg.BackupReads
 
+	// conf is the adopted memory-node configuration (member list, config
+	// epoch, erasure geometry). It starts from cfg and advances when this
+	// node commits a reconfiguration or discovers a newer committed epoch
+	// on the admin plane.
+	confMu sync.Mutex
+	conf   memnode.ConfigRecord
+
+	// reconfigCh carries committed-reconfiguration cutovers into the
+	// coordinate loop, which rebuilds the memory and KV layers against the
+	// new configuration without giving up the term.
+	reconfigCh chan reconfigEvent
+
 	// Stats.
 	elections     atomic.Uint64
 	promotions    atomic.Uint64
 	demotions     atomic.Uint64
 	dethronements atomic.Uint64
+	reconfigs     atomic.Uint64
 }
 
 // label names this CPU node in events ("cpu3").
@@ -139,7 +153,18 @@ func NewCPUNode(cfg Config) *CPUNode {
 	if cfg.BackupReads && cfg.LeaseWindow <= 0 {
 		cfg.LeaseWindow = 4 * cfg.Election.HeartbeatInterval
 	}
-	n := &CPUNode{cfg: cfg}
+	n := &CPUNode{cfg: cfg, reconfigCh: make(chan reconfigEvent)}
+	epoch := cfg.Memory.Epoch
+	if epoch == 0 {
+		epoch = 1
+	}
+	n.conf = memnode.ConfigRecord{
+		Epoch:       epoch,
+		ECData:      cfg.Memory.ECData,
+		ECParity:    cfg.Memory.ECParity,
+		ECBlockSize: cfg.Memory.ECBlockSize,
+		Members:     append([]string(nil), cfg.Memory.MemoryNodes...),
+	}
 	n.elector = election.New(cfg.Election)
 	if cfg.BackupReads && cfg.BackupDial != nil {
 		if br, err := newBackupReader(cfg); err == nil {
@@ -152,62 +177,120 @@ func NewCPUNode(cfg Config) *CPUNode {
 // backupReader bundles the follower-side read path: a read-only view of the
 // replicated memory plus a lock-free chain walker, with a cached membership
 // mask that is refreshed from the admin region well within the ack-hold
-// window.
+// window. When a committed config epoch above the view's own appears on the
+// admin plane, the view and chain walker are rebuilt against the new
+// configuration descriptor before any further reads are served.
 type backupReader struct {
-	view  *repmem.View
-	chain *kv.ChainReader
+	cfg Config
 
 	mu      sync.Mutex
+	view    *repmem.View
+	chain   *kv.ChainReader
 	maskAt  time.Time
 	masked  bool
 	serving uint16 // highest serving term seen at the last refresh
 }
 
 func newBackupReader(cfg Config) (*backupReader, error) {
-	vcfg := cfg.Memory
-	vcfg.Dial = cfg.BackupDial
+	b := &backupReader{cfg: cfg}
+	rec := memnode.ConfigRecord{
+		Epoch:       cfg.Memory.Epoch,
+		ECData:      cfg.Memory.ECData,
+		ECParity:    cfg.Memory.ECParity,
+		ECBlockSize: cfg.Memory.ECBlockSize,
+		Members:     cfg.Memory.MemoryNodes,
+	}
+	if err := b.rebuildLocked(rec); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// rebuildLocked (re)creates the view and chain walker for configuration rec.
+// An in-flight chain walk on the old view sees its connections closed and
+// fails with a kv.ErrBackupRetry wrap — the caller falls back to the
+// coordinator, which is exactly the contract for a walk that straddles a
+// reconfiguration.
+func (b *backupReader) rebuildLocked(rec memnode.ConfigRecord) error {
+	vcfg := b.cfg.Memory
+	vcfg.Dial = b.cfg.BackupDial
 	vcfg.OnFenced = nil
+	vcfg.MemoryNodes = append([]string(nil), rec.Members...)
+	vcfg.Epoch = rec.Epoch
+	vcfg.ECData, vcfg.ECParity = rec.ECData, rec.ECParity
+	if rec.ECBlockSize > 0 {
+		vcfg.ECBlockSize = rec.ECBlockSize
+	}
 	view, err := repmem.NewView(vcfg)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	align := 1
 	if vcfg.ECData > 0 {
 		align = vcfg.ECBlockSize
 	}
-	chain, err := kv.NewChainReader(cfg.KV, align, view)
+	chain, err := kv.NewChainReader(b.cfg.KV, align, view)
 	if err != nil {
 		view.Close()
-		return nil, err
+		return err
 	}
-	return &backupReader{view: view, chain: chain}, nil
+	old := b.view
+	b.view, b.chain = view, chain
+	b.masked = false
+	if old != nil {
+		old.Close()
+	}
+	return nil
+}
+
+// close releases the reader's view connections.
+func (b *backupReader) close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.view != nil {
+		b.view.Close()
+	}
 }
 
 // refreshMask re-reads the published membership bitmap and serving term
 // unless the cached pair is younger than ttl. A mask in use is therefore
 // never older than ttl plus one read; the coordinator's AckHold must exceed
-// that. It returns the cached serving term. (A stale serving term is safe:
-// the word is monotonic, so a match with the lease term can only
-// under-claim, never claim an unfinished takeover complete.)
-func (b *backupReader) refreshMask(ttl time.Duration) (uint16, error) {
+// that. It returns the cached serving term and the chain walker to use for
+// this read. (A stale serving term is safe: the word is monotonic, so a
+// match with the lease term can only under-claim, never claim an unfinished
+// takeover complete.)
+func (b *backupReader) refreshMask(ttl time.Duration) (uint16, *kv.ChainReader, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.masked && time.Since(b.maskAt) < ttl {
-		return b.serving, nil
+		return b.serving, b.chain, nil
+	}
+	// A committed config epoch above the view's own means the member set
+	// behind this view is obsolete — a removed node may still be reachable
+	// with intact but no-longer-written DRAM. Rebuild against the new
+	// descriptor before trusting any published word.
+	if e, _, ok := b.view.ReadEpoch(); ok && e > b.view.Epoch() {
+		rec, recOK := b.view.ReadConfig()
+		if !recOK || rec.Epoch <= b.view.Epoch() {
+			return 0, nil, fmt.Errorf("config epoch %d committed but descriptor not visible", e)
+		}
+		if err := b.rebuildLocked(rec); err != nil {
+			return 0, nil, err
+		}
 	}
 	_, _, bitmap, ok := b.view.ReadMembership()
 	if !ok {
-		return 0, fmt.Errorf("no published membership")
+		return 0, nil, fmt.Errorf("no published membership for config epoch %d", b.view.Epoch())
 	}
-	serving, ok := b.view.ReadServing()
-	if !ok {
-		return 0, fmt.Errorf("no published serving term")
+	sEpoch, serving, ok := b.view.ReadServing()
+	if !ok || sEpoch != b.view.Epoch() {
+		return 0, nil, fmt.Errorf("no serving term for config epoch %d", b.view.Epoch())
 	}
 	b.view.SetMask(bitmap)
 	b.maskAt = time.Now()
 	b.masked = true
 	b.serving = serving
-	return serving, nil
+	return serving, b.chain, nil
 }
 
 // BackupGet serves a read from replicated memory while this node is a
@@ -227,7 +310,7 @@ func (n *CPUNode) BackupGet(key []byte) ([]byte, error) {
 	if !ok {
 		return nil, ErrNoLease
 	}
-	serving, err := br.refreshMask(w / 2)
+	serving, chain, err := br.refreshMask(w / 2)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrNoLease, err)
 	}
@@ -239,7 +322,7 @@ func (n *CPUNode) BackupGet(key []byte) ([]byte, error) {
 		return nil, ErrNoLease
 	}
 	walkStart := time.Now()
-	val, err := br.chain.Get(key)
+	val, err := chain.Get(key)
 	if err != nil {
 		return nil, err
 	}
@@ -343,7 +426,7 @@ func (n *CPUNode) TakeOver(ctx context.Context, observed map[string]election.Wor
 func (n *CPUNode) Close() {
 	n.elector.Close()
 	if n.backup != nil {
-		n.backup.view.Close()
+		n.backup.close()
 	}
 }
 
@@ -422,57 +505,134 @@ func (n *CPUNode) coordinate(ctx context.Context, term uint16) {
 		}
 	}
 
-	mcfg := n.cfg.Memory
-	mcfg.OnFenced = func() {
-		n.emit("coordinator.fenced", term, "replicated memory fenced")
-		fence()
+	// The serve loop below normally runs its body once. A committed
+	// reconfiguration (delivered on reconfigCh) tears the memory and KV
+	// layers down and rebuilds them against the adopted configuration —
+	// without giving up the term, so clients see one coordinator throughout
+	// a membership change.
+	var exclusionSeed time.Time   // cutover instant for backup-lease exclusion
+	var pendingDone []chan struct{}
+	serveReady := func() {
+		for _, d := range pendingDone {
+			close(d)
+		}
+		pendingDone = nil
 	}
-	mcfg.Term = term // tags membership publications; successors take the max
-	if mcfg.Events == nil {
-		mcfg.Events = n.cfg.Events
-	}
-	mem, err := repmem.New(mcfg)
-	if err != nil {
-		return // lost quorum between election and takeover; retry via loop
-	}
-	defer mem.Close()
-	if err := mem.Recover(); err != nil {
-		return
-	}
-	store, err := kv.New(mem, n.cfg.KV)
-	if err != nil {
-		return
-	}
-	stopRecovery := mem.StartRecovery(n.cfg.NodeRecoveryInterval)
-	defer stopRecovery()
-	if n.cfg.ScrubInterval > 0 {
-		stopScrub := mem.StartScrub(n.cfg.ScrubInterval)
-		defer stopScrub()
-	}
-
-	if n.cfg.BackupReads {
-		// Takeover complete: recovery and replay are done, so lease holders
-		// at this term may now trust what they read.
-		mem.PublishServing()
-	}
-
-	n.term.Store(uint32(term))
-	n.store.Store(store)
-	n.setRole(Coordinator)
-	n.promotions.Add(1)
-	n.emit("coordinator.promoted", term, "")
-
+	defer serveReady() // never leave a reconfiguration caller hanging
+	promoted := false
 	defer func() {
-		n.store.Store(nil)
-		n.term.Store(0)
-		store.Close()
-		n.demotions.Add(1)
-		n.emit("coordinator.demoted", term, "")
+		if promoted {
+			n.store.Store(nil)
+			n.term.Store(0)
+			n.demotions.Add(1)
+			n.emit("coordinator.demoted", term, "")
+		}
 	}()
+	rebuilds := 0
 
-	select {
-	case <-ctx.Done():
-	case <-stepDown:
+	for {
+		snap := n.ConfigSnapshot()
+		mcfg := n.cfg.Memory
+		mcfg.MemoryNodes = snap.Members
+		mcfg.Epoch = snap.Epoch
+		mcfg.ECData, mcfg.ECParity = snap.ECData, snap.ECParity
+		if snap.ECBlockSize > 0 {
+			mcfg.ECBlockSize = snap.ECBlockSize
+		}
+		mcfg.OnFenced = func() {
+			n.emit("coordinator.fenced", term, "replicated memory fenced")
+			fence()
+		}
+		mcfg.Term = term // tags membership publications; successors take the max
+		if mcfg.Events == nil {
+			mcfg.Events = n.cfg.Events
+		}
+		mem, err := repmem.New(mcfg)
+		if err != nil {
+			// A stale-config refusal means a newer configuration was
+			// committed (possibly by our own half-finished reconfiguration):
+			// discover and adopt it, then retry. Anything else — lost quorum
+			// between election and takeover — forfeits the term.
+			if errors.Is(err, repmem.ErrStaleConfig) && rebuilds < 8 {
+				rebuilds++
+				if n.discoverAndAdopt() {
+					continue
+				}
+			}
+			return
+		}
+		if !exclusionSeed.IsZero() {
+			// Backup-read leases granted against the pre-cutover node set must
+			// expire before this configuration acknowledges anything.
+			mem.MarkExclusion(exclusionSeed)
+		}
+		if err := mem.Recover(); err != nil {
+			mem.Close()
+			return
+		}
+		store, err := kv.New(mem, n.cfg.KV)
+		if err != nil {
+			mem.Close()
+			return
+		}
+		stopRecovery := mem.StartRecovery(n.cfg.NodeRecoveryInterval)
+		stopScrub := func() {}
+		if n.cfg.ScrubInterval > 0 {
+			stopScrub = mem.StartScrub(n.cfg.ScrubInterval)
+		}
+
+		if n.cfg.BackupReads {
+			// Takeover complete: recovery and replay are done, so lease holders
+			// at this term may now trust what they read.
+			mem.PublishServing()
+		}
+
+		n.term.Store(uint32(term))
+		n.store.Store(store)
+		n.setRole(Coordinator)
+		if !promoted {
+			promoted = true
+			n.promotions.Add(1)
+			n.emit("coordinator.promoted", term, "")
+		}
+		serveReady() // reconfiguration callers: the new config is serving
+
+		teardown := func() {
+			n.store.Store(nil)
+			stopRecovery()
+			stopScrub()
+			store.Close()
+			mem.Close()
+		}
+
+		select {
+		case <-ctx.Done():
+			teardown()
+			return
+		case <-stepDown:
+			teardown()
+			return
+		case ev := <-n.reconfigCh:
+			n.reconfigs.Add(1)
+			teardown()
+			if len(ev.rec.Members) > 0 {
+				n.adoptRecord(ev.rec)
+			} else {
+				// The sender could not tell whether its epoch commit landed
+				// (partial advance): resolve from the admin plane.
+				n.discoverAndAdopt()
+			}
+			if !ev.cutover.IsZero() {
+				exclusionSeed = ev.cutover
+			}
+			if ev.done != nil {
+				pendingDone = append(pendingDone, ev.done)
+			}
+			rebuilds++
+			n.emit("coordinator.reconfigured", term,
+				fmt.Sprintf("rebuilding at config epoch %d", n.ConfigSnapshot().Epoch))
+			continue
+		}
 	}
 }
 

@@ -1,0 +1,228 @@
+// Reconfiguration plane: coordinator-driven add/remove/replace of memory
+// nodes under traffic. The heavy lifting (state transfer, re-striping, epoch
+// commit) lives in internal/repmem; this file adopts committed
+// configurations into the CPU-node state machine, rebuilds the serving
+// layers after a cutover, and lets followers discover configurations they
+// were not told about from the admin plane itself.
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/repro/sift/internal/election"
+	"github.com/repro/sift/internal/kv"
+	"github.com/repro/sift/internal/memnode"
+	"github.com/repro/sift/internal/rdma"
+	"github.com/repro/sift/internal/repmem"
+)
+
+// ErrNotCoordinator is returned by reconfiguration entry points invoked on a
+// node that is not currently serving as coordinator.
+var ErrNotCoordinator = errors.New("core: not the coordinator")
+
+// reconfigEvent tells the coordinate loop to rebuild its serving layers.
+// A zero-Member rec means "rediscover from the admin plane" (the sender
+// could not tell whether its epoch commit landed). cutover, when set, seeds
+// the new memory's backup-lease exclusion window. done, when non-nil, is
+// closed once the rebuilt configuration is serving.
+type reconfigEvent struct {
+	rec     memnode.ConfigRecord
+	cutover time.Time
+	done    chan struct{}
+}
+
+// ConfigSnapshot returns a copy of the node's currently adopted memory-node
+// configuration.
+func (n *CPUNode) ConfigSnapshot() memnode.ConfigRecord {
+	n.confMu.Lock()
+	defer n.confMu.Unlock()
+	rec := n.conf
+	rec.Members = append([]string(nil), n.conf.Members...)
+	return rec
+}
+
+// ConfigEpoch returns the adopted config epoch.
+func (n *CPUNode) ConfigEpoch() uint32 { return n.ConfigSnapshot().Epoch }
+
+// Reconfigs returns how many in-term serving-layer rebuilds this node has
+// performed for committed reconfigurations.
+func (n *CPUNode) Reconfigs() uint64 { return n.reconfigs.Load() }
+
+// adoptRecord installs rec as the node's configuration if it supersedes the
+// current one, and retargets the elector at the new member set either way
+// (idempotent). Followers adopting a pushed record use this too.
+func (n *CPUNode) adoptRecord(rec memnode.ConfigRecord) {
+	n.confMu.Lock()
+	if rec.Newer(n.conf) {
+		n.conf = rec
+		n.conf.Members = append([]string(nil), rec.Members...)
+	}
+	members := append([]string(nil), n.conf.Members...)
+	n.confMu.Unlock()
+	n.elector.UpdateMembers(members)
+}
+
+// AdoptConfig lets the control plane push a committed configuration to a
+// follower so its elector and next takeover use the new member set without
+// waiting for admin-plane discovery.
+func (n *CPUNode) AdoptConfig(rec memnode.ConfigRecord) { n.adoptRecord(rec) }
+
+// discoverAndAdopt reads the admin plane for a committed configuration newer
+// than the adopted one and installs it. Returns whether anything newer was
+// found.
+func (n *CPUNode) discoverAndAdopt() bool {
+	snap := n.ConfigSnapshot()
+	rec, ok := discoverConfig(n.cfg.Election.Dial, snap.Members)
+	if !ok || !rec.Newer(snap) {
+		return false
+	}
+	n.adoptRecord(rec)
+	n.emit("config.adopted", 0, fmt.Sprintf("discovered config epoch %d (%d members)", rec.Epoch, len(rec.Members)))
+	return true
+}
+
+// readEpochWordAt reads a node's committed (config epoch, term) word.
+func readEpochWordAt(c rdma.Verbs) (uint32, uint16, error) {
+	var buf [8]byte
+	if err := c.Read(memnode.AdminRegionID, memnode.AdminEpochOffset, buf[:]); err != nil {
+		return 0, 0, err
+	}
+	w := binary.LittleEndian.Uint64(buf[:])
+	return uint32(w >> 16), uint16(w), nil
+}
+
+// discoverConfig crawls the admin plane for the authoritative configuration:
+// the highest-(epoch, term) valid descriptor whose epoch does not exceed the
+// highest committed epoch word observed (a descriptor above every epoch word
+// describes an uncommitted reconfiguration and must not be adopted). It
+// chases descriptors' member lists for a bounded number of rounds, so a node
+// seeded with a partially replaced member set still finds the current one as
+// long as one seed node carries the current descriptor.
+func discoverConfig(dial election.Dialer, seed []string) (memnode.ConfigRecord, bool) {
+	if dial == nil {
+		return memnode.ConfigRecord{}, false
+	}
+	seen := make(map[string]bool)
+	frontier := append([]string(nil), seed...)
+	var maxEpoch uint32
+	var descs []memnode.ConfigRecord
+	for round := 0; round < 3 && len(frontier) > 0; round++ {
+		var next []string
+		for _, node := range frontier {
+			if seen[node] {
+				continue
+			}
+			seen[node] = true
+			c, err := dial(node)
+			if err != nil {
+				continue
+			}
+			if e, _, err := readEpochWordAt(c); err == nil && e > maxEpoch {
+				maxEpoch = e
+			}
+			buf := make([]byte, memnode.MaxConfigSize)
+			if err := c.Read(memnode.AdminRegionID, memnode.AdminConfigOffset, buf); err == nil {
+				if rec, ok := memnode.DecodeConfig(buf); ok {
+					descs = append(descs, rec)
+					for _, m := range rec.Members {
+						if !seen[m] {
+							next = append(next, m)
+						}
+					}
+				}
+			}
+			c.Close()
+		}
+		frontier = next
+	}
+	var best memnode.ConfigRecord
+	found := false
+	for _, rec := range descs {
+		if rec.Epoch <= maxEpoch && (!found || rec.Newer(best)) {
+			best, found = rec, true
+		}
+	}
+	return best, found
+}
+
+// coordinatorMemory returns the serving store's memory handle, or
+// ErrNotCoordinator.
+func (n *CPUNode) coordinatorMemory() (*kv.Store, *repmem.Memory, error) {
+	st := n.store.Load()
+	if st == nil {
+		return nil, nil, ErrNotCoordinator
+	}
+	mem := st.Memory()
+	if mem == nil {
+		return nil, nil, ErrNotCoordinator
+	}
+	return st, mem, nil
+}
+
+// ReplaceMemoryNode replaces memory node oldName with newName (same
+// capacity, typically a fresh machine) while this node coordinates. The
+// replacement preserves the group's geometry, so the serving KV layer is NOT
+// rebuilt: the memory layer swaps the slot's connection under its own write
+// barrier and traffic continues. On success the adopted configuration and
+// the elector's member set advance to the new epoch.
+func (n *CPUNode) ReplaceMemoryNode(oldName, newName string) error {
+	_, mem, err := n.coordinatorMemory()
+	if err != nil {
+		return err
+	}
+	if err := mem.ReplaceNode(oldName, newName); err != nil {
+		if errors.Is(err, repmem.ErrReconfigured) {
+			// The epoch commit's outcome is ambiguous: resolve from the
+			// admin plane and rebuild, holding the term.
+			rerr := n.requestRebuild(memnode.ConfigRecord{}, time.Now())
+			return fmt.Errorf("%w (resolved by rediscovery: %v)", err, rerr)
+		}
+		return err
+	}
+	n.adoptRecord(mem.ConfigRecord())
+	return nil
+}
+
+// RestripeMemoryNodes moves the group to a new member set and/or erasure
+// geometry (full replication stays full replication, EC stays EC with the
+// same block size — see repmem.Restripe for the exact rules). The memory
+// layer copies and re-encodes every live byte onto the target set under
+// traffic, commits the new epoch under a short write barrier, and then this
+// node rebuilds its serving layers against the new configuration without
+// giving up the term. The call returns once the new configuration serves.
+func (n *CPUNode) RestripeMemoryNodes(members []string, ecData, ecParity int) error {
+	_, mem, err := n.coordinatorMemory()
+	if err != nil {
+		return err
+	}
+	res, err := mem.Restripe(repmem.RestripeTarget{Members: members, ECData: ecData, ECParity: ecParity})
+	if err != nil {
+		if errors.Is(err, repmem.ErrReconfigured) {
+			rerr := n.requestRebuild(memnode.ConfigRecord{}, time.Now())
+			return fmt.Errorf("%w (resolved by rediscovery: %v)", err, rerr)
+		}
+		return err
+	}
+	return n.requestRebuild(res.Record, res.CutoverAt)
+}
+
+// requestRebuild hands a committed (or ambiguous, zero-Member) configuration
+// to the coordinate loop and waits until the rebuilt layers are serving.
+func (n *CPUNode) requestRebuild(rec memnode.ConfigRecord, cutover time.Time) error {
+	done := make(chan struct{})
+	ev := reconfigEvent{rec: rec, cutover: cutover, done: done}
+	select {
+	case n.reconfigCh <- ev:
+	case <-time.After(10 * time.Second):
+		return fmt.Errorf("core: coordinator loop did not accept the reconfiguration")
+	}
+	select {
+	case <-done:
+		return nil
+	case <-time.After(30 * time.Second):
+		return fmt.Errorf("core: serving-layer rebuild after reconfiguration timed out")
+	}
+}

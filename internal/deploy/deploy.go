@@ -91,9 +91,14 @@ func (p Params) Derive() (kv.Config, repmem.Config, error) {
 		k := pp.F + 1
 		mcfg.ECData = k
 		mcfg.ECParity = pp.F
-		// The EC block is the KV data block rounded to a multiple of k, so
-		// steady-state applies are single whole-block writes.
-		mcfg.ECBlockSize = (kcfg.BlockSize() + k - 1) / k * k
+		// The EC block is the KV data block rounded up so every feasible
+		// data-chunk count divides it — both today's k and any k' an online
+		// restripe may move to. The KV block alignment is derived from this
+		// size and cannot change under a live store, so divisibility must be
+		// built in up front: lcm(1..8) covers restripes up to 8 data chunks,
+		// and larger initial k folds itself in.
+		unit := lcm(840, k) // 840 = lcm(1..8)
+		mcfg.ECBlockSize = (kcfg.BlockSize() + unit - 1) / unit * unit
 		align = mcfg.ECBlockSize
 	}
 	if pp.NoIntegrity {
@@ -135,3 +140,12 @@ func (p Params) Validate() error {
 	}
 	return nil
 }
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func lcm(a, b int) int { return a / gcd(a, b) * b }

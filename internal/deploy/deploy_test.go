@@ -37,6 +37,13 @@ func TestDeriveECGeometry(t *testing.T) {
 		if mcfg.ECBlockSize%mcfg.ECData != 0 {
 			t.Fatalf("F=%d: block %d not divisible by k", f, mcfg.ECBlockSize)
 		}
+		// Online restripes keep the block size but may change the chunk
+		// count; any target k' up to 8 must divide the derived block.
+		for kp := 1; kp <= 8; kp++ {
+			if mcfg.ECBlockSize%kp != 0 {
+				t.Fatalf("F=%d: block %d not divisible by restripe target k'=%d", f, mcfg.ECBlockSize, kp)
+			}
+		}
 		if mcfg.MemSize%mcfg.ECBlockSize != 0 {
 			t.Fatalf("F=%d: MemSize %d not a multiple of block %d", f, mcfg.MemSize, mcfg.ECBlockSize)
 		}

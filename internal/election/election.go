@@ -128,6 +128,7 @@ type Elector struct {
 	rng *rand.Rand
 
 	mu       sync.Mutex
+	members  []string // current member list; starts as cfg.MemoryNodes
 	conns    map[string]rdma.Verbs
 	lastSeen map[string]Word // most recent word observed on each memory node
 
@@ -150,14 +151,62 @@ func New(cfg Config) *Elector {
 	c := cfg.withDefaults()
 	return &Elector{
 		cfg:      c,
+		members:  append([]string(nil), c.MemoryNodes...),
 		rng:      rand.New(rand.NewSource(c.Seed)),
 		conns:    make(map[string]rdma.Verbs),
 		lastSeen: make(map[string]Word),
 	}
 }
 
-// Majority returns the quorum size for the configured group.
-func (e *Elector) Majority() int { return len(e.cfg.MemoryNodes)/2 + 1 }
+// Majority returns the quorum size for the current member list.
+func (e *Elector) Majority() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.majorityLocked()
+}
+
+func (e *Elector) majorityLocked() int { return len(e.members)/2 + 1 }
+
+// memberSnapshot returns the current member list for one protocol round.
+func (e *Elector) memberSnapshot() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]string(nil), e.members...)
+}
+
+// Members returns the current member list.
+func (e *Elector) Members() []string { return e.memberSnapshot() }
+
+// UpdateMembers switches the elector to a new member list (an online
+// reconfiguration changed the group's memory nodes). Connections and cached
+// words for removed nodes are dropped; heartbeats, read rounds, and future
+// campaigns run against the new list from the next round on. The heartbeat
+// words on the surviving and fresh nodes carry over — a reconfiguration
+// changes the member set, not the term.
+func (e *Elector) UpdateMembers(nodes []string) {
+	e.mu.Lock()
+	keep := make(map[string]bool, len(nodes))
+	for _, n := range nodes {
+		keep[n] = true
+	}
+	var drop []rdma.Verbs
+	for n, c := range e.conns {
+		if !keep[n] {
+			drop = append(drop, c)
+			delete(e.conns, n)
+		}
+	}
+	for n := range e.lastSeen {
+		if !keep[n] {
+			delete(e.lastSeen, n)
+		}
+	}
+	e.members = append([]string(nil), nodes...)
+	e.mu.Unlock()
+	for _, c := range drop {
+		c.Close()
+	}
+}
 
 // NodeID returns the configured CPU node id.
 func (e *Elector) NodeID() uint16 { return e.cfg.NodeID }
@@ -227,20 +276,21 @@ func (e *Elector) readWord(node string) (Word, error) {
 // majority of nodes responded.
 func (e *Elector) ReadAll() (words map[string]Word, best Word, err error) {
 	roundStart := time.Now()
-	words = make(map[string]Word, len(e.cfg.MemoryNodes))
+	nodes := e.memberSnapshot()
+	words = make(map[string]Word, len(nodes))
 	type result struct {
 		node string
 		w    Word
 		err  error
 	}
-	ch := make(chan result, len(e.cfg.MemoryNodes))
-	for _, node := range e.cfg.MemoryNodes {
+	ch := make(chan result, len(nodes))
+	for _, node := range nodes {
 		go func(node string) {
 			w, err := e.readWord(node)
 			ch <- result{node, w, err}
 		}(node)
 	}
-	for range e.cfg.MemoryNodes {
+	for range nodes {
 		r := <-ch
 		if r.err != nil {
 			continue
@@ -395,14 +445,15 @@ func (e *Elector) Campaign(ctx context.Context, observed map[string]Word) (uint1
 // result.
 func (e *Elector) electionRound(term uint16) Outcome {
 	mine := Word{Term: term, Node: e.cfg.NodeID, Timestamp: 1}
+	nodes := e.memberSnapshot()
 	type result struct {
 		node string
 		ok   bool
 		old  Word
 		err  error
 	}
-	ch := make(chan result, len(e.cfg.MemoryNodes))
-	for _, node := range e.cfg.MemoryNodes {
+	ch := make(chan result, len(nodes))
+	for _, node := range nodes {
 		go func(node string) {
 			e.mu.Lock()
 			expect := e.lastSeen[node]
@@ -424,7 +475,7 @@ func (e *Elector) electionRound(term uint16) Outcome {
 
 	wonNodes := 0
 	var maxObserved Word
-	for range e.cfg.MemoryNodes {
+	for range nodes {
 		r := <-ch
 		if r.err != nil {
 			continue
@@ -443,7 +494,7 @@ func (e *Elector) electionRound(term uint16) Outcome {
 			}
 		}
 	}
-	if wonNodes >= e.Majority() {
+	if wonNodes >= len(nodes)/2+1 {
 		return Won
 	}
 	if maxObserved.Term >= term {
@@ -468,13 +519,14 @@ func (e *Elector) electionRound(term uint16) Outcome {
 // complete into the buffered channel and update lastSeen on their own.
 func (e *Elector) Heartbeat(term uint16, timestamp uint32) error {
 	mine := Word{Term: term, Node: e.cfg.NodeID, Timestamp: timestamp}
+	nodes := e.memberSnapshot()
 	type result struct {
 		node     string
 		ok       bool
 		observed Word
 	}
-	ch := make(chan result, len(e.cfg.MemoryNodes))
-	for _, node := range e.cfg.MemoryNodes {
+	ch := make(chan result, len(nodes))
+	for _, node := range nodes {
 		go func(node string) {
 			e.mu.Lock()
 			expect := e.lastSeen[node]
@@ -517,15 +569,16 @@ func (e *Elector) Heartbeat(term uint16, timestamp uint32) error {
 		}(node)
 	}
 	renewed, failed := 0, 0
-	n := len(e.cfg.MemoryNodes)
+	n := len(nodes)
+	maj := n/2 + 1
 	for i := 0; i < n; i++ {
 		r := <-ch
 		if r.ok {
-			if renewed++; renewed >= e.Majority() {
+			if renewed++; renewed >= maj {
 				return nil
 			}
 		} else {
-			if failed++; failed > n-e.Majority() {
+			if failed++; failed > n-maj {
 				return ErrDethroned
 			}
 		}

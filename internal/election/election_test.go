@@ -2,6 +2,7 @@ package election
 
 import (
 	"context"
+	"encoding/binary"
 	"errors"
 	"sync"
 	"testing"
@@ -409,5 +410,116 @@ func TestConfigDefaults(t *testing.T) {
 	}
 	if c.Seed == 0 {
 		t.Fatal("seed not derived")
+	}
+}
+
+// TestUpdateMembersReconfigures exercises the elector's reconfiguration
+// hook: after an online membership change the heartbeat/read rounds must
+// run against the new list (writing the winner's word onto joining nodes,
+// never touching removed ones) and the quorum size must follow the list.
+func TestUpdateMembersReconfigures(t *testing.T) {
+	nw, names, mk := testGroup(t, 3)
+	e := New(mk(1))
+	defer e.Close()
+	term, outcome, err := e.Campaign(context.Background(), nil)
+	if err != nil || outcome != Won {
+		t.Fatalf("campaign: outcome=%v err=%v", outcome, err)
+	}
+	if err := e.Heartbeat(term, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	// Join "x" and "y", drop names[0]: 3 -> 4 members, quorum 2 -> 3.
+	for _, fresh := range []string{"x", "y"} {
+		node := rdma.NewNode(fresh)
+		node.Alloc(1, 64, false)
+		nw.AddNode(node)
+	}
+	members := []string{names[1], names[2], "x", "y"}
+	e.UpdateMembers(members)
+	if got := e.Members(); len(got) != 4 || got[3] != "y" {
+		t.Fatalf("Members() = %v, want %v", got, members)
+	}
+	if got := e.Majority(); got != 3 {
+		t.Fatalf("majority after growth = %d, want 3", got)
+	}
+
+	// Heartbeats now land on the new list, including the fresh nodes. A
+	// single beat only guarantees a majority, so beat until both joiners
+	// carry the winner's word.
+	var words map[string]Word
+	var best Word
+	for ts := uint32(3); ; ts++ {
+		if ts > 50 {
+			t.Fatalf("fresh nodes never saw a heartbeat: %+v", words)
+		}
+		if err := e.Heartbeat(term, ts); err != nil {
+			t.Fatalf("heartbeat on new members: %v", err)
+		}
+		var err error
+		if words, best, err = e.ReadAll(); err != nil {
+			t.Fatal(err)
+		}
+		if words["x"].Term == term && words["y"].Term == term {
+			break
+		}
+	}
+	if len(words) != 4 {
+		t.Fatalf("read %d words after reconfiguration, want 4", len(words))
+	}
+	if best.Term != term || best.Timestamp < 3 {
+		t.Fatalf("best word after reconfiguration = %+v", best)
+	}
+
+	// The removed node's word must stop advancing: it keeps whatever beat
+	// it last saw while the survivors move on.
+	obs, err := nw.Dial("observer", names[0], rdma.DialOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer obs.Close()
+	var buf [8]byte
+	if err := obs.Read(1, 0, buf[:]); err != nil {
+		t.Fatal(err)
+	}
+	stale := Unpack(binary.LittleEndian.Uint64(buf[:]))
+	if stale.Timestamp >= 3 {
+		t.Fatalf("removed node still receives heartbeats: %+v", stale)
+	}
+
+	// A fresh elector configured with the new list campaigns and dethrones
+	// over the new quorum without ever contacting the removed node.
+	e2 := New(Config{
+		NodeID:      2,
+		MemoryNodes: members,
+		Dial: func(node string) (rdma.Verbs, error) {
+			if node == names[0] {
+				t.Errorf("new-config elector dialed removed node %s", node)
+			}
+			return nw.Dial("cpu2", node, rdma.DialOpts{})
+		},
+		AdminRegion:       1,
+		HeartbeatInterval: time.Millisecond,
+		ReadInterval:      time.Millisecond,
+		MissedBeats:       3,
+		Seed:              7,
+	})
+	defer e2.Close()
+	words2, _, err := e2.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	term2, outcome2, err := e2.Campaign(context.Background(), words2)
+	if err != nil || outcome2 != Won {
+		t.Fatalf("takeover campaign: outcome=%v err=%v", outcome2, err)
+	}
+	if term2 <= term {
+		t.Fatalf("takeover term %d not beyond %d", term2, term)
+	}
+
+	// Shrink back to 3 and check the quorum follows down.
+	e2.UpdateMembers(members[:3])
+	if got := e2.Majority(); got != 2 {
+		t.Fatalf("majority after shrink = %d, want 2", got)
 	}
 }

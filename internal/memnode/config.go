@@ -1,0 +1,133 @@
+package memnode
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// ConfigRecord is the configuration descriptor stored at AdminConfigOffset
+// on every memory node: the authoritative member list and erasure geometry
+// for one config epoch. The record is the discovery root of the
+// reconfiguration plane — a CPU node holding any single admin connection
+// can decode it, dial the named members, and from there find a fresher
+// record if one exists (records are written to both the outgoing and the
+// incoming member sets before an epoch is committed).
+type ConfigRecord struct {
+	// Epoch is the config epoch this member list belongs to. Epoch 0 is
+	// never valid; fresh clusters start at 1.
+	Epoch uint32
+	// Term is the coordinator term that installed the record (fencing tag:
+	// among records of equal epoch, higher term wins).
+	Term uint16
+	// ECData and ECParity are the erasure geometry (0/0 = full replication).
+	ECData, ECParity int
+	// ECBlockSize is the logical erasure block size (0 without EC).
+	ECBlockSize int
+	// Members is the ordered node-name list. Order is load-bearing: it fixes
+	// EC chunk indexes and membership-bitmap bit positions.
+	Members []string
+}
+
+// Newer reports whether r supersedes other, ordering by (Epoch, Term).
+func (r ConfigRecord) Newer(other ConfigRecord) bool {
+	if r.Epoch != other.Epoch {
+		return r.Epoch > other.Epoch
+	}
+	return r.Term > other.Term
+}
+
+// configMagic identifies an encoded ConfigRecord ("SCF1").
+const configMagic = 0x53434631
+
+var configCRCTable = crc32.MakeTable(crc32.Castagnoli)
+
+// EncodeConfig serializes a record:
+//
+//	magic(4) len(4) epoch(4) term(2) ecData(2) ecParity(2) ecBlock(4)
+//	n(2) { nameLen(2) name }* crc32c(4)
+//
+// len covers everything after the len field up to and including the CRC.
+func EncodeConfig(r ConfigRecord) ([]byte, error) {
+	if r.Epoch == 0 {
+		return nil, fmt.Errorf("memnode: config epoch 0 is reserved")
+	}
+	if len(r.Members) == 0 || len(r.Members) > 32 {
+		return nil, fmt.Errorf("memnode: config with %d members (want 1..32)", len(r.Members))
+	}
+	if r.ECData < 0 || r.ECParity < 0 || r.ECData > 0xffff || r.ECParity > 0xffff ||
+		r.ECBlockSize < 0 || r.ECBlockSize > 0x7fffffff {
+		return nil, fmt.Errorf("memnode: config EC geometry out of range")
+	}
+	buf := make([]byte, 0, 64+16*len(r.Members))
+	buf = binary.LittleEndian.AppendUint32(buf, configMagic)
+	buf = append(buf, 0, 0, 0, 0) // len placeholder
+	buf = binary.LittleEndian.AppendUint32(buf, r.Epoch)
+	buf = binary.LittleEndian.AppendUint16(buf, r.Term)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(r.ECData))
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(r.ECParity))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(r.ECBlockSize))
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(r.Members)))
+	for _, m := range r.Members {
+		if len(m) == 0 || len(m) > 255 {
+			return nil, fmt.Errorf("memnode: config member name %q out of range", m)
+		}
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(m)))
+		buf = append(buf, m...)
+	}
+	binary.LittleEndian.PutUint32(buf[4:], uint32(len(buf)-8+4))
+	sum := crc32.Checksum(buf[8:], configCRCTable)
+	buf = binary.LittleEndian.AppendUint32(buf, sum)
+	if len(buf) > MaxConfigSize {
+		return nil, fmt.Errorf("memnode: encoded config %dB exceeds %dB admin space", len(buf), MaxConfigSize)
+	}
+	return buf, nil
+}
+
+// DecodeConfig parses an encoded record from the start of buf (which may be
+// the whole admin tail). ok is false for empty, torn, or corrupt bytes —
+// never an error, since an unwritten descriptor area is a normal state.
+func DecodeConfig(buf []byte) (ConfigRecord, bool) {
+	var r ConfigRecord
+	if len(buf) < 12 || binary.LittleEndian.Uint32(buf) != configMagic {
+		return r, false
+	}
+	n := int(binary.LittleEndian.Uint32(buf[4:]))
+	if n < 4 || n > len(buf)-8 {
+		return r, false
+	}
+	body, sum := buf[8:8+n-4], binary.LittleEndian.Uint32(buf[8+n-4:8+n])
+	if crc32.Checksum(body, configCRCTable) != sum {
+		return r, false
+	}
+	if len(body) < 16 {
+		return r, false
+	}
+	r.Epoch = binary.LittleEndian.Uint32(body)
+	r.Term = binary.LittleEndian.Uint16(body[4:])
+	r.ECData = int(binary.LittleEndian.Uint16(body[6:]))
+	r.ECParity = int(binary.LittleEndian.Uint16(body[8:]))
+	r.ECBlockSize = int(binary.LittleEndian.Uint32(body[10:]))
+	count := int(binary.LittleEndian.Uint16(body[14:]))
+	if r.Epoch == 0 || count == 0 || count > 32 {
+		return ConfigRecord{}, false
+	}
+	pos := 16
+	r.Members = make([]string, 0, count)
+	for i := 0; i < count; i++ {
+		if pos+2 > len(body) {
+			return ConfigRecord{}, false
+		}
+		l := int(binary.LittleEndian.Uint16(body[pos:]))
+		pos += 2
+		if l == 0 || pos+l > len(body) {
+			return ConfigRecord{}, false
+		}
+		r.Members = append(r.Members, string(body[pos:pos+l]))
+		pos += l
+	}
+	if pos != len(body) {
+		return ConfigRecord{}, false
+	}
+	return r, true
+}

@@ -28,9 +28,10 @@ const (
 	ReplRegionID rdma.RegionID = 2
 )
 
-// AdminSize is the administrative region size. Only the first 8 bytes (the
-// packed heartbeat word) are currently used; the rest is reserved.
-const AdminSize = 64
+// AdminSize is the administrative region size: the fixed control words in
+// the first 64 bytes plus the variable-length configuration descriptor at
+// AdminConfigOffset.
+const AdminSize = 4096
 
 // AdminWordOffset is the offset of the packed heartbeat word.
 const AdminWordOffset = 0
@@ -49,33 +50,86 @@ const (
 	MarkerPopulated = 1
 )
 
-// AdminMembershipOffset is the offset of the membership word: the
-// coordinator of term T publishes term(16)|version(16)|liveBitmap(32) here
-// on every writable node whenever its view of the live memory nodes
-// changes. A successor reads the word from a majority, takes the highest
-// (term, version), and treats nodes absent from that bitmap as needing a
-// rebuild — so a node that silently missed updates (partitioned with its
-// DRAM intact) is never read after a coordinator failover. Stale
-// coordinators lose automatically: their term tags are smaller.
+// AdminMembershipOffset is the offset of the 16-byte membership record: the
+// coordinator publishes (configEpoch, term, version, liveBitmap) here on
+// every writable node whenever its view of the live memory nodes changes.
+// A successor reads the record from a majority, takes the highest
+// (epoch, term, version), and treats nodes absent from that bitmap as
+// needing a rebuild — so a node that silently missed updates (partitioned
+// with its DRAM intact) is never read after a coordinator failover. The
+// bitmap's bit positions are indexes into the member list of the named
+// config epoch, so records from any other epoch are meaningless and must be
+// ignored, not merely term-compared. Stale coordinators lose automatically:
+// their epoch/term tags are smaller.
 const AdminMembershipOffset = 16
 
-// AdminServingOffset is the offset of the serving word: the coordinator of
-// term T writes T here only once its takeover is complete — recovery and
-// log replay finished, table structures stable apart from live applies. A
-// backup CPU node serving lease-based reads requires its lease term to
-// equal this word: a lease anchored on term T's heartbeat words otherwise
-// says nothing about whether T's replay (which rewrites blocks through
-// older states) is still in flight. Monotonic; readers take the maximum.
-const AdminServingOffset = 24
+// AdminServingOffset is the offset of the serving word, packing
+// (configEpoch, term): the coordinator of term T at config epoch E writes
+// (E, T) here only once its takeover is complete — recovery and log replay
+// finished, table structures stable apart from live applies. A backup CPU
+// node serving lease-based reads requires its lease term AND its view's
+// config epoch to equal this word: a lease alone says nothing about whether
+// a replay (which rewrites blocks through older states) is still in flight,
+// and a reconfiguration clears/advances the epoch half so views built
+// against the outgoing node set refuse to serve until the new epoch's
+// coordinator has republished. Monotonic; readers take the maximum.
+const AdminServingOffset = 32
 
-// PackMembership builds a membership word.
-func PackMembership(term, version uint16, bitmap uint32) uint64 {
-	return uint64(term)<<48 | uint64(version)<<32 | uint64(bitmap)
+// AdminEpochOffset is the offset of the config-epoch word, packing
+// (configEpoch, term). It is advanced by CAS during a reconfiguration
+// cutover: the acting coordinator (fenced by its term) CASes
+// (E, T) → (E+1, T) on the new member set, making the epoch transition a
+// single atomic decision point per node. Readers (views, recovering nodes,
+// successors) compare it against the epoch their member list was built for
+// and re-discover the configuration descriptor on mismatch.
+const AdminEpochOffset = 40
+
+// AdminRetiredOffset is the retired tombstone: zero while the node is a
+// group member; the epoch at which it was removed otherwise. A removed node
+// keeps its DRAM intact, so without the tombstone a partitioned reader
+// could mistake its frozen state for current; readers skip any node whose
+// tombstone is set. Re-adding a retired machine clears the tombstone as
+// part of its (mandatory) rebuild.
+const AdminRetiredOffset = 48
+
+// AdminConfigOffset is the offset of the configuration descriptor: a
+// CRC-protected, epoch-tagged record of the full member list and erasure
+// geometry (see EncodeConfig). It is written to every node — including ones
+// being removed — BEFORE the epoch CAS, so a reader holding any node of any
+// recent configuration can chase its way to the authoritative member set.
+const AdminConfigOffset = 64
+
+// MaxConfigSize bounds the encoded configuration descriptor.
+const MaxConfigSize = AdminSize - AdminConfigOffset
+
+// PackMembership builds the two words of a membership record. The second
+// word carries the bitmap and its complement, so a torn or zeroed record is
+// self-evidently invalid.
+func PackMembership(epoch uint32, term, version uint16, bitmap uint32) (w0, w1 uint64) {
+	w0 = uint64(epoch)<<32 | uint64(term)<<16 | uint64(version)
+	w1 = uint64(bitmap)<<32 | uint64(^bitmap)
+	return w0, w1
 }
 
-// UnpackMembership splits a membership word.
-func UnpackMembership(w uint64) (term, version uint16, bitmap uint32) {
-	return uint16(w >> 48), uint16(w >> 32), uint32(w)
+// UnpackMembership splits a membership record. ok is false for a zero or
+// torn record.
+func UnpackMembership(w0, w1 uint64) (epoch uint32, term, version uint16, bitmap uint32, ok bool) {
+	if w0 == 0 || uint32(w1>>32) != ^uint32(w1) {
+		return 0, 0, 0, 0, false
+	}
+	return uint32(w0 >> 32), uint16(w0 >> 16), uint16(w0), uint32(w1 >> 32), true
+}
+
+// PackServing builds a serving word from (configEpoch, term); shared by the
+// epoch word at AdminEpochOffset, which uses the same packing. Numeric
+// order coincides with (epoch, term) order.
+func PackServing(epoch uint32, term uint16) uint64 {
+	return uint64(epoch)<<16 | uint64(term)
+}
+
+// UnpackServing splits a serving (or config-epoch) word.
+func UnpackServing(w uint64) (epoch uint32, term uint16) {
+	return uint32(w >> 16), uint16(w)
 }
 
 // Layout describes how a memory node's replicated region is carved up.
@@ -153,12 +207,27 @@ func (l Layout) ReplSize() int {
 // New constructs a memory node with the standard admin and replicated
 // regions for the given layout.
 func New(name string, l Layout) (*rdma.Node, error) {
+	return NewWithCapacity(name, l, 0)
+}
+
+// NewWithCapacity constructs a memory node whose replicated region is at
+// least capacityBytes, even if the given layout needs less. Reconfiguration
+// can change the per-node share (a shrink spreads the same logical memory
+// over fewer nodes; an EC→plain change makes each node hold the full copy),
+// so a cluster expecting to reconfigure allocates every node at the
+// worst-case share up front — DRAM is reserved at boot on real hardware
+// anyway, and the layout in use simply leaves the tail idle.
+func NewWithCapacity(name string, l Layout, capacityBytes int) (*rdma.Node, error) {
 	if err := l.Validate(); err != nil {
 		return nil, err
 	}
+	size := l.ReplSize()
+	if capacityBytes > size {
+		size = capacityBytes
+	}
 	n := rdma.NewNode(name)
 	n.Alloc(AdminRegionID, AdminSize, false)
-	n.Alloc(ReplRegionID, l.ReplSize(), true)
+	n.Alloc(ReplRegionID, size, true)
 	return n, nil
 }
 

@@ -9,13 +9,15 @@ import (
 )
 
 // Membership tracking: the coordinator publishes its view of the live
-// memory nodes as a term-tagged word on every writable node's admin region
-// (see memnode.AdminMembershipOffset). A successor coordinator consults the
-// highest-(term,version) word it can read and rebuilds any node absent from
-// that bitmap — closing the window where a node that silently missed
-// updates (partitioned with its DRAM intact) would otherwise be read as if
-// current. Stale coordinators can keep writing their old-term words without
-// harm: readers take the maximum.
+// memory nodes as an epoch+term-tagged record on every writable node's
+// admin region (see memnode.AdminMembershipOffset). A successor coordinator
+// consults the highest-(term,version) record of its own config epoch and
+// rebuilds any node absent from that bitmap — closing the window where a
+// node that silently missed updates (partitioned with its DRAM intact)
+// would otherwise be read as if current. Stale coordinators can keep
+// writing their old records without harm: readers take the maximum, and
+// records from other epochs describe a different member list entirely, so
+// they are ignored outright rather than merely term-compared.
 
 // membership is the publisher-side state.
 type membership struct {
@@ -24,9 +26,12 @@ type membership struct {
 }
 
 // publishMembership writes the current live-node bitmap, tagged with this
-// coordinator's term, to every writable node. Best effort: if the group has
-// lost its quorum the write set shrinks accordingly and progress stops
-// elsewhere anyway.
+// group's config epoch and this coordinator's term, to every writable node.
+// Best effort for progress — if the group has lost its quorum the write set
+// shrinks accordingly and progress stops elsewhere anyway — but failures
+// are counted and surfaced (Stats.MembershipPublishErrors, a
+// "membership.publish-error" event) so a wedged admin region is visible
+// before a failover trips over it.
 func (m *Memory) publishMembership() {
 	if m.closed.Load() || m.fenced.Load() {
 		return
@@ -40,11 +45,14 @@ func (m *Memory) publishMembership() {
 			bitmap |= 1 << uint(i)
 		}
 	}
-	word := memnode.PackMembership(m.cfg.Term, version, bitmap)
+	w0, w1 := memnode.PackMembership(m.epoch.Load(), m.cfg.Term, version, bitmap)
 	m.member.mu.Unlock()
 
-	var buf [8]byte
-	binary.LittleEndian.PutUint64(buf[:], word)
+	// One 16-byte write so the record can't tear across two operations
+	// (the complement check in UnpackMembership catches torn media too).
+	var buf [16]byte
+	binary.LittleEndian.PutUint64(buf[:8], w0)
+	binary.LittleEndian.PutUint64(buf[8:], w1)
 	for _, i := range m.writableNodes() {
 		c, err := m.conn(i)
 		if err == nil {
@@ -53,22 +61,26 @@ func (m *Memory) publishMembership() {
 		if err != nil {
 			// Do not recurse into nodeFailed (which would republish); the
 			// next operation against this node will detect the failure.
+			m.stats.membershipPublishErrors.Add(1)
+			m.emit("membership.publish-error", m.nodeName(i), err.Error())
 			continue
 		}
 	}
 }
 
-// PublishServing writes this coordinator's term to every writable node's
-// serving word (memnode.AdminServingOffset), marking its takeover complete:
-// recovery and replay are done and the table structures are stable apart
-// from live applies. Backup readers refuse to serve a lease whose term has
-// no matching serving word. Best effort, like publishMembership.
+// PublishServing writes this group's (configEpoch, term) to every writable
+// node's serving word (memnode.AdminServingOffset), marking the takeover
+// complete: recovery and replay are done and the table structures are
+// stable apart from live applies. Backup readers refuse to serve a lease
+// whose (epoch, term) has no matching serving word — the epoch half keeps
+// views built against an outgoing member set from serving after a
+// reconfiguration cutover. Best effort, like publishMembership.
 func (m *Memory) PublishServing() {
 	if m.closed.Load() || m.fenced.Load() {
 		return
 	}
 	var buf [8]byte
-	binary.LittleEndian.PutUint64(buf[:], uint64(m.cfg.Term))
+	binary.LittleEndian.PutUint64(buf[:], memnode.PackServing(m.epoch.Load(), m.cfg.Term))
 	for _, i := range m.writableNodes() {
 		c, err := m.conn(i)
 		if err == nil {
@@ -80,9 +92,9 @@ func (m *Memory) PublishServing() {
 	}
 }
 
-// readServing returns the highest serving term readable across the given
-// connections, or ok=false when none is set.
-func readServing(conns []rdma.Verbs) (term uint16, ok bool) {
+// readServing returns the highest (epoch, term) serving word readable
+// across the given connections, or ok=false when none is set.
+func readServing(conns []rdma.Verbs) (epoch uint32, term uint16, ok bool) {
 	var best uint64
 	for _, c := range conns {
 		if c == nil {
@@ -96,35 +108,33 @@ func readServing(conns []rdma.Verbs) (term uint16, ok bool) {
 			best = w
 		}
 	}
-	return uint16(best), best != 0
+	epoch, term = memnode.UnpackServing(best)
+	return epoch, term, best != 0
 }
 
-// readMembership returns the highest-(term,version) membership word
-// readable across the given connections, or ok=false when none is set.
-func readMembership(conns []rdma.Verbs) (term, version uint16, bitmap uint32, ok bool) {
-	var best uint64
+// readMembershipAt returns the highest-(term,version) membership record of
+// the given config epoch readable across the connections, or ok=false when
+// none is set. Records of any other epoch — older or newer — are skipped:
+// their bitmap's bit positions index a different member list. (A caller
+// that needs to detect a newer epoch reads the epoch word, not this.)
+func readMembershipAt(conns []rdma.Verbs, epoch uint32) (term, version uint16, bitmap uint32, ok bool) {
 	for _, c := range conns {
 		if c == nil {
 			continue
 		}
-		var buf [8]byte
+		var buf [16]byte
 		if err := c.Read(memnode.AdminRegionID, memnode.AdminMembershipOffset, buf[:]); err != nil {
 			continue
 		}
-		w := binary.LittleEndian.Uint64(buf[:])
-		if w == 0 {
+		w0 := binary.LittleEndian.Uint64(buf[:8])
+		w1 := binary.LittleEndian.Uint64(buf[8:])
+		e, t, v, b, valid := memnode.UnpackMembership(w0, w1)
+		if !valid || e != epoch {
 			continue
 		}
-		// (term, version) order coincides with numeric order of the packed
-		// word's top 32 bits; bitmap differences below that don't matter
-		// because equal (term,version) words are identical by construction.
-		if w > best {
-			best = w
+		if !ok || t > term || (t == term && v > version) {
+			term, version, bitmap, ok = t, v, b, true
 		}
 	}
-	if best == 0 {
-		return 0, 0, 0, false
-	}
-	t, v, b := memnode.UnpackMembership(best)
-	return t, v, b, true
+	return term, version, bitmap, ok
 }

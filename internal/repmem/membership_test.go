@@ -9,9 +9,9 @@ import (
 )
 
 func TestMembershipPackUnpack(t *testing.T) {
-	f := func(term, version uint16, bitmap uint32) bool {
-		tm, v, b := memnode.UnpackMembership(memnode.PackMembership(term, version, bitmap))
-		return tm == term && v == version && b == bitmap
+	f := func(epoch uint32, term, version uint16, bitmap uint32) bool {
+		e, tm, v, b, ok := memnode.UnpackMembership(memnode.PackMembership(epoch, term, version, bitmap))
+		return ok && e == epoch && tm == term && v == version && b == bitmap
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)

@@ -204,6 +204,9 @@ func (m *Memory) StartRecovery(interval time.Duration) (stop func()) {
 // with enough samples are judged.
 func (m *Memory) checkStragglers() {
 	const minSamples = 8
+	if m.transferring.Load() {
+		return // bulk state transfer in flight: EWMAs are not comparable
+	}
 	live := m.nodesInState(nodeLive)
 	if len(live) < 2 {
 		return
@@ -239,8 +242,8 @@ func (m *Memory) checkStragglers() {
 // avoid waiting for the background manager's poll tick. A suspect node is
 // demoted to dead first so it goes through the full rebuild.
 func (m *Memory) RecoverNodeNow(node string) error {
-	for i, n := range m.nodes {
-		if n == node {
+	for i := range m.nodes {
+		if m.nodeName(i) == node {
 			if m.state[i].Load() == nodeSuspect {
 				m.nodeFailed(i, errSuspectRepair)
 			}
@@ -280,8 +283,18 @@ func (m *Memory) RecoverNodeNow(node string) error {
 // under read locks — blocking conflicting updates but never blocking reads
 // (paper §3.4.2) — and finally mark it readable.
 func (m *Memory) recoverNode(i int) error {
+	// Serialize with structural reconfiguration: a replacement swapping this
+	// very slot's identity mid-copy would leave the copy writing to a
+	// connection that no longer belongs to the group.
+	m.reconfigMu.Lock()
+	defer m.reconfigMu.Unlock()
 	if err := m.checkOpen(); err != nil {
 		return err
+	}
+	if m.state[i].Load() != nodeDead {
+		// A reconfiguration that ran while we waited may have rebuilt (or
+		// replaced) the node already.
+		return nil
 	}
 	// Reconnect. The old connection (if any) was dropped on failure. A
 	// recovery attempt is deliberate, so it bypasses the redial circuit
@@ -298,6 +311,17 @@ func (m *Memory) recoverNode(i int) error {
 		return err
 	}
 
+	return m.rebuildSlot(i, c)
+}
+
+// rebuildSlot brings slot i — whose connection c points at a blank or stale
+// machine — from dead to live member: mark unpopulated, clear the WAL,
+// switch the slot to write-only (syncing) so it receives all new updates,
+// copy the direct zone and materialized memory under read locks, then mark
+// it populated and readable. Shared by ordinary dead-node recovery and by
+// node replacement, which swaps the slot's identity to a fresh machine
+// first and then rebuilds it through this same pipeline.
+func (m *Memory) rebuildSlot(i int, c rdma.Verbs) error {
 	// Mark the node unpopulated for the duration of the copy: if this
 	// coordinator dies mid-recovery, its successor must rebuild the node
 	// rather than read its half-copied memory.
@@ -307,17 +331,9 @@ func (m *Memory) recoverNode(i int) error {
 	}
 
 	// Clear the WAL area while the node is still excluded from appends.
-	zeros := make([]byte, recoveryBatch)
-	walBytes := uint64(m.layout.WALBytes())
-	for off := uint64(0); off < walBytes; off += uint64(len(zeros)) {
-		chunk := zeros
-		if rem := walBytes - off; rem < uint64(len(zeros)) {
-			chunk = zeros[:rem]
-		}
-		if err := c.Write(replRegion, off, chunk); err != nil {
-			m.nodeFailed(i, err)
-			return err
-		}
+	if err := m.zeroWAL(c); err != nil {
+		m.nodeFailed(i, err)
+		return err
 	}
 
 	// From here on the node receives every new append, apply, and direct
@@ -341,7 +357,7 @@ func (m *Memory) recoverNode(i int) error {
 	m.health[i].corruptBlocks.Store(0)
 	m.health[i].ewma.Reset()
 	m.state[i].Store(nodeLive)
-	m.emit("node.recovered", m.nodes[i], "")
+	m.emit("node.recovered", m.nodeName(i), "")
 	m.publishMembership()
 	return nil
 }
@@ -513,7 +529,7 @@ func (m *Memory) readMainFromLive(addr uint64, buf []byte) error {
 func (m *Memory) LiveMemoryNodes() []string {
 	var out []string
 	for _, i := range m.nodesInState(nodeLive) {
-		out = append(out, m.nodes[i])
+		out = append(out, m.nodeName(i))
 	}
 	return out
 }
@@ -522,7 +538,7 @@ func (m *Memory) LiveMemoryNodes() []string {
 func (m *Memory) DeadMemoryNodes() []string {
 	var out []string
 	for _, i := range m.nodesInState(nodeDead) {
-		out = append(out, m.nodes[i])
+		out = append(out, m.nodeName(i))
 	}
 	return out
 }
@@ -532,7 +548,7 @@ func (m *Memory) DeadMemoryNodes() []string {
 func (m *Memory) SuspectMemoryNodes() []string {
 	var out []string
 	for _, i := range m.nodesInState(nodeSuspect) {
-		out = append(out, m.nodes[i])
+		out = append(out, m.nodeName(i))
 	}
 	return out
 }

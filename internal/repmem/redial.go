@@ -94,6 +94,17 @@ func (r *redialer) reset() {
 	r.mu.Unlock()
 }
 
+// retarget points the redialer at a different node (node replacement swaps
+// a group slot's identity) and closes the circuit: the new node's health has
+// nothing to do with its predecessor's failure history.
+func (r *redialer) retarget(node string) {
+	r.mu.Lock()
+	r.node = node
+	r.failures = 0
+	r.nextTry = time.Time{}
+	r.mu.Unlock()
+}
+
 // snapshot reports the circuit state for health export.
 func (r *redialer) snapshot() (failures int, openFor time.Duration) {
 	r.mu.Lock()

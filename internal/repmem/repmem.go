@@ -63,6 +63,16 @@ var (
 	ErrClosed = errors.New("repmem: closed")
 	// ErrEntryTooLarge means a write batch does not fit in one WAL slot.
 	ErrEntryTooLarge = wal.ErrTooLarge
+	// ErrStaleConfig means the memory nodes belong to a newer config epoch
+	// than the caller's member list: a reconfiguration committed after this
+	// configuration was discovered. The caller must re-read the configuration
+	// descriptor (memnode.AdminConfigOffset) and rebuild against it.
+	ErrStaleConfig = errors.New("repmem: config epoch superseded")
+	// ErrReconfigured means the memory closed itself after committing a
+	// reconfiguration cutover: the member set this handle was built over is
+	// no longer the authoritative one. Callers rebuild against the new
+	// configuration; clients treat it like ErrClosed and retry.
+	ErrReconfigured = fmt.Errorf("%w: group reconfigured", ErrClosed)
 )
 
 // Node liveness states.
@@ -123,6 +133,13 @@ type Config struct {
 	// made this node coordinator. Zero is valid for direct library use —
 	// publications still order by version within the zero term.
 	Term uint16
+
+	// Epoch is the config epoch MemoryNodes belongs to (see
+	// internal/memnode.AdminEpochOffset): membership records from any other
+	// epoch are ignored, and New fails with ErrStaleConfig when the nodes
+	// have committed a newer epoch. Zero selects epoch 1, the epoch of every
+	// fresh deployment.
+	Epoch uint32
 
 	// OnFenced, if set, is called once when the layer discovers it has been
 	// fenced by a newer coordinator.
@@ -205,13 +222,35 @@ func (c *Config) withDefaults() Config {
 	if out.CorruptSuspectAfter == 0 {
 		out.CorruptSuspectAfter = 8
 	}
+	if out.Epoch == 0 {
+		out.Epoch = 1
+	}
 	return out
 }
 
 // Validate checks the configuration.
 func (c Config) Validate() error {
-	if len(c.MemoryNodes) == 0 || len(c.MemoryNodes)%2 == 0 {
-		return fmt.Errorf("repmem: need an odd number (2Fm+1) of memory nodes, have %d", len(c.MemoryNodes))
+	if len(c.MemoryNodes) == 0 {
+		return errors.New("repmem: need at least one memory node")
+	}
+	// The membership word packs the live-node set as a uint32 bitmap
+	// (memnode.AdminMembershipOffset), so the group is hard-capped at 32
+	// nodes; silently truncating bits would make the staleness protection
+	// lie. The canonical deployment is an odd 2Fm+1 group, but intermediate
+	// even sizes are legal (majority is still ⌊n/2⌋+1) so reconfiguration
+	// can move through them.
+	if len(c.MemoryNodes) > 32 {
+		return fmt.Errorf("repmem: %d memory nodes exceeds the 32-node membership-bitmap limit", len(c.MemoryNodes))
+	}
+	seen := make(map[string]struct{}, len(c.MemoryNodes))
+	for _, n := range c.MemoryNodes {
+		if n == "" {
+			return errors.New("repmem: empty memory node name")
+		}
+		if _, dup := seen[n]; dup {
+			return fmt.Errorf("repmem: duplicate memory node %q", n)
+		}
+		seen[n] = struct{}{}
 	}
 	if c.Dial == nil {
 		return errors.New("repmem: Dial is required")
@@ -283,6 +322,11 @@ type Stats struct {
 	Redials      uint64 // successful reconnections to failed nodes
 	RedialErrors uint64 // failed reconnection attempts (circuit-breaker refusals excluded)
 
+	// MembershipPublishErrors counts failed per-node membership-record
+	// writes: publishMembership is best-effort, so a wedged admin region
+	// would otherwise be invisible until a failover goes wrong.
+	MembershipPublishErrors uint64
+
 	// Integrity counters (checksummed main memory + scrubber).
 	CorruptionsDetected uint64 // replica blocks/chunks that failed their CRC or diverged
 	BlocksRepaired      uint64 // replica blocks/chunks rewritten from a verified copy
@@ -309,12 +353,50 @@ type Memory struct {
 	code   *erasure.Code // nil when EC disabled
 	chunk  int           // EC chunk size C; 0 when disabled
 
+	// nodes holds the member names by group index. The slice header and
+	// length are immutable; ReplaceNode rewrites single elements under
+	// nameMu, so element reads go through nodeName. Index-only uses
+	// (len, range-over-index) need no lock.
 	nodes     []string
+	nameMu    sync.RWMutex
 	conns     []atomic.Pointer[connBox]
 	dialMu    []sync.Mutex // per-node: serializes dial-and-store in conn
 	state     []atomic.Int32
 	health    []nodeHealth
 	redialers []*redialer
+
+	// epoch is the config epoch this member list is authoritative for; it
+	// starts at cfg.Epoch and is bumped by in-place replacement cutovers.
+	epoch atomic.Uint32
+
+	// shadows holds the per-index mirror targets during an in-place node
+	// replacement: while shadows[i] is set, every write enqueued for node i
+	// is duplicated to the shadow, and completions wait for both.
+	shadows []atomic.Pointer[shadowNode]
+
+	// reconfigMu serializes structural node-set changes (ReplaceNode,
+	// Restripe cutover) with background node recovery, which copies state
+	// into the same indexes.
+	reconfigMu sync.Mutex
+
+	// transferring is set while a reconfiguration bulk state transfer is
+	// running. The relative straggler check is suspended for its duration:
+	// a sweep saturating the fabric skews every node's latency EWMA, and a
+	// spurious suspicion can cost the read path its EC quorum mid-transfer.
+	// Timeout-based failure detection stays active throughout.
+	transferring atomic.Bool
+
+	// gate is the reconfiguration write gate: every mutating client path
+	// holds the read side for its duration; a restripe cutover takes the
+	// write side (plus an apply drain) to get a moment with no write in
+	// flight anywhere.
+	gate sync.RWMutex
+
+	// dirtyMain and dirtyDirect, when non-nil, collect the ranges mutated by
+	// the write paths so a restripe state transfer can re-copy what changed
+	// under it (see dirtyTracker).
+	dirtyMain   atomic.Pointer[dirtyTracker]
+	dirtyDirect atomic.Pointer[dirtyTracker]
 
 	locks       *lockTable // main space
 	directLocks *lockTable // direct space
@@ -350,6 +432,10 @@ type Memory struct {
 
 	closed atomic.Bool
 	fenced atomic.Bool
+	// reconfigured marks a close caused by a committed reconfiguration
+	// cutover (checkOpen then reports ErrReconfigured, telling the owner to
+	// rebuild against the new configuration rather than stand down).
+	reconfigured atomic.Bool
 
 	recoveredOnce atomic.Bool
 
@@ -363,6 +449,7 @@ type Memory struct {
 		enqueued, queueWaitUs            atomic.Uint64
 		corruptions, repairs             atomic.Uint64
 		scrubbed, scrubPasses            atomic.Uint64
+		membershipPublishErrors          atomic.Uint64
 	}
 	scrubPassTime metrics.EWMA // full-sweep duration, µs
 }
@@ -389,7 +476,7 @@ func New(cfg Config) (*Memory, error) {
 	m := &Memory{
 		cfg:         c,
 		layout:      c.Layout(),
-		nodes:       c.MemoryNodes,
+		nodes:       append([]string(nil), c.MemoryNodes...),
 		conns:       make([]atomic.Pointer[connBox], len(c.MemoryNodes)),
 		dialMu:      make([]sync.Mutex, len(c.MemoryNodes)),
 		state:       make([]atomic.Int32, len(c.MemoryNodes)),
@@ -400,6 +487,8 @@ func New(cfg Config) (*Memory, error) {
 		nextIndex:   1,
 	}
 	m.seqCond = sync.NewCond(&m.seqMu)
+	m.epoch.Store(c.Epoch)
+	m.shadows = make([]atomic.Pointer[shadowNode], len(c.MemoryNodes))
 	m.health = make([]nodeHealth, len(c.MemoryNodes))
 	m.redialers = make([]*redialer, len(c.MemoryNodes))
 	for i, node := range c.MemoryNodes {
@@ -436,22 +525,60 @@ func New(cfg Config) (*Memory, error) {
 		m.conns[i].Store(&connBox{v: conn})
 	}
 
-	// Takeover hygiene, part 1: consult the previous coordinator's
-	// membership word. A node absent from the most recent published bitmap
-	// missed updates while it was down — even if its memory is intact, it
-	// must be rebuilt, not read.
 	conns := make([]rdma.Verbs, len(m.nodes))
 	for i := range m.nodes {
 		if b := m.conns[i].Load(); b != nil {
 			conns[i] = b.v
 		}
 	}
-	if _, _, bitmap, ok := readMembership(conns); ok {
+
+	// Takeover hygiene, part 0: the configuration plane. A node carrying a
+	// committed config epoch newer than ours means our member list is
+	// obsolete — refuse to serve from it (the caller re-discovers the
+	// descriptor). A node carrying a retired tombstone was removed from the
+	// group in some epoch; a current config never lists one, so seeing it
+	// also means we are stale.
+	for i, cc := range conns {
+		if cc == nil {
+			continue
+		}
+		e, _, err := readEpochWord(cc)
+		if err != nil {
+			m.nodeFailed(i, err)
+			conns[i] = nil
+			continue
+		}
+		if e > c.Epoch {
+			m.Close()
+			return nil, fmt.Errorf("%w: node %s at epoch %d, config built for %d",
+				ErrStaleConfig, m.nodes[i], e, c.Epoch)
+		}
+		if re, err := readRetired(cc); err == nil && re != 0 {
+			m.Close()
+			return nil, fmt.Errorf("%w: node %s retired at epoch %d",
+				ErrStaleConfig, m.nodes[i], re)
+		}
+	}
+
+	// Takeover hygiene, part 1: consult the previous coordinator's
+	// membership record. A node absent from the most recent published bitmap
+	// missed updates while it was down — even if its memory is intact, it
+	// must be rebuilt, not read. Records are only meaningful for our own
+	// epoch: bit positions index a member list, and ours only describes
+	// epoch cfg.Epoch (readMembershipAt ignores older-epoch words; newer
+	// ones were caught above).
+	if t, version, bitmap, ok := readMembershipAt(conns, c.Epoch); ok {
 		for i := range m.nodes {
 			if m.state[i].Load() == nodeLive && bitmap&(1<<uint(i)) == 0 {
 				m.state[i].Store(nodeDead)
 				m.stats.nodeFailures.Add(1)
 			}
+		}
+		// A rebuilt Memory of the same term (reconfiguration, not election)
+		// must continue the record's version sequence — restarting at 1
+		// would publish records that readers order below the existing one.
+		if t == c.Term {
+			m.member.version = version
 		}
 	}
 
@@ -507,9 +634,81 @@ func New(cfg Config) (*Memory, error) {
 	if m.integ != nil && !anyPopulated {
 		m.integ.bootstrapFresh()
 	}
-	// Publish this coordinator's initial view under its own term.
+	// Anchor the configuration plane: make sure every reachable node carries
+	// our epoch's descriptor and epoch word (repairing nodes that missed a
+	// cutover or were freshly bootstrapped), then publish this coordinator's
+	// initial membership view under its own term.
+	m.publishConfigPlane()
 	m.publishMembership()
 	return m, nil
+}
+
+// readEpochWord reads a node's config-epoch word.
+func readEpochWord(c rdma.Verbs) (epoch uint32, term uint16, err error) {
+	var buf [8]byte
+	if err := c.Read(memnode.AdminRegionID, memnode.AdminEpochOffset, buf[:]); err != nil {
+		return 0, 0, err
+	}
+	e, t := memnode.UnpackServing(binary.LittleEndian.Uint64(buf[:]))
+	return e, t, nil
+}
+
+// readRetired reads a node's retired tombstone (0 = active member).
+func readRetired(c rdma.Verbs) (uint32, error) {
+	var buf [8]byte
+	if err := c.Read(memnode.AdminRegionID, memnode.AdminRetiredOffset, buf[:]); err != nil {
+		return 0, err
+	}
+	return uint32(binary.LittleEndian.Uint64(buf[:])), nil
+}
+
+// ConfigRecord renders this memory's current configuration as a descriptor
+// record (member list in group-index order, EC geometry, epoch, term).
+func (m *Memory) ConfigRecord() memnode.ConfigRecord {
+	m.nameMu.RLock()
+	members := append([]string(nil), m.nodes...)
+	m.nameMu.RUnlock()
+	return memnode.ConfigRecord{
+		Epoch:       m.epoch.Load(),
+		Term:        m.cfg.Term,
+		ECData:      m.cfg.ECData,
+		ECParity:    m.cfg.ECParity,
+		ECBlockSize: m.cfg.ECBlockSize,
+		Members:     members,
+	}
+}
+
+// publishConfigPlane writes this configuration's descriptor and advances the
+// epoch word on every writable node that is behind. CAS (expect = observed)
+// guards the epoch word so a stale coordinator racing a newer one cannot
+// regress it; the descriptor write is guarded by the epoch-word read (a
+// node at a newer epoch is never touched — New refuses such configs before
+// serving anyway).
+func (m *Memory) publishConfigPlane() {
+	rec := m.ConfigRecord()
+	image, err := memnode.EncodeConfig(rec)
+	if err != nil {
+		return
+	}
+	want := memnode.PackServing(rec.Epoch, rec.Term)
+	for _, i := range m.writableNodes() {
+		c, err := m.conn(i)
+		if err != nil {
+			continue
+		}
+		e, t, err := readEpochWord(c)
+		if err != nil || e > rec.Epoch || (e == rec.Epoch && t > rec.Term) {
+			continue
+		}
+		if err := c.Write(memnode.AdminRegionID, memnode.AdminConfigOffset, image); err != nil {
+			continue
+		}
+		old := memnode.PackServing(e, t)
+		if old != want {
+			// Best effort; a lost race means a newer epoch or term won.
+			_, _ = c.CompareAndSwap(memnode.AdminRegionID, memnode.AdminEpochOffset, old, want)
+		}
+	}
 }
 
 // readPopulated reads a node's populated marker from its admin region.
@@ -540,6 +739,39 @@ func (m *Memory) SinceExclusion() time.Duration {
 
 // Majority returns the commit quorum size (⌊n/2⌋+1 over full membership).
 func (m *Memory) Majority() int { return len(m.nodes)/2 + 1 }
+
+// Epoch returns the config epoch this memory currently serves.
+func (m *Memory) Epoch() uint32 { return m.epoch.Load() }
+
+// MemberNames returns the current member list in group-index order.
+func (m *Memory) MemberNames() []string {
+	m.nameMu.RLock()
+	defer m.nameMu.RUnlock()
+	return append([]string(nil), m.nodes...)
+}
+
+// nodeName returns member i's name (safe against concurrent replacement).
+func (m *Memory) nodeName(i int) string {
+	m.nameMu.RLock()
+	defer m.nameMu.RUnlock()
+	return m.nodes[i]
+}
+
+// setNodeName installs a new name for group index i (node replacement).
+func (m *Memory) setNodeName(i int, name string) {
+	m.nameMu.Lock()
+	m.nodes[i] = name
+	m.nameMu.Unlock()
+}
+
+// MarkExclusion stamps the exclusion clock (see lastExclusion) at the given
+// time. Reconfiguration cutovers call it — on the outgoing memory when the
+// cutover commits and on the incoming one at construction — so lease-based
+// acknowledgement holds (kv.Config.AckHold) keep covering backup readers
+// whose ≤W-stale masks still name the outgoing member set.
+func (m *Memory) MarkExclusion(t time.Time) {
+	m.lastExclusion.Store(t.UnixNano())
+}
 
 // MemSize returns the logical main memory size.
 func (m *Memory) MemSize() int { return m.cfg.MemSize }
@@ -579,6 +811,7 @@ func (m *Memory) Stats() Stats {
 
 		Redials:       m.stats.redials.Load(),
 		RedialErrors:  m.stats.redialErrors.Load(),
+		MembershipPublishErrors: m.stats.membershipPublishErrors.Load(),
 		Enqueued:      m.stats.enqueued.Load(),
 		QueueWaitUs:   m.stats.queueWaitUs.Load(),
 		MaxQueueDepth: uint64(m.queueDepth.Max()),
@@ -670,7 +903,7 @@ func (m *Memory) markNodeDead(i int) {
 		m.state[i].Store(nodeDead)
 		m.lastExclusion.Store(time.Now().UnixNano())
 		m.stats.nodeFailures.Add(1)
-		m.emit("node.dead", m.nodes[i], "")
+		m.emit("node.dead", m.nodeName(i), "")
 		// Record the shrunken view for any successor coordinator, off the
 		// caller's hot path.
 		go m.publishMembership()
@@ -690,7 +923,7 @@ func (m *Memory) suspectNode(i int, reason string) bool {
 	if m.state[i].CompareAndSwap(nodeLive, nodeSuspect) {
 		m.lastExclusion.Store(time.Now().UnixNano())
 		m.stats.nodeSuspected.Add(1)
-		m.emit("node.suspect", m.nodes[i], reason)
+		m.emit("node.suspect", m.nodeName(i), reason)
 		// The node may miss best-effort writes from here on; record its
 		// absence for any successor coordinator, off the caller's hot path.
 		go m.publishMembership()
@@ -814,6 +1047,9 @@ func (m *Memory) checkOpen() error {
 	if m.fenced.Load() {
 		return ErrFenced
 	}
+	if m.reconfigured.Load() {
+		return ErrReconfigured
+	}
 	if m.closed.Load() {
 		return ErrClosed
 	}
@@ -888,10 +1124,10 @@ type NodeHealth struct {
 // streak, and redial circuit-breaker state.
 func (m *Memory) Health() []NodeHealth {
 	out := make([]NodeHealth, len(m.nodes))
-	for i, node := range m.nodes {
+	for i := range m.nodes {
 		failures, openFor := m.redialers[i].snapshot()
 		out[i] = NodeHealth{
-			Node:           node,
+			Node:           m.nodeName(i),
 			State:          stateName(m.state[i].Load()),
 			EWMALatencyUs:  m.health[i].ewma.Value(),
 			ConsecTimeouts: int(m.health[i].consecTimeouts.Load()),

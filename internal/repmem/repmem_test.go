@@ -72,7 +72,12 @@ func TestConfigValidate(t *testing.T) {
 		t.Fatal(err)
 	}
 	cases := []func(*Config){
-		func(c *Config) { c.MemoryNodes = c.MemoryNodes[:2] }, // even count
+		func(c *Config) { // 33 nodes: exceeds the uint32 membership bitmap
+			c.MemoryNodes = nil
+			for i := 0; i < 33; i++ {
+				c.MemoryNodes = append(c.MemoryNodes, fmt.Sprintf("n%d", i))
+			}
+		},
 		func(c *Config) { c.MemoryNodes = nil },
 		func(c *Config) { c.Dial = nil },
 		func(c *Config) { c.MemSize = 0 },

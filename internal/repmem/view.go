@@ -29,9 +29,10 @@ type View struct {
 	code   *erasure.Code
 	chunk  int
 
-	dial  Dialer
-	mu    sync.Mutex
-	conns []rdma.Verbs
+	dial   Dialer
+	mu     sync.Mutex
+	conns  []rdma.Verbs
+	closed bool
 
 	// mask is the allowed-node bitmap (bit i = node i readable), published
 	// by the coordinator at memnode.AdminMembershipOffset.
@@ -70,18 +71,76 @@ func NewView(cfg Config) (*View, error) {
 // published membership word).
 func (v *View) SetMask(bitmap uint32) { v.mask.Store(bitmap) }
 
-// ReadMembership reads the freshest membership word visible across the
-// view's connections (dialing as needed). ok is false when no node has a
-// published word.
+// ReadMembership reads the freshest membership record of this view's own
+// config epoch visible across the view's connections (dialing as needed).
+// Records of other epochs are ignored — their bitmaps index a different
+// member list than the one this view was built over. ok is false when no
+// node has a record for this epoch.
 func (v *View) ReadMembership() (term, version uint16, bitmap uint32, ok bool) {
-	return readMembership(v.allConns())
+	return readMembershipAt(v.allConns(), v.cfg.Epoch)
 }
 
-// ReadServing reads the highest published serving term — the latest term
-// whose coordinator has completed recovery and replay. ok is false when no
-// node has one.
-func (v *View) ReadServing() (term uint16, ok bool) {
+// ReadServing reads the highest published (config epoch, serving term) —
+// the latest epoch and term whose coordinator has completed recovery and
+// replay. ok is false when no node has one.
+func (v *View) ReadServing() (epoch uint32, term uint16, ok bool) {
 	return readServing(v.allConns())
+}
+
+// ReadEpoch reads the highest committed config-epoch word visible across
+// the view's connections. A value above the view's own config epoch means
+// the member set this view reads from is obsolete: the caller must stop
+// serving from it and rebuild against the new configuration descriptor.
+func (v *View) ReadEpoch() (epoch uint32, term uint16, ok bool) {
+	var bestE uint32
+	var bestT uint16
+	for _, c := range v.allConns() {
+		e, t, err := readEpochWord(c)
+		if err != nil {
+			continue
+		}
+		ok = true
+		if e > bestE || (e == bestE && t > bestT) {
+			bestE, bestT = e, t
+		}
+	}
+	return bestE, bestT, ok
+}
+
+// Epoch returns the config epoch this view was built for.
+func (v *View) Epoch() uint32 { return v.cfg.Epoch }
+
+// ReadConfig reads the authoritative configuration descriptor visible
+// across the view's connections: the highest-(epoch, term) valid descriptor
+// whose epoch does not exceed the highest committed epoch word (a
+// descriptor above every epoch word describes an uncommitted
+// reconfiguration and must not be adopted). ok is false when no valid
+// descriptor is visible.
+func (v *View) ReadConfig() (memnode.ConfigRecord, bool) {
+	conns := v.allConns()
+	var maxEpoch uint32
+	for _, c := range conns {
+		if e, _, err := readEpochWord(c); err == nil && e > maxEpoch {
+			maxEpoch = e
+		}
+	}
+	var best memnode.ConfigRecord
+	ok := false
+	buf := make([]byte, memnode.MaxConfigSize)
+	for _, c := range conns {
+		if err := c.Read(memnode.AdminRegionID, memnode.AdminConfigOffset, buf); err != nil {
+			continue
+		}
+		rec, valid := memnode.DecodeConfig(buf)
+		if !valid || rec.Epoch > maxEpoch {
+			continue
+		}
+		if !ok || rec.Newer(best) {
+			best = rec
+			ok = true
+		}
+	}
+	return best, ok
 }
 
 func (v *View) allConns() []rdma.Verbs {
@@ -94,9 +153,15 @@ func (v *View) allConns() []rdma.Verbs {
 	return conns
 }
 
-// conn returns (dialing lazily) the connection to node i.
+// conn returns (dialing lazily) the connection to node i. A closed view
+// never re-dials: its member list may have been superseded by a newer
+// configuration, and resurrecting a connection could read a retired node.
 func (v *View) conn(i int) (rdma.Verbs, error) {
 	v.mu.Lock()
+	if v.closed {
+		v.mu.Unlock()
+		return nil, fmt.Errorf("%w: view closed", ErrClosed)
+	}
 	c := v.conns[i]
 	v.mu.Unlock()
 	if c != nil {
@@ -107,6 +172,11 @@ func (v *View) conn(i int) (rdma.Verbs, error) {
 		return nil, err
 	}
 	v.mu.Lock()
+	if v.closed {
+		v.mu.Unlock()
+		c.Close()
+		return nil, fmt.Errorf("%w: view closed", ErrClosed)
+	}
 	if existing := v.conns[i]; existing != nil {
 		v.mu.Unlock()
 		c.Close()
@@ -130,10 +200,13 @@ func (v *View) dropConn(i int) {
 // allowed reports whether node i is in the current mask.
 func (v *View) allowed(i int) bool { return v.mask.Load()&(1<<uint(i)) != 0 }
 
-// Close releases the view's connections.
+// Close releases the view's connections and marks the view dead; any
+// in-flight or later read fails with ErrClosed (the backup reader's signal
+// to retry at the coordinator).
 func (v *View) Close() {
 	v.mu.Lock()
 	defer v.mu.Unlock()
+	v.closed = true
 	for i, c := range v.conns {
 		if c != nil {
 			c.Close()

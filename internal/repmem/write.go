@@ -25,6 +25,12 @@ func (m *Memory) Write(addr uint64, data []byte) error {
 // conflicting writes (paper §3.3.2). The whole batch must fit in one WAL
 // slot.
 func (m *Memory) WriteBatch(writes []wal.Write) error {
+	// The reconfiguration gate: held shared by every write-path entry point,
+	// exclusively by a cutover. A writer that blocks here across a cutover
+	// wakes to find the memory closed (ErrReconfigured) and retries against
+	// the rebuilt group.
+	m.gate.RLock()
+	defer m.gate.RUnlock()
 	if err := m.checkOpen(); err != nil {
 		return err
 	}
@@ -207,6 +213,7 @@ func (m *Memory) fanOutWait(region rdma.RegionID, offset uint64, data []byte, ta
 // (reading back the partial edge blocks — the caller's expanded write lock
 // covers them) so the data and its refreshed strip entries land together.
 func (m *Memory) applyPlain(addr uint64, data []byte) {
+	m.noteDirtyMain(addr, len(data))
 	wait, bestEffort := m.writeTargets(0)
 	if m.integ == nil {
 		offset := m.physMain(addr)
@@ -310,6 +317,7 @@ func (m *Memory) putECScratch(sc *ecScratch) { m.ecPool.Put(sc) }
 // the full block, so the RMW is race-free. All buffers come from the
 // pooled scratch — a steady-state whole-block apply allocates nothing.
 func (m *Memory) applyEC(addr uint64, data []byte) {
+	m.noteDirtyMain(addr, len(data))
 	sc := m.getECScratch()
 	defer m.putECScratch(sc)
 	B := uint64(m.cfg.ECBlockSize)
@@ -398,6 +406,8 @@ func (m *Memory) DirectWriteOwned(addr uint64, data []byte, release func()) erro
 }
 
 func (m *Memory) directWrite(addr uint64, data []byte, release func()) error {
+	m.gate.RLock()
+	defer m.gate.RUnlock()
 	if err := m.checkOpen(); err != nil {
 		if release != nil {
 			release()
@@ -420,6 +430,7 @@ func (m *Memory) directWrite(addr uint64, data []byte, release func()) error {
 		start = time.Now()
 	}
 	unlock := m.directLocks.lockRange(addr, len(data))
+	m.noteDirtyDirect(addr, len(data))
 	wait, bestEffort := m.writeTargets(m.Majority())
 	g := newQuorumGroup(len(wait), m.Majority(), func() {
 		unlock()
@@ -457,6 +468,8 @@ func (m *Memory) directWrite(addr uint64, data []byte, release func()) error {
 // this path); a torn update after a coordinator failure is repaired by the
 // application replaying its own log.
 func (m *Memory) UnloggedWrite(addr uint64, data []byte) error {
+	m.gate.RLock()
+	defer m.gate.RUnlock()
 	if err := m.checkOpen(); err != nil {
 		return err
 	}

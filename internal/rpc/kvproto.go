@@ -13,6 +13,10 @@ const (
 	MethodPut    uint8 = 2
 	MethodDelete uint8 = 3
 	MethodStatus uint8 = 4 // liveness/role probe
+	// MethodAdmin carries a space-separated reconfiguration verb, served
+	// only by the coordinator: "epoch", "replace <old> <new>",
+	// "add <node>", "remove <node>", "restripe <m1,m2,...> [k m]".
+	MethodAdmin uint8 = 5
 )
 
 // ErrDecode indicates a malformed KV payload.

@@ -95,6 +95,8 @@ func (cl *Cluster) initObs() {
 		mem(func(s repmem.Stats) uint64 { return s.ScrubPasses }))
 	reg.CounterFunc("sift_scrub_blocks_total", "Blocks and ranges examined by the scrubber.",
 		mem(func(s repmem.Stats) uint64 { return s.ScrubbedBlocks }))
+	reg.CounterFunc("sift_membership_publish_errors_total", "Failed per-node membership-record publications.",
+		mem(func(s repmem.Stats) uint64 { return s.MembershipPublishErrors }))
 
 	for _, op := range []struct {
 		name string
@@ -144,6 +146,10 @@ func (cl *Cluster) initObs() {
 		})
 	reg.GaugeFunc("sift_coordinator_id", "Serving coordinator's CPU node id (0 when none).",
 		func() float64 { return float64(cl.Coordinator()) })
+	reg.GaugeFunc("sift_config_epoch", "Committed config epoch the coordinator serves at (0 when none).",
+		func() float64 { return float64(cl.ConfigEpoch()) })
+	reg.CounterFunc("sift_reconfig_rebuilds_total", "In-term serving-layer rebuilds after committed reconfigurations.",
+		cpu(func(n *core.CPUNode) uint64 { return n.Reconfigs() }))
 	reg.GaugeFunc("sift_pipeline_queue_depth", "Current depth of the per-node write worker queues.",
 		func() float64 {
 			if st := cl.coordinatorStore(); st != nil {
@@ -154,19 +160,33 @@ func (cl *Cluster) initObs() {
 		})
 
 	// Per-node liveness, from the coordinator's gray-failure view.
+	cl.nodeGauges = make(map[string]bool)
 	for _, name := range cl.memNames {
-		node := name
-		reg.GaugeFunc(fmt.Sprintf("sift_node_up{node=%q}", node),
-			"1 when the coordinator sees the memory node live, 0 otherwise.",
-			func() float64 {
-				for _, h := range cl.Health() {
-					if h.Node == node && h.State == "live" {
-						return 1
-					}
-				}
-				return 0
-			})
+		cl.registerNodeGauge(name)
 	}
+}
+
+// registerNodeGauge adds the per-node liveness gauge for a memory node.
+// Reconfiguration calls it for nodes joining after startup; re-registering
+// a name is a no-op.
+func (cl *Cluster) registerNodeGauge(name string) {
+	cl.gaugeMu.Lock()
+	defer cl.gaugeMu.Unlock()
+	if cl.nodeGauges == nil || cl.nodeGauges[name] {
+		return
+	}
+	cl.nodeGauges[name] = true
+	node := name
+	cl.reg.GaugeFunc(fmt.Sprintf("sift_node_up{node=%q}", node),
+		"1 when the coordinator sees the memory node live, 0 otherwise.",
+		func() float64 {
+			for _, h := range cl.Health() {
+				if h.Node == node && h.State == "live" {
+					return 1
+				}
+			}
+			return 0
+		})
 }
 
 // Metrics returns the cluster's metrics registry.
@@ -188,8 +208,8 @@ func (cl *Cluster) Healthz() error {
 			live++
 		}
 	}
-	if need := len(cl.memNames)/2 + 1; live < need {
-		return fmt.Errorf("sift: only %d of %d memory nodes live (need %d)", live, len(cl.memNames), need)
+	if total := len(cl.MemoryNodes()); live < total/2+1 {
+		return fmt.Errorf("sift: only %d of %d memory nodes live (need %d)", live, total, total/2+1)
 	}
 	return nil
 }
@@ -199,7 +219,8 @@ func (cl *Cluster) Healthz() error {
 func (cl *Cluster) Statusz() any {
 	doc := map[string]any{
 		"time":         time.Now().UTC().Format(time.RFC3339Nano),
-		"memory_nodes": cl.memNames,
+		"memory_nodes": cl.MemoryNodes(),
+		"config_epoch": cl.ConfigEpoch(),
 		"events_seen":  cl.events.Seq(),
 	}
 	cl.mu.Lock()
