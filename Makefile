@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 race chaos linearize reconfig fuzz-short bench-pipeline bench-ec bench-json obs-smoke staticcheck
+.PHONY: tier1 race chaos linearize reconfig shard fuzz-short bench-pipeline bench-ec bench-json obs-smoke staticcheck
 
 # Tier-1 verification: everything vets, builds, and every test passes.
 tier1:
@@ -32,6 +32,15 @@ reconfig:
 	$(GO) test -race -run 'TestUpdateMembers' ./internal/election/
 	$(GO) test -race -timeout 10m -run 'TestReconfig|TestBackupReadStraddles' .
 
+# Horizontal sharding suite: the rendezvous shard-map unit tests, the
+# kv idempotent-batch regression tests, and the cluster-level router /
+# fan-out / shared-budget / backup-pool / sharded-chaos scenarios, under
+# the race detector.
+shard:
+	$(GO) test -race -timeout 5m ./internal/shard/ ./internal/backuppool/
+	$(GO) test -race -timeout 5m -run 'TestPutBatchIdem' ./internal/kv/
+	$(GO) test -race -timeout 10m -run 'TestShard|TestChaosLinearizeSharded' .
+
 # Short fuzz passes: the WAL entry decoder (parses whatever bytes a crashed
 # or corrupt memory node holds during recovery) and the word-parallel
 # GF(256) kernels (differential against the scalar gfMul reference).
@@ -52,10 +61,11 @@ bench-ec:
 	$(GO) test $(BENCHFLAGS) -run '^$$' -bench 'BenchmarkECApply|BenchmarkECRead' -benchtime $(BENCHTIME) ./internal/repmem/
 
 # Benchmark trajectory: runs the EC and cluster benchmarks and emits
-# BENCH_7.json with encode/reconstruct MB/s, put throughput, read
-# latency percentiles, and put throughput under rolling node replacement.
+# BENCH_8.json with encode/reconstruct MB/s, put throughput, read
+# latency percentiles, put throughput under rolling node replacement,
+# and aggregate put throughput behind the shard router at 1/2/4 groups.
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_7.json
+	$(GO) run ./cmd/benchjson -out BENCH_8.json
 
 # Observability smoke: both daemons build, the obs package tests pass, and
 # the in-process cluster serves /metrics, /healthz, /statusz, and /events

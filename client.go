@@ -1,8 +1,10 @@
 package sift
 
 import (
+	"encoding/binary"
 	"errors"
 	"math/rand"
+	"sync/atomic"
 	"time"
 
 	"github.com/repro/sift/internal/kv"
@@ -67,12 +69,23 @@ func jitteredBackoff(b, remaining time.Duration, rng *rand.Rand) time.Duration {
 	return d
 }
 
-// do runs op against the current coordinator, retrying across failovers
-// with jittered exponential backoff. When the budget expires it returns
-// ErrAmbiguous if at least one attempt reached a coordinator (the op may
-// have committed) and plain ErrNoCoordinator if none did.
+// do runs op against the current coordinator with a fresh budget's worth of
+// wall clock.
 func (c *Client) do(op func(*kv.Store) error) error {
-	deadline := time.Now().Add(c.budget())
+	return c.doUntil(time.Now().Add(c.budget()), op)
+}
+
+// doUntil runs op against the current coordinator, retrying across
+// failovers with jittered exponential backoff until the absolute deadline.
+// When the deadline expires it returns ErrAmbiguous if at least one attempt
+// reached a coordinator (the op may have committed) and plain
+// ErrNoCoordinator if none did.
+//
+// Taking an absolute deadline rather than a budget is what lets fan-out
+// callers (ShardClient) share one wall-clock budget across every per-group
+// sub-operation: each sub-op clamps to the remaining total instead of
+// multiplying the budget by the number of groups.
+func (c *Client) doUntil(deadline time.Time, op func(*kv.Store) error) error {
 	backoff := time.Millisecond
 	sent := false
 	cm := c.cluster.cm
@@ -209,10 +222,27 @@ func (c *Client) PutBatch(pairs []Pair) error {
 		}
 	}
 	start := time.Now()
-	err := c.do(func(st *kv.Store) error { return st.PutBatch(pairs) })
+	// One token spans every retry of this batch: a retry whose predecessor
+	// was durable but unacked (ambiguous failure, possibly across a
+	// coordinator failover) dedups server-side instead of applying twice.
+	tok := newBatchToken()
+	err := c.do(func(st *kv.Store) error { return st.PutBatchIdem(tok, pairs) })
 	c.cluster.cm.batchLat.Record(time.Since(start))
 	for _, p := range ps {
 		finishWrite(p, err)
 	}
 	return err
+}
+
+// batchTokenSeq makes in-process batch tokens unique; the random half keeps
+// tokens from colliding across client processes sharing a cluster.
+var batchTokenSeq atomic.Uint32
+
+// newBatchToken returns a fresh 8-byte idempotency token. 8 bytes fits any
+// usable MaxKeySize (tokens travel in a record's key field).
+func newBatchToken() []byte {
+	tok := make([]byte, 8)
+	binary.LittleEndian.PutUint32(tok[:4], rand.Uint32())
+	binary.LittleEndian.PutUint32(tok[4:], batchTokenSeq.Add(1))
+	return tok
 }

@@ -303,6 +303,14 @@ func (cl *Cluster) WaitForCoordinator(timeout time.Duration) error {
 // injections to one memory node.
 func (cl *Cluster) Faults() *faultrdma.Controller { return cl.faults }
 
+// SetLinkLatency replaces the fabric's latency model with a fixed
+// base-plus-per-byte cost on every link, taking effect for subsequent
+// transfers. Use it to move a running cluster between latency regimes
+// (e.g. RDMA-class vs. TCP-class links) in scaling experiments.
+func (cl *Cluster) SetLinkLatency(base, perByte time.Duration) {
+	cl.fabric.SetLatency(netsim.FixedLatency{Base: base, PerByte: perByte})
+}
+
 // Health reports the coordinator's per-memory-node gray-failure view
 // (nil when no coordinator is serving).
 func (cl *Cluster) Health() []repmem.NodeHealth {

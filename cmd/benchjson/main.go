@@ -1,9 +1,10 @@
 // Command benchjson runs the repository's headline performance probes and
-// emits one JSON document (for the benchmark-trajectory record BENCH_7.json):
+// emits one JSON document (for the benchmark-trajectory record BENCH_8.json):
 // erasure encode/reconstruct bandwidth, cluster put throughput, read
 // latency percentiles on both the coordinator and lease-based backup read
-// paths, and put throughput while memory nodes are being live-replaced.
-// Invoke via `make bench-json`.
+// paths, put throughput while memory nodes are being live-replaced, and
+// aggregate put throughput behind the shard router at 1, 2, and 4
+// consensus groups. Invoke via `make bench-json`.
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"time"
 
 	sift "github.com/repro/sift"
+	"github.com/repro/sift/internal/bench"
 	"github.com/repro/sift/internal/erasure"
 	"github.com/repro/sift/internal/metrics"
 )
@@ -46,10 +48,19 @@ type doc struct {
 	// completed during the probe window.
 	ReplacePutOpsPerSec float64 `json:"put_ops_per_sec_during_replace"`
 	Replacements        int     `json:"replacements_during_probe"`
+
+	// Aggregate put throughput behind the shard router (DESIGN.md §15) at
+	// 1, 2, and 4 consensus groups, measured latency-bound (2ms links,
+	// closed-loop clients proportional to the group count) so the numbers
+	// reflect horizontal scaling rather than single-host CPU contention.
+	// Keys "groups_1", "groups_2", "groups_4".
+	ShardPutOpsPerSec map[string]float64 `json:"shard_put_ops_per_sec"`
+	// 4-group aggregate over 1-group aggregate.
+	ShardSpeedup4x float64 `json:"shard_speedup_4_groups"`
 }
 
 func main() {
-	out := flag.String("out", "BENCH_7.json", "output path")
+	out := flag.String("out", "BENCH_8.json", "output path")
 	dur := flag.Duration("duration", 2*time.Second, "per-probe measurement duration")
 	flag.Parse()
 
@@ -97,6 +108,21 @@ func main() {
 	}
 	d.ReplacePutOpsPerSec = round1(rput)
 	d.Replacements = nrepl
+
+	d.ShardPutOpsPerSec = map[string]float64{}
+	for _, groups := range []int{1, 2, 4} {
+		tput, err := bench.ShardPutThroughput(bench.ShardScalingConfig{
+			Groups: groups, Duration: *dur, Seed: 42,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		d.ShardPutOpsPerSec[fmt.Sprintf("groups_%d", groups)] = round1(tput)
+	}
+	if base := d.ShardPutOpsPerSec["groups_1"]; base > 0 {
+		ratio := d.ShardPutOpsPerSec["groups_4"] / base
+		d.ShardSpeedup4x = float64(int64(ratio*100+0.5)) / 100
+	}
 
 	buf, err := json.MarshalIndent(d, "", "  ")
 	if err != nil {

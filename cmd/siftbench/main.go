@@ -8,8 +8,8 @@
 //	siftbench -experiment fig5 -keys 1000000 -duration 50s -reps 5
 //
 // Experiments: table1, fig5, fig6, fig7, fig8, table2, fig9, fig10,
-// fig11, fig12. Defaults are sized for a laptop; the flags scale any
-// experiment up to the paper's full parameters.
+// fig11, fig12, shard. Defaults are sized for a laptop; the flags scale
+// any experiment up to the paper's full parameters.
 package main
 
 import (
@@ -40,7 +40,7 @@ type options struct {
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "comma-separated experiments (table1, fig5, fig6, fig7, fig8, table2, fig9, fig10, fig11, fig12, all)")
+		experiment = flag.String("experiment", "all", "comma-separated experiments (table1, fig5, fig6, fig7, fig8, table2, fig9, fig10, fig11, fig12, shard, all)")
 		keys       = flag.Int("keys", 4096, "key population (paper: 1000000)")
 		valueSize  = flag.Int("value-size", 992, "value payload bytes")
 		clients    = flag.Int("clients", 32, "concurrent closed-loop clients")
@@ -58,9 +58,9 @@ func main() {
 	all := map[string]func(options){
 		"table1": table1, "fig5": fig5, "fig6": fig6, "fig7": fig7,
 		"fig8": fig8, "table2": table2, "fig9": costFigure(1), "fig10": costFigure(2),
-		"fig11": fig11, "fig12": fig12,
+		"fig11": fig11, "fig12": fig12, "shard": shardScaling,
 	}
-	order := []string{"table1", "fig5", "fig6", "fig7", "fig8", "table2", "fig9", "fig10", "fig11", "fig12"}
+	order := []string{"table1", "fig5", "fig6", "fig7", "fig8", "table2", "fig9", "fig10", "fig11", "fig12", "shard"}
 
 	want := strings.Split(*experiment, ",")
 	if *experiment == "all" {
@@ -304,6 +304,40 @@ func fig12(o options) {
 		log.Fatalf("siftbench: fig12: %v", err)
 	}
 	printTimeline(tl)
+}
+
+// shardScaling measures aggregate put throughput behind the shard router
+// (DESIGN.md §15) at 1, 2, and 4 consensus groups. The run is deliberately
+// latency-bound (2ms links, closed-loop clients proportional to the group
+// count) so the table shows horizontal scaling, not single-host CPU
+// contention.
+func shardScaling(o options) {
+	fmt.Println("Sharding: aggregate put throughput (ops/sec) vs consensus groups (2ms links)")
+	w := newTab()
+	defer w.Flush()
+	fmt.Fprintln(w, "groups\tclients\tops/sec\tspeedup")
+	var base float64
+	for _, groups := range []int{1, 2, 4} {
+		const clientsPerGroup = 4
+		tput, err := bench.ShardPutThroughput(bench.ShardScalingConfig{
+			Groups:          groups,
+			ClientsPerGroup: clientsPerGroup,
+			Warmup:          o.warmup,
+			Duration:        o.duration,
+			Seed:            o.seed,
+		})
+		if err != nil {
+			log.Fatalf("siftbench: shard: %v", err)
+		}
+		if groups == 1 {
+			base = tput
+		}
+		speedup := "-"
+		if base > 0 {
+			speedup = fmt.Sprintf("%.2fx", tput/base)
+		}
+		fmt.Fprintf(w, "%d\t%d\t%.0f\t%s\n", groups, groups*clientsPerGroup, tput, speedup)
+	}
 }
 
 func printTimeline(tl bench.FailureTimeline) {

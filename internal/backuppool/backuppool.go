@@ -13,7 +13,6 @@
 package backuppool
 
 import (
-	"container/heap"
 	"math/rand"
 	"time"
 
@@ -68,22 +67,9 @@ func (r Result) AvgAddedRecovery() time.Duration {
 	return r.TotalAddedWait / time.Duration(r.Faults)
 }
 
-// durationHeap is a min-heap of provisioning-completion times.
-type durationHeap []time.Duration
-
-func (h durationHeap) Len() int            { return len(h) }
-func (h durationHeap) Less(i, j int) bool  { return h[i] < h[j] }
-func (h durationHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *durationHeap) Push(x interface{}) { *h = append(*h, x.(time.Duration)) }
-func (h *durationHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
-}
-
-// Run replays events against one random group assignment.
+// Run replays events against one random group assignment. The claim
+// decisions themselves live in Policy (pool.go), which live shard clusters
+// share through LivePool.
 func Run(cfg Config, events []trace.Event) Result {
 	c := cfg.withDefaults()
 	rng := rand.New(rand.NewSource(c.Seed))
@@ -100,39 +86,15 @@ func Run(cfg Config, events []trace.Event) Result {
 		groupMachine[m] = true
 	}
 
-	free := c.Backups
-	var provisioning durationHeap // completion times of in-flight VMs
+	pool := NewPolicy(c.Backups, c.ProvisionDelay)
 	var res Result
 
 	for _, ev := range events {
 		if !groupMachine[ev.Machine] {
 			continue
 		}
-		// Retire completed provisionings.
-		for len(provisioning) > 0 && provisioning[0] <= ev.At {
-			heap.Pop(&provisioning)
-			free++
-		}
 		res.Faults++
-		if free > 0 {
-			// A pooled backup takes over instantly; start a replacement VM.
-			free--
-			heap.Push(&provisioning, ev.At+c.ProvisionDelay)
-			continue
-		}
-		// No backup available: wait for the earliest in-flight VM (a pool
-		// replacement we intercept — so re-order it), or, if nothing is in
-		// flight, provision purely on demand (nothing owed to the pool).
-		var ready time.Duration
-		if len(provisioning) > 0 {
-			ready = heap.Pop(&provisioning).(time.Duration)
-			heap.Push(&provisioning, ready+c.ProvisionDelay)
-		} else {
-			ready = ev.At + c.ProvisionDelay
-		}
-		if ready < ev.At {
-			ready = ev.At
-		}
+		ready, _ := pool.Claim(ev.At)
 		wait := ready - ev.At
 		res.TotalAddedWait += wait
 		if wait > 0 {

@@ -1,0 +1,208 @@
+package backuppool
+
+import (
+	"sync"
+	"time"
+)
+
+// This file extracts the pool policy out of the Figure 8 trace simulator so
+// live shard clusters can share it: the same free-count + provisioning-heap
+// bookkeeping decides both a simulated fault's added recovery time and a real
+// group's wait for a pooled backup CPU node.
+
+// timeHeap is a typed min-heap of provisioning-completion times (offsets from
+// the pool's birth). It replaces the earlier interface{}-based
+// container/heap implementation: push/pop are direct sift operations with no
+// boxing.
+type timeHeap []time.Duration
+
+func (h *timeHeap) push(t time.Duration) {
+	*h = append(*h, t)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if (*h)[parent] <= (*h)[i] {
+			break
+		}
+		(*h)[parent], (*h)[i] = (*h)[i], (*h)[parent]
+		i = parent
+	}
+}
+
+// pop removes and returns the earliest completion. Callers check len first.
+func (h *timeHeap) pop() time.Duration {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	*h = old[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && old[l] < old[smallest] {
+			smallest = l
+		}
+		if r < n && old[r] < old[smallest] {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		old[i], old[smallest] = old[smallest], old[i]
+		i = smallest
+	}
+	return top
+}
+
+func (h timeHeap) min() (time.Duration, bool) {
+	if len(h) == 0 {
+		return 0, false
+	}
+	return h[0], true
+}
+
+// Policy is the pool's claim bookkeeping, in virtual time (durations since
+// the pool's birth). Claim semantics match the paper's §6.4.2 model: a fault
+// draws a free backup instantly if one exists and a replacement VM starts
+// provisioning; otherwise the claimant waits for the earliest in-flight VM
+// (re-ordering its replacement) or, when nothing is in flight, provisions
+// purely on demand. Policy is not safe for concurrent use; LivePool adds the
+// lock and the wall clock.
+type Policy struct {
+	free         int
+	delay        time.Duration
+	provisioning timeHeap
+}
+
+// NewPolicy creates a policy over a pool of `backups` nodes whose
+// replacements take provisionDelay to provision.
+func NewPolicy(backups int, provisionDelay time.Duration) *Policy {
+	return &Policy{free: backups, delay: provisionDelay}
+}
+
+// Claim requests a node at virtual time now. It returns when the node is
+// ready (ready == now means a pooled backup took over instantly) and whether
+// it came from the pool's free set.
+func (p *Policy) Claim(now time.Duration) (ready time.Duration, fromPool bool) {
+	// Retire completed provisionings first.
+	for {
+		at, ok := p.provisioning.min()
+		if !ok || at > now {
+			break
+		}
+		p.provisioning.pop()
+		p.free++
+	}
+	if p.free > 0 {
+		p.free--
+		p.provisioning.push(now + p.delay)
+		return now, true
+	}
+	if at, ok := p.provisioning.min(); ok {
+		// Intercept the earliest in-flight replacement and re-order it.
+		p.provisioning.pop()
+		p.provisioning.push(at + p.delay)
+		if at < now {
+			at = now
+		}
+		return at, false
+	}
+	// Nothing in flight: provision on demand (nothing owed to the pool).
+	return now + p.delay, false
+}
+
+// Release returns a node to the free set (a repaired group handing its
+// standby back without consuming a provisioned replacement).
+func (p *Policy) Release() { p.free++ }
+
+// Free reports how many pool nodes are free at virtual time now.
+func (p *Policy) Free(now time.Duration) int {
+	for {
+		at, ok := p.provisioning.min()
+		if !ok || at > now {
+			break
+		}
+		p.provisioning.pop()
+		p.free++
+	}
+	return p.free
+}
+
+// Source is the claim interface a live shard cluster consumes: Claim returns
+// how long the caller must wait for a standby CPU node (0 = one was free)
+// and whether it came from the pool rather than on-demand provisioning.
+// Release hands a node back.
+type Source interface {
+	Claim() (wait time.Duration, fromPool bool)
+	Release()
+}
+
+// LiveStats counts a live pool's activity.
+type LiveStats struct {
+	Claims    uint64        // total claims
+	FromPool  uint64        // claims served instantly by a free backup
+	Waited    uint64        // claims that had to wait for provisioning
+	TotalWait time.Duration // summed provisioning waits
+	MaxWait   time.Duration
+}
+
+// LivePool adapts Policy to the wall clock for real groups: virtual time is
+// time since the pool was created. It is safe for concurrent use.
+type LivePool struct {
+	mu     sync.Mutex
+	policy *Policy
+	birth  time.Time
+	stats  LiveStats
+}
+
+// NewLivePool creates a wall-clock pool of `backups` standby CPU nodes whose
+// replacements provision in provisionDelay.
+func NewLivePool(backups int, provisionDelay time.Duration) *LivePool {
+	return &LivePool{policy: NewPolicy(backups, provisionDelay), birth: time.Now()}
+}
+
+// Claim implements Source.
+func (p *LivePool) Claim() (wait time.Duration, fromPool bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	now := time.Since(p.birth)
+	ready, fromPool := p.policy.Claim(now)
+	wait = ready - now
+	if wait < 0 {
+		wait = 0
+	}
+	p.stats.Claims++
+	if fromPool {
+		p.stats.FromPool++
+	}
+	if wait > 0 {
+		p.stats.Waited++
+		p.stats.TotalWait += wait
+		if wait > p.stats.MaxWait {
+			p.stats.MaxWait = wait
+		}
+	}
+	return wait, fromPool
+}
+
+// Release implements Source.
+func (p *LivePool) Release() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.policy.Release()
+}
+
+// Free reports currently free backups.
+func (p *LivePool) Free() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.policy.Free(time.Since(p.birth))
+}
+
+// Stats returns a snapshot of the pool's counters.
+func (p *LivePool) Stats() LiveStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}

@@ -1,0 +1,109 @@
+package backuppool
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+// TestTimeHeapOrdering drives the typed heap with random values and checks
+// it pops in sorted order (the property container/heap used to provide).
+func TestTimeHeapOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var h timeHeap
+	var want []time.Duration
+	for i := 0; i < 500; i++ {
+		d := time.Duration(rng.Int63n(1_000_000))
+		h.push(d)
+		want = append(want, d)
+	}
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	for i, w := range want {
+		if got, ok := h.min(); !ok || got != w {
+			t.Fatalf("min %d = %v ok=%v, want %v", i, got, ok, w)
+		}
+		if got := h.pop(); got != w {
+			t.Fatalf("pop %d = %v, want %v", i, got, w)
+		}
+	}
+	if _, ok := h.min(); ok {
+		t.Fatal("heap not empty after draining")
+	}
+}
+
+func TestPolicyInstantClaimFromFreePool(t *testing.T) {
+	p := NewPolicy(2, 100*time.Second)
+	for i := 0; i < 2; i++ {
+		ready, fromPool := p.Claim(time.Duration(i) * time.Second)
+		if !fromPool || ready != time.Duration(i)*time.Second {
+			t.Fatalf("claim %d: ready=%v fromPool=%v", i, ready, fromPool)
+		}
+	}
+	// Third claim waits for the earliest in-flight replacement (t=0+100s).
+	ready, fromPool := p.Claim(2 * time.Second)
+	if fromPool || ready != 100*time.Second {
+		t.Fatalf("exhausted pool: ready=%v fromPool=%v, want 100s on-demand", ready, fromPool)
+	}
+}
+
+func TestPolicyReplacementRefillsPool(t *testing.T) {
+	p := NewPolicy(1, 10*time.Second)
+	if _, fromPool := p.Claim(0); !fromPool {
+		t.Fatal("first claim should hit the pool")
+	}
+	// Replacement completes at t=10s; a claim after that is instant again.
+	ready, fromPool := p.Claim(11 * time.Second)
+	if !fromPool || ready != 11*time.Second {
+		t.Fatalf("post-provisioning claim: ready=%v fromPool=%v", ready, fromPool)
+	}
+}
+
+func TestPolicyRelease(t *testing.T) {
+	p := NewPolicy(1, time.Hour)
+	p.Claim(0)
+	p.Release() // the group handed its standby back
+	ready, fromPool := p.Claim(time.Second)
+	if !fromPool || ready != time.Second {
+		t.Fatalf("claim after release: ready=%v fromPool=%v", ready, fromPool)
+	}
+}
+
+func TestPolicyOnDemandWithZeroBackups(t *testing.T) {
+	p := NewPolicy(0, 5*time.Second)
+	ready, fromPool := p.Claim(0)
+	if fromPool || ready != 5*time.Second {
+		t.Fatalf("zero pool: ready=%v fromPool=%v", ready, fromPool)
+	}
+}
+
+func TestLivePoolClaimAndStats(t *testing.T) {
+	p := NewLivePool(1, 50*time.Millisecond)
+	wait, fromPool := p.Claim()
+	if wait != 0 || !fromPool {
+		t.Fatalf("first live claim: wait=%v fromPool=%v", wait, fromPool)
+	}
+	wait, fromPool = p.Claim()
+	if fromPool {
+		t.Fatal("second claim before provisioning completed should not be from pool")
+	}
+	if wait <= 0 || wait > 50*time.Millisecond {
+		t.Fatalf("second claim wait = %v, want (0, 50ms]", wait)
+	}
+	st := p.Stats()
+	if st.Claims != 2 || st.FromPool != 1 || st.Waited != 1 || st.MaxWait == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	// After the intercepted replacement's replacement provisions (the second
+	// claim re-ordered the first VM to itself and owes the pool one at
+	// birth+100ms), claims are instant again.
+	time.Sleep(120 * time.Millisecond)
+	if wait, _ := p.Claim(); wait != 0 {
+		t.Fatalf("claim after provisioning window: wait=%v", wait)
+	}
+}
+
+func TestLivePoolImplementsSource(t *testing.T) {
+	var _ Source = NewLivePool(1, time.Second)
+}

@@ -1,0 +1,117 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	sift "github.com/repro/sift"
+)
+
+// ShardScalingConfig sizes a multi-group put-throughput run.
+type ShardScalingConfig struct {
+	// Groups is the number of consensus groups behind the shard router.
+	Groups int
+	// ClientsPerGroup scales the closed-loop client population with the
+	// deployment: Groups×ClientsPerGroup clients run concurrently.
+	// Default 4.
+	ClientsPerGroup int
+	// KeysPerClient is each client's working set. Default 256.
+	KeysPerClient int
+	// LinkLatency is the fixed fabric latency applied to every group
+	// (default 2ms). The scaling experiment is deliberately latency-bound:
+	// with clients blocked on the network most of the time, aggregate
+	// throughput tracks the number of groups rather than host-CPU
+	// contention, which is the regime the paper's horizontal-sharding
+	// argument is about (each group is its own failure and commit domain).
+	LinkLatency time.Duration
+	// Warmup runs before measurement starts (default 300ms).
+	Warmup time.Duration
+	// Duration is the measured window (default 1s).
+	Duration time.Duration
+	// ValueSize is the put payload (default 64).
+	ValueSize int
+	// Seed feeds the group configs.
+	Seed int64
+}
+
+func (c ShardScalingConfig) withDefaults() ShardScalingConfig {
+	if c.ClientsPerGroup <= 0 {
+		c.ClientsPerGroup = 4
+	}
+	if c.KeysPerClient <= 0 {
+		c.KeysPerClient = 256
+	}
+	if c.LinkLatency <= 0 {
+		c.LinkLatency = 2 * time.Millisecond
+	}
+	if c.Warmup <= 0 {
+		c.Warmup = 300 * time.Millisecond
+	}
+	if c.Duration <= 0 {
+		c.Duration = time.Second
+	}
+	if c.ValueSize <= 0 {
+		c.ValueSize = 64
+	}
+	return c
+}
+
+// ShardPutThroughput boots a ShardCluster with cfg.Groups consensus groups
+// and measures aggregate put throughput through the shard router with a
+// closed-loop client population proportional to the group count. It returns
+// acknowledged puts per second over the measured window.
+func ShardPutThroughput(cfg ShardScalingConfig) (float64, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Groups < 1 {
+		return 0, fmt.Errorf("bench: ShardPutThroughput needs ≥1 group, got %d", cfg.Groups)
+	}
+	sc, err := sift.NewShardCluster(sift.ShardConfig{
+		Groups: cfg.Groups,
+		Group: sift.Config{
+			F: 1, Keys: 4096, MaxValueSize: 992, Seed: cfg.Seed,
+		},
+	})
+	if err != nil {
+		return 0, err
+	}
+	defer sc.Close()
+	sc.SetLinkLatency(cfg.LinkLatency, 0)
+
+	var (
+		ops  atomic.Uint64
+		stop = make(chan struct{})
+		wg   sync.WaitGroup
+	)
+	nclients := cfg.Groups * cfg.ClientsPerGroup
+	for c := 0; c < nclients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl := sc.Client()
+			val := make([]byte, cfg.ValueSize)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				key := []byte(fmt.Sprintf("shard-%03d-%06d", c, i%cfg.KeysPerClient))
+				if err := cl.Put(key, val); err == nil {
+					ops.Add(1)
+				}
+			}
+		}(c)
+	}
+
+	time.Sleep(cfg.Warmup)
+	before := ops.Load()
+	start := time.Now()
+	time.Sleep(cfg.Duration)
+	acked := ops.Load() - before
+	elapsed := time.Since(start)
+	close(stop)
+	wg.Wait()
+	return float64(acked) / elapsed.Seconds(), nil
+}

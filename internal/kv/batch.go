@@ -19,13 +19,71 @@ func (s *Store) PutBatch(pairs []Pair) error {
 	if len(pairs) == 0 {
 		return nil
 	}
+	recs, err := s.recsForPairs(pairs)
+	if err != nil {
+		return err
+	}
+	if _, err := s.commitBatch(recs); err != nil {
+		return err
+	}
+	s.countBatch(recs)
+	return nil
+}
+
+// PutBatchIdem is PutBatch with at-most-once semantics under retry: the
+// batch commits tagged with the caller-chosen token (an opBatchToken record
+// leads the log entry), and a later PutBatchIdem with the same token is a
+// no-op if the tagged entry is still within the circular log's active
+// window. The dedup set is rebuilt from the log during coordinator
+// recovery, so a retry after an ambiguous failure (client saw an error, but
+// the entry was durable and a new coordinator replayed it) does not apply
+// the batch a second time — which could otherwise resurrect values that a
+// concurrent writer had since overwritten.
+//
+// An empty token degrades to plain PutBatch.
+func (s *Store) PutBatchIdem(token []byte, pairs []Pair) error {
+	if len(token) == 0 {
+		return s.PutBatch(pairs)
+	}
+	if len(pairs) == 0 {
+		return nil
+	}
+	if len(token) > s.cfg.MaxKey {
+		return fmt.Errorf("%w: token %d B (max %d)", ErrTooLarge, len(token), s.cfg.MaxKey)
+	}
+	tok := string(token)
+	s.dedupMu.Lock()
+	_, dup := s.dedup[tok]
+	s.dedupMu.Unlock()
+	if dup {
+		s.stats.batchDedupHits.Add(1)
+		return nil
+	}
+	recs, err := s.recsForPairs(pairs)
+	if err != nil {
+		return err
+	}
+	all := make([]record, 0, len(recs)+1)
+	all = append(all, record{op: opBatchToken, key: append([]byte(nil), token...)})
+	all = append(all, recs...)
+	idx, err := s.commitBatch(all)
+	if err != nil {
+		return err
+	}
+	s.registerToken(tok, idx)
+	s.countBatch(recs)
+	return nil
+}
+
+// recsForPairs validates and copies a batch's pairs into log records.
+func (s *Store) recsForPairs(pairs []Pair) ([]record, error) {
 	recs := make([]record, len(pairs))
 	for i, p := range pairs {
 		if len(p.Key) == 0 || len(p.Key) > s.cfg.MaxKey {
-			return fmt.Errorf("%w: key %d B (max %d)", ErrTooLarge, len(p.Key), s.cfg.MaxKey)
+			return nil, fmt.Errorf("%w: key %d B (max %d)", ErrTooLarge, len(p.Key), s.cfg.MaxKey)
 		}
 		if len(p.Value) > s.cfg.MaxValue {
-			return fmt.Errorf("%w: value %d B (max %d)", ErrTooLarge, len(p.Value), s.cfg.MaxValue)
+			return nil, fmt.Errorf("%w: value %d B (max %d)", ErrTooLarge, len(p.Value), s.cfg.MaxValue)
 		}
 		op := byte(opPut)
 		if p.Value == nil {
@@ -37,17 +95,40 @@ func (s *Store) PutBatch(pairs []Pair) error {
 			value: append([]byte(nil), p.Value...),
 		}
 	}
-	err := s.commitBatch(recs)
-	if err == nil {
-		for _, r := range recs {
-			if r.op == opDelete {
-				s.stats.deletes.Add(1)
-			} else {
-				s.stats.puts.Add(1)
+	return recs, nil
+}
+
+// countBatch bumps the per-op counters for a committed batch.
+func (s *Store) countBatch(recs []record) {
+	for _, r := range recs {
+		switch r.op {
+		case opDelete:
+			s.stats.deletes.Add(1)
+		case opPut:
+			s.stats.puts.Add(1)
+		}
+	}
+}
+
+// registerToken records that token committed at idx, pruning tokens whose
+// entries have left the log's active window (a retry that late would find
+// nothing to dedup against after a recovery either, so keeping them would
+// only grow the map).
+func (s *Store) registerToken(tok string, idx uint64) {
+	s.dedupMu.Lock()
+	defer s.dedupMu.Unlock()
+	s.dedup[tok] = idx
+	if len(s.dedup) > 2*s.kvGeo.Slots {
+		floor := uint64(0)
+		if idx > uint64(s.kvGeo.Slots) {
+			floor = idx - uint64(s.kvGeo.Slots)
+		}
+		for t, i := range s.dedup {
+			if i < floor {
+				delete(s.dedup, t)
 			}
 		}
 	}
-	return err
 }
 
 // Pair is one update in a PutBatch. A nil Value deletes the key.
@@ -58,8 +139,9 @@ type Pair struct {
 
 // commitBatch reserves one log index for all records, enqueues their
 // applies (to the shards their keys hash to, in batch order), writes the
-// single log slot, and updates the cache.
-func (s *Store) commitBatch(recs []record) error {
+// single log slot, and updates the cache. It returns the log index the
+// batch committed at.
+func (s *Store) commitBatch(recs []record) (uint64, error) {
 	tasks := make([]*applyTask, len(recs))
 	committed := make(chan struct{})
 
@@ -69,7 +151,7 @@ func (s *Store) commitBatch(recs []record) error {
 	}
 	if s.closed.Load() {
 		s.seqMu.Unlock()
-		return ErrClosed
+		return 0, ErrClosed
 	}
 	idx := s.nextIdx
 	s.nextIdx++
@@ -102,12 +184,15 @@ func (s *Store) commitBatch(recs []record) error {
 			t.ok = false
 		}
 		close(committed)
-		return err
+		return 0, err
 	}
 	for _, r := range recs {
-		if r.op == opDelete {
+		switch r.op {
+		case opBatchToken:
+			// Tokens are log metadata, not keys: keep them out of the cache.
+		case opDelete:
 			s.cache.put(string(r.key), nil, true, idx)
-		} else {
+		default:
 			s.cache.put(string(r.key), r.value, true, idx)
 		}
 	}
@@ -119,12 +204,12 @@ func (s *Store) commitBatch(recs []record) error {
 		for _, t := range tasks {
 			<-t.applied
 			if t.applyErr != nil {
-				return t.applyErr
+				return 0, t.applyErr
 			}
 		}
 		s.holdAck()
 	}
-	return nil
+	return idx, nil
 }
 
 // countdown runs fn after n done calls.

@@ -12,6 +12,12 @@ import (
 const (
 	opPut    = 1
 	opDelete = 2
+	// opBatchToken tags an idempotent batch: it is always the first record
+	// of its entry, its key is the client-chosen batch token, and its apply
+	// is a no-op. Recovery replay and PutBatchIdem use the token to detect a
+	// retried batch that already committed (possibly under a previous
+	// coordinator) and skip the duplicate apply.
+	opBatchToken = 3
 )
 
 // walEntryOverhead is the wal.Entry framing around one record (entry header

@@ -201,6 +201,9 @@ type Stats struct {
 	CacheMisses uint64
 	Applies     uint64
 	ChainReads  uint64 // remote block reads during chain walks
+	// BatchDedupHits counts idempotent batches suppressed because their
+	// token had already committed (retry after an ambiguous failure).
+	BatchDedupHits uint64
 }
 
 // Store is the coordinator-side key-value store. It is safe for concurrent
@@ -235,6 +238,13 @@ type Store struct {
 	watermark uint64
 	applied   map[uint64]bool
 
+	// dedup maps an idempotent-batch token to the log index it committed at.
+	// It is rebuilt from the log during recovery, so the dedup window equals
+	// the circular log's active window: a retry arriving within WALSlots
+	// subsequent commits is suppressed, across coordinator failovers.
+	dedupMu sync.Mutex
+	dedup   map[string]uint64
+
 	shards  []*shardQueue
 	applyWG sync.WaitGroup
 	closed  atomic.Bool
@@ -247,6 +257,7 @@ type Store struct {
 		puts, gets, deletes    atomic.Uint64
 		cacheHits, cacheMisses atomic.Uint64
 		applies, chainReads    atomic.Uint64
+		batchDedupHits         atomic.Uint64
 	}
 }
 
@@ -285,6 +296,7 @@ func New(mem *repmem.Memory, cfg Config) (*Store, error) {
 		bitmap:      make([]byte, c.BitmapBytes()),
 		bucketLocks: make([]sync.RWMutex, bucketLockStripes),
 		applied:     make(map[uint64]bool),
+		dedup:       make(map[string]uint64),
 		nextIdx:     1,
 	}
 	s.seqCond = sync.NewCond(&s.seqMu)
@@ -330,13 +342,14 @@ func (s *Store) Close() {
 // Stats returns a snapshot of the operation counters.
 func (s *Store) Stats() Stats {
 	return Stats{
-		Puts:        s.stats.puts.Load(),
-		Gets:        s.stats.gets.Load(),
-		Deletes:     s.stats.deletes.Load(),
-		CacheHits:   s.stats.cacheHits.Load(),
-		CacheMisses: s.stats.cacheMisses.Load(),
-		Applies:     s.stats.applies.Load(),
-		ChainReads:  s.stats.chainReads.Load(),
+		Puts:           s.stats.puts.Load(),
+		Gets:           s.stats.gets.Load(),
+		Deletes:        s.stats.deletes.Load(),
+		CacheHits:      s.stats.cacheHits.Load(),
+		CacheMisses:    s.stats.cacheMisses.Load(),
+		Applies:        s.stats.applies.Load(),
+		ChainReads:     s.stats.chainReads.Load(),
+		BatchDedupHits: s.stats.batchDedupHits.Load(),
 	}
 }
 

@@ -273,7 +273,7 @@ func (s *Store) applyLoop(q *shardQueue) {
 				task.applyErr = err
 				close(task.applied)
 			}
-			if p := s.cfg.Persist; p != nil {
+			if p := s.cfg.Persist; p != nil && task.rec.op != opBatchToken {
 				// Synchronous persistence by the background thread (§3.5):
 				// commit latency is unaffected, and the number of
 				// outstanding (unpersisted) writes is bounded by the log.
@@ -283,7 +283,9 @@ func (s *Store) applyLoop(q *shardQueue) {
 					p.Put(task.rec.key, task.rec.value) //nolint:errcheck
 				}
 			}
-			s.cache.unpin(string(task.rec.key))
+			if task.rec.op != opBatchToken {
+				s.cache.unpin(string(task.rec.key))
+			}
 		}
 		if task.countdown != nil {
 			task.countdown.done()
@@ -296,6 +298,10 @@ func (s *Store) applyLoop(q *shardQueue) {
 // applyRecord performs the hash-table update for a committed record
 // (paper §4.2's "apply" step). Idempotent, so log replay may repeat it.
 func (s *Store) applyRecord(r record) error {
+	if r.op == opBatchToken {
+		// Batch token: log metadata only, nothing to materialize.
+		return nil
+	}
 	bucket := s.bucketOf(r.key)
 	lk := s.bucketLock(bucket)
 	lk.Lock()

@@ -80,13 +80,35 @@ func (s *Store) recover() error {
 		if err != nil {
 			continue // unreadable entry: skip (was never decodable)
 		}
+		if len(recs) > 0 && recs[0].op == opBatchToken {
+			tok := string(recs[0].key)
+			if prev, dup := s.dedup[tok]; dup && prev != e.Index {
+				// A retried idempotent batch double-committed (the first
+				// attempt was durable but its ack was lost). The lower-index
+				// entry already applied; re-applying here could clobber
+				// writes that legitimately interleaved between the two
+				// commits. Skip, but still resolve the index.
+				s.stats.batchDedupHits.Add(1)
+				if e.Index > maxIdx {
+					maxIdx = e.Index
+				}
+				continue
+			}
+			// Register so post-recovery retries of this batch dedup against
+			// the replayed commit. Replay runs before the appliers start, so
+			// the map is ours alone — no lock needed.
+			s.dedup[tok] = e.Index
+		}
 		for _, rec := range recs {
 			if err := s.applyRecord(rec); err != nil {
 				return fmt.Errorf("kv recovery: replay %d: %w", e.Index, err)
 			}
-			if rec.op == opDelete {
+			switch rec.op {
+			case opBatchToken:
+				// Log metadata, not a key: stays out of the cache.
+			case opDelete:
 				s.cache.put(string(rec.key), nil, false, e.Index)
-			} else {
+			default:
 				s.cache.put(string(rec.key), rec.value, false, e.Index)
 			}
 		}

@@ -1,0 +1,123 @@
+// Package shard implements the key→group shard map for multi-group Sift
+// deployments: an epoch-versioned rendezvous (highest-random-weight) hash
+// over consensus groups.
+//
+// Rendezvous hashing gives the stability property a router wants when the
+// group set changes: every key is assigned to the live group with the
+// maximal per-(key, group) weight, so removing a group remaps only the keys
+// that lived on it, and adding a group steals only the keys whose weight for
+// the newcomer exceeds their current maximum (≈ 1/N of the keyspace). Keys
+// never migrate between two surviving groups.
+//
+// The map is epoch-versioned so it composes with per-group online
+// reconfiguration (DESIGN.md §14): a group's *internal* membership epoch can
+// advance freely without touching the shard map, while any change to the
+// *group set* mints a new shard-map epoch that routers can compare and adopt
+// monotonically.
+package shard
+
+import (
+	"fmt"
+	"sort"
+)
+
+// GroupID identifies one consensus group within a sharded deployment.
+type GroupID int
+
+// Map is an immutable key→group assignment. The zero value is invalid; use
+// NewMap. Maps are cheap to copy and safe for concurrent use.
+type Map struct {
+	epoch  uint64
+	groups []GroupID // sorted, deduplicated
+}
+
+// NewMap builds a map at the given epoch over the given groups.
+func NewMap(epoch uint64, groups []GroupID) (Map, error) {
+	if len(groups) == 0 {
+		return Map{}, fmt.Errorf("shard: map needs at least one group")
+	}
+	gs := append([]GroupID(nil), groups...)
+	sort.Slice(gs, func(i, j int) bool { return gs[i] < gs[j] })
+	for i := 1; i < len(gs); i++ {
+		if gs[i] == gs[i-1] {
+			return Map{}, fmt.Errorf("shard: duplicate group %d", gs[i])
+		}
+	}
+	return Map{epoch: epoch, groups: gs}, nil
+}
+
+// Epoch returns the map's version. Routers adopt the map with the highest
+// epoch they have seen.
+func (m Map) Epoch() uint64 { return m.epoch }
+
+// Groups returns the group set (sorted copy).
+func (m Map) Groups() []GroupID { return append([]GroupID(nil), m.groups...) }
+
+// NumGroups returns the number of groups.
+func (m Map) NumGroups() int { return len(m.groups) }
+
+// Contains reports whether g is in the map.
+func (m Map) Contains(g GroupID) bool {
+	for _, have := range m.groups {
+		if have == g {
+			return true
+		}
+	}
+	return false
+}
+
+// Next derives a successor map over a new group set, bumping the epoch.
+func (m Map) Next(groups []GroupID) (Map, error) {
+	nm, err := NewMap(m.epoch+1, groups)
+	if err != nil {
+		return Map{}, err
+	}
+	return nm, nil
+}
+
+// GroupFor assigns a key: the group with the highest rendezvous weight.
+// Ties (astronomically unlikely) break toward the lower group id for
+// determinism.
+func (m Map) GroupFor(key []byte) GroupID {
+	best := m.groups[0]
+	bestW := weight(key, best)
+	for _, g := range m.groups[1:] {
+		if w := weight(key, g); w > bestW {
+			best, bestW = g, w
+		}
+	}
+	return best
+}
+
+// Split partitions keys by their assigned group, preserving input order
+// within each group. The result maps group → indices into keys.
+func (m Map) Split(keys [][]byte) map[GroupID][]int {
+	out := make(map[GroupID][]int, len(m.groups))
+	for i, k := range keys {
+		g := m.GroupFor(k)
+		out[g] = append(out[g], i)
+	}
+	return out
+}
+
+// weight is the rendezvous score for (key, group): FNV-1a over the key,
+// folded with the group id, finished with a splitmix64-style avalanche so
+// nearby group ids produce uncorrelated weights.
+func weight(key []byte, g GroupID) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	h ^= uint64(g) + 0x9e3779b97f4a7c15
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}

@@ -1,0 +1,164 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+)
+
+func keys(n int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = []byte(fmt.Sprintf("user%08d", i))
+	}
+	return out
+}
+
+func TestNewMapValidation(t *testing.T) {
+	if _, err := NewMap(1, nil); err == nil {
+		t.Fatal("empty group set accepted")
+	}
+	if _, err := NewMap(1, []GroupID{0, 1, 1}); err == nil {
+		t.Fatal("duplicate group accepted")
+	}
+	m, err := NewMap(3, []GroupID{2, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Epoch() != 3 || m.NumGroups() != 3 {
+		t.Fatalf("epoch=%d groups=%d", m.Epoch(), m.NumGroups())
+	}
+	if gs := m.Groups(); gs[0] != 0 || gs[1] != 1 || gs[2] != 2 {
+		t.Fatalf("groups not sorted: %v", gs)
+	}
+}
+
+func TestGroupForDeterministicAndTotal(t *testing.T) {
+	m, _ := NewMap(1, []GroupID{0, 1, 2, 3})
+	for _, k := range keys(1000) {
+		g := m.GroupFor(k)
+		if !m.Contains(g) {
+			t.Fatalf("key %q assigned to unknown group %d", k, g)
+		}
+		if m.GroupFor(k) != g {
+			t.Fatalf("key %q assignment not deterministic", k)
+		}
+	}
+}
+
+func TestBalance(t *testing.T) {
+	m, _ := NewMap(1, []GroupID{0, 1, 2, 3})
+	counts := map[GroupID]int{}
+	const n = 8000
+	for _, k := range keys(n) {
+		counts[m.GroupFor(k)]++
+	}
+	for g, c := range counts {
+		// Each of 4 groups should get ~2000 keys; allow ±25%.
+		if c < n/4*3/4 || c > n/4*5/4 {
+			t.Fatalf("group %d holds %d of %d keys — imbalanced: %v", g, c, n, counts)
+		}
+	}
+}
+
+// TestRemovalStability is the rendezvous guarantee: removing a group remaps
+// only that group's keys, and survivors keep every key they had.
+func TestRemovalStability(t *testing.T) {
+	m4, _ := NewMap(1, []GroupID{0, 1, 2, 3})
+	m3, err := m4.Next([]GroupID{0, 1, 3}) // group 2 removed
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m3.Epoch() != 2 {
+		t.Fatalf("epoch = %d, want 2", m3.Epoch())
+	}
+	moved := 0
+	for _, k := range keys(4000) {
+		before, after := m4.GroupFor(k), m3.GroupFor(k)
+		if before == 2 {
+			moved++
+			if after == 2 {
+				t.Fatalf("key %q still on removed group", k)
+			}
+			continue
+		}
+		if before != after {
+			t.Fatalf("key %q moved %d→%d though its group survived", k, before, after)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no keys lived on the removed group; test is vacuous")
+	}
+}
+
+// TestAdditionStability: adding a group steals keys only for itself, about
+// 1/N of the keyspace, and never shuffles keys between existing groups.
+func TestAdditionStability(t *testing.T) {
+	m3, _ := NewMap(1, []GroupID{0, 1, 2})
+	m4, err := m3.Next([]GroupID{0, 1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stolen := 0
+	const n = 4000
+	for _, k := range keys(n) {
+		before, after := m3.GroupFor(k), m4.GroupFor(k)
+		if after == 3 {
+			stolen++
+			continue
+		}
+		if before != after {
+			t.Fatalf("key %q moved %d→%d on unrelated addition", k, before, after)
+		}
+	}
+	// Expect ~n/4; allow a wide band.
+	if stolen < n/8 || stolen > n/2 {
+		t.Fatalf("new group stole %d of %d keys, want ≈%d", stolen, n, n/4)
+	}
+}
+
+// TestStabilityAcrossEpochBumps models per-group reconfiguration (DESIGN.md
+// §14) advancing the shard-map epoch without changing the group set: the
+// assignment must be bit-identical — a router that re-resolves every key on
+// an epoch change must never see a key move.
+func TestStabilityAcrossEpochBumps(t *testing.T) {
+	m, _ := NewMap(1, []GroupID{0, 1, 2})
+	bumped := m
+	var err error
+	for i := 0; i < 5; i++ {
+		bumped, err = bumped.Next([]GroupID{0, 1, 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if bumped.Epoch() != 6 {
+		t.Fatalf("epoch = %d, want 6", bumped.Epoch())
+	}
+	for _, k := range keys(2000) {
+		if m.GroupFor(k) != bumped.GroupFor(k) {
+			t.Fatalf("key %q moved across a same-set epoch bump", k)
+		}
+	}
+}
+
+func TestSplitPreservesOrder(t *testing.T) {
+	m, _ := NewMap(1, []GroupID{0, 1, 2})
+	ks := keys(300)
+	parts := m.Split(ks)
+	total := 0
+	for g, idxs := range parts {
+		total += len(idxs)
+		for i := 1; i < len(idxs); i++ {
+			if idxs[i] <= idxs[i-1] {
+				t.Fatalf("group %d indices out of order: %v", g, idxs)
+			}
+		}
+		for _, i := range idxs {
+			if m.GroupFor(ks[i]) != g {
+				t.Fatalf("index %d in wrong group %d", i, g)
+			}
+		}
+	}
+	if total != len(ks) {
+		t.Fatalf("split covers %d of %d keys", total, len(ks))
+	}
+}

@@ -1,0 +1,503 @@
+package sift
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/repro/sift/internal/backuppool"
+	"github.com/repro/sift/internal/kv"
+	"github.com/repro/sift/internal/linearize"
+	"github.com/repro/sift/internal/shard"
+)
+
+// ShardConfig sizes a multi-group (horizontally sharded) deployment: N
+// independent Sift consensus groups behind a key-routing client. Each group
+// is a full Cluster (2F+1 memory nodes plus CPU nodes); keys are assigned
+// to groups by an epoch-versioned rendezvous shard map (internal/shard).
+type ShardConfig struct {
+	// Groups is the number of consensus groups (≥1).
+	Groups int
+	// Group is the per-group cluster configuration. Every group gets an
+	// identical copy except for a derived Seed, so groups make independent
+	// random choices.
+	Group Config
+
+	// BackupPoolSize is the number of standby CPU nodes shared by all
+	// groups (the paper's §5.2/§6.4.2 spare-resource model: one small pool
+	// backs many groups instead of one idle backup per group). A group that
+	// loses its last coordinator claims a standby; a free one takes over
+	// immediately while a replacement VM provisions in the background.
+	BackupPoolSize int
+	// ProvisionDelay is how long a replacement standby takes to provision
+	// (paper: 100 s; scale it down for in-process experiments).
+	ProvisionDelay time.Duration
+	// FailoverGrace, when >0, enables the pool monitor: a group observed
+	// without a coordinator for this long has a pooled backup claimed and
+	// started for it automatically. Zero leaves claiming to explicit
+	// ClaimBackupFor calls.
+	FailoverGrace time.Duration
+}
+
+func (c ShardConfig) validate() error {
+	if c.Groups < 1 {
+		return fmt.Errorf("sift: ShardConfig.Groups = %d, need ≥1", c.Groups)
+	}
+	return c.Group.Validate()
+}
+
+// ShardCluster is a cluster of clusters: Groups independent Sift groups in
+// one process, a shared shard map routing keys to groups, and a shared
+// backup-CPU pool absorbing coordinator losses. Each group keeps its own
+// fabric, fault controller, and observability surface, so the existing
+// chaos and failure-injection harnesses work unmodified against any single
+// group (via Group(i)) while the others keep serving.
+type ShardCluster struct {
+	cfg    ShardConfig
+	groups []*Cluster
+
+	mapMu sync.Mutex
+	smap  shard.Map
+
+	pool *backuppool.LivePool
+
+	monitorStop chan struct{}
+	stopOnce    sync.Once
+	monitorWG   sync.WaitGroup
+
+	nextBackup atomic.Uint32 // allocates replacement CPU-node ids
+
+	poolStarts atomic.Uint64 // replacement CPU nodes started via the pool
+}
+
+// NewShardCluster boots every group and waits for each to elect a
+// coordinator.
+func NewShardCluster(cfg ShardConfig) (*ShardCluster, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	ids := make([]shard.GroupID, cfg.Groups)
+	for i := range ids {
+		ids[i] = shard.GroupID(i)
+	}
+	smap, err := shard.NewMap(1, ids)
+	if err != nil {
+		return nil, err
+	}
+	delay := cfg.ProvisionDelay
+	if delay <= 0 {
+		delay = 100 * time.Millisecond
+	}
+	sc := &ShardCluster{
+		cfg:  cfg,
+		smap: smap,
+		pool: backuppool.NewLivePool(cfg.BackupPoolSize, delay),
+	}
+
+	// Boot groups concurrently: each blocks on its own election.
+	sc.groups = make([]*Cluster, cfg.Groups)
+	errs := make([]error, cfg.Groups)
+	var wg sync.WaitGroup
+	for g := 0; g < cfg.Groups; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			gcfg := cfg.Group
+			gcfg.Seed = cfg.Group.Seed + int64(g)*104729
+			sc.groups[g], errs[g] = NewCluster(gcfg)
+		}(g)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			sc.Close()
+			return nil, err
+		}
+	}
+
+	if cfg.FailoverGrace > 0 {
+		sc.monitorStop = make(chan struct{})
+		sc.monitorWG.Add(1)
+		go sc.monitor()
+	}
+	return sc, nil
+}
+
+// Groups returns the number of consensus groups.
+func (sc *ShardCluster) Groups() int { return len(sc.groups) }
+
+// Group returns group g's cluster, for per-group fault injection,
+// failover forcing, and stats. It panics on an out-of-range id, like a
+// slice index would.
+func (sc *ShardCluster) Group(g shard.GroupID) *Cluster { return sc.groups[int(g)] }
+
+// Map returns the current shard map snapshot.
+func (sc *ShardCluster) Map() shard.Map {
+	sc.mapMu.Lock()
+	defer sc.mapMu.Unlock()
+	return sc.smap
+}
+
+// AdvanceMapEpoch mints a new shard-map epoch over the unchanged group set
+// and returns it. Per-group online reconfiguration (DESIGN.md §14) calls
+// this to version its membership changes at the routing layer; because the
+// group set is unchanged, key→group assignments are guaranteed identical —
+// routers may adopt the new epoch without any key migration.
+func (sc *ShardCluster) AdvanceMapEpoch() (shard.Map, error) {
+	sc.mapMu.Lock()
+	defer sc.mapMu.Unlock()
+	nm, err := sc.smap.Next(sc.smap.Groups())
+	if err != nil {
+		return shard.Map{}, err
+	}
+	sc.smap = nm
+	return nm, nil
+}
+
+// SetLinkLatency applies a fixed link-latency model to every group's
+// fabric — one knob to move the whole deployment between latency regimes
+// (e.g. RDMA-class microseconds vs. datacenter-TCP hundreds of
+// microseconds) for scaling experiments.
+func (sc *ShardCluster) SetLinkLatency(base, perByte time.Duration) {
+	for _, g := range sc.groups {
+		g.SetLinkLatency(base, perByte)
+	}
+}
+
+// ClaimBackupFor synchronously claims a standby CPU node from the shared
+// pool for group g and starts it (waiting out provisioning when no standby
+// is free). It returns the provisioning wait that was incurred and the new
+// CPU node's id. The caller is responsible for having observed that the
+// group actually needs one; claiming for a healthy group just adds a spare.
+func (sc *ShardCluster) ClaimBackupFor(g shard.GroupID) (time.Duration, uint16, error) {
+	if int(g) < 0 || int(g) >= len(sc.groups) {
+		return 0, 0, fmt.Errorf("sift: no group %d", g)
+	}
+	wait, _ := sc.pool.Claim()
+	if wait > 0 {
+		time.Sleep(wait)
+	}
+	id := sc.newBackupID()
+	sc.groups[int(g)].StartCPUNode(id)
+	sc.poolStarts.Add(1)
+	return wait, id, nil
+}
+
+// newBackupID allocates a CPU-node id outside the range any group's
+// configured nodes use.
+func (sc *ShardCluster) newBackupID() uint16 {
+	return uint16(10000 + sc.nextBackup.Add(1))
+}
+
+// monitor watches for groups without a coordinator and claims pooled
+// backups for them. One claim is in flight per group at a time; a group
+// that recovers on its own (a surviving follower won the election) before
+// the grace expires costs the pool nothing.
+func (sc *ShardCluster) monitor() {
+	defer sc.monitorWG.Done()
+	grace := sc.cfg.FailoverGrace
+	tick := grace / 4
+	if tick < time.Millisecond {
+		tick = time.Millisecond
+	}
+	downSince := make([]time.Time, len(sc.groups))
+	claiming := make([]bool, len(sc.groups))
+	var mu sync.Mutex
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-sc.monitorStop:
+			return
+		case <-t.C:
+		}
+		now := time.Now()
+		for g := range sc.groups {
+			if sc.groups[g].Coordinator() != 0 {
+				downSince[g] = time.Time{}
+				continue
+			}
+			if downSince[g].IsZero() {
+				downSince[g] = now
+				continue
+			}
+			mu.Lock()
+			busy := claiming[g]
+			if !busy && now.Sub(downSince[g]) >= grace {
+				claiming[g] = true
+			}
+			mu.Unlock()
+			if busy || now.Sub(downSince[g]) < grace {
+				continue
+			}
+			sc.monitorWG.Add(1)
+			go func(g int) {
+				defer sc.monitorWG.Done()
+				sc.ClaimBackupFor(shard.GroupID(g)) //nolint:errcheck — g is in range
+				mu.Lock()
+				claiming[g] = false
+				mu.Unlock()
+			}(g)
+		}
+	}
+}
+
+// PoolStats returns the shared backup pool's counters and how many
+// replacement CPU nodes have been started through it.
+func (sc *ShardCluster) PoolStats() (backuppool.LiveStats, uint64) {
+	return sc.pool.Stats(), sc.poolStarts.Load()
+}
+
+// ShardStats aggregates per-group counters.
+type ShardStats struct {
+	Epoch  uint64
+	Groups []Stats
+}
+
+// Stats snapshots every group's coordinator counters.
+func (sc *ShardCluster) Stats() ShardStats {
+	out := ShardStats{Epoch: sc.Map().Epoch(), Groups: make([]Stats, len(sc.groups))}
+	for g, cl := range sc.groups {
+		out.Groups[g] = cl.Stats()
+	}
+	return out
+}
+
+// Client returns a routing client over the shard map. Clients are cheap
+// and safe for concurrent use.
+func (sc *ShardCluster) Client() *ShardClient {
+	clients := make([]*Client, len(sc.groups))
+	for g, cl := range sc.groups {
+		clients[g] = cl.Client()
+	}
+	return &ShardClient{sc: sc, clients: clients}
+}
+
+// Close stops the pool monitor and tears every group down.
+func (sc *ShardCluster) Close() {
+	if sc.monitorStop != nil {
+		sc.stopOnce.Do(func() { close(sc.monitorStop) })
+	}
+	sc.monitorWG.Wait()
+	var wg sync.WaitGroup
+	for _, g := range sc.groups {
+		if g == nil {
+			continue
+		}
+		wg.Add(1)
+		go func(g *Cluster) {
+			defer wg.Done()
+			g.Close()
+		}(g)
+	}
+	wg.Wait()
+}
+
+// ShardClient routes single-key operations to the owning group and fans
+// batches out as per-group sub-batches. It keeps one group-affine Client
+// per group, so consecutive operations on the same group reuse that
+// group's coordinator path (and its retry/backoff state) instead of
+// re-resolving from scratch.
+type ShardClient struct {
+	sc      *ShardCluster
+	clients []*Client
+
+	// RetryBudget bounds each single-key operation, and bounds an entire
+	// PutBatch fan-out end to end (all groups share one wall-clock budget).
+	// Default 10s.
+	RetryBudget time.Duration
+	// ClientID labels operations in the recorded History.
+	ClientID int
+	// History, when non-nil, records every operation for linearizability
+	// checking. Keys routed to different groups are still one per-key
+	// history, which is exactly what the per-key checker verifies.
+	History *linearize.Recorder
+}
+
+func (c *ShardClient) budget() time.Duration {
+	if c.RetryBudget > 0 {
+		return c.RetryBudget
+	}
+	return 10 * time.Second
+}
+
+// groupClient returns the group-affine client for key, configured with
+// this router's identity.
+func (c *ShardClient) groupClient(key []byte) *Client {
+	g := c.sc.Map().GroupFor(key)
+	return c.configured(g)
+}
+
+// configured returns a Client for group g carrying this router's identity.
+// It is a fresh handle over the group-affine client's cluster rather than a
+// mutation of the shared one, so a single ShardClient is safe for
+// concurrent use.
+func (c *ShardClient) configured(g shard.GroupID) *Client {
+	gc := c.clients[int(g)]
+	return &Client{
+		cluster:     gc.cluster,
+		RetryBudget: c.budget(),
+		ClientID:    c.ClientID,
+		History:     c.History,
+	}
+}
+
+// Put stores value under key on the owning group.
+func (c *ShardClient) Put(key, value []byte) error {
+	return c.groupClient(key).Put(key, value)
+}
+
+// Get returns the value stored under key from the owning group.
+func (c *ShardClient) Get(key []byte) ([]byte, error) {
+	return c.groupClient(key).Get(key)
+}
+
+// Delete removes key on the owning group.
+func (c *ShardClient) Delete(key []byte) error {
+	return c.groupClient(key).Delete(key)
+}
+
+// GroupBatchError is one group's failure inside a fanned-out PutBatch.
+type GroupBatchError struct {
+	Group shard.GroupID
+	Err   error
+	// Pairs are the sub-batch pairs whose fate this error describes.
+	Pairs []Pair
+}
+
+// BatchError reports a PutBatch fan-out's partial failure: which groups
+// failed (and how), and which groups had already acknowledged their
+// sub-batch. Acked sub-batches are durable — the caller must NOT resend
+// the whole batch; retry only the failed groups' pairs (or resend the
+// whole batch through a fresh PutBatch and rely on server-side dedup
+// tokens, which BatchError callers get for free since every sub-batch is
+// committed idempotently).
+type BatchError struct {
+	Failed []GroupBatchError
+	Acked  []shard.GroupID
+}
+
+// Error implements error.
+func (e *BatchError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sift: batch failed on %d group(s):", len(e.Failed))
+	for _, f := range e.Failed {
+		fmt.Fprintf(&b, " group %d: %v;", f.Group, f.Err)
+	}
+	if len(e.Acked) > 0 {
+		fmt.Fprintf(&b, " %d group(s) acked", len(e.Acked))
+	}
+	return b.String()
+}
+
+// Unwrap exposes the per-group errors so errors.Is sees through the
+// aggregate (e.g. errors.Is(err, ErrAmbiguous)).
+func (e *BatchError) Unwrap() []error {
+	errs := make([]error, len(e.Failed))
+	for i, f := range e.Failed {
+		errs[i] = f.Err
+	}
+	return errs
+}
+
+// PutBatch routes each pair to its owning group and commits the per-group
+// sub-batches concurrently. Atomicity is per group: a sub-batch occupies
+// one log entry in its group, but there is no cross-group transaction —
+// pairs landing on different groups commit independently.
+//
+// All sub-batches share one wall-clock retry budget (the fan-out as a
+// whole respects RetryBudget), and each sub-batch carries its own
+// idempotency token: a group that acknowledged is never re-sent, and a
+// group whose outcome was ambiguous dedups server-side if the retry finds
+// the original commit. On partial failure the returned error is a
+// *BatchError naming the failed groups and their pairs; nil means every
+// group acknowledged.
+func (c *ShardClient) PutBatch(pairs []Pair) error {
+	if len(pairs) == 0 {
+		return nil
+	}
+	keys := make([][]byte, len(pairs))
+	for i, p := range pairs {
+		keys[i] = p.Key
+	}
+	m := c.sc.Map()
+	parts := m.Split(keys)
+
+	// Record each pair's history up front, resolved per group below.
+	var ps []*linearize.Pending
+	if c.History != nil {
+		ps = make([]*linearize.Pending, len(pairs))
+		for i, pr := range pairs {
+			if pr.Value == nil {
+				ps[i] = c.History.Invoke(c.ClientID, linearize.KindDelete, string(pr.Key), "")
+			} else {
+				ps[i] = c.History.Invoke(c.ClientID, linearize.KindPut, string(pr.Key), string(pr.Value))
+			}
+		}
+	}
+
+	// One absolute deadline for the whole fan-out: each group's retry loop
+	// clamps to the remaining total.
+	deadline := time.Now().Add(c.budget())
+
+	type result struct {
+		g    shard.GroupID
+		idxs []int
+		err  error
+	}
+	results := make(chan result, len(parts))
+	for g, idxs := range parts {
+		sub := make([]Pair, len(idxs))
+		for i, idx := range idxs {
+			sub[i] = pairs[idx]
+		}
+		go func(g shard.GroupID, idxs []int, sub []Pair) {
+			tok := newBatchToken()
+			gc := c.configured(g)
+			start := time.Now()
+			err := gc.doUntil(deadline, func(st *kv.Store) error {
+				return st.PutBatchIdem(tok, sub)
+			})
+			c.sc.groups[int(g)].cm.batchLat.Record(time.Since(start))
+			results <- result{g: g, idxs: idxs, err: err}
+		}(g, idxs, sub)
+	}
+
+	var be BatchError
+	for range parts {
+		r := <-results
+		if ps != nil {
+			for _, i := range r.idxs {
+				finishWrite(ps[i], r.err)
+			}
+		}
+		if r.err != nil {
+			sub := make([]Pair, len(r.idxs))
+			for i, idx := range r.idxs {
+				sub[i] = pairs[idx]
+			}
+			be.Failed = append(be.Failed, GroupBatchError{Group: r.g, Err: r.err, Pairs: sub})
+		} else {
+			be.Acked = append(be.Acked, r.g)
+		}
+	}
+	if len(be.Failed) == 0 {
+		return nil
+	}
+	sort.Slice(be.Failed, func(i, j int) bool { return be.Failed[i].Group < be.Failed[j].Group })
+	sort.Slice(be.Acked, func(i, j int) bool { return be.Acked[i] < be.Acked[j] })
+	return &be
+}
+
+// AsBatchError extracts a *BatchError from err, if it is one.
+func AsBatchError(err error) (*BatchError, bool) {
+	var be *BatchError
+	if errors.As(err, &be) {
+		return be, true
+	}
+	return nil, false
+}

@@ -1,0 +1,473 @@
+package sift
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/repro/sift/internal/kv"
+	"github.com/repro/sift/internal/linearize"
+	"github.com/repro/sift/internal/shard"
+	"github.com/repro/sift/internal/workload"
+)
+
+// shardTestConfig is a small multi-group deployment for unit tests.
+func shardTestConfig(groups int) ShardConfig {
+	return ShardConfig{
+		Groups: groups,
+		Group:  smallConfig(),
+	}
+}
+
+func newTestShardCluster(t *testing.T, cfg ShardConfig) *ShardCluster {
+	t.Helper()
+	sc, err := NewShardCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sc.Close)
+	return sc
+}
+
+// shardKeys returns n distinct keys, plus the subset owned by each group.
+func shardKeys(m shard.Map, n int) ([][]byte, map[shard.GroupID][][]byte) {
+	keys := make([][]byte, n)
+	byGroup := make(map[shard.GroupID][][]byte)
+	for i := range keys {
+		k := []byte(fmt.Sprintf("key-%04d", i))
+		keys[i] = k
+		g := m.GroupFor(k)
+		byGroup[g] = append(byGroup[g], k)
+	}
+	return keys, byGroup
+}
+
+func TestShardClusterBasic(t *testing.T) {
+	sc := newTestShardCluster(t, shardTestConfig(3))
+	c := sc.Client()
+
+	keys, byGroup := shardKeys(sc.Map(), 60)
+	if len(byGroup) != 3 {
+		t.Fatalf("60 keys landed on %d of 3 groups", len(byGroup))
+	}
+	for i, k := range keys {
+		if err := c.Put(k, []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatalf("put %s: %v", k, err)
+		}
+	}
+	for i, k := range keys {
+		v, err := c.Get(k)
+		if err != nil || string(v) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("get %s = %q err=%v", k, v, err)
+		}
+	}
+	// Deletes route too.
+	if err := c.Delete(keys[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get(keys[0]); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("deleted key readable: %v", err)
+	}
+	// Each group served exactly its share of the puts — the router did not
+	// broadcast or misroute.
+	st := sc.Stats()
+	for g := 0; g < 3; g++ {
+		want := uint64(len(byGroup[shard.GroupID(g)]))
+		if st.Groups[g].KV.Puts != want {
+			t.Fatalf("group %d puts = %d, want %d", g, st.Groups[g].KV.Puts, want)
+		}
+	}
+}
+
+// TestShardRouterEpochStability is the router-level reconfiguration unit
+// test: advancing the shard-map epoch (as per-group membership changes do)
+// must not move any key between groups, so values written before the bump
+// stay reachable after it.
+func TestShardRouterEpochStability(t *testing.T) {
+	sc := newTestShardCluster(t, shardTestConfig(3))
+	c := sc.Client()
+
+	keys, _ := shardKeys(sc.Map(), 40)
+	before := make([]shard.GroupID, len(keys))
+	for i, k := range keys {
+		before[i] = sc.Map().GroupFor(k)
+		if err := c.Put(k, []byte("stable")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for bump := 0; bump < 3; bump++ {
+		nm, err := sc.AdvanceMapEpoch()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := uint64(2 + bump); nm.Epoch() != want {
+			t.Fatalf("epoch = %d, want %d", nm.Epoch(), want)
+		}
+	}
+	for i, k := range keys {
+		if g := sc.Map().GroupFor(k); g != before[i] {
+			t.Fatalf("key %s moved group %d→%d across epoch bumps", k, before[i], g)
+		}
+		if v, err := c.Get(k); err != nil || string(v) != "stable" {
+			t.Fatalf("get %s after bumps = %q err=%v", k, v, err)
+		}
+	}
+}
+
+// shardKeysBalanced picks perGroup keys owned by each group (batches must
+// fit one log slot per group, so sub-batch sizes need bounding).
+func shardKeysBalanced(m shard.Map, perGroup int) ([][]byte, map[shard.GroupID][][]byte) {
+	byGroup := make(map[shard.GroupID][][]byte)
+	var keys [][]byte
+	for i := 0; len(keys) < perGroup*m.NumGroups(); i++ {
+		k := []byte(fmt.Sprintf("key-%04d", i))
+		g := m.GroupFor(k)
+		if len(byGroup[g]) >= perGroup {
+			continue
+		}
+		byGroup[g] = append(byGroup[g], k)
+		keys = append(keys, k)
+	}
+	return keys, byGroup
+}
+
+func TestShardBatchFanout(t *testing.T) {
+	sc := newTestShardCluster(t, shardTestConfig(3))
+	c := sc.Client()
+
+	keys, byGroup := shardKeysBalanced(sc.Map(), 4)
+	pairs := make([]Pair, len(keys))
+	for i, k := range keys {
+		pairs[i] = Pair{Key: k, Value: []byte(fmt.Sprintf("b%d", i))}
+	}
+	if err := c.PutBatch(pairs); err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range keys {
+		v, err := c.Get(k)
+		if err != nil || string(v) != fmt.Sprintf("b%d", i) {
+			t.Fatalf("get %s = %q err=%v", k, v, err)
+		}
+	}
+	st := sc.Stats()
+	for g := 0; g < 3; g++ {
+		want := uint64(len(byGroup[shard.GroupID(g)]))
+		if st.Groups[g].KV.Puts != want {
+			t.Fatalf("group %d puts = %d, want %d (sub-batch misrouted)", g, st.Groups[g].KV.Puts, want)
+		}
+	}
+}
+
+// TestShardBatchRetryAmplification is the cross-group retry-amplification
+// regression: when one group's sub-batch fails, the groups that already
+// acknowledged must not be re-sent — their put counters stay at exactly
+// their sub-batch size, and the error names only the failed group with its
+// pairs so the caller can retry precisely those.
+func TestShardBatchRetryAmplification(t *testing.T) {
+	sc := newTestShardCluster(t, shardTestConfig(3))
+	c := sc.Client()
+	c.RetryBudget = 400 * time.Millisecond
+
+	keys, byGroup := shardKeysBalanced(sc.Map(), 4)
+	deadGroup := sc.Map().GroupFor(keys[0])
+	// Take the chosen group down hard: no CPU nodes, no coordinator.
+	dead := sc.Group(deadGroup)
+	for id := uint16(1); id <= 8; id++ {
+		dead.KillCPUNode(id)
+	}
+
+	pairs := make([]Pair, len(keys))
+	for i, k := range keys {
+		pairs[i] = Pair{Key: k, Value: []byte(fmt.Sprintf("r%d", i))}
+	}
+	err := c.PutBatch(pairs)
+	be, ok := AsBatchError(err)
+	if !ok {
+		t.Fatalf("want *BatchError, got %v", err)
+	}
+	if len(be.Failed) != 1 || be.Failed[0].Group != deadGroup {
+		t.Fatalf("failed groups = %+v, want exactly group %d", be.Failed, deadGroup)
+	}
+	if got := len(be.Failed[0].Pairs); got != len(byGroup[deadGroup]) {
+		t.Fatalf("failed pairs = %d, want %d", got, len(byGroup[deadGroup]))
+	}
+	if !errors.Is(err, ErrNoCoordinator) {
+		t.Fatalf("aggregate error does not unwrap to ErrNoCoordinator: %v", err)
+	}
+	if len(be.Acked) != 2 {
+		t.Fatalf("acked groups = %v, want the 2 surviving ones", be.Acked)
+	}
+
+	// The surviving groups saw their sub-batch exactly once: no blind
+	// re-sends while the dead group's retries burned the budget.
+	st := sc.Stats()
+	for _, g := range be.Acked {
+		want := uint64(len(byGroup[g]))
+		if st.Groups[g].KV.Puts != want {
+			t.Fatalf("group %d puts = %d, want %d (sub-batch re-sent)", g, st.Groups[g].KV.Puts, want)
+		}
+	}
+
+	// Recovery: restart a CPU node in the dead group and retry only the
+	// failed pairs, as BatchError directs.
+	dead.StartCPUNode(40)
+	if err := dead.WaitForCoordinator(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	c.RetryBudget = 10 * time.Second
+	if err := c.PutBatch(be.Failed[0].Pairs); err != nil {
+		t.Fatalf("retry of failed sub-batch: %v", err)
+	}
+	for i, k := range keys {
+		v, err := c.Get(k)
+		if err != nil || string(v) != fmt.Sprintf("r%d", i) {
+			t.Fatalf("get %s = %q err=%v", k, v, err)
+		}
+	}
+}
+
+// TestShardBatchSharedBudget is the shared-wall-clock regression: a fan-out
+// whose groups are all unreachable must give up after ONE RetryBudget, not
+// one per group — doUntil clamps every sub-batch to the same absolute
+// deadline.
+func TestShardBatchSharedBudget(t *testing.T) {
+	sc := newTestShardCluster(t, shardTestConfig(3))
+	c := sc.Client()
+	const budget = 300 * time.Millisecond
+	c.RetryBudget = budget
+
+	for g := 0; g < 3; g++ {
+		for id := uint16(1); id <= 8; id++ {
+			sc.Group(shard.GroupID(g)).KillCPUNode(id)
+		}
+	}
+	keys, _ := shardKeysBalanced(sc.Map(), 2)
+	pairs := make([]Pair, len(keys))
+	for i, k := range keys {
+		pairs[i] = Pair{Key: k, Value: []byte("x")}
+	}
+	start := time.Now()
+	err := c.PutBatch(pairs)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("batch against 3 dead groups succeeded")
+	}
+	if !errors.Is(err, ErrNoCoordinator) {
+		t.Fatalf("err = %v, want ErrNoCoordinator through the aggregate", err)
+	}
+	// Generous slack for scheduling; the pre-fix failure mode is ≥2×.
+	if elapsed > budget+budget/2 {
+		t.Fatalf("fan-out took %v with a %v budget (per-group budgets not clamped)", elapsed, budget)
+	}
+}
+
+// TestShardDoUntilDeadline pins the client-level refactor: doUntil honors
+// the absolute deadline it is given, regardless of the client's own
+// RetryBudget.
+func TestShardDoUntilDeadline(t *testing.T) {
+	cfg := smallConfig()
+	cl := newTestCluster(t, cfg)
+	cl.KillCPUNode(1)
+	cl.KillCPUNode(2)
+	c := cl.Client()
+	c.RetryBudget = 10 * time.Second // must be ignored by doUntil
+
+	start := time.Now()
+	err := c.doUntil(start.Add(150*time.Millisecond), func(st *kv.Store) error { return st.Put([]byte("k"), []byte("v")) })
+	elapsed := time.Since(start)
+	if !errors.Is(err, ErrNoCoordinator) {
+		t.Fatalf("err = %v, want ErrNoCoordinator", err)
+	}
+	if elapsed > 450*time.Millisecond {
+		t.Fatalf("doUntil ran %v past a 150ms deadline", elapsed)
+	}
+}
+
+// TestShardBackupPoolClaim exercises the live backup-pool wiring: groups
+// run a single CPU node each (§5.2's pool-backed mode); killing one's
+// coordinator leaves the group with no CPU nodes at all, and the pool
+// monitor must claim a standby and elect it. The second group to fail
+// finds the pool's free node spent and waits out provisioning.
+func TestShardBackupPoolClaim(t *testing.T) {
+	cfg := shardTestConfig(2)
+	cfg.Group.CPUNodes = 1
+	cfg.BackupPoolSize = 1
+	cfg.ProvisionDelay = 150 * time.Millisecond
+	cfg.FailoverGrace = 20 * time.Millisecond
+	sc := newTestShardCluster(t, cfg)
+	c := sc.Client()
+	c.RetryBudget = 20 * time.Second
+
+	if err := c.Put([]byte("before"), []byte("pool")); err != nil {
+		t.Fatal(err)
+	}
+
+	// First failure: the pooled standby takes over (no provisioning wait).
+	sc.Group(0).KillCoordinator()
+	if err := sc.Group(0).WaitForCoordinator(10 * time.Second); err != nil {
+		t.Fatalf("group 0 never recovered via pool: %v", err)
+	}
+	// Second failure: the free node is spent; the claim waits for the
+	// replacement VM.
+	sc.Group(1).KillCoordinator()
+	if err := sc.Group(1).WaitForCoordinator(10 * time.Second); err != nil {
+		t.Fatalf("group 1 never recovered via pool: %v", err)
+	}
+
+	stats, starts := sc.PoolStats()
+	if stats.Claims < 2 || starts < 2 {
+		t.Fatalf("pool claims=%d starts=%d, want ≥2 each (stats %+v)", stats.Claims, starts, stats)
+	}
+	if stats.FromPool < 1 {
+		t.Fatalf("no claim served from the free pool: %+v", stats)
+	}
+	if stats.Waited < 1 || stats.MaxWait == 0 {
+		t.Fatalf("second claim should have waited for provisioning: %+v", stats)
+	}
+
+	// Both groups serve reads again.
+	if v, err := c.Get([]byte("before")); err != nil || string(v) != "pool" {
+		t.Fatalf("get after pooled failovers = %q err=%v", v, err)
+	}
+}
+
+// runShardLinearizeClients mirrors runLinearizeClients for a sharded
+// deployment: n clients run a mixed workload (singles plus periodic
+// cross-group batches) through the routing client into one shared history,
+// disturb fires, and the per-key histories must linearize.
+func runShardLinearizeClients(t *testing.T, sc *ShardCluster, n int, disturb func()) {
+	t.Helper()
+	rec := linearize.NewRecorder()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c := sc.Client()
+			c.ClientID = id
+			c.History = rec
+			c.RetryBudget = 20 * time.Second
+			gen := workload.NewGenerator(workload.Config{
+				Mix: workload.Mixed, Keys: 12, ValueSize: 16,
+				Seed: int64(2000 + id), UniqueValues: true,
+				ClientID: id, DeleteRatio: 0.1,
+			})
+			seq := 0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				op := gen.Next()
+				var err error
+				switch {
+				case seq%8 == 7 && !op.Read:
+					// Periodic cross-group batch: this op's pair plus two
+					// more from the generator, fanned out by the router.
+					pairs := []Pair{{Key: op.Key, Value: op.Value}}
+					for len(pairs) < 3 {
+						extra := gen.Next()
+						if extra.Read || extra.Delete {
+							continue
+						}
+						pairs = append(pairs, Pair{Key: extra.Key, Value: extra.Value})
+					}
+					err = c.PutBatch(pairs)
+					if _, isBatch := AsBatchError(err); isBatch {
+						// Partial failure is legal under faults; the per-pair
+						// histories already recorded each group's outcome.
+						err = nil
+					}
+				case op.Read:
+					_, err = c.Get(op.Key)
+				case op.Delete:
+					err = c.Delete(op.Key)
+				default:
+					err = c.Put(op.Key, op.Value)
+				}
+				seq++
+				if err != nil && !errors.Is(err, ErrNotFound) && !errors.Is(err, ErrNoCoordinator) {
+					t.Errorf("client %d: unexpected error %v", id, err)
+					return
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+		}(i)
+	}
+
+	disturb()
+	close(stop)
+	wg.Wait()
+
+	hist := rec.History()
+	open := 0
+	for _, o := range hist {
+		if o.Ambiguous() {
+			open++
+		}
+	}
+	rep := linearize.Check(hist, linearize.DefaultTimeout)
+	if rep.Result != linearize.Ok {
+		var bad []linearize.Op
+		for _, o := range hist {
+			if o.Key == rep.Key {
+				bad = append(bad, o)
+			}
+		}
+		sort.Slice(bad, func(i, j int) bool { return bad[i].Invoke < bad[j].Invoke })
+		for _, o := range bad {
+			t.Logf("  c%-2d %-6s in=%q out=%q notFound=%v [%d, %d]",
+				o.ClientID, o.Kind, o.In, o.Out, o.NotFound, o.Invoke, o.Return)
+		}
+		for _, o := range rep.Frontier {
+			t.Logf("  frontier: c%-2d %-6s in=%q out=%q notFound=%v [%d, %d]",
+				o.ClientID, o.Kind, o.In, o.Out, o.NotFound, o.Invoke, o.Return)
+		}
+		t.Fatalf("sharded history of %d ops (%d open) over %d keys: %v on key %q",
+			rep.Ops, open, rep.Keys, rep.Result, rep.Key)
+	}
+	t.Logf("linearized %d sharded ops (%d open) over %d keys in %v", rep.Ops, open, rep.Keys, rep.Elapsed)
+}
+
+// TestChaosLinearizeShardedFailover is the multi-group acceptance test:
+// 9 clients run a mixed single-key + cross-group batch workload over 3
+// groups while one group is forced through a coordinator failover that
+// only the shared backup pool can resolve (single CPU node per group). The
+// other groups must keep serving unperturbed, retried batches must not
+// double-apply anywhere, and every per-key history must linearize.
+func TestChaosLinearizeShardedFailover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos run in -short mode")
+	}
+	cfg := shardTestConfig(3)
+	cfg.Group.CPUNodes = 1
+	cfg.BackupPoolSize = 2
+	cfg.ProvisionDelay = 50 * time.Millisecond
+	cfg.FailoverGrace = 20 * time.Millisecond
+	sc := newTestShardCluster(t, cfg)
+	for g := 0; g < 3; g++ {
+		dumpEventsOnFailure(t, sc.Group(shard.GroupID(g)))
+	}
+
+	runShardLinearizeClients(t, sc, 9, func() {
+		time.Sleep(200 * time.Millisecond)
+		// Group 1 loses its only CPU node; recovery must come from the
+		// pool monitor.
+		sc.Group(1).KillCoordinator()
+		time.Sleep(400 * time.Millisecond)
+		// And again: the second claim rides a provisioning wait.
+		sc.Group(1).KillCoordinator()
+		time.Sleep(500 * time.Millisecond)
+	})
+
+	stats, starts := sc.PoolStats()
+	if starts < 2 {
+		t.Fatalf("pool starts = %d, want ≥2 (monitor never intervened); stats %+v", starts, stats)
+	}
+	t.Logf("pool: %+v, %d replacement CPU nodes started", stats, starts)
+}
