@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 race chaos linearize reconfig shard fuzz-short bench-pipeline bench-ec bench-json obs-smoke staticcheck
+.PHONY: tier1 race chaos linearize reconfig shard wan fuzz-short bench-pipeline bench-ec bench-json obs-smoke staticcheck
 
 # Tier-1 verification: everything vets, builds, and every test passes.
 tier1:
@@ -41,6 +41,16 @@ shard:
 	$(GO) test -race -timeout 5m -run 'TestPutBatchIdem' ./internal/kv/
 	$(GO) test -race -timeout 10m -run 'TestShard|TestChaosLinearizeSharded' .
 
+# WAN resilience suite: the netsim impairment-model and wantransport FEC
+# unit tests, the faultrdma per-class composition tests, and the
+# cluster-level WAN scenarios — steady-replica never-suspect and the
+# linearizability-checked 5%-loss + failover chaos run — under the race
+# detector (DESIGN.md §16).
+wan:
+	$(GO) test -race -timeout 5m ./internal/netsim/ ./internal/wantransport/
+	$(GO) test -race -timeout 5m -run 'TestDropSchedule|TestDelaySchedule|TestCorruptSchedule|TestFaultSchedule' ./internal/faultrdma/
+	$(GO) test -race -timeout 10m -run 'TestWAN|TestChaosLinearizeWAN' -v .
+
 # Short fuzz passes: the WAL entry decoder (parses whatever bytes a crashed
 # or corrupt memory node holds during recovery) and the word-parallel
 # GF(256) kernels (differential against the scalar gfMul reference).
@@ -61,11 +71,12 @@ bench-ec:
 	$(GO) test $(BENCHFLAGS) -run '^$$' -bench 'BenchmarkECApply|BenchmarkECRead' -benchtime $(BENCHTIME) ./internal/repmem/
 
 # Benchmark trajectory: runs the EC and cluster benchmarks and emits
-# BENCH_8.json with encode/reconstruct MB/s, put throughput, read
+# BENCH_9.json with encode/reconstruct MB/s, put throughput, read
 # latency percentiles, put throughput under rolling node replacement,
-# and aggregate put throughput behind the shard router at 1/2/4 groups.
+# aggregate put throughput behind the shard router at 1/2/4 groups, and
+# WAN put throughput/p99 at 0/5/15% sustained loss.
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_8.json
+	$(GO) run ./cmd/benchjson -out BENCH_9.json
 
 # Observability smoke: both daemons build, the obs package tests pass, and
 # the in-process cluster serves /metrics, /healthz, /statusz, and /events

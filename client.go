@@ -75,6 +75,28 @@ func (c *Client) do(op func(*kv.Store) error) error {
 	return c.doUntil(time.Now().Add(c.budget()), op)
 }
 
+// doWAN is do with the simulated client↔coordinator WAN legs charged around
+// each attempt: the request leg before the store operation, the response leg
+// after it. A leg that exhausts its flight retry budget surfaces an error
+// wrapping rdma.ErrDeadline, so the normal failover retry loop re-sends it —
+// exactly how a real client rides out a lossy wide-area path. On a LAN
+// cluster (no Config.WAN, or WAN without ClientWAN) it is plain do.
+func (c *Client) doWAN(reqSize, respSize int, op func(*kv.Store) error) error {
+	w := c.cluster.wan
+	if w == nil || w.client == nil {
+		return c.do(op)
+	}
+	return c.do(func(st *kv.Store) error {
+		if err := w.clientLeg(reqSize); err != nil {
+			return err
+		}
+		if err := op(st); err != nil {
+			return err
+		}
+		return w.clientLeg(respSize)
+	})
+}
+
 // doUntil runs op against the current coordinator, retrying across
 // failovers with jittered exponential backoff until the absolute deadline.
 // When the deadline expires it returns ErrAmbiguous if at least one attempt
@@ -149,7 +171,8 @@ func finishGet(p *linearize.Pending, out []byte, err error) {
 func (c *Client) Put(key, value []byte) error {
 	p := c.History.Invoke(c.ClientID, linearize.KindPut, string(key), string(value))
 	start := time.Now()
-	err := c.do(func(st *kv.Store) error { return st.Put(key, value) })
+	err := c.doWAN(wanOpHeader+len(key)+len(value), wanOpHeader,
+		func(st *kv.Store) error { return st.Put(key, value) })
 	c.cluster.cm.putLat.Record(time.Since(start))
 	finishWrite(p, err)
 	return err
@@ -164,19 +187,20 @@ func (c *Client) Get(key []byte) ([]byte, error) {
 	p := c.History.Invoke(c.ClientID, linearize.KindGet, string(key), "")
 	var out []byte
 	start := time.Now()
-	if v, ok := c.cluster.backupGet(key); ok {
+	if v, ok := c.cluster.wanBackupGet(key); ok {
 		c.cluster.cm.getLat.Record(time.Since(start))
 		finishGet(p, v, nil)
 		return v, nil
 	}
-	err := c.do(func(st *kv.Store) error {
-		v, err := st.Get(key)
-		if err != nil {
-			return err
-		}
-		out = v
-		return nil
-	})
+	err := c.doWAN(wanOpHeader+len(key), wanOpHeader+c.cluster.cfg.MaxValueSize,
+		func(st *kv.Store) error {
+			v, err := st.Get(key)
+			if err != nil {
+				return err
+			}
+			out = v
+			return nil
+		})
 	c.cluster.cm.getLat.Record(time.Since(start))
 	if errors.Is(err, kv.ErrNotFound) {
 		err = ErrNotFound
@@ -192,7 +216,8 @@ func (c *Client) Get(key []byte) ([]byte, error) {
 func (c *Client) Delete(key []byte) error {
 	p := c.History.Invoke(c.ClientID, linearize.KindDelete, string(key), "")
 	start := time.Now()
-	err := c.do(func(st *kv.Store) error { return st.Delete(key) })
+	err := c.doWAN(wanOpHeader+len(key), wanOpHeader,
+		func(st *kv.Store) error { return st.Delete(key) })
 	c.cluster.cm.deleteLat.Record(time.Since(start))
 	finishWrite(p, err)
 	return err
@@ -226,7 +251,12 @@ func (c *Client) PutBatch(pairs []Pair) error {
 	// was durable but unacked (ambiguous failure, possibly across a
 	// coordinator failover) dedups server-side instead of applying twice.
 	tok := newBatchToken()
-	err := c.do(func(st *kv.Store) error { return st.PutBatchIdem(tok, pairs) })
+	reqSize := wanOpHeader
+	for _, pr := range pairs {
+		reqSize += len(pr.Key) + len(pr.Value)
+	}
+	err := c.doWAN(reqSize, wanOpHeader,
+		func(st *kv.Store) error { return st.PutBatchIdem(tok, pairs) })
 	c.cluster.cm.batchLat.Record(time.Since(start))
 	for _, p := range ps {
 		finishWrite(p, err)

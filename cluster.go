@@ -32,6 +32,7 @@ type Cluster struct {
 	fabric  *netsim.Fabric
 	network *rdma.Network
 	faults  *faultrdma.Controller // nil unless cfg.FaultInjection
+	wan     *wanState             // nil unless cfg.WAN
 
 	memNames []string
 
@@ -102,6 +103,11 @@ func NewCluster(cfg Config) (*Cluster, error) {
 
 	mcfg.SuspectAfter = c.SuspectAfter
 	mcfg.DeadAfter = c.DeadAfter
+	mcfg.StragglerFactor = c.StragglerFactor
+	mcfg.StragglerMinLatency = c.StragglerMinLatency
+	mcfg.StragglerMinSamples = c.StragglerMinSamples
+	mcfg.SuspectProbeLimit = c.SuspectProbeLimit
+	mcfg.DegradeExitProbes = c.DegradeExitProbes
 	if c.BackupReads {
 		// Lease soundness needs acks to imply visibility: writes wait for
 		// their apply, and after a node exclusion acks hold until every
@@ -140,7 +146,12 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	}
 	mcfg.MemoryNodes = cl.memNames
 	cl.mcfg = mcfg
-	cl.initObs() // after memNames exist (per-node gauges), before CPU nodes start
+	if c.WAN != nil {
+		if err := cl.initWAN(); err != nil {
+			return nil, err
+		}
+	}
+	cl.initObs() // after memNames and WAN state exist, before CPU nodes start
 
 	for i := 0; i < c.CPUNodes; i++ {
 		cl.startCPUNodeLocked(uint16(i + 1))
@@ -176,6 +187,13 @@ func (cl *Cluster) nodeConfig(id uint16) core.Config {
 		memDial = cl.faults.WrapDialer(memDial)
 		electDial = cl.faults.WrapDialer(electDial)
 		backupDial = cl.faults.WrapDialer(backupDial)
+	}
+	if cl.wan != nil {
+		// WAN wraps outermost: a dropped or delayed op still pays the
+		// wide-area flight time before any injected fault can act on it.
+		memDial = cl.wrapWANDial(cpuName, memDial)
+		electDial = cl.wrapWANDial(cpuName, electDial)
+		backupDial = cl.wrapWANDial(cpuName, backupDial)
 	}
 	mcfg.Dial = memDial
 	mcfg.Events = cl.events

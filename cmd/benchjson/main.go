@@ -1,10 +1,12 @@
 // Command benchjson runs the repository's headline performance probes and
-// emits one JSON document (for the benchmark-trajectory record BENCH_8.json):
+// emits one JSON document (for the benchmark-trajectory record BENCH_9.json):
 // erasure encode/reconstruct bandwidth, cluster put throughput, read
 // latency percentiles on both the coordinator and lease-based backup read
-// paths, put throughput while memory nodes are being live-replaced, and
+// paths, put throughput while memory nodes are being live-replaced,
 // aggregate put throughput behind the shard router at 1, 2, and 4
-// consensus groups. Invoke via `make bench-json`.
+// consensus groups, and WAN put throughput with p99 latency at 0%, 5%, and
+// 15% sustained Gilbert–Elliott loss through the loss-adaptive FEC
+// transport. Invoke via `make bench-json`.
 package main
 
 import (
@@ -57,10 +59,20 @@ type doc struct {
 	ShardPutOpsPerSec map[string]float64 `json:"shard_put_ops_per_sec"`
 	// 4-group aggregate over 1-group aggregate.
 	ShardSpeedup4x float64 `json:"shard_speedup_4_groups"`
+
+	// WAN deployment (40ms RTT, one memory node and the client hop across
+	// the wide-area link, adaptive FEC transport): acknowledged puts/s and
+	// put p99 (ms) at 0%, 5%, and 15% sustained Gilbert–Elliott loss.
+	// Keys "loss_0", "loss_5", "loss_15" (DESIGN.md §16).
+	WANPutOpsPerSec map[string]float64 `json:"wan_put_ops_per_sec"`
+	WANPutP99Ms     map[string]float64 `json:"wan_put_p99_ms"`
+	// 15%-loss throughput over lossless-WAN throughput: how much of the
+	// wide-area baseline survives heavy sustained loss.
+	WANRetention15 float64 `json:"wan_put_retention_15pct_loss"`
 }
 
 func main() {
-	out := flag.String("out", "BENCH_8.json", "output path")
+	out := flag.String("out", "BENCH_9.json", "output path")
 	dur := flag.Duration("duration", 2*time.Second, "per-probe measurement duration")
 	flag.Parse()
 
@@ -122,6 +134,24 @@ func main() {
 	if base := d.ShardPutOpsPerSec["groups_1"]; base > 0 {
 		ratio := d.ShardPutOpsPerSec["groups_4"] / base
 		d.ShardSpeedup4x = float64(int64(ratio*100+0.5)) / 100
+	}
+
+	d.WANPutOpsPerSec = map[string]float64{}
+	d.WANPutP99Ms = map[string]float64{}
+	for _, loss := range []float64{0, 0.05, 0.15} {
+		tput, p99, err := bench.WANPutThroughput(bench.WANBenchConfig{
+			LossRate: loss, Duration: *dur, Seed: 42,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		key := fmt.Sprintf("loss_%d", int(loss*100))
+		d.WANPutOpsPerSec[key] = round1(tput)
+		d.WANPutP99Ms[key] = round1(p99)
+	}
+	if base := d.WANPutOpsPerSec["loss_0"]; base > 0 {
+		ratio := d.WANPutOpsPerSec["loss_15"] / base
+		d.WANRetention15 = float64(int64(ratio*100+0.5)) / 100
 	}
 
 	buf, err := json.MarshalIndent(d, "", "  ")

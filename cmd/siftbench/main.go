@@ -8,8 +8,8 @@
 //	siftbench -experiment fig5 -keys 1000000 -duration 50s -reps 5
 //
 // Experiments: table1, fig5, fig6, fig7, fig8, table2, fig9, fig10,
-// fig11, fig12, shard. Defaults are sized for a laptop; the flags scale
-// any experiment up to the paper's full parameters.
+// fig11, fig12, shard, wan. Defaults are sized for a laptop; the flags
+// scale any experiment up to the paper's full parameters.
 package main
 
 import (
@@ -40,7 +40,7 @@ type options struct {
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "comma-separated experiments (table1, fig5, fig6, fig7, fig8, table2, fig9, fig10, fig11, fig12, shard, all)")
+		experiment = flag.String("experiment", "all", "comma-separated experiments (table1, fig5, fig6, fig7, fig8, table2, fig9, fig10, fig11, fig12, shard, wan, all)")
 		keys       = flag.Int("keys", 4096, "key population (paper: 1000000)")
 		valueSize  = flag.Int("value-size", 992, "value payload bytes")
 		clients    = flag.Int("clients", 32, "concurrent closed-loop clients")
@@ -58,9 +58,9 @@ func main() {
 	all := map[string]func(options){
 		"table1": table1, "fig5": fig5, "fig6": fig6, "fig7": fig7,
 		"fig8": fig8, "table2": table2, "fig9": costFigure(1), "fig10": costFigure(2),
-		"fig11": fig11, "fig12": fig12, "shard": shardScaling,
+		"fig11": fig11, "fig12": fig12, "shard": shardScaling, "wan": wanDegradation,
 	}
-	order := []string{"table1", "fig5", "fig6", "fig7", "fig8", "table2", "fig9", "fig10", "fig11", "fig12", "shard"}
+	order := []string{"table1", "fig5", "fig6", "fig7", "fig8", "table2", "fig9", "fig10", "fig11", "fig12", "shard", "wan"}
 
 	want := strings.Split(*experiment, ",")
 	if *experiment == "all" {
@@ -337,6 +337,34 @@ func shardScaling(o options) {
 			speedup = fmt.Sprintf("%.2fx", tput/base)
 		}
 		fmt.Fprintf(w, "%d\t%d\t%.0f\t%s\n", groups, groups*clientsPerGroup, tput, speedup)
+	}
+}
+
+// wanDegradation measures acknowledged put throughput and put p99 across a
+// simulated 40ms-RTT wide-area deployment (one memory node and the client
+// hop across the WAN, loss-adaptive FEC transport; DESIGN.md §16) at 0%,
+// 5%, and 15% sustained Gilbert–Elliott loss.
+func wanDegradation(o options) {
+	fmt.Println("WAN: put throughput and p99 vs sustained loss (40ms RTT, adaptive FEC)")
+	w := newTab()
+	defer w.Flush()
+	fmt.Fprintln(w, "loss\tops/sec\tput p99 (ms)\tretention")
+	var base float64
+	for _, loss := range []float64{0, 0.05, 0.15} {
+		tput, p99, err := bench.WANPutThroughput(bench.WANBenchConfig{
+			LossRate: loss, Warmup: o.warmup, Duration: o.duration, Seed: o.seed,
+		})
+		if err != nil {
+			log.Fatalf("siftbench: wan: %v", err)
+		}
+		if loss == 0 {
+			base = tput
+		}
+		retention := "-"
+		if base > 0 {
+			retention = fmt.Sprintf("%.0f%%", 100*tput/base)
+		}
+		fmt.Fprintf(w, "%.0f%%\t%.1f\t%.1f\t%s\n", 100*loss, tput, p99, retention)
 	}
 }
 

@@ -1,0 +1,180 @@
+package faultrdma
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/repro/sift/internal/netsim"
+	"github.com/repro/sift/internal/rdma"
+)
+
+// Schedule-composition regression tests. A fault class's schedule — which op
+// ordinals it fires on, and with what parameters — must be a pure function
+// of (controller seed, node name, op ordinal). Arming another fault class, or
+// stacking a netsim latency model under the wrapper, must not shift it.
+// Before per-class rng streams, all classes shared one rand.Rand and decide()
+// short-circuited, so toggling SetDrop rewrote the SetDelay schedule and vice
+// versa — chaos runs stopped reproducing the moment a second impairment was
+// added.
+
+const composeSeed = 424242
+
+// dropSchedule records which of n decide() calls drop, under the given setup.
+func dropSchedule(n int, setup func(*NodeFaults)) []bool {
+	ctrl := NewController(composeSeed, 0)
+	nf := ctrl.Node("m0")
+	setup(nf)
+	out := make([]bool, n)
+	for i := range out {
+		act, _ := nf.decide()
+		out[i] = act == actDrop
+	}
+	return out
+}
+
+// delaySchedule records, per decide() call, the injected delay (0 = none).
+func delaySchedule(n int, setup func(*NodeFaults)) []time.Duration {
+	ctrl := NewController(composeSeed, 0)
+	nf := ctrl.Node("m0")
+	setup(nf)
+	out := make([]time.Duration, n)
+	for i := range out {
+		act, d := nf.decide()
+		if act == actDelay {
+			out[i] = d
+		}
+	}
+	return out
+}
+
+// TestDropScheduleInvariantUnderComposition: the drop schedule with only
+// SetDrop armed must be identical when delay and duplicate classes are armed
+// alongside it.
+func TestDropScheduleInvariantUnderComposition(t *testing.T) {
+	const n = 2000
+	alone := dropSchedule(n, func(nf *NodeFaults) { nf.SetDrop(0.2) })
+	composed := dropSchedule(n, func(nf *NodeFaults) {
+		nf.SetDrop(0.2)
+		nf.SetDelay(3*time.Millisecond, time.Millisecond, 0.5)
+		nf.SetDuplicate(0.3)
+	})
+	// Composition masks drops only where another class also fired and won —
+	// but drop has top priority, so the hit pattern must match exactly.
+	for i := range alone {
+		if alone[i] != composed[i] {
+			t.Fatalf("op %d: drop=%v alone but %v composed — schedules diverged", i, alone[i], composed[i])
+		}
+	}
+	fired := 0
+	for _, d := range alone {
+		if d {
+			fired++
+		}
+	}
+	if fired == 0 {
+		t.Fatal("drop schedule empty; test proves nothing")
+	}
+}
+
+// TestDelayScheduleInvariantUnderComposition: delay hit ordinals and jitter
+// draws must not move when the duplicate class is armed. (Drop outranks
+// delay, so it is left off here; composing it would legitimately mask delay
+// actions on drop-winning ordinals.)
+func TestDelayScheduleInvariantUnderComposition(t *testing.T) {
+	const n = 2000
+	setDelay := func(nf *NodeFaults) { nf.SetDelay(5*time.Millisecond, 2*time.Millisecond, 0.3) }
+	alone := delaySchedule(n, setDelay)
+	composed := delaySchedule(n, func(nf *NodeFaults) {
+		setDelay(nf)
+		nf.SetDuplicate(0.4)
+	})
+	for i := range alone {
+		if alone[i] != composed[i] {
+			t.Fatalf("op %d: delay %v alone vs %v composed — jitter stream perturbed", i, alone[i], composed[i])
+		}
+	}
+}
+
+// TestCorruptScheduleInvariantUnderComposition: the corruption plan (hit
+// ordinals, flip positions, masks) draws from its own stream and must not
+// shift when drop/delay/dup fire on the same ops.
+func TestCorruptScheduleInvariantUnderComposition(t *testing.T) {
+	const n = 1000
+	plan := func(setup func(*NodeFaults)) [][]byteFlip {
+		ctrl := NewController(composeSeed, 0)
+		nf := ctrl.Node("m0")
+		nf.SetCorrupt(0.25)
+		setup(nf)
+		out := make([][]byteFlip, n)
+		for i := range out {
+			op := &rdma.Op{Kind: rdma.OpWrite, Region: 1, Data: make([]byte, 128)}
+			out[i] = nf.planCorruption(op)
+			nf.decide() // advance the other streams as Submit would
+		}
+		return out
+	}
+	alone := plan(func(*NodeFaults) {})
+	composed := plan(func(nf *NodeFaults) {
+		nf.SetDrop(0.3)
+		nf.SetDelay(time.Millisecond, time.Millisecond, 0.3)
+		nf.SetDuplicate(0.3)
+	})
+	hits := 0
+	for i := range alone {
+		a, c := alone[i], composed[i]
+		if len(a) != len(c) {
+			t.Fatalf("op %d: %d flips alone vs %d composed", i, len(a), len(c))
+		}
+		for j := range a {
+			if a[j] != c[j] {
+				t.Fatalf("op %d flip %d: %+v alone vs %+v composed", i, j, a[j], c[j])
+			}
+		}
+		if a != nil {
+			hits++
+		}
+	}
+	if hits == 0 {
+		t.Fatal("corruption schedule empty; test proves nothing")
+	}
+}
+
+// TestFaultScheduleInvariantUnderNetsimLatency runs real traffic through the
+// wrapper twice — once over a zero-latency fabric, once over a fabric with a
+// jittered latency model (the netsim side of a sustained-delay profile) —
+// and asserts the injected drop outcomes land on identical op ordinals. This
+// is the end-to-end guarantee chaos tests rely on: one seed, one schedule,
+// regardless of which network profile is underneath.
+func TestFaultScheduleInvariantUnderNetsimLatency(t *testing.T) {
+	run := func(lat netsim.LatencyModel) []bool {
+		fab := netsim.NewFabric(lat)
+		n := rdma.NewNetwork(fab)
+		node := rdma.NewNode("m0")
+		node.Alloc(1, 4096, false)
+		n.AddNode(node)
+		ctrl := NewController(composeSeed, 0)
+		ctrl.Node("m0").SetDrop(0.25)
+		ctrl.Node("m0").SetDelay(200*time.Microsecond, 100*time.Microsecond, 0.25)
+		v, err := ctrl.WrapDialer(func(node string) (rdma.Verbs, error) {
+			return n.Dial("c0", node, rdma.DialOpts{})
+		})("m0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer v.Close()
+		const ops = 300
+		out := make([]bool, ops)
+		for i := range out {
+			out[i] = errors.Is(v.Write(1, 0, []byte{byte(i)}), ErrInjected)
+		}
+		return out
+	}
+	flat := run(nil)
+	wan := run(netsim.NewJitterLatency(netsim.FixedLatency{Base: 100 * time.Microsecond}, 50*time.Microsecond, 7))
+	for i := range flat {
+		if flat[i] != wan[i] {
+			t.Fatalf("op %d: dropped=%v on flat fabric, %v under latency model — schedules no longer stack deterministically", i, flat[i], wan[i])
+		}
+	}
+}

@@ -18,9 +18,12 @@
 //   - flaky dial: the next K dials to the node fail.
 //
 // Faults are keyed by remote node name, so one Controller drives a whole
-// cluster's schedule. Each node's schedule is drawn from its own rand.Rand
-// seeded from (controller seed, node name), making runs reproducible for a
-// fixed seed and per-node operation order.
+// cluster's schedule. Each fault class on each node draws from its own
+// rand.Rand seeded from (controller seed, node name, class), and every armed
+// class rolls exactly once per operation, so a class's fault schedule is a
+// pure function of the seed and the node's operation order — reproducible,
+// and invariant under composing other fault classes or netsim latency
+// models onto the same run.
 //
 // Unlike netsim.Fabric's Kill/Partition (which sever connectivity and
 // surface ErrUnreachable), faultrdma models the failures a connected
@@ -75,15 +78,32 @@ func (c *Controller) Node(name string) *NodeFaults {
 	if nf == nil {
 		h := fnv.New64a()
 		h.Write([]byte(name))
+		base := c.seed ^ int64(h.Sum64())
 		nf = &NodeFaults{
-			name:  name,
-			rng:   rand.New(rand.NewSource(c.seed ^ int64(h.Sum64()))),
-			conns: make(map[*conn]struct{}),
+			name:       name,
+			dropRng:    rand.New(rand.NewSource(base ^ saltDrop)),
+			delayRng:   rand.New(rand.NewSource(base ^ saltDelay)),
+			dupRng:     rand.New(rand.NewSource(base ^ saltDup)),
+			corruptRng: rand.New(rand.NewSource(base ^ saltCorrupt)),
+			conns:      make(map[*conn]struct{}),
 		}
 		c.nodes[name] = nf
 	}
 	return nf
 }
+
+// Per-class rng stream salts. Each fault class draws from its own stream
+// seeded (controller seed, node name, class), and decide() draws exactly one
+// roll per armed class per operation regardless of which action wins. A
+// class's fault schedule is therefore a pure function of (seed, op ordinal):
+// arming or disarming another class — or composing with a netsim latency
+// model — cannot shift where its faults land.
+const (
+	saltDrop    int64 = 0x64726f70 // "drop"
+	saltDelay   int64 = 0x64656c61 // "dela"
+	saltDup     int64 = 0x00647570 // "dup"
+	saltCorrupt int64 = 0x636f7272 // "corr"
+)
 
 // Wrap interposes the node's fault schedule on an established connection.
 func (c *Controller) Wrap(node string, inner rdma.Verbs) rdma.Verbs {
@@ -129,7 +149,10 @@ type NodeFaults struct {
 	name string
 
 	mu          sync.Mutex
-	rng         *rand.Rand
+	dropRng     *rand.Rand
+	delayRng    *rand.Rand
+	dupRng      *rand.Rand
+	corruptRng  *rand.Rand
 	hang        bool
 	dropP       float64
 	delayP      float64
@@ -261,15 +284,15 @@ func (nf *NodeFaults) planCorruption(op *rdma.Op) []byteFlip {
 	}
 	nf.mu.Lock()
 	defer nf.mu.Unlock()
-	if nf.corruptP <= 0 || nf.rng.Float64() >= nf.corruptP {
+	if nf.corruptP <= 0 || nf.corruptRng.Float64() >= nf.corruptP {
 		return nil
 	}
 	if nf.corruptIn != nil && !nf.corruptIn[op.Region] {
 		return nil
 	}
-	flips := make([]byteFlip, 1+nf.rng.Intn(3))
+	flips := make([]byteFlip, 1+nf.corruptRng.Intn(3))
 	for i := range flips {
-		flips[i] = byteFlip{pos: nf.rng.Intn(len(op.Data)), mask: byte(1 + nf.rng.Intn(255))}
+		flips[i] = byteFlip{pos: nf.corruptRng.Intn(len(op.Data)), mask: byte(1 + nf.corruptRng.Intn(255))}
 	}
 	return flips
 }
@@ -334,17 +357,25 @@ func (nf *NodeFaults) decide() (act int, delay time.Duration) {
 	if nf.hang {
 		return actHang, 0
 	}
-	if nf.dropP > 0 && nf.rng.Float64() < nf.dropP {
-		return actDrop, 0
-	}
-	if nf.delayP > 0 && nf.rng.Float64() < nf.delayP {
-		d := nf.delay
+	// Draw every armed class before picking a winner: each stream advances
+	// once per op whether or not its class acts, so a class's schedule never
+	// shifts when another class is toggled mid-run.
+	dropHit := nf.dropP > 0 && nf.dropRng.Float64() < nf.dropP
+	delayHit := nf.delayP > 0 && nf.delayRng.Float64() < nf.delayP
+	var d time.Duration
+	if delayHit {
+		d = nf.delay
 		if nf.delayJitter > 0 {
-			d += time.Duration(nf.rng.Int63n(int64(nf.delayJitter)))
+			d += time.Duration(nf.delayRng.Int63n(int64(nf.delayJitter)))
 		}
-		return actDelay, d
 	}
-	if nf.dupP > 0 && nf.rng.Float64() < nf.dupP {
+	dupHit := nf.dupP > 0 && nf.dupRng.Float64() < nf.dupP
+	switch {
+	case dropHit:
+		return actDrop, 0
+	case delayHit:
+		return actDelay, d
+	case dupHit:
 		return actDup, 0
 	}
 	return actForward, 0

@@ -103,6 +103,8 @@ type Fabric struct {
 	down       map[string]bool
 	partitions map[[2]string]bool
 	latency    LatencyModel
+	linkImp    map[[2]string]*Impairment // per-link impairment profiles
+	nodeImp    map[string]*Impairment    // per-node: applies to every link touching the node
 }
 
 // NewFabric creates a Fabric using the given latency model for every link.
@@ -115,7 +117,45 @@ func NewFabric(latency LatencyModel) *Fabric {
 		down:       make(map[string]bool),
 		partitions: make(map[[2]string]bool),
 		latency:    latency,
+		linkImp:    make(map[[2]string]*Impairment),
+		nodeImp:    make(map[string]*Impairment),
 	}
+}
+
+// SetLinkImpairment applies a stationary impairment profile to the a↔b link.
+// A nil impairment clears it. Link-specific profiles win over node-level ones.
+func (f *Fabric) SetLinkImpairment(a, b string, im *Impairment) {
+	f.mu.Lock()
+	if im == nil {
+		delete(f.linkImp, linkKey(a, b))
+	} else {
+		f.linkImp[linkKey(a, b)] = im
+	}
+	f.mu.Unlock()
+}
+
+// SetNodeImpairment applies a stationary impairment profile to every link
+// touching node — the "this replica lives across the WAN" switch. A nil
+// impairment clears it.
+func (f *Fabric) SetNodeImpairment(node string, im *Impairment) {
+	f.mu.Lock()
+	if im == nil {
+		delete(f.nodeImp, node)
+	} else {
+		f.nodeImp[node] = im
+	}
+	f.mu.Unlock()
+}
+
+// impairment returns the profile governing the src→dst link, or nil.
+func (f *Fabric) impairment(src, dst string) *Impairment {
+	if im, ok := f.linkImp[linkKey(src, dst)]; ok {
+		return im
+	}
+	if im, ok := f.nodeImp[src]; ok {
+		return im
+	}
+	return f.nodeImp[dst]
 }
 
 // SetLatency replaces the fabric-wide latency model.
@@ -178,11 +218,17 @@ func (f *Fabric) Transfer(src, dst string, size int) error {
 	f.mu.RLock()
 	bad := f.down[src] || f.down[dst] || f.partitions[linkKey(src, dst)]
 	lat := f.latency
+	im := f.impairment(src, dst)
 	f.mu.RUnlock()
 	if bad {
 		return ErrUnreachable
 	}
-	Sleep(lat.Delay(size))
+	d := lat.Delay(size)
+	if im != nil && !im.DatagramOnly {
+		// Reliable in-order semantics: losses become retransmission stalls.
+		d += im.transferDelay(size)
+	}
+	Sleep(d)
 	// Re-check after the delay: a node that died mid-flight loses the message.
 	f.mu.RLock()
 	bad = f.down[src] || f.down[dst] || f.partitions[linkKey(src, dst)]
@@ -191,6 +237,28 @@ func (f *Fabric) Transfer(src, dst string, size int) error {
 		return ErrUnreachable
 	}
 	return nil
+}
+
+// SendDatagram computes the fate of one unreliable datagram from src to dst:
+// the one-way delivery delay under the link's impairment profile and whether
+// it survived loss. It never sleeps — callers (the wantransport FEC layer)
+// schedule delivery themselves. ErrUnreachable reports a down endpoint or a
+// partition; a merely lossy link returns delivered=false instead.
+func (f *Fabric) SendDatagram(src, dst string, size int) (delay time.Duration, delivered bool, err error) {
+	f.mu.RLock()
+	bad := f.down[src] || f.down[dst] || f.partitions[linkKey(src, dst)]
+	lat := f.latency
+	im := f.impairment(src, dst)
+	f.mu.RUnlock()
+	if bad {
+		return 0, false, ErrUnreachable
+	}
+	delay = lat.Delay(size)
+	if im == nil {
+		return delay, true, nil
+	}
+	d, ok := im.Datagram(size)
+	return delay + d, ok, nil
 }
 
 func linkKey(a, b string) [2]string {

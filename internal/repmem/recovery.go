@@ -127,15 +127,16 @@ func (m *Memory) Recover() error {
 // this trade-off).
 const recoveryBatch = 64 << 10
 
-// suspectProbeLimit is how many consecutive failed probes a suspect node
-// gets before being declared dead outright.
-const suspectProbeLimit = 4
-
 // errSuspectRepair routes a responsive suspect through nodeFailed so the
 // ordinary dead-node recovery path repairs it: a suspect may have missed
 // best-effort writes while gray, so it must be rebuilt in full before it
 // serves reads again.
 var errSuspectRepair = fmt.Errorf("repmem: suspect node responsive, repairing")
+
+// errDegradedRepair routes a degraded node whose probes have come back under
+// the straggler floor through the same full rebuild — it too received only
+// best-effort writes while excluded.
+var errDegradedRepair = fmt.Errorf("repmem: degraded node fast again, repairing")
 
 // StartRecovery launches the background recovery manager: a goroutine that
 // periodically polls failed memory nodes and reintegrates any that have
@@ -180,10 +181,11 @@ func (m *Memory) StartRecovery(interval time.Duration) (stop func()) {
 					if err == nil {
 						m.health[i].probeFails.Store(0)
 						m.nodeFailed(i, errSuspectRepair)
-					} else if m.health[i].probeFails.Add(1) >= suspectProbeLimit {
+					} else if m.health[i].probeFails.Add(1) >= int32(m.cfg.SuspectProbeLimit) {
 						m.nodeFailed(i, err)
 					}
 				}
+				m.probeDegraded()
 				m.checkStragglers()
 				for _, i := range m.nodesInState(nodeDead) {
 					if err := m.recoverNode(i); err == nil {
@@ -197,13 +199,19 @@ func (m *Memory) StartRecovery(interval time.Duration) (stop func()) {
 }
 
 // checkStragglers marks live nodes whose smoothed write latency has drifted
-// far above the fastest live node's as suspect, so a node that is slow but
+// far above the fastest live node's as degraded, so a node that is slow but
 // not hung (a gray straggler, Velos-style) stops delaying quorum writes.
 // Both a relative bar (StragglerFactor × the best live EWMA) and an
 // absolute floor (StragglerMinLatency) must be exceeded, and only nodes
-// with enough samples are judged.
+// with at least StragglerMinSamples samples are judged.
+//
+// Degraded — not suspect: a suspect is repaired the moment it answers a
+// probe, which a merely-slow node always does; the repair resets its EWMA,
+// the straggler check re-fires once the EWMA refills, and the node loops
+// through exclusion and rebuild forever. Sustained slowness (a replica
+// across a WAN link) instead parks in the degraded state until its probe
+// latency actually recovers — see probeDegraded.
 func (m *Memory) checkStragglers() {
-	const minSamples = 8
 	if m.transferring.Load() {
 		return // bulk state transfer in flight: EWMAs are not comparable
 	}
@@ -213,7 +221,7 @@ func (m *Memory) checkStragglers() {
 	}
 	best := -1.0
 	for _, i := range live {
-		if m.health[i].ewma.Count() < minSamples {
+		if m.health[i].ewma.Count() < uint64(m.cfg.StragglerMinSamples) {
 			continue
 		}
 		if v := m.health[i].ewma.Value(); best < 0 || v < best {
@@ -225,14 +233,49 @@ func (m *Memory) checkStragglers() {
 	}
 	floor := float64(m.cfg.StragglerMinLatency.Microseconds())
 	for _, i := range live {
-		if m.health[i].ewma.Count() < minSamples {
+		if m.health[i].ewma.Count() < uint64(m.cfg.StragglerMinSamples) {
 			continue
 		}
 		v := m.health[i].ewma.Value()
 		if v > best*m.cfg.StragglerFactor && v > floor {
-			if m.suspectNode(i, "straggler") {
+			if m.degradeNode(i, "straggler") {
 				m.stats.stragglerSuspects.Add(1)
 			}
+		}
+	}
+}
+
+// probeDegraded times a small read against each degraded node. Successful
+// probes keep the node's latency EWMA current for the health surface; once
+// DegradeExitProbes consecutive probes land under the straggler floor the
+// slowness has genuinely passed and the node is routed through the full
+// rebuild (it may have missed best-effort writes while excluded). Probes
+// that fail outright count toward SuspectProbeLimit and then death — a
+// degraded node that stops answering is just dead.
+func (m *Memory) probeDegraded() {
+	for _, i := range m.nodesInState(nodeDegraded) {
+		c, err := m.conn(i)
+		start := time.Now()
+		if err == nil {
+			var probe [1]byte
+			err = c.Read(replRegion, 0, probe[:])
+		}
+		if err != nil {
+			m.health[i].fastProbes.Store(0)
+			if m.health[i].probeFails.Add(1) >= int32(m.cfg.SuspectProbeLimit) {
+				m.nodeFailed(i, err)
+			}
+			continue
+		}
+		lat := time.Since(start)
+		m.health[i].probeFails.Store(0)
+		m.health[i].ewma.Observe(float64(lat.Microseconds()))
+		if lat < m.cfg.StragglerMinLatency {
+			if m.health[i].fastProbes.Add(1) >= int32(m.cfg.DegradeExitProbes) {
+				m.nodeFailed(i, errDegradedRepair)
+			}
+		} else {
+			m.health[i].fastProbes.Store(0)
 		}
 	}
 }
@@ -246,6 +289,9 @@ func (m *Memory) RecoverNodeNow(node string) error {
 		if m.nodeName(i) == node {
 			if m.state[i].Load() == nodeSuspect {
 				m.nodeFailed(i, errSuspectRepair)
+			}
+			if m.state[i].Load() == nodeDegraded {
+				m.nodeFailed(i, errDegradedRepair)
 			}
 			if m.state[i].Load() == nodeLive {
 				// An apparently healthy node may have rebooted without the
@@ -354,6 +400,7 @@ func (m *Memory) rebuildSlot(i int, c rdma.Verbs) error {
 	}
 	m.health[i].consecTimeouts.Store(0)
 	m.health[i].probeFails.Store(0)
+	m.health[i].fastProbes.Store(0)
 	m.health[i].corruptBlocks.Store(0)
 	m.health[i].ewma.Reset()
 	m.state[i].Store(nodeLive)
@@ -548,6 +595,17 @@ func (m *Memory) DeadMemoryNodes() []string {
 func (m *Memory) SuspectMemoryNodes() []string {
 	var out []string
 	for _, i := range m.nodesInState(nodeSuspect) {
+		out = append(out, m.nodeName(i))
+	}
+	return out
+}
+
+// DegradedMemoryNodes returns the names of nodes classified as persistently
+// slow: served around like suspects, but held out of the repair cycle until
+// their probe latency recovers.
+func (m *Memory) DegradedMemoryNodes() []string {
+	var out []string
+	for _, i := range m.nodesInState(nodeDegraded) {
 		out = append(out, m.nodeName(i))
 	}
 	return out

@@ -77,10 +77,11 @@ var (
 
 // Node liveness states.
 const (
-	nodeLive    int32 = iota // serving reads, receiving writes
-	nodeDead                 // unreachable; excluded from everything
-	nodeSyncing              // reconnected; receiving writes, not yet readable
-	nodeSuspect              // gray: quorums stop waiting on it, writes continue best-effort
+	nodeLive     int32 = iota // serving reads, receiving writes
+	nodeDead                  // unreachable; excluded from everything
+	nodeSyncing               // reconnected; receiving writes, not yet readable
+	nodeSuspect               // gray: quorums stop waiting on it, writes continue best-effort
+	nodeDegraded              // persistently slow but responsive (WAN replica); served around without repair churn
 )
 
 // Dialer opens an RDMA connection to a memory node with the replicated
@@ -170,8 +171,22 @@ type Config struct {
 	StragglerFactor float64
 	// StragglerMinLatency is the absolute EWMA floor below which the
 	// straggler check never fires, preventing false suspicion when all
-	// nodes are fast (default 2ms).
+	// nodes are fast (default 2ms). It doubles as the degraded-exit
+	// threshold: a degraded node is readmitted (via rebuild) only after its
+	// probes drop back below this floor.
 	StragglerMinLatency time.Duration
+	// StragglerMinSamples is the minimum number of latency observations a
+	// node's EWMA needs before the straggler check will judge it (default 8).
+	StragglerMinSamples int
+	// SuspectProbeLimit is how many consecutive failed probes a suspect or
+	// degraded node gets before being declared dead outright (default 4).
+	SuspectProbeLimit int
+	// DegradeExitProbes is how many consecutive probes below
+	// StragglerMinLatency a degraded node must answer before it is routed
+	// through a rebuild and readmitted as live (default 3). The hysteresis
+	// keeps a sustained-delay replica — one living across a WAN link — from
+	// oscillating through the suspect→repair→re-suspect cycle.
+	DegradeExitProbes int
 	// RedialBackoffMin and RedialBackoffMax bound the jittered exponential
 	// backoff between reconnection attempts to a failed node (defaults
 	// 10ms and 2s).
@@ -204,6 +219,15 @@ func (c *Config) withDefaults() Config {
 	}
 	if out.StragglerMinLatency <= 0 {
 		out.StragglerMinLatency = 2 * time.Millisecond
+	}
+	if out.StragglerMinSamples <= 0 {
+		out.StragglerMinSamples = 8
+	}
+	if out.SuspectProbeLimit <= 0 {
+		out.SuspectProbeLimit = 4
+	}
+	if out.DegradeExitProbes <= 0 {
+		out.DegradeExitProbes = 3
 	}
 	if out.RedialBackoffMin <= 0 {
 		out.RedialBackoffMin = 10 * time.Millisecond
@@ -313,8 +337,10 @@ type Stats struct {
 	NodeRecovered uint64 // memory node recoveries completed
 	NodeTimeouts  uint64 // per-operation deadline expiries observed
 	NodeSuspected uint64 // live → suspect transitions (gray-failure detections)
-	// StragglerSuspects counts suspicions raised specifically by the EWMA
-	// straggler check (a subset of NodeSuspected).
+	NodeDegraded  uint64 // live → degraded transitions (sustained-slowness detections)
+	// StragglerSuspects counts trips of the EWMA straggler check; since the
+	// WAN-degradation work these route nodes into the degraded state rather
+	// than suspicion, so this is a subset of NodeDegraded.
 	StragglerSuspects uint64
 	// ReadRepairs counts read operations that triggered an inline block
 	// repair (a subset of BlocksRepaired is attributable to them).
@@ -444,6 +470,7 @@ type Memory struct {
 		reads, remoteReads, decodedReads atomic.Uint64
 		nodeFailures, nodeRecovered      atomic.Uint64
 		nodeTimeouts, nodeSuspected      atomic.Uint64
+		nodeDegraded                     atomic.Uint64
 		stragglerSuspects, readRepairs   atomic.Uint64
 		redials, redialErrors            atomic.Uint64
 		enqueued, queueWaitUs            atomic.Uint64
@@ -459,6 +486,7 @@ type nodeHealth struct {
 	ewma           metrics.EWMA // write latency, µs
 	consecTimeouts atomic.Int32
 	probeFails     atomic.Int32  // consecutive failed suspect probes
+	fastProbes     atomic.Int32  // consecutive sub-floor probes while degraded
 	corruptBlocks  atomic.Uint64 // corrupt blocks detected since last rebuild
 }
 
@@ -805,16 +833,17 @@ func (m *Memory) Stats() Stats {
 		NodeRecovered: m.stats.nodeRecovered.Load(),
 		NodeTimeouts:  m.stats.nodeTimeouts.Load(),
 		NodeSuspected: m.stats.nodeSuspected.Load(),
+		NodeDegraded:  m.stats.nodeDegraded.Load(),
 
 		StragglerSuspects: m.stats.stragglerSuspects.Load(),
 		ReadRepairs:       m.stats.readRepairs.Load(),
 
-		Redials:       m.stats.redials.Load(),
-		RedialErrors:  m.stats.redialErrors.Load(),
+		Redials:                 m.stats.redials.Load(),
+		RedialErrors:            m.stats.redialErrors.Load(),
 		MembershipPublishErrors: m.stats.membershipPublishErrors.Load(),
-		Enqueued:      m.stats.enqueued.Load(),
-		QueueWaitUs:   m.stats.queueWaitUs.Load(),
-		MaxQueueDepth: uint64(m.queueDepth.Max()),
+		Enqueued:                m.stats.enqueued.Load(),
+		QueueWaitUs:             m.stats.queueWaitUs.Load(),
+		MaxQueueDepth:           uint64(m.queueDepth.Max()),
 
 		CorruptionsDetected: m.stats.corruptions.Load(),
 		BlocksRepaired:      m.stats.repairs.Load(),
@@ -924,6 +953,30 @@ func (m *Memory) suspectNode(i int, reason string) bool {
 		m.lastExclusion.Store(time.Now().UnixNano())
 		m.stats.nodeSuspected.Add(1)
 		m.emit("node.suspect", m.nodeName(i), reason)
+		// The node may miss best-effort writes from here on; record its
+		// absence for any successor coordinator, off the caller's hot path.
+		go m.publishMembership()
+		return true
+	}
+	return false
+}
+
+// degradeNode marks a live node degraded: persistently slow but answering.
+// Like a suspect it leaves the read set, the quorum-wait fast path, and the
+// published membership (it may miss best-effort writes, so it must be rebuilt
+// before serving reads again) — but unlike a suspect the recovery manager
+// does not try to repair it while it stays slow. Repair would succeed, reset
+// the latency EWMA, and re-arm the straggler check for another round of
+// suspicion: the live→suspect→repair→re-suspect oscillation this state
+// exists to end. The node instead sits out, health-reported and probed, until
+// its probes come back under the straggler floor for DegradeExitProbes
+// consecutive rounds.
+func (m *Memory) degradeNode(i int, reason string) bool {
+	if m.state[i].CompareAndSwap(nodeLive, nodeDegraded) {
+		m.lastExclusion.Store(time.Now().UnixNano())
+		m.stats.nodeDegraded.Add(1)
+		m.health[i].fastProbes.Store(0)
+		m.emit("node.degraded", m.nodeName(i), reason)
 		// The node may miss best-effort writes from here on; record its
 		// absence for any successor coordinator, off the caller's hot path.
 		go m.publishMembership()
@@ -1080,10 +1133,10 @@ func (m *Memory) writableNodes() []int {
 
 // writeTargets partitions a write fan-out: wait lists the nodes whose
 // completions the caller counts (live + syncing); bestEffort lists suspect
-// nodes, which receive the write without anyone waiting on them. When the
-// wait set alone cannot reach need, suspects are promoted back into it
-// (degraded mode): a majority ack must always mean a true majority of the
-// full membership, never a majority of the healthy subset.
+// and degraded nodes, which receive the write without anyone waiting on
+// them. When the wait set alone cannot reach need, best-effort nodes are
+// promoted back into it: a majority ack must always mean a true majority of
+// the full membership, never a majority of the healthy subset.
 func (m *Memory) writeTargets(need int) (wait, bestEffort []int) {
 	return m.writeTargetsInto(need, nil, nil)
 }
@@ -1097,7 +1150,7 @@ func (m *Memory) writeTargetsInto(need int, wait, bestEffort []int) ([]int, []in
 		switch m.state[i].Load() {
 		case nodeLive, nodeSyncing:
 			wait = append(wait, i)
-		case nodeSuspect:
+		case nodeSuspect, nodeDegraded:
 			bestEffort = append(bestEffort, i)
 		}
 	}
@@ -1112,7 +1165,7 @@ func (m *Memory) writeTargetsInto(need int, wait, bestEffort []int) ([]int, []in
 // cluster health surface and the chaos tests.
 type NodeHealth struct {
 	Node           string
-	State          string        // "live", "suspect", "syncing", or "dead"
+	State          string        // "live", "suspect", "degraded", "syncing", or "dead"
 	EWMALatencyUs  float64       // smoothed write latency in microseconds
 	ConsecTimeouts int           // current consecutive deadline-expiry streak
 	RedialFailures int           // consecutive failed reconnection attempts
@@ -1149,6 +1202,8 @@ func stateName(s int32) string {
 		return "syncing"
 	case nodeSuspect:
 		return "suspect"
+	case nodeDegraded:
+		return "degraded"
 	default:
 		return "unknown"
 	}

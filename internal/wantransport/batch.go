@@ -1,0 +1,113 @@
+package wantransport
+
+import (
+	"sync"
+	"time"
+)
+
+// Batcher coalesces small concurrent transfers into shared flights. Eight
+// clients each sending a 1KB request as its own k+r shard flight wastes most
+// of every shard; batched, they amortize the parity overhead and halve the
+// datagram count. Coalescing is congestion-aware: as the loss estimate
+// rises, the batch size cap shrinks, because big flights under bursty loss
+// lose more shards per burst and retransmit as one unit.
+type Batcher struct {
+	p *Pipe
+
+	// window is how long the first transfer of a batch waits for company.
+	window time.Duration
+	// maxBytes caps a batch under clean-link conditions.
+	maxBytes int
+
+	mu  sync.Mutex
+	cur *batch
+
+	batches uint64
+	members uint64
+}
+
+type batch struct {
+	size  int
+	count int
+	done  chan struct{}
+	err   error
+}
+
+// Batcher creates a coalescer over the given link. window ≤ 0 defaults to
+// RTT/16 (a small fraction of the latency already being paid) and maxBytes
+// ≤ 0 defaults to 8 shard payloads.
+func (t *Transport) Batcher(link Link, window time.Duration, maxBytes int) *Batcher {
+	if window <= 0 {
+		window = t.cfg.RTT / 16
+		if window < 500*time.Microsecond {
+			window = 500 * time.Microsecond
+		}
+	}
+	if maxBytes <= 0 {
+		maxBytes = 8 * t.cfg.ShardSize
+	}
+	return &Batcher{p: t.Pipe(link), window: window, maxBytes: maxBytes}
+}
+
+// effectiveMax is the congestion-scaled batch cap: at a 10% loss estimate
+// the cap halves, at 30% it quarters (never below one shard payload).
+func (b *Batcher) effectiveMax() int {
+	loss := b.p.t.LossEstimate()
+	max := int(float64(b.maxBytes) / (1 + 5*loss))
+	if min := b.p.t.cfg.ShardSize; max < min {
+		max = min
+	}
+	return max
+}
+
+// Do charges size bytes across the link, sharing a flight with any other
+// transfers that arrive within the coalescing window. It blocks until the
+// shared flight lands (or its budget expires).
+func (b *Batcher) Do(size int) error {
+	b.mu.Lock()
+	bt := b.cur
+	if bt == nil {
+		bt = &batch{done: make(chan struct{})}
+		b.cur = bt
+		b.batches++
+		time.AfterFunc(b.window, func() { b.flush(bt) })
+	}
+	bt.size += size
+	bt.count++
+	b.members++
+	if bt.size >= b.effectiveMax() {
+		b.cur = nil
+		b.mu.Unlock()
+		b.run(bt)
+	} else {
+		b.mu.Unlock()
+	}
+	<-bt.done
+	return bt.err
+}
+
+// flush fires when a batch's window expires; it runs the batch unless a size
+// overflow already did.
+func (b *Batcher) flush(bt *batch) {
+	b.mu.Lock()
+	if b.cur != bt {
+		b.mu.Unlock()
+		return
+	}
+	b.cur = nil
+	b.mu.Unlock()
+	b.run(bt)
+}
+
+func (b *Batcher) run(bt *batch) {
+	bt.err = b.p.Transfer(bt.size)
+	close(bt.done)
+}
+
+// BatchStats reports how many flights were sent and how many transfers they
+// carried — members/batches is the achieved coalescing factor.
+func (b *Batcher) BatchStats() (batches, members uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.batches, b.members
+}

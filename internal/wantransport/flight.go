@@ -1,0 +1,162 @@
+package wantransport
+
+import (
+	"sort"
+	"time"
+
+	"github.com/repro/sift/internal/netsim"
+)
+
+// flightTime simulates delivering one logical transfer of size bytes over
+// link and returns the elapsed simulated time. ok=false means the retry
+// budget expired first. A non-nil error means the path is administratively
+// dead; the caller falls through to the real transport to surface it.
+//
+// With FEC enabled, each attempt sends k data + r parity shards and the
+// flight completes when the k-th surviving shard lands (progressive decode —
+// the receiver needs any k). With FEC disabled, the attempt degenerates to
+// selective-repeat ARQ: every packet must land, and each round of misses
+// costs a full ack timeout before the retransmission goes out. That timeout
+// asymmetry — parity masks loss inline, ARQ pays an RTO per loss event — is
+// the entire reason this package exists.
+func (t *Transport) flightTime(link Link, size int) (elapsed time.Duration, ok bool, err error) {
+	t.flights.Add(1)
+	if t.cfg.DisableFEC {
+		return t.arqTime(link, size)
+	}
+
+	k := t.cfg.Data
+	chunk := (size + k - 1) / k
+	if chunk == 0 {
+		chunk = 1
+	}
+	wire := shardHeaderSize + chunk
+	delays := make([]time.Duration, 0, k+t.cfg.MaxParity)
+	for attempt := 0; ; attempt++ {
+		r := t.parity()
+		delays = delays[:0]
+		lost, dataLost := 0, 0
+		for i := 0; i < k+r; i++ {
+			d, delivered, err := link.Send(wire)
+			if err != nil {
+				return elapsed, false, err
+			}
+			t.shards.Add(1)
+			if delivered {
+				delays = append(delays, d)
+			} else {
+				lost++
+				t.shardsLost.Add(1)
+				if i < k {
+					dataLost++
+				}
+			}
+		}
+		t.observeLoss(lost, k+r)
+		if len(delays) >= k {
+			sort.Slice(delays, func(i, j int) bool { return delays[i] < delays[j] })
+			elapsed += delays[k-1]
+			if dataLost > 0 {
+				t.fecRecovered.Add(1)
+			}
+			return elapsed, true, nil
+		}
+		t.retransmits.Add(1)
+		elapsed += t.ackTimeout(attempt)
+		if elapsed >= t.cfg.RetryBudget {
+			t.gaveUp.Add(1)
+			return t.cfg.RetryBudget, false, nil
+		}
+	}
+}
+
+// arqTime is the FEC-off baseline: selective-repeat retransmission where
+// every MTU packet must be delivered and each miss round stalls one timeout.
+func (t *Transport) arqTime(link Link, size int) (elapsed time.Duration, ok bool, err error) {
+	missing := (size + t.cfg.ShardSize - 1) / t.cfg.ShardSize
+	if missing == 0 {
+		missing = 1
+	}
+	wire := shardHeaderSize + t.cfg.ShardSize
+	for attempt := 0; ; attempt++ {
+		var roundMax time.Duration
+		lost, sent := 0, missing
+		for i := 0; i < sent; i++ {
+			d, delivered, err := link.Send(wire)
+			if err != nil {
+				return elapsed, false, err
+			}
+			t.shards.Add(1)
+			if delivered {
+				missing--
+				if d > roundMax {
+					roundMax = d
+				}
+			} else {
+				lost++
+				t.shardsLost.Add(1)
+			}
+		}
+		t.observeLoss(lost, sent)
+		if missing == 0 {
+			elapsed += roundMax
+			return elapsed, true, nil
+		}
+		t.retransmits.Add(1)
+		elapsed += t.ackTimeout(attempt)
+		if elapsed >= t.cfg.RetryBudget {
+			t.gaveUp.Add(1)
+			return t.cfg.RetryBudget, false, nil
+		}
+	}
+}
+
+// ackTimeout is the retransmission stall for the given attempt: 1.5·RTT,
+// doubling per round, capped at a quarter of the retry budget.
+func (t *Transport) ackTimeout(attempt int) time.Duration {
+	to := t.cfg.RTT + t.cfg.RTT/2
+	for i := 0; i < attempt && i < 4; i++ {
+		to *= 2
+	}
+	if max := t.cfg.RetryBudget / 4; to > max {
+		to = max
+	}
+	return to
+}
+
+// Pipe is the blocking face of the transport for one link: callers charge
+// simulated WAN time around operations that otherwise run at in-process
+// speed.
+type Pipe struct {
+	t    *Transport
+	link Link
+}
+
+// Pipe binds the transport to a link.
+func (t *Transport) Pipe(link Link) *Pipe { return &Pipe{t: t, link: link} }
+
+// Transport returns the shared transport (for stats).
+func (p *Pipe) Transport() *Transport { return p.t }
+
+// Transfer blocks for the simulated time of one flight carrying size bytes.
+// It returns ErrBudget when the retry budget expires — the payload did not
+// make it in time and the caller should treat the exchange as timed out.
+func (p *Pipe) Transfer(size int) error {
+	d, ok, err := p.t.flightTime(p.link, size)
+	if err != nil {
+		return err
+	}
+	netsim.Sleep(d)
+	if !ok {
+		return ErrBudget
+	}
+	return nil
+}
+
+// RoundTrip charges a request flight and a response flight back to back.
+func (p *Pipe) RoundTrip(reqSize, respSize int) error {
+	if err := p.Transfer(reqSize); err != nil {
+		return err
+	}
+	return p.Transfer(respSize)
+}

@@ -1,0 +1,168 @@
+package wantransport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"github.com/repro/sift/internal/erasure"
+)
+
+// Shard wire format. Every datagram of a flight is self-describing so the
+// receiver can reassemble flights from any k survivors, in any order:
+//
+//	offset size field
+//	0      2    magic 0x5AFE
+//	2      8    flight ID
+//	10     1    shard index (0..k-1 data, k..k+r-1 parity)
+//	11     1    k (data shard count)
+//	12     1    r (parity shard count)
+//	13     1    reserved
+//	14     4    original payload length (bytes, before padding)
+//	18     ...  chunk bytes (payload_padded/k per shard)
+const (
+	shardHeaderSize = 18
+	shardMagic      = 0x5AFE
+)
+
+// ErrBadShard reports a datagram that does not parse as a flight shard.
+var ErrBadShard = errors.New("wantransport: malformed shard")
+
+// Shard is one parsed datagram of a flight.
+type Shard struct {
+	FlightID   uint64
+	Index      int
+	K, R       int
+	PayloadLen int
+	Chunk      []byte
+}
+
+// EncodeFlight splits payload into k data chunks, pads the tail chunk,
+// computes r parity chunks with code (which must have shape (k, r)), and
+// returns the k+r framed shard datagrams.
+func EncodeFlight(code *erasure.Code, flightID uint64, payload []byte) ([][]byte, error) {
+	k, r := code.K(), code.M()
+	chunkLen := (len(payload) + k - 1) / k
+	if chunkLen == 0 {
+		chunkLen = 1
+	}
+	block := make([]byte, k*chunkLen)
+	copy(block, payload)
+	chunks, err := code.Encode(block)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]byte, k+r)
+	for i, ch := range chunks {
+		d := make([]byte, shardHeaderSize+len(ch))
+		binary.BigEndian.PutUint16(d[0:], shardMagic)
+		binary.BigEndian.PutUint64(d[2:], flightID)
+		d[10] = byte(i)
+		d[11] = byte(k)
+		d[12] = byte(r)
+		binary.BigEndian.PutUint32(d[14:], uint32(len(payload)))
+		copy(d[shardHeaderSize:], ch)
+		out[i] = d
+	}
+	return out, nil
+}
+
+// ParseShard decodes one shard datagram.
+func ParseShard(d []byte) (Shard, error) {
+	if len(d) < shardHeaderSize {
+		return Shard{}, fmt.Errorf("%w: %d bytes", ErrBadShard, len(d))
+	}
+	if binary.BigEndian.Uint16(d[0:]) != shardMagic {
+		return Shard{}, fmt.Errorf("%w: bad magic", ErrBadShard)
+	}
+	s := Shard{
+		FlightID:   binary.BigEndian.Uint64(d[2:]),
+		Index:      int(d[10]),
+		K:          int(d[11]),
+		R:          int(d[12]),
+		PayloadLen: int(binary.BigEndian.Uint32(d[14:])),
+		Chunk:      d[shardHeaderSize:],
+	}
+	if s.K < 1 || s.Index >= s.K+s.R {
+		return Shard{}, fmt.Errorf("%w: index %d outside k=%d r=%d", ErrBadShard, s.Index, s.K, s.R)
+	}
+	if s.PayloadLen > s.K*len(s.Chunk) {
+		return Shard{}, fmt.Errorf("%w: payload %d exceeds block %d", ErrBadShard, s.PayloadLen, s.K*len(s.Chunk))
+	}
+	return s, nil
+}
+
+// Assembler reassembles flights from shards arriving in any order across
+// interleaved flights. Decode is progressive: the flight completes the moment
+// any k distinct shards are in, without waiting for stragglers.
+type Assembler struct {
+	flights map[uint64]*flightAsm
+}
+
+type flightAsm struct {
+	k, r       int
+	payloadLen int
+	have       int
+	chunks     [][]byte
+	done       bool
+}
+
+// NewAssembler creates an empty assembler.
+func NewAssembler() *Assembler {
+	return &Assembler{flights: make(map[uint64]*flightAsm)}
+}
+
+// Add feeds one received datagram. When the shard completes its flight, Add
+// returns the reassembled payload and done=true; duplicate and post-decode
+// shards are ignored. The decode may have required parity chunks, in which
+// case recovered=true — the caller counts these for the FEC metrics.
+func (a *Assembler) Add(datagram []byte) (payload []byte, done, recovered bool, err error) {
+	s, err := ParseShard(datagram)
+	if err != nil {
+		return nil, false, false, err
+	}
+	fa := a.flights[s.FlightID]
+	if fa == nil {
+		fa = &flightAsm{
+			k: s.K, r: s.R,
+			payloadLen: s.PayloadLen,
+			chunks:     make([][]byte, s.K+s.R),
+		}
+		a.flights[s.FlightID] = fa
+	}
+	if fa.done {
+		return nil, false, false, nil
+	}
+	if s.K != fa.k || s.R != fa.r || s.Index >= len(fa.chunks) {
+		return nil, false, false, fmt.Errorf("%w: flight %d shape mismatch", ErrBadShard, s.FlightID)
+	}
+	if fa.chunks[s.Index] != nil {
+		return nil, false, false, nil // duplicate
+	}
+	fa.chunks[s.Index] = append([]byte(nil), s.Chunk...)
+	fa.have++
+	if fa.have < fa.k {
+		return nil, false, false, nil
+	}
+
+	fa.done = true
+	for i := 0; i < fa.k; i++ {
+		if fa.chunks[i] == nil {
+			recovered = true
+			break
+		}
+	}
+	code, err := erasure.New(fa.k, fa.r)
+	if err != nil {
+		return nil, false, false, err
+	}
+	block, err := code.Decode(fa.chunks)
+	if err != nil {
+		return nil, false, false, err
+	}
+	delete(a.flights, s.FlightID)
+	return block[:fa.payloadLen], true, recovered, nil
+}
+
+// Pending returns how many incomplete flights the assembler holds.
+func (a *Assembler) Pending() int { return len(a.flights) }

@@ -1,0 +1,40 @@
+package wantransport
+
+import (
+	"time"
+
+	"github.com/repro/sift/internal/netsim"
+)
+
+// Link is one unreliable datagram path. Send computes the fate of a single
+// datagram: its one-way delivery delay and whether it survived. It never
+// sleeps — the flight scheduler turns delays into simulated time itself.
+// A non-nil error means the path is administratively dead (node down,
+// partition), which is distinct from ordinary loss.
+type Link interface {
+	Send(size int) (delay time.Duration, delivered bool, err error)
+}
+
+// FabricLink sends datagrams between two named fabric endpoints, honoring the
+// fabric's kill/partition state and the link's registered impairment profile.
+type FabricLink struct {
+	Fabric   *netsim.Fabric
+	Src, Dst string
+}
+
+// Send implements Link.
+func (l FabricLink) Send(size int) (time.Duration, bool, error) {
+	return l.Fabric.SendDatagram(l.Src, l.Dst, size)
+}
+
+// ImpairedLink applies an impairment profile directly, for paths that are not
+// fabric links — the simulated client↔coordinator WAN hop.
+type ImpairedLink struct {
+	Imp *netsim.Impairment
+}
+
+// Send implements Link.
+func (l ImpairedLink) Send(size int) (time.Duration, bool, error) {
+	d, ok := l.Imp.Datagram(size)
+	return d, ok, nil
+}

@@ -1,0 +1,206 @@
+// Package wantransport makes Sift's client↔coordinator and replication
+// paths usable across lossy, high-RTT links. The in-DC transport assumes a
+// reliable fabric where every loss is a fault; across a WAN, loss is weather.
+// Retransmit-on-timeout (ARQ) turns each lost packet into a full RTO stall —
+// at 40ms RTT a 1% loss rate costs more in stalls than in bytes. The fix,
+// borrowed from kcptun-style tunnels, is forward error correction at the
+// datagram level: each logical transfer ("flight") is split into k data
+// shards plus r parity shards from the internal/erasure Cauchy Reed-Solomon
+// code, and the receiver reconstructs the flight from any k of the k+r
+// shards, masking loss without waiting for a retransmit round trip.
+//
+// The redundancy ratio r/k adapts online: every flight reports its observed
+// shard loss into an EWMA, and the next flight sizes its parity so that
+// expected loss times a safety factor is covered. A retry budget tuned for
+// 10–100ms RTTs bounds how long a flight is retried before the transfer
+// reports a deadline, which feeds the caller's normal retry/health machinery.
+package wantransport
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/repro/sift/internal/erasure"
+	"github.com/repro/sift/internal/rdma"
+)
+
+// ErrBudget reports that a transfer's retry budget expired before a flight
+// got through. It wraps rdma.ErrDeadline so the existing per-op timeout
+// handling (client retries, straggler accounting) applies unchanged.
+var ErrBudget = fmt.Errorf("wantransport: flight retry budget exhausted: %w", rdma.ErrDeadline)
+
+// Config tunes the FEC transport.
+type Config struct {
+	// Data is k, the number of data shards per flight (default 4).
+	Data int
+	// MinParity and MaxParity bound r, the adaptive parity shard count
+	// (defaults 1 and Data).
+	MinParity int
+	MaxParity int
+	// ShardSize is the target datagram payload per shard (default 1200
+	// bytes — inside a 1500 MTU with headers to spare).
+	ShardSize int
+	// RTT is the expected link round-trip; it sets the ack-timeout base for
+	// retransmissions (default 40ms).
+	RTT time.Duration
+	// RetryBudget bounds the total simulated time spent retrying one flight
+	// before the transfer gives up with ErrBudget (default max(10·RTT, 400ms)).
+	RetryBudget time.Duration
+	// LossAlpha is the smoothing factor of the shard-loss EWMA (default 0.1).
+	LossAlpha float64
+	// Safety scales the estimated loss when sizing parity: r covers
+	// Safety × estimated-loss × k shards (default 3 — bursty loss clusters,
+	// so provisioning for the mean alone under-protects).
+	Safety float64
+	// DisableFEC switches the transport to plain selective-repeat ARQ over
+	// the same lossy link — the baseline the degradation curve is measured
+	// against.
+	DisableFEC bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Data <= 0 {
+		c.Data = 4
+	}
+	if c.MinParity <= 0 {
+		c.MinParity = 1
+	}
+	if c.MaxParity <= 0 {
+		c.MaxParity = c.Data
+	}
+	if c.MaxParity < c.MinParity {
+		c.MaxParity = c.MinParity
+	}
+	if c.ShardSize <= 0 {
+		c.ShardSize = 1200
+	}
+	if c.RTT <= 0 {
+		c.RTT = 40 * time.Millisecond
+	}
+	if c.RetryBudget <= 0 {
+		c.RetryBudget = 10 * c.RTT
+		if c.RetryBudget < 400*time.Millisecond {
+			c.RetryBudget = 400 * time.Millisecond
+		}
+	}
+	if c.LossAlpha <= 0 {
+		c.LossAlpha = 0.1
+	}
+	if c.Safety <= 0 {
+		c.Safety = 3
+	}
+	return c
+}
+
+// Stats is a snapshot of the transport's counters.
+type Stats struct {
+	Flights      uint64  // logical transfers attempted
+	Shards       uint64  // datagrams sent (data + parity + retransmissions)
+	ShardsLost   uint64  // datagrams the link dropped
+	FECRecovered uint64  // flights that needed parity to decode
+	Retransmits  uint64  // flight retransmission rounds
+	GaveUp       uint64  // transfers that exhausted the retry budget
+	LossEstimate float64 // current smoothed shard-loss rate
+	Redundancy   float64 // current r/k ratio
+}
+
+// Transport owns the adaptive-redundancy state shared by every link wrapped
+// by one cluster: the loss EWMA, erasure codes per (k,r) shape, and counters.
+type Transport struct {
+	cfg Config
+
+	lossBits atomic.Uint64 // math.Float64bits of the loss EWMA
+
+	flights      atomic.Uint64
+	shards       atomic.Uint64
+	shardsLost   atomic.Uint64
+	fecRecovered atomic.Uint64
+	retransmits  atomic.Uint64
+	gaveUp       atomic.Uint64
+
+	mu    sync.Mutex
+	codes map[int]*erasure.Code // keyed by parity count r; k is fixed
+}
+
+// New creates a Transport with the given configuration.
+func New(cfg Config) *Transport {
+	return &Transport{cfg: cfg.withDefaults(), codes: make(map[int]*erasure.Code)}
+}
+
+// Config returns the resolved configuration.
+func (t *Transport) Config() Config { return t.cfg }
+
+// LossEstimate returns the smoothed per-shard loss rate.
+func (t *Transport) LossEstimate() float64 {
+	return math.Float64frombits(t.lossBits.Load())
+}
+
+// observeLoss folds one flight's shard outcome into the loss EWMA.
+func (t *Transport) observeLoss(lost, sent int) {
+	if sent <= 0 {
+		return
+	}
+	sample := float64(lost) / float64(sent)
+	for {
+		old := t.lossBits.Load()
+		cur := math.Float64frombits(old)
+		next := cur + t.cfg.LossAlpha*(sample-cur)
+		if t.lossBits.CompareAndSwap(old, math.Float64bits(next)) {
+			return
+		}
+	}
+}
+
+// parity returns the parity shard count the current loss estimate calls for:
+// enough to cover Safety × loss × k expected losses, clamped to the
+// configured bounds. This is the control loop's actuator — loss up, r up.
+func (t *Transport) parity() int {
+	r := int(math.Ceil(float64(t.cfg.Data) * t.LossEstimate() * t.cfg.Safety))
+	if r < t.cfg.MinParity {
+		r = t.cfg.MinParity
+	}
+	if r > t.cfg.MaxParity {
+		r = t.cfg.MaxParity
+	}
+	return r
+}
+
+// Redundancy returns the current r/k ratio the controller would use.
+func (t *Transport) Redundancy() float64 {
+	if t.cfg.DisableFEC {
+		return 0
+	}
+	return float64(t.parity()) / float64(t.cfg.Data)
+}
+
+// code returns the erasure code for the transport's k and the given r.
+func (t *Transport) code(r int) (*erasure.Code, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if c, ok := t.codes[r]; ok {
+		return c, nil
+	}
+	c, err := erasure.New(t.cfg.Data, r)
+	if err != nil {
+		return nil, err
+	}
+	t.codes[r] = c
+	return c, nil
+}
+
+// Snapshot returns the transport counters.
+func (t *Transport) Snapshot() Stats {
+	return Stats{
+		Flights:      t.flights.Load(),
+		Shards:       t.shards.Load(),
+		ShardsLost:   t.shardsLost.Load(),
+		FECRecovered: t.fecRecovered.Load(),
+		Retransmits:  t.retransmits.Load(),
+		GaveUp:       t.gaveUp.Load(),
+		LossEstimate: t.LossEstimate(),
+		Redundancy:   t.Redundancy(),
+	}
+}

@@ -83,6 +83,8 @@ func (cl *Cluster) initObs() {
 		mem(func(s repmem.Stats) uint64 { return s.NodeRecovered }))
 	reg.CounterFunc("sift_repmem_node_suspected_total", "Live-to-suspect transitions (gray-failure detections).",
 		mem(func(s repmem.Stats) uint64 { return s.NodeSuspected }))
+	reg.CounterFunc("sift_repmem_node_degraded_total", "Live-to-degraded transitions (sustained-slowness detections).",
+		mem(func(s repmem.Stats) uint64 { return s.NodeDegraded }))
 	reg.CounterFunc("sift_repmem_straggler_suspects_total", "Suspicions raised by the EWMA straggler check.",
 		mem(func(s repmem.Stats) uint64 { return s.StragglerSuspects }))
 	reg.CounterFunc("sift_repmem_read_repairs_total", "Reads that triggered an inline block repair.",
@@ -159,6 +161,19 @@ func (cl *Cluster) initObs() {
 			return 0
 		})
 
+	// WAN transport, when part of the deployment crosses a simulated
+	// wide-area link (Config.WAN).
+	if cl.wan != nil {
+		reg.CounterFunc("sift_wan_fec_recovered_total", "WAN flights decoded from parity shards (losses masked without a retransmit round).",
+			func() float64 { return float64(cl.WANStats().FECRecovered) })
+		reg.CounterFunc("sift_wan_retransmits_total", "WAN flight retransmission rounds after parity could not cover the losses.",
+			func() float64 { return float64(cl.WANStats().Retransmits) })
+		reg.GaugeFunc("sift_wan_redundancy_ratio", "Current FEC redundancy (k+r)/k chosen by the loss-adaptive controller.",
+			func() float64 { return cl.wan.tr.Redundancy() })
+		reg.GaugeFunc("sift_wan_loss_estimate", "EWMA of the WAN shard loss rate driving the redundancy controller.",
+			func() float64 { return cl.wan.tr.LossEstimate() })
+	}
+
 	// Per-node liveness, from the coordinator's gray-failure view.
 	cl.nodeGauges = make(map[string]bool)
 	for _, name := range cl.memNames {
@@ -182,6 +197,16 @@ func (cl *Cluster) registerNodeGauge(name string) {
 		func() float64 {
 			for _, h := range cl.Health() {
 				if h.Node == node && h.State == "live" {
+					return 1
+				}
+			}
+			return 0
+		})
+	cl.reg.GaugeFunc(fmt.Sprintf("sift_node_degraded{node=%q}", node),
+		"1 when the coordinator holds the memory node degraded (responsive but served around).",
+		func() float64 {
+			for _, h := range cl.Health() {
+				if h.Node == node && h.State == "degraded" {
 					return 1
 				}
 			}

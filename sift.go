@@ -147,6 +147,28 @@ type Config struct {
 	// and 16).
 	SuspectAfter int
 	DeadAfter    int
+	// StragglerFactor and StragglerMinLatency tune the EWMA straggler
+	// detector: a live memory node whose commit-latency EWMA exceeds both
+	// StragglerFactor × the fastest node's EWMA and the StragglerMinLatency
+	// floor is moved to the degraded state — health-reported, written
+	// best-effort, excluded from quorum waits, but not oscillated through
+	// the suspect→repair cycle (defaults 16 and 2ms).
+	StragglerFactor     float64
+	StragglerMinLatency time.Duration
+	// StragglerMinSamples is the minimum number of latency observations the
+	// straggler check needs before judging a node (default 8).
+	StragglerMinSamples int
+	// SuspectProbeLimit is how many consecutive failed probes a suspect or
+	// degraded memory node gets before being declared dead (default 4).
+	SuspectProbeLimit int
+	// DegradeExitProbes is how many consecutive sub-floor probes a degraded
+	// node must answer before it is rebuilt and readmitted (default 3).
+	DegradeExitProbes int
+
+	// WAN, when non-nil, places part of the deployment across a simulated
+	// wide-area link — sustained latency, bursty loss, reordering — with a
+	// loss-adaptive FEC transport on the impaired paths; see WANConfig.
+	WAN *WANConfig
 
 	// FaultInjection interposes a fault-injection layer between CPU nodes
 	// and the fabric; Faults() then controls per-memory-node drop, delay,

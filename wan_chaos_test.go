@@ -1,0 +1,251 @@
+package sift
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/repro/sift/internal/linearize"
+	"github.com/repro/sift/internal/obs"
+	"github.com/repro/sift/internal/workload"
+)
+
+// wanConfig builds the shared WAN chaos deployment: one memory node and the
+// client path across a 40ms-RTT wide-area link, Gilbert–Elliott loss at the
+// given stationary rate, and the loss-adaptive FEC transport on both paths.
+func wanConfig(lossRate float64) Config {
+	cfg := smallConfig()
+	cfg.WAN = &WANConfig{
+		RTT:       40 * time.Millisecond,
+		Jitter:    time.Millisecond,
+		LossRate:  lossRate,
+		LossBurst: 8,
+		Replica:   "mem2",
+		ClientWAN: true,
+	}
+	return cfg
+}
+
+// countEvents scans the control-plane ring for events of one type about one
+// node ("" matches any node).
+func countEvents(cl *Cluster, typ, node string) int {
+	n := 0
+	for _, e := range cl.Events().Recent(obs.DefaultRingSize) {
+		if e.Type == typ && (node == "" || e.Node == node) {
+			n++
+		}
+	}
+	return n
+}
+
+// dumpWANOnFailure leaves the WAN transport's counters next to a failing
+// assertion, alongside the event ring.
+func dumpWANOnFailure(t *testing.T, cl *Cluster) {
+	t.Helper()
+	dumpEventsOnFailure(t, cl)
+	t.Cleanup(func() {
+		if t.Failed() {
+			t.Logf("wan transport at failure: %+v", cl.WANStats())
+			t.Logf("degraded nodes at failure: %v", cl.DegradedMemoryNodes())
+		}
+	})
+}
+
+// runWANClients drives n instrumented clients with a mixed unique-value
+// workload for the duration of disturb, records every op for linearizability
+// checking, and returns the number of acknowledged puts (the throughput
+// numerator for the degradation experiments).
+func runWANClients(t *testing.T, cl *Cluster, n int, disturb func()) uint64 {
+	t.Helper()
+	rec := linearize.NewRecorder()
+	stop := make(chan struct{})
+	var puts atomic.Uint64
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c := cl.Client()
+			c.ClientID = id
+			c.History = rec
+			c.RetryBudget = 20 * time.Second
+			gen := workload.NewGenerator(workload.Config{
+				Mix: workload.Mixed, Keys: 8, ValueSize: 16,
+				Seed: int64(3000 + id), UniqueValues: true,
+				ClientID: id, DeleteRatio: 0.1,
+			})
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				op := gen.Next()
+				var err error
+				switch {
+				case op.Read:
+					_, err = c.Get(op.Key)
+				case op.Delete:
+					err = c.Delete(op.Key)
+				default:
+					if err = c.Put(op.Key, op.Value); err == nil {
+						puts.Add(1)
+					}
+				}
+				if err != nil && !errors.Is(err, ErrNotFound) && !errors.Is(err, ErrNoCoordinator) {
+					t.Errorf("client %d: unexpected error %v", id, err)
+					return
+				}
+			}
+		}(i)
+	}
+
+	disturb()
+	close(stop)
+	wg.Wait()
+
+	hist := rec.History()
+	open := 0
+	for _, o := range hist {
+		if o.Ambiguous() {
+			open++
+		}
+	}
+	rep := linearize.Check(hist, linearize.DefaultTimeout)
+	if rep.Result != linearize.Ok {
+		var bad []linearize.Op
+		for _, o := range hist {
+			if o.Key == rep.Key {
+				bad = append(bad, o)
+			}
+		}
+		sort.Slice(bad, func(i, j int) bool { return bad[i].Invoke < bad[j].Invoke })
+		for _, o := range bad {
+			t.Logf("  c%-2d %-6s in=%q out=%q notFound=%v [%d, %d]",
+				o.ClientID, o.Kind, o.In, o.Out, o.NotFound, o.Invoke, o.Return)
+		}
+		t.Fatalf("history of %d ops (%d open) over %d keys: %v on key %q",
+			rep.Ops, open, rep.Keys, rep.Result, rep.Key)
+	}
+	t.Logf("linearized %d ops (%d open, %d acked puts) in %v", rep.Ops, open, puts.Load(), rep.Elapsed)
+	return puts.Load()
+}
+
+// TestWANSteadyReplicaNeverSuspect: a steady 40ms-RTT memory node must not
+// trip the gray-failure suspicion machinery under the WAN-profile defaults.
+// The straggler detector may classify it degraded — sustained slowness served
+// around — but the live→suspect→repair oscillation the degraded state exists
+// to end must never start.
+func TestWANSteadyReplicaNeverSuspect(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wan run in -short mode")
+	}
+	cfg := wanConfig(0) // latency only: the replica is slow, never faulty
+	cfg.WAN.ClientWAN = false
+	cl := newTestCluster(t, cfg)
+	dumpWANOnFailure(t, cl)
+	c := cl.Client()
+	c.RetryBudget = 20 * time.Second
+
+	// Enough writes for the per-node latency EWMAs to converge and the
+	// straggler check to run several times.
+	for i := 0; i < 120; i++ {
+		if err := c.Put([]byte{'k', byte(i % 16)}, []byte{byte(i)}); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	replica := cfg.WAN.Replica
+	if n := countEvents(cl, "node.suspect", replica); n != 0 {
+		t.Fatalf("steady WAN replica was suspected %d times", n)
+	}
+	if s := cl.Stats().Memory; s.NodeSuspected != 0 || s.NodeFailures != 0 {
+		t.Fatalf("suspicions=%d failures=%d for a healthy WAN deployment", s.NodeSuspected, s.NodeFailures)
+	}
+	switch st := healthState(cl, replica); st {
+	case "live", "degraded":
+		t.Logf("replica steady at %q after 120 writes (degraded transitions: %d)",
+			st, cl.Stats().Memory.NodeDegraded)
+	default:
+		t.Fatalf("replica in state %q, want live or degraded", st)
+	}
+}
+
+// TestChaosLinearizeWAN is the WAN-resilience acceptance test. Run one: a
+// lossless 40ms-RTT wide-area deployment (client hop and one replica across
+// the WAN) establishes the throughput baseline. Run two: the same deployment
+// with 5% sustained Gilbert–Elliott loss on the WAN links and a forced
+// coordinator failover mid-run. The lossy run must linearize, must never
+// suspect the steady WAN replica, must keep its degraded-state transitions
+// bounded (no flapping), and must hold at least 50% of the lossless
+// baseline's put throughput — the FEC transport absorbing the loss instead
+// of surfacing it as timeouts.
+func TestChaosLinearizeWAN(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wan chaos run in -short mode")
+	}
+	const clients = 8
+
+	run := func(lossRate float64, window time.Duration, failover bool) (puts uint64, cl *Cluster) {
+		cl = newTestCluster(t, wanConfig(lossRate))
+		dumpWANOnFailure(t, cl)
+		if err := cl.WaitForCoordinator(5 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+		puts = runWANClients(t, cl, clients, func() {
+			if !failover {
+				time.Sleep(window)
+				return
+			}
+			time.Sleep(window / 3)
+			if _, err := cl.ForceFailover(50, 15*time.Second); err != nil {
+				t.Error(err)
+			}
+			time.Sleep(window - window/3)
+		})
+		return puts, cl
+	}
+
+	baselineWindow := 5 * time.Second
+	lossyWindow := 8 * time.Second
+
+	basePuts, baseCl := run(0, baselineWindow, false)
+	if basePuts == 0 {
+		t.Fatal("lossless baseline made no progress")
+	}
+	baseCl.Close()
+
+	lossyPuts, cl := run(0.05, lossyWindow, true)
+	replica := cl.cfg.WAN.Replica
+
+	// Zero suspicion flaps of the steady WAN replica, across the failover.
+	if n := countEvents(cl, "node.suspect", replica); n != 0 {
+		t.Fatalf("WAN replica suspected %d times under sustained loss", n)
+	}
+	// Degradation is expected — once per coordinator term that observes
+	// enough samples — but must not flap. Two terms ran here.
+	if d := countEvents(cl, "node.degraded", replica); d > 4 {
+		t.Fatalf("WAN replica degraded %d times: state is flapping", d)
+	}
+	// The FEC layer must actually be carrying the loss.
+	ws := cl.WANStats()
+	if ws.ShardsLost == 0 {
+		t.Fatalf("no shards lost at 5%% loss — impairment not wired: %+v", ws)
+	}
+	if ws.FECRecovered == 0 {
+		t.Fatalf("no flights recovered via parity at 5%% loss: %+v", ws)
+	}
+
+	baseRate := float64(basePuts) / baselineWindow.Seconds()
+	lossyRate := float64(lossyPuts) / lossyWindow.Seconds()
+	t.Logf("put throughput: baseline %.1f/s, 5%%-loss+failover %.1f/s (%.0f%%); wan stats %+v; degraded=%v",
+		baseRate, lossyRate, 100*lossyRate/baseRate, ws, cl.DegradedMemoryNodes())
+	if lossyRate < 0.5*baseRate {
+		t.Fatalf("put throughput %.1f/s under loss is below 50%% of the %.1f/s lossless baseline",
+			lossyRate, baseRate)
+	}
+}
