@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 race chaos linearize reconfig shard wan fuzz-short bench-pipeline bench-ec bench-json obs-smoke staticcheck
+.PHONY: tier1 race chaos linearize reconfig shard wan fuzz-short bench-pipeline bench-ec bench-json bench-baseline bench-gate capacity obs-smoke staticcheck
 
 # Tier-1 verification: everything vets, builds, and every test passes.
 tier1:
@@ -71,12 +71,53 @@ bench-ec:
 	$(GO) test $(BENCHFLAGS) -run '^$$' -bench 'BenchmarkECApply|BenchmarkECRead' -benchtime $(BENCHTIME) ./internal/repmem/
 
 # Benchmark trajectory: runs the EC and cluster benchmarks and emits
-# BENCH_9.json with encode/reconstruct MB/s, put throughput, read
+# BENCH_$(PR).json with encode/reconstruct MB/s, put throughput, read
 # latency percentiles, put throughput under rolling node replacement,
-# aggregate put throughput behind the shard router at 1/2/4 groups, and
-# WAN put throughput/p99 at 0/5/15% sustained loss.
+# open-loop knee throughput behind the shard router at 1/2/4 groups, WAN
+# put throughput/p99 at 0/5/15% sustained loss, and the §17 capacity
+# block (knee + latency-at-knee + cost-per-million-ops for the plain,
+# sharded, and WAN deployments). Bump PR per PR: `make bench-json PR=11`.
+PR ?= 10
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_9.json
+	$(GO) run ./cmd/benchjson -pr $(PR)
+
+# Re-anchor the tracked regression baseline after an INTENTIONAL
+# performance change: regenerates the benchmark document straight into
+# bench-baseline.json (commit the result alongside the change that
+# explains it).
+bench-baseline:
+	$(GO) run ./cmd/benchjson -out bench-baseline.json
+
+# Benchmark regression gate (CI: bench-gate job): a fresh short run
+# diffed against the tracked bench-baseline.json with per-metric
+# tolerance bands; exits nonzero on regression. Bands are wide (±60%
+# default here) because the gate run is short and CI runners are noisy —
+# it exists to catch collapses and vanished probes, not 5% drift. The
+# knee/throughput metrics carry the signal. Three metric families get
+# wider bands still (-tol keys are longest-PREFIX matched against the
+# dotted flattened paths): latency-at-knee (a short gate run can land
+# its knee at a different rate, and queueing delay at the knee is
+# extremely sensitive to that), microsecond-scale read percentiles
+# (base ~8µs; one scheduler preemption triples them), and the
+# replacement-window probes.
+BENCH_GATE_TOL ?= 0.6
+bench-gate:
+	$(GO) run ./cmd/benchjson -out /tmp/sift-bench-gate.json -duration 700ms
+	$(GO) run ./cmd/benchcmp -baseline bench-baseline.json -new /tmp/sift-bench-gate.json \
+		-tolerance $(BENCH_GATE_TOL) \
+		-tol capacity.plain.p50_ms_at_knee=2.5 -tol capacity.plain.p99_ms_at_knee=4 -tol capacity.plain.p999_ms_at_knee=4 \
+		-tol capacity.shard_4g.p50_ms_at_knee=2.5 -tol capacity.shard_4g.p99_ms_at_knee=4 -tol capacity.shard_4g.p999_ms_at_knee=4 \
+		-tol capacity.wan_5pct.p50_ms_at_knee=2.5 -tol capacity.wan_5pct.p99_ms_at_knee=4 -tol capacity.wan_5pct.p999_ms_at_knee=4 \
+		-tol wan_put_p99_ms=1.5 -tol read_p99_us=4 -tol backup_read_p99_us=4 \
+		-tol put_ops_per_sec_during_replace=1.5 -tol replacements_during_probe=1.5 \
+		-tol puts_skipped_no_coordinator=20
+
+# Capacity smoke: the open-loop load generator and baseline-comparator
+# unit tests (Poisson rate accuracy, stall-as-queue-latency, knee
+# detection, regression/tolerance/missing-metric handling) plus a short
+# real-cluster sweep, under the race detector (DESIGN.md §17).
+capacity:
+	$(GO) test -race -timeout 5m -run 'TestPoisson|TestOpenLoop|TestCapacity|TestFlatten|TestCompare' ./internal/bench/...
 
 # Observability smoke: both daemons build, the obs package tests pass, and
 # the in-process cluster serves /metrics, /healthz, /statusz, and /events

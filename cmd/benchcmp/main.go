@@ -1,0 +1,90 @@
+// Command benchcmp is the benchmark regression gate: it diffs a fresh
+// BENCH_<n>.json against the tracked bench-baseline.json with per-metric
+// tolerance bands and exits nonzero when any metric regresses outside its
+// band (or silently disappears). Latency- and cost-shaped metrics
+// (p50/p99/p999, *_ms, *_us, cost_per_*) are compared lower-is-better;
+// everything else higher-is-better.
+//
+// Usage:
+//
+//	benchcmp -baseline bench-baseline.json -new BENCH_10.json
+//	benchcmp ... -tolerance 0.5 -tol wan_put_p99_ms=1.5 -tol capacity=0.6
+//
+// Re-anchor an intentional performance change with `make bench-baseline`.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/repro/sift/internal/bench/compare"
+)
+
+func main() {
+	var (
+		baseline     = flag.String("baseline", "bench-baseline.json", "tracked baseline document")
+		fresh        = flag.String("new", "", "fresh benchmark document to gate")
+		tolerance    = flag.Float64("tolerance", 0.35, "default relative tolerance band (0.35 = ±35%)")
+		allowMissing = flag.Bool("allow-missing", false, "baseline metrics absent from the new document are notes, not failures")
+		ignore       = flag.String("ignore", "cpus,generated", "comma-separated path substrings to skip")
+		quiet        = flag.Bool("quiet", false, "print only regressions")
+	)
+	perMetric := map[string]float64{}
+	flag.Func("tol", "per-metric override as pathprefix=band, repeatable (e.g. -tol wan_put_p99_ms=1.5)", func(s string) error {
+		prefix, val, ok := strings.Cut(s, "=")
+		if !ok {
+			return fmt.Errorf("want pathprefix=band, got %q", s)
+		}
+		band, err := strconv.ParseFloat(val, 64)
+		if err != nil || band <= 0 {
+			return fmt.Errorf("bad band in %q", s)
+		}
+		perMetric[prefix] = band
+		return nil
+	})
+	flag.Parse()
+	if *fresh == "" {
+		fmt.Fprintln(os.Stderr, "benchcmp: -new is required")
+		os.Exit(2)
+	}
+
+	baseRaw, err := os.ReadFile(*baseline)
+	if err != nil {
+		fatal(err)
+	}
+	freshRaw, err := os.ReadFile(*fresh)
+	if err != nil {
+		fatal(err)
+	}
+	rep, err := compare.CompareFiles(baseRaw, freshRaw, compare.Options{
+		Tolerance:    *tolerance,
+		PerMetric:    perMetric,
+		Ignore:       strings.Split(*ignore, ","),
+		AllowMissing: *allowMissing,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	if *quiet {
+		for _, f := range rep.Regressions() {
+			fmt.Printf("%-10s %s base=%.4g new=%.4g\n", f.Status, f.Path, f.Base, f.New)
+		}
+	} else {
+		fmt.Print(rep)
+	}
+	if rep.Failed() {
+		fmt.Fprintf(os.Stderr, "benchcmp: %d metric(s) regressed vs %s (re-anchor intentional changes with `make bench-baseline`)\n",
+			len(rep.Regressions()), *baseline)
+		os.Exit(1)
+	}
+	fmt.Printf("benchcmp: %d metrics within tolerance of %s\n", len(rep.Findings), *baseline)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchcmp:", err)
+	os.Exit(1)
+}

@@ -1,12 +1,15 @@
 // Command benchjson runs the repository's headline performance probes and
-// emits one JSON document (for the benchmark-trajectory record BENCH_9.json):
-// erasure encode/reconstruct bandwidth, cluster put throughput, read
-// latency percentiles on both the coordinator and lease-based backup read
-// paths, put throughput while memory nodes are being live-replaced,
-// aggregate put throughput behind the shard router at 1, 2, and 4
-// consensus groups, and WAN put throughput with p99 latency at 0%, 5%, and
-// 15% sustained Gilbert–Elliott loss through the loss-adaptive FEC
-// transport. Invoke via `make bench-json`.
+// emits one JSON document per PR (BENCH_<n>.json, n from -pr; see `make
+// bench-json`): erasure encode/reconstruct bandwidth, cluster put
+// throughput, read latency percentiles on both the coordinator and
+// lease-based backup read paths, put throughput while memory nodes are
+// being live-replaced, open-loop knee throughput behind the shard router
+// at 1, 2, and 4 consensus groups, WAN put throughput with p99 latency at
+// 0%, 5%, and 15% sustained Gilbert–Elliott loss, and — from the
+// open-loop capacity sweeps (DESIGN.md §17) — knee throughput,
+// latency-at-knee percentiles, and cost-per-million-ops for the plain,
+// sharded, and WAN deployments. The same document is diffed against the
+// tracked bench-baseline.json by cmd/benchcmp in CI's bench-gate job.
 package main
 
 import (
@@ -21,9 +24,24 @@ import (
 
 	sift "github.com/repro/sift"
 	"github.com/repro/sift/internal/bench"
+	"github.com/repro/sift/internal/cloudcost"
 	"github.com/repro/sift/internal/erasure"
 	"github.com/repro/sift/internal/metrics"
 )
+
+type capacityPoint struct {
+	// KneeOpsPerSec is the highest sustained open-loop throughput: the
+	// last swept arrival rate served without queue growth (≥90% of
+	// arrivals served, no drops, no end-of-window backlog).
+	KneeOpsPerSec float64 `json:"knee_ops_per_sec"`
+	// OfferedAtKnee is the arrival rate of that step.
+	OfferedAtKnee float64 `json:"offered_ops_per_sec_at_knee"`
+	// Latency at the knee, measured from scheduled arrival time (queue
+	// wait included — coordinated omission is charged, not hidden).
+	P50Ms  float64 `json:"p50_ms_at_knee"`
+	P99Ms  float64 `json:"p99_ms_at_knee"`
+	P999Ms float64 `json:"p999_ms_at_knee"`
+}
 
 type doc struct {
 	Generated string `json:"generated"`
@@ -33,6 +51,8 @@ type doc struct {
 	CPUs      int    `json:"cpus"`
 
 	// MB/s over the logical block, 64 KiB blocks, k=F+1 data + F parity.
+	// Reconstruct charges only the rebuilt chunks (F×chunk bytes per
+	// call), timed without the shape-restoring bookkeeping.
 	EncodeMBs      map[string]float64 `json:"encode_mb_s"`
 	ReconstructMBs map[string]float64 `json:"reconstruct_mb_s"`
 
@@ -46,18 +66,22 @@ type doc struct {
 	BackupReadP99Us float64 `json:"backup_read_p99_us"`
 
 	// Put throughput while memory nodes are live-replaced back to back
-	// (online reconfiguration, DESIGN.md §14), and how many replacements
-	// completed during the probe window.
+	// (online reconfiguration, DESIGN.md §14), how many replacements
+	// completed during the probe window, and how many puts were skipped
+	// (with backoff) because no coordinator was serving.
 	ReplacePutOpsPerSec float64 `json:"put_ops_per_sec_during_replace"`
 	Replacements        int     `json:"replacements_during_probe"`
+	ReplaceSkippedPuts  int     `json:"puts_skipped_no_coordinator"`
 
-	// Aggregate put throughput behind the shard router (DESIGN.md §15) at
-	// 1, 2, and 4 consensus groups, measured latency-bound (2ms links,
-	// closed-loop clients proportional to the group count) so the numbers
-	// reflect horizontal scaling rather than single-host CPU contention.
-	// Keys "groups_1", "groups_2", "groups_4".
-	ShardPutOpsPerSec map[string]float64 `json:"shard_put_ops_per_sec"`
-	// 4-group aggregate over 1-group aggregate.
+	// Open-loop knee throughput behind the shard router (DESIGN.md §15,
+	// §17) at 1, 2, and 4 consensus groups on 2ms links: each
+	// configuration is swept to its own saturation point, so the numbers
+	// are comparable regardless of client population. Keys "groups_1",
+	// "groups_2", "groups_4".
+	ShardKneeOpsPerSec map[string]float64 `json:"shard_knee_ops_per_sec"`
+	// 4-group knee over 1-group knee. Physically ≤ the group count; the
+	// 4.31 recorded in BENCH_9.json was a closed-loop artifact (the
+	// 1-group baseline was under-loaded; see EXPERIMENTS.md).
 	ShardSpeedup4x float64 `json:"shard_speedup_4_groups"`
 
 	// WAN deployment (40ms RTT, one memory node and the client hop across
@@ -69,21 +93,37 @@ type doc struct {
 	// 15%-loss throughput over lossless-WAN throughput: how much of the
 	// wide-area baseline survives heavy sustained loss.
 	WANRetention15 float64 `json:"wan_put_retention_15pct_loss"`
+
+	// Open-loop capacity (DESIGN.md §17): knee throughput and
+	// latency-at-knee for the plain F=1 deployment, the 4-group sharded
+	// deployment (2ms links), and the WAN deployment at 5% loss.
+	// Keys "plain", "shard_4g", "wan_5pct".
+	Capacity map[string]capacityPoint `json:"capacity"`
+	// The paper's headline metric, fed from the measured knees and the
+	// §6.4 Table 2 machine pricing: $ per million ops per deployment per
+	// provider. Outer keys match Capacity; inner keys "aws", "gcp".
+	CostPerMillionOps map[string]map[string]float64 `json:"cost_per_million_ops"`
 }
 
 func main() {
-	out := flag.String("out", "BENCH_9.json", "output path")
+	pr := flag.Int("pr", 10, "PR number; the default output path is BENCH_<pr>.json")
+	out := flag.String("out", "", "output path (default BENCH_<pr>.json)")
 	dur := flag.Duration("duration", 2*time.Second, "per-probe measurement duration")
 	flag.Parse()
+	if *out == "" {
+		*out = fmt.Sprintf("BENCH_%d.json", *pr)
+	}
 
 	d := doc{
-		Generated:      time.Now().UTC().Format(time.RFC3339),
-		Go:             runtime.Version(),
-		GOOS:           runtime.GOOS,
-		GOARCH:         runtime.GOARCH,
-		CPUs:           runtime.NumCPU(),
-		EncodeMBs:      map[string]float64{},
-		ReconstructMBs: map[string]float64{},
+		Generated:         time.Now().UTC().Format(time.RFC3339),
+		Go:                runtime.Version(),
+		GOOS:              runtime.GOOS,
+		GOARCH:            runtime.GOARCH,
+		CPUs:              runtime.NumCPU(),
+		EncodeMBs:         map[string]float64{},
+		ReconstructMBs:    map[string]float64{},
+		Capacity:          map[string]capacityPoint{},
+		CostPerMillionOps: map[string]map[string]float64{},
 	}
 
 	for _, f := range []int{1, 2} {
@@ -114,25 +154,44 @@ func main() {
 	d.BackupReadP50Us = round1(bp50)
 	d.BackupReadP99Us = round1(bp99)
 
-	rput, nrepl, err := reconfigProbe(*dur)
+	rput, nrepl, nskip, err := reconfigProbe(*dur)
 	if err != nil {
 		fatal(err)
 	}
 	d.ReplacePutOpsPerSec = round1(rput)
 	d.Replacements = nrepl
+	d.ReplaceSkippedPuts = nskip
 
-	d.ShardPutOpsPerSec = map[string]float64{}
+	// Sweep shape shared by the capacity probes: each step measures for
+	// about a third of the per-probe budget. The worker count bounds
+	// in-flight concurrency, not offered load (that's the arrival rate),
+	// and is held constant across the configurations being compared; it
+	// just has to exceed knee×latency for the slowest deployment.
+	sweep := bench.CapacityConfig{
+		StepDuration: maxDur(*dur/3, 400*time.Millisecond),
+		StepWarmup:   150 * time.Millisecond,
+		Workers:      128,
+	}
+	slowSweep := sweep
+	slowSweep.Workers = 256 // 2ms shard links / 40ms WAN RTT need deeper in-flight budgets
+
+	d.ShardKneeOpsPerSec = map[string]float64{}
+	shardSweep := slowSweep
+	shardSweep.MinRate = 200
 	for _, groups := range []int{1, 2, 4} {
-		tput, err := bench.ShardPutThroughput(bench.ShardScalingConfig{
-			Groups: groups, Duration: *dur, Seed: 42,
+		res, err := bench.ShardPutCapacity(groups, 2*time.Millisecond, bench.DeploymentCapacityConfig{
+			Sweep: shardSweep, Seed: 42,
 		})
 		if err != nil {
 			fatal(err)
 		}
-		d.ShardPutOpsPerSec[fmt.Sprintf("groups_%d", groups)] = round1(tput)
+		d.ShardKneeOpsPerSec[fmt.Sprintf("groups_%d", groups)] = round1(res.KneeOpsPerSec)
+		if groups == 4 {
+			d.Capacity["shard_4g"] = toCapacityPoint(res)
+		}
 	}
-	if base := d.ShardPutOpsPerSec["groups_1"]; base > 0 {
-		ratio := d.ShardPutOpsPerSec["groups_4"] / base
+	if base := d.ShardKneeOpsPerSec["groups_1"]; base > 0 {
+		ratio := d.ShardKneeOpsPerSec["groups_4"] / base
 		d.ShardSpeedup4x = float64(int64(ratio*100+0.5)) / 100
 	}
 
@@ -154,6 +213,42 @@ func main() {
 		d.WANRetention15 = float64(int64(ratio*100+0.5)) / 100
 	}
 
+	plainSweep := sweep
+	plainSweep.MinRate = 400
+	plainCap, err := bench.PlainPutCapacity(bench.DeploymentCapacityConfig{Sweep: plainSweep, Seed: 42})
+	if err != nil {
+		fatal(err)
+	}
+	d.Capacity["plain"] = toCapacityPoint(plainCap)
+
+	wanCap, err := bench.WANPutCapacity(0.05, bench.DeploymentCapacityConfig{Sweep: slowSweep, Seed: 42})
+	if err != nil {
+		fatal(err)
+	}
+	d.Capacity["wan_5pct"] = toCapacityPoint(wanCap)
+
+	// Price each deployment at its measured knee. The plain and WAN
+	// deployments are one Sift group (the WAN changes the network, not
+	// the bill); the sharded deployment is 4 groups sharing a backup pool
+	// of 2 (§5.2).
+	deployments := map[string]cloudcost.Deployment{
+		"plain":    {System: cloudcost.Sift, F: 1},
+		"shard_4g": {System: cloudcost.Sift, F: 1, SharedBackups: true, Groups: 4, BackupPool: 2},
+		"wan_5pct": {System: cloudcost.Sift, F: 1},
+	}
+	for name, dep := range deployments {
+		knee := d.Capacity[name].KneeOpsPerSec
+		costs := map[string]float64{}
+		for _, p := range []cloudcost.Provider{cloudcost.AWS, cloudcost.GCP} {
+			c, err := cloudcost.DeploymentCostPerMillionOps(dep, p, knee)
+			if err != nil {
+				fatal(err)
+			}
+			costs[providerKey(p)] = round4(c)
+		}
+		d.CostPerMillionOps[name] = costs
+	}
+
 	buf, err := json.MarshalIndent(d, "", "  ")
 	if err != nil {
 		fatal(err)
@@ -165,8 +260,36 @@ func main() {
 	fmt.Printf("wrote %s\n%s", *out, buf)
 }
 
-// ecBandwidth measures EncodeTo and Reconstruct bandwidth (MB/s of logical
-// block) for k=f+1, m=f at the given block size.
+func toCapacityPoint(res bench.CapacityResult) capacityPoint {
+	return capacityPoint{
+		KneeOpsPerSec: round1(res.KneeOpsPerSec),
+		OfferedAtKnee: round1(res.Knee.Offered),
+		P50Ms:         round3(res.Knee.P50.Seconds() * 1e3),
+		P99Ms:         round3(res.Knee.P99.Seconds() * 1e3),
+		P999Ms:        round3(res.Knee.P999.Seconds() * 1e3),
+	}
+}
+
+func providerKey(p cloudcost.Provider) string {
+	if p == cloudcost.GCP {
+		return "gcp"
+	}
+	return "aws"
+}
+
+func maxDur(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// ecBandwidth measures EncodeTo and Reconstruct bandwidth for k=f+1, m=f
+// at the given block size. Encode charges the full logical block per
+// call; Reconstruct charges only the f rebuilt chunks, and the
+// missing-chunk setup and shape restoration run outside the timed region
+// (the old probe timed the restoring copies and charged the whole block,
+// overstating reconstruct bandwidth by roughly k/f).
 func ecBandwidth(f, block int, dur time.Duration) (encMBs, recMBs float64, err error) {
 	code, err := erasure.New(f+1, f)
 	if err != nil {
@@ -187,24 +310,31 @@ func ecBandwidth(f, block int, dur time.Duration) (encMBs, recMBs float64, err e
 
 	encMBs = throughput(dur, block, func() error { return code.EncodeTo(data, chunks) })
 
-	// Reconstruct with the first f chunks missing (worst case: data chunks
-	// rebuilt from parity).
-	backup := make([][]byte, n)
-	for i := range chunks {
-		backup[i] = append([]byte(nil), chunks[i]...)
-	}
-	recMBs = throughput(dur, block, func() error {
+	// Reconstruct with the first f chunks missing (worst case: data
+	// chunks rebuilt from parity). Only Reconstruct itself is timed.
+	var busy time.Duration
+	calls := 0
+	for warm := 0; warm < 8; warm++ {
 		for i := 0; i < f; i++ {
 			chunks[i] = nil
 		}
 		if err := code.Reconstruct(chunks); err != nil {
-			return err
+			return 0, 0, err
 		}
+	}
+	for busy < dur {
 		for i := 0; i < f; i++ {
-			copy(chunks[i], backup[i]) // Reconstruct reallocates; keep shape
+			chunks[i] = nil
 		}
-		return nil
-	})
+		t0 := time.Now()
+		rerr := code.Reconstruct(chunks)
+		busy += time.Since(t0)
+		if rerr != nil {
+			return 0, 0, rerr
+		}
+		calls++
+	}
+	recMBs = float64(calls) * float64(f*chunkLen) / 1e6 / busy.Seconds()
 	return encMBs, recMBs, nil
 }
 
@@ -278,6 +408,14 @@ func round1(v float64) float64 {
 	return float64(int64(v*10+0.5)) / 10
 }
 
+func round3(v float64) float64 {
+	return float64(int64(v*1000+0.5)) / 1000
+}
+
+func round4(v float64) float64 {
+	return float64(int64(v*10000+0.5)) / 10000
+}
+
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "benchjson:", err)
 	os.Exit(1)
@@ -285,13 +423,15 @@ func fatal(err error) {
 
 // reconfigProbe measures put throughput while memory nodes are replaced
 // back to back — the bounded-degradation number for online
-// reconfiguration. Puts that land in a no-coordinator window are skipped,
-// not counted; any other error is fatal.
-func reconfigProbe(dur time.Duration) (putOps float64, replacements int, err error) {
+// reconfiguration. Puts that land in a no-coordinator window back off
+// briefly (instead of hot-spinning a core against the failover path,
+// which distorted the number on small runners) and are counted in
+// skipped; any other error is fatal.
+func reconfigProbe(dur time.Duration) (putOps float64, replacements, skipped int, err error) {
 	cfg := sift.Config{F: 1, Keys: 4096, MaxValueSize: 992}
 	cl, err := sift.NewCluster(cfg)
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, 0, err
 	}
 	defer cl.Close()
 	c := cl.Client()
@@ -300,7 +440,7 @@ func reconfigProbe(dur time.Duration) (putOps float64, replacements int, err err
 	key := func(i int) []byte { return []byte(fmt.Sprintf("user%012d", i)) }
 	for i := 0; i < cfg.Keys; i++ {
 		if err := c.Put(key(i), val); err != nil {
-			return 0, 0, err
+			return 0, 0, 0, err
 		}
 	}
 
@@ -323,21 +463,24 @@ func reconfigProbe(dur time.Duration) (putOps float64, replacements int, err err
 		}
 	}()
 
+	const noCoordBackoff = 2 * time.Millisecond
 	start := time.Now()
 	puts := 0
 	for time.Since(start) < dur {
 		if perr := c.Put(key(puts%cfg.Keys), val); perr != nil {
 			if errors.Is(perr, sift.ErrNoCoordinator) {
+				skipped++
+				time.Sleep(noCoordBackoff)
 				continue
 			}
 			close(stop)
 			<-done
-			return 0, 0, perr
+			return 0, 0, 0, perr
 		}
 		puts++
 	}
 	elapsed := time.Since(start).Seconds()
 	close(stop)
 	replacements = <-done
-	return float64(puts) / elapsed, replacements, nil
+	return float64(puts) / elapsed, replacements, skipped, nil
 }

@@ -1,0 +1,270 @@
+// Package compare diffs two benchmark JSON documents (BENCH_<n>.json
+// against the tracked bench-baseline.json) metric by metric with relative
+// tolerance bands — the benchstat-style regression gate behind
+// `make bench-gate`. Both documents are flattened to dotted numeric
+// paths, latency- and cost-shaped metrics are compared lower-is-better,
+// and a report either passes or names exactly which metric moved outside
+// its band.
+package compare
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Status classifies one compared metric.
+type Status int
+
+// Statuses, most severe first.
+const (
+	// Regression: the metric moved outside its tolerance band in the bad
+	// direction.
+	Regression Status = iota
+	// MissingInNew: the baseline has the metric, the fresh document does
+	// not — a probe silently disappeared (fails the gate unless
+	// Options.AllowMissing).
+	MissingInNew
+	// Improvement: outside the band in the good direction (informational).
+	Improvement
+	// AddedInNew: a new metric with no baseline yet (informational).
+	AddedInNew
+	// OK: within the band.
+	OK
+)
+
+// String returns the status label.
+func (s Status) String() string {
+	switch s {
+	case Regression:
+		return "REGRESSION"
+	case MissingInNew:
+		return "MISSING"
+	case Improvement:
+		return "improved"
+	case AddedInNew:
+		return "new"
+	default:
+		return "ok"
+	}
+}
+
+// Finding is one compared metric.
+type Finding struct {
+	Path          string
+	Base, New     float64
+	Delta         float64 // relative change vs baseline, signed
+	LowerIsBetter bool
+	Tolerance     float64
+	Status        Status
+}
+
+// Options shapes a comparison.
+type Options struct {
+	// Tolerance is the default relative band (0.35 → a metric may move
+	// ±35% before it counts). Benchmarks on shared CI runners are noisy;
+	// the band should be wide enough that only real regressions trip it.
+	Tolerance float64
+	// PerMetric overrides the tolerance for a path or path prefix
+	// (longest matching prefix wins).
+	PerMetric map[string]float64
+	// LowerIsBetter marks extra path substrings as lower-is-better, on
+	// top of the built-in latency/cost patterns.
+	LowerIsBetter []string
+	// Ignore lists path substrings to skip entirely (e.g. host metadata).
+	Ignore []string
+	// AllowMissing downgrades baseline metrics absent from the new
+	// document from gate failures to notes.
+	AllowMissing bool
+}
+
+// lowerIsBetterPatterns are path substrings whose metrics regress upward:
+// latency percentiles and dollar costs.
+var lowerIsBetterPatterns = []string{
+	"p50", "p95", "p99", "p999", "latency", "cost_per", "_ms", "_us",
+}
+
+func lowerIsBetter(path string, extra []string) bool {
+	for _, p := range append(extra, lowerIsBetterPatterns...) {
+		if p != "" && strings.Contains(path, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// Flatten parses a benchmark JSON document into dotted numeric paths:
+// {"a":{"b":1}} → {"a.b":1}. Non-numeric leaves (strings, booleans) are
+// skipped; array elements flatten by index.
+func Flatten(raw []byte) (map[string]float64, error) {
+	var doc any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, fmt.Errorf("compare: %w", err)
+	}
+	out := map[string]float64{}
+	flattenInto(out, "", doc)
+	return out, nil
+}
+
+func flattenInto(out map[string]float64, prefix string, v any) {
+	switch t := v.(type) {
+	case map[string]any:
+		for k, child := range t {
+			flattenInto(out, joinPath(prefix, k), child)
+		}
+	case []any:
+		for i, child := range t {
+			flattenInto(out, joinPath(prefix, fmt.Sprint(i)), child)
+		}
+	case float64:
+		if prefix != "" {
+			out[prefix] = t
+		}
+	}
+}
+
+func joinPath(prefix, key string) string {
+	if prefix == "" {
+		return key
+	}
+	return prefix + "." + key
+}
+
+// Report is the outcome of one comparison, findings sorted most severe
+// first, then by path.
+type Report struct {
+	Findings     []Finding
+	AllowMissing bool
+}
+
+// Compare diffs fresh against base under opts.
+func Compare(base, fresh map[string]float64, opts Options) Report {
+	if opts.Tolerance <= 0 {
+		opts.Tolerance = 0.35
+	}
+	rep := Report{AllowMissing: opts.AllowMissing}
+	skip := func(path string) bool {
+		for _, ig := range opts.Ignore {
+			if ig != "" && strings.Contains(path, ig) {
+				return true
+			}
+		}
+		return false
+	}
+	for path, b := range base {
+		if skip(path) {
+			continue
+		}
+		tol := toleranceFor(path, opts)
+		f := Finding{
+			Path: path, Base: b, Tolerance: tol,
+			LowerIsBetter: lowerIsBetter(path, opts.LowerIsBetter),
+		}
+		n, ok := fresh[path]
+		if !ok {
+			f.Status = MissingInNew
+			rep.Findings = append(rep.Findings, f)
+			continue
+		}
+		f.New = n
+		if b != 0 {
+			f.Delta = (n - b) / b
+		} else if n != 0 {
+			f.Delta = 1
+		}
+		bad, good := f.Delta < -tol, f.Delta > tol
+		if f.LowerIsBetter {
+			bad, good = good, bad
+		}
+		switch {
+		case bad:
+			f.Status = Regression
+		case good:
+			f.Status = Improvement
+		default:
+			f.Status = OK
+		}
+		rep.Findings = append(rep.Findings, f)
+	}
+	for path, n := range fresh {
+		if skip(path) {
+			continue
+		}
+		if _, ok := base[path]; !ok {
+			rep.Findings = append(rep.Findings, Finding{
+				Path: path, New: n, Status: AddedInNew,
+				Tolerance:     toleranceFor(path, opts),
+				LowerIsBetter: lowerIsBetter(path, opts.LowerIsBetter),
+			})
+		}
+	}
+	sort.Slice(rep.Findings, func(i, j int) bool {
+		if rep.Findings[i].Status != rep.Findings[j].Status {
+			return rep.Findings[i].Status < rep.Findings[j].Status
+		}
+		return rep.Findings[i].Path < rep.Findings[j].Path
+	})
+	return rep
+}
+
+func toleranceFor(path string, opts Options) float64 {
+	tol, bestLen := opts.Tolerance, -1
+	for prefix, t := range opts.PerMetric {
+		if strings.HasPrefix(path, prefix) && len(prefix) > bestLen {
+			tol, bestLen = t, len(prefix)
+		}
+	}
+	return tol
+}
+
+// Regressions returns the findings that fail the gate.
+func (r Report) Regressions() []Finding {
+	var out []Finding
+	for _, f := range r.Findings {
+		if f.Status == Regression || (f.Status == MissingInNew && !r.AllowMissing) {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Failed reports whether the gate should exit nonzero.
+func (r Report) Failed() bool { return len(r.Regressions()) > 0 }
+
+// String renders the report as a text table, one finding per line.
+func (r Report) String() string {
+	var sb strings.Builder
+	for _, f := range r.Findings {
+		dir := "↑ better"
+		if f.LowerIsBetter {
+			dir = "↓ better"
+		}
+		switch f.Status {
+		case MissingInNew:
+			fmt.Fprintf(&sb, "%-10s %-45s base=%.4g (absent in new document)\n",
+				f.Status, f.Path, f.Base)
+		case AddedInNew:
+			fmt.Fprintf(&sb, "%-10s %-45s new=%.4g (no baseline)\n",
+				f.Status, f.Path, f.New)
+		default:
+			fmt.Fprintf(&sb, "%-10s %-45s base=%.4g new=%.4g delta=%+.1f%% band=±%.0f%% %s\n",
+				f.Status, f.Path, f.Base, f.New, 100*f.Delta, 100*f.Tolerance, dir)
+		}
+	}
+	return sb.String()
+}
+
+// CompareFiles is the one-call form used by cmd/benchcmp: flatten both
+// documents and compare.
+func CompareFiles(baseRaw, freshRaw []byte, opts Options) (Report, error) {
+	base, err := Flatten(baseRaw)
+	if err != nil {
+		return Report{}, fmt.Errorf("baseline: %w", err)
+	}
+	fresh, err := Flatten(freshRaw)
+	if err != nil {
+		return Report{}, fmt.Errorf("new: %w", err)
+	}
+	return Compare(base, fresh, opts), nil
+}

@@ -1,0 +1,157 @@
+package compare
+
+import (
+	"strings"
+	"testing"
+)
+
+const baseDoc = `{
+  "generated": "2026-08-07T00:00:00Z",
+  "go": "go1.24.0",
+  "cpus": 1,
+  "put_ops_per_sec": 1000,
+  "read_p99_us": 20,
+  "shard_knee_ops_per_sec": {"groups_1": 300, "groups_4": 1100},
+  "cost_per_million_ops": {"plain": {"aws": 0.02}}
+}`
+
+func flatten(t *testing.T, doc string) map[string]float64 {
+	t.Helper()
+	m, err := Flatten([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestFlattenNestedNumericPaths(t *testing.T) {
+	m := flatten(t, baseDoc)
+	if m["put_ops_per_sec"] != 1000 {
+		t.Fatalf("top-level metric: %v", m)
+	}
+	if m["shard_knee_ops_per_sec.groups_4"] != 1100 {
+		t.Fatalf("nested metric: %v", m)
+	}
+	if m["cost_per_million_ops.plain.aws"] != 0.02 {
+		t.Fatalf("doubly nested metric: %v", m)
+	}
+	if _, ok := m["generated"]; ok {
+		t.Fatal("string leaf must not flatten to a metric")
+	}
+}
+
+func TestCompareDetectsRegression(t *testing.T) {
+	fresh := flatten(t, strings.Replace(baseDoc, `"put_ops_per_sec": 1000`, `"put_ops_per_sec": 500`, 1))
+	rep := Compare(flatten(t, baseDoc), fresh, Options{Tolerance: 0.35})
+	if !rep.Failed() {
+		t.Fatalf("50%% throughput drop passed the gate:\n%s", rep)
+	}
+	regs := rep.Regressions()
+	if len(regs) != 1 || regs[0].Path != "put_ops_per_sec" {
+		t.Fatalf("regressions = %+v", regs)
+	}
+}
+
+func TestCompareToleranceRespected(t *testing.T) {
+	// A 20% dip sits inside the ±35% band.
+	fresh := flatten(t, strings.Replace(baseDoc, `"put_ops_per_sec": 1000`, `"put_ops_per_sec": 800`, 1))
+	rep := Compare(flatten(t, baseDoc), fresh, Options{Tolerance: 0.35})
+	if rep.Failed() {
+		t.Fatalf("20%% dip inside a 35%% band failed the gate:\n%s", rep)
+	}
+	// The same dip fails a tighter band.
+	rep = Compare(flatten(t, baseDoc), fresh, Options{Tolerance: 0.1})
+	if !rep.Failed() {
+		t.Fatal("20% dip passed a 10% band")
+	}
+}
+
+func TestCompareLatencyIsLowerBetter(t *testing.T) {
+	// p99 doubling is a regression even though the number went up...
+	fresh := flatten(t, strings.Replace(baseDoc, `"read_p99_us": 20`, `"read_p99_us": 40`, 1))
+	rep := Compare(flatten(t, baseDoc), fresh, Options{Tolerance: 0.35})
+	if !rep.Failed() {
+		t.Fatalf("p99 doubling passed the gate:\n%s", rep)
+	}
+	// ...and halving is an improvement, not a failure.
+	fresh = flatten(t, strings.Replace(baseDoc, `"read_p99_us": 20`, `"read_p99_us": 10`, 1))
+	rep = Compare(flatten(t, baseDoc), fresh, Options{Tolerance: 0.35})
+	if rep.Failed() {
+		t.Fatalf("p99 halving failed the gate:\n%s", rep)
+	}
+	// Cost metrics regress upward too.
+	fresh = flatten(t, strings.Replace(baseDoc, `"aws": 0.02`, `"aws": 0.06`, 1))
+	if !Compare(flatten(t, baseDoc), fresh, Options{Tolerance: 0.35}).Failed() {
+		t.Fatal("3× cost/Mops passed the gate")
+	}
+}
+
+func TestCompareMissingMetricHandling(t *testing.T) {
+	fresh := flatten(t, strings.Replace(baseDoc, `"put_ops_per_sec": 1000,`, ``, 1))
+	// A metric that silently disappears fails the gate by default...
+	rep := Compare(flatten(t, baseDoc), fresh, Options{})
+	if !rep.Failed() {
+		t.Fatalf("vanished metric passed the gate:\n%s", rep)
+	}
+	// ...and is downgraded to a note under AllowMissing.
+	rep = Compare(flatten(t, baseDoc), fresh, Options{AllowMissing: true})
+	if rep.Failed() {
+		t.Fatalf("AllowMissing still failed:\n%s", rep)
+	}
+}
+
+func TestCompareAddedMetricIsInformational(t *testing.T) {
+	fresh := flatten(t, strings.Replace(baseDoc, `"cpus": 1,`, `"cpus": 1, "new_metric": 7,`, 1))
+	rep := Compare(flatten(t, baseDoc), fresh, Options{})
+	if rep.Failed() {
+		t.Fatalf("new metric without a baseline failed the gate:\n%s", rep)
+	}
+	found := false
+	for _, f := range rep.Findings {
+		if f.Path == "new_metric" && f.Status == AddedInNew {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("added metric not reported:\n%s", rep)
+	}
+}
+
+func TestComparePerMetricOverrideAndIgnore(t *testing.T) {
+	fresh := flatten(t, strings.Replace(baseDoc, `"groups_4": 1100`, `"groups_4": 500`, 1))
+	// Default band trips on the 55% drop...
+	if !Compare(flatten(t, baseDoc), fresh, Options{Tolerance: 0.35}).Failed() {
+		t.Fatal("55% drop passed the default band")
+	}
+	// ...a widened per-prefix band absorbs it (longest prefix wins)...
+	rep := Compare(flatten(t, baseDoc), fresh, Options{
+		Tolerance: 0.35,
+		PerMetric: map[string]float64{"shard_knee_ops_per_sec": 0.7},
+	})
+	if rep.Failed() {
+		t.Fatalf("per-metric 70%% band still failed:\n%s", rep)
+	}
+	// ...and ignoring the path skips it entirely.
+	rep = Compare(flatten(t, baseDoc), fresh, Options{
+		Tolerance: 0.35,
+		Ignore:    []string{"shard_knee_ops_per_sec"},
+	})
+	for _, f := range rep.Findings {
+		if strings.HasPrefix(f.Path, "shard_knee_ops_per_sec") {
+			t.Fatalf("ignored path still compared: %+v", f)
+		}
+	}
+}
+
+func TestCompareFilesEndToEnd(t *testing.T) {
+	rep, err := CompareFiles([]byte(baseDoc), []byte(baseDoc), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() {
+		t.Fatalf("identical documents failed the gate:\n%s", rep)
+	}
+	if _, err := CompareFiles([]byte("{"), []byte(baseDoc), Options{}); err == nil {
+		t.Fatal("malformed baseline must error")
+	}
+}

@@ -1,0 +1,178 @@
+package bench
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestPoissonRateAccuracy: with a fast no-op operation, the generator's
+// absolute schedule must deliver the configured rate — arrivals and
+// achieved throughput both within 15% of offered (Poisson noise on ~1000
+// arrivals is ~3%; the slack covers coarse sleeps on loaded runners).
+func TestPoissonRateAccuracy(t *testing.T) {
+	res := OpenLoop(OpenLoopConfig{
+		Rate:     1000,
+		Warmup:   100 * time.Millisecond,
+		Duration: time.Second,
+		Workers:  8,
+		Seed:     1,
+		Op:       func(worker, seq int) error { return nil },
+	})
+	if res.Dropped != 0 || res.Errors != 0 {
+		t.Fatalf("clean run dropped=%d errors=%d", res.Dropped, res.Errors)
+	}
+	want := 1000.0
+	if f := float64(res.Arrivals); f < 0.85*want || f > 1.15*want {
+		t.Fatalf("arrivals = %d, want ≈%d", res.Arrivals, int(want))
+	}
+	if res.Achieved < 0.85*want || res.Achieved > 1.15*want {
+		t.Fatalf("achieved = %.0f, want ≈%.0f", res.Achieved, want)
+	}
+	if res.Saturated(0.9) {
+		t.Fatalf("no-op server reported saturated: %+v", res)
+	}
+}
+
+// TestOpenLoopChargesStallAsQueueLatency: the anti-coordinated-omission
+// property. A single 400ms server stall must surface in the measured tail
+// (ops scheduled during the stall wait in queue, and their latency is
+// measured from scheduled arrival time), and those arrivals must still be
+// counted and executed, not silently omitted. A closed-loop probe would
+// have recorded one slow op and stopped offering load.
+func TestOpenLoopChargesStallAsQueueLatency(t *testing.T) {
+	var stalled atomic.Bool
+	res := OpenLoop(OpenLoopConfig{
+		Rate:     200,
+		Warmup:   100 * time.Millisecond,
+		Duration: 1200 * time.Millisecond,
+		Workers:    1, // single executor: the stall blocks the whole queue
+		QueueDepth: 512,
+		Seed:       2,
+		Op: func(worker, seq int) error {
+			if seq == 40 && !stalled.Swap(true) {
+				time.Sleep(400 * time.Millisecond)
+			}
+			return nil
+		},
+	})
+	if !stalled.Load() {
+		t.Fatal("stall never injected")
+	}
+	if res.Dropped != 0 {
+		t.Fatalf("queue overflowed (%d dropped); deepen the queue", res.Dropped)
+	}
+	// ~80 arrivals land during the stall window; the tail must see it.
+	if res.P99 < 100*time.Millisecond {
+		t.Fatalf("p99 = %v hides a 400ms stall (coordinated omission)", res.P99)
+	}
+	if res.Max < 300*time.Millisecond {
+		t.Fatalf("max = %v, want ≥ the 400ms stall (minus schedule slack)", res.Max)
+	}
+	// The stall must not erase demand: arrivals during it are still served.
+	if got, want := float64(res.Completed+res.Backlog), 0.8*float64(res.Arrivals); got < want {
+		t.Fatalf("completed+backlog = %d of %d arrivals", res.Completed+res.Backlog, res.Arrivals)
+	}
+	// But the common case stays fast.
+	if res.P50 > 100*time.Millisecond {
+		t.Fatalf("p50 = %v; the stall should live in the tail, not the median", res.P50)
+	}
+}
+
+// TestOpenLoopQueueOverflowCounted: offered load far beyond service
+// capacity must be visible as drops/backlog and a saturated verdict —
+// never a silently reduced offered rate.
+func TestOpenLoopQueueOverflowCounted(t *testing.T) {
+	res := OpenLoop(OpenLoopConfig{
+		Rate:       2000,
+		Warmup:     50 * time.Millisecond,
+		Duration:   500 * time.Millisecond,
+		Workers:    1,
+		QueueDepth: 8,
+		Seed:       3,
+		Op: func(worker, seq int) error {
+			time.Sleep(5 * time.Millisecond) // ~200 ops/sec ceiling
+			return nil
+		},
+	})
+	if res.Dropped == 0 {
+		t.Fatalf("10× overload never overflowed the 8-deep queue: %+v", res)
+	}
+	if res.Achieved > 500 {
+		t.Fatalf("achieved %.0f ops/s through a 200 ops/s server", res.Achieved)
+	}
+	if !res.Saturated(0.9) {
+		t.Fatalf("overloaded run not reported saturated: %+v", res)
+	}
+}
+
+// TestCapacitySweepFindsKnee: sweeping against a server with a hard
+// ~600 ops/s service rate must land the knee near it — neither at the
+// sweep floor nor past the ceiling.
+func TestCapacitySweepFindsKnee(t *testing.T) {
+	serverRate := 600.0
+	perOp := time.Duration(float64(time.Second) / serverRate)
+	var mu sync.Mutex
+	allowedAt := time.Now()
+	op := func(worker, seq int) error {
+		mu.Lock()
+		now := time.Now()
+		if allowedAt.Before(now) {
+			allowedAt = now
+		}
+		allowedAt = allowedAt.Add(perOp)
+		wait := time.Until(allowedAt)
+		mu.Unlock()
+		if wait > 0 {
+			time.Sleep(wait)
+		}
+		return nil
+	}
+	res := CapacitySweep(CapacityConfig{
+		MinRate:      100,
+		MaxRate:      3200,
+		StepDuration: 350 * time.Millisecond,
+		StepWarmup:   100 * time.Millisecond,
+		Workers:      16,
+		Seed:         4,
+		Op:           op,
+	})
+	if len(res.Points) < 3 {
+		t.Fatalf("sweep took %d points", len(res.Points))
+	}
+	if res.Saturated {
+		t.Fatalf("100 ops/s floor reported saturated against a 600 ops/s server")
+	}
+	if res.KneeOpsPerSec < 0.5*serverRate || res.KneeOpsPerSec > 1.25*serverRate {
+		t.Fatalf("knee = %.0f ops/s, want ≈%.0f", res.KneeOpsPerSec, serverRate)
+	}
+}
+
+// TestCapacityPlainClusterSmoke: the real-cluster probe end to end with a
+// tiny sweep — the `make capacity` CI smoke.
+func TestCapacityPlainClusterSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster sweep in -short mode")
+	}
+	res, err := PlainPutCapacity(DeploymentCapacityConfig{
+		Sweep: CapacityConfig{
+			MinRate:      200,
+			MaxRate:      1600,
+			StepDuration: 300 * time.Millisecond,
+			StepWarmup:   100 * time.Millisecond,
+			Workers:      16,
+			Refine:       1,
+		},
+		Keys: 256,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.KneeOpsPerSec <= 0 {
+		t.Fatalf("no knee measured: %+v", res)
+	}
+	if res.Knee.P99 <= 0 {
+		t.Fatal("no latency percentiles at the knee")
+	}
+}

@@ -13,10 +13,14 @@ import (
 type ShardScalingConfig struct {
 	// Groups is the number of consensus groups behind the shard router.
 	Groups int
-	// ClientsPerGroup scales the closed-loop client population with the
-	// deployment: Groups×ClientsPerGroup clients run concurrently.
-	// Default 4.
-	ClientsPerGroup int
+	// Clients is the total closed-loop client population, held constant
+	// across group counts so every configuration faces the same offered
+	// load (default 16). A population that scales with the group count
+	// under-loads the small configurations and manufactures super-linear
+	// "speedups" — the bug behind BENCH_9's impossible 4.31× at 4 groups.
+	// For a load-independent number, prefer the open-loop knee from
+	// ShardPutCapacity.
+	Clients int
 	// KeysPerClient is each client's working set. Default 256.
 	KeysPerClient int
 	// LinkLatency is the fixed fabric latency applied to every group
@@ -37,8 +41,8 @@ type ShardScalingConfig struct {
 }
 
 func (c ShardScalingConfig) withDefaults() ShardScalingConfig {
-	if c.ClientsPerGroup <= 0 {
-		c.ClientsPerGroup = 4
+	if c.Clients <= 0 {
+		c.Clients = 16
 	}
 	if c.KeysPerClient <= 0 {
 		c.KeysPerClient = 256
@@ -60,8 +64,9 @@ func (c ShardScalingConfig) withDefaults() ShardScalingConfig {
 
 // ShardPutThroughput boots a ShardCluster with cfg.Groups consensus groups
 // and measures aggregate put throughput through the shard router with a
-// closed-loop client population proportional to the group count. It returns
-// acknowledged puts per second over the measured window.
+// fixed closed-loop client population (the same total offered load at
+// every group count). It returns acknowledged puts per second over the
+// measured window.
 func ShardPutThroughput(cfg ShardScalingConfig) (float64, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Groups < 1 {
@@ -84,8 +89,7 @@ func ShardPutThroughput(cfg ShardScalingConfig) (float64, error) {
 		stop = make(chan struct{})
 		wg   sync.WaitGroup
 	)
-	nclients := cfg.Groups * cfg.ClientsPerGroup
-	for c := 0; c < nclients; c++ {
+	for c := 0; c < cfg.Clients; c++ {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()

@@ -167,6 +167,34 @@ func RelativeCost(d Deployment, p Provider) (float64, error) {
 	return (own/raft - 1) * 100, nil
 }
 
+// CostPerMillionOps converts an hourly deployment cost and a sustained
+// throughput (ops/sec — use the measured open-loop knee, not a
+// closed-loop number at an arbitrary client count) into the paper's
+// headline cost-efficiency metric: dollars per million operations.
+func CostPerMillionOps(hourlyCost, opsPerSec float64) float64 {
+	if opsPerSec <= 0 {
+		return 0
+	}
+	return hourlyCost / (opsPerSec * 3600) * 1e6
+}
+
+// DeploymentCostPerMillionOps prices a deployment at the given measured
+// throughput on one provider. For multi-group deployments pass the
+// aggregate knee throughput and set d.Groups; the hourly cost scales with
+// the group count while shared-backup amortization (when enabled) is
+// already per-group in GroupCost.
+func DeploymentCostPerMillionOps(d Deployment, p Provider, opsPerSec float64) (float64, error) {
+	group, err := GroupCost(d, p)
+	if err != nil {
+		return 0, err
+	}
+	groups := d.Groups
+	if groups <= 0 {
+		groups = 1
+	}
+	return CostPerMillionOps(group*float64(groups), opsPerSec), nil
+}
+
 // FigureRow is one bar of Figure 9/10.
 type FigureRow struct {
 	Label    string

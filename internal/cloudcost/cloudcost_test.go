@@ -169,6 +169,42 @@ func TestStrings(t *testing.T) {
 	}
 }
 
+func TestCostPerMillionOps(t *testing.T) {
+	// $1.32/hr at 10k ops/s: 36M ops/hr → $1.32/36 per Mops.
+	got := CostPerMillionOps(1.32, 10000)
+	want := 1.32 / 36.0
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("CostPerMillionOps = %v, want %v", got, want)
+	}
+	// Zero or negative throughput must not divide by zero.
+	if CostPerMillionOps(1.32, 0) != 0 || CostPerMillionOps(1.32, -5) != 0 {
+		t.Fatal("non-positive throughput should yield 0, not Inf")
+	}
+}
+
+func TestDeploymentCostPerMillionOps(t *testing.T) {
+	// A 4-group Sift deployment at an aggregate knee must cost exactly
+	// 4× the single-group hourly rate over the same throughput.
+	single, err := GroupCost(Deployment{System: Sift, F: 1}, AWS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DeploymentCostPerMillionOps(Deployment{System: Sift, F: 1, Groups: 4}, AWS, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := CostPerMillionOps(4*single, 1000)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("4-group cost/Mops = %v, want %v", got, want)
+	}
+	// More throughput at the same cost → cheaper per op.
+	cheap, _ := DeploymentCostPerMillionOps(Deployment{System: Sift, F: 1}, AWS, 20000)
+	dear, _ := DeploymentCostPerMillionOps(Deployment{System: Sift, F: 1}, AWS, 5000)
+	if cheap >= dear {
+		t.Fatalf("cost/Mops should fall with throughput: %v vs %v", cheap, dear)
+	}
+}
+
 func TestDefaultGroupsInSharedCost(t *testing.T) {
 	// Groups defaulting to 100 must not divide by zero.
 	if _, err := GroupCost(Deployment{System: Sift, F: 1, SharedBackups: true, BackupPool: 2}, AWS); err != nil {
